@@ -1,0 +1,527 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus ablations of the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics reported alongside ns/op:
+//
+//	loc_orig / loc_slice / loc_path   — the LoC columns of Table 2
+//	ep_orig / ep_slice                — the execution-path columns
+//	paths, entries, mismatches, …     — per-benchmark notes
+package nfactor
+
+import (
+	"fmt"
+	"testing"
+
+	"nfactor/internal/buzz"
+	"nfactor/internal/chain"
+	"nfactor/internal/core"
+	"nfactor/internal/experiments"
+	"nfactor/internal/interp"
+	"nfactor/internal/model"
+	"nfactor/internal/nfs"
+	"nfactor/internal/slice"
+	"nfactor/internal/solver"
+	"nfactor/internal/statealyzer"
+	"nfactor/internal/symexec"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+	"nfactor/internal/workload"
+)
+
+// --- Table 1: variable categorization ---------------------------------
+
+func BenchmarkTable1_VariableCategorization(b *testing.B) {
+	nf := nfs.MustLoad("lb")
+	analyzer, err := slice.NewAnalyzer(nf.Prog, "process")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pktSlice, err := analyzer.Backward(core.SendStatements(analyzer.Prog))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *statealyzer.Result
+	for i := 0; i < b.N; i++ {
+		res = statealyzer.Analyze(analyzer, pktSlice)
+	}
+	b.ReportMetric(float64(len(res.OISVars())), "ois_vars")
+	b.ReportMetric(float64(len(res.LogVars())), "log_vars")
+}
+
+// --- Table 2: per-NF slicing and symbolic execution -------------------
+
+func benchTable2Slicing(b *testing.B, name string) {
+	nf := nfs.MustLoad(name)
+	b.ResetTimer()
+	var an *core.Analysis
+	for i := 0; i < b.N; i++ {
+		var err error
+		an, err = core.Analyze(name, nf.Prog, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(an.Metrics.LoCOrig), "loc_orig")
+	b.ReportMetric(float64(an.Metrics.LoCSlice), "loc_slice")
+	b.ReportMetric(float64(an.Metrics.LoCPath), "loc_path")
+	b.ReportMetric(float64(an.Metrics.EPSlice), "ep_slice")
+}
+
+func BenchmarkTable2_Pipeline_lb(b *testing.B)        { benchTable2Slicing(b, "lb") }
+func BenchmarkTable2_Pipeline_balance(b *testing.B)   { benchTable2Slicing(b, "balance") }
+func BenchmarkTable2_Pipeline_snortlite(b *testing.B) { benchTable2Slicing(b, "snortlite") }
+func BenchmarkTable2_Pipeline_nat(b *testing.B)       { benchTable2Slicing(b, "nat") }
+func BenchmarkTable2_Pipeline_firewall(b *testing.B)  { benchTable2Slicing(b, "firewall") }
+
+// seOn measures raw symbolic execution on a prepared program.
+func seOn(b *testing.B, an *core.Analysis, prog programChoice, maxPaths int) (paths int, capped bool) {
+	b.Helper()
+	seOpts := symexec.Options{MaxPaths: maxPaths, ConfigVars: map[string]bool{}, StateVars: map[string]bool{}}
+	for _, v := range an.Vars.CfgVars() {
+		seOpts.ConfigVars[v] = true
+	}
+	for _, v := range an.Vars.OISVars() {
+		seOpts.StateVars[v] = true
+	}
+	for _, v := range an.Vars.LogVars() {
+		seOpts.StateVars[v] = true
+	}
+	target := an.SliceProg
+	if prog == origProgram {
+		target = an.Analyzer.Prog
+	}
+	b.ResetTimer()
+	var res *symexec.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = symexec.Run(target, "process", seOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return len(res.Paths), res.Exhausted
+}
+
+type programChoice int
+
+const (
+	origProgram programChoice = iota
+	sliceProgram
+)
+
+func benchSE(b *testing.B, name string, prog programChoice, maxPaths int) {
+	nf := nfs.MustLoad(name)
+	an, err := core.Analyze(name, nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths, capped := seOn(b, an, prog, maxPaths)
+	b.ReportMetric(float64(paths), "paths")
+	if capped {
+		b.ReportMetric(1, "budget_exhausted")
+	}
+}
+
+func BenchmarkTable2_SE_Orig_snortlite(b *testing.B)  { benchSE(b, "snortlite", origProgram, 1024) }
+func BenchmarkTable2_SE_Slice_snortlite(b *testing.B) { benchSE(b, "snortlite", sliceProgram, 1024) }
+func BenchmarkTable2_SE_Orig_balance(b *testing.B)    { benchSE(b, "balance", origProgram, 1024) }
+func BenchmarkTable2_SE_Slice_balance(b *testing.B)   { benchSE(b, "balance", sliceProgram, 1024) }
+func BenchmarkTable2_SE_Orig_lb(b *testing.B)         { benchSE(b, "lb", origProgram, 1024) }
+func BenchmarkTable2_SE_Slice_lb(b *testing.B)        { benchSE(b, "lb", sliceProgram, 1024) }
+
+// --- Figure 6: model extraction for balance ---------------------------
+
+func BenchmarkFigure6_BalanceModel(b *testing.B) {
+	nf := nfs.MustLoad("balance")
+	b.ResetTimer()
+	var an *core.Analysis
+	for i := 0; i < b.N; i++ {
+		var err error
+		an, err = core.Analyze("balance", nf.Prog, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rendered := model.Render(an.Model)
+	if len(rendered) == 0 {
+		b.Fatal("empty render")
+	}
+	b.ReportMetric(float64(len(an.Model.Entries)), "entries")
+	b.ReportMetric(float64(len(an.Model.Tables())), "config_tables")
+}
+
+// --- Accuracy (§5) -----------------------------------------------------
+
+func benchAccuracyDiff(b *testing.B, name string) {
+	nf := nfs.MustLoad(name)
+	opts := core.Options{}
+	an, err := core.Analyze(name, nf.Prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.New(1).RandomTrace(1000)
+	b.ResetTimer()
+	var res *core.DiffResult
+	for i := 0; i < b.N; i++ {
+		res, err = an.DiffTest(trace, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Mismatches != 0 {
+		b.Fatalf("differential mismatch: %s", res.FirstDiff)
+	}
+	b.ReportMetric(float64(res.Trials), "trials")
+	b.ReportMetric(float64(res.Mismatches), "mismatches")
+}
+
+func BenchmarkAccuracy_DiffTest1000_lb(b *testing.B)        { benchAccuracyDiff(b, "lb") }
+func BenchmarkAccuracy_DiffTest1000_balance(b *testing.B)   { benchAccuracyDiff(b, "balance") }
+func BenchmarkAccuracy_DiffTest1000_snortlite(b *testing.B) { benchAccuracyDiff(b, "snortlite") }
+func BenchmarkAccuracy_DiffTest1000_nat(b *testing.B)       { benchAccuracyDiff(b, "nat") }
+func BenchmarkAccuracy_DiffTest1000_firewall(b *testing.B)  { benchAccuracyDiff(b, "firewall") }
+
+func BenchmarkAccuracy_PathEquivalence_lb(b *testing.B) {
+	nf := nfs.MustLoad("lb")
+	opts := core.Options{}
+	an, err := core.Analyze("lb", nf.Prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := an.CheckPathEquivalence(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Equivalent() {
+			b.Fatal("path sets differ")
+		}
+	}
+}
+
+// --- §4 verification: SE on model vs original -------------------------
+
+func BenchmarkVerification_ModelVsOrig_snortlite(b *testing.B) {
+	rows, err := experiments.Verification([]string{"snortlite"}, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rows[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Verification([]string{"snortlite"}, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.OrigPaths), "orig_paths")
+	b.ReportMetric(float64(r.ModelPaths), "model_paths")
+	b.ReportMetric(r.OrigTime.Seconds()/r.ModelTime.Seconds(), "orig_over_model_time")
+}
+
+// --- model vs program per-packet forwarding cost -----------------------
+
+func BenchmarkForwarding_OriginalProgram_lb(b *testing.B) {
+	nf := nfs.MustLoad("lb")
+	in, err := interp.New(nf.Prog, "process", interp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.New(3).ClientServerTrace("3.3.3.3", 80, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Process(trace[i%len(trace)].ToValue()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwarding_SynthesizedModel_lb(b *testing.B) {
+	nf := nfs.MustLoad("lb")
+	an, err := core.Analyze("lb", nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.New(3).ClientServerTrace("3.3.3.3", 80, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Process(trace[i%len(trace)].ToValue()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §4 applications ---------------------------------------------------
+
+func BenchmarkApplication_ChainReachability(b *testing.B) {
+	ids := nfs.MustLoad("snortlite")
+	lb := nfs.MustLoad("lb")
+	anIDS, err := core.Analyze("snortlite", ids.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anLB, err := core.Analyze("lb", lb.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hops := []verify.Hop{{Name: "ids", Model: anIDS.Model}, {Name: "lb", Model: anLB.Model}}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		ws, err := verify.ChainReachable(hops, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(ws)
+	}
+	b.ReportMetric(float64(n), "witnesses")
+}
+
+func BenchmarkApplication_ChainCompose(b *testing.B) {
+	var models []chain.NamedModel
+	for _, name := range []string{"firewall", "snortlite", "lb"} {
+		nf := nfs.MustLoad(name)
+		an, err := core.Analyze(name, nf.Prog, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		models = append(models, chain.NamedModel{Name: name, Model: an.Model})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orders := chain.Compose(models)
+		if len(orders) != 6 {
+			b.Fatal("bad order count")
+		}
+	}
+}
+
+func BenchmarkApplication_BuzzGenerate_firewall(b *testing.B) {
+	nf := nfs.MustLoad("firewall")
+	an, err := core.Analyze("firewall", nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var covered, total int
+	for i := 0; i < b.N; i++ {
+		suite, err := buzz.Generate(an.Model, cloneVals(config), cloneVals(state), buzz.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered, total = suite.Coverage()
+	}
+	b.ReportMetric(float64(covered), "covered_entries")
+	b.ReportMetric(float64(total), "total_entries")
+}
+
+func cloneVals(m map[string]value.Value) map[string]value.Value {
+	out := make(map[string]value.Value, len(m))
+	for k, v := range m {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// Solver pruning: without feasibility checks, syntactically possible but
+// semantically infeasible forks survive and inflate the path count.
+func BenchmarkAblation_SolverPruning_off(b *testing.B) {
+	benchAblationPruning(b, true)
+}
+
+func BenchmarkAblation_SolverPruning_on(b *testing.B) {
+	benchAblationPruning(b, false)
+}
+
+func benchAblationPruning(b *testing.B, noPruning bool) {
+	// Correlated branches: without solver pruning, the contradictory
+	// combinations (ttl<10 on one branch, ttl>=10 on the next) survive
+	// and the path count squares.
+	src := `
+func process(pkt) {
+    if pkt.ttl < 10 { a = 1; } else { a = 2; }
+    if pkt.ttl < 10 { bb = 10; } else { bb = 20; }
+    if pkt.ttl >= 10 { c = 100; } else { c = 200; }
+    pkt.x = a + bb + c;
+    send(pkt);
+}`
+	nf, err := nfs.FromSource("correlated", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{NoPruning: noPruning, MaxPaths: 8192}
+	b.ResetTimer()
+	var an *core.Analysis
+	for i := 0; i < b.N; i++ {
+		an, err = core.Analyze("correlated", nf.Prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(an.Metrics.EPSlice), "slice_paths")
+}
+
+// Path budget: original-program exploration cost grows with the budget
+// until exhaustion — the knob behind the ">1000 paths" cell.
+func BenchmarkAblation_PathBudget_128(b *testing.B)  { benchAblationBudget(b, 128) }
+func BenchmarkAblation_PathBudget_512(b *testing.B)  { benchAblationBudget(b, 512) }
+func BenchmarkAblation_PathBudget_2048(b *testing.B) { benchAblationBudget(b, 2048) }
+
+func benchAblationBudget(b *testing.B, budget int) {
+	nf := nfs.MustLoad("snortlite")
+	opts := core.Options{MaxPaths: budget, MeasureOriginal: true}
+	b.ResetTimer()
+	var an *core.Analysis
+	for i := 0; i < b.N; i++ {
+		var err error
+		an, err = core.Analyze("snortlite", nf.Prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(an.Metrics.EPOrig), "orig_paths")
+}
+
+// Loop bound: symbolic loop unrolling depth vs. path count on an
+// input-dependent loop (the §3.2 discussion).
+func BenchmarkAblation_LoopBound(b *testing.B) {
+	src := `
+func process(pkt) {
+    i = 0;
+    while i < pkt.n {
+        i = i + 1;
+    }
+    pkt.iterations = i;
+    send(pkt);
+}`
+	for _, bound := range []int{4, 8, 16} {
+		bound := bound
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			nf, err := nfs.FromSource("loopy", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var an *core.Analysis
+			for i := 0; i < b.N; i++ {
+				an, err = core.Analyze("loopy", nf.Prog, core.Options{LoopBound: bound})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(an.Metrics.EPSlice), "paths")
+		})
+	}
+}
+
+// Solver micro-benchmarks: the feasibility check is the inner loop of
+// path exploration.
+func BenchmarkSolver_SatConj_feasible(b *testing.B) {
+	lits := []solver.Term{
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.dport"}, Y: solver.Const{V: value.Int(80)}},
+		solver.In{K: solver.Var{Name: "pkt.sip"}, M: solver.MapVar{Name: "m@0"}},
+		solver.Bin{Op: ">", X: solver.Var{Name: "pkt.ttl"}, Y: solver.Const{V: value.Int(0)}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !solver.SatConj(lits) {
+			b.Fatal("should be sat")
+		}
+	}
+}
+
+func BenchmarkSolver_SatConj_infeasible(b *testing.B) {
+	x := solver.Var{Name: "x"}
+	lits := []solver.Term{
+		solver.Bin{Op: "==", X: x, Y: solver.Const{V: value.Int(1)}},
+		solver.Bin{Op: "==", X: x, Y: solver.Const{V: value.Int(2)}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if solver.SatConj(lits) {
+			b.Fatal("should be unsat")
+		}
+	}
+}
+
+// Concrete interpreter throughput on the LB under realistic traffic.
+func BenchmarkInterp_LoadBalancer(b *testing.B) {
+	nf := nfs.MustLoad("lb")
+	in, err := interp.New(nf.Prog, "process", interp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.New(5).ClientServerTrace("3.3.3.3", 80, 512)
+	vals := make([]value.Value, len(trace))
+	for i, p := range trace {
+		vals[i] = p.ToValue()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Process(vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Model minimization cost and effect (extension): entries before/after.
+func BenchmarkModelMinimize_snortlite(b *testing.B) {
+	nf := nfs.MustLoad("snortlite")
+	an, err := core.Analyze("snortlite", nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var min *model.Model
+	for i := 0; i < b.N; i++ {
+		min = model.Minimize(an.Model)
+	}
+	b.ReportMetric(float64(len(an.Model.Entries)), "entries_before")
+	b.ReportMetric(float64(len(min.Entries)), "entries_after")
+}
+
+// Multi-step symbolic reachability (extension): proving the firewall's
+// inbound-allow entry needs two packets.
+func BenchmarkEntryReachable_firewall(b *testing.B) {
+	nf := nfs.MustLoad("firewall")
+	an, err := core.Analyze("firewall", nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := -1
+	for i := range an.Model.Entries {
+		e := &an.Model.Entries[i]
+		if !e.Dropped() && len(e.StateMatch) > 0 {
+			target = i
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := verify.EntryReachable(an.Model, target, state, 2)
+		if err != nil || !res.Reachable {
+			b.Fatal("target should be 2-step reachable")
+		}
+	}
+}

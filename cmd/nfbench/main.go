@@ -1,0 +1,73 @@
+// Command nfbench regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|all]
+//	        [-nfs lb,balance,...] [-maxpaths 1024] [-trials 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nfactor/internal/experiments"
+	"nfactor/internal/nfs"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | all")
+	nfsFlag := flag.String("nfs", "", "comma-separated NF subset (default: whole corpus)")
+	maxPaths := flag.Int("maxpaths", 1024, "path budget for original-program symbolic execution (the paper's snort run exceeded it)")
+	trials := flag.Int("trials", 1000, "random packets per NF in the accuracy experiment")
+	seed := flag.Int64("seed", 1, "trace generator seed")
+	flag.Parse()
+
+	names := nfs.Names()
+	if *nfsFlag != "" {
+		names = strings.Split(*nfsFlag, ",")
+	}
+
+	run := func(which string) bool { return *exp == "all" || *exp == which }
+
+	if run("table1") {
+		out, err := experiments.Table1()
+		check(err)
+		fmt.Println(out)
+	}
+	if run("table2") {
+		rows, err := experiments.Table2(names, *maxPaths)
+		check(err)
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if run("figure1") {
+		out, err := experiments.Figure1Slice()
+		check(err)
+		fmt.Println(out)
+	}
+	if run("figure6") {
+		out, err := experiments.Figure6()
+		check(err)
+		fmt.Println("Figure 6: NFactor output for balance")
+		fmt.Println(out)
+	}
+	if run("accuracy") {
+		rows, err := experiments.Accuracy(names, *trials, *seed)
+		check(err)
+		fmt.Println(experiments.FormatAccuracy(rows))
+	}
+	if run("verification") {
+		rows, err := experiments.Verification(names, *maxPaths)
+		check(err)
+		fmt.Println(experiments.FormatVerification(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command nfreplay replays a packet trace through an NF — the original
+// program, its synthesized model, or both side by side (-side diff,
+// the §5 differential methodology on operator-supplied traffic).
+//
+// Usage:
+//
+//	nfreplay -corpus lb -trace flows.txt [-side program|model|diff]
+//
+// Trace format (one packet per line, # comments allowed):
+//
+//	tcp 10.0.0.1:1234 > 3.3.3.3:80 [S] ttl=64 len=0 iface=eth0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nfactor"
+)
+
+func main() {
+	corpus := flag.String("corpus", "", "corpus NF to replay against")
+	file := flag.String("file", "", "NFLang source file to replay against")
+	traceFile := flag.String("trace", "", "trace file (- for stdin)")
+	side := flag.String("side", "diff", "program | model | diff")
+	flag.Parse()
+
+	if (*corpus == "") == (*file == "") || *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl) -trace file [-side program|model|diff]")
+		os.Exit(2)
+	}
+
+	var res *nfactor.Result
+	var err error
+	if *corpus != "" {
+		res, err = nfactor.AnalyzeCorpus(*corpus, nfactor.Options{})
+	} else {
+		data, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		res, err = nfactor.AnalyzeSource(*file, string(data), nfactor.Options{})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	in := os.Stdin
+	if *traceFile != "-" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	trace, err := nfactor.ParseTrace(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *side {
+	case "diff":
+		mism, first, err := res.DiffTestTrace(trace)
+		if err != nil {
+			fatal(err)
+		}
+		if mism == 0 {
+			fmt.Printf("OK: program and model agreed on all %d packets\n", len(trace))
+			return
+		}
+		fmt.Printf("DIVERGED on %d of %d packets; first: %s\n", mism, len(trace), first)
+		os.Exit(1)
+	case "program", "model":
+		var verdicts []nfactor.Verdict
+		if *side == "program" {
+			verdicts, err = res.ReplayProgram(trace)
+		} else {
+			verdicts, err = res.ReplayModel(trace)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		for i, v := range verdicts {
+			fmt.Printf("%4d  %-55s %s\n", i+1, trace[i], v)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -side %q", *side))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nfreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Chain composition and verification: the paper's §4 applications on the
+// motivating example — composing {FW, IDS} with {LB}. The synthesized
+// models (a) rank the chain orders by header-rewrite hazards (PGA-style
+// composition) and (b) prove isolation properties of the chosen chain
+// symbolically (stateful-HSA-style verification).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/core"
+	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+)
+
+func analyzed(name string) *core.Analysis {
+	nf, err := nfs.Load(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := core.Analyze(name, nf.Prog, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return an
+}
+
+func main() {
+	fw := analyzed("firewall")
+	ids := analyzed("snortlite")
+	lb := analyzed("lb")
+
+	// --- composition: what order? ---------------------------------
+	nfsList := []chain.NamedModel{
+		{Name: "FW", Model: fw.Model},
+		{Name: "IDS", Model: ids.Model},
+		{Name: "LB", Model: lb.Model},
+	}
+	for _, nm := range nfsList {
+		fmt.Printf("%-4s matches %v, rewrites %v\n",
+			nm.Name, chain.MatchedFields(nm.Model), chain.ModifiedFields(nm.Model))
+	}
+	fmt.Println("\ncompositions, best first:")
+	for _, o := range chain.Compose(nfsList) {
+		mark := " "
+		if len(o.Hazards) == 0 {
+			mark = "*"
+		}
+		fmt.Printf(" %s %-20s hazards=%d\n", mark, strings.Join(o.Names, "->"), len(o.Hazards))
+	}
+
+	// --- verification: is telnet isolated through the chain? -------
+	hops := []verify.Hop{
+		{Name: "ids", Model: ids.Model},
+		{Name: "lb", Model: lb.Model},
+	}
+	telnet := []solver.Term{
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.dport"}, Y: solver.Const{V: value.Int(23)}},
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.proto"}, Y: solver.Const{V: value.Str("tcp")}},
+		solver.Bin{Op: "==", X: solver.Var{Name: "mode"}, Y: solver.Const{V: value.Str("IPS")}},
+	}
+	blocked, ws, err := verify.Blocked(hops, telnet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntelnet (tcp/23) through IDS(IPS mode) -> LB: blocked=%v (witnesses=%d)\n", blocked, len(ws))
+
+	web := []solver.Term{
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.dport"}, Y: solver.Const{V: value.Int(80)}},
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.proto"}, Y: solver.Const{V: value.Str("tcp")}},
+	}
+	blocked, ws, err = verify.Blocked(hops, web)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web (tcp/80)    through IDS -> LB:           blocked=%v (witnesses=%d)\n", blocked, len(ws))
+	if len(ws) > 0 {
+		fmt.Printf("  e.g. %s\n", ws[0])
+	}
+}

@@ -1,0 +1,3 @@
+module nfactor
+
+go 1.22

@@ -1,0 +1,330 @@
+// Package buzz implements the paper's §4 "Testing" application: model-
+// guided test packet generation, complementary to BUZZ. Where BUZZ builds
+// its NF models manually from domain knowledge, here the NFactor-
+// synthesized model drives generation: each table entry is a test target,
+// and a packet sequence is synthesized that steers the NF's state until
+// every reachable entry has fired.
+package buzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// TestStep is one generated test packet and the model entry it exercised.
+type TestStep struct {
+	Pkt   value.Value
+	Entry int // entry index fired (-1: default drop)
+}
+
+// Suite is a generated test suite.
+type Suite struct {
+	Steps []TestStep
+	// Covered[i] is true when entry i fired at least once.
+	Covered []bool
+}
+
+// Coverage returns covered and total entry counts.
+func (s *Suite) Coverage() (covered, total int) {
+	for _, c := range s.Covered {
+		if c {
+			covered++
+		}
+	}
+	return covered, len(s.Covered)
+}
+
+// Options configure generation.
+type Options struct {
+	Seed      int64
+	MaxRounds int // synthesis rounds (default 8)
+	Tries     int // random completions per entry per round (default 64)
+}
+
+// Generate synthesizes a packet sequence covering as many model entries
+// as possible. config/initState instantiate the model (as in
+// model.NewInstance); the generator owns the instance and advances its
+// state with every emitted packet, so state-dependent entries (e.g.
+// "existing connection") become coverable after the state-creating
+// entries fire.
+func Generate(m *model.Model, config, initState map[string]value.Value, opts Options) (*Suite, error) {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 8
+	}
+	if opts.Tries == 0 {
+		opts.Tries = 64
+	}
+	inst, err := model.NewInstance(m, config, initState)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	suite := &Suite{Covered: make([]bool, len(m.Entries))}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		progress := false
+		for i := range m.Entries {
+			if suite.Covered[i] {
+				continue
+			}
+			pkt := synthesize(m, &m.Entries[i], inst, config, rng, opts.Tries)
+			if pkt.Kind != value.KindPacket {
+				continue
+			}
+			_, fired, err := inst.ProcessTraced(pkt)
+			if err != nil {
+				continue // guard evaluation error on an unrelated entry; skip
+			}
+			suite.Steps = append(suite.Steps, TestStep{Pkt: pkt, Entry: fired})
+			if fired >= 0 && !suite.Covered[fired] {
+				suite.Covered[fired] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return suite, nil
+}
+
+// synthesize attempts to build a concrete packet satisfying the entry's
+// guard under the instance's current state: constraint-directed field
+// seeding plus randomized completion, validated by concrete guard
+// evaluation.
+func synthesize(m *model.Model, e *model.Entry, inst *model.Instance, config map[string]value.Value, rng *rand.Rand, tries int) value.Value {
+	guard := e.Guard()
+	for attempt := 0; attempt < tries; attempt++ {
+		fields := map[string]value.Value{
+			"sip":      value.Str(randIP(rng)),
+			"dip":      value.Str(randIP(rng)),
+			"sport":    value.Int(int64(1 + rng.Intn(65535))),
+			"dport":    value.Int(int64(1 + rng.Intn(65535))),
+			"proto":    value.Str([]string{"tcp", "udp", "icmp"}[rng.Intn(3)]),
+			"flags":    value.Str([]string{"", "S", "A", "SA"}[rng.Intn(4)]),
+			"ttl":      value.Int(64),
+			"length":   value.Int(int64(rng.Intn(1400))),
+			"in_iface": value.Str([]string{"eth0", "lan", "wan"}[rng.Intn(3)]),
+		}
+		env := synthEnv{fields: fields, state: inst.State(), config: config}
+		for _, g := range guard {
+			seedFromAtom(g, fields, env, rng)
+		}
+		pkt := value.NewPacket(fields)
+		ok := true
+		for _, g := range guard {
+			b, err := solver.EvalBool(g, evalEnv{pkt: pkt, state: inst.State(), config: config})
+			if err != nil || !b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return pkt
+		}
+	}
+	return value.Value{}
+}
+
+type synthEnv struct {
+	fields map[string]value.Value
+	state  map[string]value.Value
+	config map[string]value.Value
+}
+
+type evalEnv struct {
+	pkt    value.Value
+	state  map[string]value.Value
+	config map[string]value.Value
+}
+
+// Lookup implements solver.Env.
+func (e evalEnv) Lookup(name string) (value.Value, bool) {
+	if f, ok := strings.CutPrefix(name, "pkt."); ok {
+		v, ok := e.pkt.Pkt.Fields[f]
+		return v, ok
+	}
+	if base, ok := strings.CutSuffix(name, "@0"); ok {
+		v, ok := e.state[base]
+		return v, ok
+	}
+	v, ok := e.config[name]
+	return v, ok
+}
+
+// stateEnv resolves non-packet variables only, for computing the ground
+// side of equality atoms.
+type stateEnv struct {
+	state  map[string]value.Value
+	config map[string]value.Value
+}
+
+// Lookup implements solver.Env.
+func (e stateEnv) Lookup(name string) (value.Value, bool) {
+	if strings.HasPrefix(name, "pkt.") {
+		return value.Value{}, false
+	}
+	if base, ok := strings.CutSuffix(name, "@0"); ok {
+		v, ok := e.state[base]
+		return v, ok
+	}
+	v, ok := e.config[name]
+	return v, ok
+}
+
+// seedFromAtom plants field values implied by one guard literal.
+func seedFromAtom(g solver.Term, fields map[string]value.Value, env synthEnv, rng *rand.Rand) {
+	ground := stateEnv{state: env.state, config: env.config}
+	switch x := g.(type) {
+	case solver.Bin:
+		// pkt.f == <ground term> (either side).
+		if f, ok := pktFieldOf(x.X); ok {
+			if v, err := solver.Eval(x.Y, ground); err == nil {
+				seedCmp(fields, f, x.Op, v, rng)
+			}
+		} else if f, ok := pktFieldOf(x.Y); ok {
+			if v, err := solver.Eval(x.X, ground); err == nil {
+				seedCmp(fields, f, flipOp(x.Op), v, rng)
+			}
+		}
+	case solver.In:
+		// (pkt.a, pkt.b, …) in <ground map>: pick a key from the map and
+		// assign its components to the packet fields.
+		m, err := solver.Eval(x.M, ground)
+		if err != nil || m.Kind != value.KindMap || m.Map.Len() == 0 {
+			return
+		}
+		keys := m.Map.Keys()
+		k := keys[rng.Intn(len(keys))]
+		assignKey(x.K, k, fields)
+	case solver.Un:
+		if x.Op == "!" {
+			// Negated membership and flags: random defaults usually
+			// satisfy them; nothing to seed.
+			return
+		}
+	case solver.Call:
+		if x.Fn == "contains" && len(x.Args) == 2 {
+			if f, ok := pktFieldOf(x.Args[0]); ok {
+				if c, isC := x.Args[1].(solver.Const); isC && c.V.Kind == value.KindStr {
+					cur := ""
+					if v, ok := fields[f]; ok && v.Kind == value.KindStr {
+						cur = v.S
+					}
+					if !strings.Contains(cur, c.V.S) {
+						fields[f] = value.Str(cur + c.V.S)
+					}
+				}
+			}
+		}
+	}
+}
+
+func seedCmp(fields map[string]value.Value, f, op string, v value.Value, rng *rand.Rand) {
+	switch op {
+	case "==":
+		fields[f] = v
+	case "!=":
+		if cur, ok := fields[f]; ok && value.Equal(cur, v) {
+			if v.Kind == value.KindInt {
+				fields[f] = value.Int(v.I + 1)
+			} else if v.Kind == value.KindStr {
+				fields[f] = value.Str(v.S + "x")
+			}
+		}
+	case "<", "<=":
+		if v.Kind == value.KindInt {
+			d := int64(1)
+			if op == "<=" {
+				d = 0
+			}
+			fields[f] = value.Int(v.I - d - int64(rng.Intn(8)))
+		}
+	case ">", ">=":
+		if v.Kind == value.KindInt {
+			d := int64(1)
+			if op == ">=" {
+				d = 0
+			}
+			fields[f] = value.Int(v.I + d + int64(rng.Intn(8)))
+		}
+	}
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// pktFieldOf returns the field name when t is a pkt.* variable.
+func pktFieldOf(t solver.Term) (string, bool) {
+	v, ok := t.(solver.Var)
+	if !ok {
+		return "", false
+	}
+	return strings.CutPrefix(v.Name, "pkt.")
+}
+
+// assignKey maps a key tuple term (pkt.a, pkt.b, const, …) onto a
+// concrete key value, writing the packet fields elementwise.
+func assignKey(keyTerm solver.Term, key value.Value, fields map[string]value.Value) {
+	if f, ok := pktFieldOf(keyTerm); ok {
+		fields[f] = key
+		return
+	}
+	tup, ok := keyTerm.(solver.Tuple)
+	if !ok || key.Kind != value.KindTuple || len(tup.Elems) != len(key.Tuple) {
+		return
+	}
+	for i, el := range tup.Elems {
+		if f, ok := pktFieldOf(el); ok {
+			fields[f] = key.Tuple[i]
+		}
+	}
+}
+
+func randIP(rng *rand.Rand) string {
+	return fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(223), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+}
+
+// Render prints the suite as a human-readable test plan.
+func Render(m *model.Model, s *Suite) string {
+	var sb strings.Builder
+	covered, total := s.Coverage()
+	fmt.Fprintf(&sb, "BUZZ-style test suite for %s: %d/%d entries covered, %d packets\n",
+		m.NFName, covered, total, len(s.Steps))
+	for i, st := range s.Steps {
+		target := "default-drop"
+		if st.Entry >= 0 {
+			target = fmt.Sprintf("entry %d", st.Entry)
+		}
+		fmt.Fprintf(&sb, "  %2d. %s -> %s\n", i+1, st.Pkt, target)
+	}
+	var missing []int
+	for i, c := range s.Covered {
+		if !c {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		fmt.Fprintf(&sb, "  uncovered entries: %v\n", missing)
+	}
+	return sb.String()
+}

@@ -1,0 +1,402 @@
+// Package cfg builds statement-level control-flow graphs for NFLang
+// functions. The CFG is the substrate for reaching definitions
+// (internal/dataflow), control dependence (internal/pdg) and therefore
+// program slicing (internal/slice) — the giri-equivalent layer of the
+// NFactor pipeline.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"nfactor/internal/lang"
+)
+
+// NodeKind distinguishes synthetic from statement nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindEntry NodeKind = iota
+	KindExit
+	KindStmt   // simple statement (assign, expr, return, break, continue)
+	KindBranch // condition of an if / while / for header
+)
+
+// Node is a CFG node. Statement nodes carry the AST statement; branch
+// nodes carry the If/While/For statement whose condition they evaluate.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Stmt lang.Stmt
+}
+
+// String renders the node for diagnostics.
+func (n *Node) String() string {
+	switch n.Kind {
+	case KindEntry:
+		return "ENTRY"
+	case KindExit:
+		return "EXIT"
+	default:
+		return fmt.Sprintf("n%d@%s", n.ID, n.Stmt.NodePos())
+	}
+}
+
+// Graph is a control-flow graph over one function (with the program's
+// global initializers as a prelude, so definitions of persistent
+// variables reach their uses inside the packet-processing function).
+type Graph struct {
+	Nodes []*Node
+	Entry *Node
+	Exit  *Node
+
+	succs  map[int][]int
+	preds  map[int][]int
+	byStmt map[int]*Node
+}
+
+// Succs returns the successor node IDs of id, in insertion order.
+func (g *Graph) Succs(id int) []int { return g.succs[id] }
+
+// Preds returns the predecessor node IDs of id.
+func (g *Graph) Preds(id int) []int { return g.preds[id] }
+
+// NodeByStmt returns the CFG node for an AST statement ID, or nil (blocks
+// have no node of their own).
+func (g *Graph) NodeByStmt(stmtID int) *Node { return g.byStmt[stmtID] }
+
+// Node returns the node with the given CFG node ID.
+func (g *Graph) Node(id int) *Node { return g.Nodes[id] }
+
+func (g *Graph) addNode(kind NodeKind, s lang.Stmt) *Node {
+	n := &Node{ID: len(g.Nodes), Kind: kind, Stmt: s}
+	g.Nodes = append(g.Nodes, n)
+	if s != nil {
+		g.byStmt[s.StmtID()] = n
+	}
+	return n
+}
+
+func (g *Graph) addEdge(from, to int) {
+	for _, s := range g.succs[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+type loopCtx struct {
+	head  int   // branch node to continue to
+	after []int // filled later: break sources jump past the loop
+}
+
+type builder struct {
+	g     *Graph
+	loops []*loopCtx
+	// breakEdges records (fromNode, loop) pairs resolved once the loop's
+	// after-node is known.
+	pendingBreaks map[*loopCtx][]int
+}
+
+// Build constructs the CFG of function fname in prog, with the top-level
+// global assignments as a prelude between ENTRY and the function body.
+func Build(prog *lang.Program, fname string) (*Graph, error) {
+	fn := prog.Func(fname)
+	if fn == nil {
+		return nil, fmt.Errorf("cfg: no function %q", fname)
+	}
+	g := &Graph{
+		succs:  make(map[int][]int),
+		preds:  make(map[int][]int),
+		byStmt: make(map[int]*Node),
+	}
+	b := &builder{g: g, pendingBreaks: make(map[*loopCtx][]int)}
+	g.Entry = g.addNode(KindEntry, nil)
+	g.Exit = g.addNode(KindExit, nil)
+
+	tails := []int{g.Entry.ID}
+	for _, gl := range prog.Globals {
+		n := g.addNode(KindStmt, gl)
+		b.link(tails, n.ID)
+		tails = []int{n.ID}
+	}
+	tails, err := b.buildBlock(fn.Body, tails)
+	if err != nil {
+		return nil, err
+	}
+	b.link(tails, g.Exit.ID)
+	g.prune()
+	return g, nil
+}
+
+func (b *builder) link(from []int, to int) {
+	for _, f := range from {
+		b.g.addEdge(f, to)
+	}
+}
+
+// buildBlock threads the block's statements, returning the dangling tails
+// that should flow to whatever follows the block.
+func (b *builder) buildBlock(blk *lang.BlockStmt, tails []int) ([]int, error) {
+	cur := tails
+	for _, s := range blk.Stmts {
+		var err error
+		cur, err = b.buildStmt(s, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func (b *builder) buildStmt(s lang.Stmt, tails []int) ([]int, error) {
+	g := b.g
+	switch st := s.(type) {
+	case *lang.AssignStmt, *lang.ExprStmt:
+		n := g.addNode(KindStmt, s)
+		b.link(tails, n.ID)
+		return []int{n.ID}, nil
+
+	case *lang.ReturnStmt:
+		n := g.addNode(KindStmt, s)
+		b.link(tails, n.ID)
+		g.addEdge(n.ID, g.Exit.ID)
+		return nil, nil
+
+	case *lang.BreakStmt:
+		if len(b.loops) == 0 {
+			return nil, fmt.Errorf("cfg: break outside loop at %s", st.NodePos())
+		}
+		n := g.addNode(KindStmt, s)
+		b.link(tails, n.ID)
+		lc := b.loops[len(b.loops)-1]
+		b.pendingBreaks[lc] = append(b.pendingBreaks[lc], n.ID)
+		return nil, nil
+
+	case *lang.ContinueStmt:
+		if len(b.loops) == 0 {
+			return nil, fmt.Errorf("cfg: continue outside loop at %s", st.NodePos())
+		}
+		n := g.addNode(KindStmt, s)
+		b.link(tails, n.ID)
+		g.addEdge(n.ID, b.loops[len(b.loops)-1].head)
+		return nil, nil
+
+	case *lang.IfStmt:
+		cond := g.addNode(KindBranch, s)
+		b.link(tails, cond.ID)
+		thenTails, err := b.buildBlock(st.Then, []int{cond.ID})
+		if err != nil {
+			return nil, err
+		}
+		out := thenTails
+		if st.Else != nil {
+			elseTails, err := b.buildBlock(st.Else, []int{cond.ID})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, elseTails...)
+		} else {
+			out = append(out, cond.ID)
+		}
+		return out, nil
+
+	case *lang.WhileStmt:
+		cond := g.addNode(KindBranch, s)
+		b.link(tails, cond.ID)
+		lc := &loopCtx{head: cond.ID}
+		b.loops = append(b.loops, lc)
+		bodyTails, err := b.buildBlock(st.Body, []int{cond.ID})
+		if err != nil {
+			return nil, err
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.link(bodyTails, cond.ID)
+		out := []int{cond.ID}
+		out = append(out, b.pendingBreaks[lc]...)
+		delete(b.pendingBreaks, lc)
+		return out, nil
+
+	case *lang.ForStmt:
+		head := g.addNode(KindBranch, s)
+		b.link(tails, head.ID)
+		lc := &loopCtx{head: head.ID}
+		b.loops = append(b.loops, lc)
+		bodyTails, err := b.buildBlock(st.Body, []int{head.ID})
+		if err != nil {
+			return nil, err
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.link(bodyTails, head.ID)
+		out := []int{head.ID}
+		out = append(out, b.pendingBreaks[lc]...)
+		delete(b.pendingBreaks, lc)
+		return out, nil
+
+	case *lang.BlockStmt:
+		return b.buildBlock(st, tails)
+
+	default:
+		return nil, fmt.Errorf("cfg: unsupported statement %T", s)
+	}
+}
+
+// prune removes nodes unreachable from ENTRY (dead code after returns),
+// keeping analyses well-defined. Node IDs are reassigned densely.
+func (g *Graph) prune() {
+	reach := map[int]bool{g.Entry.ID: true}
+	work := []int{g.Entry.ID}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range g.succs[n] {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	reach[g.Exit.ID] = true // always keep EXIT
+
+	remap := make(map[int]int, len(g.Nodes))
+	var nodes []*Node
+	for _, n := range g.Nodes {
+		if reach[n.ID] {
+			remap[n.ID] = len(nodes)
+			nodes = append(nodes, n)
+		}
+	}
+	succs := make(map[int][]int)
+	preds := make(map[int][]int)
+	for _, n := range nodes {
+		for _, s := range g.succs[n.ID] {
+			if !reach[s] {
+				continue
+			}
+			succs[remap[n.ID]] = append(succs[remap[n.ID]], remap[s])
+			preds[remap[s]] = append(preds[remap[s]], remap[n.ID])
+		}
+	}
+	byStmt := make(map[int]*Node)
+	for _, n := range nodes {
+		n.ID = remap[n.ID]
+		if n.Stmt != nil {
+			byStmt[n.Stmt.StmtID()] = n
+		}
+	}
+	g.Nodes, g.succs, g.preds, g.byStmt = nodes, succs, preds, byStmt
+}
+
+// Postdominators returns, for each node ID, the set of node IDs that
+// postdominate it (including itself). Nodes that cannot reach EXIT
+// (infinite loops) postdominate vacuously; NF per-packet functions always
+// reach EXIT.
+func (g *Graph) Postdominators() []map[int]bool {
+	return g.dominatorsOn(g.Exit.ID, g.preds, g.succs)
+}
+
+// Dominators returns, for each node ID, its dominator set.
+func (g *Graph) Dominators() []map[int]bool {
+	return g.dominatorsOn(g.Entry.ID, g.succs, g.preds)
+}
+
+// dominatorsOn runs the classic iterative dominator dataflow with root as
+// the start node and "pred" edges given by in.
+func (g *Graph) dominatorsOn(root int, _ map[int][]int, in map[int][]int) []map[int]bool {
+	n := len(g.Nodes)
+	dom := make([]map[int]bool, n)
+	all := map[int]bool{}
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if i == root {
+			dom[i] = map[int]bool{i: true}
+		} else {
+			dom[i] = cloneSet(all)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			var inter map[int]bool
+			for _, p := range in[i] {
+				if inter == nil {
+					inter = cloneSet(dom[p])
+				} else {
+					for k := range inter {
+						if !dom[p][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[i] = true
+			if !sameSet(inter, dom[i]) {
+				dom[i] = inter
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// ImmediatePostdominators computes ipdom for every node (the EXIT node
+// maps to itself). Nodes that cannot reach exit map to -1.
+func (g *Graph) ImmediatePostdominators() []int {
+	pdom := g.Postdominators()
+	n := len(g.Nodes)
+	ipdom := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i == g.Exit.ID {
+			ipdom[i] = i
+			continue
+		}
+		// ipdom is the strict postdominator with the smallest pdom set
+		// larger than {exit...} — equivalently the strict postdominator
+		// postdominated by all other strict postdominators.
+		strict := make([]int, 0, len(pdom[i]))
+		for d := range pdom[i] {
+			if d != i {
+				strict = append(strict, d)
+			}
+		}
+		sort.Slice(strict, func(a, b int) bool { return len(pdom[strict[a]]) > len(pdom[strict[b]]) })
+		if len(strict) == 0 {
+			ipdom[i] = -1
+			continue
+		}
+		ipdom[i] = strict[0]
+	}
+	return ipdom
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,300 @@
+package cfg
+
+import (
+	"testing"
+
+	"nfactor/internal/lang"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog := lang.MustParse(src)
+	g, err := Build(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLinearChain(t *testing.T) {
+	g := build(t, `
+x = 1;
+func process(pkt) {
+    a = x;
+    b = a + 1;
+}`)
+	// ENTRY → x=1 → a=x → b=a+1 → EXIT
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5", len(g.Nodes))
+	}
+	cur := g.Entry.ID
+	for i := 0; i < 3; i++ {
+		succs := g.Succs(cur)
+		if len(succs) != 1 {
+			t.Fatalf("node %d has %d succs", cur, len(succs))
+		}
+		cur = succs[0]
+	}
+	if succs := g.Succs(cur); len(succs) != 1 || succs[0] != g.Exit.ID {
+		t.Fatalf("last statement does not flow to EXIT: %v", succs)
+	}
+}
+
+func TestIfDiamond(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    if pkt.dport == 80 {
+        a = 1;
+    } else {
+        a = 2;
+    }
+    b = a;
+}`)
+	var branch *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branch = n
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch node")
+	}
+	if len(g.Succs(branch.ID)) != 2 {
+		t.Fatalf("branch succs = %v", g.Succs(branch.ID))
+	}
+	// Both arms converge on b = a.
+	join := -1
+	for _, arm := range g.Succs(branch.ID) {
+		s := g.Succs(arm)
+		if len(s) != 1 {
+			t.Fatalf("arm %d succs = %v", arm, s)
+		}
+		if join == -1 {
+			join = s[0]
+		} else if join != s[0] {
+			t.Fatalf("arms do not join: %d vs %d", join, s[0])
+		}
+	}
+}
+
+func TestIfWithoutElseFallThrough(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    if pkt.dport == 80 { a = 1; }
+    b = 2;
+}`)
+	var branch *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branch = n
+		}
+	}
+	if len(g.Succs(branch.ID)) != 2 {
+		t.Fatalf("branch without else should still have 2 succs, got %v", g.Succs(branch.ID))
+	}
+}
+
+func TestWhileLoopBackEdge(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    i = 0;
+    while i < 3 {
+        i = i + 1;
+    }
+    send(pkt);
+}`)
+	var head *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			head = n
+		}
+	}
+	// body node must loop back to the head
+	foundBack := false
+	for _, p := range g.Preds(head.ID) {
+		if p != g.Entry.ID && g.Node(p).Kind == KindStmt {
+			for _, s := range g.Succs(p) {
+				if s == head.ID {
+					foundBack = true
+				}
+			}
+		}
+	}
+	if !foundBack {
+		t.Error("no back edge to loop head")
+	}
+}
+
+func TestBreakContinueEdges(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    while true {
+        if pkt.ttl == 0 { break; }
+        if pkt.ttl == 1 { continue; }
+        pkt.ttl = pkt.ttl - 1;
+    }
+    send(pkt);
+}`)
+	var brk, cont *Node
+	for _, n := range g.Nodes {
+		switch n.Stmt.(type) {
+		case *lang.BreakStmt:
+			brk = n
+		case *lang.ContinueStmt:
+			cont = n
+		}
+	}
+	if brk == nil || cont == nil {
+		t.Fatal("missing break/continue nodes")
+	}
+	// break jumps to the send statement
+	bs := g.Succs(brk.ID)
+	if len(bs) != 1 {
+		t.Fatalf("break succs = %v", bs)
+	}
+	if es, ok := g.Node(bs[0]).Stmt.(*lang.ExprStmt); !ok || lang.ExprString(es.X) != "send(pkt)" {
+		t.Errorf("break target = %v", g.Node(bs[0]))
+	}
+	// continue jumps to a branch node (the loop head)
+	cs := g.Succs(cont.ID)
+	if len(cs) != 1 || g.Node(cs[0]).Kind != KindBranch {
+		t.Errorf("continue target = %v", cs)
+	}
+}
+
+func TestReturnEdgesToExitAndPrune(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    if pkt.dport == 80 {
+        return;
+    }
+    send(pkt);
+}`)
+	var ret *Node
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*lang.ReturnStmt); ok {
+			ret = n
+		}
+	}
+	if ret == nil {
+		t.Fatal("no return node")
+	}
+	if s := g.Succs(ret.ID); len(s) != 1 || s[0] != g.Exit.ID {
+		t.Errorf("return succs = %v", s)
+	}
+}
+
+func TestDeadCodePruned(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    return;
+    send(pkt);
+}`)
+	for _, n := range g.Nodes {
+		if es, ok := n.Stmt.(*lang.ExprStmt); ok {
+			t.Errorf("dead statement %s survived pruning", lang.ExprString(es.X))
+		}
+	}
+}
+
+func TestBreakOutsideLoopErrors(t *testing.T) {
+	prog := lang.MustParse(`func process(pkt) { break; }`)
+	if _, err := Build(prog, "process"); err == nil {
+		t.Error("break outside loop did not error")
+	}
+	prog = lang.MustParse(`func process(pkt) { continue; }`)
+	if _, err := Build(prog, "process"); err == nil {
+		t.Error("continue outside loop did not error")
+	}
+}
+
+func TestMissingFunctionErrors(t *testing.T) {
+	prog := lang.MustParse(`x = 1;`)
+	if _, err := Build(prog, "process"); err == nil {
+		t.Error("missing function did not error")
+	}
+}
+
+func TestPostdominators(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    if pkt.dport == 80 { a = 1; } else { a = 2; }
+    b = a;
+}`)
+	pdom := g.Postdominators()
+	var branch, join *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branch = n
+		}
+		if as, ok := n.Stmt.(*lang.AssignStmt); ok && lang.ExprString(as.LHS[0]) == "b" {
+			join = n
+		}
+	}
+	if !pdom[branch.ID][join.ID] {
+		t.Error("join does not postdominate branch")
+	}
+	for _, arm := range g.Succs(branch.ID) {
+		if pdom[branch.ID][arm] {
+			t.Errorf("arm %d postdominates branch", arm)
+		}
+	}
+	ipdom := g.ImmediatePostdominators()
+	if ipdom[branch.ID] != join.ID {
+		t.Errorf("ipdom(branch) = %d, want %d (join)", ipdom[branch.ID], join.ID)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := build(t, `
+func process(pkt) {
+    a = 1;
+    if a == 1 { b = 2; }
+    c = 3;
+}`)
+	dom := g.Dominators()
+	// Every node is dominated by ENTRY.
+	for _, n := range g.Nodes {
+		if !dom[n.ID][g.Entry.ID] {
+			t.Errorf("node %v not dominated by entry", n)
+		}
+	}
+	// The then-arm is dominated by the branch.
+	var branch, arm *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			branch = n
+		}
+		if as, ok := n.Stmt.(*lang.AssignStmt); ok && lang.ExprString(as.LHS[0]) == "b" {
+			arm = n
+		}
+	}
+	if !dom[arm.ID][branch.ID] {
+		t.Error("then-arm not dominated by branch")
+	}
+}
+
+func TestForLoopHeader(t *testing.T) {
+	g := build(t, `
+servers = [1, 2];
+func process(pkt) {
+    for s in servers {
+        send(pkt);
+    }
+}`)
+	var head *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			head = n
+		}
+	}
+	if head == nil {
+		t.Fatal("for header not a branch node")
+	}
+	if _, ok := head.Stmt.(*lang.ForStmt); !ok {
+		t.Fatalf("branch stmt is %T", head.Stmt)
+	}
+	if len(g.Succs(head.ID)) != 2 {
+		t.Errorf("for header succs = %v", g.Succs(head.ID))
+	}
+}

@@ -1,0 +1,189 @@
+// Package chain implements the paper's §4 "Service Policy Composition"
+// application: deciding the correct order of NFs in a composed service
+// chain from their synthesized models, in the spirit of PGA — but with
+// NFactor models (which capture state and header rewrites) instead of
+// stateless Pyretic models.
+//
+// The core observation is the paper's own example: {FW, IDS} + {LB} — is
+// the right composition {FW, IDS, LB} or {FW, LB, IDS}? An NF that
+// rewrites a header field (the LB rewrites addresses) placed before an NF
+// that matches on that field (the FW/IDS match on addresses) changes what
+// the downstream NF sees; the model makes both the modified-field set and
+// the matched-field set explicit.
+package chain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+)
+
+// NamedModel is a chain element.
+type NamedModel struct {
+	Name  string
+	Model *model.Model
+}
+
+// MatchedFields returns the packet header fields the model's entries
+// match on (fields appearing in flow-match conditions).
+func MatchedFields(m *model.Model) []string {
+	set := map[string]bool{}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		for _, c := range append(append([]solver.Term{}, e.FlowMatch...), e.StateMatch...) {
+			for _, v := range solver.Vars(c) {
+				if f, ok := strings.CutPrefix(v, "pkt."); ok {
+					set[f] = true
+				}
+			}
+		}
+	}
+	return sorted(set)
+}
+
+// ModifiedFields returns the packet header fields the model's actions
+// rewrite (non-identity transforms).
+func ModifiedFields(m *model.Model) []string {
+	set := map[string]bool{}
+	for i := range m.Entries {
+		for _, a := range m.Entries[i].Sends {
+			for _, f := range a.FieldNames() {
+				t := a.Fields[f]
+				if v, ok := t.(solver.Var); ok && v.Name == "pkt."+f {
+					continue // identity
+				}
+				set[f] = true
+			}
+		}
+	}
+	return sorted(set)
+}
+
+// Conflict describes an ordering hazard: placing Writer before Reader
+// changes what Reader matches on.
+type Conflict struct {
+	Writer string
+	Reader string
+	Fields []string
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s rewrites %v which %s matches on", c.Writer, c.Fields, c.Reader)
+}
+
+// Conflicts returns, for every ordered pair (A before B), the fields A
+// rewrites that B matches on.
+func Conflicts(nfs []NamedModel) []Conflict {
+	var out []Conflict
+	for _, a := range nfs {
+		aw := ModifiedFields(a.Model)
+		for _, b := range nfs {
+			if a.Name == b.Name {
+				continue
+			}
+			br := MatchedFields(b.Model)
+			inter := intersect(aw, br)
+			if len(inter) > 0 {
+				out = append(out, Conflict{Writer: a.Name, Reader: b.Name, Fields: inter})
+			}
+		}
+	}
+	return out
+}
+
+// Order is a proposed chain order with its hazard count.
+type Order struct {
+	Names   []string
+	Hazards []Conflict // writer placed before reader
+}
+
+// Compose enumerates all orders of the given NFs and returns them sorted
+// by ascending hazard count (then lexicographically); the first orders
+// are the safe compositions. A hazard materializes when a field-rewriting
+// NF precedes a field-matching NF.
+func Compose(nfs []NamedModel) []Order {
+	conf := Conflicts(nfs)
+	var perms [][]int
+	permute(len(nfs), &perms)
+	var out []Order
+	for _, p := range perms {
+		names := make([]string, len(p))
+		pos := map[string]int{}
+		for i, idx := range p {
+			names[i] = nfs[idx].Name
+			pos[nfs[idx].Name] = i
+		}
+		var hazards []Conflict
+		for _, c := range conf {
+			if pos[c.Writer] < pos[c.Reader] {
+				hazards = append(hazards, c)
+			}
+		}
+		out = append(out, Order{Names: names, Hazards: hazards})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Hazards) != len(out[j].Hazards) {
+			return len(out[i].Hazards) < len(out[j].Hazards)
+		}
+		return strings.Join(out[i].Names, ",") < strings.Join(out[j].Names, ",")
+	})
+	return out
+}
+
+// Safe returns only the orders with no hazards.
+func Safe(nfs []NamedModel) []Order {
+	var out []Order
+	for _, o := range Compose(nfs) {
+		if len(o.Hazards) == 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func permute(n int, out *[][]int) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			*out = append(*out, append([]int{}, idx...))
+			return
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func intersect(a, b []string) []string {
+	bs := map[string]bool{}
+	for _, x := range b {
+		bs[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if bs[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/nfs"
+)
+
+func loadModel(t *testing.T, name string) NamedModel {
+	t.Helper()
+	nf := nfs.MustLoad(name)
+	an, err := core.Analyze(name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NamedModel{Name: name, Model: an.Model}
+}
+
+func TestFieldSets(t *testing.T) {
+	lb := loadModel(t, "lb")
+	snort := loadModel(t, "snortlite")
+
+	lbMod := ModifiedFields(lb.Model)
+	if !contains(lbMod, "dip") || !contains(lbMod, "dport") {
+		t.Errorf("lb modified fields = %v, want address rewrites", lbMod)
+	}
+	snortMatch := MatchedFields(snort.Model)
+	if !contains(snortMatch, "dport") || !contains(snortMatch, "proto") {
+		t.Errorf("snortlite matched fields = %v", snortMatch)
+	}
+	snortMod := ModifiedFields(snort.Model)
+	if len(snortMod) != 0 {
+		t.Errorf("snortlite modifies fields %v, expected none (pass-through)", snortMod)
+	}
+}
+
+func TestConflictsLBvsIDS(t *testing.T) {
+	lb := loadModel(t, "lb")
+	snort := loadModel(t, "snortlite")
+	conf := Conflicts([]NamedModel{lb, snort})
+	// LB rewrites dport which the IDS matches on → a (lb before snortlite)
+	// hazard must be reported; the IDS modifies nothing, so no reverse
+	// hazard.
+	var found bool
+	for _, c := range conf {
+		if c.Writer == "lb" && c.Reader == "snortlite" && contains(c.Fields, "dport") {
+			found = true
+		}
+		if c.Writer == "snortlite" {
+			t.Errorf("spurious conflict: %s", c)
+		}
+	}
+	if !found {
+		t.Errorf("missing lb→snortlite dport conflict: %v", conf)
+	}
+}
+
+func TestComposeOrdersIDSBeforeLB(t *testing.T) {
+	// The paper's example: {FW, IDS} + {LB}. The safe compositions place
+	// the address-rewriting LB last.
+	fw := loadModel(t, "firewall")
+	ids := loadModel(t, "snortlite")
+	lb := loadModel(t, "lb")
+	orders := Compose([]NamedModel{fw, ids, lb})
+	if len(orders) != 6 {
+		t.Fatalf("orders = %d, want 3! = 6", len(orders))
+	}
+	best := orders[0]
+	if len(best.Hazards) != 0 {
+		t.Fatalf("no hazard-free order found; best = %v with %v", best.Names, best.Hazards)
+	}
+	if best.Names[len(best.Names)-1] != "lb" {
+		t.Errorf("best order %v does not place lb last", best.Names)
+	}
+	// Any order with lb first must carry hazards.
+	for _, o := range orders {
+		if o.Names[0] == "lb" && len(o.Hazards) == 0 {
+			t.Errorf("lb-first order %v reported hazard-free", o.Names)
+		}
+	}
+}
+
+func TestSafeFiltersHazards(t *testing.T) {
+	ids := loadModel(t, "snortlite")
+	lb := loadModel(t, "lb")
+	safe := Safe([]NamedModel{ids, lb})
+	if len(safe) == 0 {
+		t.Fatal("no safe order for {ids, lb}")
+	}
+	for _, o := range safe {
+		if o.Names[0] == "lb" {
+			t.Errorf("safe order starts with lb: %v", o.Names)
+		}
+	}
+}
+
+func TestConflictString(t *testing.T) {
+	c := Conflict{Writer: "a", Reader: "b", Fields: []string{"dport"}}
+	if !strings.Contains(c.String(), "a rewrites") || !strings.Contains(c.String(), "b matches") {
+		t.Errorf("conflict string = %q", c.String())
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/interp"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/solver"
+	"nfactor/internal/symexec"
+	"nfactor/internal/value"
+)
+
+// EquivReport is the outcome of the symbolic path-set comparison between
+// the original program's slice and the compiled model (§5 "we use
+// symbolic execution to exercise all possible execution paths on both
+// sides ... the two sets of paths are the same").
+type EquivReport struct {
+	ProgramPaths int
+	ModelPaths   int
+	// UncoveredProgram lists program paths no model path implies.
+	UncoveredProgram []string
+	// MismatchedModel lists model paths that imply no program path with
+	// identical actions.
+	MismatchedModel []string
+}
+
+// Equivalent reports whether the path sets matched.
+func (r *EquivReport) Equivalent() bool {
+	return len(r.UncoveredProgram) == 0 && len(r.MismatchedModel) == 0
+}
+
+// CheckPathEquivalence compiles the model back to an NF program,
+// symbolically executes it, and checks that (a) every model path's
+// condition implies exactly the condition of a program path with the same
+// actions, and (b) every program path is covered by at least one model
+// path. The model path set refines the program's (an entry's guard
+// negation splits into disjoint alternatives), so implication — not
+// syntactic equality — is the right comparison.
+func (an *Analysis) CheckPathEquivalence(opts Options) (*EquivReport, error) {
+	config, state, err := an.ConfigAndState(opts.ConfigOverride)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := model.Compile(an.Model, config, state)
+	if err != nil {
+		return nil, err
+	}
+	seOpts := opts.seOpts(an.Vars)
+	res, err := symexec.Run(prog, "process", seOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolic execution of compiled model: %w", err)
+	}
+
+	rep := &EquivReport{ProgramPaths: len(an.Paths), ModelPaths: len(res.Paths)}
+
+	covered := make([]bool, len(an.Paths))
+	for _, mp := range res.Paths {
+		matched := false
+		for i, pp := range an.Paths {
+			if !solver.ImpliesAll(mp.Conds, pp.Conds) {
+				continue
+			}
+			if actionSig(mp) == actionSig(pp) {
+				covered[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			rep.MismatchedModel = append(rep.MismatchedModel, pathDesc(mp))
+		}
+	}
+	for i, pp := range an.Paths {
+		if !covered[i] {
+			rep.UncoveredProgram = append(rep.UncoveredProgram, pathDesc(pp))
+		}
+	}
+	return rep, nil
+}
+
+// actionSig canonicalizes a path's observable actions: sends (iface +
+// non-identity field transforms) and state updates.
+func actionSig(p *symexec.Path) string {
+	var parts []string
+	for _, s := range p.Sends {
+		var fs []string
+		for _, name := range s.FieldNames() {
+			t := solver.Simplify(s.Fields[name])
+			// Identity fields (pkt.f := pkt.f) carry no information and
+			// differ between sides only by which fields happened to be
+			// read.
+			if v, ok := t.(solver.Var); ok && v.Name == "pkt."+name {
+				continue
+			}
+			fs = append(fs, name+"="+t.Key())
+		}
+		sort.Strings(fs)
+		parts = append(parts, "send["+solver.Simplify(s.Iface).Key()+"]{"+strings.Join(fs, ",")+"}")
+	}
+	var ups []string
+	for _, u := range p.Updates {
+		ups = append(ups, u.Name+":="+solver.Simplify(u.Val).Key())
+	}
+	sort.Strings(ups)
+	return strings.Join(parts, ";") + "|" + strings.Join(ups, ";")
+}
+
+func pathDesc(p *symexec.Path) string {
+	conds := make([]string, len(p.Conds))
+	for i, c := range p.Conds {
+		conds[i] = c.String()
+	}
+	action := "drop"
+	if len(p.Sends) > 0 {
+		action = fmt.Sprintf("%d send(s)", len(p.Sends))
+	}
+	return strings.Join(conds, " && ") + " -> " + action
+}
+
+// DiffResult is the outcome of random differential testing (§5: "generate
+// random inputs to both NFactor model and the original program, and test
+// whether they output the same result ... repeat 1000 times").
+type DiffResult struct {
+	Trials     int
+	Mismatches int
+	FirstDiff  string
+}
+
+// Matches reports whether all trials agreed.
+func (r *DiffResult) Matches() bool { return r.Mismatches == 0 }
+
+// DiffTest runs trace through the original program and the model side by
+// side (each keeping its own evolving state) and compares every
+// invocation's outputs: drop/forward decision, emitted packets (all
+// fields) and interfaces.
+func (an *Analysis) DiffTest(trace []netpkt.Packet, opts Options) (*DiffResult, error) {
+	origIn, err := interp.New(an.Original, an.Entry, interp.Options{ConfigOverride: opts.ConfigOverride})
+	if err != nil {
+		return nil, err
+	}
+	config, state, err := an.ConfigAndState(opts.ConfigOverride)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DiffResult{}
+	for i, p := range trace {
+		pv := p.ToValue()
+		res.Trials++
+		oOut, oErr := origIn.Process(pv)
+		mOut, mErr := inst.Process(pv)
+		if (oErr != nil) != (mErr != nil) {
+			res.Mismatches++
+			if res.FirstDiff == "" {
+				res.FirstDiff = fmt.Sprintf("packet %d (%s): error mismatch: orig=%v model=%v", i, p, oErr, mErr)
+			}
+			continue
+		}
+		if oErr != nil {
+			continue // both errored: the packet hits undefined behaviour on both sides
+		}
+		if diff := compareOutputs(oOut, mOut); diff != "" {
+			res.Mismatches++
+			if res.FirstDiff == "" {
+				res.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, p, diff)
+			}
+		}
+	}
+	return res, nil
+}
+
+func compareOutputs(a, b *interp.Output) string {
+	if a.Dropped != b.Dropped {
+		return fmt.Sprintf("drop mismatch: orig=%v model=%v", a.Dropped, b.Dropped)
+	}
+	if len(a.Sent) != len(b.Sent) {
+		return fmt.Sprintf("send count mismatch: orig=%d model=%d", len(a.Sent), len(b.Sent))
+	}
+	for i := range a.Sent {
+		if a.Sent[i].Iface != b.Sent[i].Iface {
+			return fmt.Sprintf("send %d iface mismatch: %q vs %q", i, a.Sent[i].Iface, b.Sent[i].Iface)
+		}
+		if !value.Equal(a.Sent[i].Pkt, b.Sent[i].Pkt) {
+			return fmt.Sprintf("send %d packet mismatch:\n  orig:  %s\n  model: %s",
+				i, a.Sent[i].Pkt, b.Sent[i].Pkt)
+		}
+	}
+	return ""
+}

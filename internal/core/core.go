@@ -1,0 +1,361 @@
+// Package core wires the full NFactor pipeline (the paper's Algorithm 1):
+//
+//  1. packet slice    — backward slices from every send() statement,
+//  2. StateAlyzer     — variable categorization on the packet slice,
+//  3. state slice     — backward slices from every oisVar update,
+//  4. path exploration — symbolic execution of the union slice,
+//  5. refinement      — each path becomes a model table entry.
+//
+// It also implements the paper's §5 accuracy methodology: symbolic
+// path-set comparison between the original program and the (compiled)
+// model, and random differential testing.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nfactor/internal/interp"
+	"nfactor/internal/lang"
+	"nfactor/internal/model"
+	"nfactor/internal/slice"
+	"nfactor/internal/statealyzer"
+	"nfactor/internal/symexec"
+	"nfactor/internal/value"
+)
+
+// Options configure a pipeline run.
+type Options struct {
+	// Entry is the per-packet function; defaults to "process".
+	Entry string
+	// MaxPaths / MaxSteps / LoopBound bound the symbolic executor.
+	MaxPaths  int
+	MaxSteps  int
+	LoopBound int
+	// ConfigOverride pins configuration globals to concrete values; a
+	// pinned scalar no longer forks per-configuration tables.
+	ConfigOverride map[string]value.Value
+	// MeasureOriginal also symbolically executes the full original
+	// program (the "orig" columns of Table 2). Off by default: that run
+	// is exactly what the paper shows can be intractably larger.
+	MeasureOriginal bool
+	// NoPruning disables solver-based feasibility pruning during path
+	// exploration (ablation knob).
+	NoPruning bool
+}
+
+func (o Options) entry() string {
+	if o.Entry == "" {
+		return "process"
+	}
+	return o.Entry
+}
+
+func (o Options) seOpts(vars *statealyzer.Result) symexec.Options {
+	se := symexec.Options{
+		MaxPaths:       o.MaxPaths,
+		MaxSteps:       o.MaxSteps,
+		LoopBound:      o.LoopBound,
+		ConfigOverride: o.ConfigOverride,
+		NoPruning:      o.NoPruning,
+		ConfigVars:     map[string]bool{},
+		StateVars:      map[string]bool{},
+	}
+	for _, v := range vars.CfgVars() {
+		se.ConfigVars[v] = true
+	}
+	for _, v := range vars.OISVars() {
+		se.StateVars[v] = true
+	}
+	// Log variables are symbolic state too when executing the *original*
+	// program (their updates must not leak constants into path
+	// comparison); they are absent from slices.
+	for _, v := range vars.LogVars() {
+		se.StateVars[v] = true
+	}
+	return se
+}
+
+// Metrics are the Table 2 measurements for one NF.
+type Metrics struct {
+	LoCOrig  int // lines of the original program
+	LoCSlice int // lines of the packet+state slice
+	LoCPath  int // statements on the longest single execution path
+
+	SliceTime   time.Duration
+	SETimeSlice time.Duration
+	EPSlice     int
+
+	// Original-program numbers (only when MeasureOriginal).
+	SETimeOrig     time.Duration
+	EPOrig         int
+	EPOrigCapped   bool // path budget exhausted (the ">1000" cell)
+	OrigMeasured   bool
+	SliceEPCapped  bool
+	SliceTruncated int
+}
+
+// Analysis is the full pipeline output for one NF program.
+type Analysis struct {
+	NFName   string
+	Entry    string
+	Original *lang.Program
+	Analyzer *slice.Analyzer
+
+	PktSlice   map[int]bool
+	StateSlice map[int]bool
+	UnionSlice map[int]bool
+	SliceProg  *lang.Program
+
+	Vars  *statealyzer.Result
+	Paths []*symexec.Path
+	Model *model.Model
+
+	Metrics Metrics
+}
+
+// SendStatements returns the statement IDs of every packet-output call in
+// the analyzed (inlined) program — the PKT_OUTPUT_FUNC criterion of
+// Algorithm 1 line 2.
+func SendStatements(prog *lang.Program) []int {
+	var out []int
+	prog.WalkStmts(func(s lang.Stmt) {
+		for _, fn := range lang.CallsIn(s) {
+			if fn == "send" {
+				out = append(out, s.StmtID())
+				return
+			}
+		}
+	})
+	return out
+}
+
+// stateUpdateStatements returns the statements inside the entry function
+// that update an output-impacting state variable (Algorithm 1 lines 6-9):
+// assignments with an oisVar base on the LHS, and del() calls on oisVars.
+func stateUpdateStatements(a *slice.Analyzer, ois map[string]bool) []int {
+	var out []int
+	fn := a.Prog.Func(a.Entry)
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.AssignStmt:
+			for _, l := range st.LHS {
+				if ois[lang.BaseVar(l)] {
+					out = append(out, s.StmtID())
+					break
+				}
+			}
+		case *lang.ExprStmt:
+			if c, ok := st.X.(*lang.CallExpr); ok && c.Fun == "del" && len(c.Args) == 2 {
+				if id, ok := c.Args[0].(*lang.Ident); ok && ois[id.Name] {
+					out = append(out, s.StmtID())
+				}
+			}
+		case *lang.BlockStmt:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.WhileStmt:
+			walk(st.Body)
+		case *lang.ForStmt:
+			walk(st.Body)
+		}
+	}
+	walk(fn.Body)
+	return out
+}
+
+// Analyze runs the full NFactor pipeline on prog.
+func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error) {
+	entry := opts.entry()
+	an := &Analysis{NFName: nfName, Entry: entry, Original: prog}
+	an.Metrics.LoCOrig = lang.CountLoC(prog)
+
+	sliceStart := time.Now()
+	analyzer, err := slice.NewAnalyzer(prog, entry)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	an.Analyzer = analyzer
+
+	// 1. Packet slice.
+	sends := SendStatements(analyzer.Prog)
+	if len(sends) == 0 {
+		return nil, fmt.Errorf("core: %s has no send() statement — not a forwarding NF", nfName)
+	}
+	pktSlice, err := analyzer.Backward(sends)
+	if err != nil {
+		return nil, fmt.Errorf("core: packet slice: %w", err)
+	}
+	an.PktSlice = pktSlice
+
+	// 2. StateAlyzer on the packet slice.
+	an.Vars = statealyzer.Analyze(analyzer, pktSlice)
+	ois := map[string]bool{}
+	for _, v := range an.Vars.OISVars() {
+		ois[v] = true
+	}
+
+	// 3. State transition slice — iterated to a fixpoint: a persistent
+	// updateable variable appearing in the state slice feeds an oisVar
+	// update (possibly in a later invocation) and is therefore output-
+	// impacting itself; its own updates then need slicing too. (The
+	// strike-counter → quarantine-set pattern requires this closure;
+	// Algorithm 1 runs lines 6-9 once because its two NFs have no such
+	// indirection.)
+	var stateSlice map[int]bool
+	for {
+		updates := stateUpdateStatements(analyzer, ois)
+		stateSlice, err = analyzer.Backward(updates)
+		if err != nil {
+			return nil, fmt.Errorf("core: state slice: %w", err)
+		}
+		grew := false
+		seen := map[string]bool{}
+		for id := range stateSlice {
+			s := analyzer.Prog.StmtByID(id)
+			if s == nil {
+				continue
+			}
+			for _, v := range append(lang.Uses(s), lang.Defs(s)...) {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				f, okf := an.Vars.Features[v]
+				if okf && f.Persistent && f.TopLevel && f.Updateable && !ois[v] {
+					an.Vars.Promote(v)
+					ois[v] = true
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	an.StateSlice = stateSlice
+
+	// Union slice → reduced program.
+	an.UnionSlice = slice.Union(pktSlice, stateSlice)
+	an.SliceProg = analyzer.Reconstruct(an.UnionSlice)
+	an.Metrics.SliceTime = time.Since(sliceStart)
+	an.Metrics.LoCSlice = lang.CountLoC(an.SliceProg)
+
+	// 4. Execution paths of the slice.
+	seOpts := opts.seOpts(an.Vars)
+	seStart := time.Now()
+	res, err := symexec.Run(an.SliceProg, entry, seOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolic execution of slice: %w", err)
+	}
+	an.Metrics.SETimeSlice = time.Since(seStart)
+	an.Metrics.EPSlice = len(res.Paths)
+	an.Metrics.SliceEPCapped = res.Exhausted
+	an.Paths = res.Paths
+	for _, p := range res.Paths {
+		if p.Truncated {
+			an.Metrics.SliceTruncated++
+		}
+		if p.Visited > an.Metrics.LoCPath {
+			an.Metrics.LoCPath = p.Visited
+		}
+	}
+
+	// 5. Refine into the model.
+	cfg := map[string]bool{}
+	for _, v := range an.Vars.CfgVars() {
+		cfg[v] = true
+	}
+	logs := map[string]bool{}
+	for _, v := range an.Vars.LogVars() {
+		logs[v] = true
+	}
+	an.Model = model.Build(an.Paths, model.BuildOptions{
+		NFName:  nfName,
+		PktVar:  analyzer.Prog.Func(entry).Params[0],
+		CfgVars: cfg,
+		OISVars: ois,
+		LogVars: logs,
+	})
+
+	// Optional: symbolic execution of the original (inlined) program,
+	// for the "orig" Table 2 columns.
+	if opts.MeasureOriginal {
+		origStart := time.Now()
+		origRes, err := symexec.Run(analyzer.Prog, entry, seOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: symbolic execution of original: %w", err)
+		}
+		an.Metrics.SETimeOrig = time.Since(origStart)
+		an.Metrics.EPOrig = len(origRes.Paths)
+		an.Metrics.EPOrigCapped = origRes.Exhausted
+		an.Metrics.OrigMeasured = true
+	}
+	return an, nil
+}
+
+// ConfigAndState extracts the concrete configuration and initial-state
+// values of the analyzed NF (from its global initializers, with the
+// pipeline's overrides applied) — what a model Instance or Compile needs.
+func (an *Analysis) ConfigAndState(override map[string]value.Value) (config, state map[string]value.Value, err error) {
+	ci, err := interp.New(an.Original, an.Entry, interp.Options{ConfigOverride: override})
+	if err != nil {
+		return nil, nil, err
+	}
+	globals := ci.Globals()
+	config = map[string]value.Value{}
+	state = map[string]value.Value{}
+	for _, v := range an.Vars.CfgVars() {
+		config[v] = globals[v]
+	}
+	for _, v := range an.Vars.OISVars() {
+		state[v] = globals[v]
+	}
+	return config, state, nil
+}
+
+// DynamicSlice computes the dynamic program slice for a concrete packet
+// trace (Agrawal & Horgan — the paper's reference [3], and what Figure 1
+// actually highlights: the statements that REALLY lead to the final
+// behaviour for one input). Earlier packets in trace evolve the NF's
+// state; the returned program is the intersection of the static
+// packet+state slice with the statements executed for the LAST packet.
+func (an *Analysis) DynamicSlice(trace []value.Value) (*lang.Program, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("core: dynamic slice needs at least one packet")
+	}
+	in, err := interp.New(an.Analyzer.Prog, an.Entry, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range trace[:len(trace)-1] {
+		if _, err := in.Process(p); err != nil {
+			return nil, fmt.Errorf("core: warm-up packet: %w", err)
+		}
+	}
+	_, executed, err := in.ProcessTraced(trace[len(trace)-1])
+	if err != nil {
+		return nil, fmt.Errorf("core: criterion packet: %w", err)
+	}
+	dyn := map[int]bool{}
+	for id := range an.UnionSlice {
+		if executed[id] {
+			dyn[id] = true
+		}
+	}
+	// Keep the global initializers of the static slice: they define the
+	// variables the executed statements read.
+	for _, g := range an.Analyzer.Prog.Globals {
+		if an.UnionSlice[g.StmtID()] {
+			dyn[g.StmtID()] = true
+		}
+	}
+	return an.Analyzer.Reconstruct(dyn), nil
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+// lbSrc is the paper's Figure 1 load balancer.
+const lbSrc = `
+mode = "RR";
+LB_IP = "3.3.3.3";
+LB_PORT = 80;
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+f2b_nat = {};
+b2f_nat = {};
+rr_idx = 0;
+cur_port = 10000;
+pass_stat = 0;
+drop_stat = 0;
+
+func process(pkt) {
+    si, di = pkt.sip, pkt.dip;
+    sp, dp = pkt.sport, pkt.dport;
+    if dp == LB_PORT {
+        cs_ftpl = (si, sp, di, dp);
+        sc_ftpl = (di, dp, si, sp);
+        if !(cs_ftpl in f2b_nat) {
+            if mode == "RR" {
+                server = servers[rr_idx];
+                rr_idx = (rr_idx + 1) % len(servers);
+            } else {
+                server = servers[hash(si) % len(servers)];
+            }
+            n_port = cur_port;
+            cur_port = cur_port + 1;
+            cs_btpl = (LB_IP, n_port, server[0], server[1]);
+            sc_btpl = (server[0], server[1], LB_IP, n_port);
+            f2b_nat[cs_ftpl] = cs_btpl;
+            b2f_nat[sc_btpl] = sc_ftpl;
+            nat_tpl = cs_btpl;
+        } else {
+            nat_tpl = f2b_nat[cs_ftpl];
+        }
+    } else {
+        sc_btpl = (si, sp, di, dp);
+        if sc_btpl in b2f_nat {
+            nat_tpl = b2f_nat[sc_btpl];
+        } else {
+            drop_stat = drop_stat + 1;
+            return;
+        }
+    }
+    pass_stat = pass_stat + 1;
+    pkt.sip = nat_tpl[0];
+    pkt.sport = nat_tpl[1];
+    pkt.dip = nat_tpl[2];
+    pkt.dport = nat_tpl[3];
+    send(pkt);
+}
+`
+
+func analyzeLB(t *testing.T, opts Options) *Analysis {
+	t.Helper()
+	an, err := Analyze("lb", lang.MustParse(lbSrc), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestPipelineProducesModel(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	if len(an.Model.Entries) != 5 {
+		t.Fatalf("model entries = %d, want 5", len(an.Model.Entries))
+	}
+	// Two configuration tables: mode == "RR" and mode != "RR" entries
+	// exist plus config-independent entries.
+	tables := an.Model.Tables()
+	if len(tables) < 2 {
+		t.Errorf("config tables = %d, want at least 2 (RR and HASH)", len(tables))
+	}
+	// Model drops exactly the reverse-miss path.
+	drops := 0
+	for _, e := range an.Model.Entries {
+		if e.Dropped() {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Errorf("drop entries = %d, want 1", drops)
+	}
+}
+
+func TestPipelineMetricsShape(t *testing.T) {
+	an := analyzeLB(t, Options{MeasureOriginal: true})
+	m := an.Metrics
+	if m.LoCSlice >= m.LoCOrig {
+		t.Errorf("slice LoC %d not smaller than original %d", m.LoCSlice, m.LoCOrig)
+	}
+	if m.LoCPath > m.LoCSlice {
+		t.Errorf("path LoC %d exceeds slice LoC %d", m.LoCPath, m.LoCSlice)
+	}
+	if m.LoCPath == 0 {
+		t.Error("path LoC is zero")
+	}
+	if !m.OrigMeasured || m.EPOrig == 0 || m.EPSlice == 0 {
+		t.Errorf("EP counts missing: %+v", m)
+	}
+	// The LB slice keeps all forwarding logic, so EPs match here; the
+	// log-heavy NFs (snortlite) show the reduction.
+	if m.EPSlice > m.EPOrig {
+		t.Errorf("slice has more paths (%d) than original (%d)", m.EPSlice, m.EPOrig)
+	}
+}
+
+func TestVariableCategoriesReachModel(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	if got := strings.Join(an.Model.CfgVars, ","); got != "LB_IP,LB_PORT,mode,servers" {
+		t.Errorf("cfg vars = %s", got)
+	}
+	if got := strings.Join(an.Model.OISVars, ","); got != "b2f_nat,cur_port,f2b_nat,rr_idx" {
+		t.Errorf("ois vars = %s", got)
+	}
+	// Log variables must not appear in any entry's updates.
+	for _, e := range an.Model.Entries {
+		for _, u := range e.Updates {
+			if u.Name == "pass_stat" || u.Name == "drop_stat" {
+				t.Errorf("log variable %s leaked into model updates", u.Name)
+			}
+		}
+	}
+}
+
+func TestPathEquivalenceLB(t *testing.T) {
+	opts := Options{}
+	an := analyzeLB(t, opts)
+	rep, err := an.CheckPathEquivalence(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent() {
+		t.Errorf("path sets differ:\nuncovered program paths: %v\nmismatched model paths: %v",
+			rep.UncoveredProgram, rep.MismatchedModel)
+	}
+	if rep.ModelPaths < rep.ProgramPaths {
+		t.Errorf("model paths %d < program paths %d", rep.ModelPaths, rep.ProgramPaths)
+	}
+}
+
+func TestDiffTestLBRoundRobin(t *testing.T) {
+	opts := Options{}
+	an := analyzeLB(t, opts)
+	trace := workload.New(1).ClientServerTrace("3.3.3.3", 80, 500)
+	res, err := an.DiffTest(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches() {
+		t.Errorf("differential test failed after %d trials: %s", res.Trials, res.FirstDiff)
+	}
+	if res.Trials != 500 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+}
+
+func TestDiffTestLBHashMode(t *testing.T) {
+	opts := Options{ConfigOverride: map[string]value.Value{"mode": value.Str("HASH")}}
+	an := analyzeLB(t, opts)
+	trace := workload.New(7).ClientServerTrace("3.3.3.3", 80, 300)
+	res, err := an.DiffTest(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches() {
+		t.Errorf("hash-mode differential test failed: %s", res.FirstDiff)
+	}
+}
+
+func TestDiffTestLBRandomTraffic(t *testing.T) {
+	opts := Options{}
+	an := analyzeLB(t, opts)
+	trace := workload.New(42).RandomTrace(1000)
+	res, err := an.DiffTest(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches() {
+		t.Errorf("random differential test failed: %s", res.FirstDiff)
+	}
+}
+
+func TestModelRenderFigure6Shape(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	out := model.Render(an.Model)
+	for _, want := range []string{
+		`mode == "RR"`,
+		"rr_idx := ",
+		"send(pkt)",
+		"drop",
+		"default: drop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNoSendErrors(t *testing.T) {
+	prog := lang.MustParse(`x = 1;
+func process(pkt) { x = x + 1; }`)
+	if _, err := Analyze("nosend", prog, Options{}); err == nil {
+		t.Error("NF without send() should error")
+	}
+}
+
+func TestModelInstanceStateEvolves(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(sport int) value.Value {
+		return netpkt.Packet{
+			SrcIP: "9.9.9.9", DstIP: "3.3.3.3", SrcPort: sport, DstPort: 80,
+			Proto: "tcp", TTL: 64, InIface: "eth0",
+		}.ToValue()
+	}
+	// Two new flows under RR must go to the two different backends.
+	o1, err := inst.Process(mk(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := inst.Process(mk(1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := o1.Sent[0].Pkt.Pkt.Fields["dip"].S
+	d2 := o2.Sent[0].Pkt.Pkt.Fields["dip"].S
+	if d1 == d2 {
+		t.Errorf("round robin did not alternate: %s then %s", d1, d2)
+	}
+	// Repeating the first flow hits the stored mapping.
+	o3, err := inst.Process(mk(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3.Sent[0].Pkt.Pkt.Fields["dip"].S != d1 {
+		t.Error("existing flow did not reuse its NAT mapping")
+	}
+	if inst.State()["rr_idx"].I != 0 && inst.State()["rr_idx"].I != 2%2 {
+		t.Errorf("rr_idx = %v", inst.State()["rr_idx"])
+	}
+}
+
+func TestCompiledModelIsRunnable(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := model.Compile(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compiled model must itself survive the NFactor pipeline (it is
+	// an NF program like any other).
+	an2, err := Analyze("lb-model", prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an2.Model.Entries) == 0 {
+		t.Error("re-analyzed compiled model has no entries")
+	}
+}

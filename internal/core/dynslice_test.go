@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+)
+
+func lbPacket(sport int) value.Value {
+	return netpkt.Packet{
+		SrcIP: "9.9.9.9", DstIP: "3.3.3.3", SrcPort: sport, DstPort: 80,
+		Proto: "tcp", Flags: "S", TTL: 64, InIface: "eth0",
+	}.ToValue()
+}
+
+// TestDynamicSliceFirstPacket reproduces the paper's Figure 1 highlight:
+// "the highlighted lines are a (dynamic) program slice where the load
+// balancer relays the first packet of a flow" — the RR backend-selection
+// arm is in, the existing-connection arm and the reverse path are out.
+func TestDynamicSliceFirstPacket(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	prog, err := an.DynamicSlice([]value.Value{lbPacket(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(prog)
+	for _, want := range []string{
+		"servers[rr_idx]",     // round-robin selection executed
+		"f2b_nat[cs_ftpl] = ", // mapping installed
+		"send(pkt",            // relay
+	} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("first-packet dynamic slice missing %q:\n%s", want, printed)
+		}
+	}
+	for _, gone := range []string{
+		"hash(",                      // HASH arm not executed under RR
+		"nat_tpl = f2b_nat[cs_ftpl]", // existing-connection arm not executed
+		"b2f_nat[sc_btpl]",           // reverse path... (store executes! see below)
+	} {
+		// The b2f_nat STORE does execute on the first packet; only the
+		// reverse-path LOOKUP must be absent.
+		if gone == "b2f_nat[sc_btpl]" {
+			continue
+		}
+		if strings.Contains(printed, gone) {
+			t.Errorf("first-packet dynamic slice wrongly contains %q:\n%s", gone, printed)
+		}
+	}
+	// The dynamic slice is smaller than the static slice.
+	if lang.CountLoC(prog) >= an.Metrics.LoCSlice {
+		t.Errorf("dynamic slice LoC %d !< static slice LoC %d",
+			lang.CountLoC(prog), an.Metrics.LoCSlice)
+	}
+}
+
+// TestDynamicSliceSecondPacket: after the flow exists, the dynamic slice
+// flips to the existing-connection arm.
+func TestDynamicSliceSecondPacket(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	p := lbPacket(2000)
+	prog, err := an.DynamicSlice([]value.Value{p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(prog)
+	if !strings.Contains(printed, "nat_tpl = f2b_nat[cs_ftpl]") {
+		t.Errorf("second-packet slice missing the lookup arm:\n%s", printed)
+	}
+	if strings.Contains(printed, "servers[rr_idx]") {
+		t.Errorf("second-packet slice still selects a backend:\n%s", printed)
+	}
+}
+
+// TestDynamicSliceDropPath: stray reverse traffic executes only the
+// reverse-miss path.
+func TestDynamicSliceDropPath(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	stray := netpkt.Packet{
+		SrcIP: "1.1.1.1", DstIP: "9.9.9.9", SrcPort: 80, DstPort: 50000,
+		Proto: "tcp", Flags: "A", TTL: 64, InIface: "eth0",
+	}.ToValue()
+	prog, err := an.DynamicSlice([]value.Value{stray})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(prog)
+	if !strings.Contains(printed, "return;") {
+		t.Errorf("drop path slice missing the early return:\n%s", printed)
+	}
+	if strings.Contains(printed, "send(") {
+		t.Errorf("drop path slice contains a send:\n%s", printed)
+	}
+}
+
+func TestDynamicSliceEmptyTrace(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	if _, err := an.DynamicSlice(nil); err == nil {
+		t.Error("empty trace did not error")
+	}
+}
+
+func TestDynamicSliceReparses(t *testing.T) {
+	an := analyzeLB(t, Options{})
+	prog, err := an.DynamicSlice([]value.Value{lbPacket(3000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lang.Parse(lang.Print(prog)); err != nil {
+		t.Fatalf("dynamic slice does not re-parse: %v\n%s", err, lang.Print(prog))
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nfactor/internal/interp"
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+// randNF generates a random—but well-defined—NF program: branches on
+// packet fields, guarded map state, counters, field rewrites, early
+// drops and sends. Every generated program must survive the full
+// pipeline and agree with its synthesized model on random traffic: an
+// end-to-end property test of the whole stack (slicer, solver, symbolic
+// executor, model builder, both interpreters).
+func randNF(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("PORT_A = ")
+	fmt.Fprintf(&b, "%d;\n", 1+rng.Intn(1024))
+	fmt.Fprintf(&b, "HOST_A = \"10.0.0.%d\";\n", 1+rng.Intn(254))
+	b.WriteString("m = {};\ncnt = 0;\nstat = 0;\n\nfunc process(pkt) {\n")
+	emitBlock(&b, rng, 1, 3)
+	b.WriteString("    send(pkt);\n}\n")
+	return b.String()
+}
+
+func indentOf(depth int) string { return strings.Repeat("    ", depth) }
+
+func emitBlock(b *strings.Builder, rng *rand.Rand, depth, maxDepth int) {
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		emitStmt(b, rng, depth, maxDepth)
+	}
+}
+
+func emitStmt(b *strings.Builder, rng *rand.Rand, depth, maxDepth int) {
+	ind := indentOf(depth)
+	choice := rng.Intn(8)
+	if depth >= maxDepth && choice < 2 {
+		choice += 2 // no deeper branching
+	}
+	switch choice {
+	case 0: // branch on an integer packet field
+		field := []string{"sport", "dport", "ttl", "length"}[rng.Intn(4)]
+		op := []string{"==", "!=", "<", ">", "<=", ">="}[rng.Intn(6)]
+		rhs := []string{fmt.Sprintf("%d", rng.Intn(2048)), "PORT_A"}[rng.Intn(2)]
+		fmt.Fprintf(b, "%sif pkt.%s %s %s {\n", ind, field, op, rhs)
+		emitBlock(b, rng, depth+1, maxDepth)
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			emitBlock(b, rng, depth+1, maxDepth)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case 1: // branch on a string packet field
+		field := []string{"sip", "dip", "proto"}[rng.Intn(3)]
+		rhs := []string{`"tcp"`, `"udp"`, "HOST_A"}[rng.Intn(3)]
+		op := []string{"==", "!="}[rng.Intn(2)]
+		fmt.Fprintf(b, "%sif pkt.%s %s %s {\n", ind, field, op, rhs)
+		emitBlock(b, rng, depth+1, maxDepth)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case 2: // guarded map state: read-or-install
+		fmt.Fprintf(b, "%sk%d = (pkt.sip, pkt.sport);\n", ind, depth)
+		fmt.Fprintf(b, "%sif k%d in m {\n", ind, depth)
+		fmt.Fprintf(b, "%s    v%d = m[k%d];\n", ind, depth, depth)
+		fmt.Fprintf(b, "%s    pkt.cached = v%d;\n", ind, depth)
+		fmt.Fprintf(b, "%s} else {\n", ind)
+		fmt.Fprintf(b, "%s    m[k%d] = pkt.dport;\n", ind, depth)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case 3: // state counter (output-impacting only if later branched on)
+		fmt.Fprintf(b, "%scnt = cnt + 1;\n", ind)
+	case 4: // log counter
+		fmt.Fprintf(b, "%sstat = stat + %d;\n", ind, 1+rng.Intn(3))
+	case 5: // field rewrite
+		field := []string{"sport", "dport", "ttl"}[rng.Intn(3)]
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(b, "%spkt.%s = %d;\n", ind, field, rng.Intn(65536))
+		case 1:
+			fmt.Fprintf(b, "%spkt.%s = pkt.%s + %d;\n", ind, field, field, 1+rng.Intn(9))
+		default:
+			fmt.Fprintf(b, "%spkt.%s = PORT_A;\n", ind, field)
+		}
+	case 6: // early drop
+		fmt.Fprintf(b, "%sif pkt.ttl < %d {\n%s    return;\n%s}\n", ind, 1+rng.Intn(8), ind, ind)
+	default: // extra send on a named interface
+		fmt.Fprintf(b, "%ssend(pkt, \"if%d\");\n", ind, rng.Intn(3))
+	}
+}
+
+func TestRandomNFsAgreeWithTheirModels(t *testing.T) {
+	const programs = 40
+	rng := rand.New(rand.NewSource(20260704))
+	for i := 0; i < programs; i++ {
+		src := randNF(rng)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("generated program %d does not parse: %v\n%s", i, err, src)
+		}
+		opts := Options{MaxPaths: 4096}
+		an, err := Analyze(fmt.Sprintf("rand%d", i), prog, opts)
+		if err != nil {
+			t.Fatalf("program %d failed analysis: %v\n%s", i, err, src)
+		}
+		trace := workload.New(int64(i)).RandomTrace(120)
+		res, err := an.DiffTest(trace, opts)
+		if err != nil {
+			t.Fatalf("program %d difftest error: %v\n%s", i, err, src)
+		}
+		if !res.Matches() {
+			t.Fatalf("program %d model diverges: %s\n%s", i, res.FirstDiff, src)
+		}
+	}
+}
+
+func TestRandomNFsPathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("path equivalence fuzz is slow")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		src := randNF(rng)
+		prog := lang.MustParse(src)
+		opts := Options{MaxPaths: 4096}
+		an, err := Analyze(fmt.Sprintf("randeq%d", i), prog, opts)
+		if err != nil {
+			t.Fatalf("program %d failed analysis: %v\n%s", i, err, src)
+		}
+		rep, err := an.CheckPathEquivalence(opts)
+		if err != nil {
+			t.Fatalf("program %d equivalence error: %v\n%s", i, err, src)
+		}
+		if !rep.Equivalent() {
+			t.Fatalf("program %d path sets differ:\nuncovered=%v\nmismatched=%v\n%s",
+				i, rep.UncoveredProgram, rep.MismatchedModel, src)
+		}
+	}
+}
+
+// TestPathsPartitionInputSpace: the symbolic executor's branch
+// decomposition claims the enumerated paths are exhaustive and pairwise
+// disjoint. For random NFs and random concrete packets, exactly one
+// path's condition must evaluate to true against the initial state.
+func TestPathsPartitionInputSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for i := 0; i < 15; i++ {
+		src := randNF(rng)
+		prog := lang.MustParse(src)
+		an, err := Analyze(fmt.Sprintf("part%d", i), prog, Options{})
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, src)
+		}
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range workload.New(int64(i)).RandomTrace(40) {
+			pv := p.ToValue()
+			matches := 0
+			for _, path := range an.Paths {
+				all := true
+				for _, c := range path.Conds {
+					ok, err := solver.EvalBool(c, pathEnv{pkt: pv, state: state, config: config})
+					if err != nil || !ok {
+						all = false
+						break
+					}
+				}
+				if all {
+					matches++
+				}
+			}
+			if matches != 1 {
+				t.Fatalf("program %d: packet %s matches %d paths, want exactly 1\n%s",
+					i, p, matches, src)
+			}
+		}
+	}
+}
+
+type pathEnv struct {
+	pkt    value.Value
+	state  map[string]value.Value
+	config map[string]value.Value
+}
+
+func (e pathEnv) Lookup(name string) (value.Value, bool) {
+	if f, ok := strings.CutPrefix(name, "pkt."); ok {
+		v, ok := e.pkt.Pkt.Fields[f]
+		return v, ok
+	}
+	if base, ok := strings.CutSuffix(name, "@0"); ok {
+		v, ok := e.state[base]
+		return v, ok
+	}
+	v, ok := e.config[name]
+	return v, ok
+}
+
+// TestSliceSemanticsPreserved: the union slice is itself an executable
+// program; Weiser's slicing theorem says it must produce the same
+// packet-forwarding behaviour as the original (log output excepted) on
+// every input. Checked dynamically for random NFs and random traffic —
+// the slicer's soundness property end to end.
+func TestSliceSemanticsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for i := 0; i < 25; i++ {
+		src := randNF(rng)
+		prog := lang.MustParse(src)
+		an, err := Analyze(fmt.Sprintf("slice%d", i), prog, Options{})
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, src)
+		}
+		origIn, err := interp.New(an.Analyzer.Prog, "process", interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sliceIn, err := interp.New(an.SliceProg, "process", interp.Options{})
+		if err != nil {
+			t.Fatalf("program %d: slice not runnable: %v\nslice:\n%s", i, err, lang.Print(an.SliceProg))
+		}
+		for _, p := range workload.New(int64(100 + i)).RandomTrace(60) {
+			pv := p.ToValue()
+			oo, err1 := origIn.Process(pv)
+			so, err2 := sliceIn.Process(pv)
+			if (err1 != nil) != (err2 != nil) {
+				t.Fatalf("program %d packet %s: error mismatch orig=%v slice=%v\n%s", i, p, err1, err2, src)
+			}
+			if err1 != nil {
+				continue
+			}
+			if oo.Dropped != so.Dropped || len(oo.Sent) != len(so.Sent) {
+				t.Fatalf("program %d packet %s: verdict mismatch (drop %v/%v sends %d/%d)\norig:\n%s\nslice:\n%s",
+					i, p, oo.Dropped, so.Dropped, len(oo.Sent), len(so.Sent), src, lang.Print(an.SliceProg))
+			}
+			for k := range oo.Sent {
+				if oo.Sent[k].Iface != so.Sent[k].Iface ||
+					!value.Equal(oo.Sent[k].Pkt, so.Sent[k].Pkt) {
+					t.Fatalf("program %d packet %s: sent packet %d differs\norig:  %s\nslice: %s",
+						i, p, k, oo.Sent[k].Pkt, so.Sent[k].Pkt)
+				}
+			}
+		}
+	}
+}

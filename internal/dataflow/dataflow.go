@@ -1,0 +1,229 @@
+// Package dataflow implements the classic dataflow analyses NFactor's
+// slicer is built on: reaching definitions (→ data dependence edges of the
+// PDG) and liveness. Both run at CFG-node granularity.
+package dataflow
+
+import (
+	"sort"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/lang"
+)
+
+// Def identifies a definition site: variable v is assigned at CFG node
+// Node. The function's parameters and every global are given a synthetic
+// definition at ENTRY so first uses have a def to depend on.
+type Def struct {
+	Node int
+	Var  string
+}
+
+// ReachDefs is the result of reaching-definitions analysis.
+type ReachDefs struct {
+	g *cfg.Graph
+	// In[n] is the set of definitions reaching the start of node n.
+	In []map[Def]bool
+	// Out[n] is the set of definitions live after node n.
+	Out []map[Def]bool
+}
+
+// nodeDefs returns the definitions generated at node n and whether each is
+// strong (kills earlier defs of the same variable) or weak (a container
+// element store: m[k] = v updates m in place, so earlier defs still flow).
+func nodeDefs(n *cfg.Node) (strong, weak []string) {
+	if n.Stmt == nil {
+		return nil, nil
+	}
+	switch st := n.Stmt.(type) {
+	case *lang.AssignStmt:
+		for _, l := range st.LHS {
+			base := lang.BaseVar(l)
+			if base == "" {
+				continue
+			}
+			if _, ok := l.(*lang.Ident); ok {
+				strong = append(strong, base)
+			} else {
+				weak = append(weak, base)
+			}
+		}
+	case *lang.ForStmt:
+		strong = append(strong, st.Var)
+	}
+	return strong, weak
+}
+
+// Reaching computes reaching definitions over g. params are the entry
+// function's parameters; they and globalNames receive synthetic ENTRY
+// definitions.
+func Reaching(g *cfg.Graph, params []string) *ReachDefs {
+	n := len(g.Nodes)
+	gen := make([]map[Def]bool, n)
+	killVars := make([]map[string]bool, n)
+	for i, node := range g.Nodes {
+		gen[i] = map[Def]bool{}
+		killVars[i] = map[string]bool{}
+		strong, weak := nodeDefs(node)
+		for _, v := range strong {
+			gen[i][Def{Node: i, Var: v}] = true
+			killVars[i][v] = true
+		}
+		for _, v := range weak {
+			gen[i][Def{Node: i, Var: v}] = true
+		}
+	}
+	// Synthetic parameter defs at ENTRY.
+	for _, p := range params {
+		gen[g.Entry.ID][Def{Node: g.Entry.ID, Var: p}] = true
+	}
+
+	r := &ReachDefs{g: g}
+	r.In = make([]map[Def]bool, n)
+	r.Out = make([]map[Def]bool, n)
+	for i := 0; i < n; i++ {
+		r.In[i] = map[Def]bool{}
+		r.Out[i] = map[Def]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			in := map[Def]bool{}
+			for _, p := range g.Preds(i) {
+				for d := range r.Out[p] {
+					in[d] = true
+				}
+			}
+			out := map[Def]bool{}
+			for d := range in {
+				if !killVars[i][d.Var] {
+					out[d] = true
+				}
+			}
+			for d := range gen[i] {
+				out[d] = true
+			}
+			if !sameDefSet(in, r.In[i]) || !sameDefSet(out, r.Out[i]) {
+				r.In[i], r.Out[i] = in, out
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// UseDefs returns the CFG nodes whose definition of v reaches the use of v
+// at node, sorted ascending.
+func (r *ReachDefs) UseDefs(node int, v string) []int {
+	var out []int
+	for d := range r.In[node] {
+		if d.Var == v {
+			out = append(out, d.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeUses returns the variables used by the statement at CFG node id.
+func NodeUses(g *cfg.Graph, id int) []string {
+	n := g.Node(id)
+	if n.Stmt == nil {
+		return nil
+	}
+	return lang.Uses(n.Stmt)
+}
+
+// NodeDefVars returns all variables (strong or weak) defined at node id.
+func NodeDefVars(g *cfg.Graph, id int) []string {
+	n := g.Node(id)
+	strong, weak := nodeDefs(n)
+	out := append(append([]string{}, strong...), weak...)
+	sort.Strings(out)
+	return out
+}
+
+func sameDefSet(a, b map[Def]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Liveness computes, for each CFG node, the set of variables live on entry
+// to that node (used on some path before being strongly redefined).
+type Liveness struct {
+	In  []map[string]bool
+	Out []map[string]bool
+}
+
+// Live runs backward liveness analysis over g.
+func Live(g *cfg.Graph) *Liveness {
+	n := len(g.Nodes)
+	use := make([]map[string]bool, n)
+	def := make([]map[string]bool, n)
+	for i, node := range g.Nodes {
+		use[i] = map[string]bool{}
+		def[i] = map[string]bool{}
+		if node.Stmt != nil {
+			for _, v := range lang.Uses(node.Stmt) {
+				use[i][v] = true
+			}
+			strong, _ := nodeDefs(node)
+			for _, v := range strong {
+				def[i][v] = true
+			}
+		}
+	}
+	lv := &Liveness{
+		In:  make([]map[string]bool, n),
+		Out: make([]map[string]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.In[i] = map[string]bool{}
+		lv.Out[i] = map[string]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := map[string]bool{}
+			for _, s := range g.Succs(i) {
+				for v := range lv.In[s] {
+					out[v] = true
+				}
+			}
+			in := map[string]bool{}
+			for v := range use[i] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[i][v] {
+					in[v] = true
+				}
+			}
+			if !sameStrSet(in, lv.In[i]) || !sameStrSet(out, lv.Out[i]) {
+				lv.In[i], lv.Out[i] = in, out
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+func sameStrSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

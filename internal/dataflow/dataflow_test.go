@@ -1,0 +1,172 @@
+package dataflow
+
+import (
+	"testing"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/lang"
+)
+
+func setup(t *testing.T, src string) (*cfg.Graph, *lang.Program) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	g, err := cfg.Build(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, prog
+}
+
+func nodeOf(t *testing.T, g *cfg.Graph, match func(lang.Stmt) bool) *cfg.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Stmt != nil && match(n.Stmt) {
+			return n
+		}
+	}
+	t.Fatal("node not found")
+	return nil
+}
+
+func assignsTo(name string) func(lang.Stmt) bool {
+	return func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && len(as.LHS) > 0 && lang.ExprString(as.LHS[0]) == name
+	}
+}
+
+func TestReachingLinear(t *testing.T) {
+	g, _ := setup(t, `
+func process(pkt) {
+    a = 1;
+    a = 2;
+    b = a;
+}`)
+	rd := Reaching(g, []string{"pkt"})
+	bNode := nodeOf(t, g, assignsTo("b"))
+	defs := rd.UseDefs(bNode.ID, "a")
+	if len(defs) != 1 {
+		t.Fatalf("defs of a at b = %v, want only the redefinition", defs)
+	}
+	a2 := nodeOf(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "a" && lang.ExprString(as.RHS[0]) == "2"
+	})
+	if defs[0] != a2.ID {
+		t.Errorf("def of a at b = node %d, want %d (a=2)", defs[0], a2.ID)
+	}
+}
+
+func TestReachingBothBranches(t *testing.T) {
+	g, _ := setup(t, `
+func process(pkt) {
+    if pkt.dport == 80 { a = 1; } else { a = 2; }
+    b = a;
+}`)
+	rd := Reaching(g, []string{"pkt"})
+	bNode := nodeOf(t, g, assignsTo("b"))
+	defs := rd.UseDefs(bNode.ID, "a")
+	if len(defs) != 2 {
+		t.Errorf("defs of a after diamond = %v, want 2", defs)
+	}
+}
+
+func TestWeakUpdateDoesNotKill(t *testing.T) {
+	g, _ := setup(t, `
+m = {};
+func process(pkt) {
+    m[pkt.sport] = 1;
+    x = m;
+}`)
+	rd := Reaching(g, []string{"pkt"})
+	xNode := nodeOf(t, g, assignsTo("x"))
+	defs := rd.UseDefs(xNode.ID, "m")
+	// Both the global initializer and the element store reach the use:
+	// the store is a weak update of the container.
+	if len(defs) != 2 {
+		t.Errorf("defs of m = %v, want 2 (init + weak store)", defs)
+	}
+}
+
+func TestStrongUpdateKills(t *testing.T) {
+	g, _ := setup(t, `
+m = {};
+func process(pkt) {
+    m = {};
+    x = m;
+}`)
+	rd := Reaching(g, []string{"pkt"})
+	xNode := nodeOf(t, g, assignsTo("x"))
+	defs := rd.UseDefs(xNode.ID, "m")
+	if len(defs) != 1 {
+		t.Errorf("defs of m = %v, want 1 (reassignment kills init)", defs)
+	}
+}
+
+func TestParamDefAtEntry(t *testing.T) {
+	g, _ := setup(t, `
+func process(pkt) {
+    a = pkt.sip;
+}`)
+	rd := Reaching(g, []string{"pkt"})
+	aNode := nodeOf(t, g, assignsTo("a"))
+	defs := rd.UseDefs(aNode.ID, "pkt")
+	if len(defs) != 1 || defs[0] != g.Entry.ID {
+		t.Errorf("defs of pkt = %v, want [entry]", defs)
+	}
+}
+
+func TestLoopCarriedDef(t *testing.T) {
+	g, _ := setup(t, `
+func process(pkt) {
+    i = 0;
+    while i < 3 {
+        i = i + 1;
+    }
+    send(i);
+}`)
+	rd := Reaching(g, []string{"pkt"})
+	inc := nodeOf(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "i" && lang.ExprString(as.RHS[0]) != "0"
+	})
+	defs := rd.UseDefs(inc.ID, "i")
+	// Inside the loop both i=0 and i=i+1 reach.
+	if len(defs) != 2 {
+		t.Errorf("defs of i inside loop = %v, want 2", defs)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	g, _ := setup(t, `
+func process(pkt) {
+    a = 1;
+    b = 2;
+    send(a);
+}`)
+	lv := Live(g)
+	aAssign := nodeOf(t, g, assignsTo("a"))
+	bAssign := nodeOf(t, g, assignsTo("b"))
+	if !lv.Out[aAssign.ID]["a"] {
+		t.Error("a not live after its assignment")
+	}
+	if lv.Out[bAssign.ID]["b"] {
+		t.Error("b live after its assignment despite no use")
+	}
+}
+
+func TestNodeDefVars(t *testing.T) {
+	g, _ := setup(t, `
+m = {};
+func process(pkt) {
+    m[1] = 2;
+}`)
+	store := nodeOf(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "m[1]"
+	})
+	vars := NodeDefVars(g, store.ID)
+	if len(vars) != 1 || vars[0] != "m" {
+		t.Errorf("NodeDefVars = %v", vars)
+	}
+}

@@ -1,0 +1,308 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): Table 1 (variable categorization), Table 2 (slicing /
+// path-count / symbolic-execution metrics), Figure 6 (the synthesized
+// balance model) and the accuracy experiments (symbolic path-set
+// equivalence + random differential testing). cmd/nfbench prints them;
+// bench_test.go measures them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nfactor/internal/core"
+	"nfactor/internal/lang"
+	"nfactor/internal/model"
+	"nfactor/internal/nfs"
+	"nfactor/internal/workload"
+)
+
+// Table2Row is one NF's row of Table 2.
+type Table2Row struct {
+	NF          string
+	LoCOrig     int // lines of the original source (pre-normalization)
+	LoCSlice    int // lines of the packet+state slice
+	LoCPath     int // statements on the longest execution path
+	SliceTime   time.Duration
+	EPOrig      int
+	EPOrigCap   bool // true: path budget exhausted (the ">N" cell)
+	EPSlice     int
+	SETimeOrig  time.Duration
+	SETimeSlice time.Duration
+	Budget      int
+}
+
+// Table2 computes the Table 2 row for each named corpus NF.
+func Table2(names []string, maxPaths int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range names {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.Analyze(name, nf.Prog, core.Options{
+			MaxPaths:        maxPaths,
+			MeasureOriginal: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := an.Metrics
+		rows = append(rows, Table2Row{
+			NF:          name,
+			LoCOrig:     lang.CountLoC(nf.Raw),
+			LoCSlice:    m.LoCSlice,
+			LoCPath:     m.LoCPath,
+			SliceTime:   m.SliceTime,
+			EPOrig:      m.EPOrig,
+			EPOrigCap:   m.EPOrigCapped,
+			EPSlice:     m.EPSlice,
+			SETimeOrig:  m.SETimeOrig,
+			SETimeSlice: m.SETimeSlice,
+			Budget:      maxPaths,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: NFactor on the NF corpus\n")
+	sb.WriteString(fmt.Sprintf("%-10s %7s %7s %6s | %10s | %7s %7s | %10s %10s\n",
+		"", "LoC", "", "", "Slicing", "# of EP", "", "SE time", ""))
+	sb.WriteString(fmt.Sprintf("%-10s %7s %7s %6s | %10s | %7s %7s | %10s %10s\n",
+		"NF", "orig", "slice", "path", "time", "orig", "slice", "orig", "slice"))
+	sb.WriteString(strings.Repeat("-", 96) + "\n")
+	for _, r := range rows {
+		ep := fmt.Sprintf("%d", r.EPOrig)
+		seOrig := fmtDur(r.SETimeOrig)
+		if r.EPOrigCap {
+			ep = fmt.Sprintf(">%d", r.Budget-1)
+			seOrig = ">" + seOrig // budget hit: a lower bound, like the paper's >1hr
+		}
+		sb.WriteString(fmt.Sprintf("%-10s %7d %7d %6d | %10s | %7s %7d | %10s %10s\n",
+			r.NF, r.LoCOrig, r.LoCSlice, r.LoCPath,
+			fmtDur(r.SliceTime), ep, r.EPSlice, seOrig, fmtDur(r.SETimeSlice)))
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Table1 renders the Figure 1 load balancer's variable categorization.
+func Table1() (string, error) {
+	nf, err := nfs.Load("lb")
+	if err != nil {
+		return "", err
+	}
+	an, err := core.Analyze("lb", nf.Prog, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	v := an.Vars
+	var sb strings.Builder
+	sb.WriteString("Table 1: NFactor variable categorization (lb, Figure 1)\n")
+	sb.WriteString(fmt.Sprintf("%-8s | %-55s | %s\n", "category", "features", "variables"))
+	sb.WriteString(strings.Repeat("-", 100) + "\n")
+	rows := []struct {
+		cat      string
+		features string
+		vars     []string
+	}{
+		{"pktVar", "packet I/O function parameter/return value", v.PktVars()},
+		{"cfgVar", "persistent, top-level, not updateable", v.CfgVars()},
+		{"oisVar", "persistent, top-level, updateable, output-impacting", v.OISVars()},
+		{"logVar", "persistent, top-level, updateable, not output-impacting", v.LogVars()},
+	}
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-8s | %-55s | %s\n", r.cat, r.features, strings.Join(r.vars, ", ")))
+	}
+	return sb.String(), nil
+}
+
+// Figure6 renders the synthesized model of balance (both configurations),
+// the paper's Figure 6.
+func Figure6() (string, error) {
+	nf, err := nfs.Load("balance")
+	if err != nil {
+		return "", err
+	}
+	an, err := core.Analyze("balance", nf.Prog, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	return model.Render(an.Model), nil
+}
+
+// Figure1Slice renders the lb program next to its packet+state slice (the
+// highlighted lines of Figure 1).
+func Figure1Slice() (string, error) {
+	nf, err := nfs.Load("lb")
+	if err != nil {
+		return "", err
+	}
+	an, err := core.Analyze("lb", nf.Prog, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 1: load balancer — packet+state slice (the paper's highlighted lines)\n")
+	sb.WriteString(strings.Repeat("=", 72) + "\n")
+	sb.WriteString(lang.Print(an.SliceProg))
+	sb.WriteString(strings.Repeat("=", 72) + "\n")
+	sb.WriteString(fmt.Sprintf("original: %d LoC, slice: %d LoC\n",
+		an.Metrics.LoCOrig, an.Metrics.LoCSlice))
+	return sb.String(), nil
+}
+
+// AccuracyRow is one NF's accuracy verdict (§5).
+type AccuracyRow struct {
+	NF          string
+	PathsEqual  bool
+	ProgPaths   int
+	ModelPaths  int
+	Trials      int
+	Mismatches  int
+	FirstDiff   string
+	EquivDetail string
+}
+
+// Accuracy runs both accuracy experiments for each NF: symbolic path-set
+// comparison and `trials` random-packet differential tests.
+func Accuracy(names []string, trials int, seed int64) ([]AccuracyRow, error) {
+	var rows []AccuracyRow
+	for _, name := range names {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{MaxPaths: 4096}
+		an, err := core.Analyze(name, nf.Prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := an.CheckPathEquivalence(opts)
+		if err != nil {
+			return nil, err
+		}
+		trace := workload.New(seed).RandomTrace(trials)
+		diff, err := an.DiffTest(trace, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := AccuracyRow{
+			NF:         name,
+			PathsEqual: rep.Equivalent(),
+			ProgPaths:  rep.ProgramPaths,
+			ModelPaths: rep.ModelPaths,
+			Trials:     diff.Trials,
+			Mismatches: diff.Mismatches,
+			FirstDiff:  diff.FirstDiff,
+		}
+		if !rep.Equivalent() {
+			row.EquivDetail = fmt.Sprintf("%d uncovered / %d mismatched",
+				len(rep.UncoveredProgram), len(rep.MismatchedModel))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAccuracy renders the accuracy rows.
+func FormatAccuracy(rows []AccuracyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Accuracy (§5): path-set equivalence and random differential testing\n")
+	sb.WriteString(fmt.Sprintf("%-10s | %-11s %9s %10s | %8s %10s\n",
+		"NF", "paths equal", "prog", "model", "trials", "mismatches"))
+	sb.WriteString(strings.Repeat("-", 72) + "\n")
+	for _, r := range rows {
+		eq := "yes"
+		if !r.PathsEqual {
+			eq = "NO(" + r.EquivDetail + ")"
+		}
+		sb.WriteString(fmt.Sprintf("%-10s | %-11s %9d %10d | %8d %10d\n",
+			r.NF, eq, r.ProgPaths, r.ModelPaths, r.Trials, r.Mismatches))
+	}
+	return sb.String()
+}
+
+// VerificationRow compares symbolic-execution cost of the original
+// program against the compiled model — the §4 claim that model checking
+// on the model is far cheaper than on the original code.
+type VerificationRow struct {
+	NF         string
+	OrigTime   time.Duration
+	OrigPaths  int
+	OrigCapped bool
+	ModelTime  time.Duration
+	ModelPaths int
+}
+
+// Verification measures SE time on the original vs. the compiled model.
+func Verification(names []string, maxPaths int) ([]VerificationRow, error) {
+	var rows []VerificationRow
+	for _, name := range names {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{MaxPaths: maxPaths, MeasureOriginal: true}
+		an, err := core.Analyze(name, nf.Prog, opts)
+		if err != nil {
+			return nil, err
+		}
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := model.Compile(an.Model, config, state)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		an2, err := core.Analyze(name+"-model", prog, core.Options{MaxPaths: maxPaths})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, VerificationRow{
+			NF:         name,
+			OrigTime:   an.Metrics.SETimeOrig,
+			OrigPaths:  an.Metrics.EPOrig,
+			OrigCapped: an.Metrics.EPOrigCapped,
+			ModelTime:  time.Since(start),
+			ModelPaths: an2.Metrics.EPSlice,
+		})
+	}
+	return rows, nil
+}
+
+// FormatVerification renders the verification rows.
+func FormatVerification(rows []VerificationRow) string {
+	var sb strings.Builder
+	sb.WriteString("§4 verification: symbolic execution on original code vs. on the model\n")
+	sb.WriteString(fmt.Sprintf("%-10s | %10s %8s | %10s %8s\n",
+		"NF", "orig time", "paths", "model time", "paths"))
+	sb.WriteString(strings.Repeat("-", 60) + "\n")
+	for _, r := range rows {
+		op := fmt.Sprintf("%d", r.OrigPaths)
+		ot := fmtDur(r.OrigTime)
+		if r.OrigCapped {
+			op = ">" + op
+			ot = ">" + ot
+		}
+		sb.WriteString(fmt.Sprintf("%-10s | %10s %8s | %10s %8d\n",
+			r.NF, ot, op, fmtDur(r.ModelTime), r.ModelPaths))
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/value"
+)
+
+// Builtins recognized by the interpreter (and, symbolically, by the
+// executor). Per the paper's assumption (§3.1), packet I/O goes through
+// standard library functions — send() here — which is how NFactor locates
+// the packet output statements.
+var builtinNames = map[string]bool{
+	"send": true, "drop": true, "log": true,
+	"hash": true, "len": true, "del": true, "keys": true,
+	"tcp_flag": true, "str_contains": true,
+}
+
+// IsBuiltin reports whether name is an interpreter builtin.
+func IsBuiltin(name string) bool { return builtinNames[name] }
+
+const maxCallDepth = 64
+
+func (in *Interp) evalCall(ex *lang.CallExpr, e *env) (value.Value, error) {
+	if fn := in.prog.Func(ex.Fun); fn != nil {
+		return in.callUser(fn, ex, e)
+	}
+	args := make([]value.Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := in.eval(a, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		args[i] = v
+	}
+	switch ex.Fun {
+	case "send":
+		if len(args) < 1 || len(args) > 2 {
+			return value.Value{}, fmt.Errorf("%s: send takes (pkt) or (pkt, iface)", ex.Pos)
+		}
+		if args[0].Kind != value.KindPacket {
+			return value.Value{}, fmt.Errorf("%s: send of %s", ex.Pos, args[0].Kind)
+		}
+		iface := ""
+		if len(args) == 2 {
+			if args[1].Kind != value.KindStr {
+				return value.Value{}, fmt.Errorf("%s: send iface must be string", ex.Pos)
+			}
+			iface = args[1].S
+		}
+		in.out.Sent = append(in.out.Sent, SentPacket{Pkt: args[0].Clone(), Iface: iface})
+		return value.Nil(), nil
+	case "drop":
+		if len(args) != 0 {
+			return value.Value{}, fmt.Errorf("%s: drop takes no arguments", ex.Pos)
+		}
+		return value.Nil(), nil
+	case "log":
+		parts := make([]string, len(args))
+		for i, a := range args {
+			if a.Kind == value.KindStr {
+				parts[i] = a.S
+			} else {
+				parts[i] = a.String()
+			}
+		}
+		in.out.Logs = append(in.out.Logs, strings.Join(parts, " "))
+		return value.Nil(), nil
+	case "hash":
+		if len(args) != 1 {
+			return value.Value{}, fmt.Errorf("%s: hash takes 1 argument", ex.Pos)
+		}
+		h, err := value.Hash(args[0])
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return value.Int(h), nil
+	case "len":
+		if len(args) != 1 {
+			return value.Value{}, fmt.Errorf("%s: len takes 1 argument", ex.Pos)
+		}
+		n, err := args[0].Len()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return value.Int(int64(n)), nil
+	case "del":
+		if len(args) != 2 || args[0].Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("%s: del takes (map, key)", ex.Pos)
+		}
+		if err := args[0].Map.Delete(args[1]); err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return value.Nil(), nil
+	case "keys":
+		if len(args) != 1 || args[0].Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("%s: keys takes a map", ex.Pos)
+		}
+		return value.NewList(args[0].Map.Keys()...), nil
+	case "str_contains":
+		if len(args) != 2 || args[0].Kind != value.KindStr || args[1].Kind != value.KindStr {
+			return value.Value{}, fmt.Errorf("%s: str_contains takes two strings", ex.Pos)
+		}
+		return value.Bool(strings.Contains(args[0].S, args[1].S)), nil
+	case "tcp_flag":
+		// tcp_flag(pkt, "SYN") — tests a flag letter in the packet's
+		// flags field (a string like "SA").
+		if len(args) != 2 || args[0].Kind != value.KindPacket || args[1].Kind != value.KindStr {
+			return value.Value{}, fmt.Errorf("%s: tcp_flag takes (pkt, flag)", ex.Pos)
+		}
+		flags, ok := args[0].Pkt.Fields["flags"]
+		if !ok || flags.Kind != value.KindStr {
+			return value.Bool(false), nil
+		}
+		return value.Bool(strings.Contains(flags.S, args[1].S)), nil
+	default:
+		return value.Value{}, fmt.Errorf("%s: unknown function %q", ex.Pos, ex.Fun)
+	}
+}
+
+func (in *Interp) callUser(fn *lang.FuncDecl, ex *lang.CallExpr, e *env) (value.Value, error) {
+	if len(ex.Args) != len(fn.Params) {
+		return value.Value{}, fmt.Errorf("%s: %s expects %d args, got %d", ex.Pos, fn.Name, len(fn.Params), len(ex.Args))
+	}
+	if in.depth >= maxCallDepth {
+		return value.Value{}, fmt.Errorf("%s: call depth exceeded calling %s", ex.Pos, fn.Name)
+	}
+	callEnv := newEnv(nil)
+	for i, p := range fn.Params {
+		v, err := in.eval(ex.Args[i], e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		callEnv.vars[p] = v
+	}
+	in.depth++
+	c, err := in.execBlock(fn.Body, callEnv)
+	in.depth--
+	if err != nil {
+		return value.Value{}, err
+	}
+	if c.sig == sigReturn {
+		return c.val, nil
+	}
+	return value.Nil(), nil
+}

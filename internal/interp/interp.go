@@ -1,0 +1,545 @@
+// Package interp is the concrete NFLang interpreter: it runs an NF
+// program (the "original program" side of the paper's §5 accuracy
+// experiment) packet by packet, maintaining its persistent state and
+// capturing the forwarding output.
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/value"
+)
+
+// SentPacket is one packet emitted by send().
+type SentPacket struct {
+	Pkt   value.Value // a packet value (snapshot at send time)
+	Iface string      // output interface ("" when unspecified)
+}
+
+// Output is the observable result of processing one packet.
+type Output struct {
+	Sent    []SentPacket
+	Logs    []string
+	Dropped bool // true when the invocation sent nothing (implicit drop)
+}
+
+// Options configure the interpreter.
+type Options struct {
+	// MaxSteps bounds the number of statements executed per invocation
+	// (guards against unbounded loops). 0 means the default (100000).
+	MaxSteps int
+	// ConfigOverride replaces the initial values of the named globals
+	// before the program's globals run (how an operator "configures" the
+	// NF, e.g. mode = "HASH").
+	ConfigOverride map[string]value.Value
+}
+
+// Interp holds a running NF instance: the program plus its persistent
+// global state.
+type Interp struct {
+	prog     *lang.Program
+	entry    string
+	globals  map[string]value.Value
+	maxSteps int
+	steps    int
+	out      *Output
+	depth    int
+	trace    map[int]bool // statement IDs executed (when tracing)
+}
+
+// New instantiates the NF program, executing its top-level global
+// initializers. entry is the per-packet function (usually "process").
+func New(prog *lang.Program, entry string, opts Options) (*Interp, error) {
+	if prog.Func(entry) == nil {
+		return nil, fmt.Errorf("interp: no function %q", entry)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100000
+	}
+	in := &Interp{
+		prog:     prog,
+		entry:    entry,
+		globals:  make(map[string]value.Value),
+		maxSteps: maxSteps,
+	}
+	env := newEnv(nil)
+	for _, g := range prog.Globals {
+		in.steps = 0
+		in.out = &Output{}
+		if _, err := in.execStmt(g, env); err != nil {
+			return nil, fmt.Errorf("interp: initializing globals: %w", err)
+		}
+	}
+	// Locals assigned at top level are globals by definition.
+	for k, v := range env.vars {
+		in.globals[k] = v
+	}
+	for k, v := range opts.ConfigOverride {
+		if _, ok := in.globals[k]; !ok {
+			return nil, fmt.Errorf("interp: config override for unknown global %q", k)
+		}
+		in.globals[k] = v
+	}
+	return in, nil
+}
+
+// Globals returns a snapshot of the NF's current persistent state, sorted
+// by name.
+func (in *Interp) Globals() map[string]value.Value {
+	out := make(map[string]value.Value, len(in.globals))
+	for k, v := range in.globals {
+		out[k] = v
+	}
+	return out
+}
+
+// GlobalNames returns the persistent variable names, sorted.
+func (in *Interp) GlobalNames() []string {
+	out := make([]string, 0, len(in.globals))
+	for k := range in.globals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Process runs the entry function on pkt (which is deep-copied first, so
+// callers can reuse packet values) and returns the captured output.
+func (in *Interp) Process(pkt value.Value) (*Output, error) {
+	out, _, err := in.processInner(pkt, false)
+	return out, err
+}
+
+// ProcessTraced is Process, additionally recording the set of statement
+// IDs executed — the execution trace that dynamic slicing (Agrawal &
+// Horgan, the paper's reference [3]) intersects with the static slice.
+func (in *Interp) ProcessTraced(pkt value.Value) (*Output, map[int]bool, error) {
+	return in.processInner(pkt, true)
+}
+
+func (in *Interp) processInner(pkt value.Value, traced bool) (*Output, map[int]bool, error) {
+	if pkt.Kind != value.KindPacket {
+		return nil, nil, fmt.Errorf("interp: Process wants a packet, got %s", pkt.Kind)
+	}
+	fn := in.prog.Func(in.entry)
+	if len(fn.Params) != 1 {
+		return nil, nil, fmt.Errorf("interp: %s must take exactly the packet parameter", in.entry)
+	}
+	in.steps = 0
+	in.out = &Output{}
+	in.trace = nil
+	if traced {
+		in.trace = map[int]bool{}
+	}
+	env := newEnv(nil)
+	env.vars[fn.Params[0]] = pkt.Clone()
+	if _, err := in.execBlock(fn.Body, env); err != nil {
+		return nil, nil, err
+	}
+	out := in.out
+	out.Dropped = len(out.Sent) == 0
+	trace := in.trace
+	in.trace = nil
+	return out, trace, nil
+}
+
+// environment
+
+type env struct {
+	vars   map[string]value.Value
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: map[string]value.Value{}, parent: parent}
+}
+
+func (in *Interp) lookup(e *env, name string) (value.Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	v, ok := in.globals[name]
+	return v, ok
+}
+
+// assign writes name: an existing local is updated in its scope, an
+// existing global is updated globally, otherwise a new local is created
+// (Python-like, with implicit `global` for existing globals — matching
+// how the static analyses treat names).
+func (in *Interp) assign(e *env, name string, v value.Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+	}
+	if _, ok := in.globals[name]; ok {
+		in.globals[name] = v
+		return
+	}
+	e.vars[name] = v
+}
+
+// control-flow signals
+
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigBreak
+	sigContinue
+)
+
+type ctrl struct {
+	sig signal
+	val value.Value
+}
+
+func (in *Interp) step(pos lang.Pos) error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return fmt.Errorf("interp: step budget exceeded at %s (unbounded loop?)", pos)
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(b *lang.BlockStmt, e *env) (ctrl, error) {
+	for _, s := range b.Stmts {
+		c, err := in.execStmt(s, e)
+		if err != nil {
+			return ctrl{}, err
+		}
+		if c.sig != sigNone {
+			return c, nil
+		}
+	}
+	return ctrl{}, nil
+}
+
+func (in *Interp) execStmt(s lang.Stmt, e *env) (ctrl, error) {
+	if err := in.step(s.NodePos()); err != nil {
+		return ctrl{}, err
+	}
+	if in.trace != nil {
+		in.trace[s.StmtID()] = true
+	}
+	switch st := s.(type) {
+	case *lang.AssignStmt:
+		return ctrl{}, in.execAssign(st, e)
+	case *lang.ExprStmt:
+		_, err := in.eval(st.X, e)
+		return ctrl{}, err
+	case *lang.IfStmt:
+		cond, err := in.eval(st.Cond, e)
+		if err != nil {
+			return ctrl{}, err
+		}
+		b, err := cond.IsTruthy()
+		if err != nil {
+			return ctrl{}, fmt.Errorf("%s: %w", st.NodePos(), err)
+		}
+		if b {
+			return in.execBlock(st.Then, e)
+		}
+		if st.Else != nil {
+			return in.execBlock(st.Else, e)
+		}
+		return ctrl{}, nil
+	case *lang.WhileStmt:
+		for {
+			if err := in.step(st.NodePos()); err != nil {
+				return ctrl{}, err
+			}
+			cond, err := in.eval(st.Cond, e)
+			if err != nil {
+				return ctrl{}, err
+			}
+			b, err := cond.IsTruthy()
+			if err != nil {
+				return ctrl{}, fmt.Errorf("%s: %w", st.NodePos(), err)
+			}
+			if !b {
+				return ctrl{}, nil
+			}
+			c, err := in.execBlock(st.Body, e)
+			if err != nil {
+				return ctrl{}, err
+			}
+			switch c.sig {
+			case sigReturn:
+				return c, nil
+			case sigBreak:
+				return ctrl{}, nil
+			}
+		}
+	case *lang.ForStmt:
+		iter, err := in.eval(st.Iter, e)
+		if err != nil {
+			return ctrl{}, err
+		}
+		elems, err := iterElems(iter)
+		if err != nil {
+			return ctrl{}, fmt.Errorf("%s: %w", st.NodePos(), err)
+		}
+		for _, el := range elems {
+			if err := in.step(st.NodePos()); err != nil {
+				return ctrl{}, err
+			}
+			in.assign(e, st.Var, el)
+			c, err := in.execBlock(st.Body, e)
+			if err != nil {
+				return ctrl{}, err
+			}
+			if c.sig == sigReturn {
+				return c, nil
+			}
+			if c.sig == sigBreak {
+				break
+			}
+		}
+		return ctrl{}, nil
+	case *lang.ReturnStmt:
+		c := ctrl{sig: sigReturn}
+		if st.Value != nil {
+			v, err := in.eval(st.Value, e)
+			if err != nil {
+				return ctrl{}, err
+			}
+			c.val = v
+		}
+		return c, nil
+	case *lang.BreakStmt:
+		return ctrl{sig: sigBreak}, nil
+	case *lang.ContinueStmt:
+		return ctrl{sig: sigContinue}, nil
+	case *lang.BlockStmt:
+		return in.execBlock(st, e)
+	default:
+		return ctrl{}, fmt.Errorf("interp: unsupported statement %T", s)
+	}
+}
+
+func iterElems(v value.Value) ([]value.Value, error) {
+	switch v.Kind {
+	case value.KindList:
+		return append([]value.Value(nil), v.List.Elems...), nil
+	case value.KindTuple:
+		return append([]value.Value(nil), v.Tuple...), nil
+	case value.KindMap:
+		return v.Map.Keys(), nil
+	default:
+		return nil, fmt.Errorf("cannot iterate %s", v.Kind)
+	}
+}
+
+func (in *Interp) execAssign(st *lang.AssignStmt, e *env) error {
+	// Evaluate all RHS first (parallel assignment semantics).
+	var vals []value.Value
+	if len(st.RHS) == 1 && len(st.LHS) > 1 {
+		v, err := in.eval(st.RHS[0], e)
+		if err != nil {
+			return err
+		}
+		if v.Kind != value.KindTuple || len(v.Tuple) != len(st.LHS) {
+			return fmt.Errorf("%s: cannot unpack %s into %d targets", st.NodePos(), v.Kind, len(st.LHS))
+		}
+		vals = v.Tuple
+	} else {
+		for _, r := range st.RHS {
+			v, err := in.eval(r, e)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+		}
+	}
+	for i, l := range st.LHS {
+		if err := in.assignTo(l, vals[i], e); err != nil {
+			return fmt.Errorf("%s: %w", st.NodePos(), err)
+		}
+	}
+	return nil
+}
+
+func (in *Interp) assignTo(l lang.Expr, v value.Value, e *env) error {
+	switch lv := l.(type) {
+	case *lang.Ident:
+		in.assign(e, lv.Name, v)
+		return nil
+	case *lang.IndexExpr:
+		container, err := in.eval(lv.X, e)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(lv.Index, e)
+		if err != nil {
+			return err
+		}
+		return value.SetIndex(container, idx, v)
+	case *lang.FieldExpr:
+		container, err := in.eval(lv.X, e)
+		if err != nil {
+			return err
+		}
+		if container.Kind != value.KindPacket {
+			return fmt.Errorf("field assignment on %s", container.Kind)
+		}
+		container.Pkt.Fields[lv.Name] = v
+		return nil
+	default:
+		return fmt.Errorf("invalid assignment target %T", l)
+	}
+}
+
+func (in *Interp) eval(x lang.Expr, e *env) (value.Value, error) {
+	switch ex := x.(type) {
+	case *lang.Ident:
+		v, ok := in.lookup(e, ex.Name)
+		if !ok {
+			return value.Value{}, fmt.Errorf("%s: undefined variable %q", ex.Pos, ex.Name)
+		}
+		return v, nil
+	case *lang.IntLit:
+		return value.Int(ex.Val), nil
+	case *lang.StrLit:
+		return value.Str(ex.Val), nil
+	case *lang.BoolLit:
+		return value.Bool(ex.Val), nil
+	case *lang.NilLit:
+		return value.Nil(), nil
+	case *lang.TupleLit:
+		elems := make([]value.Value, len(ex.Elems))
+		for i, el := range ex.Elems {
+			v, err := in.eval(el, e)
+			if err != nil {
+				return value.Value{}, err
+			}
+			elems[i] = v
+		}
+		return value.TupleOf(elems...), nil
+	case *lang.ListLit:
+		elems := make([]value.Value, len(ex.Elems))
+		for i, el := range ex.Elems {
+			v, err := in.eval(el, e)
+			if err != nil {
+				return value.Value{}, err
+			}
+			elems[i] = v
+		}
+		return value.NewList(elems...), nil
+	case *lang.MapLit:
+		m := value.NewMap()
+		for i := range ex.Keys {
+			k, err := in.eval(ex.Keys[i], e)
+			if err != nil {
+				return value.Value{}, err
+			}
+			v, err := in.eval(ex.Vals[i], e)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if err := m.Map.Set(k, v); err != nil {
+				return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+			}
+		}
+		return m, nil
+	case *lang.UnaryExpr:
+		v, err := in.eval(ex.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := value.UnOp(ex.Op, v)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return r, nil
+	case *lang.BinaryExpr:
+		return in.evalBinary(ex, e)
+	case *lang.IndexExpr:
+		c, err := in.eval(ex.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		idx, err := in.eval(ex.Index, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := value.Index(c, idx)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return r, nil
+	case *lang.FieldExpr:
+		c, err := in.eval(ex.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if c.Kind != value.KindPacket {
+			return value.Value{}, fmt.Errorf("%s: field access on %s", ex.Pos, c.Kind)
+		}
+		f, ok := c.Pkt.Fields[ex.Name]
+		if !ok {
+			return value.Value{}, fmt.Errorf("%s: packet has no field %q", ex.Pos, ex.Name)
+		}
+		return f, nil
+	case *lang.CallExpr:
+		return in.evalCall(ex, e)
+	default:
+		return value.Value{}, fmt.Errorf("interp: unsupported expression %T", x)
+	}
+}
+
+func (in *Interp) evalBinary(ex *lang.BinaryExpr, e *env) (value.Value, error) {
+	// Short-circuit boolean operators.
+	if ex.Op == "&&" || ex.Op == "||" {
+		l, err := in.eval(ex.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		lb, err := l.IsTruthy()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		if (ex.Op == "&&" && !lb) || (ex.Op == "||" && lb) {
+			return value.Bool(lb), nil
+		}
+		r, err := in.eval(ex.Y, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		rb, err := r.IsTruthy()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return value.Bool(rb), nil
+	}
+	l, err := in.eval(ex.X, e)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := in.eval(ex.Y, e)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if ex.Op == "in" {
+		if r.Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("%s: `in` on %s", ex.Pos, r.Kind)
+		}
+		_, ok, err := r.Map.Get(l)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+		}
+		return value.Bool(ok), nil
+	}
+	v, err := value.BinOp(ex.Op, l, r)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("%s: %w", ex.Pos, err)
+	}
+	return v, nil
+}

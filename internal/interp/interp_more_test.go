@@ -1,0 +1,185 @@
+package interp
+
+import (
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/value"
+)
+
+func TestIsBuiltin(t *testing.T) {
+	for _, b := range []string{"send", "drop", "log", "hash", "len", "del", "keys", "tcp_flag"} {
+		if !IsBuiltin(b) {
+			t.Errorf("%q not recognized as builtin", b)
+		}
+	}
+	if IsBuiltin("process") || IsBuiltin("sniff") {
+		t.Error("non-builtin recognized")
+	}
+}
+
+func TestGlobalNames(t *testing.T) {
+	in := mustNew(t, `
+b = 2;
+a = 1;
+func process(pkt) { send(pkt); }`, Options{})
+	names := in.GlobalNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("GlobalNames = %v", names)
+	}
+}
+
+func TestIterateTupleAndMap(t *testing.T) {
+	in := mustNew(t, `
+m = {"x": 1, "y": 2};
+func process(pkt) {
+    total = 0;
+    t = (10, 20, 30);
+    for v in t {
+        total = total + v;
+    }
+    nkeys = 0;
+    for k in m {
+        nkeys = nkeys + 1;
+    }
+    pkt.total = total;
+    pkt.nkeys = nkeys;
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Sent[0].Pkt.Pkt.Fields
+	if f["total"].I != 60 || f["nkeys"].I != 2 {
+		t.Errorf("total=%v nkeys=%v", f["total"], f["nkeys"])
+	}
+	// iterating an int errors
+	in2 := mustNew(t, `func process(pkt) { for v in 5 { send(pkt); } }`, Options{})
+	if _, err := in2.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("iterating int did not error")
+	}
+}
+
+func TestNestedIndexAssignment(t *testing.T) {
+	in := mustNew(t, `
+m = {};
+func process(pkt) {
+    m[1] = [0, 0];
+    inner = m[1];
+    inner[0] = 42;
+    pkt.v = m[1][0];
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lists are reference values: mutating `inner` mutates m[1].
+	if out.Sent[0].Pkt.Pkt.Fields["v"].I != 42 {
+		t.Errorf("v = %v", out.Sent[0].Pkt.Pkt.Fields["v"])
+	}
+}
+
+func TestShortCircuitGuardsMapRead(t *testing.T) {
+	in := mustNew(t, `
+m = {};
+func process(pkt) {
+    if pkt.sport in m && m[pkt.sport] == 1 {
+        pkt.hit = true;
+    } else {
+        pkt.hit = false;
+    }
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 7, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatalf("short-circuit failed to guard the map read: %v", err)
+	}
+	if out.Sent[0].Pkt.Pkt.Fields["hit"].B {
+		t.Error("empty map reported a hit")
+	}
+}
+
+func TestVoidUserFunctionReturnsNil(t *testing.T) {
+	in := mustNew(t, `
+seen = {};
+func note(k) {
+    seen[k] = 1;
+}
+func process(pkt) {
+    note(pkt.sport);
+    pkt.n = len(seen);
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 9, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sent[0].Pkt.Pkt.Fields["n"].I != 1 {
+		t.Error("void helper side effect lost")
+	}
+}
+
+func TestSendWithBadIface(t *testing.T) {
+	in := mustNew(t, `func process(pkt) { send(pkt, 42); }`, Options{})
+	if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("non-string iface did not error")
+	}
+	in2 := mustNew(t, `func process(pkt) { send(pkt, "a", "b"); }`, Options{})
+	if _, err := in2.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("3-arg send did not error")
+	}
+}
+
+func TestBuiltinArityErrors(t *testing.T) {
+	for _, src := range []string{
+		`func process(pkt) { x = hash(); }`,
+		`func process(pkt) { x = len(1, 2); }`,
+		`func process(pkt) { del(1); }`,
+		`m = {}; func process(pkt) { del(1, 2); }`,
+		`func process(pkt) { x = keys(1); }`,
+		`func process(pkt) { x = tcp_flag(pkt); }`,
+		`func process(pkt) { drop(1); }`,
+	} {
+		in := mustNew(t, src, Options{})
+		if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+			t.Errorf("no arity error for %q", src)
+		}
+	}
+}
+
+func TestUserFuncWrongArity(t *testing.T) {
+	in := mustNew(t, `
+func f(a, b) { return a; }
+func process(pkt) { x = f(1); }`, Options{})
+	if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("wrong user-func arity did not error")
+	}
+}
+
+func TestProcessRejectsNonPacketAndWrongEntry(t *testing.T) {
+	in := mustNew(t, `func process(pkt) { send(pkt); }`, Options{})
+	if _, err := in.Process(value.Int(5)); err == nil {
+		t.Error("Process(int) did not error")
+	}
+	prog := lang.MustParse(`func process(a, b) { send(a); }`)
+	in2, err := New(prog, "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in2.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("two-parameter entry did not error")
+	}
+}
+
+func TestTupleUnpackErrors(t *testing.T) {
+	in := mustNew(t, `func process(pkt) { a, b = (1, 2, 3); }`, Options{})
+	if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("arity-mismatched unpack did not error")
+	}
+	in2 := mustNew(t, `func process(pkt) { a, b = 5; }`, Options{})
+	if _, err := in2.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("unpack of scalar did not error")
+	}
+}

@@ -1,0 +1,317 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/value"
+)
+
+func pkt(fields map[string]value.Value) value.Value { return value.NewPacket(fields) }
+
+func tcpPkt(sip string, sport int64, dip string, dport int64) value.Value {
+	return pkt(map[string]value.Value{
+		"sip": value.Str(sip), "sport": value.Int(sport),
+		"dip": value.Str(dip), "dport": value.Int(dport),
+		"proto": value.Str("tcp"), "flags": value.Str(""),
+	})
+}
+
+func mustNew(t *testing.T, src string, opts Options) *Interp {
+	t.Helper()
+	in, err := New(lang.MustParse(src), "process", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSendAndDrop(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) {
+    if pkt.dport == 80 {
+        send(pkt, "eth0");
+    }
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1234, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped || len(out.Sent) != 1 || out.Sent[0].Iface != "eth0" {
+		t.Errorf("out = %+v", out)
+	}
+	out, err = in.Process(tcpPkt("1.1.1.1", 1234, "2.2.2.2", 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dropped || len(out.Sent) != 0 {
+		t.Errorf("non-matching packet not dropped: %+v", out)
+	}
+}
+
+func TestStatePersistsAcrossPackets(t *testing.T) {
+	in := mustNew(t, `
+count = 0;
+func process(pkt) {
+    count = count + 1;
+    pkt.seq = count;
+    send(pkt);
+}`, Options{})
+	for i := int64(1); i <= 3; i++ {
+		out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Sent[0].Pkt.Pkt.Fields["seq"].I; got != i {
+			t.Errorf("packet %d seq = %d", i, got)
+		}
+	}
+	if in.Globals()["count"].I != 3 {
+		t.Errorf("count = %v", in.Globals()["count"])
+	}
+}
+
+func TestConfigOverride(t *testing.T) {
+	src := `
+mode = "RR";
+func process(pkt) {
+    if mode == "RR" { pkt.tag = 1; } else { pkt.tag = 2; }
+    send(pkt);
+}`
+	in := mustNew(t, src, Options{ConfigOverride: map[string]value.Value{"mode": value.Str("HASH")}})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sent[0].Pkt.Pkt.Fields["tag"].I != 2 {
+		t.Error("config override did not take effect")
+	}
+	if _, err := New(lang.MustParse(src), "process", Options{ConfigOverride: map[string]value.Value{"nope": value.Int(1)}}); err == nil {
+		t.Error("override of unknown global did not error")
+	}
+}
+
+func TestMapStateAndMembership(t *testing.T) {
+	in := mustNew(t, `
+seen = {};
+func process(pkt) {
+    k = (pkt.sip, pkt.sport);
+    if k in seen {
+        pkt.dup = true;
+    } else {
+        seen[k] = true;
+        pkt.dup = false;
+    }
+    send(pkt);
+}`, Options{})
+	p := tcpPkt("1.1.1.1", 5, "2.2.2.2", 80)
+	out, _ := in.Process(p)
+	if out.Sent[0].Pkt.Pkt.Fields["dup"].B {
+		t.Error("first packet marked dup")
+	}
+	out, _ = in.Process(p)
+	if !out.Sent[0].Pkt.Pkt.Fields["dup"].B {
+		t.Error("second packet not marked dup")
+	}
+}
+
+func TestParallelAssignmentAndUnpack(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) {
+    a, b = pkt.sport, pkt.dport;
+    pkt.sport, pkt.dport = b, a;
+    t = (1, 2);
+    x, y = t;
+    pkt.sum = x + y;
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 10, "2.2.2.2", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Sent[0].Pkt.Pkt.Fields
+	if f["sport"].I != 20 || f["dport"].I != 10 || f["sum"].I != 3 {
+		t.Errorf("fields = %v", f)
+	}
+}
+
+func TestWhileAndBreakContinue(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) {
+    i = 0;
+    total = 0;
+    while i < 10 {
+        i = i + 1;
+        if i == 3 { continue; }
+        if i == 6 { break; }
+        total = total + i;
+    }
+    pkt.total = total;
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1+2+4+5 = 12
+	if out.Sent[0].Pkt.Pkt.Fields["total"].I != 12 {
+		t.Errorf("total = %v", out.Sent[0].Pkt.Pkt.Fields["total"])
+	}
+}
+
+func TestForInList(t *testing.T) {
+	in := mustNew(t, `
+servers = [("1.1.1.1", 80), ("2.2.2.2", 81)];
+func process(pkt) {
+    n = 0;
+    for s in servers {
+        n = n + s[1];
+    }
+    pkt.n = n;
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sent[0].Pkt.Pkt.Fields["n"].I != 161 {
+		t.Errorf("n = %v", out.Sent[0].Pkt.Pkt.Fields["n"])
+	}
+}
+
+func TestUserFunctionCall(t *testing.T) {
+	in := mustNew(t, `
+func double(x) { return x * 2; }
+func process(pkt) {
+    pkt.sport = double(pkt.sport);
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 21, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sent[0].Pkt.Pkt.Fields["sport"].I != 42 {
+		t.Error("user function call failed")
+	}
+}
+
+func TestRecursionDepthGuard(t *testing.T) {
+	in := mustNew(t, `
+func f(x) { return f(x); }
+func process(pkt) { y = f(1); }`, Options{})
+	if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("infinite recursion did not error")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) { while true { x = 1; } }`, Options{MaxSteps: 100})
+	if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+		t.Error("unbounded loop did not hit step budget")
+	}
+}
+
+func TestLogBuiltin(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) {
+    log("saw port", pkt.dport);
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Logs) != 1 || !strings.Contains(out.Logs[0], "80") {
+		t.Errorf("logs = %v", out.Logs)
+	}
+}
+
+func TestBuiltinsHashLenDelKeys(t *testing.T) {
+	in := mustNew(t, `
+m = {};
+func process(pkt) {
+    m[1] = "a";
+    m[2] = "b";
+    del(m, 1);
+    pkt.n = len(m);
+    pkt.h = hash(pkt.sip) % 97;
+    ks = keys(m);
+    pkt.k0 = ks[0];
+    send(pkt);
+}`, Options{})
+	out, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Sent[0].Pkt.Pkt.Fields
+	if f["n"].I != 1 || f["k0"].I != 2 {
+		t.Errorf("fields = %v", f)
+	}
+	if f["h"].I < 0 || f["h"].I >= 97 {
+		t.Errorf("hash out of range: %v", f["h"])
+	}
+}
+
+func TestTCPFlagBuiltin(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) {
+    if tcp_flag(pkt, "S") && !tcp_flag(pkt, "A") {
+        pkt.kind = "syn";
+    } else {
+        pkt.kind = "other";
+    }
+    send(pkt);
+}`, Options{})
+	p := tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)
+	p.Pkt.Fields["flags"] = value.Str("S")
+	out, _ := in.Process(p)
+	if out.Sent[0].Pkt.Pkt.Fields["kind"].S != "syn" {
+		t.Error("SYN not detected")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`func process(pkt) { x = undefinedvar; }`,
+		`func process(pkt) { x = pkt.nosuchfield; }`,
+		`func process(pkt) { x = 1 / 0; }`,
+		`func process(pkt) { if pkt.sport { } }`, // non-bool condition
+		`m = {}; func process(pkt) { x = m["absent"]; }`,
+		`func process(pkt) { send(1); }`,
+		`func process(pkt) { x = unknownfn(1); }`,
+		`lst = [1]; func process(pkt) { x = lst[5]; }`,
+	}
+	for _, src := range cases {
+		in := mustNew(t, src, Options{})
+		if _, err := in.Process(tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestProcessDoesNotMutateCallerPacket(t *testing.T) {
+	in := mustNew(t, `
+func process(pkt) { pkt.sport = 9999; send(pkt); }`, Options{})
+	p := tcpPkt("1.1.1.1", 1, "2.2.2.2", 80)
+	if _, err := in.Process(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pkt.Fields["sport"].I != 1 {
+		t.Error("caller's packet mutated")
+	}
+}
+
+func TestGlobalsInitializerError(t *testing.T) {
+	if _, err := New(lang.MustParse(`x = 1 / 0;
+func process(pkt) { send(pkt); }`), "process", Options{}); err == nil {
+		t.Error("bad global initializer did not error")
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	if _, err := New(lang.MustParse(`x = 1;`), "process", Options{}); err == nil {
+		t.Error("missing entry did not error")
+	}
+}

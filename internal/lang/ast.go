@@ -1,0 +1,348 @@
+package lang
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// Stmt is implemented by statement nodes. Every statement carries a unique
+// ID (assigned by IndexProgram) that the CFG, dependence and slicing
+// layers use as their node identity.
+type Stmt interface {
+	Node
+	StmtID() int
+	setID(int)
+	stmtNode()
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Program is a parsed NFLang compilation unit: top-level global
+// assignments (the NF's configuration and state initialization — the
+// "persistent" variables of StateAlyzer) followed by function
+// declarations. By convention the per-packet entry point is process(pkt).
+type Program struct {
+	Globals []*AssignStmt
+	Funcs   []*FuncDecl
+
+	// Filled by IndexProgram.
+	stmtByID map[int]Stmt
+	parents  map[int]Stmt
+	nextID   int
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// NodePos implements Node.
+func (f *FuncDecl) NodePos() Pos { return f.Pos }
+
+// Func returns the declaration of name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+type stmtBase struct {
+	id  int
+	pos Pos
+}
+
+func (s *stmtBase) NodePos() Pos { return s.pos }
+
+// StmtID returns the statement's unique ID (0 before IndexProgram).
+func (s *stmtBase) StmtID() int { return s.id }
+func (s *stmtBase) setID(i int) { s.id = i }
+func (s *stmtBase) stmtNode()   {}
+
+// AssignStmt is a (possibly parallel) assignment `lhs, ... = rhs, ...`.
+type AssignStmt struct {
+	stmtBase
+	LHS []Expr
+	RHS []Expr
+}
+
+// ExprStmt is an expression evaluated for effect (a call such as send()).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // nil when absent; else-if is an else block with one IfStmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is `for x in iterable { ... }`.
+type ForStmt struct {
+	stmtBase
+	Var  string
+	Iter Expr
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the current function; Value may be nil.
+type ReturnStmt struct {
+	stmtBase
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// BlockStmt is a braced statement sequence.
+type BlockStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+	Pos Pos
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Val bool
+	Pos Pos
+}
+
+// NilLit is the nil literal.
+type NilLit struct{ Pos Pos }
+
+// TupleLit is a parenthesized comma list `(a, b, ...)`.
+type TupleLit struct {
+	Elems []Expr
+	Pos   Pos
+}
+
+// ListLit is `[a, b, ...]`.
+type ListLit struct {
+	Elems []Expr
+	Pos   Pos
+}
+
+// MapLit is `{k: v, ...}` (usually the empty `{}`).
+type MapLit struct {
+	Keys []Expr
+	Vals []Expr
+	Pos  Pos
+}
+
+// BinaryExpr is a binary operation; Op includes "in" for map membership.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Pos  Pos
+}
+
+// UnaryExpr is `!x` or `-x`.
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// IndexExpr is `x[i]`.
+type IndexExpr struct {
+	X, Index Expr
+	Pos      Pos
+}
+
+// FieldExpr is `x.name` (packet field access).
+type FieldExpr struct {
+	X    Expr
+	Name string
+	Pos  Pos
+}
+
+// CallExpr is `fun(args...)`; Fun is an identifier (builtin or user func).
+type CallExpr struct {
+	Fun  string
+	Args []Expr
+	Pos  Pos
+}
+
+// NodePos implementations for expressions.
+func (e *Ident) NodePos() Pos      { return e.Pos }
+func (e *IntLit) NodePos() Pos     { return e.Pos }
+func (e *StrLit) NodePos() Pos     { return e.Pos }
+func (e *BoolLit) NodePos() Pos    { return e.Pos }
+func (e *NilLit) NodePos() Pos     { return e.Pos }
+func (e *TupleLit) NodePos() Pos   { return e.Pos }
+func (e *ListLit) NodePos() Pos    { return e.Pos }
+func (e *MapLit) NodePos() Pos     { return e.Pos }
+func (e *BinaryExpr) NodePos() Pos { return e.Pos }
+func (e *UnaryExpr) NodePos() Pos  { return e.Pos }
+func (e *IndexExpr) NodePos() Pos  { return e.Pos }
+func (e *FieldExpr) NodePos() Pos  { return e.Pos }
+func (e *CallExpr) NodePos() Pos   { return e.Pos }
+
+func (e *Ident) exprNode()      {}
+func (e *IntLit) exprNode()     {}
+func (e *StrLit) exprNode()     {}
+func (e *BoolLit) exprNode()    {}
+func (e *NilLit) exprNode()     {}
+func (e *TupleLit) exprNode()   {}
+func (e *ListLit) exprNode()    {}
+func (e *MapLit) exprNode()     {}
+func (e *BinaryExpr) exprNode() {}
+func (e *UnaryExpr) exprNode()  {}
+func (e *IndexExpr) exprNode()  {}
+func (e *FieldExpr) exprNode()  {}
+func (e *CallExpr) exprNode()   {}
+
+// IndexProgram assigns a unique positive ID to every statement and records
+// parent links. It must be called (and is called by Parse) before the
+// program is handed to any analysis.
+func (p *Program) IndexProgram() {
+	p.stmtByID = make(map[int]Stmt)
+	p.parents = make(map[int]Stmt)
+	p.nextID = 0
+	for _, g := range p.Globals {
+		p.indexStmt(g, nil)
+	}
+	for _, f := range p.Funcs {
+		p.indexStmt(f.Body, nil)
+	}
+}
+
+func (p *Program) indexStmt(s Stmt, parent Stmt) {
+	p.nextID++
+	s.setID(p.nextID)
+	p.stmtByID[p.nextID] = s
+	if parent != nil {
+		p.parents[p.nextID] = parent
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		for _, c := range st.Stmts {
+			p.indexStmt(c, st)
+		}
+	case *IfStmt:
+		p.indexStmt(st.Then, st)
+		if st.Else != nil {
+			p.indexStmt(st.Else, st)
+		}
+	case *WhileStmt:
+		p.indexStmt(st.Body, st)
+	case *ForStmt:
+		p.indexStmt(st.Body, st)
+	}
+}
+
+// StmtByID returns the statement with the given ID, or nil.
+func (p *Program) StmtByID(id int) Stmt { return p.stmtByID[id] }
+
+// Parent returns the enclosing statement of the statement with the given
+// ID (the BlockStmt containing it, or the If/While/For owning the block).
+func (p *Program) Parent(id int) Stmt { return p.parents[id] }
+
+// MaxStmtID returns the largest assigned statement ID.
+func (p *Program) MaxStmtID() int { return p.nextID }
+
+// WalkStmts visits every statement in the program (globals then function
+// bodies), in source order, including blocks.
+func (p *Program) WalkStmts(fn func(Stmt)) {
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		fn(s)
+		switch st := s.(type) {
+		case *BlockStmt:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		}
+	}
+	for _, g := range p.Globals {
+		walk(g)
+	}
+	for _, f := range p.Funcs {
+		walk(f.Body)
+	}
+}
+
+// WalkExprs visits every sub-expression of e in pre-order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *TupleLit:
+		for _, el := range x.Elems {
+			WalkExprs(el, fn)
+		}
+	case *ListLit:
+		for _, el := range x.Elems {
+			WalkExprs(el, fn)
+		}
+	case *MapLit:
+		for i := range x.Keys {
+			WalkExprs(x.Keys[i], fn)
+			WalkExprs(x.Vals[i], fn)
+		}
+	case *BinaryExpr:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Y, fn)
+	case *UnaryExpr:
+		WalkExprs(x.X, fn)
+	case *IndexExpr:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Index, fn)
+	case *FieldExpr:
+		WalkExprs(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			WalkExprs(a, fn)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package lang
+
+// Deep cloning of AST nodes with optional identifier renaming. Used by the
+// inliner (capture-free expansion) and the slicer/normalizer (program
+// reconstruction must not alias the original tree).
+
+// CloneProgram returns a deep copy of p, re-indexed.
+func CloneProgram(p *Program) *Program {
+	out := &Program{Globals: cloneGlobals(p.Globals)}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, &FuncDecl{
+			Name:   f.Name,
+			Params: append([]string(nil), f.Params...),
+			Body:   cloneBlock(f.Body, nil),
+			Pos:    f.Pos,
+		})
+	}
+	out.IndexProgram()
+	return out
+}
+
+func cloneGlobals(gs []*AssignStmt) []*AssignStmt {
+	out := make([]*AssignStmt, len(gs))
+	for i, g := range gs {
+		out[i] = cloneStmt(g, nil).(*AssignStmt)
+	}
+	return out
+}
+
+func cloneBlock(b *BlockStmt, rename map[string]string) *BlockStmt {
+	out := &BlockStmt{}
+	out.pos = b.pos
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, cloneStmt(s, rename))
+	}
+	return out
+}
+
+func cloneStmt(s Stmt, rename map[string]string) Stmt {
+	switch st := s.(type) {
+	case *AssignStmt:
+		ns := &AssignStmt{}
+		ns.pos = st.pos
+		for _, l := range st.LHS {
+			ns.LHS = append(ns.LHS, cloneExpr(l, rename))
+		}
+		for _, r := range st.RHS {
+			ns.RHS = append(ns.RHS, cloneExpr(r, rename))
+		}
+		return ns
+	case *ExprStmt:
+		ns := &ExprStmt{X: cloneExpr(st.X, rename)}
+		ns.pos = st.pos
+		return ns
+	case *IfStmt:
+		ns := &IfStmt{Cond: cloneExpr(st.Cond, rename), Then: cloneBlock(st.Then, rename)}
+		if st.Else != nil {
+			ns.Else = cloneBlock(st.Else, rename)
+		}
+		ns.pos = st.pos
+		return ns
+	case *WhileStmt:
+		ns := &WhileStmt{Cond: cloneExpr(st.Cond, rename), Body: cloneBlock(st.Body, rename)}
+		ns.pos = st.pos
+		return ns
+	case *ForStmt:
+		v := st.Var
+		if rename != nil {
+			if nv, ok := rename[v]; ok {
+				v = nv
+			}
+		}
+		ns := &ForStmt{Var: v, Iter: cloneExpr(st.Iter, rename), Body: cloneBlock(st.Body, rename)}
+		ns.pos = st.pos
+		return ns
+	case *ReturnStmt:
+		ns := &ReturnStmt{}
+		if st.Value != nil {
+			ns.Value = cloneExpr(st.Value, rename)
+		}
+		ns.pos = st.pos
+		return ns
+	case *BreakStmt:
+		ns := &BreakStmt{}
+		ns.pos = st.pos
+		return ns
+	case *ContinueStmt:
+		ns := &ContinueStmt{}
+		ns.pos = st.pos
+		return ns
+	case *BlockStmt:
+		return cloneBlock(st, rename)
+	default:
+		return s
+	}
+}
+
+func cloneExpr(e Expr, rename map[string]string) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Ident:
+		name := x.Name
+		if rename != nil {
+			if n, ok := rename[name]; ok {
+				name = n
+			}
+		}
+		return &Ident{Name: name, Pos: x.Pos}
+	case *IntLit:
+		return &IntLit{Val: x.Val, Pos: x.Pos}
+	case *StrLit:
+		return &StrLit{Val: x.Val, Pos: x.Pos}
+	case *BoolLit:
+		return &BoolLit{Val: x.Val, Pos: x.Pos}
+	case *NilLit:
+		return &NilLit{Pos: x.Pos}
+	case *TupleLit:
+		elems := make([]Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = cloneExpr(el, rename)
+		}
+		return &TupleLit{Elems: elems, Pos: x.Pos}
+	case *ListLit:
+		elems := make([]Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = cloneExpr(el, rename)
+		}
+		return &ListLit{Elems: elems, Pos: x.Pos}
+	case *MapLit:
+		keys := make([]Expr, len(x.Keys))
+		vals := make([]Expr, len(x.Vals))
+		for i := range x.Keys {
+			keys[i] = cloneExpr(x.Keys[i], rename)
+			vals[i] = cloneExpr(x.Vals[i], rename)
+		}
+		return &MapLit{Keys: keys, Vals: vals, Pos: x.Pos}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, X: cloneExpr(x.X, rename), Y: cloneExpr(x.Y, rename), Pos: x.Pos}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: cloneExpr(x.X, rename), Pos: x.Pos}
+	case *IndexExpr:
+		return &IndexExpr{X: cloneExpr(x.X, rename), Index: cloneExpr(x.Index, rename), Pos: x.Pos}
+	case *FieldExpr:
+		return &FieldExpr{X: cloneExpr(x.X, rename), Name: x.Name, Pos: x.Pos}
+	case *CallExpr:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = cloneExpr(a, rename)
+		}
+		return &CallExpr{Fun: x.Fun, Args: args, Pos: x.Pos}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,155 @@
+package lang
+
+// Def/use extraction at statement granularity. These sets drive reaching
+// definitions (internal/dataflow), data dependence (internal/pdg) and the
+// StateAlyzer variable features.
+//
+// Conventions, matching the paper's LHS/RHS dependency analysis (§2.1):
+//   - `x = e`            defs {x},      uses vars(e)
+//   - `m[k] = v`         defs {m},      uses {m} ∪ vars(k) ∪ vars(v)
+//     (a container store is an update of the container, so the old
+//     container value flows in — this is what makes f2b_nat updateable
+//     AND self-dependent)
+//   - `pkt.f = e`        defs {pkt},    uses {pkt} ∪ vars(e)
+//   - branch conditions  defs {},       uses vars(cond)
+//   - calls              defs {},       uses vars(args)  (builtins have no
+//     variable side effects except send/log output, handled downstream)
+
+// Defs returns the variable names defined (assigned) by s. Only simple
+// statements and loop headers define variables; blocks and branches do
+// not.
+func Defs(s Stmt) []string {
+	set := map[string]bool{}
+	switch st := s.(type) {
+	case *AssignStmt:
+		for _, l := range st.LHS {
+			if v := baseVar(l); v != "" {
+				set[v] = true
+			}
+		}
+	case *ForStmt:
+		set[st.Var] = true
+	}
+	return sortedKeys(set)
+}
+
+// Uses returns the variable names read by s (not descending into nested
+// blocks: a branch statement's uses are just its condition's variables).
+func Uses(s Stmt) []string {
+	set := map[string]bool{}
+	switch st := s.(type) {
+	case *AssignStmt:
+		for _, r := range st.RHS {
+			exprVars(r, set)
+		}
+		// Container-element stores read the container (and key).
+		for _, l := range st.LHS {
+			switch lv := l.(type) {
+			case *IndexExpr:
+				exprVars(lv.X, set)
+				exprVars(lv.Index, set)
+			case *FieldExpr:
+				exprVars(lv.X, set)
+			}
+		}
+	case *ExprStmt:
+		exprVars(st.X, set)
+	case *IfStmt:
+		exprVars(st.Cond, set)
+	case *WhileStmt:
+		exprVars(st.Cond, set)
+	case *ForStmt:
+		exprVars(st.Iter, set)
+	case *ReturnStmt:
+		if st.Value != nil {
+			exprVars(st.Value, set)
+		}
+	}
+	return sortedKeys(set)
+}
+
+// ExprVars returns the variable names referenced by e.
+func ExprVars(e Expr) []string {
+	set := map[string]bool{}
+	exprVars(e, set)
+	return sortedKeys(set)
+}
+
+func exprVars(e Expr, set map[string]bool) {
+	WalkExprs(e, func(x Expr) {
+		if id, ok := x.(*Ident); ok {
+			set[id.Name] = true
+		}
+	})
+}
+
+// baseVar returns the root variable of an assignment target: x for `x`,
+// m for `m[k]`, pkt for `pkt.f`.
+func baseVar(l Expr) string {
+	for {
+		switch x := l.(type) {
+		case *Ident:
+			return x.Name
+		case *IndexExpr:
+			l = x.X
+		case *FieldExpr:
+			l = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// BaseVar is the exported form of baseVar, used by the slicer and
+// StateAlyzer to find assignments to a given variable.
+func BaseVar(l Expr) string { return baseVar(l) }
+
+// CallsIn returns the names of all functions called anywhere in s
+// (conditions and right-hand sides), without descending into nested
+// blocks.
+func CallsIn(s Stmt) []string {
+	set := map[string]bool{}
+	collect := func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if c, ok := x.(*CallExpr); ok {
+				set[c.Fun] = true
+			}
+		})
+	}
+	switch st := s.(type) {
+	case *AssignStmt:
+		for _, r := range st.RHS {
+			collect(r)
+		}
+		for _, l := range st.LHS {
+			collect(l)
+		}
+	case *ExprStmt:
+		collect(st.X)
+	case *IfStmt:
+		collect(st.Cond)
+	case *WhileStmt:
+		collect(st.Cond)
+	case *ForStmt:
+		collect(st.Iter)
+	case *ReturnStmt:
+		if st.Value != nil {
+			collect(st.Value)
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	// insertion sort; sets are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

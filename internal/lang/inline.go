@@ -1,0 +1,408 @@
+package lang
+
+import "fmt"
+
+// Inline returns a copy of prog in which the body of entry has every call
+// to a user-defined function expanded in place. This gives the downstream
+// analyses inter-procedural precision (the paper cites inter-procedure
+// slicing / system dependence graphs [13,11]) without building an SDG:
+// NFLang NF programs are non-recursive, so bounded inlining is exact.
+//
+// Callee locals are renamed `name$k` to avoid capture. A callee may use
+// `return` only as its final statement (checked); NF helper functions in
+// the corpus follow this shape.
+func Inline(prog *Program, entry string) (*Program, error) {
+	f := prog.Func(entry)
+	if f == nil {
+		return nil, fmt.Errorf("inline: no function %q", entry)
+	}
+	inl := &inliner{prog: prog}
+	body, err := inl.inlineBlock(f.Body, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Program{
+		Globals: cloneGlobals(prog.Globals),
+		Funcs: []*FuncDecl{{
+			Name:   f.Name,
+			Params: append([]string(nil), f.Params...),
+			Body:   body,
+			Pos:    f.Pos,
+		}},
+	}
+	out.IndexProgram()
+	return out, nil
+}
+
+const maxInlineDepth = 16
+
+type inliner struct {
+	prog *Program
+	tmp  int
+}
+
+func (in *inliner) fresh(base string) string {
+	in.tmp++
+	return fmt.Sprintf("%s$%d", base, in.tmp)
+}
+
+func (in *inliner) inlineBlock(b *BlockStmt, depth int) (*BlockStmt, error) {
+	if depth > maxInlineDepth {
+		return nil, fmt.Errorf("inline: call depth exceeds %d (recursion?)", maxInlineDepth)
+	}
+	out := &BlockStmt{}
+	out.pos = b.pos
+	for _, s := range b.Stmts {
+		expanded, err := in.inlineStmt(s, depth)
+		if err != nil {
+			return nil, err
+		}
+		out.Stmts = append(out.Stmts, expanded...)
+	}
+	return out, nil
+}
+
+func (in *inliner) inlineStmt(s Stmt, depth int) ([]Stmt, error) {
+	switch st := s.(type) {
+	case *AssignStmt:
+		// Special form: single target, RHS is a direct user-func call.
+		if len(st.LHS) == 1 && len(st.RHS) == 1 {
+			if call, ok := st.RHS[0].(*CallExpr); ok && in.prog.Func(call.Fun) != nil {
+				return in.expandCall(call, st.LHS[0], st.pos, depth)
+			}
+		}
+		pre, lhs, rhs, err := in.hoistCallsAssign(st, depth)
+		if err != nil {
+			return nil, err
+		}
+		ns := &AssignStmt{LHS: lhs, RHS: rhs}
+		ns.pos = st.pos
+		return append(pre, ns), nil
+	case *ExprStmt:
+		if call, ok := st.X.(*CallExpr); ok && in.prog.Func(call.Fun) != nil {
+			return in.expandCall(call, nil, st.pos, depth)
+		}
+		pre, x, err := in.hoistCallsExpr(st.X, depth)
+		if err != nil {
+			return nil, err
+		}
+		ns := &ExprStmt{X: x}
+		ns.pos = st.pos
+		return append(pre, ns), nil
+	case *IfStmt:
+		pre, cond, err := in.hoistCallsExpr(st.Cond, depth)
+		if err != nil {
+			return nil, err
+		}
+		then, err := in.inlineBlock(st.Then, depth)
+		if err != nil {
+			return nil, err
+		}
+		var els *BlockStmt
+		if st.Else != nil {
+			els, err = in.inlineBlock(st.Else, depth)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ns := &IfStmt{Cond: cond, Then: then, Else: els}
+		ns.pos = st.pos
+		return append(pre, ns), nil
+	case *WhileStmt:
+		if hasUserCall(st.Cond, in.prog) {
+			return nil, fmt.Errorf("%s: user-function call in loop condition cannot be inlined", st.pos)
+		}
+		body, err := in.inlineBlock(st.Body, depth)
+		if err != nil {
+			return nil, err
+		}
+		ns := &WhileStmt{Cond: st.Cond, Body: body}
+		ns.pos = st.pos
+		return []Stmt{ns}, nil
+	case *ForStmt:
+		pre, iter, err := in.hoistCallsExpr(st.Iter, depth)
+		if err != nil {
+			return nil, err
+		}
+		body, err := in.inlineBlock(st.Body, depth)
+		if err != nil {
+			return nil, err
+		}
+		ns := &ForStmt{Var: st.Var, Iter: iter, Body: body}
+		ns.pos = st.pos
+		return append(pre, ns), nil
+	case *ReturnStmt:
+		if st.Value != nil && hasUserCall(st.Value, in.prog) {
+			pre, v, err := in.hoistCallsExpr(st.Value, depth)
+			if err != nil {
+				return nil, err
+			}
+			ns := &ReturnStmt{Value: v}
+			ns.pos = st.pos
+			return append(pre, ns), nil
+		}
+		return []Stmt{cloneStmt(s, nil)}, nil
+	default:
+		return []Stmt{cloneStmt(s, nil)}, nil
+	}
+}
+
+// expandCall inlines a call to a user function, assigning its return value
+// to target (when non-nil).
+func (in *inliner) expandCall(call *CallExpr, target Expr, pos Pos, depth int) ([]Stmt, error) {
+	callee := in.prog.Func(call.Fun)
+	if len(call.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("%s: %s expects %d args, got %d", pos, call.Fun, len(callee.Params), len(call.Args))
+	}
+	// Rename every callee local (params + assigned non-globals).
+	rename := map[string]string{}
+	globals := map[string]bool{}
+	for _, g := range in.prog.Globals {
+		for _, l := range g.LHS {
+			globals[l.(*Ident).Name] = true
+		}
+	}
+	for _, p := range callee.Params {
+		rename[p] = in.fresh(p)
+	}
+	collectLocals(callee.Body, globals, rename, in)
+
+	var out []Stmt
+	// Bind arguments (arguments may themselves contain user calls).
+	for i, p := range callee.Params {
+		pre, arg, err := in.hoistCallsExpr(call.Args[i], depth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pre...)
+		bind := &AssignStmt{
+			LHS: []Expr{&Ident{Name: rename[p], Pos: pos}},
+			RHS: []Expr{arg},
+		}
+		bind.pos = pos
+		out = append(out, bind)
+	}
+
+	body := cloneBlock(callee.Body, rename)
+	// The callee may end with `return expr;`.
+	var retVal Expr
+	if n := len(body.Stmts); n > 0 {
+		if r, ok := body.Stmts[n-1].(*ReturnStmt); ok {
+			retVal = r.Value
+			body.Stmts = body.Stmts[:n-1]
+		}
+	}
+	if err := checkNoReturns(body); err != nil {
+		return nil, fmt.Errorf("%s: inlining %s: %w", pos, call.Fun, err)
+	}
+	inlined, err := in.inlineBlock(body, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, inlined.Stmts...)
+	if target != nil {
+		if retVal == nil {
+			return nil, fmt.Errorf("%s: %s returns no value", pos, call.Fun)
+		}
+		as := &AssignStmt{LHS: []Expr{cloneExpr(target, nil)}, RHS: []Expr{retVal}}
+		as.pos = pos
+		out = append(out, as)
+	}
+	return out, nil
+}
+
+// hoistCallsExpr replaces user-function calls nested inside e with fresh
+// temporaries, returning the prelude statements that compute them.
+func (in *inliner) hoistCallsExpr(e Expr, depth int) ([]Stmt, Expr, error) {
+	var pre []Stmt
+	var replace func(Expr) (Expr, error)
+	replace = func(x Expr) (Expr, error) {
+		switch v := x.(type) {
+		case *CallExpr:
+			args := make([]Expr, len(v.Args))
+			for i, a := range v.Args {
+				na, err := replace(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = na
+			}
+			nc := &CallExpr{Fun: v.Fun, Args: args, Pos: v.Pos}
+			if in.prog.Func(v.Fun) == nil {
+				return nc, nil
+			}
+			tmp := in.fresh("t")
+			stmts, err := in.expandCall(nc, &Ident{Name: tmp, Pos: v.Pos}, v.Pos, depth)
+			if err != nil {
+				return nil, err
+			}
+			pre = append(pre, stmts...)
+			return &Ident{Name: tmp, Pos: v.Pos}, nil
+		case *BinaryExpr:
+			nx, err := replace(v.X)
+			if err != nil {
+				return nil, err
+			}
+			ny, err := replace(v.Y)
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: v.Op, X: nx, Y: ny, Pos: v.Pos}, nil
+		case *UnaryExpr:
+			nx, err := replace(v.X)
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: v.Op, X: nx, Pos: v.Pos}, nil
+		case *IndexExpr:
+			nx, err := replace(v.X)
+			if err != nil {
+				return nil, err
+			}
+			ni, err := replace(v.Index)
+			if err != nil {
+				return nil, err
+			}
+			return &IndexExpr{X: nx, Index: ni, Pos: v.Pos}, nil
+		case *FieldExpr:
+			nx, err := replace(v.X)
+			if err != nil {
+				return nil, err
+			}
+			return &FieldExpr{X: nx, Name: v.Name, Pos: v.Pos}, nil
+		case *TupleLit:
+			elems := make([]Expr, len(v.Elems))
+			for i, el := range v.Elems {
+				ne, err := replace(el)
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = ne
+			}
+			return &TupleLit{Elems: elems, Pos: v.Pos}, nil
+		case *ListLit:
+			elems := make([]Expr, len(v.Elems))
+			for i, el := range v.Elems {
+				ne, err := replace(el)
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = ne
+			}
+			return &ListLit{Elems: elems, Pos: v.Pos}, nil
+		default:
+			return cloneExpr(x, nil), nil
+		}
+	}
+	ne, err := replace(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pre, ne, nil
+}
+
+func (in *inliner) hoistCallsAssign(st *AssignStmt, depth int) ([]Stmt, []Expr, []Expr, error) {
+	var pre []Stmt
+	lhs := make([]Expr, len(st.LHS))
+	for i, l := range st.LHS {
+		p, nl, err := in.hoistCallsExpr(l, depth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pre = append(pre, p...)
+		lhs[i] = nl
+	}
+	rhs := make([]Expr, len(st.RHS))
+	for i, r := range st.RHS {
+		p, nr, err := in.hoistCallsExpr(r, depth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pre = append(pre, p...)
+		rhs[i] = nr
+	}
+	return pre, lhs, rhs, nil
+}
+
+func hasUserCall(e Expr, prog *Program) bool {
+	found := false
+	WalkExprs(e, func(x Expr) {
+		if c, ok := x.(*CallExpr); ok && prog.Func(c.Fun) != nil {
+			found = true
+		}
+	})
+	return found
+}
+
+func collectLocals(b *BlockStmt, globals map[string]bool, rename map[string]string, in *inliner) {
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *AssignStmt:
+			for _, l := range st.LHS {
+				if id, ok := l.(*Ident); ok && !globals[id.Name] {
+					if _, done := rename[id.Name]; !done {
+						rename[id.Name] = in.fresh(id.Name)
+					}
+				}
+			}
+		case *ForStmt:
+			if !globals[st.Var] {
+				if _, done := rename[st.Var]; !done {
+					rename[st.Var] = in.fresh(st.Var)
+				}
+			}
+			for _, c := range st.Body.Stmts {
+				walk(c)
+			}
+		case *BlockStmt:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			for _, c := range st.Then.Stmts {
+				walk(c)
+			}
+			if st.Else != nil {
+				for _, c := range st.Else.Stmts {
+					walk(c)
+				}
+			}
+		case *WhileStmt:
+			for _, c := range st.Body.Stmts {
+				walk(c)
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		walk(s)
+	}
+}
+
+func checkNoReturns(b *BlockStmt) error {
+	var err error
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *ReturnStmt:
+			err = fmt.Errorf("callee has a non-tail return at %s", st.pos)
+		case *BlockStmt:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		}
+	}
+	for _, s := range b.Stmts {
+		walk(s)
+	}
+	return err
+}

@@ -1,0 +1,162 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInlineSimpleCall(t *testing.T) {
+	prog := MustParse(`
+N = 2;
+func pick(i) {
+    s = i % N;
+    return s;
+}
+func process(pkt) {
+    idx = pick(pkt.sport);
+    send(pkt);
+}`)
+	out, err := Inline(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Funcs) != 1 || out.Funcs[0].Name != "process" {
+		t.Fatalf("funcs after inline: %v", out.Funcs)
+	}
+	printed := Print(out)
+	if strings.Contains(printed, "pick(") {
+		t.Errorf("call not inlined:\n%s", printed)
+	}
+	if !strings.Contains(printed, "% N") {
+		t.Errorf("callee body missing:\n%s", printed)
+	}
+	// Callee locals renamed, globals not.
+	if !strings.Contains(printed, "$") {
+		t.Errorf("no renamed locals:\n%s", printed)
+	}
+}
+
+func TestInlineNestedExprCall(t *testing.T) {
+	prog := MustParse(`
+func inc(x) { y = x + 1; return y; }
+func process(pkt) {
+    z = inc(inc(pkt.ttl)) * 2;
+    send(pkt);
+}`)
+	out, err := Inline(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(out)
+	if strings.Contains(printed, "inc(") {
+		t.Errorf("nested call not inlined:\n%s", printed)
+	}
+	if !strings.Contains(printed, "* 2") {
+		t.Errorf("surrounding expression lost:\n%s", printed)
+	}
+}
+
+func TestInlineVoidCall(t *testing.T) {
+	prog := MustParse(`
+stats = {};
+func bump(k) { stats[k] = 1; }
+func process(pkt) { bump("seen"); send(pkt); }`)
+	out, err := Inline(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(out)
+	if strings.Contains(printed, "bump(") {
+		t.Errorf("void call not inlined:\n%s", printed)
+	}
+	if !strings.Contains(printed, `stats[`) {
+		t.Errorf("callee effect missing:\n%s", printed)
+	}
+}
+
+func TestInlineRejectsRecursion(t *testing.T) {
+	prog := MustParse(`
+func loop(x) { y = loop(x); return y; }
+func process(pkt) { z = loop(1); }`)
+	if _, err := Inline(prog, "process"); err == nil {
+		t.Error("recursive inline did not error")
+	}
+}
+
+func TestInlineRejectsNonTailReturn(t *testing.T) {
+	prog := MustParse(`
+func f(x) {
+    if x == 0 { return 1; }
+    return 2;
+}
+func process(pkt) { z = f(pkt.ttl); }`)
+	if _, err := Inline(prog, "process"); err == nil {
+		t.Error("non-tail return inline did not error")
+	}
+}
+
+func TestInlineMissingEntry(t *testing.T) {
+	prog := MustParse(`x = 1;`)
+	if _, err := Inline(prog, "process"); err == nil {
+		t.Error("missing entry function did not error")
+	}
+}
+
+func TestInlinePreservesSemanticsShape(t *testing.T) {
+	// inline of a call inside an if condition's block; condition itself
+	// has no user calls.
+	prog := MustParse(`
+func double(x) { d = x * 2; return d; }
+func process(pkt) {
+    if pkt.dport == 80 {
+        v = double(pkt.sport);
+        pkt.sport = v;
+    }
+    send(pkt);
+}`)
+	out, err := Inline(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The if structure must survive.
+	var ifCount int
+	out.WalkStmts(func(s Stmt) {
+		if _, ok := s.(*IfStmt); ok {
+			ifCount++
+		}
+	})
+	if ifCount != 1 {
+		t.Errorf("if statements after inline = %d, want 1", ifCount)
+	}
+	// Re-indexed IDs must be unique.
+	seen := map[int]bool{}
+	out.WalkStmts(func(s Stmt) {
+		if seen[s.StmtID()] {
+			t.Errorf("duplicate ID %d after inline", s.StmtID())
+		}
+		seen[s.StmtID()] = true
+	})
+}
+
+func TestInlineCallInLoopConditionRejected(t *testing.T) {
+	prog := MustParse(`
+func f(x) { return x; }
+func process(pkt) { while f(1) == 1 { break; } }`)
+	if _, err := Inline(prog, "process"); err == nil {
+		t.Error("user call in loop condition did not error")
+	}
+}
+
+func TestCloneProgramIsolation(t *testing.T) {
+	prog := MustParse(`x = 1;
+func process(pkt) { y = x; }`)
+	cl := CloneProgram(prog)
+	// Mutating the clone must not affect the original.
+	cl.Globals[0].RHS[0] = &IntLit{Val: 99}
+	if prog.Globals[0].RHS[0].(*IntLit).Val != 1 {
+		t.Error("clone aliased original globals")
+	}
+	if Print(cl) == Print(prog) {
+		t.Error("mutation did not change clone print")
+	}
+}

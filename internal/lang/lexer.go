@@ -1,0 +1,175 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes NFLang source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex returns the full token stream for src, ending with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// twoCharOps are the multi-byte operators, checked before single bytes.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+const singleOps = "=<>!+-*/%(),;.[]{}:"
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.peek()
+
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		var sb strings.Builder
+		for lx.off < len(lx.src) {
+			c := lx.peek()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				sb.WriteByte(lx.advance())
+			} else {
+				break
+			}
+		}
+		text := sb.String()
+		kind := TokIdent
+		if IsKeyword(text) {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+
+	case unicode.IsDigit(rune(c)):
+		var sb strings.Builder
+		for lx.off < len(lx.src) && unicode.IsDigit(rune(lx.peek())) {
+			sb.WriteByte(lx.advance())
+		}
+		return Token{Kind: TokInt, Text: sb.String(), Pos: start}, nil
+
+	case c == '"':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, fmt.Errorf("%s: unterminated string literal", start)
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.off >= len(lx.src) {
+					return Token{}, fmt.Errorf("%s: unterminated escape", start)
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return Token{}, fmt.Errorf("%s: unknown escape \\%c", start, esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, fmt.Errorf("%s: newline in string literal", start)
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+	}
+
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(lx.src[lx.off:], op) {
+			lx.advance()
+			lx.advance()
+			return Token{Kind: TokOp, Text: op, Pos: start}, nil
+		}
+	}
+	if strings.IndexByte(singleOps, c) >= 0 {
+		lx.advance()
+		return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", start, c)
+}

@@ -1,0 +1,114 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasic(t *testing.T) {
+	toks, err := Lex(`x = 42; # comment
+if x >= 10 { send(pkt); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"x", "=", "42", ";", "if", "x", ">=", "10", "{", "send", "(", "pkt", ")", ";", "}", ""}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`s = "a\n\"b\\";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "a\n\"b\\" {
+		t.Errorf("string literal = %q", toks[2].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad\qescape"`, "@", "\"newline\nin string\""} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) did not error", src)
+		}
+	}
+}
+
+func TestLexTwoCharOps(t *testing.T) {
+	toks, err := Lex("a == b != c <= d >= e && f || g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []string{}
+	for _, tok := range toks {
+		if tok.Kind == TokOp {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"==", "!=", "<=", ">=", "&&", "||"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a; // line comment\nb; # hash comment\nc;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idents := 0
+	for _, tok := range toks {
+		if tok.Kind == TokIdent {
+			idents++
+		}
+	}
+	if idents != 3 {
+		t.Errorf("idents = %d, want 3", idents)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("if iffy for forx in inner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokKind{TokKeyword, TokIdent, TokKeyword, TokIdent, TokKeyword, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range wantKinds {
+		if got[i] != wantKinds[i] {
+			t.Errorf("token %d (%q) kind = %v, want %v", i, toks[i].Text, got[i], wantKinds[i])
+		}
+	}
+}

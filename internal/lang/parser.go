@@ -1,0 +1,575 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for NFLang.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses src, returning an indexed Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	prog.IndexProgram()
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded corpus
+// programs that are validated at init time.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang.MustParse: %v", err))
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *Parser) atOp(op string) bool      { return p.at(TokOp, op) }
+func (p *Parser) atKeyword(kw string) bool { return p.at(TokKeyword, kw) }
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return Token{}, fmt.Errorf("%s: expected %q, found %s", p.cur().Pos, text, p.cur())
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		if p.atKeyword("func") {
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Func(f.Name) != nil {
+				return nil, fmt.Errorf("%s: duplicate function %q", f.Pos, f.Name)
+			}
+			prog.Funcs = append(prog.Funcs, f)
+			continue
+		}
+		// Top-level statements must be global assignments.
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		as, ok := s.(*AssignStmt)
+		if !ok {
+			return nil, fmt.Errorf("%s: top-level statement must be a global assignment", s.NodePos())
+		}
+		for _, l := range as.LHS {
+			if _, ok := l.(*Ident); !ok {
+				return nil, fmt.Errorf("%s: global assignment target must be an identifier", l.NodePos())
+			}
+		}
+		prog.Globals = append(prog.Globals, as)
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw := p.next() // func
+	nameTok := p.next()
+	if nameTok.Kind != TokIdent {
+		return nil, fmt.Errorf("%s: expected function name, found %s", nameTok.Pos, nameTok)
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atOp(")") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, fmt.Errorf("%s: expected parameter name, found %s", t.Pos, t)
+		}
+		params = append(params, t.Text)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: nameTok.Text, Params: params, Body: body, Pos: kw.Pos}, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expect(TokOp, "{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	blk.pos = open.Pos
+	for !p.atOp("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, fmt.Errorf("%s: unclosed block", open.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("if"):
+		return p.parseIf()
+	case p.atKeyword("while"):
+		return p.parseWhile()
+	case p.atKeyword("for"):
+		return p.parseFor()
+	case p.atKeyword("return"):
+		kw := p.next()
+		s := &ReturnStmt{}
+		s.pos = kw.Pos
+		if !p.atOp(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.atKeyword("break"):
+		kw := p.next()
+		s := &BreakStmt{}
+		s.pos = kw.Pos
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.atKeyword("continue"):
+		kw := p.next()
+		s := &ContinueStmt{}
+		s.pos = kw.Pos
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		return p.parseSimpleStmt()
+	}
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next() // if
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	s.pos = kw.Pos
+	if p.accept(TokKeyword, "else") {
+		if p.atKeyword("if") {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			blk := &BlockStmt{Stmts: []Stmt{elif}}
+			blk.pos = elif.NodePos()
+			s.Else = blk
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = blk
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next() // while
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &WhileStmt{Cond: cond, Body: body}
+	s.pos = kw.Pos
+	return s, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	kw := p.next() // for
+	v := p.next()
+	if v.Kind != TokIdent {
+		return nil, fmt.Errorf("%s: expected loop variable, found %s", v.Pos, v)
+	}
+	if _, err := p.expect(TokKeyword, "in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Var: v.Text, Iter: iter, Body: body}
+	s.pos = kw.Pos
+	return s, nil
+}
+
+// parseSimpleStmt parses `exprlist [= exprlist] ;` — an assignment or an
+// expression statement.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokOp, "=") {
+		rhs, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		if len(rhs) != len(lhs) && len(rhs) != 1 {
+			return nil, fmt.Errorf("%s: assignment of %d values to %d targets", start, len(rhs), len(lhs))
+		}
+		for _, l := range lhs {
+			switch l.(type) {
+			case *Ident, *IndexExpr, *FieldExpr:
+			default:
+				return nil, fmt.Errorf("%s: invalid assignment target", l.NodePos())
+			}
+		}
+		if _, err := p.expect(TokOp, ";"); err != nil {
+			return nil, err
+		}
+		s := &AssignStmt{LHS: lhs, RHS: rhs}
+		s.pos = start
+		return s, nil
+	}
+	if len(lhs) != 1 {
+		return nil, fmt.Errorf("%s: expression statement cannot be a list", start)
+	}
+	if _, err := p.expect(TokOp, ";"); err != nil {
+		return nil, err
+	}
+	s := &ExprStmt{X: lhs[0]}
+	s.pos = start
+	return s, nil
+}
+
+func (p *Parser) parseExprList() ([]Expr, error) {
+	var out []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.accept(TokOp, ",") {
+			return out, nil
+		}
+	}
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr   := and { "||" and }
+//	and    := cmp { "&&" cmp }
+//	cmp    := sum [ ("=="|"!="|"<"|"<="|">"|">="|"in") sum ]
+//	sum    := term { ("+"|"-") term }
+//	term   := unary { ("*"|"/"|"%") unary }
+//	unary  := ("!"|"-") unary | postfix
+//	postfix := primary { "[" expr "]" | "." IDENT | "(" args ")" }
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("||") {
+		op := p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "||", X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("&&") {
+		op := p.next()
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "&&", X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	x, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokOp && cmpOps[p.cur().Text] {
+		op := p.next()
+		y, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op.Text, X: x, Y: y, Pos: op.Pos}, nil
+	}
+	if p.atKeyword("in") {
+		op := p.next()
+		y, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "in", X: x, Y: y, Pos: op.Pos}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseSum() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.next()
+		y, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op.Text, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseTerm() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op.Text, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.atOp("!") || p.atOp("-") {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Text, X: x, Pos: op.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atOp("["):
+			open := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Pos: open.Pos}
+		case p.atOp("."):
+			dot := p.next()
+			name := p.next()
+			if name.Kind != TokIdent {
+				return nil, fmt.Errorf("%s: expected field name, found %s", name.Pos, name)
+			}
+			x = &FieldExpr{X: x, Name: name.Text, Pos: dot.Pos}
+		case p.atOp("("):
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, fmt.Errorf("%s: only named functions can be called", p.cur().Pos)
+			}
+			p.next() // (
+			var args []Expr
+			for !p.atOp(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			x = &CallExpr{Fun: id.Name, Args: args, Pos: id.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokIdent:
+		p.next()
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer literal %q", t.Pos, t.Text)
+		}
+		return &IntLit{Val: v, Pos: t.Pos}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StrLit{Val: t.Text, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && (t.Text == "true" || t.Text == "false"):
+		p.next()
+		return &BoolLit{Val: t.Text == "true", Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "nil":
+		p.next()
+		return &NilLit{Pos: t.Pos}, nil
+	case p.atOp("("):
+		open := p.next()
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokOp, ",") {
+			elems := []Expr{first}
+			for !p.atOp(")") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &TupleLit{Elems: elems, Pos: open.Pos}, nil
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return first, nil
+	case p.atOp("["):
+		open := p.next()
+		var elems []Expr
+		for !p.atOp("]") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, "]"); err != nil {
+			return nil, err
+		}
+		return &ListLit{Elems: elems, Pos: open.Pos}, nil
+	case p.atOp("{"):
+		open := p.next()
+		lit := &MapLit{Pos: open.Pos}
+		for !p.atOp("}") {
+			k, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ":"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Keys = append(lit.Keys, k)
+			lit.Vals = append(lit.Vals, v)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, "}"); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	default:
+		return nil, fmt.Errorf("%s: unexpected token %s", t.Pos, t)
+	}
+}

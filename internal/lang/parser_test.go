@@ -1,0 +1,295 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const lbSnippet = `
+# Figure 1 style load balancer fragment
+mode = "RR";
+LB_PORT = 80;
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+f2b_nat = {};
+rr_idx = 0;
+
+func process(pkt) {
+    si, di = pkt.sip, pkt.dip;
+    sp, dp = pkt.sport, pkt.dport;
+    if dp == LB_PORT {
+        cs = (si, sp, di, dp);
+        if !(cs in f2b_nat) {
+            if mode == "RR" {
+                server = servers[rr_idx];
+                rr_idx = (rr_idx + 1) % len(servers);
+            } else {
+                server = servers[hash(si) % len(servers)];
+            }
+            f2b_nat[cs] = server;
+        }
+        nat = f2b_nat[cs];
+        pkt.dip = nat[0];
+        send(pkt);
+    } else {
+        drop();
+    }
+}
+`
+
+func TestParseLoadBalancerSnippet(t *testing.T) {
+	prog, err := Parse(lbSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 5 {
+		t.Errorf("globals = %d, want 5", len(prog.Globals))
+	}
+	if prog.Func("process") == nil {
+		t.Fatal("no process function")
+	}
+	if got := len(prog.Func("process").Params); got != 1 {
+		t.Errorf("process params = %d", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	prog, err := Parse(lbSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed program failed: %v\n%s", err, printed)
+	}
+	printed2 := Print(prog2)
+	if printed != printed2 {
+		t.Errorf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`func f(a, b, c) { x = a + b * c; y = a == b && c in m || !d; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Func("f").Body.Stmts
+	x := body[0].(*AssignStmt).RHS[0].(*BinaryExpr)
+	if x.Op != "+" {
+		t.Errorf("top op = %q, want +", x.Op)
+	}
+	if mul, ok := x.Y.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Errorf("rhs of + is %T, want * expr", x.Y)
+	}
+	y := body[1].(*AssignStmt).RHS[0].(*BinaryExpr)
+	if y.Op != "||" {
+		t.Errorf("top op = %q, want ||", y.Op)
+	}
+}
+
+func TestParseTupleVsParen(t *testing.T) {
+	prog, err := Parse(`func f(a, b) { t = (a, b); p = (a); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Func("f").Body.Stmts
+	if _, ok := body[0].(*AssignStmt).RHS[0].(*TupleLit); !ok {
+		t.Error("(a, b) did not parse as tuple")
+	}
+	if _, ok := body[1].(*AssignStmt).RHS[0].(*Ident); !ok {
+		t.Error("(a) did not parse as parenthesized ident")
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog, err := Parse(`func f(a) { if a == 1 { x = 1; } else if a == 2 { x = 2; } else { x = 3; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Func("f").Body.Stmts[0].(*IfStmt)
+	if ifs.Else == nil || len(ifs.Else.Stmts) != 1 {
+		t.Fatal("else-if did not nest")
+	}
+	inner, ok := ifs.Else.Stmts[0].(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Fatal("inner else missing")
+	}
+}
+
+func TestParseControlStatements(t *testing.T) {
+	prog, err := Parse(`func f(xs) {
+        for x in xs { if x == 0 { continue; } if x == 9 { break; } }
+        while true { return 1; }
+        return;
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Func("f").Body.Stmts
+	if _, ok := stmts[0].(*ForStmt); !ok {
+		t.Error("missing for")
+	}
+	if _, ok := stmts[1].(*WhileStmt); !ok {
+		t.Error("missing while")
+	}
+	ret := stmts[2].(*ReturnStmt)
+	if ret.Value != nil {
+		t.Error("bare return has value")
+	}
+}
+
+func TestParseMapLiteral(t *testing.T) {
+	prog, err := Parse(`m = {"a": 1, "b": 2};
+empty = {};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := prog.Globals[0].RHS[0].(*MapLit)
+	if len(ml.Keys) != 2 {
+		t.Errorf("map keys = %d", len(ml.Keys))
+	}
+	if len(prog.Globals[1].RHS[0].(*MapLit).Keys) != 0 {
+		t.Error("empty map literal not empty")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`func f( { }`,                             // bad params
+		`x = ;`,                                   // missing rhs
+		`func f(a) { if a { x = 1; }`,             // unclosed block
+		`func f(a) { 1 = a; }`,                    // bad assignment target
+		`func f(a) { a, b; }`,                     // list expr stmt
+		`send(pkt);`,                              // top-level non-assignment
+		`m[0] = 1;`,                               // top-level non-ident target
+		`func f(a) { x = a(1)(2); }`,              // call of call
+		`func f(a) { x = (1,2)(3); }`,             // call of tuple
+		`func f() { } func f() { }`,               // duplicate function
+		`func f(a) { x = 99999999999999999999; }`, // int overflow
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) did not error", src)
+		}
+	}
+}
+
+func TestIndexProgramAssignsUniqueIDs(t *testing.T) {
+	prog := MustParse(lbSnippet)
+	seen := map[int]bool{}
+	count := 0
+	prog.WalkStmts(func(s Stmt) {
+		count++
+		if s.StmtID() == 0 {
+			t.Errorf("statement %s has no ID", PrintStmt(s))
+		}
+		if seen[s.StmtID()] {
+			t.Errorf("duplicate statement ID %d", s.StmtID())
+		}
+		seen[s.StmtID()] = true
+	})
+	if count < 15 {
+		t.Errorf("walked only %d statements", count)
+	}
+	if prog.MaxStmtID() != count {
+		t.Errorf("MaxStmtID = %d, walked %d", prog.MaxStmtID(), count)
+	}
+}
+
+func TestParentLinks(t *testing.T) {
+	prog := MustParse(`func f(a) { if a == 1 { x = 2; } }`)
+	var inner Stmt
+	prog.WalkStmts(func(s Stmt) {
+		if as, ok := s.(*AssignStmt); ok {
+			inner = as
+		}
+	})
+	blk, ok := prog.Parent(inner.StmtID()).(*BlockStmt)
+	if !ok {
+		t.Fatalf("parent of inner assign is %T", prog.Parent(inner.StmtID()))
+	}
+	if _, ok := prog.Parent(blk.StmtID()).(*IfStmt); !ok {
+		t.Fatal("grandparent is not the if statement")
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	prog := MustParse(`
+m = {};
+func process(pkt) {
+    k = (pkt.sip, pkt.sport);
+    m[k] = pkt.dip;
+    pkt.ttl = pkt.ttl - 1;
+}`)
+	body := prog.Func("process").Body.Stmts
+	if d := Defs(body[0]); len(d) != 1 || d[0] != "k" {
+		t.Errorf("defs(k=..) = %v", d)
+	}
+	if u := Uses(body[0]); strings.Join(u, ",") != "pkt" {
+		t.Errorf("uses(k=..) = %v", u)
+	}
+	if d := Defs(body[1]); len(d) != 1 || d[0] != "m" {
+		t.Errorf("defs(m[k]=..) = %v", d)
+	}
+	u := Uses(body[1])
+	if strings.Join(u, ",") != "k,m,pkt" {
+		t.Errorf("uses(m[k]=..) = %v", u)
+	}
+	if d := Defs(body[2]); len(d) != 1 || d[0] != "pkt" {
+		t.Errorf("defs(pkt.ttl=..) = %v", d)
+	}
+}
+
+func TestCallsIn(t *testing.T) {
+	prog := MustParse(`func f(a) { x = g(h(a)) + len(a); send(x); }`)
+	body := prog.Func("f").Body.Stmts
+	c0 := CallsIn(body[0])
+	if strings.Join(c0, ",") != "g,h,len" {
+		t.Errorf("CallsIn(assign) = %v", c0)
+	}
+	c1 := CallsIn(body[1])
+	if strings.Join(c1, ",") != "send" {
+		t.Errorf("CallsIn(send) = %v", c1)
+	}
+}
+
+// Property: any program built from a random chain of simple assignments
+// round-trips through Print/Parse.
+func TestPrintParseProperty(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		vars := []string{"a", "b", "c", "d"}
+		var sb strings.Builder
+		sb.WriteString("func f(a) {\n")
+		x := seed
+		for i := 0; i < int(n%12)+1; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := vars[(x>>3)&3]
+			w := vars[(x>>5)&3]
+			switch (x >> 7) & 3 {
+			case 0:
+				sb.WriteString(v + " = " + w + " + 1;\n")
+			case 1:
+				sb.WriteString("if " + v + " == " + w + " { " + v + " = 0; }\n")
+			case 2:
+				sb.WriteString(v + " = (" + v + ", " + w + ");\n")
+			default:
+				sb.WriteString(v + " = [" + w + "];\n")
+			}
+		}
+		sb.WriteString("}\n")
+		p1, err := Parse(sb.String())
+		if err != nil {
+			return false
+		}
+		s1 := Print(p1)
+		p2, err := Parse(s1)
+		if err != nil {
+			return false
+		}
+		return Print(p2) == s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

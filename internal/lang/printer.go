@@ -1,0 +1,183 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program as canonical NFLang source. The output
+// re-parses to an equivalent program; it is also how sliced programs are
+// rendered and how slice LoC (Table 2) is counted.
+func Print(p *Program) string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		printStmt(&sb, g, 0)
+	}
+	for _, f := range p.Funcs {
+		if len(p.Globals) > 0 || f != p.Funcs[0] {
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+		for _, s := range f.Body.Stmts {
+			printStmt(&sb, s, 1)
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// PrintStmt renders a single statement (one line for simple statements).
+func PrintStmt(s Stmt) string {
+	var sb strings.Builder
+	printStmt(&sb, s, 0)
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("    ")
+	}
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch st := s.(type) {
+	case *AssignStmt:
+		indent(sb, depth)
+		sb.WriteString(exprList(st.LHS))
+		sb.WriteString(" = ")
+		sb.WriteString(exprList(st.RHS))
+		sb.WriteString(";\n")
+	case *ExprStmt:
+		indent(sb, depth)
+		sb.WriteString(ExprString(st.X))
+		sb.WriteString(";\n")
+	case *IfStmt:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "if %s {\n", ExprString(st.Cond))
+		for _, c := range st.Then.Stmts {
+			printStmt(sb, c, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("}")
+		if st.Else != nil {
+			sb.WriteString(" else {\n")
+			for _, c := range st.Else.Stmts {
+				printStmt(sb, c, depth+1)
+			}
+			indent(sb, depth)
+			sb.WriteString("}")
+		}
+		sb.WriteString("\n")
+	case *WhileStmt:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "while %s {\n", ExprString(st.Cond))
+		for _, c := range st.Body.Stmts {
+			printStmt(sb, c, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *ForStmt:
+		indent(sb, depth)
+		fmt.Fprintf(sb, "for %s in %s {\n", st.Var, ExprString(st.Iter))
+		for _, c := range st.Body.Stmts {
+			printStmt(sb, c, depth+1)
+		}
+		indent(sb, depth)
+		sb.WriteString("}\n")
+	case *ReturnStmt:
+		indent(sb, depth)
+		if st.Value != nil {
+			fmt.Fprintf(sb, "return %s;\n", ExprString(st.Value))
+		} else {
+			sb.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		indent(sb, depth)
+		sb.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(sb, depth)
+		sb.WriteString("continue;\n")
+	case *BlockStmt:
+		for _, c := range st.Stmts {
+			printStmt(sb, c, depth)
+		}
+	}
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression as NFLang source.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return strconv.FormatInt(x.Val, 10)
+	case *StrLit:
+		return strconv.Quote(x.Val)
+	case *BoolLit:
+		if x.Val {
+			return "true"
+		}
+		return "false"
+	case *NilLit:
+		return "nil"
+	case *TupleLit:
+		return "(" + exprList(x.Elems) + ")"
+	case *ListLit:
+		return "[" + exprList(x.Elems) + "]"
+	case *MapLit:
+		parts := make([]string, len(x.Keys))
+		for i := range x.Keys {
+			parts[i] = ExprString(x.Keys[i]) + ": " + ExprString(x.Vals[i])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *BinaryExpr:
+		op := x.Op
+		if op == "in" {
+			return fmt.Sprintf("%s in %s", paren(x.X), paren(x.Y))
+		}
+		return fmt.Sprintf("%s %s %s", paren(x.X), op, paren(x.Y))
+	case *UnaryExpr:
+		return x.Op + paren(x.X)
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", paren(x.X), ExprString(x.Index))
+	case *FieldExpr:
+		return fmt.Sprintf("%s.%s", paren(x.X), x.Name)
+	case *CallExpr:
+		return fmt.Sprintf("%s(%s)", x.Fun, exprList(x.Args))
+	default:
+		return "?"
+	}
+}
+
+// paren wraps compound sub-expressions in parentheses. This is
+// conservative (it may add parens where precedence would not require
+// them) but guarantees the printed form re-parses with the same tree.
+func paren(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	default:
+		return ExprString(e)
+	}
+}
+
+// CountLoC counts the number of source lines of the printed program,
+// excluding blank lines — the LoC metric used in Table 2.
+func CountLoC(p *Program) int {
+	n := 0
+	for _, line := range strings.Split(Print(p), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const kitchenSink = `
+m = {"a": 1};
+lst = [1, 2, 3];
+func helper(x) {
+    y = x * 2;
+    return y;
+}
+func process(pkt) {
+    t = (pkt.sip, pkt.sport);
+    n = -pkt.ttl;
+    b = !(t in m) || pkt.dport >= 80 && pkt.dport <= 90;
+    for x in lst {
+        if x == 2 {
+            continue;
+        }
+        while x < 10 {
+            x = x + 1;
+            if x == 7 {
+                break;
+            }
+        }
+    }
+    if b {
+        send(pkt, "out");
+    } else {
+        drop();
+        return;
+    }
+    z = helper(n);
+    log("z", z);
+}
+`
+
+func TestPrintKitchenSinkRoundTrips(t *testing.T) {
+	p1 := MustParse(kitchenSink)
+	s1 := Print(p1)
+	p2, err := Parse(s1)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, s1)
+	}
+	if s2 := Print(p2); s2 != s1 {
+		t.Errorf("print not idempotent:\n%s\nvs\n%s", s1, s2)
+	}
+	for _, want := range []string{"break;", "continue;", "while", "for x in lst", "return;", `{"a": 1}`} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("printed source missing %q", want)
+		}
+	}
+}
+
+func TestPrintStmtSingleLine(t *testing.T) {
+	p := MustParse(`func f(a) { x = a + 1; }`)
+	got := PrintStmt(p.Func("f").Body.Stmts[0])
+	if got != "x = a + 1;" {
+		t.Errorf("PrintStmt = %q", got)
+	}
+}
+
+func TestCountLoCIgnoresBlanks(t *testing.T) {
+	p := MustParse("x = 1;\n\n\nfunc process(pkt) { send(pkt); }")
+	// printed: x = 1; + blank + func line + send line + closing brace
+	if got := CountLoC(p); got != 4 {
+		t.Errorf("CountLoC = %d, want 4:\n%s", got, Print(p))
+	}
+}
+
+func TestExprVarsAndBaseVar(t *testing.T) {
+	p := MustParse(`func f(a, b) { x = a[b.c] + len(d); }`)
+	rhs := p.Func("f").Body.Stmts[0].(*AssignStmt).RHS[0]
+	vars := ExprVars(rhs)
+	if strings.Join(vars, ",") != "a,b,d" {
+		t.Errorf("ExprVars = %v", vars)
+	}
+	lhs := p.Func("f").Body.Stmts[0].(*AssignStmt).LHS[0]
+	if BaseVar(lhs) != "x" {
+		t.Errorf("BaseVar = %q", BaseVar(lhs))
+	}
+	// nested index target
+	p2 := MustParse(`m = {}; func f(k) { m[k][0] = 1; }`)
+	l2 := p2.Func("f").Body.Stmts[0].(*AssignStmt).LHS[0]
+	if BaseVar(l2) != "m" {
+		t.Errorf("BaseVar(m[k][0]) = %q", BaseVar(l2))
+	}
+	// call target has no base
+	if BaseVar(&CallExpr{Fun: "f"}) != "" {
+		t.Error("BaseVar(call) should be empty")
+	}
+}
+
+func TestStmtByID(t *testing.T) {
+	p := MustParse(`func f(a) { x = 1; }`)
+	var id int
+	p.WalkStmts(func(s Stmt) {
+		if _, ok := s.(*AssignStmt); ok {
+			id = s.StmtID()
+		}
+	})
+	if p.StmtByID(id) == nil {
+		t.Error("StmtByID lookup failed")
+	}
+	if p.StmtByID(99999) != nil {
+		t.Error("bogus ID resolved")
+	}
+}
+
+func TestNodePosPropagation(t *testing.T) {
+	p := MustParse("\n\nx = (1, 2);\nlst = [3];\nem = {};\nfunc f(a) {\n    y = !a;\n    z = a.field;\n    w = nil;\n    v = true;\n}")
+	// Every statement and expression carries a position with a line > 0.
+	p.WalkStmts(func(s Stmt) {
+		if s.NodePos().Line == 0 {
+			t.Errorf("statement %T has zero position", s)
+		}
+	})
+	check := func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if x.NodePos().Line == 0 {
+				t.Errorf("expression %T has zero position", x)
+			}
+		})
+	}
+	for _, g := range p.Globals {
+		for _, r := range g.RHS {
+			check(r)
+		}
+	}
+	for _, s := range p.Func("f").Body.Stmts {
+		if as, ok := s.(*AssignStmt); ok {
+			for _, r := range as.RHS {
+				check(r)
+			}
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := Lex(`x "hi"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].String() != "x" {
+		t.Errorf("ident token string = %q", toks[0])
+	}
+	if toks[1].String() != `"hi"` {
+		t.Errorf("string token string = %q", toks[1])
+	}
+	if toks[2].String() != "end of input" {
+		t.Errorf("eof token string = %q", toks[2])
+	}
+}
+
+func TestCloneKitchenSink(t *testing.T) {
+	p := MustParse(kitchenSink)
+	c := CloneProgram(p)
+	if Print(c) != Print(p) {
+		t.Error("clone prints differently")
+	}
+	// Deep independence: mutate a nested statement in the clone.
+	c.Func("process").Body.Stmts = c.Func("process").Body.Stmts[:1]
+	if Print(c) == Print(p) {
+		t.Error("clone shares structure with original")
+	}
+}
+
+func TestInlineHoistsCallInCondition(t *testing.T) {
+	p := MustParse(`
+func pick(x) {
+    v = x + 1;
+    return v;
+}
+func process(pkt) {
+    if pick(pkt.sport) == 81 {
+        send(pkt);
+    }
+}`)
+	out, err := Inline(p, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(out)
+	if strings.Contains(printed, "pick(") {
+		t.Errorf("call in condition not hoisted:\n%s", printed)
+	}
+	// The hoisted temp must appear before the if.
+	idxIf := strings.Index(printed, "if ")
+	idxAdd := strings.Index(printed, "+ 1")
+	if idxAdd > idxIf {
+		t.Errorf("hoisted computation after the branch:\n%s", printed)
+	}
+}
+
+func TestInlineInForIterAndReturnValue(t *testing.T) {
+	p := MustParse(`
+func mklist(n) {
+    l = [1, 2];
+    return l;
+}
+func process(pkt) {
+    for x in mklist(2) {
+        pkt.sum = x;
+    }
+    send(pkt);
+}`)
+	out, err := Inline(p, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(Print(out), "mklist(") {
+		t.Errorf("iter call not inlined:\n%s", Print(out))
+	}
+}
+
+func TestUsesOfReturnAndFieldTargets(t *testing.T) {
+	p := MustParse(`func f(a, b) {
+    a.x = b;
+    return a.x + b;
+}`)
+	stmts := p.Func("f").Body.Stmts
+	u0 := Uses(stmts[0])
+	if strings.Join(u0, ",") != "a,b" {
+		t.Errorf("uses(a.x = b) = %v", u0)
+	}
+	u1 := Uses(stmts[1])
+	if strings.Join(u1, ",") != "a,b" {
+		t.Errorf("uses(return) = %v", u1)
+	}
+}

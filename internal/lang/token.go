@@ -1,0 +1,62 @@
+// Package lang implements NFLang, the small imperative network-function
+// language that NFactor analyzes.
+//
+// NFLang substitutes for the C sources the paper runs LLVM giri and KLEE
+// on: it keeps exactly the constructs of the paper's code examples
+// (Figures 1, 3, 4, 5) — top-level globals, a per-packet processing
+// function, assignments, branches, bounded loops, tuples, dicts, packet
+// field access, and packet/socket I/O builtins — so the downstream
+// analyses (slicing, dependence, symbolic execution) exercise the same
+// structure as the paper's pipeline.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokOp      // operators and punctuation
+	TokKeyword // func if else while for in return break continue true false nil
+)
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"func": true, "if": true, "else": true, "while": true, "for": true,
+	"in": true, "return": true, "break": true, "continue": true,
+	"true": true, "false": true, "nil": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }

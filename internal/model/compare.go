@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/solver"
+)
+
+// Compare semantically matches the entries of two models: entries pair up
+// when their guards are mutually implying conjunctions (solver-verified,
+// not syntactic) and their actions canonicalize identically. This is the
+// paper's proposed future-work comparison between synthesized models and
+// models written manually from domain knowledge — a hand-written model in
+// the same term vocabulary can be checked against NFactor's output.
+type CompareReport struct {
+	// Matched pairs entry indices (a, b).
+	Matched [][2]int
+	// OnlyA / OnlyB list unmatched entry indices.
+	OnlyA []int
+	OnlyB []int
+}
+
+// Equivalent reports whether the comparison found a perfect matching.
+func (r *CompareReport) Equivalent() bool {
+	return len(r.OnlyA) == 0 && len(r.OnlyB) == 0
+}
+
+// String summarizes the report.
+func (r *CompareReport) String() string {
+	return fmt.Sprintf("matched=%d onlyA=%v onlyB=%v", len(r.Matched), r.OnlyA, r.OnlyB)
+}
+
+// Compare matches a's entries against b's.
+func Compare(a, b *Model) *CompareReport {
+	rep := &CompareReport{}
+	usedB := map[int]bool{}
+	for i := range a.Entries {
+		ea := &a.Entries[i]
+		found := -1
+		for j := range b.Entries {
+			if usedB[j] {
+				continue
+			}
+			eb := &b.Entries[j]
+			if entriesEquivalent(ea, eb) {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			usedB[found] = true
+			rep.Matched = append(rep.Matched, [2]int{i, found})
+		} else {
+			rep.OnlyA = append(rep.OnlyA, i)
+		}
+	}
+	for j := range b.Entries {
+		if !usedB[j] {
+			rep.OnlyB = append(rep.OnlyB, j)
+		}
+	}
+	return rep
+}
+
+func entriesEquivalent(a, b *Entry) bool {
+	if !solver.EquivConj(a.Guard(), b.Guard()) {
+		return false
+	}
+	return EntryActionSig(a) == EntryActionSig(b)
+}
+
+// EntryActionSig canonicalizes an entry's observable actions: sends
+// (interface + non-identity field transforms, simplified) and state
+// updates. Identity field writes (pkt.f := pkt.f) are dropped — they
+// carry no information and differ between models only by which fields
+// happened to be read.
+func EntryActionSig(e *Entry) string {
+	var parts []string
+	for _, a := range e.Sends {
+		var fs []string
+		for _, name := range a.FieldNames() {
+			t := solver.Simplify(a.Fields[name])
+			if v, ok := t.(solver.Var); ok && v.Name == "pkt."+name {
+				continue
+			}
+			fs = append(fs, name+"="+t.Key())
+		}
+		sort.Strings(fs)
+		parts = append(parts, "send["+solver.Simplify(a.Iface).Key()+"]{"+strings.Join(fs, ",")+"}")
+	}
+	var ups []string
+	for _, u := range e.Updates {
+		ups = append(ups, u.Name+":="+solver.Simplify(u.Val).Key())
+	}
+	sort.Strings(ups)
+	return strings.Join(parts, ";") + "|" + strings.Join(ups, ";")
+}
+
+// Covers reports whether model b subsumes model a: every entry of a is
+// implied by some entry of b with identical actions (b may be coarser —
+// one b entry covering several a entries). Returns the uncovered entries
+// of a.
+func Covers(a, b *Model) (bool, []int) {
+	var uncovered []int
+	for i := range a.Entries {
+		ea := &a.Entries[i]
+		ok := false
+		for j := range b.Entries {
+			eb := &b.Entries[j]
+			if solver.ImpliesAll(ea.Guard(), eb.Guard()) && EntryActionSig(ea) == EntryActionSig(eb) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			uncovered = append(uncovered, i)
+		}
+	}
+	return len(uncovered) == 0, uncovered
+}

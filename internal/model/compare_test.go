@@ -1,0 +1,132 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// handModel builds the toy model by hand with reordered-but-equivalent
+// guards.
+func handModel() *Model {
+	eq80 := solver.Bin{Op: "==", X: solver.Var{Name: "pkt.dport"}, Y: iv(80)}
+	rrMode := solver.Bin{Op: "==", X: solver.Var{Name: "mode"}, Y: sv("RR")}
+	inc := solver.Bin{Op: "+", X: solver.Var{Name: "count@0"}, Y: iv(1)}
+	return &Model{
+		NFName: "toy-by-hand", PktVar: "pkt",
+		CfgVars: []string{"mode"}, OISVars: []string{"count"},
+		Entries: []Entry{
+			{
+				// Same semantics, different literal order and an extra
+				// tautological identity field.
+				FlowMatch: []solver.Term{eq80},
+				Config:    []solver.Term{rrMode},
+				Sends: []Action{{
+					Fields: map[string]solver.Term{
+						"ttl":   solver.Bin{Op: "-", X: solver.Var{Name: "pkt.ttl"}, Y: iv(1)},
+						"sport": solver.Var{Name: "pkt.sport"}, // identity: ignored
+					},
+					Iface: sv("eth1"),
+				}},
+				Updates: []Assign{{Name: "count", Val: inc}},
+			},
+			{
+				Config:    []solver.Term{rrMode},
+				FlowMatch: []solver.Term{solver.Not(eq80)},
+			},
+		},
+	}
+}
+
+func TestCompareEquivalentModels(t *testing.T) {
+	synth := toyModel()
+	hand := handModel()
+	rep := Compare(synth, hand)
+	if !rep.Equivalent() {
+		t.Errorf("models should match: %s", rep)
+	}
+	if len(rep.Matched) != 2 {
+		t.Errorf("matched = %v", rep.Matched)
+	}
+}
+
+func TestCompareDetectsActionDifference(t *testing.T) {
+	synth := toyModel()
+	hand := handModel()
+	// Corrupt the hand model's ttl decrement: -2 instead of -1.
+	hand.Entries[0].Sends[0].Fields["ttl"] =
+		solver.Bin{Op: "-", X: solver.Var{Name: "pkt.ttl"}, Y: iv(2)}
+	rep := Compare(synth, hand)
+	if rep.Equivalent() {
+		t.Error("corrupted action not detected")
+	}
+	if len(rep.OnlyA) != 1 || len(rep.OnlyB) != 1 {
+		t.Errorf("report = %s", rep)
+	}
+}
+
+func TestCompareDetectsGuardDifference(t *testing.T) {
+	synth := toyModel()
+	hand := handModel()
+	// Hand model matches port 81 instead of 80.
+	hand.Entries[0].FlowMatch = []solver.Term{
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.dport"}, Y: iv(81)},
+	}
+	rep := Compare(synth, hand)
+	if rep.Equivalent() {
+		t.Error("guard difference not detected")
+	}
+}
+
+func TestCompareDetectsMissingStateUpdate(t *testing.T) {
+	synth := toyModel()
+	hand := handModel()
+	hand.Entries[0].Updates = nil // hand model forgot the counter
+	rep := Compare(synth, hand)
+	if rep.Equivalent() {
+		t.Error("missing state transition not detected")
+	}
+}
+
+func TestCoversCoarserModel(t *testing.T) {
+	// A fine model with two disjoint drop entries is covered by a coarse
+	// model with one weaker drop entry.
+	lt := solver.Bin{Op: "<", X: solver.Var{Name: "pkt.ttl"}, Y: iv(2)}
+	eq0 := solver.Bin{Op: "==", X: solver.Var{Name: "pkt.ttl"}, Y: iv(0)}
+	eq1 := solver.Bin{Op: "==", X: solver.Var{Name: "pkt.ttl"}, Y: iv(1)}
+	fine := &Model{Entries: []Entry{
+		{FlowMatch: []solver.Term{eq0}},
+		{FlowMatch: []solver.Term{eq1}},
+	}}
+	coarse := &Model{Entries: []Entry{
+		{FlowMatch: []solver.Term{lt}},
+	}}
+	ok, uncovered := Covers(fine, coarse)
+	if !ok {
+		t.Errorf("coarse model should cover fine model; uncovered = %v", uncovered)
+	}
+	// The reverse cannot hold: lt is weaker than eq0.
+	ok, _ = Covers(coarse, fine)
+	if ok {
+		t.Error("fine model should not cover the coarse entry")
+	}
+}
+
+func TestEntryActionSigIgnoresIdentity(t *testing.T) {
+	e1 := Entry{Sends: []Action{{
+		Fields: map[string]solver.Term{"sport": solver.Var{Name: "pkt.sport"}},
+		Iface:  solver.Const{V: value.Str("")},
+	}}}
+	e2 := Entry{Sends: []Action{{
+		Fields: map[string]solver.Term{},
+		Iface:  solver.Const{V: value.Str("")},
+	}}}
+	if EntryActionSig(&e1) != EntryActionSig(&e2) {
+		t.Error("identity field changed the action signature")
+	}
+	if !strings.Contains(EntryActionSig(&e1), "send") {
+		t.Error("signature missing send marker")
+	}
+}

@@ -1,0 +1,370 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Compile lowers the model back to an NFLang program: a chain of guarded
+// entries, each evaluating its match conjunction against the packet and
+// the pre-state, emitting its sends and committing its state transitions.
+// The compiled program is behaviourally equivalent to the model by
+// construction, which lets the paper's accuracy methodology re-run
+// symbolic execution "on both sides" (§5) and also gives the SE-time
+// numbers for model checking on the model instead of the original code.
+//
+// Guard and action terms only reference the pre-state (name@0), so the
+// compiled entry evaluates everything into temporaries before committing
+// any state write.
+func Compile(m *Model, config, initState map[string]value.Value) (*lang.Program, error) {
+	c := &compiler{}
+	var sb strings.Builder
+
+	// Global initializers: configuration and state variables.
+	for _, name := range m.CfgVars {
+		v, ok := config[name]
+		if !ok {
+			return nil, fmt.Errorf("model compile: missing config %q", name)
+		}
+		lit, err := valueLiteral(v)
+		if err != nil {
+			return nil, fmt.Errorf("model compile: config %s: %w", name, err)
+		}
+		fmt.Fprintf(&sb, "%s = %s;\n", name, lit)
+	}
+	for _, name := range m.OISVars {
+		v, ok := initState[name]
+		if !ok {
+			return nil, fmt.Errorf("model compile: missing state %q", name)
+		}
+		lit, err := valueLiteral(v)
+		if err != nil {
+			return nil, fmt.Errorf("model compile: state %s: %w", name, err)
+		}
+		fmt.Fprintf(&sb, "%s = %s;\n", name, lit)
+	}
+
+	fmt.Fprintf(&sb, "\nfunc process(%s) {\n", m.PktVar)
+	for i := range m.Entries {
+		body, err := c.entryBody(m, &m.Entries[i])
+		if err != nil {
+			return nil, fmt.Errorf("model compile: entry %d: %w", i, err)
+		}
+		sb.WriteString(body)
+	}
+	sb.WriteString("}\n")
+
+	prog, err := lang.Parse(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("model compile: generated program does not parse: %w\n%s", err, sb.String())
+	}
+	return prog, nil
+}
+
+type compiler struct{ tmp int }
+
+func (c *compiler) fresh() string {
+	c.tmp++
+	return fmt.Sprintf("t%d", c.tmp)
+}
+
+func (c *compiler) entryBody(m *Model, e *Entry) (string, error) {
+	guard := e.Guard()
+	var cond string
+	if len(guard) == 0 {
+		cond = "true"
+	} else {
+		parts := make([]string, len(guard))
+		for i, g := range guard {
+			s, err := c.termExpr(g)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		cond = strings.Join(parts, " && ")
+	}
+
+	var body strings.Builder
+	// Evaluate all action and update expressions into temporaries first.
+	type fieldTmp struct{ field, tmp string }
+	type sendTmp struct {
+		fields []fieldTmp
+		iface  string
+	}
+	var sends []sendTmp
+	for _, a := range e.Sends {
+		var st sendTmp
+		for _, f := range a.FieldNames() {
+			expr, err := c.termExpr(a.Fields[f])
+			if err != nil {
+				return "", err
+			}
+			tmp := c.fresh()
+			fmt.Fprintf(&body, "        %s = %s;\n", tmp, expr)
+			st.fields = append(st.fields, fieldTmp{field: f, tmp: tmp})
+		}
+		ifaceExpr, err := c.termExpr(a.Iface)
+		if err != nil {
+			return "", err
+		}
+		st.iface = ifaceExpr
+		sends = append(sends, st)
+	}
+
+	type commit struct{ stmts []string }
+	var commits commit
+	for _, u := range e.Updates {
+		stmts, err := c.updateStmts(u)
+		if err != nil {
+			return "", err
+		}
+		// Each update's key/value expressions go into temps now; the
+		// commits run after every read of the pre-state.
+		for _, s := range stmts.pre {
+			fmt.Fprintf(&body, "        %s\n", s)
+		}
+		commits.stmts = append(commits.stmts, stmts.post...)
+	}
+
+	for _, s := range sends {
+		for _, ft := range s.fields {
+			fmt.Fprintf(&body, "        %s.%s = %s;\n", m.PktVar, ft.field, ft.tmp)
+		}
+		if s.iface == `""` {
+			fmt.Fprintf(&body, "        send(%s);\n", m.PktVar)
+		} else {
+			fmt.Fprintf(&body, "        send(%s, %s);\n", m.PktVar, s.iface)
+		}
+	}
+	for _, s := range commits.stmts {
+		fmt.Fprintf(&body, "        %s\n", s)
+	}
+	body.WriteString("        return;\n")
+
+	return fmt.Sprintf("    if %s {\n%s    }\n", cond, body.String()), nil
+}
+
+type updateCode struct {
+	pre  []string // temporary computations (read pre-state)
+	post []string // commits (write state)
+}
+
+// updateStmts lowers one state transition. Scalar updates become a temp +
+// assignment; map store/del chains are unwound from the base outward.
+func (c *compiler) updateStmts(u Assign) (updateCode, error) {
+	base := u.Name
+	// Unwind the store/del chain down to the base MapVar.
+	var ops []solver.Term
+	t := u.Val
+	for {
+		switch x := t.(type) {
+		case solver.Store:
+			ops = append(ops, x)
+			t = x.M
+			continue
+		case solver.Del:
+			ops = append(ops, x)
+			t = x.M
+			continue
+		}
+		break
+	}
+	if mv, ok := t.(solver.MapVar); ok && strings.TrimSuffix(mv.Name, "@0") == base && len(ops) > 0 {
+		var out updateCode
+		// ops are outermost-first; apply innermost-first.
+		for i := len(ops) - 1; i >= 0; i-- {
+			switch op := ops[i].(type) {
+			case solver.Store:
+				kExpr, err := c.termExpr(op.K)
+				if err != nil {
+					return updateCode{}, err
+				}
+				vExpr, err := c.termExpr(op.V)
+				if err != nil {
+					return updateCode{}, err
+				}
+				kt, vt := c.fresh(), c.fresh()
+				out.pre = append(out.pre,
+					fmt.Sprintf("%s = %s;", kt, kExpr),
+					fmt.Sprintf("%s = %s;", vt, vExpr))
+				out.post = append(out.post, fmt.Sprintf("%s[%s] = %s;", base, kt, vt))
+			case solver.Del:
+				kExpr, err := c.termExpr(op.K)
+				if err != nil {
+					return updateCode{}, err
+				}
+				kt := c.fresh()
+				out.pre = append(out.pre, fmt.Sprintf("%s = %s;", kt, kExpr))
+				out.post = append(out.post, fmt.Sprintf("del(%s, %s);", base, kt))
+			}
+		}
+		return out, nil
+	}
+	// Scalar (or whole-map) update.
+	expr, err := c.termExpr(u.Val)
+	if err != nil {
+		return updateCode{}, err
+	}
+	tmp := c.fresh()
+	return updateCode{
+		pre:  []string{fmt.Sprintf("%s = %s;", tmp, expr)},
+		post: []string{fmt.Sprintf("%s = %s;", base, tmp)},
+	}, nil
+}
+
+// termExpr lowers a term to NFLang source.
+func (c *compiler) termExpr(t solver.Term) (string, error) {
+	switch x := t.(type) {
+	case solver.Const:
+		return valueLiteral(x.V)
+	case solver.Var:
+		if f, ok := strings.CutPrefix(x.Name, "pkt."); ok {
+			return "pkt." + f, nil
+		}
+		return strings.TrimSuffix(x.Name, "@0"), nil
+	case solver.NamedConst:
+		return x.Name, nil
+	case solver.MapVar:
+		return strings.TrimSuffix(x.Name, "@0"), nil
+	case solver.Bin:
+		l, err := c.termExpr(x.X)
+		if err != nil {
+			return "", err
+		}
+		r, err := c.termExpr(x.Y)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", l, x.Op, r), nil
+	case solver.Un:
+		s, err := c.termExpr(x.X)
+		if err != nil {
+			return "", err
+		}
+		return x.Op + "(" + s + ")", nil
+	case solver.Call:
+		switch x.Fn {
+		case "hash", "len":
+			a, err := c.termExpr(x.Args[0])
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s(%s)", x.Fn, a), nil
+		case "contains":
+			// contains(pkt.flags, F) lowers back to tcp_flag(pkt, F);
+			// every other string-containment term becomes str_contains.
+			if v, ok := x.Args[0].(solver.Var); ok && v.Name == "pkt.flags" {
+				fl, err := c.termExpr(x.Args[1])
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("tcp_flag(pkt, %s)", fl), nil
+			}
+			a, err := c.termExpr(x.Args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := c.termExpr(x.Args[1])
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("str_contains(%s, %s)", a, b), nil
+		default:
+			return "", fmt.Errorf("cannot lower call %q", x.Fn)
+		}
+	case solver.Tuple:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			s, err := c.termExpr(e)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return "(" + strings.Join(parts, ", ") + ")", nil
+	case solver.Index:
+		b, err := c.termExpr(x.X)
+		if err != nil {
+			return "", err
+		}
+		i, err := c.termExpr(x.I)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[%s]", maybeParen(b), i), nil
+	case solver.Select:
+		m, err := c.termExpr(x.M)
+		if err != nil {
+			return "", err
+		}
+		k, err := c.termExpr(x.K)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[%s]", maybeParen(m), k), nil
+	case solver.In:
+		k, err := c.termExpr(x.K)
+		if err != nil {
+			return "", err
+		}
+		m, err := c.termExpr(x.M)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s in %s)", k, m), nil
+	case solver.Store, solver.Del:
+		return "", fmt.Errorf("store/del term in expression position")
+	default:
+		return "", fmt.Errorf("cannot lower term %T", t)
+	}
+}
+
+func maybeParen(s string) string {
+	if strings.ContainsAny(s, " ") && !strings.HasPrefix(s, "(") {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// valueLiteral renders a concrete value as NFLang literal source.
+func valueLiteral(v value.Value) (string, error) {
+	switch v.Kind {
+	case value.KindInt, value.KindStr, value.KindBool, value.KindTuple:
+		return v.String(), nil
+	case value.KindList:
+		parts := make([]string, len(v.List.Elems))
+		for i, e := range v.List.Elems {
+			s, err := valueLiteral(e)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return "[" + strings.Join(parts, ", ") + "]", nil
+	case value.KindMap:
+		keys := v.Map.Keys()
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			kv, _, _ := v.Map.Get(k)
+			ks, err := valueLiteral(k)
+			if err != nil {
+				return "", err
+			}
+			vs, err := valueLiteral(kv)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = ks + ": " + vs
+		}
+		return "{" + strings.Join(parts, ", ") + "}", nil
+	case value.KindNil:
+		return "nil", nil
+	default:
+		return "", fmt.Errorf("no literal syntax for %s", v.Kind)
+	}
+}

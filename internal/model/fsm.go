@@ -1,0 +1,161 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// FSM is the per-connection finite state machine induced by a model's
+// transitions over one map-valued state variable — the paper's §2.4
+// observation that "the state transition logic can be used to build a
+// finite state machine, which is proposed and used in network testing
+// solutions [BUZZ]".
+//
+// States are the concrete values the model stores into the map (plus the
+// implicit initial "absent" state); a transition exists for every entry
+// that moves a key from one state to another, labeled by the entry's
+// packet-match condition.
+type FSM struct {
+	Var    string // the state map variable, e.g. "tcp_state"
+	States []string
+	Trans  []Transition
+}
+
+// Transition is one edge of the FSM.
+type Transition struct {
+	From  string // state name; "∅" is the initial absent state
+	To    string
+	Entry int // index of the model entry inducing the edge
+	Label string
+}
+
+// StateAbsent names the implicit initial state (key not in the map).
+const StateAbsent = "∅"
+
+// ExtractFSM builds the FSM of the given map state variable. Entries
+// whose guards/updates do not involve the variable are ignored.
+func ExtractFSM(m *Model, stateVar string) (*FSM, error) {
+	isVar := func(name string) bool { return strings.TrimSuffix(name, "@0") == stateVar }
+	fsm := &FSM{Var: stateVar}
+	states := map[string]bool{StateAbsent: true}
+
+	for i := range m.Entries {
+		e := &m.Entries[i]
+
+		// Determine the from-state this entry requires.
+		from := ""
+		for _, c := range e.StateMatch {
+			if f, ok := fromState(c, isVar); ok {
+				if from != "" && from != f {
+					from = "" // contradictory info; treat as unknown
+					break
+				}
+				from = f
+			}
+		}
+
+		// Determine the to-state this entry stores.
+		to := ""
+		for _, u := range e.Updates {
+			if !isVar(u.Name) {
+				continue
+			}
+			if s, ok := storedState(u.Val); ok {
+				to = s
+			}
+		}
+		if from == "" && to == "" {
+			continue
+		}
+		if from == "" {
+			from = "*" // any state
+		}
+		if to == "" {
+			to = from // self-loop: state observed but unchanged
+		}
+		states[from] = true
+		states[to] = true
+		label := joinConds(e.FlowMatch)
+		if label == "" {
+			label = "*"
+		}
+		fsm.Trans = append(fsm.Trans, Transition{From: from, To: to, Entry: i, Label: label})
+	}
+	if len(fsm.Trans) == 0 {
+		return nil, fmt.Errorf("model: no transitions over %q", stateVar)
+	}
+	for s := range states {
+		fsm.States = append(fsm.States, s)
+	}
+	sort.Strings(fsm.States)
+	return fsm, nil
+}
+
+// fromState recognizes the two state-observation shapes the executor
+// produces: `!(k in M@0)` (the absent state) and `M@0[k] == "NAME"`.
+func fromState(c solver.Term, isVar func(string) bool) (string, bool) {
+	switch x := c.(type) {
+	case solver.Un:
+		if x.Op == "!" {
+			if in, ok := x.X.(solver.In); ok && mapIs(in.M, isVar) {
+				return StateAbsent, true
+			}
+		}
+	case solver.Bin:
+		if x.Op == "==" {
+			if sel, ok := x.X.(solver.Select); ok && mapIs(sel.M, isVar) {
+				if c, ok := x.Y.(solver.Const); ok && c.V.Kind == value.KindStr {
+					return c.V.S, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// storedState recognizes Store(..., k, Const "NAME") chains.
+func storedState(t solver.Term) (string, bool) {
+	for {
+		st, ok := t.(solver.Store)
+		if !ok {
+			return "", false
+		}
+		if c, ok := st.V.(solver.Const); ok && c.V.Kind == value.KindStr {
+			return c.V.S, true
+		}
+		t = st.M
+	}
+}
+
+func mapIs(t solver.Term, isVar func(string) bool) bool {
+	mv, ok := t.(solver.MapVar)
+	return ok && isVar(mv.Name)
+}
+
+// RenderFSM prints the FSM as a transition table.
+func RenderFSM(f *FSM) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FSM over %s — states: %s\n", f.Var, strings.Join(f.States, ", "))
+	for _, t := range f.Trans {
+		fmt.Fprintf(&sb, "  %-12s --[%s]--> %s (entry %d)\n", t.From, t.Label, t.To, t.Entry)
+	}
+	return sb.String()
+}
+
+// Dot renders the FSM in Graphviz dot syntax.
+func (f *FSM) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph fsm {\n  rankdir=LR;\n")
+	for _, s := range f.States {
+		fmt.Fprintf(&sb, "  %q;\n", s)
+	}
+	for _, t := range f.Trans {
+		fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", t.From, t.To, t.Label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

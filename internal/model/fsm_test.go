@@ -1,0 +1,236 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/solver"
+	"nfactor/internal/symexec"
+	"nfactor/internal/value"
+)
+
+// fsmModel hand-builds a 3-state connection tracker model.
+func fsmModel() *Model {
+	tcp := solver.MapVar{Name: "conn@0"}
+	key := solver.Tuple{Elems: []solver.Term{solver.Var{Name: "pkt.sip"}, solver.Var{Name: "pkt.sport"}}}
+	inConn := solver.In{K: key, M: tcp}
+	sel := solver.Select{M: tcp, K: key}
+	isSyn := solver.Call{Fn: "contains", Args: []solver.Term{solver.Var{Name: "pkt.flags"}, solver.Const{V: value.Str("S")}}}
+
+	mk := func(v string) solver.Term { return solver.Const{V: value.Str(v)} }
+	return &Model{
+		NFName: "tracker", PktVar: "pkt", OISVars: []string{"conn"},
+		Entries: []Entry{
+			{ // new connection on SYN
+				FlowMatch:  []solver.Term{isSyn},
+				StateMatch: []solver.Term{solver.Not(inConn)},
+				Updates: []Assign{{Name: "conn",
+					Val: solver.Store{M: tcp, K: key, V: mk("HALF")}}},
+			},
+			{ // handshake completes
+				StateMatch: []solver.Term{inConn, solver.Bin{Op: "==", X: sel, Y: mk("HALF")}},
+				Updates: []Assign{{Name: "conn",
+					Val: solver.Store{M: tcp, K: key, V: mk("OPEN")}}},
+			},
+			{ // established traffic observed, state unchanged
+				StateMatch: []solver.Term{inConn, solver.Bin{Op: "==", X: sel, Y: mk("OPEN")}},
+				Sends:      []Action{{Fields: map[string]solver.Term{}, Iface: mk("")}},
+			},
+		},
+	}
+}
+
+func TestExtractFSMStatesAndEdges(t *testing.T) {
+	fsm, err := ExtractFSM(fsmModel(), "conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStates := map[string]bool{StateAbsent: true, "HALF": true, "OPEN": true}
+	for _, s := range fsm.States {
+		if !wantStates[s] {
+			t.Errorf("unexpected state %q", s)
+		}
+		delete(wantStates, s)
+	}
+	if len(wantStates) != 0 {
+		t.Errorf("missing states: %v", wantStates)
+	}
+	type edge struct{ from, to string }
+	want := map[edge]bool{
+		{StateAbsent, "HALF"}: true,
+		{"HALF", "OPEN"}:      true,
+		{"OPEN", "OPEN"}:      true, // self-loop: observed, unchanged
+	}
+	for _, tr := range fsm.Trans {
+		delete(want, edge{tr.From, tr.To})
+	}
+	if len(want) != 0 {
+		t.Errorf("missing edges %v:\n%s", want, RenderFSM(fsm))
+	}
+}
+
+func TestExtractFSMLabels(t *testing.T) {
+	fsm, err := ExtractFSM(fsmModel(), "conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var synEdge *Transition
+	for i := range fsm.Trans {
+		if fsm.Trans[i].From == StateAbsent {
+			synEdge = &fsm.Trans[i]
+		}
+	}
+	if synEdge == nil || !strings.Contains(synEdge.Label, "contains") {
+		t.Errorf("SYN edge label = %+v", synEdge)
+	}
+}
+
+func TestExtractFSMNoTransitions(t *testing.T) {
+	m := &Model{Entries: []Entry{{}}}
+	if _, err := ExtractFSM(m, "whatever"); err == nil {
+		t.Error("no-transition FSM did not error")
+	}
+}
+
+func TestFSMDotWellFormed(t *testing.T) {
+	fsm, err := ExtractFSM(fsmModel(), "conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := fsm.Dot()
+	if !strings.HasPrefix(dot, "digraph fsm {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("dot not well formed:\n%s", dot)
+	}
+	if strings.Count(dot, "->") != len(fsm.Trans) {
+		t.Errorf("dot edge count mismatch:\n%s", dot)
+	}
+}
+
+func TestCompareReportString(t *testing.T) {
+	r := &CompareReport{Matched: [][2]int{{0, 0}}, OnlyA: []int{1}}
+	s := r.String()
+	if !strings.Contains(s, "matched=1") || !strings.Contains(s, "[1]") {
+		t.Errorf("report string = %q", s)
+	}
+}
+
+func TestCompileAllCorpusShapes(t *testing.T) {
+	// Compile a model exercising every term lowering: named config,
+	// arithmetic, hash, tuples, select, store chains, del, tcp_flag.
+	m0 := solver.MapVar{Name: "m@0"}
+	key := solver.Var{Name: "pkt.sport"}
+	entry := Entry{
+		FlowMatch: []solver.Term{
+			solver.Call{Fn: "contains", Args: []solver.Term{solver.Var{Name: "pkt.flags"}, solver.Const{V: value.Str("S")}}},
+			solver.Bin{Op: ">", X: solver.Var{Name: "pkt.ttl"}, Y: solver.Const{V: value.Int(0)}},
+		},
+		StateMatch: []solver.Term{solver.In{K: key, M: m0}},
+		Sends: []Action{{
+			Fields: map[string]solver.Term{
+				"dport": solver.Bin{Op: "%", X: solver.Call{Fn: "hash", Args: []solver.Term{solver.Var{Name: "pkt.sip"}}}, Y: solver.Const{V: value.Int(4)}},
+				"dip":   solver.Index{X: solver.NamedConst{Name: "servers", V: value.NewList(value.TupleOf(value.Str("1.1.1.1"), value.Int(80)))}, I: solver.Const{V: value.Int(0)}},
+			},
+			Iface: solver.Const{V: value.Str("out")},
+		}},
+		Updates: []Assign{{
+			Name: "m",
+			Val:  solver.Del{M: solver.Store{M: m0, K: key, V: solver.Const{V: value.Int(1)}}, K: solver.Var{Name: "pkt.dport"}},
+		}},
+	}
+	m := &Model{
+		NFName: "shapes", PktVar: "pkt",
+		CfgVars: []string{"servers"}, OISVars: []string{"m"},
+		Entries: []Entry{entry},
+	}
+	servers := value.NewList(value.TupleOf(value.Str("1.1.1.1"), value.Int(80)))
+	prog, err := Compile(m,
+		map[string]value.Value{"servers": servers},
+		map[string]value.Value{"m": value.NewMap()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := lang_Print(prog)
+	for _, want := range []string{"tcp_flag(pkt", "hash(pkt.sip)", "del(m", "m[", "servers"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("compiled source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestCompileRejectsUnloweralbleTerms(t *testing.T) {
+	m := &Model{
+		PktVar: "pkt",
+		Entries: []Entry{{
+			FlowMatch: []solver.Term{solver.Call{Fn: "mystery", Args: nil}},
+		}},
+	}
+	if _, err := Compile(m, nil, nil); err == nil {
+		t.Error("unlowerable call did not error")
+	}
+	// contains() over something other than pkt.flags lowers to the
+	// generic str_contains builtin.
+	m2 := &Model{
+		PktVar: "pkt",
+		Entries: []Entry{{
+			FlowMatch: []solver.Term{solver.Call{Fn: "contains", Args: []solver.Term{solver.Var{Name: "pkt.payload"}, solver.Const{V: value.Str("S")}}}},
+			Sends:     []Action{{Fields: map[string]solver.Term{}, Iface: solver.Const{V: value.Str("")}}},
+		}},
+	}
+	prog2, err := Compile(m2, nil, nil)
+	if err != nil {
+		t.Fatalf("generic contains did not lower: %v", err)
+	}
+	if !strings.Contains(lang_Print(prog2), "str_contains(pkt.payload") {
+		t.Errorf("lowered source missing str_contains:\n%s", lang_Print(prog2))
+	}
+}
+
+func TestBuildFromSymexecPathPreservesOrder(t *testing.T) {
+	paths := []*symexec.Path{
+		{Conds: []solver.Term{solver.Var{Name: "a"}}},
+		{Conds: []solver.Term{solver.Un{Op: "!", X: solver.Var{Name: "a"}}}},
+	}
+	m := Build(paths, BuildOptions{})
+	if m.Entries[0].Priority != 0 || m.Entries[1].Priority != 1 {
+		t.Errorf("priorities = %d, %d", m.Entries[0].Priority, m.Entries[1].Priority)
+	}
+}
+
+func TestElideImpliedLiterals(t *testing.T) {
+	x := solver.Var{Name: "pkt.dport"}
+	g := []solver.Term{
+		solver.Bin{Op: "==", X: x, Y: solver.Const{V: value.Int(80)}},
+		solver.Bin{Op: "!=", X: x, Y: solver.Const{V: value.Int(23)}}, // implied by == 80
+	}
+	m := &Model{Entries: []Entry{{FlowMatch: g}}}
+	min := Minimize(m)
+	guard := min.Entries[0].Guard()
+	if len(guard) != 1 {
+		t.Fatalf("guard = %v, want the implied literal elided", guard)
+	}
+	if guard[0].String() != "(pkt.dport == 80)" {
+		t.Errorf("kept literal = %s", guard[0])
+	}
+}
+
+func TestMinimizeKeepsDistinctActions(t *testing.T) {
+	cond := solver.Bin{Op: ">", X: solver.Var{Name: "pkt.ttl"}, Y: solver.Const{V: value.Int(5)}}
+	send := []Action{{Fields: map[string]solver.Term{}, Iface: solver.Const{V: value.Str("a")}}}
+	m := &Model{Entries: []Entry{
+		{FlowMatch: []solver.Term{cond}, Sends: send},
+		{FlowMatch: []solver.Term{solver.Not(cond)}}, // drop: different action
+	}}
+	min := Minimize(m)
+	if len(min.Entries) != 2 {
+		t.Errorf("entries with distinct actions merged: %d", len(min.Entries))
+	}
+}
+
+func TestMinimizeDedupsRepeatedLiterals(t *testing.T) {
+	cond := solver.Bin{Op: "==", X: solver.Var{Name: "pkt.proto"}, Y: solver.Const{V: value.Str("tcp")}}
+	m := &Model{Entries: []Entry{{FlowMatch: []solver.Term{cond, cond, cond}}}}
+	min := Minimize(m)
+	if got := len(min.Entries[0].Guard()); got != 1 {
+		t.Errorf("deduped guard has %d literals", got)
+	}
+}

@@ -1,0 +1,15 @@
+package model
+
+import (
+	"nfactor/internal/interp"
+	"nfactor/internal/lang"
+)
+
+// test helpers bridging to sibling packages without polluting the main
+// files' import graph.
+
+func lang_Print(p *lang.Program) string { return lang.Print(p) }
+
+func newInterp(p *lang.Program) (*interp.Interp, error) {
+	return interp.New(p, "process", interp.Options{})
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/interp"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Instance is a running model: the synthesized tables plus concrete
+// configuration and mutable state. It processes packets with the same
+// observable behaviour as the original NF program — the property the §5
+// accuracy experiment checks.
+type Instance struct {
+	m      *Model
+	config map[string]value.Value
+	state  map[string]value.Value
+}
+
+// NewInstance creates a model instance. config provides concrete values
+// for the model's configuration variables; initState the initial values
+// of its state variables (both typically taken from the original
+// program's global initializers).
+func NewInstance(m *Model, config, initState map[string]value.Value) (*Instance, error) {
+	for _, v := range m.CfgVars {
+		if _, ok := config[v]; !ok {
+			return nil, fmt.Errorf("model: missing configuration value for %q", v)
+		}
+	}
+	for _, v := range m.OISVars {
+		if _, ok := initState[v]; !ok {
+			return nil, fmt.Errorf("model: missing initial state for %q", v)
+		}
+	}
+	st := make(map[string]value.Value, len(initState))
+	for k, v := range initState {
+		st[k] = v.Clone()
+	}
+	cf := make(map[string]value.Value, len(config))
+	for k, v := range config {
+		cf[k] = v.Clone()
+	}
+	return &Instance{m: m, config: cf, state: st}, nil
+}
+
+// State returns the instance's current state variable values.
+func (ins *Instance) State() map[string]value.Value { return ins.state }
+
+// env resolves term variables for one packet: pkt.* from the packet
+// fields, name@0 from the current state, bare names from configuration.
+type env struct {
+	ins *Instance
+	pkt value.Value
+}
+
+// Lookup implements solver.Env.
+func (e env) Lookup(name string) (value.Value, bool) {
+	if f, ok := strings.CutPrefix(name, "pkt."); ok {
+		v, ok := e.pkt.Pkt.Fields[f]
+		return v, ok
+	}
+	if base, ok := strings.CutSuffix(name, "@0"); ok {
+		v, ok := e.ins.state[base]
+		return v, ok
+	}
+	v, ok := e.ins.config[name]
+	return v, ok
+}
+
+// Process runs one packet through the model: the first entry whose guard
+// holds fires; its sends are emitted and its state transitions committed.
+// No matching entry means the implicit drop (§3.2 "Drop Action").
+func (ins *Instance) Process(pkt value.Value) (*interp.Output, error) {
+	out, _, err := ins.ProcessTraced(pkt)
+	return out, err
+}
+
+// ProcessTraced is Process, additionally reporting the index of the entry
+// that fired (-1 for the implicit default drop). Model-guided test
+// generation (internal/buzz) uses it to measure entry coverage.
+func (ins *Instance) ProcessTraced(pkt value.Value) (*interp.Output, int, error) {
+	if pkt.Kind != value.KindPacket {
+		return nil, -1, fmt.Errorf("model: Process wants a packet, got %s", pkt.Kind)
+	}
+	ev := env{ins: ins, pkt: pkt}
+	out := &interp.Output{}
+	for i := range ins.m.Entries {
+		e := &ins.m.Entries[i]
+		ok, err := ins.matches(e, ev)
+		if err != nil {
+			return nil, -1, fmt.Errorf("model: entry %d guard: %w", i, err)
+		}
+		if !ok {
+			continue
+		}
+		// Evaluate every action term against the PRE-state, then commit.
+		var sent []interp.SentPacket
+		for _, a := range e.Sends {
+			p := pkt.Clone()
+			for _, f := range a.FieldNames() {
+				v, err := solver.Eval(a.Fields[f], ev)
+				if err != nil {
+					return nil, -1, fmt.Errorf("model: entry %d field %s: %w", i, f, err)
+				}
+				p.Pkt.Fields[f] = v
+			}
+			ifaceV, err := solver.Eval(a.Iface, ev)
+			if err != nil {
+				return nil, -1, fmt.Errorf("model: entry %d iface: %w", i, err)
+			}
+			iface := ""
+			if ifaceV.Kind == value.KindStr {
+				iface = ifaceV.S
+			}
+			sent = append(sent, interp.SentPacket{Pkt: p, Iface: iface})
+		}
+		newState := map[string]value.Value{}
+		for _, u := range e.Updates {
+			v, err := solver.Eval(u.Val, ev)
+			if err != nil {
+				return nil, -1, fmt.Errorf("model: entry %d update %s: %w", i, u.Name, err)
+			}
+			newState[u.Name] = v
+		}
+		for k, v := range newState {
+			ins.state[k] = v
+		}
+		out.Sent = sent
+		out.Dropped = len(sent) == 0
+		return out, i, nil
+	}
+	out.Dropped = true
+	return out, -1, nil
+}
+
+func (ins *Instance) matches(e *Entry, ev env) (bool, error) {
+	for _, c := range e.Guard() {
+		ok, err := solver.EvalBool(c, ev)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

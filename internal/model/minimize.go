@@ -1,0 +1,156 @@
+package model
+
+import (
+	"sort"
+
+	"nfactor/internal/solver"
+)
+
+// Minimize compresses the model's tables without changing behaviour:
+//
+//   - duplicate literals inside a guard are dropped,
+//   - two entries with identical actions whose guards differ in exactly
+//     one complementary literal pair (a vs ¬a) merge into one entry
+//     without that literal (the Quine-McCluskey adjacency step),
+//   - literals implied by the remaining guard are elided.
+//
+// Path enumeration produces one entry per execution path, so NFs that
+// take the same action on many paths (an IDS that alerts — a log-only
+// action — and forwards either way) synthesize larger tables than
+// necessary; minimization folds them back. The result still partitions
+// the input space: merging complementary regions with equal actions is
+// semantics-preserving by construction.
+func Minimize(m *Model) *Model {
+	out := &Model{
+		NFName:  m.NFName,
+		PktVar:  m.PktVar,
+		CfgVars: append([]string{}, m.CfgVars...),
+		OISVars: append([]string{}, m.OISVars...),
+	}
+	type went struct {
+		guard []solver.Term
+		sig   string
+		prio  int
+		e     *Entry
+	}
+	var work []went
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		work = append(work, went{
+			guard: dedupLiterals(e.Guard()),
+			sig:   EntryActionSig(e),
+			prio:  e.Priority,
+			e:     e,
+		})
+	}
+
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				if work[i].sig != work[j].sig {
+					continue
+				}
+				if g, ok := mergeAdjacent(work[i].guard, work[j].guard); ok {
+					work[i].guard = g
+					work = append(work[:j], work[j+1:]...)
+					merged = true
+					continue outer
+				}
+			}
+		}
+	}
+
+	for _, w := range work {
+		guard := elideImplied(w.guard)
+		ne := Entry{Priority: w.prio}
+		for _, c := range guard {
+			switch classify(c) {
+			case condState:
+				ne.StateMatch = append(ne.StateMatch, c)
+			case condFlow:
+				ne.FlowMatch = append(ne.FlowMatch, c)
+			default:
+				ne.Config = append(ne.Config, c)
+			}
+		}
+		for _, a := range w.e.Sends {
+			fields := make(map[string]solver.Term, len(a.Fields))
+			for k, v := range a.Fields {
+				fields[k] = v
+			}
+			ne.Sends = append(ne.Sends, Action{Fields: fields, Iface: a.Iface})
+		}
+		ne.Updates = append(ne.Updates, w.e.Updates...)
+		out.Entries = append(out.Entries, ne)
+	}
+	sort.SliceStable(out.Entries, func(a, b int) bool {
+		return out.Entries[a].Priority < out.Entries[b].Priority
+	})
+	return out
+}
+
+func dedupLiterals(g []solver.Term) []solver.Term {
+	seen := map[string]bool{}
+	var out []solver.Term
+	for _, c := range g {
+		c = solver.Simplify(c)
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mergeAdjacent merges two guards differing in exactly one complementary
+// literal, returning the common remainder.
+func mergeAdjacent(a, b []solver.Term) ([]solver.Term, bool) {
+	if len(a) != len(b) {
+		return nil, false
+	}
+	bKeys := map[string]solver.Term{}
+	for _, c := range b {
+		bKeys[c.Key()] = c
+	}
+	var onlyA []solver.Term
+	var common []solver.Term
+	for _, c := range a {
+		if _, ok := bKeys[c.Key()]; ok {
+			common = append(common, c)
+			delete(bKeys, c.Key())
+		} else {
+			onlyA = append(onlyA, c)
+		}
+	}
+	if len(onlyA) != 1 || len(bKeys) != 1 {
+		return nil, false
+	}
+	var onlyB solver.Term
+	for _, c := range bKeys {
+		onlyB = c
+	}
+	if solver.Simplify(solver.Not(onlyA[0])).Key() != onlyB.Key() {
+		return nil, false
+	}
+	return common, true
+}
+
+// elideImplied removes literals entailed by the rest of the guard
+// (e.g. `x != 23` alongside `x == 80`).
+func elideImplied(g []solver.Term) []solver.Term {
+	out := append([]solver.Term{}, g...)
+	for i := 0; i < len(out); i++ {
+		rest := make([]solver.Term, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if len(rest) > 0 && solver.Implies(rest, out[i]) {
+			out = rest
+			i--
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package model defines NFactor's NF forwarding model (the paper's
+// Figure 2a): an OpenFlow-like set of stateful match/action tables. Each
+// entry matches on packet fields AND internal state, and its action both
+// transforms/forwards the packet and transitions the state.
+//
+// The model is executable (Instance runs it on concrete traffic, which is
+// how the §5 random differential testing compares it against the original
+// program) and compilable back to NFLang (Compile), which is how path-set
+// equivalence is re-checked with the symbolic executor.
+package model
+
+import (
+	"sort"
+	"strings"
+
+	"nfactor/internal/solver"
+	"nfactor/internal/symexec"
+)
+
+// Action is one packet emission: the output packet's fields as terms over
+// the symbolic inputs (pkt.* and state@0), plus the output interface.
+type Action struct {
+	Fields map[string]solver.Term
+	Iface  solver.Term
+}
+
+// FieldNames returns the action's field names, sorted.
+func (a Action) FieldNames() []string {
+	out := make([]string, 0, len(a.Fields))
+	for k := range a.Fields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assign is one state transition: Name's post-state value as a term over
+// the pre-state and packet.
+type Assign struct {
+	Name string
+	Val  solver.Term
+}
+
+// Entry is one table entry (one refined execution path, Algorithm 1 lines
+// 11-16).
+type Entry struct {
+	// Config holds the conditions over configuration variables only —
+	// the paper's table selector (table[config]).
+	Config []solver.Term
+	// FlowMatch holds the conditions over packet fields (and config).
+	FlowMatch []solver.Term
+	// StateMatch holds the conditions that involve the pre-state.
+	StateMatch []solver.Term
+	// Sends holds the packet actions; empty means the drop action.
+	Sends []Action
+	// Updates holds the state transitions.
+	Updates []Assign
+	// Priority orders entries (lower fires first). Entries synthesized
+	// from symbolic execution are mutually exclusive, so priority only
+	// breaks ties defensively.
+	Priority int
+}
+
+// Guard returns the entry's full match conjunction.
+func (e *Entry) Guard() []solver.Term {
+	out := append([]solver.Term{}, e.Config...)
+	out = append(out, e.FlowMatch...)
+	out = append(out, e.StateMatch...)
+	return out
+}
+
+// Dropped reports whether the entry's packet action is drop.
+func (e *Entry) Dropped() bool { return len(e.Sends) == 0 }
+
+// Model is a synthesized NF forwarding model.
+type Model struct {
+	NFName  string
+	PktVar  string   // name of the packet parameter (usually "pkt")
+	CfgVars []string // configuration variables (sorted)
+	OISVars []string // output-impacting state variables (sorted)
+	Entries []Entry  // priority order; implicit lowest-priority drop
+}
+
+// ConfigTable groups the entries that share a configuration condition —
+// the per-configuration tables (c1, c2, …) of Figure 2a.
+type ConfigTable struct {
+	Config  []solver.Term
+	Entries []*Entry
+}
+
+// Tables groups the model's entries by configuration condition, in first-
+// appearance order.
+func (m *Model) Tables() []ConfigTable {
+	var out []ConfigTable
+	index := map[string]int{}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		key := condsKey(e.Config)
+		if at, ok := index[key]; ok {
+			out[at].Entries = append(out[at].Entries, e)
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, ConfigTable{Config: e.Config, Entries: []*Entry{e}})
+	}
+	return out
+}
+
+func condsKey(conds []solver.Term) string {
+	keys := make([]string, len(conds))
+	for i, c := range conds {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// BuildOptions configure model synthesis from execution paths.
+type BuildOptions struct {
+	NFName string
+	PktVar string
+	// CfgVars/OISVars/LogVars come from the StateAlyzer categorization.
+	CfgVars map[string]bool
+	OISVars map[string]bool
+	LogVars map[string]bool
+}
+
+// Build refines symbolic execution paths into a model (Algorithm 1,
+// lines 11-16): for each path, the condition conjunction is split into
+// config / flow-match / state-match by the variables it mentions, the
+// sends become packet actions, and the state updates (restricted to
+// output-impacting variables — log variables are not part of the
+// forwarding model) become state transitions.
+func Build(paths []*symexec.Path, opts BuildOptions) *Model {
+	m := &Model{
+		NFName:  opts.NFName,
+		PktVar:  opts.PktVar,
+		CfgVars: sortedNames(opts.CfgVars),
+		OISVars: sortedNames(opts.OISVars),
+	}
+	if m.PktVar == "" {
+		m.PktVar = "pkt"
+	}
+	for i, p := range paths {
+		e := Entry{Priority: i}
+		for _, c := range p.Conds {
+			switch classify(c) {
+			case condState:
+				e.StateMatch = append(e.StateMatch, c)
+			case condFlow:
+				e.FlowMatch = append(e.FlowMatch, c)
+			default:
+				e.Config = append(e.Config, c)
+			}
+		}
+		for _, s := range p.Sends {
+			fields := make(map[string]solver.Term, len(s.Fields))
+			for k, v := range s.Fields {
+				fields[k] = v
+			}
+			e.Sends = append(e.Sends, Action{Fields: fields, Iface: s.Iface})
+		}
+		for _, u := range p.Updates {
+			if opts.LogVars[u.Name] {
+				continue
+			}
+			e.Updates = append(e.Updates, Assign{Name: u.Name, Val: u.Val})
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m
+}
+
+type condClass int
+
+const (
+	condConfig condClass = iota
+	condFlow
+	condState
+)
+
+// classify buckets a condition literal: anything reading pre-state is a
+// state match; otherwise anything reading the packet is a flow match;
+// conditions over configuration only select the table.
+func classify(c solver.Term) condClass {
+	state, pkt := false, false
+	for _, v := range solver.Vars(c) {
+		if strings.HasSuffix(v, "@0") {
+			state = true
+		}
+		if strings.HasPrefix(v, "pkt.") {
+			pkt = true
+		}
+	}
+	switch {
+	case state:
+		return condState
+	case pkt:
+		return condFlow
+	default:
+		return condConfig
+	}
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

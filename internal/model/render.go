@@ -1,0 +1,86 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/solver"
+)
+
+// Render prints the model in the paper's Figure 6 layout: one section per
+// configuration condition, one row per entry with flow match, state
+// match, flow action and state action columns.
+func Render(m *Model) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "NFactor model for %s\n", m.NFName)
+	fmt.Fprintf(&sb, "configuration variables: %s\n", strings.Join(m.CfgVars, ", "))
+	fmt.Fprintf(&sb, "state variables:         %s\n", strings.Join(m.OISVars, ", "))
+	sb.WriteString(strings.Repeat("=", 78) + "\n")
+
+	for _, tbl := range m.Tables() {
+		if len(tbl.Config) == 0 {
+			sb.WriteString("config: *\n")
+		} else {
+			fmt.Fprintf(&sb, "config: %s\n", joinConds(tbl.Config))
+		}
+		sb.WriteString(strings.Repeat("-", 78) + "\n")
+		for _, e := range tbl.Entries {
+			fmt.Fprintf(&sb, "  match  flow:  %s\n", orStar(joinConds(e.FlowMatch)))
+			fmt.Fprintf(&sb, "         state: %s\n", orStar(joinConds(e.StateMatch)))
+			if e.Dropped() {
+				sb.WriteString("  action flow:  drop\n")
+			} else {
+				for _, a := range e.Sends {
+					fmt.Fprintf(&sb, "  action flow:  %s\n", renderSend(a))
+				}
+			}
+			if len(e.Updates) == 0 {
+				sb.WriteString("         state: *\n")
+			} else {
+				for _, u := range e.Updates {
+					fmt.Fprintf(&sb, "         state: %s := %s\n", u.Name, u.Val)
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("default: drop (lowest priority)\n")
+	return sb.String()
+}
+
+func joinConds(conds []solver.Term) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+func orStar(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return s
+}
+
+func renderSend(a Action) string {
+	var parts []string
+	for _, f := range a.FieldNames() {
+		t := a.Fields[f]
+		// Unchanged fields (identity terms) are noise; show transforms.
+		if v, ok := t.(solver.Var); ok && v.Name == "pkt."+f {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s := %s", f, t))
+	}
+	iface := a.Iface.String()
+	send := "send(pkt"
+	if iface != `""` {
+		send += ", " + iface
+	}
+	send += ")"
+	if len(parts) > 0 {
+		send += " with " + strings.Join(parts, ", ")
+	}
+	return send
+}

@@ -1,0 +1,153 @@
+// Package netpkt models the packets that flow through NF programs: a
+// TCP/UDP-ish header (5-tuple, flags, TTL) plus capture metadata. It
+// converts between the wire-level struct and the interpreter's field-bag
+// representation (value.PacketVal), following the flow/endpoint design of
+// packet libraries like gopacket but reduced to what the paper's NFs
+// inspect.
+package netpkt
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/value"
+)
+
+// Packet is a decoded packet header.
+type Packet struct {
+	SrcIP   string
+	DstIP   string
+	SrcPort int
+	DstPort int
+	Proto   string // "tcp", "udp", "icmp"
+	Flags   string // TCP flag letters, e.g. "S", "SA", "A", "F", "R"
+	TTL     int
+	Length  int    // payload length in bytes
+	Payload string // application payload excerpt (for DPI)
+	InIface string // capture interface
+}
+
+// Field names used in the interpreter representation.
+const (
+	FieldSrcIP   = "sip"
+	FieldDstIP   = "dip"
+	FieldSrcPort = "sport"
+	FieldDstPort = "dport"
+	FieldProto   = "proto"
+	FieldFlags   = "flags"
+	FieldTTL     = "ttl"
+	FieldLength  = "length"
+	FieldPayload = "payload"
+	FieldInIface = "in_iface"
+)
+
+// ToValue converts the packet to the interpreter's field bag.
+func (p Packet) ToValue() value.Value {
+	return value.NewPacket(map[string]value.Value{
+		FieldSrcIP:   value.Str(p.SrcIP),
+		FieldDstIP:   value.Str(p.DstIP),
+		FieldSrcPort: value.Int(int64(p.SrcPort)),
+		FieldDstPort: value.Int(int64(p.DstPort)),
+		FieldProto:   value.Str(p.Proto),
+		FieldFlags:   value.Str(p.Flags),
+		FieldTTL:     value.Int(int64(p.TTL)),
+		FieldLength:  value.Int(int64(p.Length)),
+		FieldPayload: value.Str(p.Payload),
+		FieldInIface: value.Str(p.InIface),
+	})
+}
+
+// FromValue converts a field bag back to a Packet. Unknown fields are
+// ignored (programs may annotate packets with scratch fields); missing
+// standard fields default to zero values.
+func FromValue(v value.Value) (Packet, error) {
+	if v.Kind != value.KindPacket {
+		return Packet{}, fmt.Errorf("netpkt: not a packet value: %s", v.Kind)
+	}
+	var p Packet
+	f := v.Pkt.Fields
+	str := func(name string) string {
+		if x, ok := f[name]; ok && x.Kind == value.KindStr {
+			return x.S
+		}
+		return ""
+	}
+	num := func(name string) int {
+		if x, ok := f[name]; ok && x.Kind == value.KindInt {
+			return int(x.I)
+		}
+		return 0
+	}
+	p.SrcIP = str(FieldSrcIP)
+	p.DstIP = str(FieldDstIP)
+	p.SrcPort = num(FieldSrcPort)
+	p.DstPort = num(FieldDstPort)
+	p.Proto = str(FieldProto)
+	p.Flags = str(FieldFlags)
+	p.TTL = num(FieldTTL)
+	p.Length = num(FieldLength)
+	p.Payload = str(FieldPayload)
+	p.InIface = str(FieldInIface)
+	return p, nil
+}
+
+// String renders a tcpdump-ish one-liner.
+func (p Packet) String() string {
+	flags := p.Flags
+	if flags == "" {
+		flags = "."
+	}
+	return fmt.Sprintf("%s %s:%d > %s:%d [%s] ttl=%d len=%d",
+		p.Proto, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, flags, p.TTL, p.Length)
+}
+
+// Flow is a directed 5-tuple.
+type Flow struct {
+	SrcIP   string
+	SrcPort int
+	DstIP   string
+	DstPort int
+	Proto   string
+}
+
+// Flow returns the packet's directed flow.
+func (p Packet) Flow() Flow {
+	return Flow{SrcIP: p.SrcIP, SrcPort: p.SrcPort, DstIP: p.DstIP, DstPort: p.DstPort, Proto: p.Proto}
+}
+
+// Reverse returns the flow with endpoints swapped.
+func (f Flow) Reverse() Flow {
+	return Flow{SrcIP: f.DstIP, SrcPort: f.DstPort, DstIP: f.SrcIP, DstPort: f.SrcPort, Proto: f.Proto}
+}
+
+// Key returns a canonical encoding of the flow, usable as a map key.
+func (f Flow) Key() string {
+	return fmt.Sprintf("%s|%s:%d>%s:%d", f.Proto, f.SrcIP, f.SrcPort, f.DstIP, f.DstPort)
+}
+
+// Tuple returns the flow as the 4-tuple value (sip, sport, dip, dport)
+// the NFLang corpus keys its dictionaries with.
+func (f Flow) Tuple() value.Value {
+	return value.TupleOf(
+		value.Str(f.SrcIP), value.Int(int64(f.SrcPort)),
+		value.Str(f.DstIP), value.Int(int64(f.DstPort)),
+	)
+}
+
+// String renders the flow.
+func (f Flow) String() string {
+	return fmt.Sprintf("%s %s:%d > %s:%d", f.Proto, f.SrcIP, f.SrcPort, f.DstIP, f.DstPort)
+}
+
+// HasFlag reports whether the packet's TCP flags contain the flag letter.
+func (p Packet) HasFlag(flag string) bool { return strings.Contains(p.Flags, flag) }
+
+// Equal reports field equality of two packets.
+func Equal(a, b Packet) bool { return a == b }
+
+// Canonical returns a canonical string for output comparison in
+// differential tests (all fields, fixed order).
+func (p Packet) Canonical() string {
+	return fmt.Sprintf("%s|%s|%d|%s|%d|%s|%d|%d|%q|%s",
+		p.Proto, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Flags, p.TTL, p.Length, p.Payload, p.InIface)
+}

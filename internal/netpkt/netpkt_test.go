@@ -1,0 +1,108 @@
+package netpkt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nfactor/internal/value"
+)
+
+func samplePkt() Packet {
+	return Packet{
+		SrcIP: "10.0.0.1", DstIP: "10.0.0.2",
+		SrcPort: 1234, DstPort: 80,
+		Proto: "tcp", Flags: "SA", TTL: 64, Length: 512, InIface: "eth0",
+	}
+}
+
+func TestToValueFromValueRoundTrip(t *testing.T) {
+	p := samplePkt()
+	v := p.ToValue()
+	q, err := FromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(p, q) {
+		t.Errorf("round trip changed packet: %+v vs %+v", p, q)
+	}
+}
+
+func TestFromValueRejectsNonPacket(t *testing.T) {
+	if _, err := FromValue(value.Int(1)); err == nil {
+		t.Error("non-packet value accepted")
+	}
+}
+
+func TestFromValueIgnoresScratchFields(t *testing.T) {
+	v := samplePkt().ToValue()
+	v.Pkt.Fields["scratch"] = value.Int(99)
+	q, err := FromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(samplePkt(), q) {
+		t.Error("scratch field changed decoding")
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := samplePkt().Flow()
+	r := f.Reverse()
+	if r.SrcIP != f.DstIP || r.SrcPort != f.DstPort || r.DstIP != f.SrcIP {
+		t.Errorf("reverse = %+v", r)
+	}
+	if r.Reverse() != f {
+		t.Error("double reverse is not identity")
+	}
+}
+
+func TestFlowKeyDistinguishesDirection(t *testing.T) {
+	f := samplePkt().Flow()
+	if f.Key() == f.Reverse().Key() {
+		t.Error("flow key is direction-insensitive")
+	}
+}
+
+func TestFlowTuple(t *testing.T) {
+	tup := samplePkt().Flow().Tuple()
+	if tup.Kind != value.KindTuple || len(tup.Tuple) != 4 {
+		t.Fatalf("tuple = %s", tup)
+	}
+	if tup.Tuple[0].S != "10.0.0.1" || tup.Tuple[1].I != 1234 {
+		t.Errorf("tuple = %s", tup)
+	}
+}
+
+func TestHasFlag(t *testing.T) {
+	p := samplePkt()
+	if !p.HasFlag("S") || !p.HasFlag("A") || p.HasFlag("F") {
+		t.Errorf("flag tests wrong for %q", p.Flags)
+	}
+}
+
+func TestCanonicalInjective(t *testing.T) {
+	a := samplePkt()
+	b := a
+	b.DstPort = 81
+	if a.Canonical() == b.Canonical() {
+		t.Error("canonical strings collide")
+	}
+}
+
+// Property: ToValue→FromValue is the identity for arbitrary field values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(sport, dport uint16, ttl uint8, flags uint8) bool {
+		pool := []string{"", "S", "SA", "A", "R"}
+		p := Packet{
+			SrcIP: "1.2.3.4", DstIP: "5.6.7.8",
+			SrcPort: int(sport), DstPort: int(dport),
+			Proto: "tcp", Flags: pool[int(flags)%len(pool)],
+			TTL: int(ttl), Length: 100, InIface: "eth0",
+		}
+		q, err := FromValue(p.ToValue())
+		return err == nil && Equal(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

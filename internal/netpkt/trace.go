@@ -1,0 +1,132 @@
+package netpkt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace text format: one packet per line,
+//
+//	tcp 10.0.0.1:1234 > 10.0.0.2:80 [SA] ttl=64 len=512 iface=eth0 payload="GET /"
+//
+// `[.]` means no flags; ttl/len/iface/payload are optional (defaults 64,
+// 0, "eth0", ""). Lines starting with '#' and blank lines are skipped.
+// This is the on-disk interchange for cmd/nfreplay and test fixtures.
+
+// FormatTrace writes packets in the trace text format.
+func FormatTrace(w io.Writer, pkts []Packet) error {
+	for _, p := range pkts {
+		if _, err := fmt.Fprintln(w, FormatLine(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatLine renders one packet as a trace line.
+func FormatLine(p Packet) string {
+	flags := p.Flags
+	if flags == "" {
+		flags = "."
+	}
+	line := fmt.Sprintf("%s %s:%d > %s:%d [%s] ttl=%d len=%d iface=%s",
+		p.Proto, p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, flags, p.TTL, p.Length, p.InIface)
+	if p.Payload != "" {
+		line += fmt.Sprintf(" payload=%q", p.Payload)
+	}
+	return line
+}
+
+// ParseTrace reads a whole trace.
+func ParseTrace(r io.Reader) ([]Packet, error) {
+	var out []Packet
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("netpkt: trace line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseLine parses one trace line.
+func ParseLine(line string) (Packet, error) {
+	p := Packet{TTL: 64, InIface: "eth0"}
+
+	// Optional quoted payload suffix first (it may contain spaces).
+	if i := strings.Index(line, ` payload="`); i >= 0 {
+		quoted := strings.TrimSpace(line[i+len(" payload="):])
+		s, err := strconv.Unquote(quoted)
+		if err != nil {
+			return Packet{}, fmt.Errorf("bad payload %s: %v", quoted, err)
+		}
+		p.Payload = s
+		line = line[:i]
+	}
+
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Packet{}, fmt.Errorf("want `proto src:port > dst:port [flags] k=v...`, got %q", line)
+	}
+	p.Proto = fields[0]
+	var err error
+	p.SrcIP, p.SrcPort, err = hostPort(fields[1])
+	if err != nil {
+		return Packet{}, err
+	}
+	if fields[2] != ">" {
+		return Packet{}, fmt.Errorf("expected '>' between endpoints, got %q", fields[2])
+	}
+	p.DstIP, p.DstPort, err = hostPort(fields[3])
+	if err != nil {
+		return Packet{}, err
+	}
+
+	for _, f := range fields[4:] {
+		switch {
+		case strings.HasPrefix(f, "[") && strings.HasSuffix(f, "]"):
+			fl := f[1 : len(f)-1]
+			if fl != "." {
+				p.Flags = fl
+			}
+		case strings.HasPrefix(f, "ttl="):
+			p.TTL, err = strconv.Atoi(f[4:])
+		case strings.HasPrefix(f, "len="):
+			p.Length, err = strconv.Atoi(f[4:])
+		case strings.HasPrefix(f, "iface="):
+			p.InIface = f[6:]
+		default:
+			return Packet{}, fmt.Errorf("unknown trace field %q", f)
+		}
+		if err != nil {
+			return Packet{}, fmt.Errorf("bad trace field %q: %v", f, err)
+		}
+	}
+	return p, nil
+}
+
+func hostPort(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return "", 0, fmt.Errorf("missing port in %q", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad port in %q", s)
+	}
+	return s[:i], port, nil
+}

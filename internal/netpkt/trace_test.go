@@ -1,0 +1,114 @@
+package netpkt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLineBasic(t *testing.T) {
+	p, err := ParseLine(`tcp 10.0.0.1:1234 > 10.0.0.2:80 [SA] ttl=63 len=512 iface=lan payload="GET / HTTP/1.1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Packet{
+		SrcIP: "10.0.0.1", SrcPort: 1234, DstIP: "10.0.0.2", DstPort: 80,
+		Proto: "tcp", Flags: "SA", TTL: 63, Length: 512,
+		Payload: "GET / HTTP/1.1", InIface: "lan",
+	}
+	if p != want {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+}
+
+func TestParseLineDefaults(t *testing.T) {
+	p, err := ParseLine(`udp 1.1.1.1:53 > 2.2.2.2:5353 [.]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flags != "" || p.TTL != 64 || p.InIface != "eth0" || p.Payload != "" {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+}
+
+func TestParseTraceSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+tcp 1.1.1.1:1 > 2.2.2.2:80 [S]
+
+tcp 1.1.1.1:1 > 2.2.2.2:80 [A] len=100
+`
+	pkts, err := ParseTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 2 {
+		t.Fatalf("parsed %d packets", len(pkts))
+	}
+	if pkts[1].Length != 100 {
+		t.Errorf("second packet = %+v", pkts[1])
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`tcp 1.1.1.1:1 2.2.2.2:80 [S]`,     // missing >
+		`tcp 1.1.1.1 > 2.2.2.2:80 [S]`,     // missing src port
+		`tcp 1.1.1.1:x > 2.2.2.2:80 [S]`,   // bad port
+		`tcp 1.1.1.1:1 > 2.2.2.2:80 wat=1`, // unknown field
+		`tcp 1.1.1.1:1 > 2.2.2.2:80 ttl=x`, // bad ttl
+		`tcp 1.1.1.1:1 > 2.2.2.2:80 payload="unterminated`,
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) did not error", line)
+		}
+	}
+	if _, err := ParseTrace(strings.NewReader("garbage line\n")); err == nil {
+		t.Error("ParseTrace of garbage did not error")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	pkts := []Packet{
+		{SrcIP: "1.2.3.4", SrcPort: 1, DstIP: "5.6.7.8", DstPort: 2, Proto: "tcp", Flags: "S", TTL: 64, Length: 0, InIface: "eth0"},
+		{SrcIP: "9.9.9.9", SrcPort: 53, DstIP: "8.8.8.8", DstPort: 53, Proto: "udp", TTL: 12, Length: 77, InIface: "wan", Payload: `quoted "stuff" here`},
+	}
+	var sb strings.Builder
+	if err := FormatTrace(&sb, pkts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if len(back) != len(pkts) {
+		t.Fatalf("round trip count %d", len(back))
+	}
+	for i := range pkts {
+		if back[i] != pkts[i] {
+			t.Errorf("packet %d: %+v != %+v", i, back[i], pkts[i])
+		}
+	}
+}
+
+// Property: FormatLine/ParseLine round-trips arbitrary well-formed
+// packets.
+func TestTraceRoundTripProperty(t *testing.T) {
+	pool := []string{"", "S", "SA", "PA", "R"}
+	payloads := []string{"", "abc", `with "quotes"`, "tab\tand\nnewline"}
+	f := func(sport, dport uint16, ttl uint8, fl, pl uint8) bool {
+		p := Packet{
+			SrcIP: "10.1.2.3", SrcPort: int(sport), DstIP: "10.4.5.6", DstPort: int(dport),
+			Proto: "tcp", Flags: pool[int(fl)%len(pool)], TTL: int(ttl),
+			Length: int(dport) % 1500, Payload: payloads[int(pl)%len(payloads)],
+			InIface: "eth1",
+		}
+		q, err := ParseLine(FormatLine(p))
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

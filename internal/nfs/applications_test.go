@@ -1,0 +1,323 @@
+package nfs
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// TestBalanceTCPStateMachine extracts the FSM the TCP unfolding made
+// explicit: ∅ → SYN_RCVD → ESTABLISHED, the diagram the paper's §2.4
+// says testing tools like BUZZ build from the state transition logic.
+func TestBalanceTCPStateMachine(t *testing.T) {
+	nf := MustLoad("balance")
+	an, err := core.Analyze("balance", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := model.ExtractFSM(an.Model, "tcp_state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStates := []string{"ESTABLISHED", "SYN_RCVD", model.StateAbsent}
+	for _, w := range wantStates {
+		found := false
+		for _, s := range fsm.States {
+			if s == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("FSM missing state %q: %v", w, fsm.States)
+		}
+	}
+	hasEdge := func(from, to string) bool {
+		for _, tr := range fsm.Trans {
+			if tr.From == from && tr.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(model.StateAbsent, "SYN_RCVD") {
+		t.Errorf("missing ∅→SYN_RCVD edge:\n%s", model.RenderFSM(fsm))
+	}
+	if !hasEdge("SYN_RCVD", "ESTABLISHED") {
+		t.Errorf("missing SYN_RCVD→ESTABLISHED edge:\n%s", model.RenderFSM(fsm))
+	}
+	dot := fsm.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "SYN_RCVD") {
+		t.Errorf("dot rendering broken:\n%s", dot)
+	}
+}
+
+// TestFirewallMatchesHandWrittenModel demonstrates the paper's planned
+// comparison with manually-built models: a domain expert writes the
+// stateful firewall's four entries by hand (in the model vocabulary);
+// the solver-backed comparator proves them equivalent to NFactor's
+// synthesized output.
+func TestFirewallMatchesHandWrittenModel(t *testing.T) {
+	nf := MustLoad("firewall")
+	an, err := core.Analyze("firewall", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pf := func(f string) solver.Term { return solver.Var{Name: "pkt." + f} }
+	ic := func(i int64) solver.Term { return solver.Const{V: value.Int(i)} }
+	egress := value.NewMap()
+	_ = egress.Map.Set(value.Int(80), value.Str("http"))
+	_ = egress.Map.Set(value.Int(443), value.Str("https"))
+	_ = egress.Map.Set(value.Int(53), value.Str("dns"))
+	_ = egress.Map.Set(value.Int(22), value.Str("ssh"))
+	egressTerm := solver.NamedConst{Name: "egress_ports", V: egress}
+	conns := solver.MapVar{Name: "conns@0"}
+	fwdKey := solver.Tuple{Elems: []solver.Term{pf("sip"), pf("sport"), pf("dip"), pf("dport")}}
+	revKey := solver.Tuple{Elems: []solver.Term{pf("dip"), pf("dport"), pf("sip"), pf("sport")}}
+	trusted := solver.Bin{Op: "==", X: pf("in_iface"), Y: solver.Var{Name: "TRUSTED_IFACE"}}
+	inEgress := solver.In{K: pf("dport"), M: egressTerm}
+	established := solver.In{K: revKey, M: conns}
+
+	hand := &model.Model{
+		NFName: "firewall-by-hand", PktVar: "pkt",
+		CfgVars: []string{"TRUSTED_IFACE", "UNTRUSTED_IFACE", "egress_ports"},
+		OISVars: []string{"conns"},
+		Entries: []model.Entry{
+			{ // outbound, policy allows: forward to wan, record the flow
+				FlowMatch: []solver.Term{trusted, inEgress},
+				Sends: []model.Action{{
+					Fields: map[string]solver.Term{},
+					Iface:  solver.Var{Name: "UNTRUSTED_IFACE"},
+				}},
+				Updates: []model.Assign{{
+					Name: "conns",
+					Val:  solver.Store{M: conns, K: fwdKey, V: ic(1)},
+				}},
+			},
+			{ // outbound, policy denies: drop
+				FlowMatch: []solver.Term{trusted, solver.Not(inEgress)},
+			},
+			{ // inbound, established: forward to lan
+				FlowMatch:  []solver.Term{solver.Not(trusted)},
+				StateMatch: []solver.Term{established},
+				Sends: []model.Action{{
+					Fields: map[string]solver.Term{},
+					Iface:  solver.Var{Name: "TRUSTED_IFACE"},
+				}},
+			},
+			{ // inbound, unsolicited: drop
+				FlowMatch:  []solver.Term{solver.Not(trusted)},
+				StateMatch: []solver.Term{solver.Not(established)},
+			},
+		},
+	}
+
+	rep := model.Compare(an.Model, hand)
+	if !rep.Equivalent() {
+		t.Errorf("synthesized firewall does not match the hand-written model: %s\nsynthesized:\n%s",
+			rep, model.Render(an.Model))
+	}
+}
+
+// TestMirrorMultiSendPath checks that the mirror NF's monitored-new-flow
+// entry carries two packet actions (tap copy + forward) and that the
+// model executes both.
+func TestMirrorMultiSendPath(t *testing.T) {
+	nf := MustLoad("mirror")
+	an, err := core.Analyze("mirror", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dual *model.Entry
+	for i := range an.Model.Entries {
+		if len(an.Model.Entries[i].Sends) == 2 {
+			dual = &an.Model.Entries[i]
+		}
+	}
+	if dual == nil {
+		t.Fatal("no entry with two sends")
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssh := value.NewPacket(map[string]value.Value{
+		"sip": value.Str("1.2.3.4"), "sport": value.Int(999),
+		"dip": value.Str("5.6.7.8"), "dport": value.Int(22),
+		"proto": value.Str("tcp"), "flags": value.Str("S"),
+	})
+	out, err := inst.Process(ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sent) != 2 {
+		t.Fatalf("first ssh packet sent %d copies, want 2 (tap + forward)", len(out.Sent))
+	}
+	ifaces := map[string]bool{out.Sent[0].Iface: true, out.Sent[1].Iface: true}
+	if !ifaces["tap"] || !ifaces["out"] {
+		t.Errorf("ifaces = %v", ifaces)
+	}
+	// Second packet of the same flow: forwarded only.
+	out, err = inst.Process(ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sent) != 1 || out.Sent[0].Iface != "out" {
+		t.Errorf("repeat packet: %d sends via %q", len(out.Sent), out.Sent[0].Iface)
+	}
+}
+
+// TestRatelimitInterproceduralModel checks the helper-function NF: the
+// inlined pipeline must produce a model whose counting logic works.
+func TestRatelimitInterproceduralModel(t *testing.T) {
+	nf := MustLoad("ratelimit")
+	an, err := core.Analyze("ratelimit", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := value.NewPacket(map[string]value.Value{
+		"sip": value.Str("9.9.9.9"), "dip": value.Str("8.8.8.8"),
+		"sport": value.Int(1), "dport": value.Int(2),
+		"proto": value.Str("udp"), "flags": value.Str(""),
+	})
+	forwarded := 0
+	for i := 0; i < 8; i++ {
+		out, err := inst.Process(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Dropped {
+			forwarded++
+		}
+	}
+	if forwarded != 5 {
+		t.Errorf("forwarded %d packets, want LIMIT=5", forwarded)
+	}
+}
+
+// TestDPIQuarantineAcrossInvocations checks the strike-counter →
+// quarantine-set pattern that forced the oisVar transitive closure: the
+// model must quarantine a source after STRIKE_LIMIT bad payloads and then
+// drop even its clean traffic — state flowing across invocations through
+// two coupled maps.
+func TestDPIQuarantineAcrossInvocations(t *testing.T) {
+	nf := MustLoad("dpi")
+	an, err := core.Analyze("dpi", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// strikes must have been promoted to output-impacting.
+	found := false
+	for _, v := range an.Model.OISVars {
+		if v == "strikes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strikes not promoted to oisVar: %v", an.Model.OISVars)
+	}
+
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(payload string) value.Value {
+		return value.NewPacket(map[string]value.Value{
+			"sip": value.Str("6.6.6.6"), "dip": value.Str("7.7.7.7"),
+			"sport": value.Int(1), "dport": value.Int(80),
+			"proto": value.Str("tcp"), "flags": value.Str(""),
+			"payload": value.Str(payload),
+		})
+	}
+	bad := mk("GET /etc/passwd HTTP/1.0")
+	clean := mk("GET /index.html")
+
+	// Clean traffic passes initially.
+	out, err := inst.Process(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Fatal("clean packet dropped before any strikes")
+	}
+	// Three bad payloads: all dropped, strikes accumulate.
+	for i := 0; i < 3; i++ {
+		out, err = inst.Process(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Dropped {
+			t.Fatalf("bad packet %d forwarded", i)
+		}
+	}
+	// Now even clean traffic from the offender is quarantined.
+	out, err = inst.Process(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dropped {
+		t.Error("quarantined source's clean packet forwarded by the model")
+	}
+	// A different source is unaffected.
+	other := mk("GET /index.html")
+	other.Pkt.Fields["sip"] = value.Str("9.9.9.9")
+	out, err = inst.Process(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Error("innocent source quarantined")
+	}
+}
+
+// TestDPIDiffTestRepeatOffender replays the exact cross-invocation
+// scenario through program and model side by side.
+func TestDPIDiffTestRepeatOffender(t *testing.T) {
+	nf := MustLoad("dpi")
+	opts := core.Options{}
+	an, err := core.Analyze("dpi", nf.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []netpkt.Packet
+	offender := netpkt.Packet{
+		SrcIP: "6.6.6.6", DstIP: "7.7.7.7", SrcPort: 1, DstPort: 80,
+		Proto: "tcp", TTL: 64, InIface: "eth0",
+	}
+	for i := 0; i < 5; i++ {
+		p := offender
+		p.Payload = "SELECT * FROM secrets"
+		trace = append(trace, p)
+		q := offender
+		q.Payload = "harmless"
+		trace = append(trace, q)
+	}
+	res, err := an.DiffTest(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches() {
+		t.Errorf("repeat-offender difftest diverged: %s", res.FirstDiff)
+	}
+}

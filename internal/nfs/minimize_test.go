@@ -1,0 +1,123 @@
+package nfs
+
+import (
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/interp"
+	"nfactor/internal/model"
+	"nfactor/internal/workload"
+)
+
+func newCorpusInterp(nf *NF) (*interp.Interp, error) {
+	return interp.New(nf.Prog, "process", interp.Options{})
+}
+
+// Minimization must shrink (or keep) every corpus model while preserving
+// behaviour: the minimized model must still agree with the original
+// program on random traffic and cover all original entries.
+func TestMinimizeCorpusModelsPreserveBehaviour(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			nf := MustLoad(name)
+			opts := core.Options{}
+			an, err := core.Analyze(name, nf.Prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			min := model.Minimize(an.Model)
+			if len(min.Entries) > len(an.Model.Entries) {
+				t.Errorf("minimize grew the model: %d -> %d",
+					len(an.Model.Entries), len(min.Entries))
+			}
+			// Every original entry must be covered by a minimized entry.
+			if ok, uncovered := model.Covers(an.Model, min); !ok {
+				t.Errorf("minimized model does not cover entries %v", uncovered)
+			}
+
+			// Behavioural check: minimized model vs original program.
+			config, state, err := an.ConfigAndState(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := model.NewInstance(min, config, state)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := newCorpusInterp(nf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range workload.New(123).RandomTrace(300) {
+				pv := p.ToValue()
+				mo, err1 := inst.Process(pv)
+				oo, err2 := orig.Process(pv)
+				if (err1 != nil) != (err2 != nil) {
+					t.Fatalf("packet %d error mismatch: model=%v orig=%v", i, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if mo.Dropped != oo.Dropped || len(mo.Sent) != len(oo.Sent) {
+					t.Fatalf("packet %d (%s): minimized model diverged (drop %v/%v, sends %d/%d)",
+						i, p, mo.Dropped, oo.Dropped, len(mo.Sent), len(oo.Sent))
+				}
+			}
+		})
+	}
+}
+
+// A branch with no behavioural difference (a dead local assignment on
+// each arm) yields two paths with identical actions; minimization merges
+// them into a single unconditional entry.
+func TestMinimizeMergesBehaviourallyEqualPaths(t *testing.T) {
+	// Both arms perform the same packet action, so the two paths differ
+	// only in their (complementary) guard. The static slicer keeps the
+	// branch (it writes an output field); minimization folds it.
+	nf, err := FromSource("equalarms", `
+func process(pkt) {
+    if pkt.ttl > 10 {
+        pkt.mark = 1;
+    } else {
+        pkt.mark = 1;
+    }
+    send(pkt);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze("deadbranch", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Model.Entries) != 2 {
+		t.Fatalf("expected 2 raw entries, got %d", len(an.Model.Entries))
+	}
+	min := model.Minimize(an.Model)
+	if len(min.Entries) != 1 {
+		t.Fatalf("minimize did not merge complementary entries: %d", len(min.Entries))
+	}
+	if len(min.Entries[0].Guard()) != 0 {
+		t.Errorf("merged entry should be unconditional, guard = %v", min.Entries[0].Guard())
+	}
+}
+
+// Minimization is idempotent and stable on an already-minimal model.
+func TestMinimizeIdempotent(t *testing.T) {
+	nf := MustLoad("snortlite")
+	an, err := core.Analyze("snortlite", nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := model.Minimize(an.Model)
+	twice := model.Minimize(once)
+	if len(once.Entries) != len(twice.Entries) {
+		t.Errorf("minimize not idempotent: %d vs %d", len(once.Entries), len(twice.Entries))
+	}
+	// snortlite's 12 slice paths are pairwise behaviour-distinct; the
+	// model is already minimal in conjunction form.
+	if len(once.Entries) != len(an.Model.Entries) {
+		t.Logf("snortlite reduced %d -> %d", len(an.Model.Entries), len(once.Entries))
+	}
+}

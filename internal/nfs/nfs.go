@@ -1,0 +1,100 @@
+// Package nfs is the NF corpus: the network functions the paper studies
+// (the Figure 1 load balancer, balance 3.5 in socket style, a snort-
+// shaped IDS/IPS) plus two additional stateful NFs (dynamic NAT, stateful
+// firewall), all written in NFLang and embedded in the binary.
+//
+// Load parses and — where the code structure requires it (balance's
+// nested socket loops) — normalizes each program to the canonical
+// process(pkt) form before handing it to the pipeline.
+package nfs
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/normalize"
+)
+
+//go:embed programs/*.nfl
+var programs embed.FS
+
+// NF is one corpus entry.
+type NF struct {
+	Name        string
+	Description string
+	// Source is the original NFLang text.
+	Source string
+	// Raw is the parsed original program (possibly socket-style).
+	Raw *lang.Program
+	// Prog is the normalized program with a process(pkt) entry.
+	Prog *lang.Program
+	// Kind is the detected Figure 4 code structure.
+	Kind normalize.Kind
+}
+
+var descriptions = map[string]string{
+	"lb":        "layer-4 load balancer (the paper's Figure 1)",
+	"balance":   "balance 3.5 — socket-style TCP load balancer (Figure 3), TCP-unfolded",
+	"snortlite": "snort-shaped inline IDS/IPS with SYN-flood state and a rule table",
+	"nat":       "dynamic source NAT gateway",
+	"firewall":  "stateful perimeter firewall",
+	"mirror":    "flow-sampled port mirroring tap (multi-send paths)",
+	"dpi":       "payload signature filter with strike-based quarantine",
+	"ratelimit": "per-source-pair rate limiter (helper functions, inter-procedural)",
+}
+
+// Names returns the corpus NF names, sorted.
+func Names() []string {
+	entries, err := programs.ReadDir("programs")
+	if err != nil {
+		panic(fmt.Sprintf("nfs: embedded corpus unreadable: %v", err))
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		out = append(out, name[:len(name)-len(".nfl")])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load parses and normalizes the named corpus NF.
+func Load(name string) (*NF, error) {
+	src, err := programs.ReadFile("programs/" + name + ".nfl")
+	if err != nil {
+		return nil, fmt.Errorf("nfs: unknown NF %q (have %v)", name, Names())
+	}
+	return FromSource(name, string(src))
+}
+
+// FromSource parses and normalizes an NFLang program given as text.
+func FromSource(name, src string) (*NF, error) {
+	raw, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: parsing %s: %w", name, err)
+	}
+	prog, kind, err := normalize.Normalize(raw)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: normalizing %s: %w", name, err)
+	}
+	return &NF{
+		Name:        name,
+		Description: descriptions[name],
+		Source:      src,
+		Raw:         raw,
+		Prog:        prog,
+		Kind:        kind,
+	}, nil
+}
+
+// MustLoad is Load panicking on error; for tests and benchmarks over the
+// embedded (compile-time validated) corpus.
+func MustLoad(name string) *NF {
+	nf, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return nf
+}

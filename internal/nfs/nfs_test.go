@@ -1,0 +1,269 @@
+package nfs
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/lang"
+	"nfactor/internal/model"
+	"nfactor/internal/normalize"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+func TestNamesListsCorpus(t *testing.T) {
+	names := Names()
+	want := []string{"balance", "dpi", "firewall", "lb", "mirror", "nat", "ratelimit", "snortlite"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestLoadAllParsesAndNormalizes(t *testing.T) {
+	for _, name := range Names() {
+		nf, err := Load(name)
+		if err != nil {
+			t.Errorf("Load(%s): %v", name, err)
+			continue
+		}
+		if nf.Prog.Func("process") == nil {
+			t.Errorf("%s: no process() after normalization", name)
+		}
+		if nf.Description == "" {
+			t.Errorf("%s: missing description", name)
+		}
+	}
+}
+
+func TestBalanceIsNestedLoop(t *testing.T) {
+	nf := MustLoad("balance")
+	if nf.Kind != normalize.KindNestedLoop {
+		t.Errorf("balance kind = %v", nf.Kind)
+	}
+	printed := lang.Print(nf.Prog)
+	if !strings.Contains(printed, "tcp_state") {
+		t.Error("balance not TCP-unfolded")
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("doesnotexist"); err == nil {
+		t.Error("unknown NF did not error")
+	}
+}
+
+// Every corpus NF must survive the full pipeline and pass the accuracy
+// checks — the paper's §5 methodology applied corpus-wide.
+func TestPipelineOverCorpus(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			nf := MustLoad(name)
+			opts := core.Options{MaxPaths: 2048}
+			an, err := core.Analyze(nf.Name, nf.Prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(an.Model.Entries) == 0 {
+				t.Fatal("empty model")
+			}
+			// The slice is never larger than the analyzed program; it is
+			// strictly smaller whenever the NF has log/failure-handling
+			// code (balance's unfolded form is already minimal).
+			if an.Metrics.LoCSlice > an.Metrics.LoCOrig {
+				t.Errorf("slice LoC %d > orig LoC %d", an.Metrics.LoCSlice, an.Metrics.LoCOrig)
+			}
+
+			rep, err := an.CheckPathEquivalence(opts)
+			if err != nil {
+				t.Fatalf("path equivalence: %v", err)
+			}
+			if !rep.Equivalent() {
+				t.Errorf("path sets differ:\nuncovered: %v\nmismatched: %v",
+					rep.UncoveredProgram, rep.MismatchedModel)
+			}
+
+			trace := workload.New(11).RandomTrace(400)
+			res, err := an.DiffTest(trace, opts)
+			if err != nil {
+				t.Fatalf("difftest: %v", err)
+			}
+			if !res.Matches() {
+				t.Errorf("differential test failed: %s", res.FirstDiff)
+			}
+		})
+	}
+}
+
+func TestSnortliteOrigPathExplosion(t *testing.T) {
+	nf := MustLoad("snortlite")
+	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{MaxPaths: 1024, MeasureOriginal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Metrics.EPOrigCapped {
+		t.Errorf("snortlite original SE did not exhaust the path budget: %d paths", an.Metrics.EPOrig)
+	}
+	if an.Metrics.SliceEPCapped {
+		t.Errorf("snortlite slice SE hit the budget: %d paths", an.Metrics.EPSlice)
+	}
+	if an.Metrics.EPSlice >= 100 {
+		t.Errorf("snortlite slice paths = %d, want a small model", an.Metrics.EPSlice)
+	}
+	// The slice strips the statistics section: a large LoC reduction.
+	if an.Metrics.LoCSlice*3 > an.Metrics.LoCOrig {
+		t.Errorf("snortlite slice %d LoC vs orig %d: reduction below 3x", an.Metrics.LoCSlice, an.Metrics.LoCOrig)
+	}
+}
+
+func TestSnortliteIDSvsIPSMode(t *testing.T) {
+	nf := MustLoad("snortlite")
+	// In IDS mode a rule hit still forwards; in IPS mode it drops.
+	mk := func(mode string) *core.Analysis {
+		an, err := core.Analyze(nf.Name, nf.Prog, core.Options{
+			ConfigOverride: map[string]value.Value{"mode": value.Str(mode)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}
+	ips := mk("IPS")
+	ids := mk("IDS")
+	drops := func(an *core.Analysis) int {
+		n := 0
+		for _, e := range an.Model.Entries {
+			if e.Dropped() {
+				n++
+			}
+		}
+		return n
+	}
+	if drops(ips) <= drops(ids) {
+		t.Errorf("IPS drop entries (%d) not more than IDS (%d)", drops(ips), drops(ids))
+	}
+}
+
+func TestBalanceFigure6Shape(t *testing.T) {
+	nf := MustLoad("balance")
+	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := model.Render(an.Model)
+	// Figure 6: under RR config, the new-flow entry sends to
+	// servers[rr_idx@0] and advances the index circularly; under HASH the
+	// backend is hash-picked and no index state is read.
+	for _, want := range []string{
+		`mode == "RR"`,
+		"rr_idx := ((rr_idx@0 + 1) % 2)",
+		"servers[rr_idx@0]",
+		"hash(pkt.sip)",
+		"tcp_state",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("balance model missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestFirewallModelBlocksUnsolicitedInbound(t *testing.T) {
+	nf := MustLoad("firewall")
+	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inbound := value.NewPacket(map[string]value.Value{
+		"in_iface": value.Str("wan"),
+		"sip":      value.Str("8.8.8.8"), "sport": value.Int(443),
+		"dip": value.Str("10.0.0.5"), "dport": value.Int(55000),
+		"proto": value.Str("tcp"), "flags": value.Str("S"),
+	})
+	out, err := inst.Process(inbound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dropped {
+		t.Error("unsolicited inbound packet not dropped by model")
+	}
+	// Outbound opens the hole; the reverse packet then passes.
+	outbound := value.NewPacket(map[string]value.Value{
+		"in_iface": value.Str("lan"),
+		"sip":      value.Str("10.0.0.5"), "sport": value.Int(55000),
+		"dip": value.Str("8.8.8.8"), "dport": value.Int(443),
+		"proto": value.Str("tcp"), "flags": value.Str("S"),
+	})
+	if _, err := inst.Process(outbound); err != nil {
+		t.Fatal(err)
+	}
+	out, err = inst.Process(inbound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Error("reverse packet of established flow dropped by model")
+	}
+}
+
+func TestNATModelTranslatesAndReverses(t *testing.T) {
+	nf := MustLoad("nat")
+	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanPkt := value.NewPacket(map[string]value.Value{
+		"in_iface": value.Str("lan"),
+		"sip":      value.Str("192.168.1.9"), "sport": value.Int(4242),
+		"dip": value.Str("1.1.1.1"), "dport": value.Int(80),
+		"proto": value.Str("tcp"), "flags": value.Str("S"),
+	})
+	out, err := inst.Process(lanPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := out.Sent[0].Pkt.Pkt.Fields
+	if sent["sip"].S != "5.5.5.5" {
+		t.Errorf("source not rewritten: %v", sent["sip"])
+	}
+	natPort := sent["sport"].I
+	if natPort != 20000 {
+		t.Errorf("nat port = %d, want 20000", natPort)
+	}
+	// Reverse packet to the allocated port maps back.
+	wanPkt := value.NewPacket(map[string]value.Value{
+		"in_iface": value.Str("wan"),
+		"sip":      value.Str("1.1.1.1"), "sport": value.Int(80),
+		"dip": value.Str("5.5.5.5"), "dport": value.Int(natPort),
+		"proto": value.Str("tcp"), "flags": value.Str("SA"),
+	})
+	out, err = inst.Process(wanPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := out.Sent[0].Pkt.Pkt.Fields
+	if back["dip"].S != "192.168.1.9" || back["dport"].I != 4242 {
+		t.Errorf("reverse translation wrong: dip=%v dport=%v", back["dip"], back["dport"])
+	}
+}

@@ -1,0 +1,340 @@
+// Package normalize canonicalizes the four typical NF code structures of
+// the paper's Figure 4 into the single-processing-loop form NFactor
+// analyzes (a per-packet `process(pkt)` function):
+//
+//	(a) one processing loop   — while true { pkt = recv(IF); … }
+//	(b) callback              — sniff(IF, callback)
+//	(c) consumer-producer     — a recv loop qpush-ing into a queue and a
+//	                            processing loop qpop-ing from it
+//	(d) nested loop (sockets) — accept/fork/connect/read/write, unfolded
+//	                            into packet-level operations guarded by an
+//	                            explicit TCP state machine (Figure 5,
+//	                            §3.2 "Hidden States")
+//
+// Structures (a)-(c) are recognized and rewritten syntactically; (d) is
+// template-unfolded: socket calls are replaced by packet operations and
+// the OS's hidden TCP connection state becomes an explicit tcp_state map.
+package normalize
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/lang"
+)
+
+// Kind is the detected source-code structure.
+type Kind int
+
+// The Figure 4 structures (plus the already-canonical form).
+const (
+	KindProcess Kind = iota // already has process(pkt)
+	KindSingleLoop
+	KindCallback
+	KindConsumerProducer
+	KindNestedLoop
+)
+
+// String names the structure as in Figure 4.
+func (k Kind) String() string {
+	switch k {
+	case KindProcess:
+		return "canonical"
+	case KindSingleLoop:
+		return "one processing loop"
+	case KindCallback:
+		return "callback"
+	case KindConsumerProducer:
+		return "consumer-producer"
+	case KindNestedLoop:
+		return "nested loop"
+	default:
+		return "unknown"
+	}
+}
+
+// Detect classifies the program's code structure.
+func Detect(prog *lang.Program) (Kind, error) {
+	if prog.Func("process") != nil {
+		return KindProcess, nil
+	}
+	main := prog.Func("main")
+	if main == nil {
+		return 0, fmt.Errorf("normalize: no process() and no main()")
+	}
+	if cb := callbackOf(main); cb != "" {
+		return KindCallback, nil
+	}
+	if consumerFunc(prog) != nil {
+		return KindConsumerProducer, nil
+	}
+	if loop, ok := mainWhileLoop(main); ok {
+		if _, ok := recvAssign(loop); ok {
+			return KindSingleLoop, nil
+		}
+		if _, ok := acceptAssign(loop); ok {
+			return KindNestedLoop, nil
+		}
+	}
+	return 0, fmt.Errorf("normalize: unrecognized code structure")
+}
+
+// Normalize rewrites prog into canonical form. The result always has a
+// process(pkt) entry function.
+func Normalize(prog *lang.Program) (*lang.Program, Kind, error) {
+	kind, err := Detect(prog)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch kind {
+	case KindProcess:
+		return lang.CloneProgram(prog), kind, nil
+	case KindCallback:
+		out, err := normalizeCallback(prog)
+		return out, kind, err
+	case KindSingleLoop:
+		out, err := normalizeSingleLoop(prog)
+		return out, kind, err
+	case KindConsumerProducer:
+		out, err := normalizeConsumerProducer(prog)
+		return out, kind, err
+	case KindNestedLoop:
+		out, err := UnfoldSockets(prog)
+		return out, kind, err
+	}
+	return nil, 0, fmt.Errorf("normalize: unhandled kind %v", kind)
+}
+
+// --- structure (b): callback ---
+
+// callbackOf returns the callback function name when main's body is a
+// sniff(IFACE, callback) call.
+func callbackOf(main *lang.FuncDecl) string {
+	for _, s := range main.Body.Stmts {
+		es, ok := s.(*lang.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*lang.CallExpr)
+		if !ok || call.Fun != "sniff" || len(call.Args) != 2 {
+			continue
+		}
+		if id, ok := call.Args[1].(*lang.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func normalizeCallback(prog *lang.Program) (*lang.Program, error) {
+	cbName := callbackOf(prog.Func("main"))
+	cb := prog.Func(cbName)
+	if cb == nil {
+		return nil, fmt.Errorf("normalize: callback %q not found", cbName)
+	}
+	if len(cb.Params) != 1 {
+		return nil, fmt.Errorf("normalize: callback %q must take one packet parameter", cbName)
+	}
+	out := lang.CloneProgram(prog)
+	var funcs []*lang.FuncDecl
+	for _, f := range out.Funcs {
+		switch f.Name {
+		case "main":
+			// dropped
+		case cbName:
+			f.Name = "process"
+			funcs = append(funcs, f)
+		default:
+			funcs = append(funcs, f)
+		}
+	}
+	out.Funcs = funcs
+	out.IndexProgram()
+	return out, nil
+}
+
+// --- structure (a): one processing loop ---
+
+func mainWhileLoop(main *lang.FuncDecl) (*lang.WhileStmt, bool) {
+	for _, s := range main.Body.Stmts {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			if b, ok := w.Cond.(*lang.BoolLit); ok && b.Val {
+				return w, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// recvAssign finds `pkt = recv(IFACE);` as the loop's first statement.
+func recvAssign(loop *lang.WhileStmt) (*lang.AssignStmt, bool) {
+	if len(loop.Body.Stmts) == 0 {
+		return nil, false
+	}
+	as, ok := loop.Body.Stmts[0].(*lang.AssignStmt)
+	if !ok || len(as.LHS) != 1 || len(as.RHS) != 1 {
+		return nil, false
+	}
+	call, ok := as.RHS[0].(*lang.CallExpr)
+	if !ok || call.Fun != "recv" {
+		return nil, false
+	}
+	if _, ok := as.LHS[0].(*lang.Ident); !ok {
+		return nil, false
+	}
+	return as, true
+}
+
+func normalizeSingleLoop(prog *lang.Program) (*lang.Program, error) {
+	out := lang.CloneProgram(prog)
+	main := out.Func("main")
+	loop, _ := mainWhileLoop(main)
+	ra, ok := recvAssign(loop)
+	if !ok {
+		return nil, fmt.Errorf("normalize: main loop does not start with pkt = recv(...)")
+	}
+	pktVar := ra.LHS[0].(*lang.Ident).Name
+	body := &lang.BlockStmt{Stmts: loop.Body.Stmts[1:]}
+	var funcs []*lang.FuncDecl
+	for _, f := range out.Funcs {
+		if f.Name != "main" {
+			funcs = append(funcs, f)
+		}
+	}
+	funcs = append(funcs, &lang.FuncDecl{
+		Name:   "process",
+		Params: []string{pktVar},
+		Body:   body,
+		Pos:    main.Pos,
+	})
+	out.Funcs = funcs
+	out.IndexProgram()
+	return out, nil
+}
+
+// --- structure (c): consumer-producer ---
+
+// consumerFunc finds the function whose while-true loop starts with
+// `pkt = qpop(queue);` — the processing half of the consumer-producer
+// pair.
+func consumerFunc(prog *lang.Program) *lang.FuncDecl {
+	for _, f := range prog.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		if loop, ok := funcWhileLoop(f); ok {
+			if len(loop.Body.Stmts) == 0 {
+				continue
+			}
+			if as, ok := loop.Body.Stmts[0].(*lang.AssignStmt); ok && len(as.RHS) == 1 {
+				if call, ok := as.RHS[0].(*lang.CallExpr); ok && call.Fun == "qpop" {
+					return f
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func funcWhileLoop(f *lang.FuncDecl) (*lang.WhileStmt, bool) {
+	for _, s := range f.Body.Stmts {
+		if w, ok := s.(*lang.WhileStmt); ok {
+			if b, ok := w.Cond.(*lang.BoolLit); ok && b.Val {
+				return w, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func normalizeConsumerProducer(prog *lang.Program) (*lang.Program, error) {
+	out := lang.CloneProgram(prog)
+	consumer := consumerFunc(out)
+	if consumer == nil {
+		return nil, fmt.Errorf("normalize: no consumer loop found")
+	}
+	loop, _ := funcWhileLoop(consumer)
+	as := loop.Body.Stmts[0].(*lang.AssignStmt)
+	pktVar, ok := as.LHS[0].(*lang.Ident)
+	if !ok {
+		return nil, fmt.Errorf("normalize: qpop target must be a variable")
+	}
+	body := &lang.BlockStmt{Stmts: loop.Body.Stmts[1:]}
+	var funcs []*lang.FuncDecl
+	for _, f := range out.Funcs {
+		// Drop main, the producer (recv/qpush) loop and the consumer; the
+		// merged per-packet function replaces the pipeline: the queue
+		// only reorders packets, it does not change per-packet behaviour.
+		if f.Name == "main" || f.Name == consumer.Name || isProducer(f) {
+			continue
+		}
+		funcs = append(funcs, f)
+	}
+	funcs = append(funcs, &lang.FuncDecl{
+		Name:   "process",
+		Params: []string{pktVar.Name},
+		Body:   body,
+		Pos:    consumer.Pos,
+	})
+	out.Funcs = funcs
+	out.IndexProgram()
+	return out, nil
+}
+
+func isProducer(f *lang.FuncDecl) bool {
+	found := false
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		for _, c := range lang.CallsIn(s) {
+			if c == "qpush" {
+				found = true
+			}
+		}
+		switch st := s.(type) {
+		case *lang.BlockStmt:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.WhileStmt:
+			walk(st.Body)
+		case *lang.ForStmt:
+			walk(st.Body)
+		}
+	}
+	for _, s := range f.Body.Stmts {
+		walk(s)
+	}
+	return found
+}
+
+// globalNames returns the set of global variable names.
+func globalNames(prog *lang.Program) map[string]bool {
+	out := map[string]bool{}
+	for _, g := range prog.Globals {
+		for _, l := range g.LHS {
+			out[l.(*lang.Ident).Name] = true
+		}
+	}
+	return out
+}
+
+// freshGlobal picks a name not colliding with existing globals.
+func freshGlobal(prog *lang.Program, base string) string {
+	names := globalNames(prog)
+	if !names[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !names[cand] {
+			return cand
+		}
+	}
+}
+
+var _ = strings.TrimSpace

@@ -1,0 +1,253 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+)
+
+const callbackSrc = `
+count = 0;
+func pkt_callback(pkt) {
+    count = count + 1;
+    send(pkt);
+}
+func main() {
+    sniff("eth0", pkt_callback);
+}
+`
+
+const singleLoopSrc = `
+count = 0;
+func main() {
+    while true {
+        pkt = recv("eth0");
+        count = count + 1;
+        send(pkt);
+    }
+}
+`
+
+const consumerProducerSrc = `
+q = {};
+count = 0;
+func read_loop() {
+    while true {
+        pkt = recv("eth0");
+        qpush(q, pkt);
+    }
+}
+func proc_loop() {
+    while true {
+        pkt = qpop(q);
+        count = count + 1;
+        send(pkt);
+    }
+}
+func main() {
+    spawn(read_loop);
+    spawn(proc_loop);
+}
+`
+
+const nestedLoopSrc = `
+LB_PORT = 80;
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+idx = 0;
+func main() {
+    lfd = listen(LB_PORT);
+    while true {
+        cfd = accept(lfd);
+        server = servers[idx];
+        idx = (idx + 1) % len(servers);
+        if fork() == 0 {
+            sfd = connect(server[0], server[1]);
+            while true {
+                buf = sockread(cfd);
+                sockwrite(sfd, buf);
+            }
+        }
+    }
+}
+`
+
+func TestDetectKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Kind
+	}{
+		{`func process(pkt) { send(pkt); }`, KindProcess},
+		{callbackSrc, KindCallback},
+		{singleLoopSrc, KindSingleLoop},
+		{consumerProducerSrc, KindConsumerProducer},
+		{nestedLoopSrc, KindNestedLoop},
+	}
+	for _, c := range cases {
+		got, err := Detect(lang.MustParse(c.src))
+		if err != nil {
+			t.Errorf("Detect(%v): %v", c.want, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Detect = %v, want %v", got, c.want)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	bad := []string{
+		`x = 1;`,                                // no functions at all
+		`func main() { x = 1; }`,                // unrecognized main
+		`func main() { while true { x = 1; } }`, // loop without I/O
+		`func other(pkt) { send(pkt); }`,        // wrong entry name
+	}
+	for _, src := range bad {
+		if _, err := Detect(lang.MustParse(src)); err == nil {
+			t.Errorf("Detect(%q) did not error", src)
+		}
+	}
+}
+
+func normalizeOK(t *testing.T, src string) (*lang.Program, Kind) {
+	t.Helper()
+	out, kind, err := Normalize(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Func("process") == nil {
+		t.Fatalf("normalized program has no process():\n%s", lang.Print(out))
+	}
+	return out, kind
+}
+
+func TestNormalizeCallback(t *testing.T) {
+	out, kind := normalizeOK(t, callbackSrc)
+	if kind != KindCallback {
+		t.Errorf("kind = %v", kind)
+	}
+	if out.Func("main") != nil {
+		t.Error("main survived normalization")
+	}
+	printed := lang.Print(out)
+	if !strings.Contains(printed, "count = count + 1") {
+		t.Errorf("callback body lost:\n%s", printed)
+	}
+}
+
+func TestNormalizeSingleLoop(t *testing.T) {
+	out, _ := normalizeOK(t, singleLoopSrc)
+	p := out.Func("process")
+	if len(p.Params) != 1 || p.Params[0] != "pkt" {
+		t.Errorf("params = %v", p.Params)
+	}
+	printed := lang.Print(out)
+	if strings.Contains(printed, "recv(") {
+		t.Errorf("recv survived:\n%s", printed)
+	}
+	if strings.Contains(printed, "while true") {
+		t.Errorf("outer loop survived:\n%s", printed)
+	}
+}
+
+func TestNormalizeConsumerProducer(t *testing.T) {
+	out, _ := normalizeOK(t, consumerProducerSrc)
+	printed := lang.Print(out)
+	if strings.Contains(printed, "qpop") || strings.Contains(printed, "qpush") {
+		t.Errorf("queue operations survived:\n%s", printed)
+	}
+	if !strings.Contains(printed, "count = count + 1") {
+		t.Errorf("consumer body lost:\n%s", printed)
+	}
+	if out.Func("read_loop") != nil || out.Func("proc_loop") != nil {
+		t.Error("loop functions survived")
+	}
+}
+
+func TestUnfoldNestedLoop(t *testing.T) {
+	out, kind := normalizeOK(t, nestedLoopSrc)
+	if kind != KindNestedLoop {
+		t.Errorf("kind = %v", kind)
+	}
+	printed := lang.Print(out)
+	for _, want := range []string{
+		"tcp_state", "SYN_RCVD", "ESTABLISHED",
+		`tcp_flag(pkt, "S")`, `tcp_flag(pkt, "A")`,
+		"idx = (idx + 1) % len(servers)", // setup spliced in
+		"backend[k] = (server[0], server[1])",
+		"send(pkt)",
+	} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("unfolded program missing %q:\n%s", want, printed)
+		}
+	}
+	for _, gone := range []string{"accept(", "fork(", "connect(", "sockread", "sockwrite", "listen("} {
+		if strings.Contains(printed, gone) {
+			t.Errorf("socket call %q survived unfolding:\n%s", gone, printed)
+		}
+	}
+}
+
+func TestUnfoldPeerIPRewrite(t *testing.T) {
+	src := strings.Replace(nestedLoopSrc,
+		"server = servers[idx];",
+		"server = servers[hash(peer_ip(cfd)) % len(servers)];", 1)
+	out, _, err := Normalize(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(out)
+	if !strings.Contains(printed, "hash(pkt.sip)") {
+		t.Errorf("peer_ip not rewritten to pkt.sip:\n%s", printed)
+	}
+}
+
+func TestUnfoldRejectsRawDescriptorUse(t *testing.T) {
+	src := strings.Replace(nestedLoopSrc,
+		"server = servers[idx];",
+		"server = servers[cfd % len(servers)];", 1)
+	if _, _, err := Normalize(lang.MustParse(src)); err == nil {
+		t.Error("raw descriptor use in setup did not error")
+	}
+}
+
+func TestUnfoldRejectsMissingConnect(t *testing.T) {
+	src := strings.Replace(nestedLoopSrc, "sfd = connect(server[0], server[1]);", "", 1)
+	if _, _, err := Normalize(lang.MustParse(src)); err == nil {
+		t.Error("missing connect did not error")
+	}
+}
+
+func TestUnfoldFreshGlobalNames(t *testing.T) {
+	// A program that already has a tcp_state global must get a fresh name.
+	src := "tcp_state = 7;\n" + nestedLoopSrc
+	out, _, err := Normalize(lang.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(out)
+	if !strings.Contains(printed, "tcp_state2") {
+		t.Errorf("no fresh name for colliding tcp_state:\n%s", printed)
+	}
+}
+
+func TestNormalizedNestedLoopReparses(t *testing.T) {
+	out, _ := normalizeOK(t, nestedLoopSrc)
+	if _, err := lang.Parse(lang.Print(out)); err != nil {
+		t.Fatalf("unfolded program does not re-parse: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindProcess:          "canonical",
+		KindSingleLoop:       "one processing loop",
+		KindCallback:         "callback",
+		KindConsumerProducer: "consumer-producer",
+		KindNestedLoop:       "nested loop",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package normalize
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/lang"
+)
+
+// socketShape is the recognized accept/fork/connect structure of a
+// nested-loop NF (the paper's Figure 3 / Figure 4d).
+type socketShape struct {
+	lportExpr string   // listen(port) argument
+	setup     []string // printed statements between accept() and fork()
+	hostExpr  string   // connect(host, port) arguments
+	portExpr  string
+}
+
+// UnfoldSockets transforms a nested-loop socket NF into the Figure 5
+// single-loop form: socket calls become packet-level operations and the
+// OS's hidden per-connection TCP state becomes an explicit state map
+// (LISTEN → SYN_RCVD → ESTABLISHED), exactly as §3.2 proposes for
+// "Hidden States".
+//
+// The per-connection setup code (everything between accept() and fork(),
+// e.g. balance's backend selection) runs when a SYN opens a new
+// connection; connect()'s target address becomes the packet rewrite
+// applied by the relay; the inner read/write loop becomes the
+// ESTABLISHED-state relay action.
+func UnfoldSockets(prog *lang.Program) (*lang.Program, error) {
+	shape, err := recognize(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	tcpVar := freshGlobal(prog, "tcp_state")
+	bkVar := freshGlobal(prog, "backend")
+
+	var sb strings.Builder
+	for _, g := range prog.Globals {
+		sb.WriteString(lang.PrintStmt(g) + "\n")
+	}
+	fmt.Fprintf(&sb, "%s = {};\n", tcpVar)
+	fmt.Fprintf(&sb, "%s = {};\n", bkVar)
+	// Keep helper functions other than main.
+	for _, f := range prog.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		sub := &lang.Program{Funcs: []*lang.FuncDecl{f}}
+		sb.WriteString("\n" + lang.Print(sub))
+	}
+
+	var setup strings.Builder
+	for _, s := range shape.setup {
+		for _, line := range strings.Split(s, "\n") {
+			setup.WriteString("                " + strings.TrimRight(line, "\n") + "\n")
+		}
+	}
+
+	fmt.Fprintf(&sb, `
+func process(pkt) {
+    if pkt.dport == %[1]s {
+        k = (pkt.sip, pkt.sport);
+        if !(k in %[2]s) {
+            if tcp_flag(pkt, "S") {
+%[3]s                %[4]s[k] = (%[5]s, %[6]s);
+                %[2]s[k] = "SYN_RCVD";
+                srv = %[4]s[k];
+                pkt.dip = srv[0];
+                pkt.dport = srv[1];
+                send(pkt);
+            }
+        } else {
+            if %[2]s[k] == "SYN_RCVD" {
+                if tcp_flag(pkt, "A") {
+                    %[2]s[k] = "ESTABLISHED";
+                    srv = %[4]s[k];
+                    pkt.dip = srv[0];
+                    pkt.dport = srv[1];
+                    send(pkt);
+                }
+            } else {
+                srv = %[4]s[k];
+                pkt.dip = srv[0];
+                pkt.dport = srv[1];
+                send(pkt);
+            }
+        }
+    } else {
+        rk = (pkt.dip, pkt.dport);
+        if rk in %[2]s {
+            send(pkt);
+        }
+    }
+}
+`, shape.lportExpr, tcpVar, setup.String(), bkVar, shape.hostExpr, shape.portExpr)
+
+	out, err := lang.Parse(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("normalize: unfolded program does not parse: %w\n%s", err, sb.String())
+	}
+	return out, nil
+}
+
+// recognize extracts the socketShape from main().
+func recognize(prog *lang.Program) (*socketShape, error) {
+	main := prog.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("normalize: no main()")
+	}
+	shape := &socketShape{}
+
+	var listenVar string
+	for _, s := range main.Body.Stmts {
+		if as, ok := s.(*lang.AssignStmt); ok && len(as.RHS) == 1 {
+			if call, ok := as.RHS[0].(*lang.CallExpr); ok && call.Fun == "listen" && len(call.Args) == 1 {
+				shape.lportExpr = lang.ExprString(call.Args[0])
+				if id, ok := as.LHS[0].(*lang.Ident); ok {
+					listenVar = id.Name
+				}
+			}
+		}
+	}
+	if shape.lportExpr == "" {
+		return nil, fmt.Errorf("normalize: no listen() call in main")
+	}
+
+	loop, ok := mainWhileLoop(main)
+	if !ok {
+		return nil, fmt.Errorf("normalize: no accept loop in main")
+	}
+	acceptIdx := -1
+	var acceptVar string
+	for i, s := range loop.Body.Stmts {
+		if as, ok := s.(*lang.AssignStmt); ok && len(as.RHS) == 1 {
+			if call, ok := as.RHS[0].(*lang.CallExpr); ok && call.Fun == "accept" {
+				acceptIdx = i
+				if id, ok := as.LHS[0].(*lang.Ident); ok {
+					acceptVar = id.Name
+				}
+			}
+		}
+	}
+	if acceptIdx < 0 {
+		return nil, fmt.Errorf("normalize: no accept() in main loop")
+	}
+
+	forkIdx := -1
+	var forkIf *lang.IfStmt
+	for i := acceptIdx + 1; i < len(loop.Body.Stmts); i++ {
+		ifs, ok := loop.Body.Stmts[i].(*lang.IfStmt)
+		if !ok {
+			continue
+		}
+		if isForkCond(ifs.Cond) {
+			forkIdx, forkIf = i, ifs
+			break
+		}
+	}
+	if forkIf == nil {
+		return nil, fmt.Errorf("normalize: no fork() branch after accept()")
+	}
+	// peer_ip(clientfd) has a direct packet-level equivalent — the source
+	// address of the connection's packets — so it is rewritten to
+	// pkt.sip. Any other use of a raw socket descriptor in the setup code
+	// has no packet-level meaning and is rejected.
+	for i := acceptIdx + 1; i < forkIdx; i++ {
+		s := loop.Body.Stmts[i]
+		printed := lang.PrintStmt(s)
+		printed = strings.ReplaceAll(printed, "peer_ip("+acceptVar+")", "pkt.sip")
+		if usesIdent(printed, acceptVar) || usesIdent(printed, listenVar) {
+			return nil, fmt.Errorf("normalize: setup statement at %s uses a socket descriptor", s.NodePos())
+		}
+		shape.setup = append(shape.setup, printed)
+	}
+
+	var findConnect func(stmts []lang.Stmt)
+	findConnect = func(stmts []lang.Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *lang.AssignStmt:
+				if len(st.RHS) == 1 {
+					if call, ok := st.RHS[0].(*lang.CallExpr); ok && call.Fun == "connect" && len(call.Args) == 2 {
+						shape.hostExpr = lang.ExprString(call.Args[0])
+						shape.portExpr = lang.ExprString(call.Args[1])
+					}
+				}
+			case *lang.WhileStmt:
+				findConnect(st.Body.Stmts)
+			case *lang.IfStmt:
+				findConnect(st.Then.Stmts)
+				if st.Else != nil {
+					findConnect(st.Else.Stmts)
+				}
+			}
+		}
+	}
+	findConnect(forkIf.Then.Stmts)
+	if shape.hostExpr == "" {
+		return nil, fmt.Errorf("normalize: no connect() inside the fork branch")
+	}
+	return shape, nil
+}
+
+// isForkCond matches `fork() == 0` (and `0 == fork()`).
+func isForkCond(e lang.Expr) bool {
+	b, ok := e.(*lang.BinaryExpr)
+	if !ok || b.Op != "==" {
+		return false
+	}
+	isFork := func(x lang.Expr) bool {
+		c, ok := x.(*lang.CallExpr)
+		return ok && c.Fun == "fork" && len(c.Args) == 0
+	}
+	isZero := func(x lang.Expr) bool {
+		i, ok := x.(*lang.IntLit)
+		return ok && i.Val == 0
+	}
+	return (isFork(b.X) && isZero(b.Y)) || (isZero(b.X) && isFork(b.Y))
+}
+
+// acceptAssign reports whether the loop contains `x = accept(...)`.
+func acceptAssign(loop *lang.WhileStmt) (*lang.AssignStmt, bool) {
+	for _, s := range loop.Body.Stmts {
+		if as, ok := s.(*lang.AssignStmt); ok && len(as.RHS) == 1 {
+			if call, ok := as.RHS[0].(*lang.CallExpr); ok && call.Fun == "accept" {
+				return as, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// usesIdent reports whether the printed statement references name as an
+// identifier token.
+func usesIdent(printed, name string) bool {
+	if name == "" {
+		return false
+	}
+	toks, err := lang.Lex(printed)
+	if err != nil {
+		return true // be conservative
+	}
+	for _, t := range toks {
+		if t.Kind == lang.TokIdent && t.Text == name {
+			return true
+		}
+	}
+	return false
+}

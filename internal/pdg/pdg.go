@@ -1,0 +1,99 @@
+// Package pdg builds the program dependence graph (Ferrante, Ottenstein &
+// Warren — the paper's reference [11]) over a function's CFG: data
+// dependence edges from reaching definitions and control dependence edges
+// from postdominators. Backward slicing (internal/slice) is reachability
+// on this graph.
+package pdg
+
+import (
+	"sort"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/dataflow"
+)
+
+// Graph is a program dependence graph. Edges point from a dependent node
+// to the node it depends on (the direction a backward slice traverses).
+type Graph struct {
+	CFG *cfg.Graph
+	// DataDeps[n] lists nodes whose definitions node n's uses depend on.
+	DataDeps map[int][]int
+	// CtrlDeps[n] lists branch nodes that control whether n executes.
+	CtrlDeps map[int][]int
+}
+
+// Build computes the PDG for g; params are the entry function's
+// parameters (synthetically defined at ENTRY).
+func Build(g *cfg.Graph, params []string) *Graph {
+	rd := dataflow.Reaching(g, params)
+	p := &Graph{
+		CFG:      g,
+		DataDeps: make(map[int][]int),
+		CtrlDeps: make(map[int][]int),
+	}
+
+	// Data dependence: for every use of v at node n, an edge to every
+	// reaching definition of v.
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, v := range dataflow.NodeUses(g, n.ID) {
+			for _, d := range rd.UseDefs(n.ID, v) {
+				if d != n.ID && !seen[d] {
+					seen[d] = true
+					p.DataDeps[n.ID] = append(p.DataDeps[n.ID], d)
+				}
+			}
+		}
+		sort.Ints(p.DataDeps[n.ID])
+	}
+
+	// Control dependence: node w is control dependent on branch u when u
+	// has an edge to v such that w postdominates v but not u. Computed by
+	// walking the postdominator tree from v up to (exclusive) ipdom(u).
+	ipdom := g.ImmediatePostdominators()
+	for _, u := range g.Nodes {
+		succs := g.Succs(u.ID)
+		if len(succs) < 2 {
+			continue
+		}
+		for _, v := range succs {
+			w := v
+			for w != -1 && w != ipdom[u.ID] && w != u.ID {
+				p.addCtrl(w, u.ID)
+				if w == ipdom[w] { // EXIT self-loop guard
+					break
+				}
+				w = ipdom[w]
+			}
+			// Loop headers are control dependent on themselves (the back
+			// edge re-tests the condition); we record that explicitly when
+			// the walk hits u itself.
+			if w == u.ID {
+				p.addCtrl(u.ID, u.ID)
+			}
+		}
+	}
+	for n := range p.CtrlDeps {
+		sort.Ints(p.CtrlDeps[n])
+	}
+	return p
+}
+
+func (p *Graph) addCtrl(node, on int) {
+	for _, e := range p.CtrlDeps[node] {
+		if e == on {
+			return
+		}
+	}
+	p.CtrlDeps[node] = append(p.CtrlDeps[node], on)
+}
+
+// Deps returns all PDG dependencies (data then control) of node n.
+func (p *Graph) Deps(n int) []int {
+	out := append([]int{}, p.DataDeps[n]...)
+	out = append(out, p.CtrlDeps[n]...)
+	return out
+}

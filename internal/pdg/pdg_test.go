@@ -1,0 +1,161 @@
+package pdg
+
+import (
+	"testing"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/lang"
+)
+
+func build(t *testing.T, src string) (*Graph, *cfg.Graph) {
+	t.Helper()
+	prog := lang.MustParse(src)
+	g, err := cfg.Build(prog, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(g, prog.Func("process").Params), g
+}
+
+func findNode(t *testing.T, g *cfg.Graph, pred func(lang.Stmt) bool) *cfg.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Stmt != nil && pred(n.Stmt) {
+			return n
+		}
+	}
+	t.Fatal("node not found")
+	return nil
+}
+
+func TestDataDependence(t *testing.T) {
+	p, g := build(t, `
+func process(pkt) {
+    a = pkt.sip;
+    b = a;
+}`)
+	aN := findNode(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "a"
+	})
+	bN := findNode(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "b"
+	})
+	found := false
+	for _, d := range p.DataDeps[bN.ID] {
+		if d == aN.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("b has no data dep on a: %v", p.DataDeps[bN.ID])
+	}
+	// a depends on pkt's entry def
+	if len(p.DataDeps[aN.ID]) != 1 || p.DataDeps[aN.ID][0] != g.Entry.ID {
+		t.Errorf("a deps = %v, want [entry]", p.DataDeps[aN.ID])
+	}
+}
+
+func TestControlDependence(t *testing.T) {
+	p, g := build(t, `
+func process(pkt) {
+    if pkt.dport == 80 {
+        a = 1;
+    }
+    b = 2;
+}`)
+	branch := findNode(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.IfStmt); return ok })
+	aN := findNode(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "a"
+	})
+	bN := findNode(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "b"
+	})
+	if len(p.CtrlDeps[aN.ID]) != 1 || p.CtrlDeps[aN.ID][0] != branch.ID {
+		t.Errorf("a ctrl deps = %v, want [branch]", p.CtrlDeps[aN.ID])
+	}
+	for _, d := range p.CtrlDeps[bN.ID] {
+		if d == branch.ID {
+			t.Error("b after the join should not be control dependent on the branch")
+		}
+	}
+}
+
+func TestControlDependenceAfterEarlyReturn(t *testing.T) {
+	p, g := build(t, `
+func process(pkt) {
+    if pkt.dport == 80 { return; }
+    send(pkt);
+}`)
+	branch := findNode(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.IfStmt); return ok })
+	sendN := findNode(t, g, func(s lang.Stmt) bool {
+		es, ok := s.(*lang.ExprStmt)
+		return ok && lang.ExprString(es.X) == "send(pkt)"
+	})
+	found := false
+	for _, d := range p.CtrlDeps[sendN.ID] {
+		if d == branch.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("send after early return not control dependent on guard: %v", p.CtrlDeps[sendN.ID])
+	}
+}
+
+func TestLoopBodyControlDependentOnHeader(t *testing.T) {
+	p, g := build(t, `
+func process(pkt) {
+    i = 0;
+    while i < 3 {
+        i = i + 1;
+    }
+}`)
+	head := findNode(t, g, func(s lang.Stmt) bool { _, ok := s.(*lang.WhileStmt); return ok })
+	inc := findNode(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.RHS[0]) == "i + 1"
+	})
+	found := false
+	for _, d := range p.CtrlDeps[inc.ID] {
+		if d == head.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop body not control dependent on header: %v", p.CtrlDeps[inc.ID])
+	}
+	// The header is control dependent on itself via the back edge.
+	self := false
+	for _, d := range p.CtrlDeps[head.ID] {
+		if d == head.ID {
+			self = true
+		}
+	}
+	if !self {
+		t.Error("loop header not self-control-dependent")
+	}
+}
+
+func TestDepsMergesDataAndControl(t *testing.T) {
+	p, g := build(t, `
+func process(pkt) {
+    if pkt.ttl > 0 {
+        a = pkt.sip;
+    }
+}`)
+	aN := findNode(t, g, func(s lang.Stmt) bool {
+		as, ok := s.(*lang.AssignStmt)
+		return ok && lang.ExprString(as.LHS[0]) == "a"
+	})
+	deps := p.Deps(aN.ID)
+	if len(deps) != len(p.DataDeps[aN.ID])+len(p.CtrlDeps[aN.ID]) {
+		t.Errorf("Deps = %v", deps)
+	}
+	if len(p.CtrlDeps[aN.ID]) == 0 || len(p.DataDeps[aN.ID]) == 0 {
+		t.Errorf("expected both kinds of deps: data=%v ctrl=%v", p.DataDeps[aN.ID], p.CtrlDeps[aN.ID])
+	}
+}

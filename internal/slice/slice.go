@@ -1,0 +1,192 @@
+// Package slice implements backward static program slicing over the PDG —
+// the giri-equivalent component of NFactor (Algorithm 1's BackwardSlice).
+//
+// A slice is computed as PDG reachability from criterion statements and
+// reconstructed into a runnable reduced program, preserving the control
+// structure (branch conditions enter the slice via control dependence,
+// early returns via jump handling).
+package slice
+
+import (
+	"fmt"
+	"sort"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/lang"
+	"nfactor/internal/pdg"
+)
+
+// Analyzer holds the analysis state for one (inlined) program + entry
+// function, so that many slices can be taken cheaply.
+type Analyzer struct {
+	Prog  *lang.Program // inlined program the analyses ran on
+	Entry string
+	G     *cfg.Graph
+	P     *pdg.Graph
+}
+
+// NewAnalyzer inlines prog's entry function and builds its CFG and PDG.
+func NewAnalyzer(prog *lang.Program, entry string) (*Analyzer, error) {
+	inlined, err := lang.Inline(prog, entry)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(inlined, entry)
+	if err != nil {
+		return nil, err
+	}
+	p := pdg.Build(g, inlined.Func(entry).Params)
+	return &Analyzer{Prog: inlined, Entry: entry, G: g, P: p}, nil
+}
+
+// Backward computes the backward slice from the given criterion AST
+// statement IDs. The result is a set of AST statement IDs.
+func (a *Analyzer) Backward(criteria []int) (map[int]bool, error) {
+	inSlice := map[int]bool{} // CFG node IDs
+	var work []int
+	for _, stmtID := range criteria {
+		n := a.G.NodeByStmt(stmtID)
+		if n == nil {
+			return nil, fmt.Errorf("slice: criterion statement %d has no CFG node", stmtID)
+		}
+		if !inSlice[n.ID] {
+			inSlice[n.ID] = true
+			work = append(work, n.ID)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, d := range a.P.Deps(n) {
+			if !inSlice[d] {
+				inSlice[d] = true
+				work = append(work, d)
+			}
+		}
+	}
+
+	// Jump handling: a return/break/continue whose guarding branches are
+	// all in the slice shapes the reachability of sliced statements and
+	// must be kept (otherwise the reduced program falls through paths the
+	// original exits early from).
+	for _, n := range a.G.Nodes {
+		if n.Stmt == nil || inSlice[n.ID] {
+			continue
+		}
+		switch n.Stmt.(type) {
+		case *lang.ReturnStmt, *lang.BreakStmt, *lang.ContinueStmt:
+			ok := true
+			for _, d := range a.P.CtrlDeps[n.ID] {
+				if !inSlice[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				inSlice[n.ID] = true
+			}
+		}
+	}
+
+	out := map[int]bool{}
+	for id := range inSlice {
+		n := a.G.Node(id)
+		if n.Stmt != nil {
+			out[n.Stmt.StmtID()] = true
+		}
+	}
+	return out, nil
+}
+
+// Union merges slice statement-ID sets.
+func Union(sets ...map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for _, s := range sets {
+		for k := range s {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// SortedIDs returns the statement IDs of a slice in ascending order.
+func SortedIDs(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reconstruct builds a runnable reduced program containing exactly the
+// sliced statements of the analyzer's program (globals and entry-function
+// body filtered to the slice, control structure preserved). The returned
+// program is freshly indexed; RemappedIDs maps original statement IDs to
+// whether they were kept.
+func (a *Analyzer) Reconstruct(stmtIDs map[int]bool) *lang.Program {
+	src := a.Prog
+	out := &lang.Program{}
+	for _, g := range src.Globals {
+		if stmtIDs[g.StmtID()] {
+			out.Globals = append(out.Globals, lang.CloneProgram(&lang.Program{Globals: []*lang.AssignStmt{g}}).Globals[0])
+		}
+	}
+	fn := src.Func(a.Entry)
+	body := filterBlock(fn.Body, stmtIDs)
+	out.Funcs = []*lang.FuncDecl{{
+		Name:   fn.Name,
+		Params: append([]string(nil), fn.Params...),
+		Body:   body,
+		Pos:    fn.Pos,
+	}}
+	out.IndexProgram()
+	return out
+}
+
+func filterBlock(b *lang.BlockStmt, keep map[int]bool) *lang.BlockStmt {
+	out := &lang.BlockStmt{}
+	for _, s := range b.Stmts {
+		if ns := filterStmt(s, keep); ns != nil {
+			out.Stmts = append(out.Stmts, ns)
+		}
+	}
+	return out
+}
+
+func filterStmt(s lang.Stmt, keep map[int]bool) lang.Stmt {
+	if !keep[s.StmtID()] {
+		return nil
+	}
+	switch st := s.(type) {
+	case *lang.IfStmt:
+		ns := &lang.IfStmt{Cond: st.Cond, Then: filterBlock(st.Then, keep)}
+		if st.Else != nil {
+			els := filterBlock(st.Else, keep)
+			if len(els.Stmts) > 0 {
+				ns.Else = els
+			}
+		}
+		return cloneVia(ns)
+	case *lang.WhileStmt:
+		return cloneVia(&lang.WhileStmt{Cond: st.Cond, Body: filterBlock(st.Body, keep)})
+	case *lang.ForStmt:
+		return cloneVia(&lang.ForStmt{Var: st.Var, Iter: st.Iter, Body: filterBlock(st.Body, keep)})
+	default:
+		return cloneVia(s)
+	}
+}
+
+// cloneVia deep-copies a statement through a throwaway program so the
+// reduced tree shares no nodes with the analyzed tree.
+func cloneVia(s lang.Stmt) lang.Stmt {
+	blk := &lang.BlockStmt{Stmts: []lang.Stmt{s}}
+	p := &lang.Program{Funcs: []*lang.FuncDecl{{Name: "w", Body: blk}}}
+	return lang.CloneProgram(p).Funcs[0].Body.Stmts[0]
+}
+
+// SliceLoC counts lines of code of the reconstructed slice program, the
+// "slice" LoC column of Table 2.
+func (a *Analyzer) SliceLoC(stmtIDs map[int]bool) int {
+	return lang.CountLoC(a.Reconstruct(stmtIDs))
+}

@@ -1,0 +1,238 @@
+package slice
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+)
+
+// lbSrc is the paper's Figure 1 load balancer, transcribed to NFLang.
+const lbSrc = `
+mode = "RR";
+LB_IP = "3.3.3.3";
+LB_PORT = 80;
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+f2b_nat = {};
+b2f_nat = {};
+rr_idx = 0;
+cur_port = 10000;
+pass_stat = 0;
+drop_stat = 0;
+
+func process(pkt) {
+    si, di = pkt.sip, pkt.dip;
+    sp, dp = pkt.sport, pkt.dport;
+    if dp == LB_PORT {
+        cs_ftpl = (si, sp, di, dp);
+        sc_ftpl = (di, dp, si, sp);
+        if !(cs_ftpl in f2b_nat) {
+            if mode == "RR" {
+                server = servers[rr_idx];
+                rr_idx = (rr_idx + 1) % len(servers);
+            } else {
+                server = servers[hash(si) % len(servers)];
+            }
+            n_port = cur_port;
+            cur_port = cur_port + 1;
+            cs_btpl = (LB_IP, n_port, server[0], server[1]);
+            sc_btpl = (server[0], server[1], LB_IP, n_port);
+            f2b_nat[cs_ftpl] = cs_btpl;
+            b2f_nat[sc_btpl] = sc_ftpl;
+            nat_tpl = cs_btpl;
+        } else {
+            nat_tpl = f2b_nat[cs_ftpl];
+        }
+    } else {
+        sc_btpl = (si, sp, di, dp);
+        if sc_btpl in b2f_nat {
+            nat_tpl = b2f_nat[sc_btpl];
+        } else {
+            drop_stat = drop_stat + 1;
+            return;
+        }
+    }
+    pass_stat = pass_stat + 1;
+    pkt.sip = nat_tpl[0];
+    pkt.sport = nat_tpl[1];
+    pkt.dip = nat_tpl[2];
+    pkt.dport = nat_tpl[3];
+    send(pkt);
+}
+`
+
+func analyzer(t *testing.T, src string) *Analyzer {
+	t.Helper()
+	a, err := NewAnalyzer(lang.MustParse(src), "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// sendCriteria finds all send() statements in the analyzed program.
+func sendCriteria(a *Analyzer) []int {
+	var ids []int
+	a.Prog.WalkStmts(func(s lang.Stmt) {
+		if es, ok := s.(*lang.ExprStmt); ok {
+			if c, ok := es.X.(*lang.CallExpr); ok && c.Fun == "send" {
+				ids = append(ids, s.StmtID())
+			}
+		}
+	})
+	return ids
+}
+
+func TestPacketSliceExcludesLogVars(t *testing.T) {
+	a := analyzer(t, lbSrc)
+	sl, err := a.Backward(sendCriteria(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := a.Reconstruct(sl)
+	printed := lang.Print(red)
+	if strings.Contains(printed, "pass_stat") || strings.Contains(printed, "drop_stat") {
+		t.Errorf("log statistics leaked into the packet slice:\n%s", printed)
+	}
+	for _, want := range []string{"f2b_nat", "rr_idx", "send(pkt)", "mode", "servers"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("packet slice missing %q:\n%s", want, printed)
+		}
+	}
+}
+
+func TestPacketSliceIsSmaller(t *testing.T) {
+	a := analyzer(t, lbSrc)
+	sl, err := a.Backward(sendCriteria(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origLoC := lang.CountLoC(a.Prog)
+	sliceLoC := a.SliceLoC(sl)
+	if sliceLoC >= origLoC {
+		t.Errorf("slice LoC %d not smaller than original %d", sliceLoC, origLoC)
+	}
+	if sliceLoC == 0 {
+		t.Error("slice is empty")
+	}
+}
+
+func TestSliceReconstructionReparses(t *testing.T) {
+	a := analyzer(t, lbSrc)
+	sl, err := a.Backward(sendCriteria(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(a.Reconstruct(sl))
+	if _, err := lang.Parse(printed); err != nil {
+		t.Fatalf("slice does not re-parse: %v\n%s", err, printed)
+	}
+}
+
+func TestSliceKeepsEarlyReturn(t *testing.T) {
+	a := analyzer(t, lbSrc)
+	sl, err := a.Backward(sendCriteria(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(a.Reconstruct(sl))
+	// The `return` in the outbound-miss arm shapes whether send() runs;
+	// jump handling must keep it even though drop_stat is gone.
+	if !strings.Contains(printed, "return;") {
+		t.Errorf("early return lost from slice:\n%s", printed)
+	}
+}
+
+func TestSliceFromStateUpdate(t *testing.T) {
+	a := analyzer(t, lbSrc)
+	// Criterion: the assignment rr_idx = (rr_idx+1) % len(servers)
+	var crit int
+	a.Prog.WalkStmts(func(s lang.Stmt) {
+		if as, ok := s.(*lang.AssignStmt); ok && len(as.LHS) == 1 {
+			if id, ok := as.LHS[0].(*lang.Ident); ok && id.Name == "rr_idx" {
+				if _, isInit := as.RHS[0].(*lang.IntLit); !isInit {
+					crit = s.StmtID()
+				}
+			}
+		}
+	})
+	if crit == 0 {
+		t.Fatal("criterion statement not found")
+	}
+	sl, err := a.Backward([]int{crit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(a.Reconstruct(sl))
+	for _, want := range []string{"rr_idx", "mode", "f2b_nat", "dp == LB_PORT"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("state slice missing %q:\n%s", want, printed)
+		}
+	}
+	if strings.Contains(printed, "cur_port") {
+		t.Errorf("state slice for rr_idx should not include cur_port:\n%s", printed)
+	}
+}
+
+func TestControlDependenceBringsGuards(t *testing.T) {
+	a := analyzer(t, `
+x = 0;
+func process(pkt) {
+    if pkt.ttl > 0 {
+        send(pkt);
+    }
+}`)
+	sl, err := a.Backward(sendCriteria(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(a.Reconstruct(sl))
+	if !strings.Contains(printed, "ttl") {
+		t.Errorf("guard condition missing from slice:\n%s", printed)
+	}
+	if strings.Contains(printed, "x = 0") {
+		t.Errorf("unrelated global kept:\n%s", printed)
+	}
+}
+
+func TestUnionAndSortedIDs(t *testing.T) {
+	u := Union(map[int]bool{1: true, 3: true}, map[int]bool{2: true, 3: true})
+	ids := SortedIDs(u)
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("union ids = %v", ids)
+	}
+}
+
+func TestSliceThroughInlinedHelper(t *testing.T) {
+	a := analyzer(t, `
+N = 2;
+junk = 0;
+func pick(x) {
+    v = x % N;
+    return v;
+}
+func process(pkt) {
+    junk = junk + 1;
+    i = pick(pkt.sport);
+    pkt.dport = i;
+    send(pkt);
+}`)
+	sl, err := a.Backward(sendCriteria(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := lang.Print(a.Reconstruct(sl))
+	if !strings.Contains(printed, "% N") {
+		t.Errorf("inlined helper body missing from slice:\n%s", printed)
+	}
+	if strings.Contains(printed, "junk") {
+		t.Errorf("junk counter leaked into slice:\n%s", printed)
+	}
+}
+
+func TestBadCriterion(t *testing.T) {
+	a := analyzer(t, `func process(pkt) { send(pkt); }`)
+	if _, err := a.Backward([]int{99999}); err == nil {
+		t.Error("bogus criterion did not error")
+	}
+}

@@ -1,0 +1,233 @@
+package solver
+
+import (
+	"fmt"
+
+	"nfactor/internal/value"
+)
+
+// Env resolves symbolic variable names to concrete values during model
+// interpretation: packet fields ("pkt.sip"), state snapshots ("rr_idx@0",
+// "f2b_nat@0") and symbolic configuration scalars ("mode").
+type Env interface {
+	Lookup(name string) (value.Value, bool)
+}
+
+// MapEnv is an Env backed by a plain map.
+type MapEnv map[string]value.Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (value.Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Eval evaluates a term to a concrete value under env. Store/Del terms
+// evaluate functionally: they clone the underlying map, so evaluating a
+// state-update term never mutates the environment.
+func Eval(t Term, env Env) (value.Value, error) {
+	switch x := t.(type) {
+	case Const:
+		return x.V, nil
+	case NamedConst:
+		return x.V, nil
+	case Var:
+		v, ok := env.Lookup(x.Name)
+		if !ok {
+			return value.Value{}, fmt.Errorf("solver: unbound variable %q", x.Name)
+		}
+		return v, nil
+	case MapVar:
+		v, ok := env.Lookup(x.Name)
+		if !ok {
+			return value.Value{}, fmt.Errorf("solver: unbound map %q", x.Name)
+		}
+		if v.Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("solver: %q is %s, want map", x.Name, v.Kind)
+		}
+		return v, nil
+	case Bin:
+		return evalBin(x, env)
+	case Un:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.UnOp(x.Op, v)
+	case Call:
+		args := make([]value.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return value.Value{}, err
+			}
+			args[i] = v
+		}
+		switch x.Fn {
+		case "hash":
+			if len(args) != 1 {
+				return value.Value{}, fmt.Errorf("solver: hash arity %d", len(args))
+			}
+			h, err := value.Hash(args[0])
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.Int(h), nil
+		case "len":
+			if len(args) != 1 {
+				return value.Value{}, fmt.Errorf("solver: len arity %d", len(args))
+			}
+			n, err := args[0].Len()
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.Int(int64(n)), nil
+		case "contains":
+			if len(args) != 2 || args[0].Kind != value.KindStr || args[1].Kind != value.KindStr {
+				return value.Value{}, fmt.Errorf("solver: contains wants two strings")
+			}
+			return value.Bool(containsStr(args[0].S, args[1].S)), nil
+		default:
+			return value.Value{}, fmt.Errorf("solver: cannot evaluate uninterpreted %q", x.Fn)
+		}
+	case Tuple:
+		elems := make([]value.Value, len(x.Elems))
+		for i, e := range x.Elems {
+			v, err := Eval(e, env)
+			if err != nil {
+				return value.Value{}, err
+			}
+			elems[i] = v
+		}
+		return value.TupleOf(elems...), nil
+	case Index:
+		c, err := Eval(x.X, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		i, err := Eval(x.I, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Index(c, i)
+	case Select:
+		m, err := Eval(x.M, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		k, err := Eval(x.K, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Index(m, k)
+	case Store:
+		m, err := Eval(x.M, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if m.Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("solver: store into %s", m.Kind)
+		}
+		k, err := Eval(x.K, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		v, err := Eval(x.V, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		out := m.Clone()
+		if err := out.Map.Set(k, v); err != nil {
+			return value.Value{}, err
+		}
+		return out, nil
+	case Del:
+		m, err := Eval(x.M, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if m.Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("solver: del on %s", m.Kind)
+		}
+		k, err := Eval(x.K, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		out := m.Clone()
+		if err := out.Map.Delete(k); err != nil {
+			return value.Value{}, err
+		}
+		return out, nil
+	case In:
+		m, err := Eval(x.M, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if m.Kind != value.KindMap {
+			return value.Value{}, fmt.Errorf("solver: `in` on %s", m.Kind)
+		}
+		k, err := Eval(x.K, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		_, ok, err := m.Map.Get(k)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Bool(ok), nil
+	default:
+		return value.Value{}, fmt.Errorf("solver: cannot evaluate %T", t)
+	}
+}
+
+func evalBin(x Bin, env Env) (value.Value, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := Eval(x.X, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		lb, err := l.IsTruthy()
+		if err != nil {
+			return value.Value{}, err
+		}
+		if (x.Op == "&&" && !lb) || (x.Op == "||" && lb) {
+			return value.Bool(lb), nil
+		}
+		r, err := Eval(x.Y, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		rb, err := r.IsTruthy()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Bool(rb), nil
+	}
+	l, err := Eval(x.X, env)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := Eval(x.Y, env)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.BinOp(x.Op, l, r)
+}
+
+// EvalBool evaluates a boolean term under env.
+func EvalBool(t Term, env Env) (bool, error) {
+	v, err := Eval(t, env)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTruthy()
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

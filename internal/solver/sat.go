@@ -1,0 +1,400 @@
+package solver
+
+import (
+	"math"
+
+	"nfactor/internal/value"
+)
+
+// SatConj reports whether the conjunction of boolean literals could be
+// satisfiable. It is a conservative decision procedure (sound for
+// "unsat": a false result is a proof; a true result may be spurious for
+// constraints beyond its theory). The procedure combines:
+//
+//   - constant folding / map axioms (Simplify),
+//   - equality propagation via union-find with congruence by substitution,
+//   - interval reasoning over integer bounds,
+//   - membership-consistency over symbolic maps.
+//
+// This mirrors the role KLEE's solver plays in the paper's pipeline:
+// pruning infeasible execution paths during symbolic execution.
+func SatConj(lits []Term) bool {
+	work := flatten(lits)
+	for round := 0; round < 8; round++ {
+		// Trivial checks.
+		var next []Term
+		for _, l := range work {
+			l = Simplify(l)
+			if b, ok := IsConstBool(l); ok {
+				if !b {
+					return false
+				}
+				continue
+			}
+			next = append(next, l)
+		}
+		work = next
+
+		// Only genuine equalities feed the union-find. Asserting bare
+		// boolean literals (b, k in m, …) as equal-to-true here would be
+		// circular: substitution would rewrite each literal into its own
+		// assertion and erase the fact. Their consistency is checked in
+		// checkResidual instead.
+		uf := newUnionFind()
+		okEq := true
+		for _, l := range work {
+			if x, ok := l.(Bin); ok && x.Op == "==" {
+				if !uf.unite(x.X, x.Y) {
+					okEq = false
+				}
+			}
+		}
+		if !okEq {
+			return false // two distinct constants in one class
+		}
+
+		subst := uf.substitution()
+		changed := false
+		for i, l := range work {
+			nl := Simplify(substitute(l, subst))
+			if nl.Key() != l.Key() {
+				changed = true
+			}
+			work[i] = nl
+		}
+		if changed {
+			continue
+		}
+		return checkResidual(work)
+	}
+	return checkResidual(work)
+}
+
+// Implies reports whether the conjunction `from` entails the literal
+// `lit`: it holds when from ∧ ¬lit is unsatisfiable.
+func Implies(from []Term, lit Term) bool {
+	neg := append(append([]Term{}, from...), Not(lit))
+	return !SatConj(neg)
+}
+
+// ImpliesAll reports whether `from` entails every literal in `to` — the
+// conjunction-level implication used by the paper's path-equivalence
+// accuracy check (§5).
+func ImpliesAll(from, to []Term) bool {
+	for _, l := range to {
+		if !Implies(from, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivConj reports mutual implication of two conjunctions.
+func EquivConj(a, b []Term) bool {
+	return ImpliesAll(a, b) && ImpliesAll(b, a)
+}
+
+// flatten expands && trees into separate literals.
+func flatten(lits []Term) []Term {
+	var out []Term
+	var add func(Term)
+	add = func(t Term) {
+		if b, ok := t.(Bin); ok && b.Op == "&&" {
+			add(b.X)
+			add(b.Y)
+			return
+		}
+		out = append(out, t)
+	}
+	for _, l := range lits {
+		add(Simplify(l))
+	}
+	return out
+}
+
+// checkResidual runs the theory checks on a stabilized literal set.
+func checkResidual(lits []Term) bool {
+	// Interval reasoning over integers.
+	type bounds struct {
+		lo, hi   int64
+		excluded map[int64]bool
+	}
+	ivals := map[string]*bounds{}
+	get := func(t Term) *bounds {
+		k := t.Key()
+		b, ok := ivals[k]
+		if !ok {
+			b = &bounds{lo: math.MinInt64, hi: math.MaxInt64, excluded: map[int64]bool{}}
+			ivals[k] = b
+		}
+		return b
+	}
+	// Pairwise ordering consistency between two symbolic terms: each
+	// comparison literal over the same (X, Y) pair restricts the allowed
+	// relations among {<, ==, >}; an empty intersection is a
+	// contradiction. This catches e.g. t <= S ∧ t > S with S symbolic,
+	// which constant-interval reasoning cannot see.
+	const (
+		relLT uint8 = 1 << iota
+		relEQ
+		relGT
+	)
+	opMask := map[string]uint8{
+		"<": relLT, "<=": relLT | relEQ,
+		">": relGT, ">=": relGT | relEQ,
+		"==": relEQ, "!=": relLT | relGT,
+	}
+	flipMask := func(m uint8) uint8 {
+		out := m & relEQ
+		if m&relLT != 0 {
+			out |= relGT
+		}
+		if m&relGT != 0 {
+			out |= relLT
+		}
+		return out
+	}
+	rels := map[[2]string]uint8{}
+	addRel := func(x, y Term, op string) bool {
+		mask, ok := opMask[op]
+		if !ok {
+			return true
+		}
+		ka, kb := x.Key(), y.Key()
+		if ka == kb {
+			return true // same-term comparisons fold in Simplify
+		}
+		if ka > kb {
+			ka, kb = kb, ka
+			mask = flipMask(mask)
+		}
+		key := [2]string{ka, kb}
+		if cur, seen := rels[key]; seen {
+			mask &= cur
+		}
+		rels[key] = mask
+		return mask != 0
+	}
+
+	// Truth consistency of atomic boolean literals (membership tests,
+	// boolean variables, uninterpreted boolean calls): a term asserted
+	// both true and false is a contradiction.
+	inTruth := map[string]bool{}
+	assertTruth := func(t Term, val bool) bool {
+		k := t.Key()
+		if prev, seen := inTruth[k]; seen && prev != val {
+			return false
+		}
+		inTruth[k] = val
+		return true
+	}
+
+	for _, l := range lits {
+		switch x := l.(type) {
+		case Bin:
+			t, c, op, ok := constSide(x)
+			if ok {
+				b := get(t)
+				switch op {
+				case "<":
+					if c-1 < b.hi {
+						b.hi = c - 1
+					}
+				case "<=":
+					if c < b.hi {
+						b.hi = c
+					}
+				case ">":
+					if c+1 > b.lo {
+						b.lo = c + 1
+					}
+				case ">=":
+					if c > b.lo {
+						b.lo = c
+					}
+				case "==":
+					if c > b.lo {
+						b.lo = c
+					}
+					if c < b.hi {
+						b.hi = c
+					}
+				case "!=":
+					b.excluded[c] = true
+				}
+			}
+			if x.Op == "!=" && x.X.Key() == x.Y.Key() {
+				return false
+			}
+			if !addRel(x.X, x.Y, x.Op) {
+				return false
+			}
+		case In, Var, Select, Index, Call:
+			if !assertTruth(l, true) {
+				return false
+			}
+		case Un:
+			if x.Op == "!" {
+				if !assertTruth(x.X, false) {
+					return false
+				}
+			}
+		}
+	}
+	for _, b := range ivals {
+		if b.lo > b.hi {
+			return false
+		}
+		// A fully excluded singleton interval is unsat.
+		if b.lo == b.hi && b.excluded[b.lo] {
+			return false
+		}
+	}
+	return true
+}
+
+// constSide normalizes a comparison with a constant integer on one side to
+// (term, const, op-with-term-on-left).
+func constSide(b Bin) (Term, int64, string, bool) {
+	switch b.Op {
+	case "<", "<=", ">", ">=", "==", "!=":
+	default:
+		return nil, 0, "", false
+	}
+	if c, ok := b.Y.(Const); ok && c.V.Kind == value.KindInt {
+		return b.X, c.V.I, b.Op, true
+	}
+	if c, ok := b.X.(Const); ok && c.V.Kind == value.KindInt {
+		return b.Y, c.V.I, flip(b.Op), true
+	}
+	return nil, 0, "", false
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// union-find over term keys, tracking a representative term per class and
+// rejecting the union of two distinct constants.
+
+type unionFind struct {
+	parent map[string]string
+	terms  map[string]Term
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}, terms: map[string]Term{}}
+}
+
+func (u *unionFind) find(k string) string {
+	p, ok := u.parent[k]
+	if !ok || p == k {
+		return k
+	}
+	r := u.find(p)
+	u.parent[k] = r
+	return r
+}
+
+func (u *unionFind) add(t Term) string {
+	k := t.Key()
+	if _, ok := u.terms[k]; !ok {
+		u.terms[k] = t
+		u.parent[k] = k
+	}
+	return u.find(k)
+}
+
+// unite merges the classes of a and b. It returns false when the merge is
+// contradictory (two distinct constants).
+func (u *unionFind) unite(a, b Term) bool {
+	ra, rb := u.add(a), u.add(b)
+	if ra == rb {
+		return true
+	}
+	ta, tb := u.terms[ra], u.terms[rb]
+	ca, aConst := ta.(Const)
+	cb, bConst := tb.(Const)
+	if aConst && bConst {
+		return value.Equal(ca.V, cb.V)
+	}
+	// Prefer a constant representative; otherwise the smaller key.
+	if bConst || (!aConst && rb < ra) {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	return true
+}
+
+// substitution returns key → representative term for every non-singleton
+// class member that is not already the representative.
+func (u *unionFind) substitution() map[string]Term {
+	out := map[string]Term{}
+	for k := range u.terms {
+		r := u.find(k)
+		if r != k {
+			out[k] = u.terms[r]
+		}
+	}
+	return out
+}
+
+// substitute replaces every subterm whose key appears in subst.
+func substitute(t Term, subst map[string]Term) Term {
+	if len(subst) == 0 {
+		return t
+	}
+	if r, ok := subst[t.Key()]; ok {
+		return r
+	}
+	return substituteChildren(t, subst)
+}
+
+// substituteChildren substitutes inside t's children without replacing t
+// itself.
+func substituteChildren(t Term, subst map[string]Term) Term {
+	if len(subst) == 0 {
+		return t
+	}
+	switch x := t.(type) {
+	case Bin:
+		return Bin{Op: x.Op, X: substitute(x.X, subst), Y: substitute(x.Y, subst)}
+	case Un:
+		return Un{Op: x.Op, X: substitute(x.X, subst)}
+	case Call:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substitute(a, subst)
+		}
+		return Call{Fn: x.Fn, Args: args}
+	case Tuple:
+		elems := make([]Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = substitute(e, subst)
+		}
+		return Tuple{Elems: elems}
+	case Index:
+		return Index{X: substitute(x.X, subst), I: substitute(x.I, subst)}
+	case Select:
+		return Select{M: substitute(x.M, subst), K: substitute(x.K, subst)}
+	case Store:
+		return Store{M: substitute(x.M, subst), K: substitute(x.K, subst), V: substitute(x.V, subst)}
+	case Del:
+		return Del{M: substitute(x.M, subst), K: substitute(x.K, subst)}
+	case In:
+		return In{K: substitute(x.K, subst), M: substitute(x.M, subst)}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,381 @@
+package solver
+
+import "nfactor/internal/value"
+
+// Simplify rewrites t bottom-up with constant folding and the map/tuple
+// axioms. It is deterministic and idempotent, which makes simplified keys
+// canonical enough for path-set comparison.
+func Simplify(t Term) Term {
+	switch x := t.(type) {
+	case Const, Var, MapVar, NamedConst:
+		return t
+
+	case Bin:
+		X := Simplify(x.X)
+		Y := Simplify(x.Y)
+		return simplifyBin(x.Op, X, Y)
+
+	case Un:
+		X := Simplify(x.X)
+		if c, ok := X.(Const); ok {
+			if v, err := value.UnOp(x.Op, c.V); err == nil {
+				return Const{V: v}
+			}
+		}
+		if x.Op == "!" {
+			return Not(X)
+		}
+		return Un{Op: x.Op, X: X}
+
+	case Call:
+		args := make([]Term, len(x.Args))
+		allConst := true
+		for i, a := range x.Args {
+			args[i] = Simplify(a)
+			if _, ok := args[i].(Const); !ok {
+				allConst = false
+			}
+		}
+		if allConst && len(args) == 1 {
+			c := args[0].(Const)
+			switch x.Fn {
+			case "len":
+				if n, err := c.V.Len(); err == nil {
+					return Const{V: value.Int(int64(n))}
+				}
+			case "hash":
+				if h, err := value.Hash(c.V); err == nil {
+					return Const{V: value.Int(h)}
+				}
+			}
+		}
+		if x.Fn == "len" && len(args) == 1 {
+			if nc, ok := args[0].(NamedConst); ok {
+				if n, err := nc.V.Len(); err == nil {
+					return Const{V: value.Int(int64(n))}
+				}
+			}
+		}
+		if x.Fn == "len" && len(args) == 1 {
+			if tp, ok := args[0].(Tuple); ok {
+				return Const{V: value.Int(int64(len(tp.Elems)))}
+			}
+		}
+		if x.Fn == "contains" && allConst && len(args) == 2 {
+			a, b := args[0].(Const), args[1].(Const)
+			if a.V.Kind == value.KindStr && b.V.Kind == value.KindStr {
+				return Const{V: value.Bool(containsStr(a.V.S, b.V.S))}
+			}
+		}
+		return Call{Fn: x.Fn, Args: args}
+
+	case Tuple:
+		elems := make([]Term, len(x.Elems))
+		vals := make([]value.Value, len(x.Elems))
+		allConst := true
+		for i, e := range x.Elems {
+			elems[i] = Simplify(e)
+			if c, ok := elems[i].(Const); ok {
+				vals[i] = c.V
+			} else {
+				allConst = false
+			}
+		}
+		if allConst {
+			return Const{V: value.TupleOf(vals...)}
+		}
+		return Tuple{Elems: elems}
+
+	case Index:
+		X := Simplify(x.X)
+		I := Simplify(x.I)
+		if tp, ok := X.(Tuple); ok {
+			if ci, ok := I.(Const); ok && ci.V.Kind == value.KindInt {
+				if n := int(ci.V.I); n >= 0 && n < len(tp.Elems) {
+					return tp.Elems[n]
+				}
+			}
+		}
+		if cv, ok := concreteValue(X); ok {
+			if ci, ok := I.(Const); ok {
+				if v, err := value.Index(cv, ci.V); err == nil {
+					return Const{V: v}
+				}
+			}
+		}
+		return Index{X: X, I: I}
+
+	case Select:
+		M := Simplify(x.M)
+		K := Simplify(x.K)
+		return simplifySelect(M, K)
+
+	case Store:
+		return Store{M: Simplify(x.M), K: Simplify(x.K), V: Simplify(x.V)}
+
+	case Del:
+		return Del{M: Simplify(x.M), K: Simplify(x.K)}
+
+	case In:
+		K := Simplify(x.K)
+		M := Simplify(x.M)
+		return simplifyIn(K, M)
+
+	default:
+		return t
+	}
+}
+
+func simplifyBin(op string, X, Y Term) Term {
+	cx, xConst := X.(Const)
+	cy, yConst := Y.(Const)
+	if xConst && yConst {
+		if v, err := value.BinOp(op, cx.V, cy.V); err == nil {
+			return Const{V: v}
+		}
+		return Bin{Op: op, X: X, Y: Y}
+	}
+	switch op {
+	case "==":
+		if X.Key() == Y.Key() {
+			return CTrue
+		}
+		// Tuple equality decomposes elementwise.
+		if tx, ok := X.(Tuple); ok {
+			if ty, ok := Y.(Tuple); ok {
+				return tupleEq(tx.Elems, ty.Elems)
+			}
+			if cy2, ok := Y.(Const); ok && cy2.V.Kind == value.KindTuple {
+				return tupleEq(tx.Elems, constElems(cy2.V))
+			}
+		}
+		if ty, ok := Y.(Tuple); ok {
+			if cx2, ok := X.(Const); ok && cx2.V.Kind == value.KindTuple {
+				return tupleEq(constElems(cx2.V), ty.Elems)
+			}
+		}
+	case "!=":
+		if X.Key() == Y.Key() {
+			return CFalse
+		}
+		eq := simplifyBin("==", X, Y)
+		if b, ok := IsConstBool(eq); ok {
+			return Const{V: value.Bool(!b)}
+		}
+		if _, isEq := eq.(Bin); !isEq {
+			return Not(eq)
+		}
+	case "&&":
+		if b, ok := IsConstBool(X); ok {
+			if !b {
+				return CFalse
+			}
+			return Y
+		}
+		if b, ok := IsConstBool(Y); ok {
+			if !b {
+				return CFalse
+			}
+			return X
+		}
+	case "||":
+		if b, ok := IsConstBool(X); ok {
+			if b {
+				return CTrue
+			}
+			return Y
+		}
+		if b, ok := IsConstBool(Y); ok {
+			if b {
+				return CTrue
+			}
+			return X
+		}
+	case "<", ">":
+		if X.Key() == Y.Key() {
+			return CFalse
+		}
+	case "<=", ">=":
+		if X.Key() == Y.Key() {
+			return CTrue
+		}
+	case "+":
+		// x + 0, 0 + x
+		if yConst && cy.V.Kind == value.KindInt && cy.V.I == 0 {
+			return X
+		}
+		if xConst && cx.V.Kind == value.KindInt && cx.V.I == 0 {
+			return Y
+		}
+	case "-":
+		if yConst && cy.V.Kind == value.KindInt && cy.V.I == 0 {
+			return X
+		}
+	case "*":
+		if yConst && cy.V.Kind == value.KindInt && cy.V.I == 1 {
+			return X
+		}
+		if xConst && cx.V.Kind == value.KindInt && cx.V.I == 1 {
+			return Y
+		}
+	}
+	return Bin{Op: op, X: X, Y: Y}
+}
+
+func constElems(v value.Value) []Term {
+	out := make([]Term, len(v.Tuple))
+	for i, e := range v.Tuple {
+		out[i] = Const{V: e}
+	}
+	return out
+}
+
+func tupleEq(a, b []Term) Term {
+	if len(a) != len(b) {
+		return CFalse
+	}
+	var conj Term = CTrue
+	for i := range a {
+		eq := simplifyBin("==", a[i], b[i])
+		conj = simplifyBin("&&", conj, eq)
+	}
+	return conj
+}
+
+// simplifySelect applies the select-over-store axioms.
+func simplifySelect(M, K Term) Term {
+	for {
+		switch m := M.(type) {
+		case Store:
+			if sameKey(m.K, K) {
+				return m.V
+			}
+			if definitelyDifferent(m.K, K) {
+				M = m.M
+				continue
+			}
+			return Select{M: M, K: K}
+		case Del:
+			if definitelyDifferent(m.K, K) {
+				M = m.M
+				continue
+			}
+			return Select{M: M, K: K}
+		case Const:
+			if ck, ok := K.(Const); ok && m.V.Kind == value.KindMap {
+				if v, found, err := m.V.Map.Get(ck.V); err == nil && found {
+					return Const{V: v}
+				}
+			}
+			return Select{M: M, K: K}
+		case NamedConst:
+			if ck, ok := K.(Const); ok && m.V.Kind == value.KindMap {
+				if v, found, err := m.V.Map.Get(ck.V); err == nil && found {
+					return Const{V: v}
+				}
+			}
+			return Select{M: M, K: K}
+		default:
+			return Select{M: M, K: K}
+		}
+	}
+}
+
+// simplifyIn applies the membership-over-store axioms.
+func simplifyIn(K, M Term) Term {
+	for {
+		switch m := M.(type) {
+		case Store:
+			if sameKey(m.K, K) {
+				return CTrue
+			}
+			if definitelyDifferent(m.K, K) {
+				M = m.M
+				continue
+			}
+			return In{K: K, M: M}
+		case Del:
+			if sameKey(m.K, K) {
+				return CFalse
+			}
+			if definitelyDifferent(m.K, K) {
+				M = m.M
+				continue
+			}
+			return In{K: K, M: M}
+		case Const:
+			if ck, ok := K.(Const); ok && m.V.Kind == value.KindMap {
+				if _, found, err := m.V.Map.Get(ck.V); err == nil {
+					return Const{V: value.Bool(found)}
+				}
+			}
+			// Membership in the empty concrete map is false for any key.
+			if m.V.Kind == value.KindMap && m.V.Map.Len() == 0 {
+				return CFalse
+			}
+			return In{K: K, M: M}
+		case NamedConst:
+			if ck, ok := K.(Const); ok && m.V.Kind == value.KindMap {
+				if _, found, err := m.V.Map.Get(ck.V); err == nil {
+					return Const{V: value.Bool(found)}
+				}
+			}
+			if m.V.Kind == value.KindMap && m.V.Map.Len() == 0 {
+				return CFalse
+			}
+			return In{K: K, M: M}
+		default:
+			return In{K: K, M: M}
+		}
+	}
+}
+
+func sameKey(a, b Term) bool { return a.Key() == b.Key() }
+
+// definitelyDifferent reports whether a and b are provably unequal
+// (distinct constants, or tuples with a provably different element).
+func definitelyDifferent(a, b Term) bool {
+	if av, ok := concreteValue(a); ok {
+		if bv, ok := concreteValue(b); ok {
+			return !value.Equal(av, bv)
+		}
+	}
+	ae, aok := tupleParts(a)
+	be, bok := tupleParts(b)
+	if aok && bok {
+		if len(ae) != len(be) {
+			return true
+		}
+		for i := range ae {
+			if definitelyDifferent(ae[i], be[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func tupleParts(t Term) ([]Term, bool) {
+	switch x := t.(type) {
+	case Tuple:
+		return x.Elems, true
+	case Const:
+		if x.V.Kind == value.KindTuple {
+			return constElems(x.V), true
+		}
+	}
+	return nil, false
+}
+
+// concreteValue returns the underlying concrete value of Const and
+// NamedConst terms.
+func concreteValue(t Term) (value.Value, bool) {
+	switch x := t.(type) {
+	case Const:
+		return x.V, true
+	case NamedConst:
+		return x.V, true
+	default:
+		return value.Value{}, false
+	}
+}

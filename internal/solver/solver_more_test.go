@@ -1,0 +1,264 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/value"
+)
+
+func TestNamedConstBehaviour(t *testing.T) {
+	servers := value.NewList(
+		value.TupleOf(value.Str("1.1.1.1"), value.Int(80)),
+		value.TupleOf(value.Str("2.2.2.2"), value.Int(80)),
+	)
+	nc := NamedConst{Name: "servers", V: servers}
+
+	// Renders and keys by name, not by content.
+	if nc.String() != "servers" {
+		t.Errorf("String = %q", nc.String())
+	}
+	if !strings.Contains(nc.Key(), "servers") {
+		t.Errorf("Key = %q", nc.Key())
+	}
+
+	// len() folds to the concrete length.
+	if got := Simplify(Call{Fn: "len", Args: []Term{nc}}); got.String() != "2" {
+		t.Errorf("len(servers) = %s", got)
+	}
+	// Concrete index folds to the element.
+	got := Simplify(Index{X: nc, I: Const{V: value.Int(0)}})
+	if got.String() != `("1.1.1.1", 80)` {
+		t.Errorf("servers[0] = %s", got)
+	}
+	// Symbolic index keeps the name.
+	got = Simplify(Index{X: nc, I: Var{Name: "rr_idx@0"}})
+	if got.String() != "servers[rr_idx@0]" {
+		t.Errorf("servers[sym] = %s", got)
+	}
+	// Eval resolves to the concrete value.
+	v, err := Eval(nc, MapEnv{})
+	if err != nil || v.Kind != value.KindList {
+		t.Errorf("Eval(named const) = %v, %v", v, err)
+	}
+}
+
+func TestNamedConstMapMembership(t *testing.T) {
+	m := value.NewMap()
+	_ = m.Map.Set(value.TupleOf(value.Str("tcp"), value.Int(23)), value.Str("telnet"))
+	nc := NamedConst{Name: "blocked", V: m}
+
+	// Concrete key folds.
+	k := Const{V: value.TupleOf(value.Str("tcp"), value.Int(23))}
+	if got := Simplify(In{K: k, M: nc}); got.String() != "true" {
+		t.Errorf("concrete membership = %s", got)
+	}
+	miss := Const{V: value.TupleOf(value.Str("tcp"), value.Int(80))}
+	if got := Simplify(In{K: miss, M: nc}); got.String() != "false" {
+		t.Errorf("concrete miss = %s", got)
+	}
+	// Symbolic key keeps the atom with the name.
+	symK := Tuple{Elems: []Term{Var{Name: "pkt.proto"}, Var{Name: "pkt.dport"}}}
+	got := Simplify(In{K: symK, M: nc})
+	if got.String() != "(pkt.proto, pkt.dport) in blocked" {
+		t.Errorf("symbolic membership = %s", got)
+	}
+	// Select folds on concrete key.
+	if got := Simplify(Select{M: nc, K: k}); got.String() != `"telnet"` {
+		t.Errorf("select = %s", got)
+	}
+	// Empty named map: any membership is false.
+	empty := NamedConst{Name: "none", V: value.NewMap()}
+	if got := Simplify(In{K: symK, M: empty}); got.String() != "false" {
+		t.Errorf("membership in empty named map = %s", got)
+	}
+}
+
+func TestSymbolicRelationContradictions(t *testing.T) {
+	x := Var{Name: "x"}
+	s := Var{Name: "LIMIT"}
+	unsat := [][]Term{
+		{Bin{Op: "<=", X: x, Y: s}, Bin{Op: ">", X: x, Y: s}},
+		{Bin{Op: "<", X: x, Y: s}, Bin{Op: ">=", X: x, Y: s}},
+		{Bin{Op: "<", X: x, Y: s}, Bin{Op: "==", X: x, Y: s}},
+		{Bin{Op: "<", X: x, Y: s}, Bin{Op: ">", X: x, Y: s}},
+		// flipped orientation on one side
+		{Bin{Op: "<", X: x, Y: s}, Bin{Op: "<", X: s, Y: x}},
+	}
+	for i, c := range unsat {
+		if SatConj(c) {
+			t.Errorf("case %d should be unsat", i)
+		}
+	}
+	sat := [][]Term{
+		{Bin{Op: "<=", X: x, Y: s}, Bin{Op: "<", X: x, Y: s}},
+		{Bin{Op: "!=", X: x, Y: s}, Bin{Op: "<", X: x, Y: s}},
+		{Bin{Op: ">=", X: x, Y: s}, Bin{Op: "<=", X: x, Y: s}}, // x == s possible
+	}
+	for i, c := range sat {
+		if !SatConj(c) {
+			t.Errorf("sat case %d judged unsat", i)
+		}
+	}
+}
+
+func TestEvalBooleanShortCircuit(t *testing.T) {
+	env := MapEnv{"a": value.Bool(true), "b": value.Bool(false), "n": value.Int(3)}
+	cases := []struct {
+		t    Term
+		want bool
+	}{
+		{Bin{Op: "&&", X: Var{Name: "a"}, Y: Var{Name: "b"}}, false},
+		{Bin{Op: "||", X: Var{Name: "a"}, Y: Var{Name: "b"}}, true},
+		{Bin{Op: "||", X: Var{Name: "b"}, Y: Var{Name: "b"}}, false},
+		{Un{Op: "!", X: Var{Name: "b"}}, true},
+		{Bin{Op: "<", X: Var{Name: "n"}, Y: Const{V: value.Int(5)}}, true},
+	}
+	for _, c := range cases {
+		got, err := EvalBool(c.t, env)
+		if err != nil || got != c.want {
+			t.Errorf("EvalBool(%s) = %v, %v; want %v", c.t, got, err, c.want)
+		}
+	}
+	// Short-circuit must not evaluate the unbound right side.
+	got, err := EvalBool(Bin{Op: "&&", X: Var{Name: "b"}, Y: Var{Name: "unbound"}}, env)
+	if err != nil || got {
+		t.Errorf("short-circuit && = %v, %v", got, err)
+	}
+	got, err = EvalBool(Bin{Op: "||", X: Var{Name: "a"}, Y: Var{Name: "unbound"}}, env)
+	if err != nil || !got {
+		t.Errorf("short-circuit || = %v, %v", got, err)
+	}
+}
+
+func TestEvalContains(t *testing.T) {
+	env := MapEnv{"f": value.Str("SA")}
+	got, err := EvalBool(Call{Fn: "contains", Args: []Term{Var{Name: "f"}, Const{V: value.Str("S")}}}, env)
+	if err != nil || !got {
+		t.Errorf("contains(SA, S) = %v, %v", got, err)
+	}
+	got, err = EvalBool(Call{Fn: "contains", Args: []Term{Var{Name: "f"}, Const{V: value.Str("F")}}}, env)
+	if err != nil || got {
+		t.Errorf("contains(SA, F) = %v, %v", got, err)
+	}
+	if _, err := Eval(Call{Fn: "contains", Args: []Term{Const{V: value.Int(1)}, Const{V: value.Str("S")}}}, env); err == nil {
+		t.Error("contains on int did not error")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := MapEnv{"i": value.Int(1), "m": value.NewMap()}
+	bad := []Term{
+		Select{M: Var{Name: "i"}, K: Const{V: value.Int(0)}},                           // index int
+		Store{M: Var{Name: "i"}, K: Const{V: value.Int(0)}, V: Const{V: value.Int(1)}}, // store into int
+		Del{M: Var{Name: "i"}, K: Const{V: value.Int(0)}},
+		In{K: Const{V: value.Int(0)}, M: Var{Name: "i"}},
+		MapVar{Name: "i"}, // bound but not a map
+		MapVar{Name: "absent"},
+		Un{Op: "!", X: Var{Name: "i"}},
+		Bin{Op: "&&", X: Var{Name: "i"}, Y: Var{Name: "i"}},
+		Call{Fn: "hash", Args: []Term{Var{Name: "m"}}}, // unhashable
+		Call{Fn: "len", Args: []Term{Var{Name: "i"}}},
+	}
+	for _, tm := range bad {
+		if _, err := Eval(tm, env); err == nil {
+			t.Errorf("Eval(%s) did not error", tm)
+		}
+	}
+}
+
+func TestTermStringRendering(t *testing.T) {
+	m := MapVar{Name: "m@0"}
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{Store{M: m, K: Var{Name: "k"}, V: Const{V: value.Int(1)}}, "m@0{k := 1}"},
+		{Del{M: m, K: Var{Name: "k"}}, "m@0{del k}"},
+		{Select{M: m, K: Var{Name: "k"}}, "m@0[k]"},
+		{In{K: Var{Name: "k"}, M: m}, "k in m@0"},
+		{Un{Op: "-", X: Var{Name: "x"}}, "-x"},
+		{Call{Fn: "hash", Args: []Term{Var{Name: "x"}}}, "hash(x)"},
+		{Tuple{Elems: []Term{Var{Name: "a"}, Var{Name: "b"}}}, "(a, b)"},
+		{Index{X: Var{Name: "t"}, I: Const{V: value.Int(0)}}, "t[0]"},
+	}
+	for _, c := range cases {
+		if c.t.String() != c.want {
+			t.Errorf("String(%T) = %q, want %q", c.t, c.t.String(), c.want)
+		}
+	}
+}
+
+func TestTermKeysDistinct(t *testing.T) {
+	m := MapVar{Name: "m@0"}
+	terms := []Term{
+		Const{V: value.Int(1)},
+		Var{Name: "x"},
+		NamedConst{Name: "x", V: value.Int(1)},
+		m,
+		Bin{Op: "+", X: Var{Name: "x"}, Y: Const{V: value.Int(1)}},
+		Bin{Op: "-", X: Var{Name: "x"}, Y: Const{V: value.Int(1)}},
+		Un{Op: "-", X: Var{Name: "x"}},
+		Call{Fn: "hash", Args: []Term{Var{Name: "x"}}},
+		Tuple{Elems: []Term{Var{Name: "x"}}},
+		Index{X: Var{Name: "x"}, I: Const{V: value.Int(0)}},
+		Select{M: m, K: Var{Name: "x"}},
+		Store{M: m, K: Var{Name: "x"}, V: Const{V: value.Int(1)}},
+		Del{M: m, K: Var{Name: "x"}},
+		In{K: Var{Name: "x"}, M: m},
+	}
+	seen := map[string]Term{}
+	for _, tm := range terms {
+		k := tm.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision between %s and %s: %q", prev, tm, k)
+		}
+		seen[k] = tm
+	}
+}
+
+func TestSimplifyStoreDelChains(t *testing.T) {
+	m := MapVar{Name: "m@0"}
+	// select through del of a different constant key reaches the base.
+	chain := Del{M: Store{M: m, K: iv(1), V: sv("one")}, K: iv(2)}
+	got := Simplify(Select{M: chain, K: iv(1)})
+	if got.String() != `"one"` {
+		t.Errorf("select through del = %s", got)
+	}
+	// membership of the deleted key is false.
+	if got := Simplify(In{K: iv(2), M: chain}); got.String() != "false" {
+		t.Errorf("membership of deleted key = %s", got)
+	}
+	// tuple keys that definitely differ skip the store.
+	tkey1 := Tuple{Elems: []Term{Var{Name: "pkt.sip"}, iv(1)}}
+	tkey2 := Tuple{Elems: []Term{Var{Name: "pkt.sip"}, iv(2)}}
+	st := Store{M: m, K: tkey1, V: iv(9)}
+	got = Simplify(In{K: tkey2, M: st})
+	if got.Key() != (In{K: tkey2, M: m}).Key() {
+		t.Errorf("definitely-different tuple keys did not skip store: %s", got)
+	}
+	// same symbolic tuple key hits the store.
+	if got := Simplify(In{K: tkey1, M: st}); got.String() != "true" {
+		t.Errorf("same tuple key = %s", got)
+	}
+}
+
+func TestFlattenConjunctions(t *testing.T) {
+	conj := Bin{Op: "&&", X: Bin{Op: "&&", X: Var{Name: "a"}, Y: Var{Name: "b"}}, Y: Var{Name: "c"}}
+	// a && b && c with c == false is unsat via flattening.
+	if SatConj([]Term{conj, Un{Op: "!", X: Var{Name: "c"}}}) {
+		t.Error("flattened conjunction conflict not detected")
+	}
+}
+
+func TestRenameNamedConst(t *testing.T) {
+	nc := NamedConst{Name: "servers", V: value.NewList(value.Int(1))}
+	out := Rename(nc, func(s string) string { return "ns:" + s })
+	if out.String() != "ns:servers" {
+		t.Errorf("renamed = %s", out)
+	}
+	// The value travels with the rename.
+	if v, err := Eval(out, MapEnv{}); err != nil || v.Kind != value.KindList {
+		t.Errorf("Eval(renamed) = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,320 @@
+package solver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nfactor/internal/value"
+)
+
+func iv(i int64) Term  { return Const{V: value.Int(i)} }
+func sv(s string) Term { return Const{V: value.Str(s)} }
+func v(n string) Term  { return Var{Name: n} }
+
+func TestSimplifyConstFold(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{Bin{Op: "+", X: iv(2), Y: iv(3)}, "5"},
+		{Bin{Op: "==", X: sv("a"), Y: sv("a")}, "true"},
+		{Bin{Op: "==", X: v("x"), Y: v("x")}, "true"},
+		{Bin{Op: "!=", X: v("x"), Y: v("x")}, "false"},
+		{Un{Op: "!", X: Const{V: value.Bool(true)}}, "false"},
+		{Bin{Op: "&&", X: CTrue, Y: v("b")}, "b"},
+		{Bin{Op: "||", X: CTrue, Y: v("b")}, "true"},
+		{Bin{Op: "+", X: v("x"), Y: iv(0)}, "x"},
+		{Bin{Op: "*", X: iv(1), Y: v("x")}, "x"},
+		{Call{Fn: "len", Args: []Term{Const{V: value.NewList(value.Int(1), value.Int(2))}}}, "2"},
+		{Index{X: Tuple{Elems: []Term{v("a"), v("b")}}, I: iv(1)}, "b"},
+		{Bin{Op: "<=", X: v("x"), Y: v("x")}, "true"},
+	}
+	for _, c := range cases {
+		got := Simplify(c.in)
+		if got.String() != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	terms := []Term{
+		Bin{Op: "+", X: Bin{Op: "*", X: iv(2), Y: v("x")}, Y: iv(0)},
+		In{K: Tuple{Elems: []Term{v("a"), iv(1)}}, M: Store{M: MapVar{Name: "m@0"}, K: v("k"), V: iv(9)}},
+		Select{M: Store{M: MapVar{Name: "m@0"}, K: iv(1), V: iv(2)}, K: iv(3)},
+	}
+	for _, tm := range terms {
+		once := Simplify(tm)
+		twice := Simplify(once)
+		if once.Key() != twice.Key() {
+			t.Errorf("Simplify not idempotent on %s: %s vs %s", tm, once, twice)
+		}
+	}
+}
+
+func TestSelectStoreAxioms(t *testing.T) {
+	m := MapVar{Name: "m@0"}
+	st := Store{M: m, K: iv(1), V: sv("one")}
+	if got := Simplify(Select{M: st, K: iv(1)}); got.String() != `"one"` {
+		t.Errorf("select same key = %s", got)
+	}
+	if got := Simplify(Select{M: st, K: iv(2)}); got.Key() != (Select{M: m, K: iv(2)}).Key() {
+		t.Errorf("select different const key = %s, want lookup in base", got)
+	}
+	sym := Select{M: st, K: v("k")}
+	if got := Simplify(sym); got.Key() != sym.Key() {
+		t.Errorf("select symbolic key should not reduce: %s", got)
+	}
+}
+
+func TestInStoreDelAxioms(t *testing.T) {
+	m := MapVar{Name: "m@0"}
+	st := Store{M: m, K: iv(1), V: sv("one")}
+	if got := Simplify(In{K: iv(1), M: st}); got.String() != "true" {
+		t.Errorf("in stored key = %s", got)
+	}
+	if got := Simplify(In{K: iv(2), M: st}); got.Key() != (In{K: iv(2), M: m}).Key() {
+		t.Errorf("in other key = %s", got)
+	}
+	d := Del{M: m, K: iv(5)}
+	if got := Simplify(In{K: iv(5), M: d}); got.String() != "false" {
+		t.Errorf("in deleted key = %s", got)
+	}
+	// Membership in a concrete empty map is false even for symbolic keys.
+	empty := Const{V: value.NewMap()}
+	if got := Simplify(In{K: v("k"), M: empty}); got.String() != "false" {
+		t.Errorf("in empty map = %s", got)
+	}
+}
+
+func TestTupleEqualityDecomposition(t *testing.T) {
+	a := Tuple{Elems: []Term{v("x"), iv(1)}}
+	b := Tuple{Elems: []Term{v("y"), iv(1)}}
+	got := Simplify(Bin{Op: "==", X: a, Y: b})
+	if got.String() != "(x == y)" {
+		t.Errorf("tuple eq = %s", got)
+	}
+	c := Tuple{Elems: []Term{v("x"), iv(2)}}
+	if got := Simplify(Bin{Op: "==", X: a, Y: c}); got.String() != "false" {
+		t.Errorf("tuple eq with conflicting consts = %s", got)
+	}
+	d := Tuple{Elems: []Term{v("x")}}
+	if got := Simplify(Bin{Op: "==", X: a, Y: d}); got.String() != "false" {
+		t.Errorf("tuple eq different arity = %s", got)
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Not(CTrue).String() != "false" {
+		t.Error("!true")
+	}
+	if got := Not(Bin{Op: "==", X: v("x"), Y: iv(1)}); got.String() != "(x != 1)" {
+		t.Errorf("negated == = %s", got)
+	}
+	if got := Not(Not(v("b"))); got.String() != "b" {
+		t.Errorf("double negation = %s", got)
+	}
+	if got := Not(Bin{Op: "<", X: v("x"), Y: iv(5)}); got.String() != "(x >= 5)" {
+		t.Errorf("negated < = %s", got)
+	}
+}
+
+func TestSatConjBasics(t *testing.T) {
+	x := v("x")
+	sat := []([]Term){
+		{Bin{Op: "==", X: x, Y: iv(1)}},
+		{Bin{Op: "<", X: x, Y: iv(10)}, Bin{Op: ">", X: x, Y: iv(5)}},
+		{In{K: x, M: MapVar{Name: "m@0"}}},
+		{Bin{Op: "==", X: x, Y: iv(1)}, Bin{Op: "!=", X: v("y"), Y: iv(1)}},
+	}
+	for i, c := range sat {
+		if !SatConj(c) {
+			t.Errorf("case %d should be sat", i)
+		}
+	}
+	unsat := []([]Term){
+		{Bin{Op: "==", X: x, Y: iv(1)}, Bin{Op: "==", X: x, Y: iv(2)}},
+		{Bin{Op: "==", X: x, Y: iv(1)}, Bin{Op: "!=", X: x, Y: iv(1)}},
+		{Bin{Op: "<", X: x, Y: iv(5)}, Bin{Op: ">", X: x, Y: iv(5)}},
+		{Bin{Op: "<=", X: x, Y: iv(5)}, Bin{Op: ">=", X: x, Y: iv(6)}},
+		{CFalse},
+		{In{K: x, M: MapVar{Name: "m@0"}}, Not(In{K: x, M: MapVar{Name: "m@0"}})},
+		{Bin{Op: "==", X: x, Y: sv("RR")}, Bin{Op: "==", X: x, Y: sv("HASH")}},
+	}
+	for i, c := range unsat {
+		if SatConj(c) {
+			t.Errorf("case %d should be unsat", i)
+		}
+	}
+}
+
+func TestSatConjEqualityPropagation(t *testing.T) {
+	x, y := v("x"), v("y")
+	// x == y, x == 1, y == 2 → unsat
+	if SatConj([]Term{
+		Bin{Op: "==", X: x, Y: y},
+		Bin{Op: "==", X: x, Y: iv(1)},
+		Bin{Op: "==", X: y, Y: iv(2)},
+	}) {
+		t.Error("transitive equality conflict not detected")
+	}
+	// x == y, x != y → unsat
+	if SatConj([]Term{
+		Bin{Op: "==", X: x, Y: y},
+		Bin{Op: "!=", X: x, Y: y},
+	}) {
+		t.Error("eq/neq conflict not detected")
+	}
+	// congruence through membership: x == 1, (x in m), !(1 in m) → unsat
+	m := MapVar{Name: "m@0"}
+	if SatConj([]Term{
+		Bin{Op: "==", X: x, Y: iv(1)},
+		In{K: x, M: m},
+		Not(In{K: iv(1), M: m}),
+	}) {
+		t.Error("membership congruence conflict not detected")
+	}
+}
+
+func TestSatConjMembershipThroughStore(t *testing.T) {
+	m := MapVar{Name: "m@0"}
+	k := v("k")
+	// k in store(m, k, v) is a tautology; its negation is unsat.
+	if SatConj([]Term{Not(Simplify(In{K: k, M: Store{M: m, K: k, V: iv(1)}}))}) {
+		t.Error("negated membership of just-stored key should be unsat")
+	}
+}
+
+func TestSatConjExcludedSingleton(t *testing.T) {
+	x := v("x")
+	// 3 <= x <= 3 and x != 3 → unsat
+	if SatConj([]Term{
+		Bin{Op: ">=", X: x, Y: iv(3)},
+		Bin{Op: "<=", X: x, Y: iv(3)},
+		Bin{Op: "!=", X: x, Y: iv(3)},
+	}) {
+		t.Error("excluded singleton not detected")
+	}
+}
+
+func TestImplication(t *testing.T) {
+	x := v("x")
+	from := []Term{Bin{Op: "==", X: x, Y: iv(5)}}
+	if !Implies(from, Bin{Op: ">", X: x, Y: iv(3)}) {
+		t.Error("x==5 should imply x>3")
+	}
+	if Implies(from, Bin{Op: ">", X: x, Y: iv(7)}) {
+		t.Error("x==5 should not imply x>7")
+	}
+	a := []Term{Bin{Op: "==", X: x, Y: iv(5)}, In{K: x, M: MapVar{Name: "m@0"}}}
+	b := []Term{In{K: iv(5), M: MapVar{Name: "m@0"}}, Bin{Op: "==", X: x, Y: iv(5)}}
+	if !EquivConj(a, b) {
+		t.Error("equivalent conjunctions not recognized")
+	}
+}
+
+func TestEval(t *testing.T) {
+	env := MapEnv{
+		"pkt.sport": value.Int(1234),
+		"m@0":       value.NewMap(),
+		"mode":      value.Str("RR"),
+	}
+	_ = env["m@0"].Map.Set(value.Int(1), value.Str("one"))
+
+	got, err := Eval(Bin{Op: "+", X: v("pkt.sport"), Y: iv(1)}, env)
+	if err != nil || got.I != 1235 {
+		t.Errorf("eval add = %v, %v", got, err)
+	}
+	b, err := EvalBool(In{K: iv(1), M: MapVar{Name: "m@0"}}, env)
+	if err != nil || !b {
+		t.Errorf("eval in = %v, %v", b, err)
+	}
+	got, err = Eval(Select{M: MapVar{Name: "m@0"}, K: iv(1)}, env)
+	if err != nil || got.S != "one" {
+		t.Errorf("eval select = %v, %v", got, err)
+	}
+	// Store evaluates functionally: env map unchanged.
+	got, err = Eval(Store{M: MapVar{Name: "m@0"}, K: iv(2), V: sv("two")}, env)
+	if err != nil || got.Map.Len() != 2 {
+		t.Errorf("eval store = %v, %v", got, err)
+	}
+	if env["m@0"].Map.Len() != 1 {
+		t.Error("Eval(Store) mutated the environment")
+	}
+	// Del
+	got, err = Eval(Del{M: MapVar{Name: "m@0"}, K: iv(1)}, env)
+	if err != nil || got.Map.Len() != 0 {
+		t.Errorf("eval del = %v, %v", got, err)
+	}
+	// Errors
+	if _, err := Eval(v("absent"), env); err == nil {
+		t.Error("unbound var did not error")
+	}
+	if _, err := Eval(Call{Fn: "mystery", Args: nil}, env); err == nil {
+		t.Error("uninterpreted call did not error")
+	}
+}
+
+func TestEvalHashMatchesValueHash(t *testing.T) {
+	env := MapEnv{"pkt.sip": value.Str("1.2.3.4")}
+	got, err := Eval(Call{Fn: "hash", Args: []Term{v("pkt.sip")}}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := value.Hash(value.Str("1.2.3.4"))
+	if got.I != want {
+		t.Error("solver hash differs from value hash")
+	}
+}
+
+func TestRenameAndVars(t *testing.T) {
+	tm := Bin{Op: "==", X: Select{M: MapVar{Name: "m@0"}, K: v("k")}, Y: v("x")}
+	vs := Vars(tm)
+	if len(vs) != 3 || vs[0] != "k" || vs[1] != "m@0" || vs[2] != "x" {
+		t.Errorf("Vars = %v", vs)
+	}
+	rn := Rename(tm, func(s string) string { return s + "!" })
+	vs = Vars(rn)
+	if vs[0] != "k!" || vs[1] != "m@0!" || vs[2] != "x!" {
+		t.Errorf("renamed vars = %v", vs)
+	}
+}
+
+// Property: for random small integer constraints a<=x<=b, SatConj agrees
+// with the obvious emptiness check.
+func TestIntervalSatProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		lits := []Term{
+			Bin{Op: ">=", X: v("x"), Y: iv(int64(a))},
+			Bin{Op: "<=", X: v("x"), Y: iv(int64(b))},
+		}
+		return SatConj(lits) == (int64(a) <= int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Simplify never changes the concrete meaning of a term built
+// from +,-,* over two variables.
+func TestSimplifySemanticsProperty(t *testing.T) {
+	ops := []string{"+", "-", "*"}
+	f := func(ai, bi int16, opIdx uint8, zero bool) bool {
+		op := ops[int(opIdx)%3]
+		var y Term = v("y")
+		if zero {
+			y = iv(0)
+		}
+		tm := Bin{Op: op, X: v("x"), Y: y}
+		env := MapEnv{"x": value.Int(int64(ai)), "y": value.Int(int64(bi))}
+		v1, err1 := Eval(tm, env)
+		v2, err2 := Eval(Simplify(tm), env)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v1.I == v2.I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package solver implements the term language and the SMT-lite decision
+// procedure behind NFactor's symbolic executor — the KLEE substitute.
+//
+// Terms represent symbolic values: packet header fields, the NF's initial
+// state (scalars and maps), arithmetic over them, uninterpreted hash, map
+// store chains and membership atoms. Path conditions are conjunctions of
+// boolean terms; SatConj decides (conservatively: "satisfiable unless
+// proven otherwise") whether a conjunction is feasible, which is what
+// prunes infeasible branches during path exploration.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/value"
+)
+
+// Term is a symbolic expression.
+type Term interface {
+	isTerm()
+	// Key returns a canonical structural encoding (used for congruence
+	// classes, dedup and path canonicalization).
+	Key() string
+	// String renders the term in NFLang-like concrete syntax (used for
+	// Figure 6-style model rendering).
+	String() string
+}
+
+// Const is a concrete value.
+type Const struct{ V value.Value }
+
+// Var is a symbolic scalar: a packet field ("pkt.sip"), the initial value
+// of a state scalar ("rr_idx@0") or a symbolic configuration scalar
+// ("mode").
+type Var struct{ Name string }
+
+// NamedConst is a configuration value with a known concrete content that
+// should nevertheless be referenced by NAME in the model: composite
+// configuration like the backend list `servers` or the rule table
+// `blocked`. It folds like a constant wherever a concrete value is
+// required (len, concrete indexing, membership of concrete keys) but
+// survives symbolically otherwise, so the synthesized model reads
+// "servers[rr_idx]" (Figure 6) rather than an inlined literal.
+type NamedConst struct {
+	Name string
+	V    value.Value
+}
+
+// MapVar is the symbolic snapshot of a state map at invocation entry
+// ("f2b_nat@0").
+type MapVar struct{ Name string }
+
+// Bin is a binary operation (+ - * / % == != < <= > >= && ||).
+type Bin struct {
+	Op   string
+	X, Y Term
+}
+
+// Un is a unary operation (! -).
+type Un struct {
+	Op string
+	X  Term
+}
+
+// Call is an uninterpreted or semi-interpreted function application
+// (hash, len).
+type Call struct {
+	Fn   string
+	Args []Term
+}
+
+// Tuple is a tuple construction.
+type Tuple struct{ Elems []Term }
+
+// Index is container[idx] over a tuple/list term.
+type Index struct{ X, I Term }
+
+// Select is map lookup M[k].
+type Select struct{ M, K Term }
+
+// Store is the map M with k set to v (functional update).
+type Store struct{ M, K, V Term }
+
+// Del is the map M with k removed.
+type Del struct{ M, K Term }
+
+// In is the membership test k in M (a boolean-valued term).
+type In struct{ K, M Term }
+
+func (Const) isTerm()      {}
+func (Var) isTerm()        {}
+func (NamedConst) isTerm() {}
+func (MapVar) isTerm()     {}
+func (Bin) isTerm()        {}
+func (Un) isTerm()         {}
+func (Call) isTerm()       {}
+func (Tuple) isTerm()      {}
+func (Index) isTerm()      {}
+func (Select) isTerm()     {}
+func (Store) isTerm()      {}
+func (Del) isTerm()        {}
+func (In) isTerm()         {}
+
+// Key implementations — injective structural encodings.
+
+func (t Const) Key() string {
+	if k, err := t.V.Key(); err == nil {
+		return "c:" + k
+	}
+	return "c:" + t.V.String()
+}
+func (t Var) Key() string        { return "v:" + t.Name }
+func (t NamedConst) Key() string { return "nc:" + t.Name }
+func (t MapVar) Key() string     { return "m:" + t.Name }
+func (t Bin) Key() string        { return "b:" + t.Op + "(" + t.X.Key() + "," + t.Y.Key() + ")" }
+func (t Un) Key() string         { return "u:" + t.Op + "(" + t.X.Key() + ")" }
+func (t Call) Key() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.Key()
+	}
+	return "f:" + t.Fn + "(" + strings.Join(parts, ",") + ")"
+}
+func (t Tuple) Key() string {
+	parts := make([]string, len(t.Elems))
+	for i, e := range t.Elems {
+		parts[i] = e.Key()
+	}
+	return "t:(" + strings.Join(parts, ",") + ")"
+}
+func (t Index) Key() string  { return "i:(" + t.X.Key() + ")[" + t.I.Key() + "]" }
+func (t Select) Key() string { return "sel:(" + t.M.Key() + ")[" + t.K.Key() + "]" }
+func (t Store) Key() string {
+	return "sto:(" + t.M.Key() + ")[" + t.K.Key() + ":=" + t.V.Key() + "]"
+}
+func (t Del) Key() string { return "del:(" + t.M.Key() + ")[" + t.K.Key() + "]" }
+func (t In) Key() string  { return "in:(" + t.K.Key() + ")in(" + t.M.Key() + ")" }
+
+// String implementations — readable rendering.
+
+func (t Const) String() string      { return t.V.String() }
+func (t Var) String() string        { return t.Name }
+func (t NamedConst) String() string { return t.Name }
+func (t MapVar) String() string     { return t.Name }
+func (t Bin) String() string {
+	return "(" + t.X.String() + " " + t.Op + " " + t.Y.String() + ")"
+}
+func (t Un) String() string { return t.Op + t.X.String() }
+func (t Call) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return t.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, e := range t.Elems {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+func (t Index) String() string  { return t.X.String() + "[" + t.I.String() + "]" }
+func (t Select) String() string { return t.M.String() + "[" + t.K.String() + "]" }
+func (t Store) String() string {
+	return t.M.String() + "{" + t.K.String() + " := " + t.V.String() + "}"
+}
+func (t Del) String() string { return t.M.String() + "{del " + t.K.String() + "}" }
+func (t In) String() string  { return t.K.String() + " in " + t.M.String() }
+
+// CTrue and CFalse are the boolean constants.
+var (
+	CTrue  = Const{V: value.Bool(true)}
+	CFalse = Const{V: value.Bool(false)}
+)
+
+// IsConstBool reports whether t is the constant true/false.
+func IsConstBool(t Term) (b, ok bool) {
+	c, isC := t.(Const)
+	if !isC || c.V.Kind != value.KindBool {
+		return false, false
+	}
+	return c.V.B, true
+}
+
+// Not returns the logical negation of t, simplified one level.
+func Not(t Term) Term {
+	if b, ok := IsConstBool(t); ok {
+		return Const{V: value.Bool(!b)}
+	}
+	if u, ok := t.(Un); ok && u.Op == "!" {
+		return u.X
+	}
+	if b, ok := t.(Bin); ok {
+		if neg, ok := negCmp[b.Op]; ok {
+			return Bin{Op: neg, X: b.X, Y: b.Y}
+		}
+	}
+	return Un{Op: "!", X: t}
+}
+
+var negCmp = map[string]string{
+	"==": "!=", "!=": "==",
+	"<": ">=", ">=": "<",
+	">": "<=", "<=": ">",
+}
+
+// Vars returns the names of all Var leaves of t, sorted.
+func Vars(t Term) []string {
+	set := map[string]bool{}
+	var walk func(Term)
+	walk = func(t Term) {
+		switch x := t.(type) {
+		case Var:
+			set[x.Name] = true
+		case MapVar:
+			set[x.Name] = true
+		case Bin:
+			walk(x.X)
+			walk(x.Y)
+		case Un:
+			walk(x.X)
+		case Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case Tuple:
+			for _, e := range x.Elems {
+				walk(e)
+			}
+		case Index:
+			walk(x.X)
+			walk(x.I)
+		case Select:
+			walk(x.M)
+			walk(x.K)
+		case Store:
+			walk(x.M)
+			walk(x.K)
+			walk(x.V)
+		case Del:
+			walk(x.M)
+			walk(x.K)
+		case In:
+			walk(x.K)
+			walk(x.M)
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rename returns t with every Var/MapVar renamed through f.
+func Rename(t Term, f func(string) string) Term {
+	switch x := t.(type) {
+	case Var:
+		return Var{Name: f(x.Name)}
+	case NamedConst:
+		return NamedConst{Name: f(x.Name), V: x.V}
+	case MapVar:
+		return MapVar{Name: f(x.Name)}
+	case Bin:
+		return Bin{Op: x.Op, X: Rename(x.X, f), Y: Rename(x.Y, f)}
+	case Un:
+		return Un{Op: x.Op, X: Rename(x.X, f)}
+	case Call:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Rename(a, f)
+		}
+		return Call{Fn: x.Fn, Args: args}
+	case Tuple:
+		elems := make([]Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = Rename(e, f)
+		}
+		return Tuple{Elems: elems}
+	case Index:
+		return Index{X: Rename(x.X, f), I: Rename(x.I, f)}
+	case Select:
+		return Select{M: Rename(x.M, f), K: Rename(x.K, f)}
+	case Store:
+		return Store{M: Rename(x.M, f), K: Rename(x.K, f), V: Rename(x.V, f)}
+	case Del:
+		return Del{M: Rename(x.M, f), K: Rename(x.K, f)}
+	case In:
+		return In{K: Rename(x.K, f), M: Rename(x.M, f)}
+	default:
+		return t
+	}
+}
+
+// fmt check
+var _ = fmt.Sprintf

@@ -1,0 +1,201 @@
+// Package statealyzer computes the variable features defined by
+// StateAlyzer (Khalid et al., NSDI'16 — the paper's reference [16]) and
+// the finer-grained NFactor categorization of Table 1:
+//
+//	pktVar — packet I/O function parameter/return value
+//	cfgVar — persistent, top-level, not updateable
+//	oisVar — persistent, top-level, updateable, output-impacting
+//	logVar — persistent, top-level, updateable, not output-impacting
+//
+// Unlike the original StateAlyzer, NFactor runs the classification on the
+// packet-processing slice rather than on the whole program (§3.1), which
+// is how output-impacting is decided here: a variable is output-impacting
+// when it appears in the backward slice of the packet output statements.
+package statealyzer
+
+import (
+	"sort"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/slice"
+)
+
+// Category is the NFactor variable category.
+type Category int
+
+// Categories of Table 1 (plus Local for non-persistent temporaries).
+const (
+	CatLocal Category = iota
+	CatPkt
+	CatCfg
+	CatOIS
+	CatLog
+)
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	switch c {
+	case CatPkt:
+		return "pktVar"
+	case CatCfg:
+		return "cfgVar"
+	case CatOIS:
+		return "oisVar"
+	case CatLog:
+		return "logVar"
+	default:
+		return "local"
+	}
+}
+
+// Features are the StateAlyzer variable features (§2.1).
+type Features struct {
+	Persistent      bool // lifetime longer than the packet processing loop
+	TopLevel        bool // actually used during packet processing
+	Updateable      bool // assigned during packet processing
+	OutputImpacting bool // appears in the packet-output backward slice
+}
+
+// Result is the classification of every variable in the program.
+type Result struct {
+	Features map[string]Features
+	Category map[string]Category
+}
+
+// Promote upgrades a variable to the output-impacting category. The
+// NFactor pipeline calls this while closing the oisVar set transitively:
+// a log-classified variable whose value flows into an oisVar update in a
+// LATER invocation (e.g. a strike counter feeding a quarantine set) is
+// output-impacting too, even though it never appears in a single
+// invocation's packet slice.
+func (r *Result) Promote(v string) {
+	if f, ok := r.Features[v]; ok && r.Category[v] == CatLog {
+		f.OutputImpacting = true
+		r.Features[v] = f
+		r.Category[v] = CatOIS
+	}
+}
+
+// Vars returns the variables of category c, sorted.
+func (r *Result) Vars(c Category) []string {
+	var out []string
+	for v, cat := range r.Category {
+		if cat == c {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PktVars returns the packet variables.
+func (r *Result) PktVars() []string { return r.Vars(CatPkt) }
+
+// CfgVars returns the configuration variables.
+func (r *Result) CfgVars() []string { return r.Vars(CatCfg) }
+
+// OISVars returns the output-impacting state variables.
+func (r *Result) OISVars() []string { return r.Vars(CatOIS) }
+
+// LogVars returns the non-output-impacting (log) state variables.
+func (r *Result) LogVars() []string { return r.Vars(CatLog) }
+
+// Analyze classifies every variable of the analyzer's program. pktSlice is
+// the packet-processing slice (AST statement IDs) previously computed by
+// Algorithm 1 lines 1-4.
+func Analyze(a *slice.Analyzer, pktSlice map[int]bool) *Result {
+	prog := a.Prog
+	fn := prog.Func(a.Entry)
+
+	persistent := map[string]bool{}
+	for _, g := range prog.Globals {
+		for _, l := range g.LHS {
+			persistent[l.(*lang.Ident).Name] = true
+		}
+	}
+
+	topLevel := map[string]bool{}
+	updateable := map[string]bool{}
+	var walkBody func(s lang.Stmt)
+	walkBody = func(s lang.Stmt) {
+		for _, v := range lang.Uses(s) {
+			topLevel[v] = true
+		}
+		for _, v := range lang.Defs(s) {
+			topLevel[v] = true
+			updateable[v] = true
+		}
+		switch st := s.(type) {
+		case *lang.BlockStmt:
+			for _, c := range st.Stmts {
+				walkBody(c)
+			}
+		case *lang.IfStmt:
+			walkBody(st.Then)
+			if st.Else != nil {
+				walkBody(st.Else)
+			}
+		case *lang.WhileStmt:
+			walkBody(st.Body)
+		case *lang.ForStmt:
+			walkBody(st.Body)
+		}
+	}
+	walkBody(fn.Body)
+
+	outputImpacting := map[string]bool{}
+	prog.WalkStmts(func(s lang.Stmt) {
+		if !pktSlice[s.StmtID()] {
+			return
+		}
+		for _, v := range lang.Uses(s) {
+			outputImpacting[v] = true
+		}
+		for _, v := range lang.Defs(s) {
+			outputImpacting[v] = true
+		}
+	})
+
+	res := &Result{
+		Features: map[string]Features{},
+		Category: map[string]Category{},
+	}
+	allVars := map[string]bool{}
+	for v := range persistent {
+		allVars[v] = true
+	}
+	for v := range topLevel {
+		allVars[v] = true
+	}
+	for _, p := range fn.Params {
+		allVars[p] = true
+	}
+
+	params := map[string]bool{}
+	for _, p := range fn.Params {
+		params[p] = true
+	}
+
+	for v := range allVars {
+		f := Features{
+			Persistent:      persistent[v],
+			TopLevel:        topLevel[v],
+			Updateable:      updateable[v],
+			OutputImpacting: outputImpacting[v],
+		}
+		res.Features[v] = f
+		switch {
+		case params[v]:
+			res.Category[v] = CatPkt
+		case f.Persistent && f.TopLevel && !f.Updateable:
+			res.Category[v] = CatCfg
+		case f.Persistent && f.TopLevel && f.Updateable && f.OutputImpacting:
+			res.Category[v] = CatOIS
+		case f.Persistent && f.TopLevel && f.Updateable:
+			res.Category[v] = CatLog
+		default:
+			res.Category[v] = CatLocal
+		}
+	}
+	return res
+}

@@ -1,0 +1,171 @@
+package statealyzer
+
+import (
+	"reflect"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/slice"
+)
+
+// lbSrc is the paper's Figure 1 load balancer; Table 1 gives its expected
+// categorization.
+const lbSrc = `
+mode = "RR";
+LB_IP = "3.3.3.3";
+LB_PORT = 80;
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+f2b_nat = {};
+b2f_nat = {};
+rr_idx = 0;
+cur_port = 10000;
+pass_stat = 0;
+drop_stat = 0;
+
+func process(pkt) {
+    si, di = pkt.sip, pkt.dip;
+    sp, dp = pkt.sport, pkt.dport;
+    if dp == LB_PORT {
+        cs_ftpl = (si, sp, di, dp);
+        sc_ftpl = (di, dp, si, sp);
+        if !(cs_ftpl in f2b_nat) {
+            if mode == "RR" {
+                server = servers[rr_idx];
+                rr_idx = (rr_idx + 1) % len(servers);
+            } else {
+                server = servers[hash(si) % len(servers)];
+            }
+            n_port = cur_port;
+            cur_port = cur_port + 1;
+            cs_btpl = (LB_IP, n_port, server[0], server[1]);
+            sc_btpl = (server[0], server[1], LB_IP, n_port);
+            f2b_nat[cs_ftpl] = cs_btpl;
+            b2f_nat[sc_btpl] = sc_ftpl;
+            nat_tpl = cs_btpl;
+        } else {
+            nat_tpl = f2b_nat[cs_ftpl];
+        }
+    } else {
+        sc_btpl = (si, sp, di, dp);
+        if sc_btpl in b2f_nat {
+            nat_tpl = b2f_nat[sc_btpl];
+        } else {
+            drop_stat = drop_stat + 1;
+            return;
+        }
+    }
+    pass_stat = pass_stat + 1;
+    pkt.sip = nat_tpl[0];
+    pkt.sport = nat_tpl[1];
+    pkt.dip = nat_tpl[2];
+    pkt.dport = nat_tpl[3];
+    send(pkt);
+}
+`
+
+func analyzeLB(t *testing.T) *Result {
+	t.Helper()
+	a, err := slice.NewAnalyzer(lang.MustParse(lbSrc), "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sends []int
+	a.Prog.WalkStmts(func(s lang.Stmt) {
+		if es, ok := s.(*lang.ExprStmt); ok {
+			if c, ok := es.X.(*lang.CallExpr); ok && c.Fun == "send" {
+				sends = append(sends, s.StmtID())
+			}
+		}
+	})
+	pktSlice, err := a.Backward(sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(a, pktSlice)
+}
+
+func TestTable1Categorization(t *testing.T) {
+	res := analyzeLB(t)
+	if got := res.PktVars(); !reflect.DeepEqual(got, []string{"pkt"}) {
+		t.Errorf("pktVars = %v, want [pkt]", got)
+	}
+	wantCfg := []string{"LB_IP", "LB_PORT", "mode", "servers"}
+	if got := res.CfgVars(); !reflect.DeepEqual(got, wantCfg) {
+		t.Errorf("cfgVars = %v, want %v", got, wantCfg)
+	}
+	wantOIS := []string{"b2f_nat", "cur_port", "f2b_nat", "rr_idx"}
+	if got := res.OISVars(); !reflect.DeepEqual(got, wantOIS) {
+		t.Errorf("oisVars = %v, want %v", got, wantOIS)
+	}
+	wantLog := []string{"drop_stat", "pass_stat"}
+	if got := res.LogVars(); !reflect.DeepEqual(got, wantLog) {
+		t.Errorf("logVars = %v, want %v", got, wantLog)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	res := analyzeLB(t)
+	f := res.Features["rr_idx"]
+	if !f.Persistent || !f.TopLevel || !f.Updateable || !f.OutputImpacting {
+		t.Errorf("rr_idx features = %+v, want all true", f)
+	}
+	f = res.Features["pass_stat"]
+	if !f.Persistent || !f.TopLevel || !f.Updateable || f.OutputImpacting {
+		t.Errorf("pass_stat features = %+v, want output-impacting false", f)
+	}
+	f = res.Features["mode"]
+	if !f.Persistent || !f.TopLevel || f.Updateable {
+		t.Errorf("mode features = %+v, want not updateable", f)
+	}
+	f = res.Features["si"]
+	if f.Persistent {
+		t.Errorf("local si marked persistent: %+v", f)
+	}
+	if res.Category["si"] != CatLocal {
+		t.Errorf("si category = %v, want local", res.Category["si"])
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	cases := map[Category]string{
+		CatPkt: "pktVar", CatCfg: "cfgVar", CatOIS: "oisVar",
+		CatLog: "logVar", CatLocal: "local",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestUnusedGlobalNotTopLevel(t *testing.T) {
+	a, err := slice.NewAnalyzer(lang.MustParse(`
+used = 1;
+unused = 2;
+func process(pkt) {
+    pkt.ttl = used;
+    send(pkt);
+}`), "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sends []int
+	a.Prog.WalkStmts(func(s lang.Stmt) {
+		if es, ok := s.(*lang.ExprStmt); ok {
+			if c, ok := es.X.(*lang.CallExpr); ok && c.Fun == "send" {
+				sends = append(sends, s.StmtID())
+			}
+		}
+	})
+	pktSlice, err := a.Backward(sends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(a, pktSlice)
+	if res.Features["unused"].TopLevel {
+		t.Error("unused global marked top-level")
+	}
+	if res.Category["used"] != CatCfg {
+		t.Errorf("used category = %v, want cfgVar", res.Category["used"])
+	}
+}

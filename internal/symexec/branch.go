@@ -1,0 +1,67 @@
+package symexec
+
+import "nfactor/internal/solver"
+
+// alternatives enumerates the disjoint literal sets under which the
+// boolean term c evaluates to want. This is how compound conditions
+// (&&, ||, !) are decomposed into primitive branch literals, mirroring
+// how a compiler would have lowered them to nested branches before KLEE
+// saw them.
+//
+//	alternatives(a && b, true)  = {a,b}
+//	alternatives(a && b, false) = {¬a} ∪ {a,¬b}
+//	alternatives(a || b, true)  = {a} ∪ {¬a,b}
+//	alternatives(a || b, false) = {¬a,¬b}
+//
+// The union of returned sets is exhaustive and pairwise disjoint, so path
+// counting is not inflated by overlapping forks.
+func alternatives(c solver.Term, want bool) [][]solver.Term {
+	c = solver.Simplify(c)
+	if b, ok := solver.IsConstBool(c); ok {
+		if b == want {
+			return [][]solver.Term{{}}
+		}
+		return nil
+	}
+	switch x := c.(type) {
+	case solver.Un:
+		if x.Op == "!" {
+			return alternatives(x.X, !want)
+		}
+	case solver.Bin:
+		switch x.Op {
+		case "&&":
+			if want {
+				return cross(alternatives(x.X, true), alternatives(x.Y, true))
+			}
+			out := alternatives(x.X, false)
+			out = append(out, cross(alternatives(x.X, true), alternatives(x.Y, false))...)
+			return out
+		case "||":
+			if want {
+				out := alternatives(x.X, true)
+				out = append(out, cross(alternatives(x.X, false), alternatives(x.Y, true))...)
+				return out
+			}
+			return cross(alternatives(x.X, false), alternatives(x.Y, false))
+		}
+	}
+	// Primitive literal.
+	if want {
+		return [][]solver.Term{{c}}
+	}
+	return [][]solver.Term{{solver.Not(c)}}
+}
+
+func cross(a, b [][]solver.Term) [][]solver.Term {
+	var out [][]solver.Term
+	for _, x := range a {
+		for _, y := range b {
+			merged := make([]solver.Term, 0, len(x)+len(y))
+			merged = append(merged, x...)
+			merged = append(merged, y...)
+			out = append(out, merged)
+		}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package symexec
+
+import (
+	"fmt"
+
+	"nfactor/internal/interp"
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Run symbolically executes prog's entry function over one symbolic
+// packet. The program must have user calls inlined (slice.NewAnalyzer and
+// core.Pipeline do this); encountering a user-function call is an error.
+func Run(prog *lang.Program, entry string, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	fn := prog.Func(entry)
+	if fn == nil {
+		return nil, fmt.Errorf("symexec: no function %q", entry)
+	}
+	if len(fn.Params) != 1 {
+		return nil, fmt.Errorf("symexec: %s must take exactly one packet parameter", entry)
+	}
+
+	// Concretely evaluate the global initializers (the prelude runs before
+	// any packet arrives, so it is deterministic), then symbolize the
+	// configured subset.
+	ci, err := interp.New(prog, entry, interp.Options{ConfigOverride: o.ConfigOverride})
+	if err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	initGlobals := map[string]solver.Term{}
+	for name, v := range ci.Globals() {
+		var t solver.Term = solver.Const{V: v}
+		switch {
+		case o.StateVars[name]:
+			if v.Kind == value.KindMap {
+				t = solver.MapVar{Name: name + "@0"}
+			} else {
+				t = solver.Var{Name: name + "@0"}
+			}
+		case o.ConfigVars[name] && isScalar(v) && o.ConfigOverride[name].Kind == value.KindNil:
+			t = solver.Var{Name: name}
+		case o.ConfigVars[name] && !isScalar(v):
+			// Composite configuration (backend lists, rule tables) keeps
+			// its name in the model but folds where a concrete value is
+			// required.
+			t = solver.NamedConst{Name: name, V: v}
+		}
+		initGlobals[name] = t
+	}
+
+	e := &engine{prog: prog, entry: entry, opts: o, initGlobals: initGlobals, res: &Result{}}
+
+	st := &mstate{
+		locals:  map[string]solver.Term{},
+		globals: map[string]solver.Term{},
+		pkts:    []map[string]solver.Term{{}},
+		visited: map[int]bool{},
+	}
+	for k, v := range initGlobals {
+		st.globals[k] = v
+	}
+	st.locals[fn.Params[0]] = pktRefTerm(0)
+	st.frames = []frame{{kind: frameBlock, stmts: fn.Body.Stmts}}
+
+	stack := []*mstate{st}
+	for len(stack) > 0 {
+		if len(e.res.Paths) >= e.opts.MaxPaths {
+			e.res.Exhausted = true
+			break
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		forks, err := e.runToEvent(cur)
+		if err != nil {
+			return nil, err
+		}
+		// LIFO: push in reverse so the first fork is explored first.
+		for i := len(forks) - 1; i >= 0; i-- {
+			stack = append(stack, forks[i])
+		}
+	}
+	return e.res, nil
+}
+
+func isScalar(v value.Value) bool {
+	switch v.Kind {
+	case value.KindInt, value.KindStr, value.KindBool:
+		return true
+	default:
+		return false
+	}
+}
+
+type engine struct {
+	prog        *lang.Program
+	entry       string
+	opts        Options
+	initGlobals map[string]solver.Term
+	res         *Result
+}
+
+// runToEvent advances st until the path completes (recorded, returns nil
+// forks) or the state forks (returns the children).
+func (e *engine) runToEvent(st *mstate) ([]*mstate, error) {
+	for {
+		if len(st.frames) == 0 {
+			e.record(st)
+			return nil, nil
+		}
+		st.steps++
+		if st.steps > e.opts.MaxSteps {
+			st.truncated = true
+			e.record(st)
+			return nil, nil
+		}
+		top := &st.frames[len(st.frames)-1]
+		if top.idx >= len(top.stmts) {
+			forks, done, err := e.frameEnd(st)
+			if err != nil {
+				return nil, err
+			}
+			if done || forks != nil {
+				return forks, nil
+			}
+			continue
+		}
+		s := top.stmts[top.idx]
+		top.idx++
+		st.visited[s.StmtID()] = true
+		forks, done, err := e.execStmt(st, s)
+		if err != nil {
+			return nil, fmt.Errorf("symexec: %s: %w", s.NodePos(), err)
+		}
+		if done {
+			e.record(st)
+			return nil, nil
+		}
+		if forks != nil {
+			return forks, nil
+		}
+	}
+}
+
+// frameEnd handles falling off the end of the top frame: loop frames
+// re-evaluate their condition / advance their element.
+func (e *engine) frameEnd(st *mstate) (forks []*mstate, done bool, err error) {
+	top := &st.frames[len(st.frames)-1]
+	switch top.kind {
+	case frameBlock:
+		st.frames = st.frames[:len(st.frames)-1]
+		return nil, false, nil
+	case frameWhile:
+		if top.iter >= e.opts.LoopBound {
+			// Bounded-loop cutoff (§3.2): force exit, mark truncated.
+			st.truncated = true
+			st.frames = st.frames[:len(st.frames)-1]
+			return nil, false, nil
+		}
+		loop := top.loop
+		forks, err := e.branch(st, loop.Cond, loop.StmtID(),
+			func(child *mstate) { // condition true: next iteration
+				f := &child.frames[len(child.frames)-1]
+				f.idx = 0
+				f.iter++
+			},
+			func(child *mstate) { // condition false: exit loop
+				child.frames = child.frames[:len(child.frames)-1]
+			})
+		return forks, false, err
+	case frameFor:
+		top.elemIdx++
+		if top.elemIdx >= len(top.elems) {
+			st.frames = st.frames[:len(st.frames)-1]
+			return nil, false, nil
+		}
+		e.bind(st, top.forStmt.Var, top.elems[top.elemIdx])
+		top.idx = 0
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("symexec: unknown frame kind")
+}
+
+// branch forks st on cond. onTrue/onFalse adjust each child after the
+// literal set is appended (push the then-block, pop the loop, …). When the
+// condition folds to a constant, no clone happens and the matching hook
+// runs on st itself; runToEvent continues with st via a one-element fork
+// list.
+func (e *engine) branch(st *mstate, cond lang.Expr, stmtID int, onTrue, onFalse func(*mstate)) ([]*mstate, error) {
+	c, err := e.eval(cond, st)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cond.NodePos(), err)
+	}
+	var children []*mstate
+	addAlts := func(alts [][]solver.Term, hook func(*mstate)) {
+		for _, alt := range alts {
+			child := st.clone()
+			feasible := true
+			if len(alt) > 0 {
+				child.conds = append(child.conds, alt...)
+				for range alt {
+					child.condStmts = append(child.condStmts, stmtID)
+				}
+				if !e.opts.NoPruning {
+					feasible = solver.SatConj(child.conds)
+				}
+			}
+			if feasible {
+				hook(child)
+				children = append(children, child)
+			}
+		}
+	}
+	addAlts(alternatives(c, true), onTrue)
+	addAlts(alternatives(c, false), onFalse)
+	return children, nil
+}
+
+// execStmt executes one statement. done=true ends the path (return).
+func (e *engine) execStmt(st *mstate, s lang.Stmt) (forks []*mstate, done bool, err error) {
+	switch x := s.(type) {
+	case *lang.AssignStmt:
+		return nil, false, e.execAssign(st, x)
+
+	case *lang.ExprStmt:
+		return nil, false, e.execCallStmt(st, x)
+
+	case *lang.IfStmt:
+		forks, err := e.branch(st, x.Cond, x.StmtID(),
+			func(child *mstate) {
+				child.frames = append(child.frames, frame{kind: frameBlock, stmts: x.Then.Stmts})
+			},
+			func(child *mstate) {
+				if x.Else != nil {
+					child.frames = append(child.frames, frame{kind: frameBlock, stmts: x.Else.Stmts})
+				}
+			})
+		return forks, false, err
+
+	case *lang.WhileStmt:
+		forks, err := e.branch(st, x.Cond, x.StmtID(),
+			func(child *mstate) {
+				child.frames = append(child.frames, frame{kind: frameWhile, stmts: x.Body.Stmts, loop: x, iter: 1})
+			},
+			func(*mstate) {})
+		return forks, false, err
+
+	case *lang.ForStmt:
+		iter, err := e.eval(x.Iter, st)
+		if err != nil {
+			return nil, false, err
+		}
+		elems, err := iterTerms(iter)
+		if err != nil {
+			return nil, false, fmt.Errorf("%s: %w", x.NodePos(), err)
+		}
+		if len(elems) == 0 {
+			return nil, false, nil
+		}
+		e.bind(st, x.Var, elems[0])
+		st.frames = append(st.frames, frame{kind: frameFor, stmts: x.Body.Stmts, forStmt: x, elems: elems})
+		return nil, false, nil
+
+	case *lang.ReturnStmt:
+		return nil, true, nil
+
+	case *lang.BreakStmt:
+		for len(st.frames) > 0 {
+			k := st.frames[len(st.frames)-1].kind
+			st.frames = st.frames[:len(st.frames)-1]
+			if k == frameWhile || k == frameFor {
+				return nil, false, nil
+			}
+		}
+		return nil, false, fmt.Errorf("break outside loop")
+
+	case *lang.ContinueStmt:
+		for len(st.frames) > 0 {
+			top := &st.frames[len(st.frames)-1]
+			if top.kind == frameWhile || top.kind == frameFor {
+				top.idx = len(top.stmts) // trigger frameEnd on next step
+				return nil, false, nil
+			}
+			st.frames = st.frames[:len(st.frames)-1]
+		}
+		return nil, false, fmt.Errorf("continue outside loop")
+
+	case *lang.BlockStmt:
+		st.frames = append(st.frames, frame{kind: frameBlock, stmts: x.Stmts})
+		return nil, false, nil
+
+	default:
+		return nil, false, fmt.Errorf("unsupported statement %T", s)
+	}
+}
+
+func iterTerms(t solver.Term) ([]solver.Term, error) {
+	if nc, ok := t.(solver.NamedConst); ok {
+		t = solver.Const{V: nc.V}
+	}
+	switch x := t.(type) {
+	case solver.Tuple:
+		return x.Elems, nil
+	case solver.Const:
+		switch x.V.Kind {
+		case value.KindList:
+			out := make([]solver.Term, len(x.V.List.Elems))
+			for i, el := range x.V.List.Elems {
+				out[i] = solver.Const{V: el}
+			}
+			return out, nil
+		case value.KindTuple:
+			out := make([]solver.Term, len(x.V.Tuple))
+			for i, el := range x.V.Tuple {
+				out[i] = solver.Const{V: el}
+			}
+			return out, nil
+		case value.KindMap:
+			keys := x.V.Map.Keys()
+			out := make([]solver.Term, len(keys))
+			for i, k := range keys {
+				out[i] = solver.Const{V: k}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("cannot iterate symbolic %s (bounded-loop restriction §3.2)", t)
+}
+
+// record finalizes st as a completed path.
+func (e *engine) record(st *mstate) {
+	p := &Path{
+		Conds:     append([]solver.Term{}, st.conds...),
+		CondStmts: append([]int{}, st.condStmts...),
+		Sends:     st.sends,
+		Visited:   len(st.visited),
+		Truncated: st.truncated,
+	}
+	names := make([]string, 0, len(st.globals))
+	for name := range st.globals {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		cur := st.globals[name]
+		if cur.Key() != e.initGlobals[name].Key() {
+			p.Updates = append(p.Updates, Update{Name: name, Val: solver.Simplify(cur)})
+		}
+	}
+	e.res.Paths = append(e.res.Paths, p)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+)
+
+// Error and edge-path coverage of the symbolic evaluator.
+
+func runErr(t *testing.T, src string, opts Options) error {
+	t.Helper()
+	_, err := Run(lang.MustParse(src), "process", opts)
+	return err
+}
+
+func TestEvalErrorCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"symbolic list literal", `func process(pkt) { l = [pkt.sport]; send(pkt); }`},
+		{"symbolic map literal", `func process(pkt) { m = {pkt.sport: 1}; send(pkt); }`},
+		{"field on non-packet", `func process(pkt) { x = 1; y = x.field; }`},
+		{"packet index non-const", `func process(pkt) { f = pkt[pkt.sip]; }`},
+		{"hash arity", `func process(pkt) { x = hash(); }`},
+		{"len arity", `func process(pkt) { x = len(1, 2); }`},
+		{"tcp_flag arity", `func process(pkt) { x = tcp_flag(pkt); }`},
+		{"tcp_flag non-packet", `func process(pkt) { x = tcp_flag(1, "S"); }`},
+		{"str_contains arity", `func process(pkt) { x = str_contains("a"); }`},
+		{"keys symbolic", `m = {}; func process(pkt) { m[pkt.sport] = 1; k = keys(m); }`},
+		{"unknown expr fn", `func process(pkt) { x = mystery(1); }`},
+		{"send non-packet", `func process(pkt) { send(42); }`},
+		{"send arity", `func process(pkt) { send(pkt, "a", "b"); }`},
+		{"del arity", `m = {}; func process(pkt) { del(m); }`},
+		{"del non-var", `m = {}; func process(pkt) { del(keys(m), 1); }`},
+		{"del non-map", `x = 1; func process(pkt) { del(x, 1); }`},
+		{"unpack arity", `func process(pkt) { a, b = (1, 2, 3); }`},
+		{"store into scalar", `x = 1; func process(pkt) { x[0] = 2; send(pkt); }`},
+		{"packet field write non-const idx", `func process(pkt) { pkt[pkt.sip] = 1; }`},
+	}
+	for _, c := range cases {
+		opts := Options{StateVars: map[string]bool{"m": true}}
+		if err := runErr(t, c.src, opts); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestKeysOfConcreteMapWorks(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+cfg = {1: "a", 2: "b"};
+func process(pkt) {
+    ks = keys(cfg);
+    pkt.n = len(ks);
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Paths[0].Sends[0].Fields["n"].String(); got != "2" {
+		t.Errorf("n = %s", got)
+	}
+}
+
+func TestPacketConstStringIndex(t *testing.T) {
+	// pkt["sport"] is equivalent to pkt.sport.
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    pkt["mark"] = pkt["sport"];
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Paths[0].Sends[0].Fields["mark"].String(); got != "pkt.sport" {
+		t.Errorf("mark = %s", got)
+	}
+}
+
+func TestUnpackFromSymbolicMapValue(t *testing.T) {
+	// Unpacking a fully symbolic tuple-valued select yields index terms.
+	res, err := Run(lang.MustParse(`
+m = {};
+func process(pkt) {
+    if pkt.sport in m {
+        a, b = m[pkt.sport];
+        pkt.x = a;
+        pkt.y = b;
+    }
+    send(pkt);
+}`), "process", Options{StateVars: map[string]bool{"m": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Path
+	for _, p := range res.Paths {
+		if len(p.Conds) > 0 && strings.Contains(p.Conds[0].String(), "in m@0") &&
+			!strings.Contains(p.Conds[0].String(), "!") {
+			hit = p
+		}
+	}
+	if hit == nil {
+		t.Fatal("no membership-hit path")
+	}
+	if got := hit.Sends[0].Fields["x"].String(); got != "m@0[pkt.sport][0]" {
+		t.Errorf("x = %s", got)
+	}
+	if got := hit.Sends[0].Fields["y"].String(); got != "m@0[pkt.sport][1]" {
+		t.Errorf("y = %s", got)
+	}
+}
+
+func TestIterateConcreteMapKeys(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+cfg = {3: "c", 1: "a"};
+func process(pkt) {
+    total = 0;
+    for k in cfg {
+        total = total + k;
+    }
+    pkt.total = total;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Paths[0].Sends[0].Fields["total"].String(); got != "4" {
+		t.Errorf("total = %s", got)
+	}
+}
+
+func TestSendRecFieldNamesSorted(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    pkt.b = 1;
+    pkt.a = 2;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Paths[0].Sends[0].FieldNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("FieldNames = %v", names)
+	}
+}
+
+func TestNegativeUnaryTerm(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    pkt.neg = -pkt.ttl;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Paths[0].Sends[0].Fields["neg"].String(); got != "-pkt.ttl" {
+		t.Errorf("neg = %s", got)
+	}
+}

@@ -1,0 +1,420 @@
+package symexec
+
+import (
+	"fmt"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// eval builds the symbolic term for expression x in state st.
+func (e *engine) eval(x lang.Expr, st *mstate) (solver.Term, error) {
+	switch ex := x.(type) {
+	case *lang.Ident:
+		if t, ok := st.locals[ex.Name]; ok {
+			return t, nil
+		}
+		if t, ok := st.globals[ex.Name]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("%s: undefined variable %q", ex.Pos, ex.Name)
+
+	case *lang.IntLit:
+		return solver.Const{V: value.Int(ex.Val)}, nil
+	case *lang.StrLit:
+		return solver.Const{V: value.Str(ex.Val)}, nil
+	case *lang.BoolLit:
+		return solver.Const{V: value.Bool(ex.Val)}, nil
+	case *lang.NilLit:
+		return solver.Const{V: value.Nil()}, nil
+
+	case *lang.TupleLit:
+		elems := make([]solver.Term, len(ex.Elems))
+		for i, el := range ex.Elems {
+			t, err := e.eval(el, st)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = t
+		}
+		return solver.Simplify(solver.Tuple{Elems: elems}), nil
+
+	case *lang.ListLit:
+		elems := make([]value.Value, len(ex.Elems))
+		for i, el := range ex.Elems {
+			t, err := e.eval(el, st)
+			if err != nil {
+				return nil, err
+			}
+			c, ok := t.(solver.Const)
+			if !ok {
+				return nil, fmt.Errorf("%s: list literal with symbolic element", ex.Pos)
+			}
+			elems[i] = c.V
+		}
+		return solver.Const{V: value.NewList(elems...)}, nil
+
+	case *lang.MapLit:
+		m := value.NewMap()
+		for i := range ex.Keys {
+			kt, err := e.eval(ex.Keys[i], st)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := e.eval(ex.Vals[i], st)
+			if err != nil {
+				return nil, err
+			}
+			kc, kok := kt.(solver.Const)
+			vc, vok := vt.(solver.Const)
+			if !kok || !vok {
+				return nil, fmt.Errorf("%s: map literal with symbolic entry", ex.Pos)
+			}
+			if err := m.Map.Set(kc.V, vc.V); err != nil {
+				return nil, fmt.Errorf("%s: %w", ex.Pos, err)
+			}
+		}
+		return solver.Const{V: m}, nil
+
+	case *lang.UnaryExpr:
+		t, err := e.eval(ex.X, st)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Simplify(solver.Un{Op: ex.Op, X: t}), nil
+
+	case *lang.BinaryExpr:
+		l, err := e.eval(ex.X, st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(ex.Y, st)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "in" {
+			return solver.Simplify(solver.In{K: l, M: r}), nil
+		}
+		return solver.Simplify(solver.Bin{Op: ex.Op, X: l, Y: r}), nil
+
+	case *lang.IndexExpr:
+		base, err := e.eval(ex.X, st)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := e.eval(ex.Index, st)
+		if err != nil {
+			return nil, err
+		}
+		if ref, ok := pktRefIndex(base); ok {
+			c, ok := idx.(solver.Const)
+			if !ok || c.V.Kind != value.KindStr {
+				return nil, fmt.Errorf("%s: packet index must be a constant field name", ex.Pos)
+			}
+			return e.pktField(st, ref, c.V.S), nil
+		}
+		if isMapTerm(base) {
+			return solver.Simplify(solver.Select{M: base, K: idx}), nil
+		}
+		return solver.Simplify(solver.Index{X: base, I: idx}), nil
+
+	case *lang.FieldExpr:
+		base, err := e.eval(ex.X, st)
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := pktRefIndex(base)
+		if !ok {
+			return nil, fmt.Errorf("%s: field access on non-packet", ex.Pos)
+		}
+		return e.pktField(st, ref, ex.Name), nil
+
+	case *lang.CallExpr:
+		return e.evalCall(ex, st)
+
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", x)
+	}
+}
+
+// pktField reads a packet field, lazily introducing the symbolic input
+// variable pkt.<name> for fields never written on this path.
+func (e *engine) pktField(st *mstate, ref int, name string) solver.Term {
+	rec := st.pkts[ref]
+	if t, ok := rec[name]; ok {
+		return t
+	}
+	t := solver.Var{Name: "pkt." + name}
+	rec[name] = t
+	return t
+}
+
+func isMapTerm(t solver.Term) bool {
+	switch x := t.(type) {
+	case solver.MapVar, solver.Store, solver.Del:
+		return true
+	case solver.Const:
+		return x.V.Kind == value.KindMap
+	case solver.NamedConst:
+		return x.V.Kind == value.KindMap
+	default:
+		return false
+	}
+}
+
+func (e *engine) evalCall(ex *lang.CallExpr, st *mstate) (solver.Term, error) {
+	if e.prog.Func(ex.Fun) != nil {
+		return nil, fmt.Errorf("%s: user function %q not inlined before symbolic execution", ex.Pos, ex.Fun)
+	}
+	switch ex.Fun {
+	case "hash", "len":
+		if len(ex.Args) != 1 {
+			return nil, fmt.Errorf("%s: %s takes 1 argument", ex.Pos, ex.Fun)
+		}
+		a, err := e.eval(ex.Args[0], st)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Simplify(solver.Call{Fn: ex.Fun, Args: []solver.Term{a}}), nil
+	case "str_contains":
+		if len(ex.Args) != 2 {
+			return nil, fmt.Errorf("%s: str_contains takes two arguments", ex.Pos)
+		}
+		a, err := e.eval(ex.Args[0], st)
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.eval(ex.Args[1], st)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Simplify(solver.Call{Fn: "contains", Args: []solver.Term{a, b}}), nil
+	case "tcp_flag":
+		if len(ex.Args) != 2 {
+			return nil, fmt.Errorf("%s: tcp_flag takes (pkt, flag)", ex.Pos)
+		}
+		base, err := e.eval(ex.Args[0], st)
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := pktRefIndex(base)
+		if !ok {
+			return nil, fmt.Errorf("%s: tcp_flag on non-packet", ex.Pos)
+		}
+		flag, err := e.eval(ex.Args[1], st)
+		if err != nil {
+			return nil, err
+		}
+		flags := e.pktField(st, ref, "flags")
+		return solver.Simplify(solver.Call{Fn: "contains", Args: []solver.Term{flags, flag}}), nil
+	case "keys":
+		if len(ex.Args) != 1 {
+			return nil, fmt.Errorf("%s: keys takes a map", ex.Pos)
+		}
+		a, err := e.eval(ex.Args[0], st)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := a.(solver.Const); ok && c.V.Kind == value.KindMap {
+			return solver.Const{V: value.NewList(c.V.Map.Keys()...)}, nil
+		}
+		return nil, fmt.Errorf("%s: keys() of a symbolic map is not supported", ex.Pos)
+	default:
+		return nil, fmt.Errorf("%s: unknown function %q in expression", ex.Pos, ex.Fun)
+	}
+}
+
+// execCallStmt handles statement-position calls: send, drop, log, del.
+func (e *engine) execCallStmt(st *mstate, s *lang.ExprStmt) error {
+	call, ok := s.X.(*lang.CallExpr)
+	if !ok {
+		// A bare expression statement: evaluate for errors, no effect.
+		_, err := e.eval(s.X, st)
+		return err
+	}
+	switch call.Fun {
+	case "send":
+		if len(call.Args) < 1 || len(call.Args) > 2 {
+			return fmt.Errorf("%s: send takes (pkt) or (pkt, iface)", call.Pos)
+		}
+		base, err := e.eval(call.Args[0], st)
+		if err != nil {
+			return err
+		}
+		ref, ok := pktRefIndex(base)
+		if !ok {
+			return fmt.Errorf("%s: send of non-packet", call.Pos)
+		}
+		var iface solver.Term = solver.Const{V: value.Str("")}
+		if len(call.Args) == 2 {
+			iface, err = e.eval(call.Args[1], st)
+			if err != nil {
+				return err
+			}
+		}
+		fields := make(map[string]solver.Term, len(st.pkts[ref]))
+		for k, v := range st.pkts[ref] {
+			fields[k] = solver.Simplify(v)
+		}
+		st.sends = append(st.sends, SendRec{Fields: fields, Iface: iface})
+		return nil
+
+	case "drop":
+		return nil
+
+	case "log":
+		for _, a := range call.Args {
+			if _, err := e.eval(a, st); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "del":
+		if len(call.Args) != 2 {
+			return fmt.Errorf("%s: del takes (map, key)", call.Pos)
+		}
+		id, ok := call.Args[0].(*lang.Ident)
+		if !ok {
+			return fmt.Errorf("%s: del target must be a variable", call.Pos)
+		}
+		m, err := e.eval(call.Args[0], st)
+		if err != nil {
+			return err
+		}
+		if !isMapTerm(m) {
+			return fmt.Errorf("%s: del on non-map", call.Pos)
+		}
+		k, err := e.eval(call.Args[1], st)
+		if err != nil {
+			return err
+		}
+		e.bind(st, id.Name, solver.Simplify(solver.Del{M: m, K: k}))
+		return nil
+
+	default:
+		_, err := e.eval(s.X, st)
+		return err
+	}
+}
+
+// bind assigns name in the state, locals shadowing globals, mirroring the
+// concrete interpreter's rules.
+func (e *engine) bind(st *mstate, name string, t solver.Term) {
+	if _, ok := st.locals[name]; ok {
+		st.locals[name] = t
+		return
+	}
+	if _, ok := st.globals[name]; ok {
+		st.globals[name] = t
+		return
+	}
+	st.locals[name] = t
+}
+
+func (e *engine) execAssign(st *mstate, s *lang.AssignStmt) error {
+	var vals []solver.Term
+	if len(s.RHS) == 1 && len(s.LHS) > 1 {
+		t, err := e.eval(s.RHS[0], st)
+		if err != nil {
+			return err
+		}
+		parts, err := unpack(t, len(s.LHS))
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.NodePos(), err)
+		}
+		vals = parts
+	} else {
+		for _, r := range s.RHS {
+			t, err := e.eval(r, st)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, t)
+		}
+	}
+	for i, l := range s.LHS {
+		if err := e.assignTo(st, l, vals[i]); err != nil {
+			return fmt.Errorf("%s: %w", s.NodePos(), err)
+		}
+	}
+	return nil
+}
+
+func unpack(t solver.Term, n int) ([]solver.Term, error) {
+	switch x := t.(type) {
+	case solver.Tuple:
+		if len(x.Elems) != n {
+			return nil, fmt.Errorf("cannot unpack %d-tuple into %d targets", len(x.Elems), n)
+		}
+		return x.Elems, nil
+	case solver.Const:
+		if x.V.Kind == value.KindTuple {
+			if len(x.V.Tuple) != n {
+				return nil, fmt.Errorf("cannot unpack %d-tuple into %d targets", len(x.V.Tuple), n)
+			}
+			out := make([]solver.Term, n)
+			for i, el := range x.V.Tuple {
+				out[i] = solver.Const{V: el}
+			}
+			return out, nil
+		}
+	}
+	// Symbolic tuple-valued term: unpack via index terms.
+	out := make([]solver.Term, n)
+	for i := 0; i < n; i++ {
+		out[i] = solver.Simplify(solver.Index{X: t, I: solver.Const{V: value.Int(int64(i))}})
+	}
+	return out, nil
+}
+
+func (e *engine) assignTo(st *mstate, l lang.Expr, v solver.Term) error {
+	switch lv := l.(type) {
+	case *lang.Ident:
+		e.bind(st, lv.Name, v)
+		return nil
+
+	case *lang.FieldExpr:
+		base, err := e.eval(lv.X, st)
+		if err != nil {
+			return err
+		}
+		ref, ok := pktRefIndex(base)
+		if !ok {
+			return fmt.Errorf("field assignment on non-packet")
+		}
+		st.pkts[ref][lv.Name] = solver.Simplify(v)
+		return nil
+
+	case *lang.IndexExpr:
+		base, err := e.eval(lv.X, st)
+		if err != nil {
+			return err
+		}
+		idx, err := e.eval(lv.Index, st)
+		if err != nil {
+			return err
+		}
+		if ref, ok := pktRefIndex(base); ok {
+			c, ok := idx.(solver.Const)
+			if !ok || c.V.Kind != value.KindStr {
+				return fmt.Errorf("packet index must be a constant field name")
+			}
+			st.pkts[ref][c.V.S] = solver.Simplify(v)
+			return nil
+		}
+		if isMapTerm(base) {
+			id, ok := lv.X.(*lang.Ident)
+			if !ok {
+				return fmt.Errorf("map store target must be a variable")
+			}
+			e.bind(st, id.Name, solver.Simplify(solver.Store{M: base, K: idx, V: v}))
+			return nil
+		}
+		return fmt.Errorf("symbolic store into %T is not supported", base)
+
+	default:
+		return fmt.Errorf("invalid assignment target %T", l)
+	}
+}

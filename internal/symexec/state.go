@@ -1,0 +1,209 @@
+// Package symexec is NFactor's symbolic executor — the KLEE substitute.
+//
+// It executes an NFLang per-packet function with the packet's header
+// fields symbolic and (optionally) the NF's configuration scalars and
+// persistent state symbolic, forking at branches whose conditions do not
+// fold to constants and pruning infeasible forks with the solver. Each
+// surviving execution path records its path condition, the packets it
+// sends (as terms over the symbolic inputs), and the state updates it
+// performs — exactly the ingredients Algorithm 1 lines 11-16 refactor
+// into model table entries.
+package symexec
+
+import (
+	"sort"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Options configure an execution.
+type Options struct {
+	// MaxPaths bounds the number of completed paths; exceeding it sets
+	// Result.Exhausted (the ">1000 paths" cells of Table 2).
+	MaxPaths int
+	// MaxSteps bounds the statements executed along a single path.
+	MaxSteps int
+	// LoopBound bounds symbolic loop iterations (§3.2: loops must be
+	// bounded for symbolic execution to terminate).
+	LoopBound int
+	// ConfigVars are globals to treat as symbolic configuration scalars
+	// (no @0 suffix) when their initial value is a scalar. Non-scalar
+	// config (lists, maps) stays concrete.
+	ConfigVars map[string]bool
+	// StateVars are globals to treat as symbolic state: scalars become
+	// Var{name@0}, maps become MapVar{name@0}.
+	StateVars map[string]bool
+	// ConfigOverride pins globals to concrete values before execution.
+	ConfigOverride map[string]value.Value
+	// NoPruning disables solver feasibility checks at branches (every
+	// syntactic fork is explored). Ablation knob: shows how much path
+	// explosion the solver absorbs.
+	NoPruning bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxPaths == 0 {
+		out.MaxPaths = 4096
+	}
+	if out.MaxSteps == 0 {
+		out.MaxSteps = 20000
+	}
+	if out.LoopBound == 0 {
+		out.LoopBound = 16
+	}
+	return out
+}
+
+// SendRec is one symbolic send(): the packet's fields as terms, plus the
+// output interface.
+type SendRec struct {
+	Fields map[string]solver.Term
+	Iface  solver.Term // Const string or symbolic; Const("") when absent
+}
+
+// FieldNames returns the sorted field names of the sent packet.
+func (s SendRec) FieldNames() []string {
+	out := make([]string, 0, len(s.Fields))
+	for k := range s.Fields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Update is a state update: global Name's value at the end of the path,
+// as a term over the symbolic inputs.
+type Update struct {
+	Name string
+	Val  solver.Term
+}
+
+// Path is one completed execution path.
+type Path struct {
+	// Conds is the path condition: a conjunction of branch literals.
+	Conds []solver.Term
+	// CondStmts are the AST statement IDs of the branches contributing
+	// to Conds (aligned loosely; a branch can contribute several
+	// literals).
+	CondStmts []int
+	// Sends are the packets emitted, in order. Empty means the implicit
+	// drop action (§3.2).
+	Sends []SendRec
+	// Updates are the globals whose value changed along the path.
+	Updates []Update
+	// Visited is the number of distinct statements executed (the "path"
+	// LoC column of Table 2).
+	Visited int
+	// Truncated marks a path cut off by the loop bound or step budget.
+	Truncated bool
+}
+
+// Dropped reports whether the path performs the implicit drop action.
+func (p *Path) Dropped() bool { return len(p.Sends) == 0 }
+
+// Result is the outcome of exploring a program.
+type Result struct {
+	Paths []*Path
+	// Exhausted is set when the path budget was hit before exploration
+	// finished — the analogue of the paper's ">1000 paths / >1hr" cells.
+	Exhausted bool
+}
+
+// frameKind distinguishes continuation frames.
+type frameKind int
+
+const (
+	frameBlock frameKind = iota
+	frameWhile
+	frameFor
+)
+
+type frame struct {
+	kind  frameKind
+	stmts []lang.Stmt
+	idx   int
+
+	// while frames
+	loop *lang.WhileStmt
+	iter int
+
+	// for frames
+	forStmt *lang.ForStmt
+	elems   []solver.Term
+	elemIdx int
+}
+
+// mstate is a machine state: a point in the exploration.
+type mstate struct {
+	frames  []frame
+	locals  map[string]solver.Term
+	globals map[string]solver.Term
+	pkts    []map[string]solver.Term // packet records; PktRef indexes here
+
+	conds     []solver.Term
+	condStmts []int
+	sends     []SendRec
+	visited   map[int]bool
+	steps     int
+	truncated bool
+}
+
+func (st *mstate) clone() *mstate {
+	out := &mstate{
+		frames:    make([]frame, len(st.frames)),
+		locals:    make(map[string]solver.Term, len(st.locals)),
+		globals:   make(map[string]solver.Term, len(st.globals)),
+		pkts:      make([]map[string]solver.Term, len(st.pkts)),
+		conds:     append([]solver.Term{}, st.conds...),
+		condStmts: append([]int{}, st.condStmts...),
+		sends:     append([]SendRec{}, st.sends...),
+		visited:   make(map[int]bool, len(st.visited)),
+		steps:     st.steps,
+		truncated: st.truncated,
+	}
+	copy(out.frames, st.frames)
+	for k, v := range st.locals {
+		out.locals[k] = v
+	}
+	for k, v := range st.globals {
+		out.globals[k] = v
+	}
+	for i, rec := range st.pkts {
+		nr := make(map[string]solver.Term, len(rec))
+		for k, v := range rec {
+			nr[k] = v
+		}
+		out.pkts[i] = nr
+	}
+	for k := range st.visited {
+		out.visited[k] = true
+	}
+	return out
+}
+
+// pktRef is the term standing for a packet record in flight. It never
+// appears in path conditions or actions (field reads/writes resolve it);
+// it only lives in variable bindings.
+type pktRef struct{ idx int }
+
+func (pktRef) isTermMarker() {}
+
+// We encode a packet reference as a solver.Var with a reserved prefix so
+// it can flow through variable bindings without extending the term
+// language.
+const pktRefPrefix = "\x00pkt#"
+
+func pktRefTerm(idx int) solver.Term {
+	return solver.Var{Name: pktRefPrefix + string(rune('0'+idx))}
+}
+
+func pktRefIndex(t solver.Term) (int, bool) {
+	v, ok := t.(solver.Var)
+	if !ok || len(v.Name) < len(pktRefPrefix)+1 || v.Name[:len(pktRefPrefix)] != pktRefPrefix {
+		return 0, false
+	}
+	return int(v.Name[len(pktRefPrefix)]) - '0', true
+}

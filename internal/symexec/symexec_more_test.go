@@ -1,0 +1,297 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/value"
+)
+
+func TestNamedConstConfigKeepsName(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+idx = 0;
+func process(pkt) {
+    s = servers[idx];
+    pkt.dip = s[0];
+    idx = (idx + 1) % len(servers);
+    send(pkt);
+}`), "process", Options{
+		ConfigVars: map[string]bool{"servers": true},
+		StateVars:  map[string]bool{"idx": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Paths[0]
+	if got := p.Sends[0].Fields["dip"].String(); got != "servers[idx@0][0]" {
+		t.Errorf("dip = %q, want named-config indexing", got)
+	}
+	// len(servers) folded to 2 in the idx update.
+	var idxUpdate string
+	for _, u := range p.Updates {
+		if u.Name == "idx" {
+			idxUpdate = u.Val.String()
+		}
+	}
+	if !strings.Contains(idxUpdate, "% 2") {
+		t.Errorf("idx update = %q, want folded modulus", idxUpdate)
+	}
+}
+
+func TestConfigMapMembershipAtomKeepsName(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+blocked = {("tcp", 23): 1};
+func process(pkt) {
+    if (pkt.proto, pkt.dport) in blocked {
+        return;
+    }
+    send(pkt);
+}`), "process", Options{ConfigVars: map[string]bool{"blocked": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 2 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	found := false
+	for _, p := range res.Paths {
+		if strings.Contains(condsString(p), "in blocked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("membership atom lost the config map's name")
+	}
+}
+
+func TestNestedIfSameConditionPrunes(t *testing.T) {
+	// The same condition tested twice must not double the path count.
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    if pkt.dport == 80 { a = 1; }
+    if pkt.dport == 80 { b = 2; }
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 2 {
+		for _, p := range res.Paths {
+			t.Logf("path: %s", condsString(p))
+		}
+		t.Fatalf("paths = %d, want 2 (correlated branches prune)", len(res.Paths))
+	}
+}
+
+func TestNoPruningExploresAllSyntacticForks(t *testing.T) {
+	src := `
+func process(pkt) {
+    if pkt.dport == 80 { a = 1; }
+    if pkt.dport == 80 { b = 2; }
+    send(pkt);
+}`
+	res, err := Run(lang.MustParse(src), "process", Options{NoPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 4 {
+		t.Fatalf("paths without pruning = %d, want 4", len(res.Paths))
+	}
+}
+
+func TestWhileWithBreakOnSymbolicCondition(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+rules = [80, 443];
+func process(pkt) {
+    hit = 0;
+    for r in rules {
+        if pkt.dport == r {
+            hit = 1;
+            break;
+        }
+    }
+    if hit == 1 {
+        send(pkt);
+    }
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dport==80 | dport!=80&&dport==443 | neither → 3 paths, 2 sending.
+	sends := 0
+	for _, p := range res.Paths {
+		if !p.Dropped() {
+			sends++
+		}
+	}
+	if len(res.Paths) != 3 || sends != 2 {
+		t.Errorf("paths=%d sends=%d", len(res.Paths), sends)
+	}
+}
+
+func TestMultipleSendsOnOnePath(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    send(pkt, "tap");
+    pkt.ttl = pkt.ttl - 1;
+    send(pkt, "out");
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Paths[0]
+	if len(p.Sends) != 2 {
+		t.Fatalf("sends = %d", len(p.Sends))
+	}
+	// First snapshot has the original ttl (if read), the second the
+	// decremented one.
+	if got := p.Sends[1].Fields["ttl"].String(); got != "(pkt.ttl - 1)" {
+		t.Errorf("second send ttl = %q", got)
+	}
+	if _, has := p.Sends[0].Fields["ttl"]; has {
+		t.Error("first send should not have a ttl snapshot (never read before)")
+	}
+}
+
+func TestFieldWriteThenReadResolvesToTerm(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    pkt.mark = pkt.sport + 1;
+    x = pkt.mark;
+    pkt.dport = x * 2;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Paths[0].Sends[0].Fields["dport"].String()
+	if got != "((pkt.sport + 1) * 2)" {
+		t.Errorf("dport = %q", got)
+	}
+}
+
+func TestTupleUnpackSymbolic(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+m = {};
+func process(pkt) {
+    m[pkt.sport] = (pkt.sip, pkt.dip);
+    v = m[pkt.sport];
+    a, b = v;
+    pkt.sip = b;
+    pkt.dip = a;
+    send(pkt);
+}`), "process", Options{StateVars: map[string]bool{"m": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Paths[0].Sends[0].Fields
+	// select-over-store folds: v = (pkt.sip, pkt.dip), so swap works.
+	if f["sip"].String() != "pkt.dip" || f["dip"].String() != "pkt.sip" {
+		t.Errorf("swap failed: sip=%s dip=%s", f["sip"], f["dip"])
+	}
+}
+
+func TestConfigOverrideOfNamedConfig(t *testing.T) {
+	// An overridden composite config still folds correctly.
+	res, err := Run(lang.MustParse(`
+ports = {80: 1};
+func process(pkt) {
+    if pkt.dport in ports {
+        send(pkt);
+    }
+}`), "process", Options{
+		ConfigVars: map[string]bool{"ports": true},
+		ConfigOverride: map[string]value.Value{"ports": func() value.Value {
+			m := value.NewMap()
+			_ = m.Map.Set(value.Int(22), value.Int(1))
+			return m
+		}()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still 2 paths; membership atom references the overridden map.
+	if len(res.Paths) != 2 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+}
+
+func TestStepBudgetTruncates(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    i = 0;
+    while i < 100000 {
+        i = i + 1;
+    }
+    send(pkt);
+}`), "process", Options{MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 1 || !res.Paths[0].Truncated {
+		t.Errorf("step-budget truncation missing: %+v", res.Paths)
+	}
+}
+
+func TestEmptyListForLoop(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+xs = [];
+func process(pkt) {
+    for x in xs {
+        pkt.never = 1;
+    }
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	if _, has := res.Paths[0].Sends[0].Fields["never"]; has {
+		t.Error("empty loop body executed")
+	}
+}
+
+func TestLogArgsEvaluatedSymbolically(t *testing.T) {
+	// log of a symbolic select with guarded membership must not error.
+	res, err := Run(lang.MustParse(`
+m = {};
+func process(pkt) {
+    if pkt.sip in m {
+        log("v", m[pkt.sip]);
+    }
+    send(pkt);
+}`), "process", Options{StateVars: map[string]bool{"m": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 2 {
+		t.Errorf("paths = %d", len(res.Paths))
+	}
+}
+
+func TestDropStatementNoEffect(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    if pkt.ttl == 0 {
+        drop();
+        return;
+    }
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for _, p := range res.Paths {
+		if p.Dropped() {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Errorf("drops = %d", drops)
+	}
+}

@@ -1,0 +1,492 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+const lbSrc = `
+mode = "RR";
+LB_IP = "3.3.3.3";
+LB_PORT = 80;
+servers = [("1.1.1.1", 80), ("2.2.2.2", 80)];
+f2b_nat = {};
+b2f_nat = {};
+rr_idx = 0;
+cur_port = 10000;
+pass_stat = 0;
+drop_stat = 0;
+
+func process(pkt) {
+    si, di = pkt.sip, pkt.dip;
+    sp, dp = pkt.sport, pkt.dport;
+    if dp == LB_PORT {
+        cs_ftpl = (si, sp, di, dp);
+        sc_ftpl = (di, dp, si, sp);
+        if !(cs_ftpl in f2b_nat) {
+            if mode == "RR" {
+                server = servers[rr_idx];
+                rr_idx = (rr_idx + 1) % len(servers);
+            } else {
+                server = servers[hash(si) % len(servers)];
+            }
+            n_port = cur_port;
+            cur_port = cur_port + 1;
+            cs_btpl = (LB_IP, n_port, server[0], server[1]);
+            sc_btpl = (server[0], server[1], LB_IP, n_port);
+            f2b_nat[cs_ftpl] = cs_btpl;
+            b2f_nat[sc_btpl] = sc_ftpl;
+            nat_tpl = cs_btpl;
+        } else {
+            nat_tpl = f2b_nat[cs_ftpl];
+        }
+    } else {
+        sc_btpl = (si, sp, di, dp);
+        if sc_btpl in b2f_nat {
+            nat_tpl = b2f_nat[sc_btpl];
+        } else {
+            drop_stat = drop_stat + 1;
+            return;
+        }
+    }
+    pass_stat = pass_stat + 1;
+    pkt.sip = nat_tpl[0];
+    pkt.sport = nat_tpl[1];
+    pkt.dip = nat_tpl[2];
+    pkt.dport = nat_tpl[3];
+    send(pkt);
+}
+`
+
+var lbOpts = Options{
+	StateVars: map[string]bool{
+		"f2b_nat": true, "b2f_nat": true, "rr_idx": true,
+		"cur_port": true, "pass_stat": true, "drop_stat": true,
+	},
+	ConfigVars: map[string]bool{
+		"mode": true, "LB_IP": true, "LB_PORT": true, "servers": true,
+	},
+}
+
+func condsString(p *Path) string {
+	parts := make([]string, len(p.Conds))
+	for i, c := range p.Conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+func TestLoadBalancerPaths(t *testing.T) {
+	res, err := Run(lang.MustParse(lbSrc), "process", lbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Fatal("unexpected budget exhaustion")
+	}
+	if len(res.Paths) != 5 {
+		for _, p := range res.Paths {
+			t.Logf("path: %s sends=%d", condsString(p), len(p.Sends))
+		}
+		t.Fatalf("paths = %d, want 5 (RR-new, HASH-new, existing, reverse-hit, reverse-drop)", len(res.Paths))
+	}
+
+	drops, sends := 0, 0
+	rrPaths := 0
+	for _, p := range res.Paths {
+		if p.Dropped() {
+			drops++
+			if !strings.Contains(condsString(p), "b2f_nat@0") {
+				t.Errorf("drop path condition %q does not test b2f_nat", condsString(p))
+			}
+		} else {
+			sends++
+		}
+		if strings.Contains(condsString(p), `(mode == "RR")`) {
+			rrPaths++
+		}
+	}
+	if drops != 1 || sends != 4 {
+		t.Errorf("drops=%d sends=%d, want 1/4", drops, sends)
+	}
+	if rrPaths != 1 {
+		t.Errorf("paths with mode==RR condition = %d, want 1", rrPaths)
+	}
+}
+
+func TestLoadBalancerRRPathDetails(t *testing.T) {
+	res, err := Run(lang.MustParse(lbSrc), "process", lbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr *Path
+	for _, p := range res.Paths {
+		if strings.Contains(condsString(p), `mode == "RR"`) {
+			rr = p
+		}
+	}
+	if rr == nil {
+		t.Fatal("no RR path")
+	}
+	// The RR path must update rr_idx to (rr_idx@0 + 1) % 2 and store into
+	// both NAT maps.
+	ups := map[string]string{}
+	for _, u := range rr.Updates {
+		ups[u.Name] = u.Val.String()
+	}
+	if got := ups["rr_idx"]; !strings.Contains(got, "rr_idx@0 + 1") || !strings.Contains(got, "% 2") {
+		t.Errorf("rr_idx update = %q", got)
+	}
+	if got := ups["cur_port"]; !strings.Contains(got, "cur_port@0 + 1") {
+		t.Errorf("cur_port update = %q", got)
+	}
+	if _, ok := ups["f2b_nat"]; !ok {
+		t.Errorf("f2b_nat not updated: %v", ups)
+	}
+	if len(rr.Sends) != 1 {
+		t.Fatalf("RR path sends = %d", len(rr.Sends))
+	}
+	// The sent packet's source must be rewritten to LB_IP (symbolic
+	// config var).
+	if got := rr.Sends[0].Fields["sip"].String(); got != "LB_IP" {
+		t.Errorf("sent sip = %q, want LB_IP", got)
+	}
+	if got := rr.Sends[0].Fields["sport"].String(); got != "cur_port@0" {
+		t.Errorf("sent sport = %q, want cur_port@0", got)
+	}
+}
+
+func TestConcreteConfigFoldsModeBranch(t *testing.T) {
+	opts := lbOpts
+	opts.ConfigOverride = map[string]value.Value{"mode": value.Str("HASH")}
+	res, err := Run(lang.MustParse(lbSrc), "process", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With mode pinned, the RR/HASH fork disappears: 4 paths.
+	if len(res.Paths) != 4 {
+		t.Fatalf("paths = %d, want 4", len(res.Paths))
+	}
+	for _, p := range res.Paths {
+		if strings.Contains(condsString(p), "mode") {
+			t.Errorf("mode still appears in conditions: %s", condsString(p))
+		}
+	}
+}
+
+func TestInfeasiblePathPruned(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    if pkt.sport < 3 {
+        if pkt.sport > 5 {
+            send(pkt);
+        }
+    }
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sport<3 && sport>5 is infeasible: only 2 paths survive
+	// (sport>=3, and sport<3 && sport<=5).
+	if len(res.Paths) != 2 {
+		for _, p := range res.Paths {
+			t.Logf("path: %s", condsString(p))
+		}
+		t.Fatalf("paths = %d, want 2", len(res.Paths))
+	}
+	for _, p := range res.Paths {
+		if !p.Dropped() {
+			t.Error("infeasible send path survived")
+		}
+	}
+}
+
+func TestCompoundConditionDecomposition(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    if pkt.sport == 80 || pkt.dport == 80 {
+        send(pkt);
+    }
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// true-alternatives: {sp==80}, {sp!=80, dp==80}; false: {sp!=80,dp!=80}
+	if len(res.Paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(res.Paths))
+	}
+	sendCount := 0
+	for _, p := range res.Paths {
+		if !p.Dropped() {
+			sendCount++
+		}
+	}
+	if sendCount != 2 {
+		t.Errorf("send paths = %d, want 2", sendCount)
+	}
+}
+
+func TestConcreteLoopUnrollsWithoutForking(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    i = 0;
+    total = 0;
+    while i < 3 {
+        total = total + i;
+        i = i + 1;
+    }
+    pkt.total = total;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(res.Paths))
+	}
+	if got := res.Paths[0].Sends[0].Fields["total"].String(); got != "3" {
+		t.Errorf("total = %s, want 3 (0+1+2)", got)
+	}
+}
+
+func TestSymbolicLoopBounded(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    i = 0;
+    while i < pkt.n {
+        i = i + 1;
+    }
+    send(pkt);
+}`), "process", Options{LoopBound: 4, MaxPaths: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: exit after 0..3 iterations plus one truncated at the bound.
+	if len(res.Paths) != 5 {
+		t.Fatalf("paths = %d, want 5", len(res.Paths))
+	}
+	truncated := 0
+	for _, p := range res.Paths {
+		if p.Truncated {
+			truncated++
+		}
+	}
+	if truncated != 1 {
+		t.Errorf("truncated paths = %d, want 1", truncated)
+	}
+}
+
+func TestPathBudgetExhaustion(t *testing.T) {
+	// 8 independent branches → 256 paths; budget 10.
+	src := `func process(pkt) {
+`
+	for _, f := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		src += "    if pkt." + f + " == 1 { x = 1; }\n"
+	}
+	src += "    send(pkt);\n}"
+	res, err := Run(lang.MustParse(src), "process", Options{MaxPaths: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Error("budget not reported exhausted")
+	}
+	if len(res.Paths) != 10 {
+		t.Errorf("paths = %d, want 10", len(res.Paths))
+	}
+}
+
+func TestForInUnrolls(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+servers = [1, 2, 3];
+func process(pkt) {
+    total = 0;
+    for s in servers {
+        total = total + s;
+    }
+    pkt.total = total;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 1 || res.Paths[0].Sends[0].Fields["total"].String() != "6" {
+		t.Fatalf("for-in result wrong: %v paths", len(res.Paths))
+	}
+}
+
+func TestBreakContinueInSymbolicContext(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+rules = [10, 20, 30];
+func process(pkt) {
+    matched = 0;
+    for r in rules {
+        if r == 20 { continue; }
+        if pkt.dport == r {
+            matched = 1;
+            break;
+        }
+    }
+    if matched == 1 { send(pkt); }
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dport==10 → send; dport!=10,dport==30 → send; neither → drop.
+	sends := 0
+	for _, p := range res.Paths {
+		if !p.Dropped() {
+			sends++
+		}
+	}
+	if sends != 2 || len(res.Paths) != 3 {
+		for _, p := range res.Paths {
+			t.Logf("path: %s dropped=%v", condsString(p), p.Dropped())
+		}
+		t.Fatalf("paths=%d sends=%d, want 3/2 (continue must skip rule 20)", len(res.Paths), sends)
+	}
+}
+
+func TestHashIsUninterpreted(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    pkt.h = hash(pkt.sip) % 4;
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Paths[0].Sends[0].Fields["h"].String()
+	if !strings.Contains(got, "hash(pkt.sip)") {
+		t.Errorf("h = %q, want uninterpreted hash term", got)
+	}
+}
+
+func TestStateUpdateStoreChain(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+m = {};
+func process(pkt) {
+    m[pkt.sport] = pkt.dport;
+    send(pkt);
+}`), "process", Options{StateVars: map[string]bool{"m": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Paths[0]
+	if len(p.Updates) != 1 || p.Updates[0].Name != "m" {
+		t.Fatalf("updates = %v", p.Updates)
+	}
+	if got := p.Updates[0].Val.String(); !strings.Contains(got, "m@0{pkt.sport := pkt.dport}") {
+		t.Errorf("m update = %q", got)
+	}
+}
+
+func TestMembershipAfterStoreFoldsOnSamePath(t *testing.T) {
+	// After storing k, `k in m` must fold to true without forking.
+	res, err := Run(lang.MustParse(`
+m = {};
+func process(pkt) {
+    k = (pkt.sip, pkt.sport);
+    m[k] = 1;
+    if k in m {
+        send(pkt);
+    }
+}`), "process", Options{StateVars: map[string]bool{"m": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 1 || res.Paths[0].Dropped() {
+		t.Fatalf("paths = %d, want a single sending path", len(res.Paths))
+	}
+}
+
+func TestVisitedCountsPathLoC(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) {
+    if pkt.dport == 80 {
+        a = 1;
+        b = 2;
+    } else {
+        c = 3;
+    }
+    send(pkt);
+}`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 2 {
+		t.Fatal("want 2 paths")
+	}
+	// then-path visits if + 2 assigns + send = 4; else-path if + 1 + send = 3.
+	counts := []int{res.Paths[0].Visited, res.Paths[1].Visited}
+	if !(counts[0] == 4 && counts[1] == 3 || counts[0] == 3 && counts[1] == 4) {
+		t.Errorf("visited = %v, want {3,4}", counts)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		opts Options
+	}{
+		{`func process(pkt) { x = novar; }`, Options{}},
+		{`func helper(x) { return x; } func process(pkt) { y = helper(1); }`, Options{}},
+		{`m = {}; func process(pkt) { for k in m { send(pkt); } x = pkt.zzz; }`, Options{StateVars: map[string]bool{"m": true}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(lang.MustParse(c.src), "process", c.opts); err == nil {
+			t.Errorf("no error for %q", c.src)
+		}
+	}
+}
+
+func TestSendIfaceRecorded(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+func process(pkt) { send(pkt, "eth1"); }`), "process", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Paths[0].Sends[0].Iface.String(); got != `"eth1"` {
+		t.Errorf("iface = %s", got)
+	}
+}
+
+func TestDelBuiltinSymbolic(t *testing.T) {
+	res, err := Run(lang.MustParse(`
+m = {};
+func process(pkt) {
+    del(m, pkt.sport);
+    if pkt.sport in m {
+        send(pkt);
+    }
+}`), "process", Options{StateVars: map[string]bool{"m": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After del, membership of the same key folds to false: single drop path.
+	if len(res.Paths) != 1 || !res.Paths[0].Dropped() {
+		t.Fatalf("paths = %d, want 1 dropped", len(res.Paths))
+	}
+	if len(res.Paths[0].Updates) != 1 {
+		t.Errorf("updates = %v", res.Paths[0].Updates)
+	}
+}
+
+func TestPathCondsAreFeasibleTerms(t *testing.T) {
+	res, err := Run(lang.MustParse(lbSrc), "process", lbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Paths {
+		if !solver.SatConj(p.Conds) {
+			t.Errorf("recorded path has unsat condition: %s", condsString(p))
+		}
+		if len(p.Conds) != len(p.CondStmts) {
+			t.Errorf("conds/condStmts misaligned: %d vs %d", len(p.Conds), len(p.CondStmts))
+		}
+	}
+}

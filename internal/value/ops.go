@@ -1,0 +1,203 @@
+package value
+
+import "fmt"
+
+// BinOp applies the NFLang binary operator op to concrete operands.
+// It is the single source of truth for operator semantics: the concrete
+// interpreter calls it directly and the symbolic executor calls it when
+// both operands fold to constants.
+//
+// The "in" operator (map membership) is handled by the callers because it
+// needs the map reference, not a value copy.
+func BinOp(op string, a, b Value) (Value, error) {
+	switch op {
+	case "+":
+		if a.Kind == KindInt && b.Kind == KindInt {
+			return Int(a.I + b.I), nil
+		}
+		if a.Kind == KindStr && b.Kind == KindStr {
+			return Str(a.S + b.S), nil
+		}
+		return Value{}, typeErr(op, a, b)
+	case "-", "*", "/", "%":
+		if a.Kind != KindInt || b.Kind != KindInt {
+			return Value{}, typeErr(op, a, b)
+		}
+		switch op {
+		case "-":
+			return Int(a.I - b.I), nil
+		case "*":
+			return Int(a.I * b.I), nil
+		case "/":
+			if b.I == 0 {
+				return Value{}, fmt.Errorf("division by zero")
+			}
+			return Int(a.I / b.I), nil
+		default:
+			if b.I == 0 {
+				return Value{}, fmt.Errorf("modulo by zero")
+			}
+			m := a.I % b.I
+			if m < 0 {
+				m += abs64(b.I)
+			}
+			return Int(m), nil
+		}
+	case "==":
+		return Bool(Equal(a, b)), nil
+	case "!=":
+		return Bool(!Equal(a, b)), nil
+	case "<", "<=", ">", ">=":
+		c, err := compare(a, b)
+		if err != nil {
+			return Value{}, fmt.Errorf("%s: %w", op, err)
+		}
+		switch op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "&&":
+		if a.Kind != KindBool || b.Kind != KindBool {
+			return Value{}, typeErr(op, a, b)
+		}
+		return Bool(a.B && b.B), nil
+	case "||":
+		if a.Kind != KindBool || b.Kind != KindBool {
+			return Value{}, typeErr(op, a, b)
+		}
+		return Bool(a.B || b.B), nil
+	default:
+		return Value{}, fmt.Errorf("unknown binary operator %q", op)
+	}
+}
+
+// UnOp applies a unary operator to a concrete operand.
+func UnOp(op string, a Value) (Value, error) {
+	switch op {
+	case "-":
+		if a.Kind != KindInt {
+			return Value{}, fmt.Errorf("unary - on %s", a.Kind)
+		}
+		return Int(-a.I), nil
+	case "!":
+		if a.Kind != KindBool {
+			return Value{}, fmt.Errorf("unary ! on %s", a.Kind)
+		}
+		return Bool(!a.B), nil
+	default:
+		return Value{}, fmt.Errorf("unknown unary operator %q", op)
+	}
+}
+
+// Index evaluates container[idx] for tuples, lists, maps and packets.
+func Index(container, idx Value) (Value, error) {
+	switch container.Kind {
+	case KindTuple:
+		i, err := sliceIndex(idx, len(container.Tuple))
+		if err != nil {
+			return Value{}, err
+		}
+		return container.Tuple[i], nil
+	case KindList:
+		i, err := sliceIndex(idx, len(container.List.Elems))
+		if err != nil {
+			return Value{}, err
+		}
+		return container.List.Elems[i], nil
+	case KindMap:
+		v, ok, err := container.Map.Get(idx)
+		if err != nil {
+			return Value{}, err
+		}
+		if !ok {
+			return Value{}, fmt.Errorf("map key %s not present", idx)
+		}
+		return v, nil
+	case KindPacket:
+		if idx.Kind != KindStr {
+			return Value{}, fmt.Errorf("packet field index must be string, got %s", idx.Kind)
+		}
+		f, ok := container.Pkt.Fields[idx.S]
+		if !ok {
+			return Value{}, fmt.Errorf("packet has no field %q", idx.S)
+		}
+		return f, nil
+	default:
+		return Value{}, fmt.Errorf("cannot index %s", container.Kind)
+	}
+}
+
+// SetIndex evaluates container[idx] = v for lists, maps and packets.
+func SetIndex(container, idx, v Value) error {
+	switch container.Kind {
+	case KindList:
+		i, err := sliceIndex(idx, len(container.List.Elems))
+		if err != nil {
+			return err
+		}
+		container.List.Elems[i] = v
+		return nil
+	case KindMap:
+		return container.Map.Set(idx, v)
+	case KindPacket:
+		if idx.Kind != KindStr {
+			return fmt.Errorf("packet field index must be string, got %s", idx.Kind)
+		}
+		container.Pkt.Fields[idx.S] = v
+		return nil
+	default:
+		return fmt.Errorf("cannot assign into %s", container.Kind)
+	}
+}
+
+func sliceIndex(idx Value, n int) (int, error) {
+	if idx.Kind != KindInt {
+		return 0, fmt.Errorf("index must be int, got %s", idx.Kind)
+	}
+	i := int(idx.I)
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("index %d out of range [0,%d)", i, n)
+	}
+	return i, nil
+}
+
+func compare(a, b Value) (int, error) {
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch {
+		case a.I < b.I:
+			return -1, nil
+		case a.I > b.I:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.Kind == KindStr && b.Kind == KindStr {
+		switch {
+		case a.S < b.S:
+			return -1, nil
+		case a.S > b.S:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot order %s and %s", a.Kind, b.Kind)
+}
+
+func typeErr(op string, a, b Value) error {
+	return fmt.Errorf("operator %s on %s and %s", op, a.Kind, b.Kind)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,185 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinOpArithmetic(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b int64
+		want int64
+	}{
+		{"+", 2, 3, 5},
+		{"-", 2, 3, -1},
+		{"*", 4, 3, 12},
+		{"/", 7, 2, 3},
+		{"%", 7, 3, 1},
+		{"%", -1, 3, 2}, // NFLang % is non-negative for positive modulus
+	}
+	for _, c := range cases {
+		got, err := BinOp(c.op, Int(c.a), Int(c.b))
+		if err != nil {
+			t.Fatalf("%d %s %d: %v", c.a, c.op, c.b, err)
+		}
+		if got.I != c.want {
+			t.Errorf("%d %s %d = %d, want %d", c.a, c.op, c.b, got.I, c.want)
+		}
+	}
+}
+
+func TestBinOpDivZero(t *testing.T) {
+	if _, err := BinOp("/", Int(1), Int(0)); err == nil {
+		t.Error("division by zero did not error")
+	}
+	if _, err := BinOp("%", Int(1), Int(0)); err == nil {
+		t.Error("modulo by zero did not error")
+	}
+}
+
+func TestBinOpStrings(t *testing.T) {
+	got, err := BinOp("+", Str("a"), Str("b"))
+	if err != nil || got.S != "ab" {
+		t.Errorf("a+b = %v, %v", got, err)
+	}
+	lt, _ := BinOp("<", Str("a"), Str("b"))
+	if !lt.B {
+		t.Error(`"a" < "b" was false`)
+	}
+	if _, err := BinOp("-", Str("a"), Str("b")); err == nil {
+		t.Error("string subtraction did not error")
+	}
+}
+
+func TestBinOpComparisons(t *testing.T) {
+	eq, _ := BinOp("==", TupleOf(Int(1), Str("x")), TupleOf(Int(1), Str("x")))
+	if !eq.B {
+		t.Error("tuple equality false")
+	}
+	ne, _ := BinOp("!=", Int(1), Int(2))
+	if !ne.B {
+		t.Error("1 != 2 was false")
+	}
+	if _, err := BinOp("<", Int(1), Str("a")); err == nil {
+		t.Error("cross-kind ordering did not error")
+	}
+	// == across kinds is false, not an error (NFLang equality is total).
+	xe, err := BinOp("==", Int(1), Str("1"))
+	if err != nil || xe.B {
+		t.Errorf("1 == \"1\" = %v, %v", xe, err)
+	}
+}
+
+func TestBinOpBool(t *testing.T) {
+	v, err := BinOp("&&", Bool(true), Bool(false))
+	if err != nil || v.B {
+		t.Errorf("true && false = %v, %v", v, err)
+	}
+	v, err = BinOp("||", Bool(true), Bool(false))
+	if err != nil || !v.B {
+		t.Errorf("true || false = %v, %v", v, err)
+	}
+	if _, err := BinOp("&&", Int(1), Bool(true)); err == nil {
+		t.Error("&& on int did not error")
+	}
+}
+
+func TestUnOp(t *testing.T) {
+	v, err := UnOp("-", Int(5))
+	if err != nil || v.I != -5 {
+		t.Errorf("-5 = %v, %v", v, err)
+	}
+	v, err = UnOp("!", Bool(false))
+	if err != nil || !v.B {
+		t.Errorf("!false = %v, %v", v, err)
+	}
+	if _, err := UnOp("!", Int(1)); err == nil {
+		t.Error("!int did not error")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	tup := TupleOf(Str("1.1.1.1"), Int(80))
+	v, err := Index(tup, Int(1))
+	if err != nil || v.I != 80 {
+		t.Errorf("tuple[1] = %v, %v", v, err)
+	}
+	if _, err := Index(tup, Int(2)); err == nil {
+		t.Error("tuple index out of range did not error")
+	}
+	lst := NewList(Int(10), Int(20))
+	v, err = Index(lst, Int(0))
+	if err != nil || v.I != 10 {
+		t.Errorf("list[0] = %v, %v", v, err)
+	}
+	m := NewMap()
+	_ = m.Map.Set(Str("k"), Int(9))
+	v, err = Index(m, Str("k"))
+	if err != nil || v.I != 9 {
+		t.Errorf("map[k] = %v, %v", v, err)
+	}
+	if _, err := Index(m, Str("absent")); err == nil {
+		t.Error("absent map key did not error")
+	}
+	pkt := NewPacket(map[string]Value{"sport": Int(1234)})
+	v, err = Index(pkt, Str("sport"))
+	if err != nil || v.I != 1234 {
+		t.Errorf("pkt[sport] = %v, %v", v, err)
+	}
+}
+
+func TestSetIndex(t *testing.T) {
+	lst := NewList(Int(1), Int(2))
+	if err := SetIndex(lst, Int(1), Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if lst.List.Elems[1].I != 99 {
+		t.Error("list store did not take")
+	}
+	m := NewMap()
+	if err := SetIndex(m, TupleOf(Int(1), Int(2)), Str("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := m.Map.Get(TupleOf(Int(1), Int(2)))
+	if !ok || got.S != "v" {
+		t.Error("map store did not take")
+	}
+	pkt := NewPacket(nil)
+	if err := SetIndex(pkt, Str("ttl"), Int(64)); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Pkt.Fields["ttl"].I != 64 {
+		t.Error("packet field store did not take")
+	}
+	if err := SetIndex(TupleOf(Int(1)), Int(0), Int(2)); err == nil {
+		t.Error("tuple store did not error (tuples are immutable)")
+	}
+}
+
+// Property: modulo result is always in [0, m) for positive m.
+func TestModuloRangeProperty(t *testing.T) {
+	f := func(a int64, m uint8) bool {
+		mod := int64(m%31) + 1
+		v, err := BinOp("%", Int(a), Int(mod))
+		return err == nil && v.I >= 0 && v.I < mod
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (a+b)-b == a over ints.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		s, err := BinOp("+", Int(int64(a)), Int(int64(b)))
+		if err != nil {
+			return false
+		}
+		d, err := BinOp("-", s, Int(int64(b)))
+		return err == nil && d.I == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package value
+
+import "testing"
+
+func TestStringRendering(t *testing.T) {
+	m := NewMap()
+	_ = m.Map.Set(Str("k"), Int(1))
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Nil(), "nil"},
+		{Int(-3), "-3"},
+		{Str("a\"b"), `"a\"b"`},
+		{Bool(false), "false"},
+		{TupleOf(Int(1), Str("x")), `(1, "x")`},
+		{NewList(Int(1), Int(2)), "[1, 2]"},
+		{m, `{"k": 1}`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+	// Packet rendering sorts field names deterministically.
+	p := NewPacket(map[string]Value{"b": Int(2), "a": Int(1)})
+	if got := p.String(); got != "pkt{a=1 b=2}" {
+		t.Errorf("packet string = %q", got)
+	}
+}
+
+func TestEqualAcrossAllKinds(t *testing.T) {
+	m1 := NewMap()
+	_ = m1.Map.Set(Int(1), Str("a"))
+	m2 := NewMap()
+	_ = m2.Map.Set(Int(1), Str("a"))
+	m3 := NewMap()
+	_ = m3.Map.Set(Int(1), Str("b"))
+	m4 := NewMap()
+	_ = m4.Map.Set(Int(2), Str("a"))
+
+	p1 := NewPacket(map[string]Value{"x": Int(1)})
+	p2 := NewPacket(map[string]Value{"x": Int(1)})
+	p3 := NewPacket(map[string]Value{"x": Int(2)})
+	p4 := NewPacket(map[string]Value{"y": Int(1)})
+
+	eq := [][2]Value{
+		{Nil(), Nil()},
+		{Bool(true), Bool(true)},
+		{NewList(Int(1)), NewList(Int(1))},
+		{m1, m2},
+		{p1, p2},
+	}
+	for i, c := range eq {
+		if !Equal(c[0], c[1]) {
+			t.Errorf("eq case %d: %s != %s", i, c[0], c[1])
+		}
+	}
+	ne := [][2]Value{
+		{Nil(), Int(0)},
+		{Bool(true), Bool(false)},
+		{NewList(Int(1)), NewList(Int(2))},
+		{NewList(Int(1)), NewList(Int(1), Int(2))},
+		{m1, m3},
+		{m1, m4},
+		{p1, p3},
+		{p1, p4},
+		{Str("a"), Int(1)},
+	}
+	for i, c := range ne {
+		if Equal(c[0], c[1]) {
+			t.Errorf("ne case %d: %s == %s", i, c[0], c[1])
+		}
+	}
+}
+
+func TestCompareOrderings(t *testing.T) {
+	// string ordering through BinOp
+	for _, c := range []struct {
+		op   string
+		a, b Value
+		want bool
+	}{
+		{">", Str("b"), Str("a"), true},
+		{">=", Str("a"), Str("a"), true},
+		{"<=", Int(-5), Int(5), true},
+		{">", Int(3), Int(3), false},
+	} {
+		got, err := BinOp(c.op, c.a, c.b)
+		if err != nil || got.B != c.want {
+			t.Errorf("%s %s %s = %v, %v", c.a, c.op, c.b, got, err)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNil: "nil", KindInt: "int", KindStr: "string", KindBool: "bool",
+		KindTuple: "tuple", KindList: "list", KindMap: "map", KindPacket: "packet",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestModuloNegativeModulus(t *testing.T) {
+	// NFLang % with a negative modulus still yields a value in range.
+	v, err := BinOp("%", Int(-7), Int(-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I < 0 {
+		t.Errorf("-7 %% -3 = %d, want non-negative", v.I)
+	}
+}
+
+func TestHashOfTuples(t *testing.T) {
+	a, err := Hash(TupleOf(Str("a"), Int(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Hash(TupleOf(Str("a"), Int(2)))
+	if a == b {
+		t.Error("tuple hash collision on near inputs")
+	}
+}

@@ -1,0 +1,165 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// EntryReachable decides whether a model entry can ever fire, starting
+// from the NF's initial state, within maxSteps packets — multi-step
+// symbolic reachability over the model's state machine. Each step k gets
+// its own symbolic packet (pkt{k}.*); firing an entry conjoins its guard
+// (with the current symbolic state substituted) and applies its state
+// transitions to produce the next state.
+//
+// This is the symbolic counterpart of internal/buzz: buzz searches for
+// concrete covering packets, EntryReachable proves whether a covering
+// sequence exists at all — e.g. that the firewall's inbound-allow entry
+// is unreachable in one step but reachable in two (outbound first).
+type ReachResult struct {
+	Reachable bool
+	// Entries is the witness sequence of entry indices (last = target).
+	Entries []int
+	// Conds is the combined constraint over pkt0.., pkt1.. and the
+	// initial state.
+	Conds []solver.Term
+}
+
+// String renders the result.
+func (r *ReachResult) String() string {
+	if !r.Reachable {
+		return "unreachable"
+	}
+	parts := make([]string, len(r.Conds))
+	for i, c := range r.Conds {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("reachable via entries %v under %s", r.Entries, strings.Join(parts, " && "))
+}
+
+// EntryReachable explores entry sequences of length ≤ maxSteps ending at
+// target. initState provides the concrete initial values of the model's
+// state variables (as from core.Analysis.ConfigAndState).
+func EntryReachable(m *model.Model, target int, initState map[string]value.Value, maxSteps int) (*ReachResult, error) {
+	if target < 0 || target >= len(m.Entries) {
+		return nil, fmt.Errorf("verify: entry %d out of range", target)
+	}
+	if maxSteps < 1 {
+		maxSteps = 1
+	}
+	// Initial symbolic state: the concrete initial values as constants.
+	init := map[string]solver.Term{}
+	for _, name := range m.OISVars {
+		v, ok := initState[name]
+		if !ok {
+			return nil, fmt.Errorf("verify: missing initial state for %q", name)
+		}
+		init[name] = solver.Const{V: v.Clone()}
+	}
+
+	var found *ReachResult
+	var rec func(step int, state map[string]solver.Term, conds []solver.Term, seq []int)
+	rec = func(step int, state map[string]solver.Term, conds []solver.Term, seq []int) {
+		if found != nil || step >= maxSteps {
+			return
+		}
+		prefix := fmt.Sprintf("pkt%d.", step)
+		for i := range m.Entries {
+			if found != nil {
+				return
+			}
+			e := &m.Entries[i]
+			next := append([]solver.Term{}, conds...)
+			ok := true
+			for _, g := range e.Guard() {
+				ng := solver.Simplify(bindStep(g, prefix, state))
+				if b, isB := solver.IsConstBool(ng); isB {
+					if !b {
+						ok = false
+						break
+					}
+					continue
+				}
+				next = append(next, ng)
+			}
+			if !ok || !solver.SatConj(next) {
+				continue
+			}
+			seq2 := append(append([]int{}, seq...), i)
+			if i == target {
+				found = &ReachResult{Reachable: true, Entries: seq2, Conds: next}
+				return
+			}
+			// Apply the entry's state transitions.
+			ns := make(map[string]solver.Term, len(state))
+			for k, v := range state {
+				ns[k] = v
+			}
+			for _, u := range e.Updates {
+				ns[u.Name] = solver.Simplify(bindStep(u.Val, prefix, state))
+			}
+			rec(step+1, ns, next, seq2)
+		}
+	}
+	rec(0, init, nil, nil)
+	if found == nil {
+		return &ReachResult{Reachable: false}, nil
+	}
+	return found, nil
+}
+
+// bindStep renames this step's packet fields (pkt.f → pkt{k}.f) and
+// substitutes state snapshots (x@0, m@0) by the current symbolic state.
+func bindStep(t solver.Term, pktPrefix string, state map[string]solver.Term) solver.Term {
+	switch x := t.(type) {
+	case solver.Var:
+		if f, ok := strings.CutPrefix(x.Name, "pkt."); ok {
+			return solver.Var{Name: pktPrefix + f}
+		}
+		if base, ok := strings.CutSuffix(x.Name, "@0"); ok {
+			if s, ok := state[base]; ok {
+				return s
+			}
+		}
+		return t
+	case solver.MapVar:
+		if base, ok := strings.CutSuffix(x.Name, "@0"); ok {
+			if s, ok := state[base]; ok {
+				return s
+			}
+		}
+		return t
+	case solver.Bin:
+		return solver.Bin{Op: x.Op, X: bindStep(x.X, pktPrefix, state), Y: bindStep(x.Y, pktPrefix, state)}
+	case solver.Un:
+		return solver.Un{Op: x.Op, X: bindStep(x.X, pktPrefix, state)}
+	case solver.Call:
+		args := make([]solver.Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = bindStep(a, pktPrefix, state)
+		}
+		return solver.Call{Fn: x.Fn, Args: args}
+	case solver.Tuple:
+		elems := make([]solver.Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = bindStep(e, pktPrefix, state)
+		}
+		return solver.Tuple{Elems: elems}
+	case solver.Index:
+		return solver.Index{X: bindStep(x.X, pktPrefix, state), I: bindStep(x.I, pktPrefix, state)}
+	case solver.Select:
+		return solver.Select{M: bindStep(x.M, pktPrefix, state), K: bindStep(x.K, pktPrefix, state)}
+	case solver.Store:
+		return solver.Store{M: bindStep(x.M, pktPrefix, state), K: bindStep(x.K, pktPrefix, state), V: bindStep(x.V, pktPrefix, state)}
+	case solver.Del:
+		return solver.Del{M: bindStep(x.M, pktPrefix, state), K: bindStep(x.K, pktPrefix, state)}
+	case solver.In:
+		return solver.In{K: bindStep(x.K, pktPrefix, state), M: bindStep(x.M, pktPrefix, state)}
+	default:
+		return t
+	}
+}

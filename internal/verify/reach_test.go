@@ -1,0 +1,152 @@
+package verify
+
+import (
+	"testing"
+
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// findEntry locates the first model entry satisfying pred.
+func findEntryIdx(t *testing.T, entries int, pred func(int) bool) int {
+	t.Helper()
+	for i := 0; i < entries; i++ {
+		if pred(i) {
+			return i
+		}
+	}
+	t.Fatal("entry not found")
+	return -1
+}
+
+func TestFirewallInboundAllowNeedsTwoSteps(t *testing.T) {
+	an := analyzed(t, "firewall")
+	m := an.Model
+	_, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The inbound-allow entry: a send whose guard includes a positive
+	// conns membership.
+	target := findEntryIdx(t, len(m.Entries), func(i int) bool {
+		e := &m.Entries[i]
+		if e.Dropped() {
+			return false
+		}
+		for _, c := range e.StateMatch {
+			if _, ok := c.(solver.In); ok {
+				return true
+			}
+		}
+		return false
+	})
+
+	// One packet cannot fire it: conns starts empty.
+	res, err := EntryReachable(m, target, state, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Errorf("inbound-allow reachable in one step: %s", res)
+	}
+
+	// Two packets can: an outbound packet installs the flow first.
+	res, err = EntryReachable(m, target, state, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("inbound-allow not reachable in two steps")
+	}
+	if len(res.Entries) != 2 || res.Entries[1] != target {
+		t.Errorf("witness sequence = %v", res.Entries)
+	}
+	// The first step must be the outbound-allow entry (the only one that
+	// updates conns).
+	first := &m.Entries[res.Entries[0]]
+	if len(first.Updates) == 0 {
+		t.Errorf("first step %d does not install state", res.Entries[0])
+	}
+}
+
+func TestLBExistingConnectionNeedsPriorFlow(t *testing.T) {
+	an := analyzed(t, "lb")
+	m := an.Model
+	_, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The existing-connection entry: sends, and its state match has a
+	// positive f2b_nat membership.
+	target := findEntryIdx(t, len(m.Entries), func(i int) bool {
+		e := &m.Entries[i]
+		if e.Dropped() || len(e.Updates) > 0 {
+			return false
+		}
+		for _, c := range e.StateMatch {
+			if in, ok := c.(solver.In); ok {
+				if mv, ok := in.M.(solver.MapVar); ok && mv.Name == "f2b_nat@0" {
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	res, err := EntryReachable(m, target, state, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Errorf("existing-connection entry reachable with empty NAT table: %s", res)
+	}
+	res, err = EntryReachable(m, target, state, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Error("existing-connection entry not reachable after one flow-creating packet")
+	}
+}
+
+func TestEveryNonConfigGatedEntryEventuallyReachable(t *testing.T) {
+	// Every snortlite entry without a contradictory configuration gate
+	// must be reachable within 2 steps (flood entries need a prior SYN).
+	an := analyzed(t, "snortlite")
+	m := an.Model
+	_, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreachable := 0
+	for i := range m.Entries {
+		res, err := EntryReachable(m, i, state, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reachable {
+			unreachable++
+			t.Logf("entry %d unreachable in 2 steps", i)
+		}
+	}
+	// SYN_LIMIT=100 flood entries genuinely need 100 steps; everything
+	// else must be reachable.
+	if unreachable > 2 {
+		t.Errorf("%d entries unreachable within 2 steps", unreachable)
+	}
+}
+
+func TestEntryReachableErrors(t *testing.T) {
+	an := analyzed(t, "nat")
+	_, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EntryReachable(an.Model, 999, state, 1); err == nil {
+		t.Error("out-of-range entry did not error")
+	}
+	if _, err := EntryReachable(an.Model, 0, map[string]value.Value{}, 1); err == nil {
+		t.Error("missing initial state did not error")
+	}
+}

@@ -1,0 +1,344 @@
+// Package verify implements the paper's §4 "Network Verification"
+// application: NFactor models plugged into a stateful data-plane
+// verifier.
+//
+// Each model entry acts as a network transfer function T(h, p, s): a
+// packet-header class h arriving on port p in NF state s is transformed
+// and forwarded (or dropped). Two modes are provided:
+//
+//   - Symbolic chain reachability (the "extending stateless verification"
+//     mode): compose the entries of a service chain symbolically —
+//     substitute each hop's header rewrites into the next hop's match —
+//     and decide which end-to-end classes are feasible, with witnesses.
+//
+//   - Concrete network simulation (the troubleshooting mode): a topology
+//     of hosts, switches and NF instances that forwards real packets and
+//     evolves NF state, used to validate the symbolic verdicts.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Hop is one NF in a service chain, with a namespace for its state.
+type Hop struct {
+	Name  string
+	Model *model.Model
+}
+
+// Witness is a feasible end-to-end path through a chain: the entry chosen
+// at each hop and the combined constraint on the injected packet and the
+// hops' states.
+type Witness struct {
+	Entries []int // entry index per hop
+	Conds   []solver.Term
+}
+
+// String renders the witness.
+func (w Witness) String() string {
+	parts := make([]string, len(w.Conds))
+	for i, c := range w.Conds {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("entries %v under %s", w.Entries, strings.Join(parts, " && "))
+}
+
+// ChainReachable enumerates the feasible forwarding compositions of a
+// service chain: for every combination of non-drop entries (e1, …, en),
+// it rewrites each hop's match through the header transformations of the
+// previous hops and checks the conjunction for satisfiability. extra
+// constraints (e.g. "pkt.dport == 23") restrict the injected traffic
+// class.
+func ChainReachable(hops []Hop, extra []solver.Term) ([]Witness, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("verify: empty chain")
+	}
+	var out []Witness
+	var rec func(hop int, conds []solver.Term, fields map[string]solver.Term, entries []int)
+	rec = func(hop int, conds []solver.Term, fields map[string]solver.Term, entries []int) {
+		if hop == len(hops) {
+			w := Witness{Entries: append([]int{}, entries...), Conds: append([]solver.Term{}, conds...)}
+			out = append(out, w)
+			return
+		}
+		h := hops[hop]
+		ns := fmt.Sprintf("%s#%d", h.Name, hop)
+		for i := range h.Model.Entries {
+			e := &h.Model.Entries[i]
+			if e.Dropped() || len(e.Sends) == 0 {
+				continue
+			}
+			// Rewrite the entry's guard: packet fields seen by this hop
+			// are the previous hops' outputs; state variables get the
+			// hop's namespace.
+			guard := e.Guard()
+			next := append([]solver.Term{}, conds...)
+			ok := true
+			for _, g := range guard {
+				ng := substituteFields(namespaceState(g, ns), fields)
+				ng = solver.Simplify(ng)
+				if b, isB := solver.IsConstBool(ng); isB {
+					if !b {
+						ok = false
+						break
+					}
+					continue
+				}
+				next = append(next, ng)
+			}
+			if !ok || !solver.SatConj(next) {
+				continue
+			}
+			// Compose the header transformation for downstream hops.
+			send := e.Sends[0]
+			nf := make(map[string]solver.Term, len(fields)+len(send.Fields))
+			for k, v := range fields {
+				nf[k] = v
+			}
+			for f, t := range send.Fields {
+				nf[f] = solver.Simplify(substituteFields(namespaceState(t, ns), fields))
+			}
+			rec(hop+1, next, nf, append(entries, i))
+		}
+	}
+	rec(0, append([]solver.Term{}, extra...), map[string]solver.Term{}, nil)
+	return out, nil
+}
+
+// Blocked reports whether no traffic satisfying extra can traverse the
+// whole chain — the isolation check ("packets of class X never reach the
+// end").
+func Blocked(hops []Hop, extra []solver.Term) (bool, []Witness, error) {
+	ws, err := ChainReachable(hops, extra)
+	if err != nil {
+		return false, nil, err
+	}
+	return len(ws) == 0, ws, nil
+}
+
+// namespaceState prefixes state variable names (x@0, m@0) with the hop's
+// namespace so different hops' states stay independent.
+func namespaceState(t solver.Term, ns string) solver.Term {
+	return solver.Rename(t, func(name string) string {
+		if strings.HasSuffix(name, "@0") {
+			return ns + ":" + name
+		}
+		return name
+	})
+}
+
+// substituteFields replaces pkt.* variables by the upstream header
+// transformation terms.
+func substituteFields(t solver.Term, fields map[string]solver.Term) solver.Term {
+	if len(fields) == 0 {
+		return t
+	}
+	switch x := t.(type) {
+	case solver.Var:
+		if f, ok := strings.CutPrefix(x.Name, "pkt."); ok {
+			if nt, ok := fields[f]; ok {
+				return nt
+			}
+		}
+		return t
+	case solver.Bin:
+		return solver.Bin{Op: x.Op, X: substituteFields(x.X, fields), Y: substituteFields(x.Y, fields)}
+	case solver.Un:
+		return solver.Un{Op: x.Op, X: substituteFields(x.X, fields)}
+	case solver.Call:
+		args := make([]solver.Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substituteFields(a, fields)
+		}
+		return solver.Call{Fn: x.Fn, Args: args}
+	case solver.Tuple:
+		elems := make([]solver.Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = substituteFields(e, fields)
+		}
+		return solver.Tuple{Elems: elems}
+	case solver.Index:
+		return solver.Index{X: substituteFields(x.X, fields), I: substituteFields(x.I, fields)}
+	case solver.Select:
+		return solver.Select{M: substituteFields(x.M, fields), K: substituteFields(x.K, fields)}
+	case solver.Store:
+		return solver.Store{M: substituteFields(x.M, fields), K: substituteFields(x.K, fields), V: substituteFields(x.V, fields)}
+	case solver.Del:
+		return solver.Del{M: substituteFields(x.M, fields), K: substituteFields(x.K, fields)}
+	case solver.In:
+		return solver.In{K: substituteFields(x.K, fields), M: substituteFields(x.M, fields)}
+	default:
+		return t
+	}
+}
+
+// --- concrete network simulation -------------------------------------
+
+// Network is a concrete topology of named nodes connected by links.
+type Network struct {
+	nodes map[string]node
+	links map[string]map[string]string // node -> out-iface -> peer node
+}
+
+type node interface {
+	process(pkt value.Value, inIface string) ([]outPkt, error)
+}
+
+type outPkt struct {
+	pkt   value.Value
+	iface string
+}
+
+// NewNetwork returns an empty topology.
+func NewNetwork() *Network {
+	return &Network{nodes: map[string]node{}, links: map[string]map[string]string{}}
+}
+
+// hostNode records delivered packets.
+type hostNode struct{ delivered []value.Value }
+
+func (h *hostNode) process(pkt value.Value, _ string) ([]outPkt, error) {
+	h.delivered = append(h.delivered, pkt)
+	return nil, nil
+}
+
+// switchNode forwards by exact destination IP, flooding unknown
+// destinations nowhere (dropping).
+type switchNode struct {
+	byDst map[string]string // dst ip -> out iface
+}
+
+func (s *switchNode) process(pkt value.Value, _ string) ([]outPkt, error) {
+	dst, ok := pkt.Pkt.Fields["dip"]
+	if !ok || dst.Kind != value.KindStr {
+		return nil, nil
+	}
+	iface, ok := s.byDst[dst.S]
+	if !ok {
+		return nil, nil
+	}
+	return []outPkt{{pkt: pkt, iface: iface}}, nil
+}
+
+// nfNode wraps a model instance; the ingress link name becomes the
+// packet's in_iface.
+type nfNode struct{ inst *model.Instance }
+
+func (n *nfNode) process(pkt value.Value, inIface string) ([]outPkt, error) {
+	p := pkt.Clone()
+	// Mid-network hops stamp the ingress link; injected packets keep
+	// their preset in_iface.
+	if inIface != "" {
+		p.Pkt.Fields["in_iface"] = value.Str(inIface)
+	}
+	out, err := n.inst.Process(p)
+	if err != nil {
+		return nil, err
+	}
+	var res []outPkt
+	for _, s := range out.Sent {
+		res = append(res, outPkt{pkt: s.Pkt, iface: s.Iface})
+	}
+	return res, nil
+}
+
+// AddHost adds an endpoint node.
+func (n *Network) AddHost(name string) { n.nodes[name] = &hostNode{} }
+
+// AddSwitch adds a switch with a dstIP→iface forwarding table.
+func (n *Network) AddSwitch(name string, byDst map[string]string) {
+	n.nodes[name] = &switchNode{byDst: byDst}
+}
+
+// AddNF adds an NF node backed by a model instance.
+func (n *Network) AddNF(name string, inst *model.Instance) {
+	n.nodes[name] = &nfNode{inst: inst}
+}
+
+// Link connects from's out-iface to the to node.
+func (n *Network) Link(from, iface, to string) error {
+	if _, ok := n.nodes[from]; !ok {
+		return fmt.Errorf("verify: unknown node %q", from)
+	}
+	if _, ok := n.nodes[to]; !ok {
+		return fmt.Errorf("verify: unknown node %q", to)
+	}
+	if n.links[from] == nil {
+		n.links[from] = map[string]string{}
+	}
+	n.links[from][iface] = to
+	return nil
+}
+
+const maxHops = 32
+
+// Inject sends pkt into the network at node entry and simulates until all
+// copies are delivered or dropped. It returns the hosts that received a
+// copy.
+func (n *Network) Inject(entry string, pkt value.Value) ([]string, error) {
+	type inflight struct {
+		node    string
+		pkt     value.Value
+		inIface string
+		hops    int
+	}
+	work := []inflight{{node: entry, pkt: pkt.Clone()}}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if cur.hops > maxHops {
+			return nil, fmt.Errorf("verify: hop limit exceeded (forwarding loop?)")
+		}
+		nd, ok := n.nodes[cur.node]
+		if !ok {
+			return nil, fmt.Errorf("verify: unknown node %q", cur.node)
+		}
+		outs, err := nd.process(cur.pkt, cur.inIface)
+		if err != nil {
+			return nil, fmt.Errorf("verify: node %s: %w", cur.node, err)
+		}
+		for _, o := range outs {
+			peer, ok := n.links[cur.node][o.iface]
+			if !ok {
+				continue // unconnected interface: packet leaves the world
+			}
+			work = append(work, inflight{node: peer, pkt: o.pkt, inIface: o.iface, hops: cur.hops + 1})
+		}
+	}
+	var reached []string
+	for name, nd := range n.nodes {
+		if h, ok := nd.(*hostNode); ok && len(h.delivered) > 0 {
+			reached = append(reached, name)
+		}
+	}
+	sort.Strings(reached)
+	return reached, nil
+}
+
+// Delivered returns the packets host has received.
+func (n *Network) Delivered(host string) ([]value.Value, error) {
+	nd, ok := n.nodes[host]
+	if !ok {
+		return nil, fmt.Errorf("verify: unknown node %q", host)
+	}
+	h, ok := nd.(*hostNode)
+	if !ok {
+		return nil, fmt.Errorf("verify: node %q is not a host", host)
+	}
+	return h.delivered, nil
+}
+
+// Reset clears delivery records (NF state is kept).
+func (n *Network) Reset() {
+	for _, nd := range n.nodes {
+		if h, ok := nd.(*hostNode); ok {
+			h.delivered = nil
+		}
+	}
+}

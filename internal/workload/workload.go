@@ -1,0 +1,195 @@
+// Package workload generates synthetic packet traces for the paper's §5
+// accuracy experiment ("we generate random inputs (i.e., packets) to both
+// NFactor model and the original program") and for the application
+// benchmarks. All generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nfactor/internal/netpkt"
+)
+
+// Gen is a deterministic trace generator.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+var protos = []string{"tcp", "tcp", "tcp", "udp", "icmp"}
+var flagPool = []string{"", "S", "SA", "A", "FA", "R", "PA"}
+
+// payloadPool mixes benign content with the attack signatures the DPI
+// corpus NF matches on, so random traces exercise both verdicts.
+var payloadPool = []string{
+	"", "GET / HTTP/1.1", "POST /login", "hello world",
+	"SELECT * FROM users", "cat /etc/passwd", "\\x90\\x90\\x90 shellcode",
+	"binary\x00data", "{\"json\": true}",
+}
+
+func (g *Gen) ip() string {
+	return fmt.Sprintf("%d.%d.%d.%d",
+		1+g.rng.Intn(223), g.rng.Intn(256), g.rng.Intn(256), 1+g.rng.Intn(254))
+}
+
+func (g *Gen) port() int { return 1 + g.rng.Intn(65535) }
+
+// Random returns one uniformly random packet.
+func (g *Gen) Random() netpkt.Packet {
+	return netpkt.Packet{
+		SrcIP:   g.ip(),
+		DstIP:   g.ip(),
+		SrcPort: g.port(),
+		DstPort: g.port(),
+		Proto:   protos[g.rng.Intn(len(protos))],
+		Flags:   flagPool[g.rng.Intn(len(flagPool))],
+		TTL:     1 + g.rng.Intn(255),
+		Length:  g.rng.Intn(1460),
+		Payload: payloadPool[g.rng.Intn(len(payloadPool))],
+		InIface: "eth0",
+	}
+}
+
+// RandomTrace returns n uniformly random packets.
+func (g *Gen) RandomTrace(n int) []netpkt.Packet {
+	out := make([]netpkt.Packet, n)
+	for i := range out {
+		out[i] = g.Random()
+	}
+	return out
+}
+
+// ClientServerTrace generates traffic toward a service VIP:port — the
+// workload an L4 load balancer sees. A fraction of packets are reverse
+// (server→client) packets of earlier flows; a small fraction are strays
+// that belong to no established flow.
+func (g *Gen) ClientServerTrace(vip string, port, n int) []netpkt.Packet {
+	var out []netpkt.Packet
+	var forward []netpkt.Packet
+	for len(out) < n {
+		switch {
+		case len(forward) > 0 && g.rng.Intn(100) < 30:
+			// Reverse packet of a previously seen forward flow, as the
+			// backend would answer through the LB.
+			fw := forward[g.rng.Intn(len(forward))]
+			out = append(out, netpkt.Packet{
+				SrcIP: fw.DstIP, DstIP: fw.SrcIP,
+				SrcPort: fw.DstPort, DstPort: fw.SrcPort,
+				Proto: "tcp", Flags: "A", TTL: 64, Length: g.rng.Intn(1460), InIface: "eth0",
+			})
+		case g.rng.Intn(100) < 10:
+			// Stray reverse traffic with no forward flow (must be dropped
+			// by the LB).
+			out = append(out, netpkt.Packet{
+				SrcIP: g.ip(), DstIP: g.ip(),
+				SrcPort: port + 1, DstPort: g.port(),
+				Proto: "tcp", Flags: "A", TTL: 64, Length: 0, InIface: "eth0",
+			})
+		default:
+			p := netpkt.Packet{
+				SrcIP: g.ip(), DstIP: vip,
+				SrcPort: g.port(), DstPort: port,
+				Proto: "tcp", Flags: "S", TTL: 64, Length: 0, InIface: "eth0",
+			}
+			forward = append(forward, p)
+			out = append(out, p)
+			// Follow-on packets of the same flow with some probability.
+			for g.rng.Intn(100) < 50 && len(out) < n {
+				q := p
+				q.Flags = "A"
+				q.Length = g.rng.Intn(1460)
+				out = append(out, q)
+			}
+		}
+	}
+	return out[:n]
+}
+
+// FlowTrace generates nFlows TCP flows with a 3-way handshake and
+// pktsPerFlow data packets each, interleaved round-robin — the stateful
+// firewall / TCP-unfolding workload.
+func (g *Gen) FlowTrace(nFlows, pktsPerFlow int) []netpkt.Packet {
+	type fl struct {
+		f    netpkt.Flow
+		sent int
+	}
+	flows := make([]*fl, nFlows)
+	for i := range flows {
+		flows[i] = &fl{f: netpkt.Flow{
+			SrcIP: g.ip(), SrcPort: g.port(),
+			DstIP: g.ip(), DstPort: []int{80, 443, 22, 8080}[g.rng.Intn(4)],
+			Proto: "tcp",
+		}}
+	}
+	var out []netpkt.Packet
+	mk := func(f netpkt.Flow, flags string, length int) netpkt.Packet {
+		return netpkt.Packet{
+			SrcIP: f.SrcIP, SrcPort: f.SrcPort, DstIP: f.DstIP, DstPort: f.DstPort,
+			Proto: "tcp", Flags: flags, TTL: 64, Length: length, InIface: "eth0",
+		}
+	}
+	total := nFlows * (pktsPerFlow + 3)
+	for len(out) < total {
+		for _, fl := range flows {
+			if len(out) >= total {
+				break
+			}
+			switch {
+			case fl.sent == 0:
+				out = append(out, mk(fl.f, "S", 0))
+			case fl.sent == 1:
+				out = append(out, mk(fl.f.Reverse(), "SA", 0))
+			case fl.sent == 2:
+				out = append(out, mk(fl.f, "A", 0))
+			default:
+				// Data in a random direction.
+				d := fl.f
+				if g.rng.Intn(2) == 1 {
+					d = d.Reverse()
+				}
+				out = append(out, mk(d, "PA", 1+g.rng.Intn(1400)))
+			}
+			fl.sent++
+		}
+	}
+	return out
+}
+
+// AdversarialTrace stresses NF edge cases: repeated tuples, reverse
+// packets with no forward flow, zero TTLs, port-0 and max-port packets,
+// and malformed (empty-proto) packets.
+func (g *Gen) AdversarialTrace(n int) []netpkt.Packet {
+	base := g.Random()
+	var out []netpkt.Packet
+	for i := 0; len(out) < n; i++ {
+		switch i % 6 {
+		case 0:
+			out = append(out, base) // exact repeat → state-hit path
+		case 1:
+			p := base
+			p.SrcIP, p.DstIP = p.DstIP, p.SrcIP
+			p.SrcPort, p.DstPort = p.DstPort, p.SrcPort
+			out = append(out, p) // reverse without forward state
+		case 2:
+			p := g.Random()
+			p.TTL = 0
+			out = append(out, p)
+		case 3:
+			p := g.Random()
+			p.SrcPort, p.DstPort = 0, 65535
+			out = append(out, p)
+		case 4:
+			p := g.Random()
+			p.Proto = ""
+			out = append(out, p) // malformed
+		default:
+			out = append(out, g.Random())
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"nfactor/internal/netpkt"
+)
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := New(7).RandomTrace(50)
+	b := New(7).RandomTrace(50)
+	for i := range a {
+		if !netpkt.Equal(a[i], b[i]) {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+	c := New(8).RandomTrace(50)
+	same := true
+	for i := range a {
+		if !netpkt.Equal(a[i], c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestRandomTraceFieldsValid(t *testing.T) {
+	for _, p := range New(1).RandomTrace(200) {
+		if p.SrcPort < 1 || p.SrcPort > 65535 || p.DstPort < 1 || p.DstPort > 65535 {
+			t.Fatalf("bad ports: %+v", p)
+		}
+		if p.Proto == "" || p.SrcIP == "" || p.DstIP == "" {
+			t.Fatalf("missing fields: %+v", p)
+		}
+		if p.TTL < 1 || p.TTL > 256 {
+			t.Fatalf("bad ttl: %+v", p)
+		}
+	}
+}
+
+func TestClientServerTrace(t *testing.T) {
+	trace := New(3).ClientServerTrace("9.9.9.9", 80, 400)
+	if len(trace) != 400 {
+		t.Fatalf("len = %d", len(trace))
+	}
+	toVIP, reverse := 0, 0
+	for _, p := range trace {
+		if p.DstIP == "9.9.9.9" && p.DstPort == 80 {
+			toVIP++
+		}
+		if p.SrcPort == 80 {
+			reverse++
+		}
+	}
+	if toVIP == 0 {
+		t.Error("no packets to the VIP")
+	}
+	if reverse == 0 {
+		t.Error("no reverse packets")
+	}
+}
+
+func TestFlowTraceHandshake(t *testing.T) {
+	trace := New(5).FlowTrace(3, 4)
+	if len(trace) != 3*(4+3) {
+		t.Fatalf("len = %d", len(trace))
+	}
+	// Each flow starts with SYN before any data packet of that flow.
+	seenSyn := map[string]bool{}
+	for _, p := range trace {
+		key := p.Flow().Key()
+		rkey := p.Flow().Reverse().Key()
+		switch {
+		case p.Flags == "S":
+			seenSyn[key] = true
+		case p.Flags == "PA":
+			if !seenSyn[key] && !seenSyn[rkey] {
+				t.Fatalf("data before SYN for %s", key)
+			}
+		}
+	}
+}
+
+func TestAdversarialTraceCoversEdgeCases(t *testing.T) {
+	trace := New(9).AdversarialTrace(60)
+	if len(trace) != 60 {
+		t.Fatalf("len = %d", len(trace))
+	}
+	var zeroTTL, malformed, repeat bool
+	seen := map[string]int{}
+	for _, p := range trace {
+		if p.TTL == 0 {
+			zeroTTL = true
+		}
+		if p.Proto == "" {
+			malformed = true
+		}
+		seen[p.Canonical()]++
+	}
+	for _, n := range seen {
+		if n > 1 {
+			repeat = true
+		}
+	}
+	if !zeroTTL || !malformed || !repeat {
+		t.Errorf("missing edge cases: zeroTTL=%v malformed=%v repeat=%v", zeroTTL, malformed, repeat)
+	}
+}

@@ -1,0 +1,385 @@
+// Package nfactor synthesizes forwarding models of network functions by
+// program analysis, reproducing "Automatic Synthesis of NF Models by
+// Program Analysis" (Wu, Zhang, Banerjee — HotNets-XV, 2016).
+//
+// Given the source of an NF written in NFLang (a small imperative NF
+// language standing in for the C sources the paper analyzes with LLVM
+// giri and KLEE), the pipeline
+//
+//  1. backward-slices from every packet-output statement (packet slice),
+//  2. classifies variables into pktVar/cfgVar/oisVar/logVar (StateAlyzer),
+//  3. backward-slices from every output-impacting state update,
+//  4. symbolically executes the union slice to enumerate execution paths,
+//  5. refines each path into a stateful match/action table entry.
+//
+// The resulting Model is executable (run it on packets), renderable
+// (Figure 6-style tables), compilable back to NFLang, and usable by the
+// §4 applications: stateful verification (internal/verify re-exported as
+// Chain/Blocked helpers on models), service-chain composition and
+// model-guided test generation.
+//
+// Quick start:
+//
+//	res, err := nfactor.AnalyzeSource("mynat", src, nfactor.Options{})
+//	fmt.Println(res.RenderModel())
+package nfactor
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nfactor/internal/core"
+	"nfactor/internal/interp"
+	"nfactor/internal/lang"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/normalize"
+	"nfactor/internal/statealyzer"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+	"nfactor/internal/workload"
+)
+
+// Options configure an analysis.
+type Options struct {
+	// Entry is the per-packet function name; default "process". NFs in
+	// other code structures (callback, socket loops — the paper's
+	// Figure 4) are normalized automatically before analysis.
+	Entry string
+	// MaxPaths bounds symbolic execution (default 4096); hitting it is
+	// reported in Metrics (the paper's ">1000 paths" condition).
+	MaxPaths int
+	// LoopBound bounds symbolic loop unrolling (default 16).
+	LoopBound int
+	// Config pins configuration globals to concrete values. Unpinned
+	// scalar configuration stays symbolic and yields one table per
+	// configuration condition.
+	Config map[string]Value
+	// MeasureOriginal additionally symbolically executes the original
+	// program for comparison (Table 2's "orig" columns).
+	MeasureOriginal bool
+}
+
+// Value is a concrete NFLang value (integers, strings, booleans, tuples,
+// lists, maps).
+type Value = value.Value
+
+// Convenience constructors for configuration values.
+var (
+	Int  = value.Int
+	Str  = value.Str
+	Bool = value.Bool
+)
+
+// Packet is a concrete packet header.
+type Packet = netpkt.Packet
+
+// Model is a synthesized NF forwarding model.
+type Model = model.Model
+
+// Metrics are the per-analysis measurements (Table 2).
+type Metrics = core.Metrics
+
+// Result is a completed analysis.
+type Result struct {
+	an   *core.Analysis
+	opts core.Options
+}
+
+func (o Options) toCore() core.Options {
+	return core.Options{
+		Entry:           o.Entry,
+		MaxPaths:        o.MaxPaths,
+		LoopBound:       o.LoopBound,
+		ConfigOverride:  o.Config,
+		MeasureOriginal: o.MeasureOriginal,
+	}
+}
+
+// AnalyzeSource parses, normalizes and analyzes an NFLang program.
+func AnalyzeSource(name, src string, opts Options) (*Result, error) {
+	nf, err := nfs.FromSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(nf, opts)
+}
+
+// AnalyzeCorpus analyzes one of the built-in corpus NFs; see CorpusNames.
+func AnalyzeCorpus(name string, opts Options) (*Result, error) {
+	nf, err := nfs.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(nf, opts)
+}
+
+// CorpusNames lists the built-in NF corpus (lb, balance, snortlite, nat,
+// firewall).
+func CorpusNames() []string { return nfs.Names() }
+
+// CorpusSource returns the NFLang source of a corpus NF.
+func CorpusSource(name string) (string, error) {
+	nf, err := nfs.Load(name)
+	if err != nil {
+		return "", err
+	}
+	return nf.Source, nil
+}
+
+func analyze(nf *nfs.NF, opts Options) (*Result, error) {
+	copts := opts.toCore()
+	an, err := core.Analyze(nf.Name, nf.Prog, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{an: an, opts: copts}, nil
+}
+
+// Model returns the synthesized forwarding model.
+func (r *Result) Model() *Model { return r.an.Model }
+
+// Metrics returns the analysis measurements.
+func (r *Result) Metrics() Metrics { return r.an.Metrics }
+
+// RenderModel returns the Figure 6-style table rendering.
+func (r *Result) RenderModel() string { return model.Render(r.an.Model) }
+
+// RenderSlice returns the packet+state slice as NFLang source.
+func (r *Result) RenderSlice() string {
+	return lang.Print(r.an.SliceProg)
+}
+
+// VariableTable renders the Table 1-style variable categorization.
+func (r *Result) VariableTable() string {
+	v := r.an.Vars
+	out := "category | variables\n"
+	out += fmt.Sprintf("pktVar   | %v\n", v.PktVars())
+	out += fmt.Sprintf("cfgVar   | %v\n", v.CfgVars())
+	out += fmt.Sprintf("oisVar   | %v\n", v.OISVars())
+	out += fmt.Sprintf("logVar   | %v\n", v.LogVars())
+	return out
+}
+
+// Categories exposes the StateAlyzer result.
+func (r *Result) Categories() *statealyzer.Result { return r.an.Vars }
+
+// Instance creates a runnable model instance with the NF's configured
+// values and initial state.
+func (r *Result) Instance() (*model.Instance, error) {
+	config, state, err := r.an.ConfigAndState(r.opts.ConfigOverride)
+	if err != nil {
+		return nil, err
+	}
+	return model.NewInstance(r.an.Model, config, state)
+}
+
+// CompileModel lowers the model back to an NFLang program.
+func (r *Result) CompileModel() (string, error) {
+	config, state, err := r.an.ConfigAndState(r.opts.ConfigOverride)
+	if err != nil {
+		return "", err
+	}
+	prog, err := model.Compile(r.an.Model, config, state)
+	if err != nil {
+		return "", err
+	}
+	return lang.Print(prog), nil
+}
+
+// CheckEquivalence runs the paper's symbolic path-set comparison between
+// the program and the compiled model (§5 accuracy, part 1). It returns an
+// error describing the first divergence, or nil when equivalent.
+func (r *Result) CheckEquivalence() error {
+	rep, err := r.an.CheckPathEquivalence(r.opts)
+	if err != nil {
+		return err
+	}
+	if !rep.Equivalent() {
+		return fmt.Errorf("nfactor: model and program path sets differ: %d uncovered program paths, %d mismatched model paths",
+			len(rep.UncoveredProgram), len(rep.MismatchedModel))
+	}
+	return nil
+}
+
+// DiffTest runs n random packets through the original program and the
+// model side by side (§5 accuracy, part 2) and returns the number of
+// mismatches (0 = the outputs agreed on every trial).
+func (r *Result) DiffTest(n int, seed int64) (mismatches int, firstDiff string, err error) {
+	trace := workload.New(seed).RandomTrace(n)
+	res, err := r.an.DiffTest(trace, r.opts)
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Mismatches, res.FirstDiff, nil
+}
+
+// DiffTestTrace is DiffTest over a caller-provided trace.
+func (r *Result) DiffTestTrace(trace []Packet) (mismatches int, firstDiff string, err error) {
+	res, err := r.an.DiffTest(trace, r.opts)
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Mismatches, res.FirstDiff, nil
+}
+
+// DetectStructure reports the Figure 4 code structure of an NFLang
+// program without analyzing it.
+func DetectStructure(src string) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	kind, err := normalize.Detect(prog)
+	if err != nil {
+		return "", err
+	}
+	return kind.String(), nil
+}
+
+// NormalizeSource rewrites an NF in any Figure 4 code structure into the
+// canonical single-processing-loop form (socket programs are TCP-unfolded
+// per Figure 5) and returns the normalized NFLang source.
+func NormalizeSource(src string) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	out, _, err := normalize.Normalize(prog)
+	if err != nil {
+		return "", err
+	}
+	return lang.Print(out), nil
+}
+
+// FSM extracts the finite state machine of one map-valued state variable
+// (e.g. balance's "tcp_state") from the model — the paper's §2.4
+// observation that the state transition logic forms the FSM testing
+// tools like BUZZ consume. It returns the transition table and a
+// Graphviz dot rendering.
+func (r *Result) FSM(stateVar string) (table, dot string, err error) {
+	fsm, err := model.ExtractFSM(r.an.Model, stateVar)
+	if err != nil {
+		return "", "", err
+	}
+	return model.RenderFSM(fsm), fsm.Dot(), nil
+}
+
+// EntryReachable decides by multi-step symbolic reachability whether the
+// given model entry can ever fire within maxSteps packets, starting from
+// the NF's initial state. It returns the witness entry sequence when
+// reachable.
+func (r *Result) EntryReachable(entry, maxSteps int) (reachable bool, witness []int, err error) {
+	_, state, err := r.an.ConfigAndState(r.opts.ConfigOverride)
+	if err != nil {
+		return false, nil, err
+	}
+	res, err := verify.EntryReachable(r.an.Model, entry, state, maxSteps)
+	if err != nil {
+		return false, nil, err
+	}
+	return res.Reachable, res.Entries, nil
+}
+
+// DynamicSlice returns the dynamic program slice for a concrete packet
+// trace (the paper's Figure 1 highlight is a dynamic slice): earlier
+// packets warm up the NF's state, and the returned NFLang source contains
+// exactly the statically-sliced statements that executed for the last
+// packet.
+func (r *Result) DynamicSlice(trace []Packet) (string, error) {
+	vals := make([]value.Value, len(trace))
+	for i, p := range trace {
+		vals[i] = p.ToValue()
+	}
+	prog, err := r.an.DynamicSlice(vals)
+	if err != nil {
+		return "", err
+	}
+	return lang.Print(prog), nil
+}
+
+// MinimizeModel returns a behaviour-preserving compression of the model:
+// path enumeration yields one table entry per execution path, and entries
+// whose actions are identical and whose guards differ only in a
+// complementary condition fold together (Quine-McCluskey adjacency),
+// yielding the compact tables an operator would write by hand.
+func (r *Result) MinimizeModel() *Model {
+	return model.Minimize(r.an.Model)
+}
+
+// Verdict is one packet's observable outcome during replay.
+type Verdict struct {
+	Dropped bool
+	Sent    []Packet
+	Ifaces  []string
+}
+
+// String renders the verdict compactly.
+func (v Verdict) String() string {
+	if v.Dropped {
+		return "DROP"
+	}
+	parts := make([]string, len(v.Sent))
+	for i := range v.Sent {
+		dst := fmt.Sprintf("%s:%d", v.Sent[i].DstIP, v.Sent[i].DstPort)
+		if v.Ifaces[i] != "" {
+			dst += " via " + v.Ifaces[i]
+		}
+		parts[i] = dst
+	}
+	return "FORWARD -> " + strings.Join(parts, ", ")
+}
+
+// ReplayProgram runs the trace through the original NF program (state
+// evolving across packets) and returns per-packet verdicts.
+func (r *Result) ReplayProgram(trace []Packet) ([]Verdict, error) {
+	in, err := interp.New(r.an.Original, r.an.Entry, interp.Options{ConfigOverride: r.opts.ConfigOverride})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, 0, len(trace))
+	for i, p := range trace {
+		o, err := in.Process(p.ToValue())
+		if err != nil {
+			return nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		out = append(out, toVerdict(o))
+	}
+	return out, nil
+}
+
+// ReplayModel runs the trace through the synthesized model.
+func (r *Result) ReplayModel(trace []Packet) ([]Verdict, error) {
+	inst, err := r.Instance()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, 0, len(trace))
+	for i, p := range trace {
+		o, err := inst.Process(p.ToValue())
+		if err != nil {
+			return nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		out = append(out, toVerdict(o))
+	}
+	return out, nil
+}
+
+func toVerdict(o *interp.Output) Verdict {
+	v := Verdict{Dropped: o.Dropped}
+	for _, s := range o.Sent {
+		if p, err := netpkt.FromValue(s.Pkt); err == nil {
+			v.Sent = append(v.Sent, p)
+			v.Ifaces = append(v.Ifaces, s.Iface)
+		}
+	}
+	return v
+}
+
+// ParseTrace reads the nfreplay trace text format.
+func ParseTrace(r io.Reader) ([]Packet, error) { return netpkt.ParseTrace(r) }
+
+// FormatTrace writes packets in the trace text format.
+func FormatTrace(w io.Writer, pkts []Packet) error { return netpkt.FormatTrace(w, pkts) }

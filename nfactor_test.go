@@ -1,0 +1,287 @@
+package nfactor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeCorpusQuickstart(t *testing.T) {
+	res, err := AnalyzeCorpus("lb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Model().Entries) != 5 {
+		t.Errorf("lb entries = %d", len(res.Model().Entries))
+	}
+	out := res.RenderModel()
+	if !strings.Contains(out, `mode == "RR"`) {
+		t.Errorf("render missing RR table:\n%s", out)
+	}
+	tbl := res.VariableTable()
+	for _, want := range []string{"pktVar", "f2b_nat", "pass_stat", "mode"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("variable table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestAnalyzeSourceCustomNF(t *testing.T) {
+	src := `
+limit = 3;
+count = {};
+func process(pkt) {
+    if pkt.sip in count {
+        c = count[pkt.sip];
+    } else {
+        c = 0;
+    }
+    count[pkt.sip] = c + 1;
+    if c + 1 > limit {
+        return;
+    }
+    send(pkt);
+}`
+	res, err := AnalyzeSource("ratelimit", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckEquivalence(); err != nil {
+		t.Error(err)
+	}
+	mism, diff, err := res.DiffTest(300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mism != 0 {
+		t.Errorf("difftest mismatches: %s", diff)
+	}
+	if m := res.Metrics(); m.EPSlice == 0 || m.LoCSlice == 0 {
+		t.Errorf("metrics empty: %+v", m)
+	}
+}
+
+func TestConfigPinning(t *testing.T) {
+	res, err := AnalyzeCorpus("lb", Options{Config: map[string]Value{"mode": Str("HASH")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.RenderModel(), `mode ==`) {
+		t.Error("pinned mode still appears as a config condition")
+	}
+	if len(res.Model().Entries) != 4 {
+		t.Errorf("entries = %d, want 4 with pinned mode", len(res.Model().Entries))
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := res.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Packet{
+		SrcIP: "10.0.0.9", DstIP: "8.8.8.8",
+		SrcPort: 5000, DstPort: 443,
+		Proto: "tcp", Flags: "S", TTL: 64, InIface: "lan",
+	}
+	out, err := inst.Process(p.ToValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Error("egress https dropped")
+	}
+}
+
+func TestCompileModelReanalyzable(t *testing.T) {
+	res, err := AnalyzeCorpus("nat", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := res.CompileModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := AnalyzeSource("nat-model", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Model().Entries) == 0 {
+		t.Error("compiled model re-analysis produced no entries")
+	}
+}
+
+func TestDetectAndNormalize(t *testing.T) {
+	src, err := CorpusSource("balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := DetectStructure(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "nested loop" {
+		t.Errorf("kind = %q", kind)
+	}
+	norm, err := NormalizeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(norm, "func process(pkt)") {
+		t.Errorf("normalized source missing process():\n%s", norm)
+	}
+}
+
+func TestCorpusNames(t *testing.T) {
+	names := CorpusNames()
+	if len(names) != 8 {
+		t.Errorf("corpus = %v", names)
+	}
+}
+
+func TestRenderSlice(t *testing.T) {
+	res, err := AnalyzeCorpus("snortlite", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := res.RenderSlice()
+	if strings.Contains(sl, "proto_tcp") {
+		t.Errorf("slice still contains statistics code:\n%s", sl)
+	}
+	if !strings.Contains(sl, "syn_count") {
+		t.Errorf("slice lost forwarding state:\n%s", sl)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := AnalyzeSource("bad", "not a program", Options{}); err == nil {
+		t.Error("parse error not reported")
+	}
+	if _, err := AnalyzeCorpus("nope", Options{}); err == nil {
+		t.Error("unknown corpus NF not reported")
+	}
+	if _, err := AnalyzeSource("nosend", "x = 1;\nfunc process(pkt) { x = 2; }", Options{}); err == nil {
+		t.Error("NF without send not reported")
+	}
+}
+
+func TestFSMExtraction(t *testing.T) {
+	res, err := AnalyzeCorpus("balance", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, dot, err := res.FSM("tcp_state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SYN_RCVD", "ESTABLISHED"} {
+		if !strings.Contains(table, want) || !strings.Contains(dot, want) {
+			t.Errorf("FSM missing %q\ntable:\n%s\ndot:\n%s", want, table, dot)
+		}
+	}
+	if _, _, err := res.FSM("nosuchvar"); err == nil {
+		t.Error("FSM of unknown variable did not error")
+	}
+}
+
+func TestEntryReachableAPI(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyReachable := false
+	for i := range res.Model().Entries {
+		ok, witness, err := res.EntryReachable(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			anyReachable = true
+			if len(witness) == 0 || witness[len(witness)-1] != i {
+				t.Errorf("bad witness %v for entry %d", witness, i)
+			}
+		}
+	}
+	if !anyReachable {
+		t.Error("no entry reachable at all")
+	}
+	if _, _, err := res.EntryReachable(999, 1); err == nil {
+		t.Error("out-of-range entry did not error")
+	}
+}
+
+func TestDynamicSliceAPI(t *testing.T) {
+	res, err := AnalyzeCorpus("lb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Packet{SrcIP: "9.9.9.9", DstIP: "3.3.3.3", SrcPort: 1234, DstPort: 80,
+		Proto: "tcp", Flags: "S", TTL: 64, InIface: "eth0"}
+	src, err := res.DynamicSlice([]Packet{first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "rr_idx") {
+		t.Errorf("dynamic slice missing RR arm:\n%s", src)
+	}
+	if _, err := res.DynamicSlice(nil); err == nil {
+		t.Error("empty trace did not error")
+	}
+}
+
+func TestMinimizeModelAPI(t *testing.T) {
+	res, err := AnalyzeSource("eq", `
+func process(pkt) {
+    if pkt.ttl > 9 { pkt.m = 1; } else { pkt.m = 1; }
+    send(pkt);
+}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.MinimizeModel().Entries); got != 1 {
+		t.Errorf("minimized entries = %d, want 1", got)
+	}
+}
+
+func TestReplayAPIs(t *testing.T) {
+	res, err := AnalyzeCorpus("lb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []Packet{
+		{SrcIP: "9.9.9.9", DstIP: "3.3.3.3", SrcPort: 5555, DstPort: 80, Proto: "tcp", Flags: "S", TTL: 64, InIface: "eth0"},
+		{SrcIP: "1.2.3.4", DstIP: "9.9.9.9", SrcPort: 81, DstPort: 6666, Proto: "tcp", Flags: "A", TTL: 64, InIface: "eth0"},
+	}
+	pv, err := res.ReplayProgram(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := res.ReplayModel(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) != 2 || len(mv) != 2 {
+		t.Fatalf("verdict counts %d/%d", len(pv), len(mv))
+	}
+	if pv[0].Dropped || mv[0].Dropped {
+		t.Error("new flow dropped")
+	}
+	if !pv[1].Dropped || !mv[1].Dropped {
+		t.Error("stray reverse packet forwarded")
+	}
+	if !strings.Contains(mv[0].String(), "FORWARD") || pv[1].String() != "DROP" {
+		t.Errorf("verdict strings: %q / %q", mv[0], pv[1])
+	}
+	// Trace codec exposed through the facade.
+	var sb strings.Builder
+	if err := FormatTrace(&sb, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil || len(back) != 2 {
+		t.Fatalf("facade trace round trip: %v, %d", err, len(back))
+	}
+}
