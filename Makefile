@@ -1,0 +1,34 @@
+# NFactor build/test entry points.
+
+GO ?= go
+
+# Packages with shared-state concurrency (worker-pool explorer, solver
+# cache, pipeline fan-out) — the race target always covers these.
+RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
+             ./internal/perf ./internal/model ./internal/experiments
+
+.PHONY: all build test race bench bench-parallel vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Data-race check for every concurrent code path. CI-grade variant:
+#   go test -race ./...
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The Workers=1 vs Workers=GOMAXPROCS speedup benchmark (unsliced
+# snortlite, ~39k paths per run — expect a couple of minutes).
+bench-parallel:
+	$(GO) test -bench=BenchmarkParallelSpeedup -run=^$$ -benchtime=1x .

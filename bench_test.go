@@ -13,7 +13,10 @@ package nfactor
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	"nfactor/internal/buzz"
 	"nfactor/internal/chain"
@@ -208,20 +211,142 @@ func BenchmarkAccuracy_PathEquivalence_lb(b *testing.B) {
 // --- §4 verification: SE on model vs original -------------------------
 
 func BenchmarkVerification_ModelVsOrig_snortlite(b *testing.B) {
-	rows, err := experiments.Verification([]string{"snortlite"}, 1024)
+	// Workers=1 keeps the per-row timings faithful (no core contention).
+	rows, err := experiments.Verification([]string{"snortlite"}, 1024, experiments.Opts{Workers: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	r := rows[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Verification([]string{"snortlite"}, 1024); err != nil {
+		if _, err := experiments.Verification([]string{"snortlite"}, 1024, experiments.Opts{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(r.OrigPaths), "orig_paths")
 	b.ReportMetric(float64(r.ModelPaths), "model_paths")
 	b.ReportMetric(r.OrigTime.Seconds()/r.ModelTime.Seconds(), "orig_over_model_time")
+}
+
+// --- Parallel exploration + solver cache -------------------------------
+
+// BenchmarkParallelSpeedup_snortlite explores the UNSLICED snortlite
+// program (~39k paths) at Workers=1 and Workers=GOMAXPROCS and reports
+// wall(1)/wall(N) as "speedup". On a ≥4-core machine the ratio should
+// exceed 2×; on fewer cores it only documents the scheduling overhead,
+// so the value is reported, not asserted. The two runs must produce an
+// identical ordered path set — that IS asserted, every iteration.
+func BenchmarkParallelSpeedup_snortlite(b *testing.B) {
+	nf := nfs.MustLoad("snortlite")
+	an, err := core.Analyze("snortlite", nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(workers int) (*symexec.Result, time.Duration) {
+		opts := symexec.Options{
+			MaxPaths:   65536,
+			Workers:    workers,
+			Cache:      solver.NewCache(), // fresh per run: no cross-run skew
+			ConfigVars: map[string]bool{},
+			StateVars:  map[string]bool{},
+		}
+		for _, v := range an.Vars.CfgVars() {
+			opts.ConfigVars[v] = true
+		}
+		for _, v := range an.Vars.OISVars() {
+			opts.StateVars[v] = true
+		}
+		for _, v := range an.Vars.LogVars() {
+			opts.StateVars[v] = true
+		}
+		start := time.Now()
+		res, err := symexec.Run(an.Analyzer.Prog, "process", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Exhausted {
+			b.Fatal("path budget too small for a full exploration")
+		}
+		return res, time.Since(start)
+	}
+	par := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res1, t1 := run(1)
+		resN, tN := run(par)
+		if len(res1.Paths) != len(resN.Paths) {
+			b.Fatalf("path count differs: %d (workers=1) vs %d (workers=%d)",
+				len(res1.Paths), len(resN.Paths), par)
+		}
+		for j := range res1.Paths {
+			if pathKey(res1.Paths[j]) != pathKey(resN.Paths[j]) {
+				b.Fatalf("path %d differs between worker counts", j)
+			}
+		}
+		speedup = t1.Seconds() / tN.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(par), "workers")
+}
+
+// BenchmarkSolverCache_snortlite measures the full synthesize-and-verify
+// cycle (pipeline + model path-set equivalence) with the solver cache
+// isolated per stage vs shared across stages, and reports the shared
+// hit rate. A single symbolic execution never repeats a branch query, so
+// the win comes from the model-side re-execution and the implication
+// checks revisiting the pipeline's conjunctions.
+func BenchmarkSolverCache_snortlite(b *testing.B) {
+	nf := nfs.MustLoad("snortlite")
+	for _, shared := range []bool{false, true} {
+		name := "cache=isolated"
+		if shared {
+			name = "cache=shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cache *solver.Cache
+			for i := 0; i < b.N; i++ {
+				cache = solver.NewCache()
+				an, err := core.Analyze("snortlite", nf.Prog, core.Options{Workers: 1, Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				checkOpts := core.Options{Workers: 1, Cache: cache}
+				if !shared {
+					checkOpts.Cache = solver.NewCache()
+				}
+				rep, err := an.CheckPathEquivalence(checkOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Equivalent() {
+					b.Fatal("model not equivalent")
+				}
+			}
+			if shared {
+				b.ReportMetric(100*cache.Stats().SatHitRate(), "sat_hit_%")
+			}
+		})
+	}
+}
+
+// pathKey canonicalizes one path for cross-run comparison.
+func pathKey(p *symexec.Path) string {
+	var sb strings.Builder
+	for _, c := range p.Conds {
+		sb.WriteString(c.Key())
+		sb.WriteByte('&')
+	}
+	for _, s := range p.Sends {
+		sb.WriteString("send[" + s.Iface.Key() + "]")
+		for _, f := range s.FieldNames() {
+			sb.WriteString(f + "=" + s.Fields[f].Key() + ",")
+		}
+	}
+	for _, u := range p.Updates {
+		sb.WriteString(u.Name + ":=" + u.Val.Key() + ";")
+	}
+	return sb.String()
 }
 
 // --- model vs program per-packet forwarding cost -----------------------

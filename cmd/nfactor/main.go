@@ -22,6 +22,9 @@ func main() {
 	configFlag := flag.String("config", "", "pin configuration values, e.g. mode=HASH,LB_PORT=8080")
 	show := flag.String("show", "all", "what to print: model | vars | slice | source | metrics | fsm | all")
 	maxPaths := flag.Int("maxpaths", 4096, "symbolic execution path budget")
+	workers := flag.Int("workers", 0, "symbolic execution workers (0 = GOMAXPROCS; the model is identical at any count)")
+	check := flag.Bool("check", false, "verify the model: symbolic path-set equivalence against the program (§5)")
+	stats := flag.Bool("stats", false, "print performance counters and solver-cache hit rates (implies -check, so the stats cover the full synthesize-and-verify cycle)")
 	list := flag.Bool("list", false, "list the built-in corpus NFs and exit")
 	flag.Parse()
 
@@ -38,7 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := nfactor.Options{MaxPaths: *maxPaths, Config: parseConfig(*configFlag)}
+	opts := nfactor.Options{MaxPaths: *maxPaths, Workers: *workers, Config: parseConfig(*configFlag)}
 
 	var res *nfactor.Result
 	var err error
@@ -100,6 +103,22 @@ func main() {
 		fmt.Printf("LoC: orig=%d slice=%d path=%d\n", m.LoCOrig, m.LoCSlice, m.LoCPath)
 		fmt.Printf("slicing time: %v\n", m.SliceTime)
 		fmt.Printf("execution paths (slice): %d  SE time: %v\n", m.EPSlice, m.SETimeSlice)
+	}
+	if *check || *stats {
+		fmt.Println("=== model check ===")
+		if err := res.CheckEquivalence(); err != nil {
+			fmt.Println(err)
+		} else {
+			fmt.Println("path sets equivalent: model == program")
+		}
+	}
+	if *stats {
+		fmt.Println("=== perf ===")
+		fmt.Print(res.PerfReport())
+		cs := res.SolverCacheStats()
+		fmt.Printf("solver cache: sat %d/%d hits (%.1f%%), simplify %d/%d hits\n",
+			cs.SatHits, cs.SatHits+cs.SatMisses, 100*cs.SatHitRate(),
+			cs.SimpHits, cs.SimpHits+cs.SimpMisses)
 	}
 }
 

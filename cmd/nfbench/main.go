@@ -5,6 +5,11 @@
 //
 //	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|all]
 //	        [-nfs lb,balance,...] [-maxpaths 1024] [-trials 1000]
+//	        [-workers N] [-stats]
+//
+// NF rows run concurrently under -workers (default GOMAXPROCS); results
+// are identical at every worker count, but use -workers=1 when the
+// per-row timing columns matter — concurrent rows contend for cores.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 
 	"nfactor/internal/experiments"
 	"nfactor/internal/nfs"
+	"nfactor/internal/perf"
+	"nfactor/internal/solver"
 )
 
 func main() {
@@ -23,11 +30,20 @@ func main() {
 	maxPaths := flag.Int("maxpaths", 1024, "path budget for original-program symbolic execution (the paper's snort run exceeded it)")
 	trials := flag.Int("trials", 1000, "random packets per NF in the accuracy experiment")
 	seed := flag.Int64("seed", 1, "trace generator seed")
+	workers := flag.Int("workers", 0, "concurrent NF rows and SE workers (0 = GOMAXPROCS; use 1 for faithful per-row timings)")
+	stats := flag.Bool("stats", false, "print aggregated performance counters and solver-cache hit rates")
 	flag.Parse()
 
 	names := nfs.Names()
 	if *nfsFlag != "" {
 		names = strings.Split(*nfsFlag, ",")
+	}
+
+	perfSet := perf.New()
+	opts := experiments.Opts{
+		Workers: *workers,
+		Cache:   solver.NewCacheWithPerf(perfSet),
+		Perf:    perfSet,
 	}
 
 	run := func(which string) bool { return *exp == "all" || *exp == which }
@@ -38,7 +54,7 @@ func main() {
 		fmt.Println(out)
 	}
 	if run("table2") {
-		rows, err := experiments.Table2(names, *maxPaths)
+		rows, err := experiments.Table2(names, *maxPaths, opts)
 		check(err)
 		fmt.Println(experiments.FormatTable2(rows))
 	}
@@ -54,14 +70,22 @@ func main() {
 		fmt.Println(out)
 	}
 	if run("accuracy") {
-		rows, err := experiments.Accuracy(names, *trials, *seed)
+		rows, err := experiments.Accuracy(names, *trials, *seed, opts)
 		check(err)
 		fmt.Println(experiments.FormatAccuracy(rows))
 	}
 	if run("verification") {
-		rows, err := experiments.Verification(names, *maxPaths)
+		rows, err := experiments.Verification(names, *maxPaths, opts)
 		check(err)
 		fmt.Println(experiments.FormatVerification(rows))
+	}
+	if *stats {
+		fmt.Println("=== perf (aggregated across rows) ===")
+		fmt.Print(opts.Perf.Report())
+		cs := opts.Cache.Stats()
+		fmt.Printf("solver cache: sat %d/%d hits (%.1f%%), simplify %d/%d hits\n",
+			cs.SatHits, cs.SatHits+cs.SatMisses, 100*cs.SatHitRate(),
+			cs.SimpHits, cs.SimpHits+cs.SimpMisses)
 	}
 }
 

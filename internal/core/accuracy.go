@@ -2,12 +2,16 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"nfactor/internal/interp"
 	"nfactor/internal/model"
 	"nfactor/internal/netpkt"
+	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/symexec"
 	"nfactor/internal/value"
@@ -40,6 +44,7 @@ func (r *EquivReport) Equivalent() bool {
 // negation splits into disjoint alternatives), so implication — not
 // syntactic equality — is the right comparison.
 func (an *Analysis) CheckPathEquivalence(opts Options) (*EquivReport, error) {
+	opts = an.inherit(opts)
 	config, state, err := an.ConfigAndState(opts.ConfigOverride)
 	if err != nil {
 		return nil, err
@@ -49,29 +54,64 @@ func (an *Analysis) CheckPathEquivalence(opts Options) (*EquivReport, error) {
 		return nil, err
 	}
 	seOpts := opts.seOpts(an.Vars)
+	endSE := opts.Perf.Phase("accuracy.se.model")
 	res, err := symexec.Run(prog, "process", seOpts)
+	endSE()
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolic execution of compiled model: %w", err)
 	}
 
 	rep := &EquivReport{ProgramPaths: len(an.Paths), ModelPaths: len(res.Paths)}
+	defer opts.Perf.Phase("accuracy.equiv")()
+	checks := opts.Perf.Counter(perf.CEquivChecks)
+
+	// Each model path's match against the program path set is independent
+	// (the search ignores what other model paths matched), so the fan-out
+	// is embarrassingly parallel; covered/mismatch bookkeeping then runs
+	// sequentially in model-path order, keeping the report deterministic.
+	matched := make([]int, len(res.Paths)) // program path index, or -1
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(res.Paths) {
+		workers = len(res.Paths)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(res.Paths) {
+					return
+				}
+				mp := res.Paths[j]
+				matched[j] = -1
+				for i, pp := range an.Paths {
+					checks.Inc()
+					if !opts.Cache.ImpliesAll(mp.Conds, pp.Conds) {
+						continue
+					}
+					if actionSig(mp, opts.Cache) == actionSig(pp, opts.Cache) {
+						matched[j] = i
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 
 	covered := make([]bool, len(an.Paths))
-	for _, mp := range res.Paths {
-		matched := false
-		for i, pp := range an.Paths {
-			if !solver.ImpliesAll(mp.Conds, pp.Conds) {
-				continue
-			}
-			if actionSig(mp) == actionSig(pp) {
-				covered[i] = true
-				matched = true
-				break
-			}
-		}
-		if !matched {
+	for j, mp := range res.Paths {
+		if matched[j] < 0 {
 			rep.MismatchedModel = append(rep.MismatchedModel, pathDesc(mp))
+			continue
 		}
+		covered[matched[j]] = true
 	}
 	for i, pp := range an.Paths {
 		if !covered[i] {
@@ -81,14 +121,28 @@ func (an *Analysis) CheckPathEquivalence(opts Options) (*EquivReport, error) {
 	return rep, nil
 }
 
+// inherit fills opts' Cache and Perf from the Analysis when the caller
+// left them nil, so accuracy checks reuse the pipeline's memoized solver
+// verdicts and report into the same perf set.
+func (an *Analysis) inherit(opts Options) Options {
+	if opts.Cache == nil {
+		opts.Cache = an.Cache
+	}
+	if opts.Perf == nil {
+		opts.Perf = an.Perf
+	}
+	return opts
+}
+
 // actionSig canonicalizes a path's observable actions: sends (iface +
-// non-identity field transforms) and state updates.
-func actionSig(p *symexec.Path) string {
+// non-identity field transforms) and state updates. A nil cache falls
+// through to the direct simplifier.
+func actionSig(p *symexec.Path, c *solver.Cache) string {
 	var parts []string
 	for _, s := range p.Sends {
 		var fs []string
 		for _, name := range s.FieldNames() {
-			t := solver.Simplify(s.Fields[name])
+			t := c.Simplify(s.Fields[name])
 			// Identity fields (pkt.f := pkt.f) carry no information and
 			// differ between sides only by which fields happened to be
 			// read.
@@ -98,11 +152,11 @@ func actionSig(p *symexec.Path) string {
 			fs = append(fs, name+"="+t.Key())
 		}
 		sort.Strings(fs)
-		parts = append(parts, "send["+solver.Simplify(s.Iface).Key()+"]{"+strings.Join(fs, ",")+"}")
+		parts = append(parts, "send["+c.Simplify(s.Iface).Key()+"]{"+strings.Join(fs, ",")+"}")
 	}
 	var ups []string
 	for _, u := range p.Updates {
-		ups = append(ups, u.Name+":="+solver.Simplify(u.Val).Key())
+		ups = append(ups, u.Name+":="+c.Simplify(u.Val).Key())
 	}
 	sort.Strings(ups)
 	return strings.Join(parts, ";") + "|" + strings.Join(ups, ";")
@@ -136,7 +190,13 @@ func (r *DiffResult) Matches() bool { return r.Mismatches == 0 }
 // side (each keeping its own evolving state) and compares every
 // invocation's outputs: drop/forward decision, emitted packets (all
 // fields) and interfaces.
+//
+// Each side's state evolves packet by packet, so packets cannot be
+// processed out of order — but the two sides are independent of each
+// other, so each runs the whole trace in its own goroutine; the outputs
+// are then compared in trace order.
 func (an *Analysis) DiffTest(trace []netpkt.Packet, opts Options) (*DiffResult, error) {
+	opts = an.inherit(opts)
 	origIn, err := interp.New(an.Original, an.Entry, interp.Options{ConfigOverride: opts.ConfigOverride})
 	if err != nil {
 		return nil, err
@@ -150,12 +210,34 @@ func (an *Analysis) DiffTest(trace []netpkt.Packet, opts Options) (*DiffResult, 
 		return nil, err
 	}
 
+	defer opts.Perf.Phase("accuracy.diff")()
+	trials := opts.Perf.Counter(perf.CDiffTrials)
+	oOuts := make([]*interp.Output, len(trace))
+	oErrs := make([]error, len(trace))
+	mOuts := make([]*interp.Output, len(trace))
+	mErrs := make([]error, len(trace))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i, p := range trace {
+			oOuts[i], oErrs[i] = origIn.Process(p.ToValue())
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i, p := range trace {
+			mOuts[i], mErrs[i] = inst.Process(p.ToValue())
+		}
+	}()
+	wg.Wait()
+
 	res := &DiffResult{}
 	for i, p := range trace {
-		pv := p.ToValue()
 		res.Trials++
-		oOut, oErr := origIn.Process(pv)
-		mOut, mErr := inst.Process(pv)
+		trials.Inc()
+		oOut, oErr := oOuts[i], oErrs[i]
+		mOut, mErr := mOuts[i], mErrs[i]
 		if (oErr != nil) != (mErr != nil) {
 			res.Mismatches++
 			if res.FirstDiff == "" {

@@ -18,7 +18,9 @@ import (
 	"nfactor/internal/interp"
 	"nfactor/internal/lang"
 	"nfactor/internal/model"
+	"nfactor/internal/perf"
 	"nfactor/internal/slice"
+	"nfactor/internal/solver"
 	"nfactor/internal/statealyzer"
 	"nfactor/internal/symexec"
 	"nfactor/internal/value"
@@ -32,6 +34,11 @@ type Options struct {
 	MaxPaths  int
 	MaxSteps  int
 	LoopBound int
+	// Workers is the symbolic executor's worker count (0 = GOMAXPROCS).
+	// The extracted model is identical at every worker count.
+	Workers int
+	// TimeBudget bounds each symbolic execution's wall clock (0 = none).
+	TimeBudget time.Duration
 	// ConfigOverride pins configuration globals to concrete values; a
 	// pinned scalar no longer forks per-configuration tables.
 	ConfigOverride map[string]value.Value
@@ -42,6 +49,14 @@ type Options struct {
 	// NoPruning disables solver-based feasibility pruning during path
 	// exploration (ablation knob).
 	NoPruning bool
+	// Cache memoizes solver queries across every symbolic execution the
+	// pipeline issues (orig + slice + model + accuracy checks, which hit
+	// many identical path prefixes). Analyze creates one when nil; pass
+	// a shared Cache to also memoize across NFs or repeated runs.
+	Cache *solver.Cache
+	// Perf receives the pipeline's counters and phase timers. Analyze
+	// creates one when nil; the populated Set is on Analysis.Perf.
+	Perf *perf.Set
 }
 
 func (o Options) entry() string {
@@ -56,8 +71,12 @@ func (o Options) seOpts(vars *statealyzer.Result) symexec.Options {
 		MaxPaths:       o.MaxPaths,
 		MaxSteps:       o.MaxSteps,
 		LoopBound:      o.LoopBound,
+		Workers:        o.Workers,
+		TimeBudget:     o.TimeBudget,
 		ConfigOverride: o.ConfigOverride,
 		NoPruning:      o.NoPruning,
+		Cache:          o.Cache,
+		Perf:           o.Perf,
 		ConfigVars:     map[string]bool{},
 		StateVars:      map[string]bool{},
 	}
@@ -110,6 +129,13 @@ type Analysis struct {
 	Vars  *statealyzer.Result
 	Paths []*symexec.Path
 	Model *model.Model
+
+	// Cache and Perf are the solver cache and perf set the pipeline ran
+	// with (Options' when provided, freshly created otherwise). Accuracy
+	// checks on the Analysis reuse them, so the model-side symbolic
+	// execution hits conjunctions the slice execution already decided.
+	Cache *solver.Cache
+	Perf  *perf.Set
 
 	Metrics Metrics
 }
@@ -174,10 +200,17 @@ func stateUpdateStatements(a *slice.Analyzer, ois map[string]bool) []int {
 // Analyze runs the full NFactor pipeline on prog.
 func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error) {
 	entry := opts.entry()
-	an := &Analysis{NFName: nfName, Entry: entry, Original: prog}
+	if opts.Perf == nil {
+		opts.Perf = perf.New()
+	}
+	if opts.Cache == nil {
+		opts.Cache = solver.NewCacheWithPerf(opts.Perf)
+	}
+	an := &Analysis{NFName: nfName, Entry: entry, Original: prog, Cache: opts.Cache, Perf: opts.Perf}
 	an.Metrics.LoCOrig = lang.CountLoC(prog)
 
 	sliceStart := time.Now()
+	endSlice := opts.Perf.Phase("slice")
 	analyzer, err := slice.NewAnalyzer(prog, entry)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -247,11 +280,14 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	an.SliceProg = analyzer.Reconstruct(an.UnionSlice)
 	an.Metrics.SliceTime = time.Since(sliceStart)
 	an.Metrics.LoCSlice = lang.CountLoC(an.SliceProg)
+	endSlice()
 
 	// 4. Execution paths of the slice.
 	seOpts := opts.seOpts(an.Vars)
 	seStart := time.Now()
+	endSE := opts.Perf.Phase("se.slice")
 	res, err := symexec.Run(an.SliceProg, entry, seOpts)
+	endSE()
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolic execution of slice: %w", err)
 	}
@@ -277,19 +313,25 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	for _, v := range an.Vars.LogVars() {
 		logs[v] = true
 	}
+	endRefine := opts.Perf.Phase("refine")
 	an.Model = model.Build(an.Paths, model.BuildOptions{
 		NFName:  nfName,
 		PktVar:  analyzer.Prog.Func(entry).Params[0],
 		CfgVars: cfg,
 		OISVars: ois,
 		LogVars: logs,
+		Workers: opts.Workers,
+		Perf:    opts.Perf,
 	})
+	endRefine()
 
 	// Optional: symbolic execution of the original (inlined) program,
 	// for the "orig" Table 2 columns.
 	if opts.MeasureOriginal {
 		origStart := time.Now()
+		endOrig := opts.Perf.Phase("se.orig")
 		origRes, err := symexec.Run(analyzer.Prog, entry, seOpts)
+		endOrig()
 		if err != nil {
 			return nil, fmt.Errorf("core: symbolic execution of original: %w", err)
 		}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nfactor/internal/model"
+	"nfactor/internal/nfs"
+	"nfactor/internal/perf"
+	"nfactor/internal/solver"
+	"nfactor/internal/symexec"
+)
+
+func pathCondKeys(paths []*symexec.Path) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		var sb strings.Builder
+		for _, c := range p.Conds {
+			sb.WriteString(c.Key())
+			sb.WriteByte('&')
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// TestPipelineDeterministicAcrossWorkers is the end-to-end determinism
+// regression: for balance and snortlite, the rendered model and the
+// ordered path-condition list are byte-identical at Workers=1 and
+// Workers=8.
+func TestPipelineDeterministicAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"balance", "snortlite"} {
+		t.Run(name, func(t *testing.T) {
+			nf, err := nfs.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an1, err := Analyze(name, nf.Prog, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			an8, err := Analyze(name, nf.Prog, Options{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, r8 := model.Render(an1.Model), model.Render(an8.Model)
+			if r1 != r8 {
+				t.Errorf("rendered models differ between Workers=1 and Workers=8:\n--- 1 ---\n%s\n--- 8 ---\n%s", r1, r8)
+			}
+			k1, k8 := pathCondKeys(an1.Paths), pathCondKeys(an8.Paths)
+			if fmt.Sprint(k1) != fmt.Sprint(k8) {
+				t.Errorf("path-condition sequences differ:\n 1: %v\n 8: %v", k1, k8)
+			}
+		})
+	}
+}
+
+// TestPipelineCacheHitRateNonZero: the pipeline's repeated executions
+// (slice SE + compiled-model SE + accuracy implication queries) revisit
+// conjunctions, so a balance run must produce solver-cache hits and
+// populate the perf set.
+func TestPipelineCacheHitRateNonZero(t *testing.T) {
+	nf, err := nfs.Load("balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := perf.New()
+	cache := solver.NewCacheWithPerf(set)
+	opts := Options{Workers: 2, Cache: cache, Perf: set}
+	an, err := Analyze("balance", nf.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.CheckPathEquivalence(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent() {
+		t.Fatalf("balance model not equivalent: %+v", rep)
+	}
+	st := cache.Stats()
+	if st.SatHits == 0 {
+		t.Errorf("solver cache recorded no hits: %+v", st)
+	}
+	if st.SatHitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0", st.SatHitRate())
+	}
+	// The mirrored perf counters agree with the cache's own stats.
+	if set.Get(perf.CSatCacheHit) != st.SatHits {
+		t.Errorf("perf mirror %d != cache stats %d", set.Get(perf.CSatCacheHit), st.SatHits)
+	}
+	// Phase timers ran.
+	for _, phase := range []string{"slice", "se.slice", "refine", "accuracy.equiv"} {
+		if set.PhaseWall(phase) <= 0 {
+			t.Errorf("phase %q has no recorded wall time", phase)
+		}
+	}
+	if set.Get(perf.CModelEntries) != int64(len(an.Model.Entries)) {
+		t.Errorf("refine.entries = %d, want %d", set.Get(perf.CModelEntries), len(an.Model.Entries))
+	}
+}
+
+// TestAccuracyInheritsPipelineCache: calling accuracy checks with a
+// zero-valued Options still reuses the Analysis' cache, so verdicts from
+// the pipeline run answer the model-side queries.
+func TestAccuracyInheritsPipelineCache(t *testing.T) {
+	nf, err := nfs.Load("lb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze("lb", nf.Prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := an.Cache.Stats()
+	rep, err := an.CheckPathEquivalence(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent() {
+		t.Fatalf("lb model not equivalent: %+v", rep)
+	}
+	after := an.Cache.Stats()
+	if after.SatHits+after.SatMisses <= before.SatHits+before.SatMisses {
+		t.Error("CheckPathEquivalence did not route queries through the Analysis cache")
+	}
+}

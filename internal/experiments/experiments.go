@@ -8,15 +8,75 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nfactor/internal/core"
 	"nfactor/internal/lang"
 	"nfactor/internal/model"
 	"nfactor/internal/nfs"
+	"nfactor/internal/perf"
+	"nfactor/internal/solver"
 	"nfactor/internal/workload"
 )
+
+// Opts configure an experiment run.
+type Opts struct {
+	// Workers bounds the concurrently processed NF rows AND each
+	// pipeline's symbolic-execution worker count (0 = GOMAXPROCS).
+	// Results are identical at every worker count; the per-row *timing*
+	// columns are only faithful at Workers=1, since concurrent rows
+	// contend for cores.
+	Workers int
+	// Cache, when set, is shared across every per-NF pipeline call —
+	// solver verdicts are properties of the literal terms alone, so
+	// they transfer between NFs.
+	Cache *solver.Cache
+	// Perf, when set, aggregates counters/timers across all rows.
+	Perf *perf.Set
+}
+
+func (o Opts) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// forEachNF runs fn(i, name) for every name with up to workers
+// goroutines. Each fn writes its row at index i, so output order matches
+// input order regardless of scheduling. The first error (by index) wins.
+func forEachNF(names []string, workers int, fn func(i int, name string) error) error {
+	if workers > len(names) {
+		workers = len(names)
+	}
+	errs := make([]error, len(names))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(names) {
+					return
+				}
+				errs[i] = fn(i, names[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Table2Row is one NF's row of Table 2.
 type Table2Row struct {
@@ -33,23 +93,27 @@ type Table2Row struct {
 	Budget      int
 }
 
-// Table2 computes the Table 2 row for each named corpus NF.
-func Table2(names []string, maxPaths int) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, name := range names {
+// Table2 computes the Table 2 row for each named corpus NF. Rows are
+// processed concurrently under opts.Workers.
+func Table2(names []string, maxPaths int, opts Opts) ([]Table2Row, error) {
+	rows := make([]Table2Row, len(names))
+	err := forEachNF(names, opts.workers(), func(i int, name string) error {
 		nf, err := nfs.Load(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		an, err := core.Analyze(name, nf.Prog, core.Options{
 			MaxPaths:        maxPaths,
 			MeasureOriginal: true,
+			Workers:         opts.Workers,
+			Cache:           opts.Cache,
+			Perf:            opts.Perf,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := an.Metrics
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			NF:          name,
 			LoCOrig:     lang.CountLoC(nf.Raw),
 			LoCSlice:    m.LoCSlice,
@@ -61,7 +125,11 @@ func Table2(names []string, maxPaths int) ([]Table2Row, error) {
 			SETimeOrig:  m.SETimeOrig,
 			SETimeSlice: m.SETimeSlice,
 			Budget:      maxPaths,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -179,27 +247,33 @@ type AccuracyRow struct {
 }
 
 // Accuracy runs both accuracy experiments for each NF: symbolic path-set
-// comparison and `trials` random-packet differential tests.
-func Accuracy(names []string, trials int, seed int64) ([]AccuracyRow, error) {
-	var rows []AccuracyRow
-	for _, name := range names {
+// comparison and `trials` random-packet differential tests. NFs are
+// processed concurrently under opts.Workers.
+func Accuracy(names []string, trials int, seed int64, opts Opts) ([]AccuracyRow, error) {
+	rows := make([]AccuracyRow, len(names))
+	err := forEachNF(names, opts.workers(), func(i int, name string) error {
 		nf, err := nfs.Load(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		opts := core.Options{MaxPaths: 4096}
-		an, err := core.Analyze(name, nf.Prog, opts)
-		if err != nil {
-			return nil, err
+		copts := core.Options{
+			MaxPaths: 4096,
+			Workers:  opts.Workers,
+			Cache:    opts.Cache,
+			Perf:     opts.Perf,
 		}
-		rep, err := an.CheckPathEquivalence(opts)
+		an, err := core.Analyze(name, nf.Prog, copts)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		rep, err := an.CheckPathEquivalence(copts)
+		if err != nil {
+			return err
 		}
 		trace := workload.New(seed).RandomTrace(trials)
-		diff, err := an.DiffTest(trace, opts)
+		diff, err := an.DiffTest(trace, copts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AccuracyRow{
 			NF:         name,
@@ -214,7 +288,11 @@ func Accuracy(names []string, trials int, seed int64) ([]AccuracyRow, error) {
 			row.EquivDetail = fmt.Sprintf("%d uncovered / %d mismatched",
 				len(rep.UncoveredProgram), len(rep.MismatchedModel))
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -250,39 +328,55 @@ type VerificationRow struct {
 }
 
 // Verification measures SE time on the original vs. the compiled model.
-func Verification(names []string, maxPaths int) ([]VerificationRow, error) {
-	var rows []VerificationRow
-	for _, name := range names {
+// NFs are processed concurrently under opts.Workers.
+func Verification(names []string, maxPaths int, opts Opts) ([]VerificationRow, error) {
+	rows := make([]VerificationRow, len(names))
+	err := forEachNF(names, opts.workers(), func(i int, name string) error {
 		nf, err := nfs.Load(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		opts := core.Options{MaxPaths: maxPaths, MeasureOriginal: true}
-		an, err := core.Analyze(name, nf.Prog, opts)
+		copts := core.Options{
+			MaxPaths:        maxPaths,
+			MeasureOriginal: true,
+			Workers:         opts.Workers,
+			Cache:           opts.Cache,
+			Perf:            opts.Perf,
+		}
+		an, err := core.Analyze(name, nf.Prog, copts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		config, state, err := an.ConfigAndState(nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog, err := model.Compile(an.Model, config, state)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		start := time.Now()
-		an2, err := core.Analyze(name+"-model", prog, core.Options{MaxPaths: maxPaths})
+		an2, err := core.Analyze(name+"-model", prog, core.Options{
+			MaxPaths: maxPaths,
+			Workers:  opts.Workers,
+			Cache:    opts.Cache,
+			Perf:     opts.Perf,
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, VerificationRow{
+		rows[i] = VerificationRow{
 			NF:         name,
 			OrigTime:   an.Metrics.SETimeOrig,
 			OrigPaths:  an.Metrics.EPOrig,
 			OrigCapped: an.Metrics.EPOrigCapped,
 			ModelTime:  time.Since(start),
 			ModelPaths: an2.Metrics.EPSlice,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

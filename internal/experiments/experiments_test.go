@@ -21,7 +21,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table2([]string{"snortlite", "balance"}, 256)
+	rows, err := Table2([]string{"snortlite", "balance"}, 256, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFigure1Slice(t *testing.T) {
 }
 
 func TestAccuracyAllGreen(t *testing.T) {
-	rows, err := Accuracy([]string{"lb", "nat"}, 200, 7)
+	rows, err := Accuracy([]string{"lb", "nat"}, 200, 7, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestAccuracyAllGreen(t *testing.T) {
 }
 
 func TestVerificationSnortliteWinsOnModel(t *testing.T) {
-	rows, err := Verification([]string{"snortlite"}, 256)
+	rows, err := Verification([]string{"snortlite"}, 256, Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestVerificationSnortliteWinsOnModel(t *testing.T) {
 }
 
 func TestTable2UnknownNF(t *testing.T) {
-	if _, err := Table2([]string{"doesnotexist"}, 64); err == nil {
+	if _, err := Table2([]string{"doesnotexist"}, 64, Opts{}); err == nil {
 		t.Error("unknown NF did not error")
 	}
 }

@@ -10,9 +10,13 @@
 package model
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/symexec"
 )
@@ -123,6 +127,12 @@ type BuildOptions struct {
 	CfgVars map[string]bool
 	OISVars map[string]bool
 	LogVars map[string]bool
+	// Workers bounds the goroutines refining paths into entries
+	// (0 = GOMAXPROCS). Entries land at their path's index, so the
+	// result is identical at every worker count.
+	Workers int
+	// Perf, when set, counts the refined entries.
+	Perf *perf.Set
 }
 
 // Build refines symbolic execution paths into a model (Algorithm 1,
@@ -141,34 +151,63 @@ func Build(paths []*symexec.Path, opts BuildOptions) *Model {
 	if m.PktVar == "" {
 		m.PktVar = "pkt"
 	}
-	for i, p := range paths {
-		e := Entry{Priority: i}
-		for _, c := range p.Conds {
-			switch classify(c) {
-			case condState:
-				e.StateMatch = append(e.StateMatch, c)
-			case condFlow:
-				e.FlowMatch = append(e.FlowMatch, c)
-			default:
-				e.Config = append(e.Config, c)
-			}
-		}
-		for _, s := range p.Sends {
-			fields := make(map[string]solver.Term, len(s.Fields))
-			for k, v := range s.Fields {
-				fields[k] = v
-			}
-			e.Sends = append(e.Sends, Action{Fields: fields, Iface: s.Iface})
-		}
-		for _, u := range p.Updates {
-			if opts.LogVars[u.Name] {
-				continue
-			}
-			e.Updates = append(e.Updates, Assign{Name: u.Name, Val: u.Val})
-		}
-		m.Entries = append(m.Entries, e)
+	m.Entries = make([]Entry, len(paths))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	entries := opts.Perf.Counter(perf.CModelEntries)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				m.Entries[i] = refine(paths[i], i, opts)
+				entries.Inc()
+			}
+		}()
+	}
+	wg.Wait()
 	return m
+}
+
+// refine turns one execution path into the table entry at priority i
+// (Algorithm 1 lines 11-16, for a single path).
+func refine(p *symexec.Path, i int, opts BuildOptions) Entry {
+	e := Entry{Priority: i}
+	for _, c := range p.Conds {
+		switch classify(c) {
+		case condState:
+			e.StateMatch = append(e.StateMatch, c)
+		case condFlow:
+			e.FlowMatch = append(e.FlowMatch, c)
+		default:
+			e.Config = append(e.Config, c)
+		}
+	}
+	for _, s := range p.Sends {
+		fields := make(map[string]solver.Term, len(s.Fields))
+		for k, v := range s.Fields {
+			fields[k] = v
+		}
+		e.Sends = append(e.Sends, Action{Fields: fields, Iface: s.Iface})
+	}
+	for _, u := range p.Updates {
+		if opts.LogVars[u.Name] {
+			continue
+		}
+		e.Updates = append(e.Updates, Assign{Name: u.Name, Val: u.Val})
+	}
+	return e
 }
 
 type condClass int

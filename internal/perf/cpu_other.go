@@ -1,0 +1,9 @@
+//go:build !linux
+
+package perf
+
+import "time"
+
+// cpuTime is unavailable off Linux; phases then report CPU as 0 and only
+// wall time is meaningful.
+func cpuTime() time.Duration { return 0 }

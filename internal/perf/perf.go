@@ -1,0 +1,214 @@
+// Package perf is the pipeline-wide observability surface: named atomic
+// counters (states explored, forks, solver calls, cache hits, …) and
+// per-phase wall/CPU timers, threaded through symexec/solver/core and
+// printed by cmd/nfactor -stats and cmd/nfbench.
+//
+// All methods are safe for concurrent use and nil-safe: a nil *Set (or a
+// nil *Counter obtained from one) is a no-op, so hot paths never need a
+// nil check.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Standard counter names. Packages may add their own; these are the ones
+// the pipeline always maintains.
+const (
+	CStates        = "symexec.states"          // machine states popped from the frontier
+	CForks         = "symexec.forks"           // child states created at branches
+	CPaths         = "symexec.paths"           // completed paths recorded
+	CPruned        = "symexec.pruned"          // branch alternatives pruned as infeasible
+	CSteps         = "symexec.steps"           // statements executed
+	CSolverCalls   = "solver.satconj.calls"    // SatConj queries issued by the executor
+	CSatCacheHit   = "solver.satconj.hits"     // SatConj answered from the cache
+	CSatCacheMiss  = "solver.satconj.misses"   // SatConj computed and inserted
+	CSimpCacheHit  = "solver.simplify.hits"    // Simplify answered from the cache
+	CSimpCacheMiss = "solver.simplify.misses"  // Simplify computed and inserted
+	CDiffTrials    = "accuracy.diff.trials"    // differential-test packets compared
+	CEquivChecks   = "accuracy.equiv.implies"  // path-implication queries
+	CModelEntries  = "refine.entries"          // table entries refined from paths
+)
+
+// Counter is one atomic counter.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter by d. Nil-safe.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count. Nil-safe (returns 0).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+type phase struct {
+	wall  atomic.Int64 // cumulative nanoseconds
+	cpu   atomic.Int64 // cumulative process-CPU nanoseconds
+	calls atomic.Int64
+}
+
+// Set is a collection of named counters and phase timers.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	phases   map[string]*phase
+}
+
+// New returns an empty Set.
+func New() *Set {
+	return &Set{counters: map[string]*Counter{}, phases: map[string]*phase{}}
+}
+
+// Counter returns the named counter, creating it on first use. On a nil
+// Set it returns nil, whose methods are no-ops.
+func (s *Set) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter. Nil-safe.
+func (s *Set) Add(name string, d int64) { s.Counter(name).Add(d) }
+
+// Get returns the named counter's value (0 when absent or s is nil).
+func (s *Set) Get(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	c := s.counters[name]
+	s.mu.Unlock()
+	return c.Load()
+}
+
+func (s *Set) phaseFor(name string) *phase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.phases[name]
+	if !ok {
+		p = &phase{}
+		s.phases[name] = p
+	}
+	return p
+}
+
+// Phase starts timing the named phase and returns the stop function.
+// Wall and process-CPU time between start and stop accumulate under the
+// phase's name. Nil-safe: on a nil Set the returned func is a no-op.
+//
+//	defer perfSet.Phase("se.slice")()
+func (s *Set) Phase(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	p := s.phaseFor(name)
+	wall0 := time.Now()
+	cpu0 := cpuTime()
+	return func() {
+		p.wall.Add(int64(time.Since(wall0)))
+		p.cpu.Add(int64(cpuTime() - cpu0))
+		p.calls.Add(1)
+	}
+}
+
+// PhaseWall returns the cumulative wall time of the named phase.
+func (s *Set) PhaseWall(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	p := s.phases[name]
+	s.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.wall.Load())
+}
+
+// Snapshot returns all counters plus per-phase wall/cpu nanoseconds
+// (under "phase.<name>.wall_ns" / "phase.<name>.cpu_ns" keys).
+func (s *Set) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		out[name] = c.Load()
+	}
+	for name, p := range s.phases {
+		out["phase."+name+".wall_ns"] = p.wall.Load()
+		out["phase."+name+".cpu_ns"] = p.cpu.Load()
+	}
+	return out
+}
+
+// Report renders the Set sorted by name: counters first, then phases with
+// wall and CPU columns. Derived cache hit rates are appended when the
+// underlying counters exist.
+func (s *Set) Report() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	counterNames := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		counterNames = append(counterNames, name)
+	}
+	phaseNames := make([]string, 0, len(s.phases))
+	for name := range s.phases {
+		phaseNames = append(phaseNames, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(counterNames)
+	sort.Strings(phaseNames)
+
+	var sb strings.Builder
+	for _, name := range counterNames {
+		sb.WriteString(fmt.Sprintf("%-28s %12d\n", name, s.Get(name)))
+	}
+	for _, hm := range [][3]string{
+		{CSatCacheHit, CSatCacheMiss, "solver.satconj.hit_rate"},
+		{CSimpCacheHit, CSimpCacheMiss, "solver.simplify.hit_rate"},
+	} {
+		h, m := s.Get(hm[0]), s.Get(hm[1])
+		if h+m > 0 {
+			sb.WriteString(fmt.Sprintf("%-28s %11.1f%%\n", hm[2], 100*float64(h)/float64(h+m)))
+		}
+	}
+	for _, name := range phaseNames {
+		s.mu.Lock()
+		p := s.phases[name]
+		s.mu.Unlock()
+		sb.WriteString(fmt.Sprintf("%-28s wall=%-12v cpu=%-12v calls=%d\n",
+			"phase."+name,
+			time.Duration(p.wall.Load()).Round(time.Microsecond),
+			time.Duration(p.cpu.Load()).Round(time.Microsecond),
+			p.calls.Load()))
+	}
+	return sb.String()
+}

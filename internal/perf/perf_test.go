@@ -1,0 +1,109 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasic(t *testing.T) {
+	s := New()
+	s.Add(CStates, 3)
+	s.Counter(CStates).Inc()
+	if got := s.Get(CStates); got != 4 {
+		t.Errorf("Get(CStates) = %d, want 4", got)
+	}
+	if got := s.Get("never.touched"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+	// The same name returns the same counter.
+	if s.Counter(CStates) != s.Counter(CStates) {
+		t.Error("Counter not idempotent per name")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Set
+	s.Add(CForks, 1) // must not panic
+	if s.Get(CForks) != 0 {
+		t.Error("nil Set Get != 0")
+	}
+	var c *Counter = s.Counter(CForks)
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Error("nil Counter Load != 0")
+	}
+	s.Phase("p")() // no-op stop func
+	if s.PhaseWall("p") != 0 {
+		t.Error("nil Set PhaseWall != 0")
+	}
+	if s.Report() != "" {
+		t.Error("nil Set Report non-empty")
+	}
+	if len(s.Snapshot()) != 0 {
+		t.Error("nil Set Snapshot non-empty")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.Counter(CSteps)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(CSteps); got != 8000 {
+		t.Errorf("concurrent count = %d, want 8000", got)
+	}
+}
+
+func TestPhaseAccumulates(t *testing.T) {
+	s := New()
+	for i := 0; i < 2; i++ {
+		stop := s.Phase("work")
+		time.Sleep(2 * time.Millisecond)
+		stop()
+	}
+	if w := s.PhaseWall("work"); w < 4*time.Millisecond {
+		t.Errorf("phase wall = %v, want >= 4ms over two 2ms calls", w)
+	}
+	snap := s.Snapshot()
+	if snap["phase.work.wall_ns"] <= 0 {
+		t.Errorf("snapshot missing phase wall: %v", snap)
+	}
+	if _, ok := snap["phase.work.cpu_ns"]; !ok {
+		t.Errorf("snapshot missing phase cpu: %v", snap)
+	}
+}
+
+func TestReport(t *testing.T) {
+	s := New()
+	s.Add(CStates, 7)
+	s.Add(CSatCacheHit, 3)
+	s.Add(CSatCacheMiss, 1)
+	s.Phase("se.slice")()
+	rep := s.Report()
+	for _, want := range []string{CStates, "7", "solver.satconj.hit_rate", "75.0%", "phase.se.slice"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	s := New()
+	s.Add(CPaths, 12)
+	snap := s.Snapshot()
+	if snap[CPaths] != 12 {
+		t.Errorf("snapshot[%s] = %d, want 12", CPaths, snap[CPaths])
+	}
+}

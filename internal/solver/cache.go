@@ -1,0 +1,162 @@
+package solver
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nfactor/internal/perf"
+)
+
+// Cache memoizes the solver's two hot entry points — SatConj over literal
+// conjunctions and Simplify over single terms — behind a concurrency-safe
+// map. One Cache is shared across all workers of a symbolic-execution run
+// and across the pipeline's repeated per-NF calls (original SE, slice SE,
+// model SE, accuracy checks), which hit many identical path prefixes.
+//
+// Soundness of the conjunction key relies on SatConj being invariant
+// under permutation and duplication of its literal set (conjunction is
+// commutative and idempotent); the cache canonicalizes the literal set —
+// sorted by Key(), deduplicated — and evaluates exactly that canonical
+// form, so a cached verdict is always the verdict of the canonical
+// conjunction. Permutation invariance of SatConj itself is covered by
+// property tests in permutation_test.go.
+type Cache struct {
+	sat  sync.Map // canonical conjunction key -> bool
+	simp sync.Map // term key -> Term
+
+	satHits    atomic.Int64
+	satMisses  atomic.Int64
+	simpHits   atomic.Int64
+	simpMisses atomic.Int64
+
+	// Mirrored perf counters (nil-safe no-ops when unattached).
+	satHitC, satMissC, simpHitC, simpMissC *perf.Counter
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return NewCacheWithPerf(nil) }
+
+// NewCacheWithPerf returns an empty cache that additionally mirrors its
+// hit/miss counts into s's solver.* counters (s may be nil). Attachment
+// happens at construction so shared use across goroutines stays race-free.
+func NewCacheWithPerf(s *perf.Set) *Cache {
+	return &Cache{
+		satHitC:   s.Counter(perf.CSatCacheHit),
+		satMissC:  s.Counter(perf.CSatCacheMiss),
+		simpHitC:  s.Counter(perf.CSimpCacheHit),
+		simpMissC: s.Counter(perf.CSimpCacheMiss),
+	}
+}
+
+// CacheStats is a point-in-time snapshot of hit/miss counts.
+type CacheStats struct {
+	SatHits, SatMisses   int64
+	SimpHits, SimpMisses int64
+}
+
+// SatHitRate returns the SatConj hit fraction in [0,1] (0 when unused).
+func (s CacheStats) SatHitRate() float64 {
+	total := s.SatHits + s.SatMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SatHits) / float64(total)
+}
+
+// Stats returns the cache's hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		SatHits:    c.satHits.Load(),
+		SatMisses:  c.satMisses.Load(),
+		SimpHits:   c.simpHits.Load(),
+		SimpMisses: c.simpMisses.Load(),
+	}
+}
+
+// canonLits returns lits sorted by Key with exact duplicates removed,
+// plus the joined canonical cache key.
+func canonLits(lits []Term) ([]Term, string) {
+	keys := make([]string, len(lits))
+	order := make([]int, len(lits))
+	for i, l := range lits {
+		keys[i] = l.Key()
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	canon := make([]Term, 0, len(lits))
+	parts := make([]string, 0, len(lits))
+	prev := ""
+	for n, i := range order {
+		if n > 0 && keys[i] == prev {
+			continue
+		}
+		prev = keys[i]
+		canon = append(canon, lits[i])
+		parts = append(parts, keys[i])
+	}
+	return canon, strings.Join(parts, "\x00")
+}
+
+// SatConj is the memoized form of solver.SatConj. A nil cache falls
+// through to the direct procedure.
+func (c *Cache) SatConj(lits []Term) bool {
+	if c == nil {
+		return SatConj(lits)
+	}
+	canon, key := canonLits(lits)
+	if v, ok := c.sat.Load(key); ok {
+		c.satHits.Add(1)
+		c.satHitC.Inc()
+		return v.(bool)
+	}
+	c.satMisses.Add(1)
+	c.satMissC.Inc()
+	res := SatConj(canon)
+	c.sat.Store(key, res)
+	return res
+}
+
+// Implies is the memoized form of solver.Implies.
+func (c *Cache) Implies(from []Term, lit Term) bool {
+	neg := append(append([]Term{}, from...), Not(lit))
+	return !c.SatConj(neg)
+}
+
+// ImpliesAll is the memoized form of solver.ImpliesAll.
+func (c *Cache) ImpliesAll(from, to []Term) bool {
+	for _, l := range to {
+		if !c.Implies(from, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivConj is the memoized form of solver.EquivConj.
+func (c *Cache) EquivConj(a, b []Term) bool {
+	return c.ImpliesAll(a, b) && c.ImpliesAll(b, a)
+}
+
+// Simplify is the memoized form of solver.Simplify, keyed on the term's
+// canonical Key. A nil cache falls through.
+func (c *Cache) Simplify(t Term) Term {
+	if c == nil {
+		return Simplify(t)
+	}
+	key := t.Key()
+	if v, ok := c.simp.Load(key); ok {
+		c.simpHits.Add(1)
+		c.simpHitC.Inc()
+		return v.(Term)
+	}
+	c.simpMisses.Add(1)
+	c.simpMissC.Inc()
+	res := Simplify(t)
+	c.simp.Store(key, res)
+	return res
+}

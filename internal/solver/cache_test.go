@@ -1,0 +1,163 @@
+package solver
+
+import (
+	"sync"
+	"testing"
+
+	"nfactor/internal/value"
+)
+
+func sampleLits() []Term {
+	return []Term{
+		Bin{Op: "==", X: Var{Name: "pkt.dport"}, Y: Const{V: value.Int(80)}},
+		In{K: Var{Name: "pkt.sip"}, M: MapVar{Name: "m@0"}},
+		Bin{Op: ">", X: Var{Name: "pkt.ttl"}, Y: Const{V: value.Int(0)}},
+	}
+}
+
+func TestCacheSatConjAgreesWithDirect(t *testing.T) {
+	c := NewCache()
+	cases := [][]Term{
+		sampleLits(),
+		{
+			Bin{Op: "==", X: Var{Name: "x"}, Y: Const{V: value.Int(1)}},
+			Bin{Op: "==", X: Var{Name: "x"}, Y: Const{V: value.Int(2)}},
+		},
+		{},
+		{Const{V: value.Bool(false)}},
+	}
+	for i, lits := range cases {
+		want := SatConj(lits)
+		if got := c.SatConj(lits); got != want {
+			t.Errorf("case %d: cached=%v direct=%v (cold)", i, got, want)
+		}
+		if got := c.SatConj(lits); got != want {
+			t.Errorf("case %d: cached=%v direct=%v (warm)", i, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.SatMisses != int64(len(cases)) || st.SatHits != int64(len(cases)) {
+		t.Errorf("stats = %+v, want %d misses and %d hits", st, len(cases), len(cases))
+	}
+}
+
+// TestCacheHitsPermutedAndDuplicatedConjunction: the canonical key makes
+// a reordered or duplicated literal set hit the entry of the original.
+func TestCacheHitsPermutedAndDuplicatedConjunction(t *testing.T) {
+	c := NewCache()
+	lits := sampleLits()
+	want := c.SatConj(lits)
+
+	perm := []Term{lits[2], lits[0], lits[1]}
+	if got := c.SatConj(perm); got != want {
+		t.Errorf("permuted verdict %v != %v", got, want)
+	}
+	dup := append(append([]Term{}, lits...), lits[0], lits[1])
+	if got := c.SatConj(dup); got != want {
+		t.Errorf("duplicated verdict %v != %v", got, want)
+	}
+	st := c.Stats()
+	if st.SatMisses != 1 {
+		t.Errorf("misses = %d, want 1 (permutation and duplication share the key)", st.SatMisses)
+	}
+	if st.SatHits != 2 {
+		t.Errorf("hits = %d, want 2", st.SatHits)
+	}
+}
+
+func TestCacheImpliesAgreesWithDirect(t *testing.T) {
+	c := NewCache()
+	from := []Term{Bin{Op: "==", X: Var{Name: "x"}, Y: Const{V: value.Int(5)}}}
+	yes := Bin{Op: ">", X: Var{Name: "x"}, Y: Const{V: value.Int(1)}}
+	no := Bin{Op: ">", X: Var{Name: "x"}, Y: Const{V: value.Int(9)}}
+	if c.Implies(from, yes) != Implies(from, yes) {
+		t.Error("Implies(yes) disagrees with direct solver")
+	}
+	if c.Implies(from, no) != Implies(from, no) {
+		t.Error("Implies(no) disagrees with direct solver")
+	}
+	if !c.ImpliesAll(from, []Term{yes}) || c.ImpliesAll(from, []Term{yes, no}) {
+		t.Error("ImpliesAll verdicts wrong")
+	}
+	if !c.EquivConj(from, from) {
+		t.Error("EquivConj(a, a) = false")
+	}
+}
+
+func TestCacheSimplify(t *testing.T) {
+	c := NewCache()
+	term := Bin{Op: "+", X: Const{V: value.Int(2)}, Y: Const{V: value.Int(3)}}
+	want := Simplify(term)
+	if got := c.Simplify(term); got.Key() != want.Key() {
+		t.Errorf("cached Simplify = %s, want %s", got.Key(), want.Key())
+	}
+	c.Simplify(term)
+	st := c.Stats()
+	if st.SimpMisses != 1 || st.SimpHits != 1 {
+		t.Errorf("simplify stats = %+v, want 1 miss / 1 hit", st)
+	}
+}
+
+// TestNilCacheFallsThrough: a nil *Cache is a valid receiver that
+// delegates to the direct procedures, so call sites need no nil checks.
+func TestNilCacheFallsThrough(t *testing.T) {
+	var c *Cache
+	lits := sampleLits()
+	if c.SatConj(lits) != SatConj(lits) {
+		t.Error("nil cache SatConj differs")
+	}
+	term := Bin{Op: "+", X: Var{Name: "x"}, Y: Const{V: value.Int(0)}}
+	if c.Simplify(term).Key() != Simplify(term).Key() {
+		t.Error("nil cache Simplify differs")
+	}
+	if c.Stats() != (CacheStats{}) {
+		t.Error("nil cache stats non-zero")
+	}
+}
+
+// TestCacheConcurrentAccess hammers one cache from many goroutines; run
+// under `go test -race` (see `make race`) this doubles as the data-race
+// check for the shared-across-workers usage.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	lits := sampleLits()
+	unsat := []Term{
+		Bin{Op: "==", X: Var{Name: "x"}, Y: Const{V: value.Int(1)}},
+		Bin{Op: "==", X: Var{Name: "x"}, Y: Const{V: value.Int(2)}},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !c.SatConj(lits) {
+					t.Error("sat set reported unsat")
+					return
+				}
+				if c.SatConj(unsat) {
+					t.Error("unsat set reported sat")
+					return
+				}
+				c.Simplify(Bin{Op: "+", X: Var{Name: "x"}, Y: Const{V: value.Int(int64(g))}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.SatHits+st.SatMisses != 8*200*2 {
+		t.Errorf("sat lookups = %d, want %d", st.SatHits+st.SatMisses, 8*200*2)
+	}
+	if st.SatHitRate() < 0.9 {
+		t.Errorf("hit rate %.2f, want near 1 under repetition", st.SatHitRate())
+	}
+}
+
+func TestCacheStatsHitRate(t *testing.T) {
+	if r := (CacheStats{}).SatHitRate(); r != 0 {
+		t.Errorf("empty hit rate = %v, want 0", r)
+	}
+	if r := (CacheStats{SatHits: 3, SatMisses: 1}).SatHitRate(); r != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", r)
+	}
+}

@@ -1,0 +1,127 @@
+// Permutation-invariance property tests: SatConj must return the same
+// verdict for every ordering (and duplication) of a literal set. The
+// solver cache's canonical key — sorted, deduplicated literals — is only
+// sound because of this property, so it is tested here on literal sets
+// drawn from real corpus path conditions, not just handcrafted ones.
+//
+// This is an external test package so it can run the full pipeline
+// (internal/core imports internal/solver; the reverse import is fine in
+// a _test package).
+package solver_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// corpusLiteralSets harvests every path condition the pipeline produces
+// on the corpus NFs — the literal sets the cache actually sees.
+func corpusLiteralSets(t *testing.T) [][]solver.Term {
+	t.Helper()
+	var sets [][]solver.Term
+	for _, name := range nfs.Names() {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		an, err := core.Analyze(name, nf.Prog, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, p := range an.Paths {
+			if len(p.Conds) > 1 {
+				sets = append(sets, p.Conds)
+			}
+		}
+	}
+	if len(sets) == 0 {
+		t.Fatal("no multi-literal path conditions harvested from the corpus")
+	}
+	return sets
+}
+
+func permuted(rng *rand.Rand, lits []solver.Term) []solver.Term {
+	out := append([]solver.Term{}, lits...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestSatConjPermutationInvariantOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for si, lits := range corpusLiteralSets(t) {
+		want := solver.SatConj(lits)
+		for trial := 0; trial < 8; trial++ {
+			perm := permuted(rng, lits)
+			if got := solver.SatConj(perm); got != want {
+				t.Fatalf("set %d trial %d: SatConj(perm) = %v, SatConj(orig) = %v\nperm: %v",
+					si, trial, got, want, perm)
+			}
+		}
+		// Duplication must not change the verdict either (idempotence) —
+		// the cache's canonical form also deduplicates.
+		dup := append(append([]solver.Term{}, lits...), lits[rng.Intn(len(lits))])
+		if got := solver.SatConj(dup); got != want {
+			t.Fatalf("set %d: SatConj(dup) = %v, want %v", si, got, want)
+		}
+	}
+}
+
+// TestSatConjPermutationInvariantUnsat adds contradiction literals to
+// corpus-drawn sets so the property is exercised on unsat conjunctions
+// too (the corpus paths are all feasible by construction).
+func TestSatConjPermutationInvariantUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sets := corpusLiteralSets(t)
+	for si, lits := range sets {
+		if si >= 20 {
+			break
+		}
+		// Contradict the first literal: lits && !lits[0] is unsat.
+		contradicted := append(append([]solver.Term{}, lits...), solver.Not(lits[0]))
+		want := solver.SatConj(contradicted)
+		for trial := 0; trial < 8; trial++ {
+			perm := permuted(rng, contradicted)
+			if got := solver.SatConj(perm); got != want {
+				t.Fatalf("set %d trial %d: SatConj(perm) = %v, want %v", si, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheMatchesDirectOnCorpus: the memoized verdict equals the direct
+// verdict for every harvested set and several of its permutations — the
+// end-to-end soundness statement for the canonical-key scheme.
+func TestCacheMatchesDirectOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cache := solver.NewCache()
+	for si, lits := range corpusLiteralSets(t) {
+		want := solver.SatConj(lits)
+		for trial := 0; trial < 4; trial++ {
+			perm := permuted(rng, lits)
+			if got := cache.SatConj(perm); got != want {
+				t.Fatalf("set %d trial %d: cache.SatConj = %v, direct = %v", si, trial, got, want)
+			}
+		}
+	}
+	if st := cache.Stats(); st.SatHits == 0 {
+		t.Errorf("permuted lookups produced no hits: %+v", st)
+	}
+}
+
+func ExampleCache() {
+	c := solver.NewCache()
+	x := solver.Var{Name: "x"}
+	lits := []solver.Term{solver.Bin{Op: ">", X: x, Y: solver.Const{V: value.Int(1)}}}
+	fmt.Println(c.SatConj(lits), c.SatConj(lits))
+	st := c.Stats()
+	fmt.Println(st.SatMisses, st.SatHits)
+	// Output:
+	// true true
+	// 1 1
+}

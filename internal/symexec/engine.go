@@ -5,6 +5,7 @@ import (
 
 	"nfactor/internal/interp"
 	"nfactor/internal/lang"
+	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/value"
 )
@@ -12,6 +13,11 @@ import (
 // Run symbolically executes prog's entry function over one symbolic
 // packet. The program must have user calls inlined (slice.NewAnalyzer and
 // core.Pipeline do this); encountering a user-function call is an error.
+//
+// Exploration runs on Options.Workers goroutines sharing one frontier;
+// the result is deterministic regardless of worker count (paths are
+// merged in fork-decision order), except for WHICH paths survive when a
+// budget is exhausted mid-run.
 func Run(prog *lang.Program, entry string, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	fn := prog.Func(entry)
@@ -50,7 +56,18 @@ func Run(prog *lang.Program, entry string, opts Options) (*Result, error) {
 		initGlobals[name] = t
 	}
 
-	e := &engine{prog: prog, entry: entry, opts: o, initGlobals: initGlobals, res: &Result{}}
+	e := &engine{
+		prog:        prog,
+		entry:       entry,
+		opts:        o,
+		initGlobals: initGlobals,
+		cStates:     o.Perf.Counter(perf.CStates),
+		cForks:      o.Perf.Counter(perf.CForks),
+		cPaths:      o.Perf.Counter(perf.CPaths),
+		cPruned:     o.Perf.Counter(perf.CPruned),
+		cSteps:      o.Perf.Counter(perf.CSteps),
+		cSolver:     o.Perf.Counter(perf.CSolverCalls),
+	}
 
 	st := &mstate{
 		locals:  map[string]solver.Term{},
@@ -64,24 +81,7 @@ func Run(prog *lang.Program, entry string, opts Options) (*Result, error) {
 	st.locals[fn.Params[0]] = pktRefTerm(0)
 	st.frames = []frame{{kind: frameBlock, stmts: fn.Body.Stmts}}
 
-	stack := []*mstate{st}
-	for len(stack) > 0 {
-		if len(e.res.Paths) >= e.opts.MaxPaths {
-			e.res.Exhausted = true
-			break
-		}
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		forks, err := e.runToEvent(cur)
-		if err != nil {
-			return nil, err
-		}
-		// LIFO: push in reverse so the first fork is explored first.
-		for i := len(forks) - 1; i >= 0; i-- {
-			stack = append(stack, forks[i])
-		}
-	}
-	return e.res, nil
+	return newExplorer(e).explore(st)
 }
 
 func isScalar(v value.Value) bool {
@@ -98,31 +98,62 @@ type engine struct {
 	entry       string
 	opts        Options
 	initGlobals map[string]solver.Term
-	res         *Result
+
+	// Hot-path perf counters (nil when Options.Perf is unset; all
+	// perf.Counter methods are nil-safe).
+	cStates, cForks, cPaths, cPruned, cSteps, cSolver *perf.Counter
 }
 
-// runToEvent advances st until the path completes (recorded, returns nil
-// forks) or the state forks (returns the children).
-func (e *engine) runToEvent(st *mstate) ([]*mstate, error) {
+// satConj is the engine's feasibility check: memoized through the shared
+// cache when one is configured.
+func (e *engine) satConj(lits []solver.Term) bool {
+	e.cSolver.Inc()
+	if e.opts.Cache != nil {
+		return e.opts.Cache.SatConj(lits)
+	}
+	return solver.SatConj(lits)
+}
+
+// simplify routes term simplification through the shared cache.
+func (e *engine) simplify(t solver.Term) solver.Term {
+	if e.opts.Cache != nil {
+		return e.opts.Cache.Simplify(t)
+	}
+	return solver.Simplify(t)
+}
+
+// runToEvent advances st until the path completes (completed=true, caller
+// records it), the state forks (non-empty forks), or the state dies
+// (empty non-nil forks: every branch alternative was infeasible, or the
+// run was cancelled mid-path).
+func (e *engine) runToEvent(st *mstate, ex *explorer) (forks []*mstate, completed bool, err error) {
+	steps0 := st.steps
+	defer func() { e.cSteps.Add(int64(st.steps - steps0)) }()
 	for {
 		if len(st.frames) == 0 {
-			e.record(st)
-			return nil, nil
+			return nil, true, nil
 		}
 		st.steps++
 		if st.steps > e.opts.MaxSteps {
 			st.truncated = true
-			e.record(st)
-			return nil, nil
+			return nil, true, nil
+		}
+		if st.steps&127 == 0 && ex.shouldStop() {
+			// Cancelled (error elsewhere, or global time budget hit):
+			// abandon the in-flight state.
+			return []*mstate{}, false, nil
 		}
 		top := &st.frames[len(st.frames)-1]
 		if top.idx >= len(top.stmts) {
 			forks, done, err := e.frameEnd(st)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			if done || forks != nil {
-				return forks, nil
+			if done {
+				return nil, true, nil
+			}
+			if forks != nil {
+				return forks, false, nil
 			}
 			continue
 		}
@@ -131,14 +162,13 @@ func (e *engine) runToEvent(st *mstate) ([]*mstate, error) {
 		st.visited[s.StmtID()] = true
 		forks, done, err := e.execStmt(st, s)
 		if err != nil {
-			return nil, fmt.Errorf("symexec: %s: %w", s.NodePos(), err)
+			return nil, false, fmt.Errorf("symexec: %s: %w", s.NodePos(), err)
 		}
 		if done {
-			e.record(st)
-			return nil, nil
+			return nil, true, nil
 		}
 		if forks != nil {
-			return forks, nil
+			return forks, false, nil
 		}
 	}
 }
@@ -183,16 +213,17 @@ func (e *engine) frameEnd(st *mstate) (forks []*mstate, done bool, err error) {
 }
 
 // branch forks st on cond. onTrue/onFalse adjust each child after the
-// literal set is appended (push the then-block, pop the loop, …). When the
-// condition folds to a constant, no clone happens and the matching hook
-// runs on st itself; runToEvent continues with st via a one-element fork
-// list.
+// literal set is appended (push the then-block, pop the loop, …). The
+// returned slice is always non-nil; an empty slice means every
+// alternative was pruned as infeasible and the state dies. Each child is
+// tagged with its fork-decision index so paths can be merged in
+// deterministic order regardless of which worker explores them.
 func (e *engine) branch(st *mstate, cond lang.Expr, stmtID int, onTrue, onFalse func(*mstate)) ([]*mstate, error) {
 	c, err := e.eval(cond, st)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cond.NodePos(), err)
 	}
-	var children []*mstate
+	children := []*mstate{}
 	addAlts := func(alts [][]solver.Term, hook func(*mstate)) {
 		for _, alt := range alts {
 			child := st.clone()
@@ -203,17 +234,23 @@ func (e *engine) branch(st *mstate, cond lang.Expr, stmtID int, onTrue, onFalse 
 					child.condStmts = append(child.condStmts, stmtID)
 				}
 				if !e.opts.NoPruning {
-					feasible = solver.SatConj(child.conds)
+					feasible = e.satConj(child.conds)
 				}
 			}
 			if feasible {
+				child.seq = append(child.seq, int32(len(children)))
 				hook(child)
 				children = append(children, child)
+			} else {
+				e.cPruned.Inc()
 			}
 		}
 	}
 	addAlts(alternatives(c, true), onTrue)
 	addAlts(alternatives(c, false), onFalse)
+	if len(children) > 1 {
+		e.cForks.Add(int64(len(children) - 1))
+	}
 	return children, nil
 }
 
@@ -328,8 +365,8 @@ func iterTerms(t solver.Term) ([]solver.Term, error) {
 	return nil, fmt.Errorf("cannot iterate symbolic %s (bounded-loop restriction §3.2)", t)
 }
 
-// record finalizes st as a completed path.
-func (e *engine) record(st *mstate) {
+// buildPath finalizes st as a completed path record.
+func (e *engine) buildPath(st *mstate) *Path {
 	p := &Path{
 		Conds:     append([]solver.Term{}, st.conds...),
 		CondStmts: append([]int{}, st.condStmts...),
@@ -345,10 +382,10 @@ func (e *engine) record(st *mstate) {
 	for _, name := range names {
 		cur := st.globals[name]
 		if cur.Key() != e.initGlobals[name].Key() {
-			p.Updates = append(p.Updates, Update{Name: name, Val: solver.Simplify(cur)})
+			p.Updates = append(p.Updates, Update{Name: name, Val: e.simplify(cur)})
 		}
 	}
-	e.res.Paths = append(e.res.Paths, p)
+	return p
 }
 
 func sortStrings(s []string) {

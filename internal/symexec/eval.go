@@ -38,7 +38,7 @@ func (e *engine) eval(x lang.Expr, st *mstate) (solver.Term, error) {
 			}
 			elems[i] = t
 		}
-		return solver.Simplify(solver.Tuple{Elems: elems}), nil
+		return e.simplify(solver.Tuple{Elems: elems}), nil
 
 	case *lang.ListLit:
 		elems := make([]value.Value, len(ex.Elems))
@@ -82,7 +82,7 @@ func (e *engine) eval(x lang.Expr, st *mstate) (solver.Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		return solver.Simplify(solver.Un{Op: ex.Op, X: t}), nil
+		return e.simplify(solver.Un{Op: ex.Op, X: t}), nil
 
 	case *lang.BinaryExpr:
 		l, err := e.eval(ex.X, st)
@@ -94,9 +94,9 @@ func (e *engine) eval(x lang.Expr, st *mstate) (solver.Term, error) {
 			return nil, err
 		}
 		if ex.Op == "in" {
-			return solver.Simplify(solver.In{K: l, M: r}), nil
+			return e.simplify(solver.In{K: l, M: r}), nil
 		}
-		return solver.Simplify(solver.Bin{Op: ex.Op, X: l, Y: r}), nil
+		return e.simplify(solver.Bin{Op: ex.Op, X: l, Y: r}), nil
 
 	case *lang.IndexExpr:
 		base, err := e.eval(ex.X, st)
@@ -115,9 +115,9 @@ func (e *engine) eval(x lang.Expr, st *mstate) (solver.Term, error) {
 			return e.pktField(st, ref, c.V.S), nil
 		}
 		if isMapTerm(base) {
-			return solver.Simplify(solver.Select{M: base, K: idx}), nil
+			return e.simplify(solver.Select{M: base, K: idx}), nil
 		}
-		return solver.Simplify(solver.Index{X: base, I: idx}), nil
+		return e.simplify(solver.Index{X: base, I: idx}), nil
 
 	case *lang.FieldExpr:
 		base, err := e.eval(ex.X, st)
@@ -176,7 +176,7 @@ func (e *engine) evalCall(ex *lang.CallExpr, st *mstate) (solver.Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		return solver.Simplify(solver.Call{Fn: ex.Fun, Args: []solver.Term{a}}), nil
+		return e.simplify(solver.Call{Fn: ex.Fun, Args: []solver.Term{a}}), nil
 	case "str_contains":
 		if len(ex.Args) != 2 {
 			return nil, fmt.Errorf("%s: str_contains takes two arguments", ex.Pos)
@@ -189,7 +189,7 @@ func (e *engine) evalCall(ex *lang.CallExpr, st *mstate) (solver.Term, error) {
 		if err != nil {
 			return nil, err
 		}
-		return solver.Simplify(solver.Call{Fn: "contains", Args: []solver.Term{a, b}}), nil
+		return e.simplify(solver.Call{Fn: "contains", Args: []solver.Term{a, b}}), nil
 	case "tcp_flag":
 		if len(ex.Args) != 2 {
 			return nil, fmt.Errorf("%s: tcp_flag takes (pkt, flag)", ex.Pos)
@@ -207,7 +207,7 @@ func (e *engine) evalCall(ex *lang.CallExpr, st *mstate) (solver.Term, error) {
 			return nil, err
 		}
 		flags := e.pktField(st, ref, "flags")
-		return solver.Simplify(solver.Call{Fn: "contains", Args: []solver.Term{flags, flag}}), nil
+		return e.simplify(solver.Call{Fn: "contains", Args: []solver.Term{flags, flag}}), nil
 	case "keys":
 		if len(ex.Args) != 1 {
 			return nil, fmt.Errorf("%s: keys takes a map", ex.Pos)
@@ -255,7 +255,7 @@ func (e *engine) execCallStmt(st *mstate, s *lang.ExprStmt) error {
 		}
 		fields := make(map[string]solver.Term, len(st.pkts[ref]))
 		for k, v := range st.pkts[ref] {
-			fields[k] = solver.Simplify(v)
+			fields[k] = e.simplify(v)
 		}
 		st.sends = append(st.sends, SendRec{Fields: fields, Iface: iface})
 		return nil
@@ -290,7 +290,7 @@ func (e *engine) execCallStmt(st *mstate, s *lang.ExprStmt) error {
 		if err != nil {
 			return err
 		}
-		e.bind(st, id.Name, solver.Simplify(solver.Del{M: m, K: k}))
+		e.bind(st, id.Name, e.simplify(solver.Del{M: m, K: k}))
 		return nil
 
 	default:
@@ -320,7 +320,7 @@ func (e *engine) execAssign(st *mstate, s *lang.AssignStmt) error {
 		if err != nil {
 			return err
 		}
-		parts, err := unpack(t, len(s.LHS))
+		parts, err := e.unpack(t, len(s.LHS))
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.NodePos(), err)
 		}
@@ -342,7 +342,7 @@ func (e *engine) execAssign(st *mstate, s *lang.AssignStmt) error {
 	return nil
 }
 
-func unpack(t solver.Term, n int) ([]solver.Term, error) {
+func (e *engine) unpack(t solver.Term, n int) ([]solver.Term, error) {
 	switch x := t.(type) {
 	case solver.Tuple:
 		if len(x.Elems) != n {
@@ -364,7 +364,7 @@ func unpack(t solver.Term, n int) ([]solver.Term, error) {
 	// Symbolic tuple-valued term: unpack via index terms.
 	out := make([]solver.Term, n)
 	for i := 0; i < n; i++ {
-		out[i] = solver.Simplify(solver.Index{X: t, I: solver.Const{V: value.Int(int64(i))}})
+		out[i] = e.simplify(solver.Index{X: t, I: solver.Const{V: value.Int(int64(i))}})
 	}
 	return out, nil
 }
@@ -384,7 +384,7 @@ func (e *engine) assignTo(st *mstate, l lang.Expr, v solver.Term) error {
 		if !ok {
 			return fmt.Errorf("field assignment on non-packet")
 		}
-		st.pkts[ref][lv.Name] = solver.Simplify(v)
+		st.pkts[ref][lv.Name] = e.simplify(v)
 		return nil
 
 	case *lang.IndexExpr:
@@ -401,7 +401,7 @@ func (e *engine) assignTo(st *mstate, l lang.Expr, v solver.Term) error {
 			if !ok || c.V.Kind != value.KindStr {
 				return fmt.Errorf("packet index must be a constant field name")
 			}
-			st.pkts[ref][c.V.S] = solver.Simplify(v)
+			st.pkts[ref][c.V.S] = e.simplify(v)
 			return nil
 		}
 		if isMapTerm(base) {
@@ -409,7 +409,7 @@ func (e *engine) assignTo(st *mstate, l lang.Expr, v solver.Term) error {
 			if !ok {
 				return fmt.Errorf("map store target must be a variable")
 			}
-			e.bind(st, id.Name, solver.Simplify(solver.Store{M: base, K: idx, V: v}))
+			e.bind(st, id.Name, e.simplify(solver.Store{M: base, K: idx, V: v}))
 			return nil
 		}
 		return fmt.Errorf("symbolic store into %T is not supported", base)

@@ -1,0 +1,211 @@
+package symexec
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// explorer drains the frontier of machine states with Options.Workers
+// goroutines. The frontier is a shared LIFO stack, so one worker walks it
+// exactly like the old sequential engine (depth-first), and extra workers
+// steal the sibling branches it leaves behind.
+//
+// Determinism: every state carries the sequence of fork-decision indices
+// that produced it (mstate.seq). Completed paths are merged by sorting on
+// that sequence, which is exactly the depth-first preorder a single
+// worker produces — so Result.Paths is byte-for-byte identical at every
+// worker count. The only exception is a run that exhausts a budget: which
+// paths got recorded before the budget filled then depends on timing
+// (Exhausted is set either way).
+//
+// Budgets are global, not per worker: MaxPaths is an atomic reservation
+// counter shared by all workers, and TimeBudget is a shared deadline that
+// cancels every in-flight state.
+type explorer struct {
+	e *engine
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	frontier []*mstate
+	active   int  // workers currently advancing a state
+	stopped  bool // error or time budget: stop issuing work
+	err      error
+
+	recorded  atomic.Int64 // path slots reserved (may exceed MaxPaths by the rejected ones)
+	exhausted atomic.Bool
+	stop      atomic.Bool // lock-free mirror of stopped for the step loop
+
+	deadline time.Time // zero when no time budget
+	paths    []recPath
+}
+
+// recPath pairs a completed path with the fork-decision sequence that
+// orders it.
+type recPath struct {
+	seq []int32
+	p   *Path
+}
+
+func newExplorer(e *engine) *explorer {
+	ex := &explorer{e: e}
+	ex.cond = sync.NewCond(&ex.mu)
+	if e.opts.TimeBudget > 0 {
+		ex.deadline = time.Now().Add(e.opts.TimeBudget)
+	}
+	return ex
+}
+
+func (ex *explorer) explore(root *mstate) (*Result, error) {
+	ex.frontier = append(ex.frontier, root)
+	workers := ex.e.opts.Workers
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex.work()
+		}()
+	}
+	wg.Wait()
+
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	// A drained exploration always leaves the frontier empty; anything
+	// left was abandoned by a budget or cancellation.
+	if len(ex.frontier) > 0 {
+		ex.exhausted.Store(true)
+	}
+	sort.Slice(ex.paths, func(a, b int) bool { return seqLess(ex.paths[a].seq, ex.paths[b].seq) })
+	res := &Result{Exhausted: ex.exhausted.Load()}
+	for _, rp := range ex.paths {
+		res.Paths = append(res.Paths, rp.p)
+	}
+	return res, nil
+}
+
+func (ex *explorer) work() {
+	for {
+		st, ok := ex.next()
+		if !ok {
+			return
+		}
+		ex.e.cStates.Inc()
+		forks, completed, err := ex.e.runToEvent(st, ex)
+		if err != nil {
+			ex.fail(err)
+			ex.done(nil)
+			return
+		}
+		if completed {
+			ex.record(st)
+		}
+		ex.done(forks)
+	}
+}
+
+// next pops the most recently pushed state, blocking while the frontier
+// is empty but other workers may still fork. It returns false when the
+// exploration is over: frontier drained, cancelled, or path budget full.
+func (ex *explorer) next() (*mstate, bool) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for {
+		if ex.stopped {
+			return nil, false
+		}
+		if ex.recorded.Load() >= int64(ex.e.opts.MaxPaths) {
+			// Path budget full: stop issuing work. Anything left on the
+			// frontier would have produced at least one more path;
+			// explore() marks the run exhausted when it finds leftovers.
+			return nil, false
+		}
+		if len(ex.frontier) > 0 {
+			st := ex.frontier[len(ex.frontier)-1]
+			ex.frontier = ex.frontier[:len(ex.frontier)-1]
+			ex.active++
+			return st, true
+		}
+		if ex.active == 0 {
+			return nil, false
+		}
+		ex.cond.Wait()
+	}
+}
+
+// done returns a worker's forks to the frontier (reversed, so the first
+// fork is popped first — preserving depth-first order) and wakes waiters.
+func (ex *explorer) done(forks []*mstate) {
+	ex.mu.Lock()
+	for i := len(forks) - 1; i >= 0; i-- {
+		ex.frontier = append(ex.frontier, forks[i])
+	}
+	ex.active--
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+}
+
+// record reserves a path slot and stores the completed path. A state that
+// completes after the budget filled is dropped and marks the run
+// exhausted (its path would have been path MaxPaths+1 or later).
+func (ex *explorer) record(st *mstate) {
+	if n := ex.recorded.Add(1); n > int64(ex.e.opts.MaxPaths) {
+		ex.exhausted.Store(true)
+		return
+	}
+	ex.e.cPaths.Inc()
+	p := ex.e.buildPath(st)
+	ex.mu.Lock()
+	ex.paths = append(ex.paths, recPath{seq: st.seq, p: p})
+	ex.mu.Unlock()
+}
+
+// shouldStop is the lock-free cancellation check polled inside the step
+// loop: set on error, and when the global time budget expires.
+func (ex *explorer) shouldStop() bool {
+	if ex.stop.Load() {
+		return true
+	}
+	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+		ex.exhausted.Store(true)
+		ex.cancel()
+		return true
+	}
+	return false
+}
+
+func (ex *explorer) cancel() {
+	ex.stop.Store(true)
+	ex.mu.Lock()
+	ex.stopped = true
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+}
+
+func (ex *explorer) fail(err error) {
+	ex.stop.Store(true)
+	ex.mu.Lock()
+	if ex.err == nil {
+		ex.err = err
+	}
+	ex.stopped = true
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+}
+
+// seqLess orders fork-decision sequences lexicographically — the
+// depth-first preorder of the execution tree.
+func seqLess(a, b []int32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,201 @@
+package symexec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/perf"
+	"nfactor/internal/solver"
+)
+
+// fingerprint canonicalizes a path — condition keys, sends, updates — so
+// runs at different worker counts can be compared element by element.
+func fingerprint(p *Path) string {
+	var sb strings.Builder
+	for _, c := range p.Conds {
+		sb.WriteString(c.Key())
+		sb.WriteByte('&')
+	}
+	sb.WriteByte('|')
+	for _, s := range p.Sends {
+		sb.WriteString("send[" + s.Iface.Key() + "]")
+		for _, f := range s.FieldNames() {
+			sb.WriteString(f + "=" + s.Fields[f].Key() + ",")
+		}
+	}
+	sb.WriteByte('|')
+	for _, u := range p.Updates {
+		sb.WriteString(u.Name + ":=" + u.Val.Key() + ";")
+	}
+	return sb.String()
+}
+
+func fingerprints(res *Result) []string {
+	out := make([]string, len(res.Paths))
+	for i, p := range res.Paths {
+		out[i] = fingerprint(p)
+	}
+	return out
+}
+
+// TestParallelIdenticalAcrossWorkerCounts is the core determinism claim:
+// the ORDERED path list of the load balancer is byte-identical at every
+// worker count, because paths merge in fork-decision (depth-first
+// preorder) order regardless of scheduling.
+func TestParallelIdenticalAcrossWorkerCounts(t *testing.T) {
+	prog := lang.MustParse(lbSrc)
+	base := lbOpts
+	base.Workers = 1
+	ref, err := Run(prog, "process", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Paths) == 0 {
+		t.Fatal("no reference paths")
+	}
+	want := fingerprints(ref)
+	for _, workers := range []int{2, 3, 4, 8} {
+		opts := lbOpts
+		opts.Workers = workers
+		res, err := Run(prog, "process", opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := fingerprints(res)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d paths, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: path %d differs:\n got %s\nwant %s", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// fourPathSrc has exactly 4 feasible paths (two independent branches).
+const fourPathSrc = `
+func process(pkt) {
+    if pkt.sport > 1024 { x = 1; } else { x = 2; }
+    if pkt.dport > 1024 { y = 1; } else { y = 2; }
+    pkt.ttl = x + y;
+    send(pkt);
+}`
+
+// TestExactPathBudgetNotExhausted is the budget-ordering regression: a
+// MaxPaths equal to the true path count must complete WITHOUT reporting
+// exhaustion (the budget was sufficient), while MaxPaths one below it
+// must report exhaustion — at any worker count.
+func TestExactPathBudgetNotExhausted(t *testing.T) {
+	prog := lang.MustParse(fourPathSrc)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			res, err := Run(prog, "process", Options{MaxPaths: 4, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Paths) != 4 {
+				t.Fatalf("paths = %d, want 4", len(res.Paths))
+			}
+			if res.Exhausted {
+				t.Error("MaxPaths == true path count reported Exhausted")
+			}
+
+			res, err = Run(prog, "process", Options{MaxPaths: 3, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Exhausted {
+				t.Error("MaxPaths below the true path count did not report Exhausted")
+			}
+			if len(res.Paths) > 3 {
+				t.Errorf("paths = %d, exceeds MaxPaths=3", len(res.Paths))
+			}
+			if workers == 1 && len(res.Paths) != 3 {
+				t.Errorf("workers=1: paths = %d, want exactly 3", len(res.Paths))
+			}
+		})
+	}
+}
+
+// TestTimeBudgetExpires: an already-expired time budget abandons the
+// exploration (a long concrete loop guarantees the 128-step poll fires)
+// and reports Exhausted — the paper's ">1hr" cells.
+func TestTimeBudgetExpires(t *testing.T) {
+	src := `
+func process(pkt) {
+    i = 0;
+    while i < 500 {
+        i = i + 1;
+    }
+    pkt.ttl = i;
+    send(pkt);
+}`
+	res, err := Run(lang.MustParse(src), "process", Options{
+		LoopBound:  2000,
+		TimeBudget: time.Nanosecond,
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Error("expired time budget did not report Exhausted")
+	}
+	if len(res.Paths) != 0 {
+		t.Errorf("paths = %d, want 0 (the only path is cut off mid-loop)", len(res.Paths))
+	}
+}
+
+// TestPerfCountersAndCache: the engine reports its exploration counters,
+// and a second run against the same cache answers every solver query from
+// memory.
+func TestPerfCountersAndCache(t *testing.T) {
+	prog := lang.MustParse(lbSrc)
+	set := perf.New()
+	cache := solver.NewCache()
+	opts := lbOpts
+	opts.Workers = 2
+	opts.Perf = set
+	opts.Cache = cache
+
+	res, err := Run(prog, "process", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Get(perf.CStates) == 0 || set.Get(perf.CSteps) == 0 {
+		t.Errorf("state/step counters empty: states=%d steps=%d",
+			set.Get(perf.CStates), set.Get(perf.CSteps))
+	}
+	if got := set.Get(perf.CPaths); got != int64(len(res.Paths)) {
+		t.Errorf("paths counter = %d, want %d", got, len(res.Paths))
+	}
+	if set.Get(perf.CForks) == 0 || set.Get(perf.CSolverCalls) == 0 {
+		t.Errorf("fork/solver counters empty: forks=%d solver=%d",
+			set.Get(perf.CForks), set.Get(perf.CSolverCalls))
+	}
+	misses := cache.Stats().SatMisses
+	if misses == 0 {
+		t.Fatal("first run issued no solver queries through the cache")
+	}
+
+	res2, err := Run(prog, "process", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.SatMisses != misses {
+		t.Errorf("second identical run missed the cache: misses %d -> %d", misses, st.SatMisses)
+	}
+	if st.SatHits == 0 {
+		t.Error("second identical run recorded no cache hits")
+	}
+	for i := range res.Paths {
+		if fingerprint(res.Paths[i]) != fingerprint(res2.Paths[i]) {
+			t.Fatalf("cached run diverged at path %d", i)
+		}
+	}
+}

@@ -11,9 +11,12 @@
 package symexec
 
 import (
+	"runtime"
 	"sort"
+	"time"
 
 	"nfactor/internal/lang"
+	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/value"
 )
@@ -21,13 +24,31 @@ import (
 // Options configure an execution.
 type Options struct {
 	// MaxPaths bounds the number of completed paths; exceeding it sets
-	// Result.Exhausted (the ">1000 paths" cells of Table 2).
+	// Result.Exhausted (the ">1000 paths" cells of Table 2). The budget
+	// is global across all workers.
 	MaxPaths int
 	// MaxSteps bounds the statements executed along a single path.
 	MaxSteps int
 	// LoopBound bounds symbolic loop iterations (§3.2: loops must be
 	// bounded for symbolic execution to terminate).
 	LoopBound int
+	// Workers is the number of goroutines exploring the frontier;
+	// 0 means runtime.GOMAXPROCS(0). Any value yields the same
+	// deterministic Result (paths merge in fork-decision order);
+	// Workers=1 walks the frontier exactly like the historical
+	// sequential LIFO engine.
+	Workers int
+	// TimeBudget bounds the whole exploration's wall-clock time; when it
+	// expires the run is cancelled and Result.Exhausted is set (the
+	// paper's ">1hr" cells). Zero means no time budget.
+	TimeBudget time.Duration
+	// Cache, when set, memoizes SatConj/Simplify across all workers (and,
+	// when the caller shares one Cache, across runs — the pipeline's
+	// orig/slice/model executions hit many identical path prefixes).
+	Cache *solver.Cache
+	// Perf, when set, receives the exploration's counters (states,
+	// forks, paths, pruned branches, steps, solver calls).
+	Perf *perf.Set
 	// ConfigVars are globals to treat as symbolic configuration scalars
 	// (no @0 suffix) when their initial value is a scalar. Non-scalar
 	// config (lists, maps) stays concrete.
@@ -53,6 +74,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.LoopBound == 0 {
 		out.LoopBound = 16
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -149,6 +173,12 @@ type mstate struct {
 	visited   map[int]bool
 	steps     int
 	truncated bool
+
+	// seq is the sequence of fork-decision indices that produced this
+	// state — the state's coordinate in the execution tree. Completed
+	// paths sort by it, which makes Result.Paths independent of worker
+	// scheduling.
+	seq []int32
 }
 
 func (st *mstate) clone() *mstate {
@@ -163,6 +193,7 @@ func (st *mstate) clone() *mstate {
 		visited:   make(map[int]bool, len(st.visited)),
 		steps:     st.steps,
 		truncated: st.truncated,
+		seq:       append([]int32{}, st.seq...),
 	}
 	copy(out.frames, st.frames)
 	for k, v := range st.locals {

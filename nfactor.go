@@ -36,6 +36,7 @@ import (
 	"nfactor/internal/netpkt"
 	"nfactor/internal/nfs"
 	"nfactor/internal/normalize"
+	"nfactor/internal/solver"
 	"nfactor/internal/statealyzer"
 	"nfactor/internal/value"
 	"nfactor/internal/verify"
@@ -60,6 +61,11 @@ type Options struct {
 	// MeasureOriginal additionally symbolically executes the original
 	// program for comparison (Table 2's "orig" columns).
 	MeasureOriginal bool
+	// Workers is the symbolic-execution worker count (0 = GOMAXPROCS).
+	// The synthesized model is identical at every worker count;
+	// Workers=1 reproduces the historical sequential exploration order
+	// exactly (useful for timing measurements).
+	Workers int
 }
 
 // Value is a concrete NFLang value (integers, strings, booleans, tuples,
@@ -93,6 +99,7 @@ func (o Options) toCore() core.Options {
 		Entry:           o.Entry,
 		MaxPaths:        o.MaxPaths,
 		LoopBound:       o.LoopBound,
+		Workers:         o.Workers,
 		ConfigOverride:  o.Config,
 		MeasureOriginal: o.MeasureOriginal,
 	}
@@ -143,6 +150,18 @@ func (r *Result) Model() *Model { return r.an.Model }
 
 // Metrics returns the analysis measurements.
 func (r *Result) Metrics() Metrics { return r.an.Metrics }
+
+// CacheStats are solver-cache hit/miss counts.
+type CacheStats = solver.CacheStats
+
+// SolverCacheStats returns the hit/miss counts of the solver cache the
+// analysis ran with (the accuracy checks on this Result add to them).
+func (r *Result) SolverCacheStats() CacheStats { return r.an.Cache.Stats() }
+
+// PerfReport renders the analysis' performance counters and phase timers
+// (states explored, forks, solver calls, cache hit rates, per-phase
+// wall/CPU time).
+func (r *Result) PerfReport() string { return r.an.Perf.Report() }
 
 // RenderModel returns the Figure 6-style table rendering.
 func (r *Result) RenderModel() string { return model.Render(r.an.Model) }
