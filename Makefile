@@ -7,9 +7,13 @@ GO ?= go
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments
 
-.PHONY: all build test race bench bench-parallel vet
+.PHONY: all check build test race bench bench-parallel bench-dataplane vet
 
-all: build test
+all: check
+
+# Default gate: compile, vet, test — in that order, so vet failures
+# surface before the (slower) test run.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -32,3 +36,9 @@ bench:
 # snortlite, ~39k paths per run — expect a couple of minutes).
 bench-parallel:
 	$(GO) test -bench=BenchmarkParallelSpeedup -run=^$$ -benchtime=1x .
+
+# Compiled data plane vs reference interpreter, cross-validated by
+# differential fuzzing; refreshes the checked-in BENCH_dataplane.json.
+# -workers=1 keeps the per-row timings free of cross-row contention.
+bench-dataplane:
+	$(GO) run ./cmd/nfbench -exp dataplane -workers 1 -out BENCH_dataplane.json

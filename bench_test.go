@@ -233,10 +233,16 @@ func BenchmarkVerification_ModelVsOrig_snortlite(b *testing.B) {
 // BenchmarkParallelSpeedup_snortlite explores the UNSLICED snortlite
 // program (~39k paths) at Workers=1 and Workers=GOMAXPROCS and reports
 // wall(1)/wall(N) as "speedup". On a ≥4-core machine the ratio should
-// exceed 2×; on fewer cores it only documents the scheduling overhead,
-// so the value is reported, not asserted. The two runs must produce an
-// identical ordered path set — that IS asserted, every iteration.
+// exceed 2×; on fewer cores the ratio is scheduling noise, so the
+// benchmark downgrades to determinism-only: the speedup metric is not
+// reported there (a meaningless 0.9× would read as a regression). The
+// two runs must produce an identical ordered path set — that IS
+// asserted, every iteration, on every machine.
 func BenchmarkParallelSpeedup_snortlite(b *testing.B) {
+	cores := runtime.NumCPU()
+	if cores < 4 {
+		b.Logf("only %d cores: determinism-only mode, speedup metric suppressed", cores)
+	}
 	nf := nfs.MustLoad("snortlite")
 	an, err := core.Analyze("snortlite", nf.Prog, core.Options{})
 	if err != nil {
@@ -286,7 +292,9 @@ func BenchmarkParallelSpeedup_snortlite(b *testing.B) {
 		}
 		speedup = t1.Seconds() / tN.Seconds()
 	}
-	b.ReportMetric(speedup, "speedup")
+	if cores >= 4 {
+		b.ReportMetric(speedup, "speedup")
+	}
 	b.ReportMetric(float64(par), "workers")
 }
 

@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|all]
+//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|dataplane|all]
 //	        [-nfs lb,balance,...] [-maxpaths 1024] [-trials 1000]
-//	        [-workers N] [-stats]
+//	        [-workers N] [-stats] [-out bench.json]
+//
+// -exp dataplane measures the compiled match-action engine against the
+// reference interpreter on every NF (cross-validated by differential
+// fuzzing first); -out additionally records the rows as JSON (the
+// checked-in BENCH_dataplane.json is produced this way, via
+// `make bench-dataplane`).
 //
 // NF rows run concurrently under -workers (default GOMAXPROCS); results
 // are identical at every worker count, but use -workers=1 when the
@@ -13,9 +19,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"nfactor/internal/experiments"
@@ -25,13 +33,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | all")
+	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | all")
 	nfsFlag := flag.String("nfs", "", "comma-separated NF subset (default: whole corpus)")
 	maxPaths := flag.Int("maxpaths", 1024, "path budget for original-program symbolic execution (the paper's snort run exceeded it)")
 	trials := flag.Int("trials", 1000, "random packets per NF in the accuracy experiment")
 	seed := flag.Int64("seed", 1, "trace generator seed")
 	workers := flag.Int("workers", 0, "concurrent NF rows and SE workers (0 = GOMAXPROCS; use 1 for faithful per-row timings)")
 	stats := flag.Bool("stats", false, "print aggregated performance counters and solver-cache hit rates")
+	out := flag.String("out", "", "write the dataplane experiment's rows as JSON to this file")
 	flag.Parse()
 
 	names := nfs.Names()
@@ -79,6 +88,15 @@ func main() {
 		check(err)
 		fmt.Println(experiments.FormatVerification(rows))
 	}
+	if run("dataplane") {
+		rows, err := experiments.Dataplane(names, *trials, *seed, opts)
+		check(err)
+		fmt.Println(experiments.FormatDataplane(rows))
+		if *out != "" {
+			check(writeDataplaneJSON(*out, rows))
+			fmt.Println("wrote", *out)
+		}
+	}
 	if *stats {
 		fmt.Println("=== perf (aggregated across rows) ===")
 		fmt.Print(opts.Perf.Report())
@@ -94,4 +112,32 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "nfbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeDataplaneJSON records the dataplane rows plus enough machine
+// context to interpret them later.
+func writeDataplaneJSON(path string, rows []experiments.DataplaneRow) error {
+	doc := struct {
+		Description string                     `json:"description"`
+		Machine     map[string]any             `json:"machine"`
+		Rows        []experiments.DataplaneRow `json:"rows"`
+	}{
+		Description: "Compiled data plane (internal/dataplane) vs the reference model.Instance " +
+			"interpreter: amortized ns/packet over the same warmed trace, after a differential " +
+			"fuzz pass over that trace confirmed identical outputs and end state. " +
+			"Engine numbers are steady-state and allocation-free (see TestZeroAllocSteadyState). " +
+			"Regenerate with `make bench-dataplane`.",
+		Machine: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

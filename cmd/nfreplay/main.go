@@ -1,10 +1,17 @@
 // Command nfreplay replays a packet trace through an NF — the original
-// program, its synthesized model, or both side by side (-side diff,
-// the §5 differential methodology on operator-supplied traffic).
+// program, its synthesized model, the compiled data-plane engine, or
+// two of them side by side (-side diff, the §5 differential methodology
+// on operator-supplied traffic).
 //
 // Usage:
 //
 //	nfreplay -corpus lb -trace flows.txt [-side program|model|diff]
+//	         [-fast] [-bench] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -fast replays the model side through the compiled engine instead of
+// the reference interpreter (identical verdicts, much faster).
+// -bench times the trace through BOTH the reference interpreter and the
+// compiled engine and reports pkts/sec and ns/pkt for each.
 //
 // Trace format (one packet per line, # comments allowed):
 //
@@ -15,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"nfactor"
 )
@@ -24,10 +34,14 @@ func main() {
 	file := flag.String("file", "", "NFLang source file to replay against")
 	traceFile := flag.String("trace", "", "trace file (- for stdin)")
 	side := flag.String("side", "diff", "program | model | diff")
+	fast := flag.Bool("fast", false, "replay the model through the compiled data-plane engine")
+	bench := flag.Bool("bench", false, "time the trace through the reference interpreter and the compiled engine")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the replay to this file")
 	flag.Parse()
 
 	if (*corpus == "") == (*file == "") || *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl) -trace file [-side program|model|diff]")
+		fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl) -trace file [-side program|model|diff] [-fast] [-bench]")
 		os.Exit(2)
 	}
 
@@ -59,35 +73,154 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if len(trace) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
 
-	switch *side {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *bench {
+		if err := runBench(res, trace); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := runReplay(res, trace, *side, *fast); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runReplay(res *nfactor.Result, trace []nfactor.Packet, side string, fast bool) error {
+	switch side {
 	case "diff":
 		mism, first, err := res.DiffTestTrace(trace)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if mism == 0 {
 			fmt.Printf("OK: program and model agreed on all %d packets\n", len(trace))
-			return
+			return nil
 		}
 		fmt.Printf("DIVERGED on %d of %d packets; first: %s\n", mism, len(trace), first)
 		os.Exit(1)
+		return nil
 	case "program", "model":
 		var verdicts []nfactor.Verdict
-		if *side == "program" {
+		var err error
+		switch {
+		case side == "program":
 			verdicts, err = res.ReplayProgram(trace)
-		} else {
+		case fast:
+			verdicts, err = res.ReplayCompiled(trace)
+		default:
 			verdicts, err = res.ReplayModel(trace)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for i, v := range verdicts {
 			fmt.Printf("%4d  %-55s %s\n", i+1, trace[i], v)
 		}
+		return nil
 	default:
-		fatal(fmt.Errorf("unknown -side %q", *side))
+		return fmt.Errorf("unknown -side %q", side)
 	}
+}
+
+// runBench cross-validates the engine against the reference on the
+// trace, then times both: replays repeat until each side accumulates
+// ~300ms of wall time, state warmed by a first pass.
+func runBench(res *nfactor.Result, trace []nfactor.Packet) error {
+	const minDur = 300 * time.Millisecond
+
+	mism, first, err := res.DiffTestCompiled(trace)
+	if err != nil {
+		return err
+	}
+	if mism != 0 {
+		return fmt.Errorf("engine diverged from the model on %d packets; first: %s", mism, first)
+	}
+
+	inst, err := res.Instance()
+	if err != nil {
+		return err
+	}
+	eng, err := res.CompiledEngine()
+	if err != nil {
+		return err
+	}
+
+	refNs, err := timeReplay(minDur, len(trace), func() error {
+		for i := range trace {
+			if _, err := inst.Process(trace[i].ToValue()); err != nil {
+				return fmt.Errorf("packet %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	engNs, err := timeReplay(minDur, len(trace), func() error {
+		for i := range trace {
+			if _, err := eng.Process(&trace[i]); err != nil {
+				return fmt.Errorf("packet %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+
+	fmt.Printf("trace: %d packets, engine cross-validated (0 mismatches)\n", len(trace))
+	fmt.Printf("%-22s %12s %14s\n", "", "ns/pkt", "pkts/sec")
+	fmt.Printf("%-22s %12.0f %14.0f\n", "reference interpreter", refNs, 1e9/refNs)
+	fmt.Printf("%-22s %12.0f %14.0f\n", "compiled engine", engNs, 1e9/engNs)
+	fmt.Printf("speedup: %.1fx\n", refNs/engNs)
+	return nil
+}
+
+// timeReplay warms once, then repeats replay until minDur elapses and
+// returns amortized ns/packet.
+func timeReplay(minDur time.Duration, pkts int, replay func() error) (float64, error) {
+	if err := replay(); err != nil {
+		return 0, err
+	}
+	total := 0
+	start := time.Now()
+	for {
+		if err := replay(); err != nil {
+			return 0, err
+		}
+		total += pkts
+		if time.Since(start) >= minDur {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(total), nil
 }
 
 func fatal(err error) {

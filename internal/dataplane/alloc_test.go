@@ -1,0 +1,54 @@
+package dataplane_test
+
+import (
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/workload"
+)
+
+// steadyTrace returns a trace that, once warmed, revisits only existing
+// flow state: replaying it a second time inserts no new map entries.
+func steadyTrace(name string) []netpkt.Packet {
+	g := workload.New(11)
+	switch name {
+	case "lb", "balance", "nat", "mirror":
+		return g.ClientServerTrace("3.3.3.3", 80, 64)
+	default:
+		return g.FlowTrace(8, 8)
+	}
+}
+
+// TestZeroAllocSteadyState is the perf contract the engine is built
+// around: after state is warmed, processing a packet performs zero heap
+// allocations — no value boxing, no map-key boxing, no output
+// reallocation. testing.AllocsPerRun makes the contract a regression
+// test rather than a claim.
+func TestZeroAllocSteadyState(t *testing.T) {
+	for _, name := range []string{"lb", "firewall"} {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			eng, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := steadyTrace(name)
+			for i := range trace {
+				if _, err := eng.Process(&trace[i]); err != nil {
+					t.Fatalf("warmup packet %d: %v", i, err)
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(500, func() {
+				if _, err := eng.Process(&trace[i%len(trace)]); err != nil {
+					t.Fatalf("packet %d: %v", i, err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: %.1f allocs per packet in steady state, want 0", name, allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package dataplane_test
+
+import (
+	"runtime"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+)
+
+// benchTrace is the shared workload for the engine-vs-reference pairs:
+// flow traffic plus randoms, warmed so measurement is steady-state.
+func benchTrace(name string) []netpkt.Packet {
+	return steadyTrace(name)
+}
+
+func benchEngine(b *testing.B, name string) {
+	an := analyze(b, name)
+	eng, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := benchTrace(name)
+	for i := range trace {
+		if _, err := eng.Process(&trace[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Process(&trace[i%len(trace)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchReference(b *testing.B, name string) {
+	an := analyze(b, name)
+	inst, err := an.Instance(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := benchTrace(name)
+	vals := make([]value.Value, len(trace))
+	for i := range trace {
+		vals[i] = trace[i].ToValue()
+	}
+	for _, v := range vals {
+		if _, err := inst.Process(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Process(vals[i%len(vals)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine_lb(b *testing.B)           { benchEngine(b, "lb") }
+func BenchmarkReference_lb(b *testing.B)        { benchReference(b, "lb") }
+func BenchmarkEngine_balance(b *testing.B)      { benchEngine(b, "balance") }
+func BenchmarkReference_balance(b *testing.B)   { benchReference(b, "balance") }
+func BenchmarkEngine_snortlite(b *testing.B)    { benchEngine(b, "snortlite") }
+func BenchmarkReference_snortlite(b *testing.B) { benchReference(b, "snortlite") }
+func BenchmarkEngine_firewall(b *testing.B)     { benchEngine(b, "firewall") }
+func BenchmarkReference_firewall(b *testing.B)  { benchReference(b, "firewall") }
+func BenchmarkEngine_nat(b *testing.B)          { benchEngine(b, "nat") }
+func BenchmarkReference_nat(b *testing.B)       { benchReference(b, "nat") }
+
+// BenchmarkEngineBatch_snortlite measures the amortized batched path.
+func BenchmarkEngineBatch_snortlite(b *testing.B) {
+	an := analyze(b, "snortlite")
+	eng, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := benchTrace("snortlite")
+	outs := make([]dataplane.Output, len(trace))
+	if err := eng.ProcessBatch(trace, outs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ProcessBatch(trace, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(trace)), "pkts/batch")
+}
+
+// BenchmarkShardedBatch_snortlite measures the flow-partitioned
+// concurrent engine. On a single-core machine the goroutine fan-out is
+// pure overhead; the number documents it either way.
+func BenchmarkShardedBatch_snortlite(b *testing.B) {
+	an := analyze(b, "snortlite")
+	sh, err := an.ShardedEngine(runtime.GOMAXPROCS(0), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := benchTrace("snortlite")
+	outs := make([]dataplane.Output, len(trace))
+	if err := sh.ProcessBatch(trace, outs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sh.ProcessBatch(trace, outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(trace)), "pkts/batch")
+}

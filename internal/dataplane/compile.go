@@ -1,0 +1,1038 @@
+package dataplane
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// ctx is the per-packet evaluation context shared by every compiled
+// closure of one engine: the packet being processed, the flat scalar
+// state array, the unboxed state maps, and the first evaluation error.
+// Closures report errors by setting err (first error wins, matching the
+// reference interpreter's eager propagation) and returning the zero rv.
+type ctx struct {
+	pkt   *netpkt.Packet
+	slots []mval
+	maps  []rmap
+	// tups is the tuple arena rv offsets point into: [0,nconst) holds
+	// compile-time constant tuples and persists; the rest is recycled
+	// at the start of every packet (offsets survive growth, so arena
+	// reallocation is safe mid-evaluation).
+	tups   [][maxTuple]scalar
+	nconst int
+	// luts memoizes state-map lookups for the current packet. Every
+	// guard, send and update evaluates against the pre-state snapshot
+	// (commits happen after all evaluation), so one (map, key-term)
+	// lookup is valid for the whole packet no matter how many entries
+	// repeat it. The compiler assigns one slot per syntactically
+	// distinct lookup; process() invalidates them between packets.
+	luts []lut
+	err  error
+}
+
+type lut struct {
+	valid   bool
+	present bool
+	val     mval
+}
+
+func (c *ctx) fail(format string, args ...any) rv {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+	return rv{}
+}
+
+// newTuple claims one arena slot for an n-ary tuple. Steady state never
+// allocates: the arena keeps its high-water capacity across packets.
+func (c *ctx) newTuple(n int) rv {
+	i := len(c.tups)
+	if i < cap(c.tups) {
+		c.tups = c.tups[:i+1]
+	} else {
+		c.tups = append(c.tups, [maxTuple]scalar{})
+	}
+	return rv{scalar: scalar{k: kTuple}, n: uint8(n), toff: uint32(i)}
+}
+
+// load brings an owned value into the evaluation domain (tuples get a
+// fresh arena slot; scalars copy for free).
+func (c *ctx) load(v mval) rv {
+	if v.k != kTuple {
+		return rv{scalar: v.scalar}
+	}
+	out := c.newTuple(int(v.n))
+	c.tups[out.toff] = v.e
+	return out
+}
+
+// own detaches a value from the arena for cross-packet storage.
+func (c *ctx) own(v rv) mval {
+	if v.k != kTuple {
+		return mval{scalar: v.scalar}
+	}
+	return mval{scalar: v.scalar, n: v.n, e: c.tups[v.toff]}
+}
+
+// lookup fills one memo slot: evaluate the key, probe the map. Returns
+// false when the key evaluation failed (c.err is set; the slot stays
+// invalid so a later fallback scan re-raises identically).
+func (c *ctx) lookup(lc *lut, kx *cexpr, lk func(*ctx) rmap) bool {
+	kv := kx.eval(c)
+	if c.err != nil {
+		return false
+	}
+	k, err := keyOf(kv, c)
+	if err != nil {
+		c.fail("%v", err)
+		return false
+	}
+	lc.val, lc.present = lk(c)[k]
+	lc.valid = true
+	return true
+}
+
+// cexpr is a compiled expression: either a constant folded at compile
+// time (fn == nil) or a closure over the evaluation context. Closures
+// return rv by value, so evaluation never allocates.
+type cexpr struct {
+	c  rv
+	fn func(*ctx) rv
+}
+
+func constExpr(v rv) cexpr { return cexpr{c: v} }
+
+func (x *cexpr) isConst() bool { return x.fn == nil }
+
+func (x *cexpr) eval(c *ctx) rv {
+	if x.fn == nil {
+		return x.c
+	}
+	return x.fn(c)
+}
+
+// errCompile marks a term the data plane cannot lower; Compile surfaces
+// it so callers fall back to the reference model.Instance.
+func errCompile(format string, args ...any) error {
+	return fmt.Errorf("dataplane: %s", fmt.Sprintf(format, args...))
+}
+
+// compiler resolves variable names against the model's concrete
+// configuration and its state layout: scalar state to slot indices, map
+// state to map indices, config to compile-time constants.
+type compiler struct {
+	config  map[string]value.Value
+	slotIdx map[string]int // scalar OIS var -> slots index
+	mapIdx  map[string]int // map OIS var -> maps index
+	// constTups collects compile-time constant tuples; Compile installs
+	// them as the engine arena's persistent prefix.
+	constTups [][maxTuple]scalar
+	// lutIdx assigns one per-packet memo slot to each distinct
+	// state-map lookup, keyed by the canonical map|key term encoding.
+	lutIdx map[string]int
+}
+
+// lutSlot returns the memo slot for a map/key term pair (one slot per
+// distinct pair, shared by In and Select).
+func (cp *compiler) lutSlot(m, k solver.Term) int {
+	sig := m.Key() + "|" + k.Key()
+	if s, ok := cp.lutIdx[sig]; ok {
+		return s
+	}
+	s := len(cp.lutIdx)
+	cp.lutIdx[sig] = s
+	return s
+}
+
+// constRv converts a boxed constant to its rv form, registering tuple
+// payloads in the constant arena prefix.
+func (cp *compiler) constRv(v value.Value) (rv, error) {
+	mv, err := mvalOf(v)
+	if err != nil {
+		return rv{}, err
+	}
+	if mv.k != kTuple {
+		return rv{scalar: mv.scalar}, nil
+	}
+	toff := len(cp.constTups)
+	cp.constTups = append(cp.constTups, mv.e)
+	return rv{scalar: scalar{k: kTuple}, n: mv.n, toff: uint32(toff)}, nil
+}
+
+// fctx is a throwaway context for constant folding: it exposes the
+// constant arena collected so far, which is all a constant can refer to.
+func (cp *compiler) fctx() *ctx {
+	return &ctx{tups: cp.constTups, nconst: len(cp.constTups)}
+}
+
+// compile lowers a term to an unboxed closure, folding configuration
+// reads (always concrete at compile time) and constant subterms.
+func (cp *compiler) compile(t solver.Term) (cexpr, error) {
+	switch x := t.(type) {
+	case solver.Const:
+		v, err := cp.constRv(x.V)
+		if err != nil {
+			return cexpr{}, err
+		}
+		return constExpr(v), nil
+
+	case solver.NamedConst:
+		// Composite configuration in scalar position (lists/maps are
+		// consumed structurally by Index/Select/In below).
+		v, err := cp.constRv(x.V)
+		if err != nil {
+			return cexpr{}, errCompile("config %q used as a scalar: %v", x.Name, err)
+		}
+		return constExpr(v), nil
+
+	case solver.Var:
+		if f, ok := strings.CutPrefix(x.Name, "pkt."); ok {
+			get, ok := fieldGetter(f)
+			if !ok {
+				return cexpr{}, errCompile("unknown packet field %q", f)
+			}
+			return cexpr{fn: get}, nil
+		}
+		if base, ok := strings.CutSuffix(x.Name, "@0"); ok {
+			slot, ok := cp.slotIdx[base]
+			if !ok {
+				return cexpr{}, errCompile("state scalar %q has no slot", base)
+			}
+			return cexpr{fn: func(c *ctx) rv { return c.load(c.slots[slot]) }}, nil
+		}
+		cv, ok := cp.config[x.Name]
+		if !ok {
+			return cexpr{}, errCompile("unbound variable %q", x.Name)
+		}
+		v, err := cp.constRv(cv)
+		if err != nil {
+			return cexpr{}, errCompile("config %q: %v", x.Name, err)
+		}
+		return constExpr(v), nil
+
+	case solver.MapVar:
+		return cexpr{}, errCompile("map %q used as a value", x.Name)
+
+	case solver.Bin:
+		return cp.compileBin(x)
+
+	case solver.Un:
+		ex, err := cp.compile(x.X)
+		if err != nil {
+			return cexpr{}, err
+		}
+		op := x.Op
+		if ex.isConst() {
+			v, err := unop(op, ex.c)
+			if err != nil {
+				return errValExpr(err), nil
+			}
+			return constExpr(v), nil
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			v := ex.fn(c)
+			if c.err != nil {
+				return rv{}
+			}
+			out, err := unop(op, v)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			return out
+		}}, nil
+
+	case solver.Call:
+		return cp.compileCall(x)
+
+	case solver.Tuple:
+		if len(x.Elems) > maxTuple {
+			return cexpr{}, errCompile("tuple arity %d exceeds %d", len(x.Elems), maxTuple)
+		}
+		elems := make([]cexpr, len(x.Elems))
+		allConst := true
+		for i, e := range x.Elems {
+			ex, err := cp.compile(e)
+			if err != nil {
+				return cexpr{}, err
+			}
+			elems[i] = ex
+			allConst = allConst && ex.isConst()
+		}
+		n := len(elems)
+		if allConst {
+			var e4 [maxTuple]scalar
+			for i := range elems {
+				if elems[i].c.k == kTuple {
+					return cexpr{}, errCompile("nested tuple")
+				}
+				e4[i] = elems[i].c.scalar
+			}
+			toff := len(cp.constTups)
+			cp.constTups = append(cp.constTups, e4)
+			return constExpr(rv{scalar: scalar{k: kTuple}, n: uint8(n), toff: uint32(toff)}), nil
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			out := c.newTuple(n)
+			for i := range elems {
+				v := elems[i].eval(c)
+				if c.err != nil {
+					return rv{}
+				}
+				if v.k == kTuple {
+					return c.fail("dataplane: nested tuple")
+				}
+				// Index the arena fresh each write: an inner eval may
+				// have grown it.
+				c.tups[out.toff][i] = v.scalar
+			}
+			return out
+		}}, nil
+
+	case solver.Index:
+		return cp.compileIndex(x)
+
+	case solver.Select:
+		lk, err := cp.mapRef(x.M)
+		if err != nil {
+			return cexpr{}, err
+		}
+		kx, err := cp.compile(x.K)
+		if err != nil {
+			return cexpr{}, err
+		}
+		slot := cp.lutSlot(x.M, x.K)
+		return cexpr{fn: func(c *ctx) rv {
+			lc := &c.luts[slot]
+			if !lc.valid {
+				if !c.lookup(lc, &kx, lk) {
+					return rv{}
+				}
+			}
+			if !lc.present {
+				// Pure re-evaluation of the key, for the message only.
+				kv := kx.eval(c)
+				return c.fail("map key %s not present", toValue(kv, c))
+			}
+			return c.load(lc.val)
+		}}, nil
+
+	case solver.In:
+		lk, err := cp.mapRef(x.M)
+		if err != nil {
+			return cexpr{}, err
+		}
+		kx, err := cp.compile(x.K)
+		if err != nil {
+			return cexpr{}, err
+		}
+		slot := cp.lutSlot(x.M, x.K)
+		return cexpr{fn: func(c *ctx) rv {
+			lc := &c.luts[slot]
+			if !lc.valid {
+				if !c.lookup(lc, &kx, lk) {
+					return rv{}
+				}
+			}
+			return rvBool(lc.present)
+		}}, nil
+
+	case solver.Store, solver.Del:
+		return cexpr{}, errCompile("map update term in expression position")
+
+	default:
+		return cexpr{}, errCompile("cannot compile %T", t)
+	}
+}
+
+// errValExpr defers a constant-folding error to run time: the reference
+// interpreter would raise it on every evaluation, so the compiled form
+// must too (rather than failing the whole compilation).
+func errValExpr(err error) cexpr {
+	return cexpr{fn: func(c *ctx) rv { return c.fail("%v", err) }}
+}
+
+func (cp *compiler) compileBin(x solver.Bin) (cexpr, error) {
+	lx, err := cp.compile(x.X)
+	if err != nil {
+		return cexpr{}, err
+	}
+	rx, err := cp.compile(x.Y)
+	if err != nil {
+		return cexpr{}, err
+	}
+	op := x.Op
+	if op == "&&" || op == "||" {
+		// Short-circuit with the reference's IsTruthy error semantics.
+		and := op == "&&"
+		if lx.isConst() && lx.c.k == kBool {
+			lb := lx.c.i != 0
+			if (and && !lb) || (!and && lb) {
+				return constExpr(rvBool(lb)), nil
+			}
+			// Left is neutral: result is truthiness of right.
+			return cp.truthyExpr(rx)
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			l := lx.eval(c)
+			if c.err != nil {
+				return rv{}
+			}
+			if l.k != kBool {
+				return c.fail("condition is %s, want bool", l.k)
+			}
+			lb := l.i != 0
+			if (and && !lb) || (!and && lb) {
+				return rvBool(lb)
+			}
+			r := rx.eval(c)
+			if c.err != nil {
+				return rv{}
+			}
+			if r.k != kBool {
+				return c.fail("condition is %s, want bool", r.k)
+			}
+			return rvBool(r.i != 0)
+		}}, nil
+	}
+	if lx.isConst() && rx.isConst() {
+		v, err := binop(op, lx.c, rx.c, cp.fctx())
+		if err != nil {
+			return errValExpr(err), nil
+		}
+		return constExpr(v), nil
+	}
+	return cexpr{fn: func(c *ctx) rv {
+		l := lx.eval(c)
+		if c.err != nil {
+			return rv{}
+		}
+		r := rx.eval(c)
+		if c.err != nil {
+			return rv{}
+		}
+		out, err := binop(op, l, r, c)
+		if err != nil {
+			return c.fail("%v", err)
+		}
+		return out
+	}}, nil
+}
+
+// truthyExpr wraps ex with the IsTruthy check (bool or error).
+func (cp *compiler) truthyExpr(ex cexpr) (cexpr, error) {
+	if ex.isConst() {
+		if ex.c.k != kBool {
+			return errValExpr(fmt.Errorf("condition is %s, want bool", ex.c.k)), nil
+		}
+		return constExpr(rvBool(ex.c.i != 0)), nil
+	}
+	return cexpr{fn: func(c *ctx) rv {
+		v := ex.fn(c)
+		if c.err != nil {
+			return rv{}
+		}
+		if v.k != kBool {
+			return c.fail("condition is %s, want bool", v.k)
+		}
+		return rvBool(v.i != 0)
+	}}, nil
+}
+
+func (cp *compiler) compileCall(x solver.Call) (cexpr, error) {
+	switch x.Fn {
+	case "hash":
+		if len(x.Args) != 1 {
+			return cexpr{}, errCompile("hash arity %d", len(x.Args))
+		}
+		ax, err := cp.compile(x.Args[0])
+		if err != nil {
+			return cexpr{}, err
+		}
+		if ax.isConst() {
+			h, err := rvHash(ax.c, cp.fctx())
+			if err != nil {
+				return errValExpr(err), nil
+			}
+			return constExpr(rvScalar(mkInt(h))), nil
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			v := ax.fn(c)
+			if c.err != nil {
+				return rv{}
+			}
+			h, err := rvHash(v, c)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			return rvScalar(mkInt(h))
+		}}, nil
+
+	case "len":
+		if len(x.Args) != 1 {
+			return cexpr{}, errCompile("len arity %d", len(x.Args))
+		}
+		// Composite configuration folds by its boxed length.
+		if cv, ok := constContainer(x.Args[0]); ok {
+			n, err := cv.Len()
+			if err != nil {
+				return errValExpr(err), nil
+			}
+			return constExpr(rvScalar(mkInt(int64(n)))), nil
+		}
+		// State-map length is dynamic: resolve the map index.
+		if mv, ok := x.Args[0].(solver.MapVar); ok {
+			lk, err := cp.mapRef(mv)
+			if err != nil {
+				return cexpr{}, err
+			}
+			return cexpr{fn: func(c *ctx) rv {
+				return rvScalar(mkInt(int64(len(lk(c)))))
+			}}, nil
+		}
+		ax, err := cp.compile(x.Args[0])
+		if err != nil {
+			return cexpr{}, err
+		}
+		lenOf := func(v rv) (int64, error) {
+			switch v.k {
+			case kStr:
+				return int64(len(v.s)), nil
+			case kTuple:
+				return int64(v.n), nil
+			default:
+				return 0, fmt.Errorf("len of %s", v.k)
+			}
+		}
+		if ax.isConst() {
+			n, err := lenOf(ax.c)
+			if err != nil {
+				return errValExpr(err), nil
+			}
+			return constExpr(rvScalar(mkInt(n))), nil
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			v := ax.fn(c)
+			if c.err != nil {
+				return rv{}
+			}
+			n, err := lenOf(v)
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			return rvScalar(mkInt(n))
+		}}, nil
+
+	case "contains":
+		if len(x.Args) != 2 {
+			return cexpr{}, errCompile("contains arity %d", len(x.Args))
+		}
+		sx, err := cp.compile(x.Args[0])
+		if err != nil {
+			return cexpr{}, err
+		}
+		ux, err := cp.compile(x.Args[1])
+		if err != nil {
+			return cexpr{}, err
+		}
+		if sx.isConst() && ux.isConst() {
+			if sx.c.k != kStr || ux.c.k != kStr {
+				return errValExpr(fmt.Errorf("contains wants two strings")), nil
+			}
+			return constExpr(rvBool(strings.Contains(sx.c.s, ux.c.s))), nil
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			s := sx.eval(c)
+			if c.err != nil {
+				return rv{}
+			}
+			u := ux.eval(c)
+			if c.err != nil {
+				return rv{}
+			}
+			if s.k != kStr || u.k != kStr {
+				return c.fail("contains wants two strings")
+			}
+			return rvBool(strings.Contains(s.s, u.s))
+		}}, nil
+
+	default:
+		return cexpr{}, errCompile("uninterpreted call %q", x.Fn)
+	}
+}
+
+// constContainer unwraps a term that denotes a concrete composite value
+// at compile time (NamedConst configuration or a literal Const).
+func constContainer(t solver.Term) (value.Value, bool) {
+	switch x := t.(type) {
+	case solver.NamedConst:
+		return x.V, true
+	case solver.Const:
+		switch x.V.Kind {
+		case value.KindList, value.KindMap, value.KindTuple, value.KindStr:
+			return x.V, true
+		}
+	}
+	return value.Value{}, false
+}
+
+func (cp *compiler) compileIndex(x solver.Index) (cexpr, error) {
+	ix, err := cp.compile(x.I)
+	if err != nil {
+		return cexpr{}, err
+	}
+	// Concrete list/tuple configuration: precompile the elements so the
+	// per-packet path is a bounds check and an array load.
+	if cv, ok := constContainer(x.X); ok && (cv.Kind == value.KindList || cv.Kind == value.KindTuple) {
+		var boxed []value.Value
+		if cv.Kind == value.KindList {
+			boxed = cv.List.Elems
+		} else {
+			boxed = cv.Tuple
+		}
+		elems := make([]rv, len(boxed))
+		for i, e := range boxed {
+			ev, err := cp.constRv(e)
+			if err != nil {
+				return cexpr{}, errCompile("config element %d: %v", i, err)
+			}
+			elems[i] = ev
+		}
+		if ix.isConst() {
+			i, err := sliceIdx(ix.c, len(elems))
+			if err != nil {
+				return errValExpr(err), nil
+			}
+			return constExpr(elems[i]), nil
+		}
+		return cexpr{fn: func(c *ctx) rv {
+			iv := ix.fn(c)
+			if c.err != nil {
+				return rv{}
+			}
+			i, err := sliceIdx(iv, len(elems))
+			if err != nil {
+				return c.fail("%v", err)
+			}
+			return elems[i]
+		}}, nil
+	}
+	// General case: the container expression yields an unboxed tuple.
+	xx, err := cp.compile(x.X)
+	if err != nil {
+		return cexpr{}, err
+	}
+	return cexpr{fn: func(c *ctx) rv {
+		v := xx.eval(c)
+		if c.err != nil {
+			return rv{}
+		}
+		if v.k != kTuple {
+			return c.fail("cannot index %s", v.k)
+		}
+		iv := ix.eval(c)
+		if c.err != nil {
+			return rv{}
+		}
+		i, err := sliceIdx(iv, int(v.n))
+		if err != nil {
+			return c.fail("%v", err)
+		}
+		return rvScalar(c.tups[v.toff][i])
+	}}, nil
+}
+
+func sliceIdx(idx rv, n int) (int, error) {
+	if idx.k != kInt {
+		return 0, fmt.Errorf("index must be int, got %s", idx.k)
+	}
+	i := int(idx.i)
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("index %d out of range [0,%d)", i, n)
+	}
+	return i, nil
+}
+
+// mapRef resolves a term in map position to a runtime map accessor:
+// state maps load from the context by index, composite configuration
+// maps are converted once at compile time.
+func (cp *compiler) mapRef(t solver.Term) (func(*ctx) rmap, error) {
+	switch x := t.(type) {
+	case solver.MapVar:
+		base := strings.TrimSuffix(x.Name, "@0")
+		mi, ok := cp.mapIdx[base]
+		if !ok {
+			return nil, errCompile("state map %q has no index", base)
+		}
+		return func(c *ctx) rmap { return c.maps[mi] }, nil
+	case solver.NamedConst:
+		m, err := rmapOf(x.V)
+		if err != nil {
+			return nil, errCompile("config map %q: %v", x.Name, err)
+		}
+		return func(*ctx) rmap { return m }, nil
+	case solver.Const:
+		m, err := rmapOf(x.V)
+		if err != nil {
+			return nil, errCompile("const map: %v", err)
+		}
+		return func(*ctx) rmap { return m }, nil
+	default:
+		return nil, errCompile("unsupported map expression %T", t)
+	}
+}
+
+// --- packet field access ----------------------------------------------
+
+func fieldGetter(name string) (func(*ctx) rv, bool) {
+	switch name {
+	case netpkt.FieldSrcIP:
+		return func(c *ctx) rv { return rvScalar(mkStr(c.pkt.SrcIP)) }, true
+	case netpkt.FieldDstIP:
+		return func(c *ctx) rv { return rvScalar(mkStr(c.pkt.DstIP)) }, true
+	case netpkt.FieldSrcPort:
+		return func(c *ctx) rv { return rvScalar(mkInt(int64(c.pkt.SrcPort))) }, true
+	case netpkt.FieldDstPort:
+		return func(c *ctx) rv { return rvScalar(mkInt(int64(c.pkt.DstPort))) }, true
+	case netpkt.FieldProto:
+		return func(c *ctx) rv { return rvScalar(mkStr(c.pkt.Proto)) }, true
+	case netpkt.FieldFlags:
+		return func(c *ctx) rv { return rvScalar(mkStr(c.pkt.Flags)) }, true
+	case netpkt.FieldTTL:
+		return func(c *ctx) rv { return rvScalar(mkInt(int64(c.pkt.TTL))) }, true
+	case netpkt.FieldLength:
+		return func(c *ctx) rv { return rvScalar(mkInt(int64(c.pkt.Length))) }, true
+	case netpkt.FieldPayload:
+		return func(c *ctx) rv { return rvScalar(mkStr(c.pkt.Payload)) }, true
+	case netpkt.FieldInIface:
+		return func(c *ctx) rv { return rvScalar(mkStr(c.pkt.InIface)) }, true
+	}
+	return nil, false
+}
+
+// rawGetter reads a field directly off a packet (used by the dispatch
+// tree and the shard hash, outside any evaluation context).
+func rawGetter(name string) (func(*netpkt.Packet) scalar, bool) {
+	switch name {
+	case netpkt.FieldSrcIP:
+		return func(p *netpkt.Packet) scalar { return mkStr(p.SrcIP) }, true
+	case netpkt.FieldDstIP:
+		return func(p *netpkt.Packet) scalar { return mkStr(p.DstIP) }, true
+	case netpkt.FieldSrcPort:
+		return func(p *netpkt.Packet) scalar { return mkInt(int64(p.SrcPort)) }, true
+	case netpkt.FieldDstPort:
+		return func(p *netpkt.Packet) scalar { return mkInt(int64(p.DstPort)) }, true
+	case netpkt.FieldProto:
+		return func(p *netpkt.Packet) scalar { return mkStr(p.Proto) }, true
+	case netpkt.FieldFlags:
+		return func(p *netpkt.Packet) scalar { return mkStr(p.Flags) }, true
+	case netpkt.FieldTTL:
+		return func(p *netpkt.Packet) scalar { return mkInt(int64(p.TTL)) }, true
+	case netpkt.FieldLength:
+		return func(p *netpkt.Packet) scalar { return mkInt(int64(p.Length)) }, true
+	case netpkt.FieldPayload:
+		return func(p *netpkt.Packet) scalar { return mkStr(p.Payload) }, true
+	case netpkt.FieldInIface:
+		return func(p *netpkt.Packet) scalar { return mkStr(p.InIface) }, true
+	}
+	return nil, false
+}
+
+// fieldSetter writes an unboxed value into a packet field, mirroring
+// netpkt.FromValue: a wrong-kind value zero-defaults the field.
+func fieldSetter(name string) (func(*netpkt.Packet, rv), bool) {
+	setStr := func(dst func(*netpkt.Packet) *string) func(*netpkt.Packet, rv) {
+		return func(p *netpkt.Packet, v rv) {
+			if v.k == kStr {
+				*dst(p) = v.s
+			} else {
+				*dst(p) = ""
+			}
+		}
+	}
+	setInt := func(dst func(*netpkt.Packet) *int) func(*netpkt.Packet, rv) {
+		return func(p *netpkt.Packet, v rv) {
+			if v.k == kInt {
+				*dst(p) = int(v.i)
+			} else {
+				*dst(p) = 0
+			}
+		}
+	}
+	switch name {
+	case netpkt.FieldSrcIP:
+		return setStr(func(p *netpkt.Packet) *string { return &p.SrcIP }), true
+	case netpkt.FieldDstIP:
+		return setStr(func(p *netpkt.Packet) *string { return &p.DstIP }), true
+	case netpkt.FieldSrcPort:
+		return setInt(func(p *netpkt.Packet) *int { return &p.SrcPort }), true
+	case netpkt.FieldDstPort:
+		return setInt(func(p *netpkt.Packet) *int { return &p.DstPort }), true
+	case netpkt.FieldProto:
+		return setStr(func(p *netpkt.Packet) *string { return &p.Proto }), true
+	case netpkt.FieldFlags:
+		return setStr(func(p *netpkt.Packet) *string { return &p.Flags }), true
+	case netpkt.FieldTTL:
+		return setInt(func(p *netpkt.Packet) *int { return &p.TTL }), true
+	case netpkt.FieldLength:
+		return setInt(func(p *netpkt.Packet) *int { return &p.Length }), true
+	case netpkt.FieldPayload:
+		return setStr(func(p *netpkt.Packet) *string { return &p.Payload }), true
+	case netpkt.FieldInIface:
+		return setStr(func(p *netpkt.Packet) *string { return &p.InIface }), true
+	}
+	return nil, false
+}
+
+// --- entry lowering ---------------------------------------------------
+
+// cpred is one residual guard predicate, annotated with the dispatch
+// material the decision tree can act on: its exact-match shape
+// (pkt.field == constant scalar) for k-way value dispatch, and its
+// polarity-normalized base form for boolean-test dispatch (so that
+// `x in blocked` and `!(x in blocked)`, or `proto == ""` and
+// `proto != ""`, discharge at the same node).
+type cpred struct {
+	ex    cexpr
+	field string // non-empty: predicate is pkt.field == val
+	val   scalar
+
+	baseKey string // canonical Key() of the positive form
+	neg     bool   // predicate is the negation of the base form
+	base    cexpr  // compiled positive form
+}
+
+type fieldAssign struct {
+	set func(*netpkt.Packet, rv)
+	ex  cexpr
+}
+
+type csend struct {
+	fields []fieldAssign // in sorted field-name order (reference order)
+	iface  cexpr
+}
+
+type slotUpdate struct {
+	slot int
+	ex   cexpr
+}
+
+type mop struct {
+	del bool
+	key cexpr
+	val cexpr
+}
+
+type mapUpdate struct {
+	mi  int
+	ops []mop // application order (innermost Store/Del first)
+}
+
+// centry is one compiled table entry: residual guard predicates (config
+// conditions folded away) plus fully lowered actions.
+type centry struct {
+	idx   int // original entry index (reported like ProcessTraced)
+	preds []cpred
+	sends []csend
+	supd  []slotUpdate
+	mupd  []mapUpdate
+	nMops int
+}
+
+// compileEntry lowers one entry. pruned is true when a constant-false
+// guard condition (typically a config condition under the concrete
+// configuration) makes the entry unmatchable.
+func (cp *compiler) compileEntry(e *model.Entry, idx int) (ce *centry, pruned bool, err error) {
+	ce = &centry{idx: idx}
+	for _, g := range e.Guard() {
+		ex, err := cp.compile(g)
+		if err != nil {
+			return nil, false, err
+		}
+		if ex.isConst() {
+			if ex.c.k == kBool {
+				if ex.c.i == 0 {
+					return nil, true, nil // never matches
+				}
+				continue // always true: drop the predicate
+			}
+			// Wrong-kind constant guard: errors on every evaluation.
+			ee, _ := cp.truthyExpr(ex)
+			ce.preds = append(ce.preds, cpred{ex: ee})
+			continue
+		}
+		p := cpred{ex: ex}
+		if f, v, ok := cp.eqPred(g); ok {
+			p.field, p.val = f, v
+		}
+		if base, neg := testForm(g); base != nil {
+			if bx, err := cp.compile(base); err == nil {
+				p.baseKey, p.neg, p.base = base.Key(), neg, bx
+			}
+		}
+		ce.preds = append(ce.preds, p)
+	}
+	for _, a := range e.Sends {
+		s := csend{}
+		for _, f := range a.FieldNames() {
+			set, ok := fieldSetter(f)
+			if !ok {
+				return nil, false, errCompile("send writes unknown field %q", f)
+			}
+			ex, err := cp.compile(a.Fields[f])
+			if err != nil {
+				return nil, false, err
+			}
+			s.fields = append(s.fields, fieldAssign{set: set, ex: ex})
+		}
+		ifx, err := cp.compile(a.Iface)
+		if err != nil {
+			return nil, false, err
+		}
+		s.iface = ifx
+		ce.sends = append(ce.sends, s)
+	}
+	seen := map[string]bool{}
+	for _, u := range e.Updates {
+		if seen[u.Name] {
+			return nil, false, errCompile("duplicate update of %q", u.Name)
+		}
+		seen[u.Name] = true
+		if slot, ok := cp.slotIdx[u.Name]; ok {
+			ex, err := cp.compile(u.Val)
+			if err != nil {
+				return nil, false, err
+			}
+			ce.supd = append(ce.supd, slotUpdate{slot: slot, ex: ex})
+			continue
+		}
+		mi, ok := cp.mapIdx[u.Name]
+		if !ok {
+			return nil, false, errCompile("update of unknown state %q", u.Name)
+		}
+		ops, err := cp.compileMapChain(u.Name, u.Val)
+		if err != nil {
+			return nil, false, err
+		}
+		ce.mupd = append(ce.mupd, mapUpdate{mi: mi, ops: ops})
+		ce.nMops += len(ops)
+	}
+	return ce, false, nil
+}
+
+// compileMapChain lowers a Store/Del chain rooted at the updated map's
+// own pre-state snapshot (name@0) into an in-place op list. The rooting
+// requirement is what makes in-place application equivalent to the
+// reference's clone-then-assign: every read anywhere in the entry sees
+// the @0 snapshot, all ops evaluate before any commit, and the chain
+// rebuilds the map it replaces.
+func (cp *compiler) compileMapChain(name string, t solver.Term) ([]mop, error) {
+	var ops []mop
+	var walk func(t solver.Term) error
+	walk = func(t solver.Term) error {
+		switch x := t.(type) {
+		case solver.MapVar:
+			if strings.TrimSuffix(x.Name, "@0") != name {
+				return errCompile("update of %q rooted at %q", name, x.Name)
+			}
+			return nil
+		case solver.Store:
+			if err := walk(x.M); err != nil {
+				return err
+			}
+			kx, err := cp.compile(x.K)
+			if err != nil {
+				return err
+			}
+			vx, err := cp.compile(x.V)
+			if err != nil {
+				return err
+			}
+			ops = append(ops, mop{key: kx, val: vx})
+			return nil
+		case solver.Del:
+			if err := walk(x.M); err != nil {
+				return err
+			}
+			kx, err := cp.compile(x.K)
+			if err != nil {
+				return err
+			}
+			ops = append(ops, mop{del: true, key: kx})
+			return nil
+		default:
+			return errCompile("update of %q is not a store/del chain (%T)", name, t)
+		}
+	}
+	if err := walk(t); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// testForm normalizes a guard predicate to (positive base, polarity):
+// `!X` pairs with `X`, and a negated comparison pairs with its
+// complement (!= with ==, >= with <, <= with >), so complementary
+// guards of sibling entries meet at one boolean-test dispatch node.
+func testForm(t solver.Term) (solver.Term, bool) {
+	switch x := t.(type) {
+	case solver.Un:
+		if x.Op == "!" {
+			return x.X, true
+		}
+	case solver.Bin:
+		switch x.Op {
+		case "!=":
+			return solver.Bin{Op: "==", X: x.X, Y: x.Y}, true
+		case ">=":
+			return solver.Bin{Op: "<", X: x.X, Y: x.Y}, true
+		case "<=":
+			return solver.Bin{Op: ">", X: x.X, Y: x.Y}, true
+		case "==", "<", ">":
+			return t, false
+		case "&&", "||":
+			return nil, false // compound: not worth a shared test
+		}
+	case solver.Call, solver.In:
+		return t, false
+	}
+	return nil, false
+}
+
+// eqPred recognizes `pkt.field == <constant scalar>` (either operand
+// order) after configuration folding — the decision tree's dispatch
+// material. Only exact equality qualifies: a false equality can neither
+// error nor update state, so skipping the entry via dispatch is
+// observationally identical to evaluating and failing the predicate.
+func (cp *compiler) eqPred(t solver.Term) (string, scalar, bool) {
+	b, ok := t.(solver.Bin)
+	if !ok || b.Op != "==" {
+		return "", scalar{}, false
+	}
+	try := func(x, y solver.Term) (string, scalar, bool) {
+		v, ok := x.(solver.Var)
+		if !ok {
+			return "", scalar{}, false
+		}
+		f, ok := strings.CutPrefix(v.Name, "pkt.")
+		if !ok {
+			return "", scalar{}, false
+		}
+		if _, known := rawGetter(f); !known {
+			return "", scalar{}, false
+		}
+		cx, err := cp.compile(y)
+		if err != nil || !cx.isConst() || cx.c.k == kTuple || cx.c.k == kNil {
+			return "", scalar{}, false
+		}
+		return f, cx.c.scalar, true
+	}
+	if f, v, ok := try(b.X, b.Y); ok {
+		return f, v, ok
+	}
+	return try(b.Y, b.X)
+}

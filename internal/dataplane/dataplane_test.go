@@ -1,0 +1,178 @@
+package dataplane_test
+
+import (
+	"sync"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/workload"
+)
+
+var (
+	anMu    sync.Mutex
+	anCache = map[string]*core.Analysis{}
+)
+
+// analyze synthesizes (and caches) the model of one corpus NF.
+func analyze(t testing.TB, name string) *core.Analysis {
+	t.Helper()
+	anMu.Lock()
+	defer anMu.Unlock()
+	if an, ok := anCache[name]; ok {
+		return an
+	}
+	nf, err := nfs.Load(name)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	an, err := core.Analyze(name, nf.Prog, core.Options{MaxPaths: 4096})
+	if err != nil {
+		t.Fatalf("analyze %s: %v", name, err)
+	}
+	anCache[name] = an
+	return an
+}
+
+// fuzzTrace builds a trace that hits both the random packet space and
+// the NF's stateful paths (established flows, reverse traffic): 1000+
+// random packets per the issue spec, plus structured flow traffic.
+func fuzzTrace(name string, seed int64) []netpkt.Packet {
+	g := workload.New(seed)
+	trace := g.RandomTrace(1000)
+	switch name {
+	case "lb", "balance", "nat", "mirror":
+		trace = append(trace, g.ClientServerTrace("3.3.3.3", 80, 500)...)
+	default:
+		trace = append(trace, g.FlowTrace(20, 20)...)
+	}
+	trace = append(trace, g.AdversarialTrace(200)...)
+	return trace
+}
+
+// TestDifferentialFuzz is the compiled data plane's equivalence gate:
+// for every corpus NF, the reference model.Instance and the compiled
+// engine process the same trace and must agree on every packet's
+// outputs (drop/forward, all packet fields, interfaces, which entry
+// fired) and on the end state.
+func TestDifferentialFuzz(t *testing.T) {
+	for _, name := range nfs.Names() {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			trace := fuzzTrace(name, 42)
+			res, err := an.DiffTestCompiled(trace, core.Options{})
+			if err != nil {
+				t.Fatalf("DiffTestCompiled: %v", err)
+			}
+			if res.Trials < 1000 {
+				t.Fatalf("only %d trials", res.Trials)
+			}
+			if res.Mismatches != 0 {
+				t.Fatalf("%d/%d mismatches; first: %s", res.Mismatches, res.Trials, res.FirstDiff)
+			}
+		})
+	}
+}
+
+// TestDifferentialFuzzSeeds re-runs the corpus sweep under extra seeds
+// (cheap once the models are cached) to widen the random coverage.
+func TestDifferentialFuzzSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []int64{7, 1234} {
+		for _, name := range nfs.Names() {
+			an := analyze(t, name)
+			res, err := an.DiffTestCompiled(fuzzTrace(name, seed), core.Options{})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if res.Mismatches != 0 {
+				t.Fatalf("%s seed %d: %d mismatches; first: %s", name, seed, res.Mismatches, res.FirstDiff)
+			}
+		}
+	}
+}
+
+// TestProcessBatchMatchesProcess checks the batched path is the
+// sequential path.
+func TestProcessBatchMatchesProcess(t *testing.T) {
+	an := analyze(t, "firewall")
+	trace := workload.New(9).FlowTrace(10, 10)
+
+	e1, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]dataplane.Output, len(trace))
+	if err := e2.ProcessBatch(trace, outs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace {
+		o, err := e1.Process(&trace[i])
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if diff := diffOutputs(o, &outs[i]); diff != "" {
+			t.Fatalf("packet %d: %s", i, diff)
+		}
+	}
+	if s := e2.Stats(); s.Packets != int64(len(trace)) {
+		t.Fatalf("batch stats counted %d packets, want %d", s.Packets, len(trace))
+	}
+}
+
+func diffOutputs(a, b *dataplane.Output) string {
+	if a.Dropped != b.Dropped || a.Entry != b.Entry || len(a.Sent) != len(b.Sent) {
+		return "outcome mismatch"
+	}
+	for i := range a.Sent {
+		if a.Sent[i].Iface != b.Sent[i].Iface || a.Sent[i].Pkt != b.Sent[i].Pkt {
+			return "sent packet mismatch"
+		}
+	}
+	return ""
+}
+
+// TestDispatchTree checks the compiler actually lowers exact-match
+// predicates into dispatch rather than leaving one flat scan list.
+func TestDispatchTree(t *testing.T) {
+	an := analyze(t, "snortlite")
+	eng, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.TreeDepth() == 0 {
+		t.Fatalf("snortlite compiled to a single flat leaf (%d entries)", eng.NumEntries())
+	}
+	if eng.MaxLeafEntries() >= eng.NumEntries() {
+		t.Fatalf("dispatch discharged nothing: max leaf %d of %d entries",
+			eng.MaxLeafEntries(), eng.NumEntries())
+	}
+}
+
+// TestEngineReset checks Reset restores the initial state exactly.
+func TestEngineReset(t *testing.T) {
+	an := analyze(t, "firewall")
+	eng, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.State()
+	trace := workload.New(3).FlowTrace(5, 5)
+	for i := range trace {
+		if _, err := eng.Process(&trace[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Reset()
+	if diff := stateDiff(before, eng.State()); diff != "" {
+		t.Fatalf("state after Reset differs: %s", diff)
+	}
+}

@@ -1,0 +1,359 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/perf"
+	"nfactor/internal/value"
+)
+
+// SentPacket is one emitted packet.
+type SentPacket struct {
+	Pkt   netpkt.Packet
+	Iface string
+}
+
+// Output is the result of processing one packet. Process returns an
+// engine-owned Output that is overwritten by the next call; callers
+// that need to retain it must copy. ProcessBatch fills caller-owned
+// Outputs, reusing their Sent backing arrays across batches.
+type Output struct {
+	Sent    []SentPacket
+	Dropped bool
+	// Entry is the index of the model entry that fired (-1 for the
+	// implicit lowest-priority drop), comparable to ProcessTraced.
+	Entry int
+}
+
+// Stats counts an engine's traffic. Counters are plain (non-atomic):
+// an Engine is single-threaded by design — the sharded engine gives
+// each shard its own Engine.
+type Stats struct {
+	Packets int64
+	Drops   int64
+	Errors  int64
+}
+
+// Engine is a compiled data plane for one synthesized model plus a
+// concrete configuration: a decision tree over discriminating packet
+// fields whose leaves hold residual predicate lists and fully lowered
+// actions. All state lives in a flat scalar slot array and unboxed
+// maps; the steady-state per-packet path performs zero allocations.
+type Engine struct {
+	m *model.Model
+
+	slotNames []string // scalar OIS vars, sorted (slot i = slots[i])
+	mapNames  []string // map OIS vars, sorted
+	slots     []mval
+	maps      []rmap
+
+	initSlots []mval // for Reset
+	initMaps  []rmap // for Reset (cloned on use)
+
+	root    *dnode
+	entries []*centry // compiled entries, pruned, priority order
+
+	ctx ctx
+	out Output
+
+	scratchSlots []rv // evaluate-then-commit staging for scalar updates
+	scratchKeys  []mkey
+	scratchVals  []rv
+
+	stats Stats
+	perf  *perf.Set
+}
+
+// Compile lowers a model and its concrete configuration/initial state
+// into an Engine. Configuration values fold into the compiled code (a
+// different config needs a recompile — the same trade OpenFlow switches
+// make when they install flow tables). An error means some term shape
+// has no data-plane lowering; callers should fall back to the
+// reference model.Instance.
+func Compile(m *model.Model, config, initState map[string]value.Value) (*Engine, error) {
+	for _, v := range m.CfgVars {
+		if _, ok := config[v]; !ok {
+			return nil, fmt.Errorf("dataplane: missing configuration value for %q", v)
+		}
+	}
+	e := &Engine{m: m}
+
+	// State layout: scalars get slots, maps get map indices, both in
+	// sorted-name order so the layout is deterministic.
+	cp := &compiler{config: config, slotIdx: map[string]int{}, mapIdx: map[string]int{}, lutIdx: map[string]int{}}
+	for _, name := range m.OISVars {
+		iv, ok := initState[name]
+		if !ok {
+			return nil, fmt.Errorf("dataplane: missing initial state for %q", name)
+		}
+		if iv.Kind == value.KindMap {
+			cp.mapIdx[name] = len(e.mapNames)
+			e.mapNames = append(e.mapNames, name)
+			rm, err := rmapOf(iv)
+			if err != nil {
+				return nil, fmt.Errorf("dataplane: initial %q: %w", name, err)
+			}
+			e.initMaps = append(e.initMaps, rm)
+			continue
+		}
+		v, err := mvalOf(iv)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: initial %q: %w", name, err)
+		}
+		cp.slotIdx[name] = len(e.slotNames)
+		e.slotNames = append(e.slotNames, name)
+		e.initSlots = append(e.initSlots, v)
+	}
+
+	maxSends, maxSlotUpd, maxMops := 0, 0, 0
+	for i := range m.Entries {
+		ce, pruned, err := cp.compileEntry(&m.Entries[i], i)
+		if err != nil {
+			return nil, err
+		}
+		if pruned {
+			continue
+		}
+		e.entries = append(e.entries, ce)
+		if len(ce.sends) > maxSends {
+			maxSends = len(ce.sends)
+		}
+		if len(ce.supd) > maxSlotUpd {
+			maxSlotUpd = len(ce.supd)
+		}
+		if ce.nMops > maxMops {
+			maxMops = ce.nMops
+		}
+	}
+	e.root = buildTree(e.entries)
+
+	e.out.Sent = make([]SentPacket, 0, maxSends)
+	e.scratchSlots = make([]rv, maxSlotUpd)
+	e.scratchKeys = make([]mkey, maxMops)
+	e.scratchVals = make([]rv, maxMops)
+	// Constant tuples form the arena's persistent prefix; per-packet
+	// tuples recycle the tail (extra headroom avoids first-packet
+	// growth in the common case).
+	e.ctx.tups = make([][maxTuple]scalar, len(cp.constTups), len(cp.constTups)+16)
+	copy(e.ctx.tups, cp.constTups)
+	e.ctx.nconst = len(cp.constTups)
+	e.ctx.luts = make([]lut, len(cp.lutIdx))
+	e.Reset()
+	return e, nil
+}
+
+// SetPerf attaches a perf set; ProcessBatch and Flush aggregate the
+// engine's plain counters into it (one atomic add per batch, keeping
+// atomics off the per-packet path).
+func (e *Engine) SetPerf(p *perf.Set) { e.perf = p }
+
+// Reset restores the initial state (and zeroes the traffic counters).
+func (e *Engine) Reset() {
+	e.slots = append(e.slots[:0], e.initSlots...)
+	e.maps = e.maps[:0]
+	for _, m := range e.initMaps {
+		e.maps = append(e.maps, m.clone())
+	}
+	e.ctx.slots = e.slots
+	e.ctx.maps = e.maps
+	e.stats = Stats{}
+}
+
+// Model returns the compiled model.
+func (e *Engine) Model() *model.Model { return e.m }
+
+// NumEntries returns the number of live (non-pruned) compiled entries.
+func (e *Engine) NumEntries() int { return len(e.entries) }
+
+// TreeDepth returns the dispatch tree's depth (0 = single leaf).
+func (e *Engine) TreeDepth() int { return e.root.depth() }
+
+// MaxLeafEntries returns the longest residual scan list of any leaf.
+func (e *Engine) MaxLeafEntries() int { return e.root.maxLeaf() }
+
+// Stats returns the engine's traffic counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Flush adds the traffic counters to the attached perf set and zeroes
+// them.
+func (e *Engine) Flush() {
+	if e.perf != nil {
+		e.perf.Counter(perf.CDataplanePkts).Add(e.stats.Packets)
+		e.perf.Counter(perf.CDataplaneDrops).Add(e.stats.Drops)
+	}
+	e.stats = Stats{}
+}
+
+// Process runs one packet. The returned Output is engine-owned and
+// reused by the next call.
+func (e *Engine) Process(p *netpkt.Packet) (*Output, error) {
+	if err := e.process(p, &e.out); err != nil {
+		return nil, err
+	}
+	return &e.out, nil
+}
+
+// ProcessBatch runs pkts in order, writing outs[i] for pkts[i]. It
+// stops at the first evaluation error (state up to that packet is
+// committed, like a sequential Process loop). len(outs) must be at
+// least len(pkts).
+func (e *Engine) ProcessBatch(pkts []netpkt.Packet, outs []Output) error {
+	if len(outs) < len(pkts) {
+		return fmt.Errorf("dataplane: %d outputs for %d packets", len(outs), len(pkts))
+	}
+	for i := range pkts {
+		if err := e.process(&pkts[i], &outs[i]); err != nil {
+			return fmt.Errorf("dataplane: packet %d: %w", i, err)
+		}
+	}
+	if e.perf != nil {
+		e.perf.Counter(perf.CDataplaneBatches).Inc()
+	}
+	return nil
+}
+
+func (e *Engine) process(p *netpkt.Packet, out *Output) error {
+	e.stats.Packets++
+	c := &e.ctx
+	c.pkt = p
+	c.err = nil
+	c.tups = c.tups[:c.nconst]
+	for i := range c.luts {
+		c.luts[i].valid = false
+	}
+	out.Sent = out.Sent[:0]
+
+	leaf := e.root.lookup(c)
+	for i := range leaf.entries {
+		le := &leaf.entries[i]
+		matched := true
+		for j := range le.preds {
+			v := le.preds[j].ex.eval(c)
+			if c.err != nil {
+				e.stats.Errors++
+				return fmt.Errorf("entry %d guard: %w", le.e.idx, c.err)
+			}
+			if v.k != kBool {
+				e.stats.Errors++
+				return fmt.Errorf("entry %d guard: condition is %s, want bool", le.e.idx, v.k)
+			}
+			if v.i == 0 {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		if err := e.fire(le.e, p, out); err != nil {
+			e.stats.Errors++
+			return err
+		}
+		if out.Dropped {
+			e.stats.Drops++
+		}
+		return nil
+	}
+	out.Dropped = true
+	out.Entry = -1
+	e.stats.Drops++
+	return nil
+}
+
+// fire executes one entry's actions: every send field, interface, and
+// update value evaluates against the PRE-state into output/scratch
+// buffers; only then do slot and map commits apply — exactly the
+// reference interpreter's evaluate-all-then-commit discipline, so an
+// error mid-entry leaves the state untouched.
+func (e *Engine) fire(ce *centry, p *netpkt.Packet, out *Output) error {
+	c := &e.ctx
+	for si := range ce.sends {
+		s := &ce.sends[si]
+		out.Sent = append(out.Sent, SentPacket{Pkt: *p})
+		sp := &out.Sent[len(out.Sent)-1]
+		for fi := range s.fields {
+			f := &s.fields[fi]
+			v := f.ex.eval(c)
+			if c.err != nil {
+				return fmt.Errorf("entry %d send: %w", ce.idx, c.err)
+			}
+			f.set(&sp.Pkt, v)
+		}
+		iv := s.iface.eval(c)
+		if c.err != nil {
+			return fmt.Errorf("entry %d iface: %w", ce.idx, c.err)
+		}
+		if iv.k == kStr {
+			sp.Iface = iv.s
+		} else {
+			sp.Iface = ""
+		}
+	}
+
+	for i := range ce.supd {
+		e.scratchSlots[i] = ce.supd[i].ex.eval(c)
+		if c.err != nil {
+			return fmt.Errorf("entry %d update: %w", ce.idx, c.err)
+		}
+	}
+	si := 0
+	for mi := range ce.mupd {
+		mu := &ce.mupd[mi]
+		for oi := range mu.ops {
+			op := &mu.ops[oi]
+			kv := op.key.eval(c)
+			if c.err != nil {
+				return fmt.Errorf("entry %d update: %w", ce.idx, c.err)
+			}
+			k, err := keyOf(kv, c)
+			if err != nil {
+				return fmt.Errorf("entry %d update: %w", ce.idx, err)
+			}
+			e.scratchKeys[si] = k
+			if !op.del {
+				e.scratchVals[si] = op.val.eval(c)
+				if c.err != nil {
+					return fmt.Errorf("entry %d update: %w", ce.idx, c.err)
+				}
+			}
+			si++
+		}
+	}
+
+	// Commit.
+	for i := range ce.supd {
+		e.slots[ce.supd[i].slot] = c.own(e.scratchSlots[i])
+	}
+	si = 0
+	for mi := range ce.mupd {
+		mu := &ce.mupd[mi]
+		m := e.maps[mu.mi]
+		for oi := range mu.ops {
+			if mu.ops[oi].del {
+				delete(m, e.scratchKeys[si])
+			} else {
+				m[e.scratchKeys[si]] = c.own(e.scratchVals[si])
+			}
+			si++
+		}
+	}
+
+	out.Dropped = len(out.Sent) == 0
+	out.Entry = ce.idx
+	return nil
+}
+
+// State exports the engine's current state as boxed values, shaped
+// exactly like model.Instance.State() for differential comparison.
+func (e *Engine) State() map[string]value.Value {
+	out := make(map[string]value.Value, len(e.slotNames)+len(e.mapNames))
+	for i, name := range e.slotNames {
+		out[name] = e.slots[i].toValue()
+	}
+	for i, name := range e.mapNames {
+		out[name] = e.maps[i].toValue()
+	}
+	return out
+}

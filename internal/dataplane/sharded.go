@@ -1,0 +1,372 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/perf"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Flow-partitioned concurrency. A model qualifies when its entire
+// mutable state is map-shaped and every state-map access is keyed by
+// packet fields alone; then the key space partitions cleanly and each
+// partition can run on its own single-threaded Engine. The shard
+// function hashes the *sorted* values of the key fields, so a flow and
+// its reverse (the NF reading `(dip, dport, sip, sport)` for return
+// traffic) land on the same shard: equal keys imply equal value
+// multisets imply equal shards, which is exactly the property that
+// makes per-shard sequential execution equivalent to a global
+// sequential run.
+
+// PartitionFields reports the packet fields every state-map key is
+// built from, or an error describing why the model's state cannot be
+// flow-partitioned (scalar state, state-derived keys, differing key
+// shapes, or pre-populated initial maps).
+func PartitionFields(m *model.Model, initState map[string]value.Value) ([]string, error) {
+	stateMaps := map[string]bool{}
+	for _, name := range m.OISVars {
+		iv, ok := initState[name]
+		if !ok {
+			return nil, fmt.Errorf("dataplane: missing initial state for %q", name)
+		}
+		if iv.Kind != value.KindMap {
+			return nil, fmt.Errorf("dataplane: scalar state %q is not flow-partitionable", name)
+		}
+		if iv.Map.Len() != 0 {
+			return nil, fmt.Errorf("dataplane: pre-populated map %q defeats shard-local state", name)
+		}
+		stateMaps[name] = true
+	}
+
+	var shape []string
+	check := func(k solver.Term) error {
+		var fields []string
+		for _, v := range solver.Vars(k) {
+			f, ok := strings.CutPrefix(v, "pkt.")
+			if !ok {
+				return fmt.Errorf("dataplane: state-map key reads %q (not a packet field)", v)
+			}
+			fields = append(fields, f)
+		}
+		if len(fields) == 0 {
+			return fmt.Errorf("dataplane: constant state-map key")
+		}
+		sort.Strings(fields)
+		if shape == nil {
+			shape = fields
+			return nil
+		}
+		if len(fields) != len(shape) {
+			return fmt.Errorf("dataplane: key shapes differ: %v vs %v", shape, fields)
+		}
+		for i := range fields {
+			if fields[i] != shape[i] {
+				return fmt.Errorf("dataplane: key shapes differ: %v vs %v", shape, fields)
+			}
+		}
+		return nil
+	}
+
+	var walk func(t solver.Term) error
+	walk = func(t solver.Term) error {
+		switch x := t.(type) {
+		case solver.Bin:
+			if err := walk(x.X); err != nil {
+				return err
+			}
+			return walk(x.Y)
+		case solver.Un:
+			return walk(x.X)
+		case solver.Call:
+			for _, a := range x.Args {
+				if err := walk(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		case solver.Tuple:
+			for _, e := range x.Elems {
+				if err := walk(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		case solver.Index:
+			if err := walk(x.X); err != nil {
+				return err
+			}
+			return walk(x.I)
+		case solver.Select:
+			if mv, ok := x.M.(solver.MapVar); ok && stateMaps[strings.TrimSuffix(mv.Name, "@0")] {
+				if err := check(x.K); err != nil {
+					return err
+				}
+			} else if err := walk(x.M); err != nil {
+				return err
+			}
+			return walk(x.K)
+		case solver.In:
+			if mv, ok := x.M.(solver.MapVar); ok && stateMaps[strings.TrimSuffix(mv.Name, "@0")] {
+				if err := check(x.K); err != nil {
+					return err
+				}
+			} else if err := walk(x.M); err != nil {
+				return err
+			}
+			return walk(x.K)
+		case solver.Store:
+			if _, ok := x.M.(solver.MapVar); !ok {
+				if err := walk(x.M); err != nil {
+					return err
+				}
+			}
+			if err := check(x.K); err != nil {
+				return err
+			}
+			if err := walk(x.K); err != nil {
+				return err
+			}
+			return walk(x.V)
+		case solver.Del:
+			if _, ok := x.M.(solver.MapVar); !ok {
+				if err := walk(x.M); err != nil {
+					return err
+				}
+			}
+			if err := check(x.K); err != nil {
+				return err
+			}
+			return walk(x.K)
+		default:
+			return nil
+		}
+	}
+
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		for _, g := range e.Guard() {
+			if err := walk(g); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range e.Sends {
+			for _, f := range a.FieldNames() {
+				if err := walk(a.Fields[f]); err != nil {
+					return nil, err
+				}
+			}
+			if err := walk(a.Iface); err != nil {
+				return nil, err
+			}
+		}
+		for _, u := range e.Updates {
+			if err := walk(u.Val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if shape == nil {
+		return nil, fmt.Errorf("dataplane: model has no state-map accesses to partition on")
+	}
+	return shape, nil
+}
+
+// Sharded runs one compiled Engine per flow partition. ProcessBatch
+// fans each batch out across the shards and is the only concurrent
+// entry point; Process routes sequentially (useful for equivalence
+// checks). Outputs and final state are identical to a single Engine
+// run — enforced by TestShardedEquivalence.
+type Sharded struct {
+	engines []*Engine
+	getters []func(*netpkt.Packet) scalar
+	fields  []string
+
+	// per-batch scratch, reused
+	shardOf []int
+	idxs    [][]int
+	errs    []shardErr
+	perf    *perf.Set
+}
+
+type shardErr struct {
+	at  int
+	err error
+}
+
+// NewSharded compiles n independent shard engines (n <= 1 is pinned to
+// 1). The model must be flow-partitionable per PartitionFields.
+func NewSharded(m *model.Model, config, initState map[string]value.Value, n int) (*Sharded, error) {
+	fields, err := PartitionFields(m, initState)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	if len(fields) > 8 {
+		return nil, fmt.Errorf("dataplane: %d partition fields exceed the shard hash width", len(fields))
+	}
+	s := &Sharded{fields: fields}
+	for _, f := range fields {
+		g, ok := rawGetter(f)
+		if !ok {
+			return nil, fmt.Errorf("dataplane: unknown partition field %q", f)
+		}
+		s.getters = append(s.getters, g)
+	}
+	for i := 0; i < n; i++ {
+		e, err := Compile(m, config, initState)
+		if err != nil {
+			return nil, err
+		}
+		s.engines = append(s.engines, e)
+	}
+	s.idxs = make([][]int, n)
+	s.errs = make([]shardErr, n)
+	return s, nil
+}
+
+// SetPerf attaches a perf set to every shard.
+func (s *Sharded) SetPerf(p *perf.Set) {
+	s.perf = p
+	for _, e := range s.engines {
+		e.SetPerf(p)
+	}
+	p.Counter(perf.CDataplaneShards).Add(int64(len(s.engines)))
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.engines) }
+
+// Fields returns the partition fields (sorted multiset).
+func (s *Sharded) Fields() []string { return s.fields }
+
+// shard hashes the sorted values of the partition fields, so every
+// permutation of the same value multiset — forward and reverse flow
+// keys — maps to the same shard.
+func (s *Sharded) shard(p *netpkt.Packet) int {
+	var vals [8]scalar
+	n := len(s.getters)
+	for i, g := range s.getters {
+		vals[i] = g(p)
+	}
+	for i := 1; i < n; i++ { // insertion sort, n <= maxTuple in practice
+		for j := i; j > 0 && scalarLess(vals[j], vals[j-1]); j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	h := fnv64(fnvOffset64)
+	for i := 0; i < n; i++ {
+		_ = h.wscalar(vals[i])
+	}
+	return int(uint64(h) % uint64(len(s.engines)))
+}
+
+// Process routes one packet to its owning shard (sequential mode).
+func (s *Sharded) Process(p *netpkt.Packet) (*Output, error) {
+	return s.engines[s.shard(p)].Process(p)
+}
+
+// ProcessBatch partitions pkts by flow and runs the shards
+// concurrently, preserving per-shard packet order; outs[i] receives
+// pkts[i]'s output. On an evaluation error the owning shard stops (its
+// earlier packets stay committed, like a sequential loop) and the error
+// with the smallest packet index is returned.
+func (s *Sharded) ProcessBatch(pkts []netpkt.Packet, outs []Output) error {
+	if len(outs) < len(pkts) {
+		return fmt.Errorf("dataplane: %d outputs for %d packets", len(outs), len(pkts))
+	}
+	if cap(s.shardOf) < len(pkts) {
+		s.shardOf = make([]int, len(pkts))
+	}
+	s.shardOf = s.shardOf[:len(pkts)]
+	for i := range s.idxs {
+		s.idxs[i] = s.idxs[i][:0]
+	}
+	for i := range pkts {
+		sh := s.shard(&pkts[i])
+		s.shardOf[i] = sh
+		s.idxs[sh] = append(s.idxs[sh], i)
+	}
+
+	var wg sync.WaitGroup
+	for sh := range s.engines {
+		if len(s.idxs[sh]) == 0 {
+			s.errs[sh] = shardErr{}
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			e := s.engines[sh]
+			s.errs[sh] = shardErr{at: -1}
+			for _, i := range s.idxs[sh] {
+				if err := e.process(&pkts[i], &outs[i]); err != nil {
+					s.errs[sh] = shardErr{at: i, err: err}
+					return
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	first := shardErr{at: -1}
+	for sh := range s.errs {
+		se := s.errs[sh]
+		if se.err != nil && (first.err == nil || se.at < first.at) {
+			first = se
+		}
+	}
+	if first.err != nil {
+		return fmt.Errorf("dataplane: packet %d: %w", first.at, first.err)
+	}
+	if s.perf != nil {
+		s.perf.Counter(perf.CDataplaneBatches).Inc()
+	}
+	return nil
+}
+
+// State merges the shard states. Shard key spaces are disjoint (equal
+// keys land on the same shard), so the merge is a plain union.
+func (s *Sharded) State() map[string]value.Value {
+	out := s.engines[0].State()
+	for _, e := range s.engines[1:] {
+		st := e.State()
+		for name, v := range st {
+			if v.Kind != value.KindMap {
+				continue
+			}
+			dst := out[name]
+			for _, k := range v.Map.Keys() {
+				val, _, _ := v.Map.Get(k)
+				_ = dst.Map.Set(k, val)
+			}
+		}
+	}
+	return out
+}
+
+// Stats sums the shard counters.
+func (s *Sharded) Stats() Stats {
+	var t Stats
+	for _, e := range s.engines {
+		st := e.Stats()
+		t.Packets += st.Packets
+		t.Drops += st.Drops
+		t.Errors += st.Errors
+	}
+	return t
+}
+
+// Reset restores every shard to the initial state.
+func (s *Sharded) Reset() {
+	for _, e := range s.engines {
+		e.Reset()
+	}
+}

@@ -1,0 +1,123 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+func stateDiff(a, b map[string]value.Value) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("variable count %d vs %d", len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			return fmt.Sprintf("missing %q", name)
+		}
+		if !value.Equal(av, bv) {
+			return fmt.Sprintf("%q: %s vs %s", name, av, bv)
+		}
+	}
+	return ""
+}
+
+// TestPartitionability pins down which corpus NFs qualify for flow
+// sharding: map-only state keyed purely by packet fields shards; NFs
+// with scalar round-robin counters or state-derived keys (nat's reverse
+// table is keyed by an allocated port) must not.
+func TestPartitionability(t *testing.T) {
+	want := map[string]bool{
+		"firewall":  true,
+		"snortlite": true,
+		"dpi":       true,
+		"ratelimit": true,
+		"mirror":    true,
+		"lb":        false, // rr_idx scalar state
+		"balance":   false, // rr_idx scalar state
+		"nat":       false, // scalar port allocator + state-derived reverse keys
+	}
+	for name, wantOK := range want {
+		an := analyze(t, name)
+		_, err := an.ShardedEngine(2, core.Options{})
+		if gotOK := err == nil; gotOK != wantOK {
+			t.Errorf("%s: partitionable=%v, want %v (err=%v)", name, gotOK, wantOK, err)
+		}
+	}
+}
+
+// TestShardedEquivalence replays the same trace through a single
+// engine and a 4-shard engine: identical per-packet outputs and an
+// identical merged end state, at any shard count.
+func TestShardedEquivalence(t *testing.T) {
+	for _, name := range []string{"firewall", "snortlite", "dpi", "ratelimit", "mirror"} {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			g := workload.New(17)
+			trace := append(g.FlowTrace(16, 12), g.RandomTrace(400)...)
+
+			single, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := an.ShardedEngine(4, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sOuts := make([]dataplane.Output, len(trace))
+			if err := single.ProcessBatch(trace, sOuts); err != nil {
+				t.Fatal(err)
+			}
+			pOuts := make([]dataplane.Output, len(trace))
+			if err := sharded.ProcessBatch(trace, pOuts); err != nil {
+				t.Fatal(err)
+			}
+			for i := range trace {
+				if diff := diffOutputs(&sOuts[i], &pOuts[i]); diff != "" {
+					t.Fatalf("packet %d (%s): %s", i, trace[i], diff)
+				}
+			}
+			if diff := stateDiff(single.State(), sharded.State()); diff != "" {
+				t.Fatalf("end state differs: %s", diff)
+			}
+			if got, want := sharded.Stats().Packets, int64(len(trace)); got != want {
+				t.Fatalf("sharded stats counted %d packets, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestShardedDeterminism runs the sharded batch twice from a fresh
+// state and demands identical outputs — shard scheduling must not leak
+// into results.
+func TestShardedDeterminism(t *testing.T) {
+	an := analyze(t, "snortlite")
+	trace := append(workload.New(23).FlowTrace(8, 10), workload.New(24).RandomTrace(300)...)
+	sh, err := an.ShardedEngine(4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]dataplane.Output, len(trace))
+	if err := sh.ProcessBatch(trace, a); err != nil {
+		t.Fatal(err)
+	}
+	stA := sh.State()
+	sh.Reset()
+	b := make([]dataplane.Output, len(trace))
+	if err := sh.ProcessBatch(trace, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace {
+		if diff := diffOutputs(&a[i], &b[i]); diff != "" {
+			t.Fatalf("packet %d: %s", i, diff)
+		}
+	}
+	if diff := stateDiff(stA, sh.State()); diff != "" {
+		t.Fatalf("end state differs between runs: %s", diff)
+	}
+}

@@ -1,0 +1,305 @@
+package dataplane
+
+import (
+	"sort"
+
+	"nfactor/internal/netpkt"
+)
+
+// The decision tree lowers first-match-wins entry lists into dispatch
+// over discriminating conditions, leaving ordered residual predicate
+// lists only at the leaves. Two node kinds:
+//
+//   - Value nodes hash one packet field (`pkt.f == const` guards): an
+//     entry carrying such a guard lives only under its value's case —
+//     with the predicate removed, the dispatch proved it — while
+//     entries generic in the field live under every case and under the
+//     default. Scalar equality can neither error nor side-effect, so
+//     skipping an entry whose equality would be false is
+//     observationally identical to evaluating and failing it.
+//
+//   - Test nodes evaluate one shared pure predicate once (`x in
+//     blocked` vs `!(x in blocked)`, `proto == ""` vs `proto != ""`)
+//     and branch: positive-polarity entries continue (discharged) under
+//     true, negative ones under false, generics under both. Guard
+//     evaluation is read-only, so hoisting it is behavior-preserving —
+//     except for errors, which the reference raises at a specific entry
+//     or not at all. A test node therefore keeps an error child: if the
+//     hoisted evaluation errors (or yields a non-bool), the error is
+//     discarded and the pre-split entry list is scanned with its full
+//     predicates, reproducing the reference's error placement exactly.
+//
+// Leaves keep surviving entries in original priority order, so
+// first-match semantics and the state trajectory match the reference
+// interpreter's.
+
+// maxTreeDepth bounds recursion; the corpus needs at most 4 levels.
+const maxTreeDepth = 6
+
+// leafEntry pairs an entry with the predicates still to check on the
+// path that reached this leaf.
+type leafEntry struct {
+	e     *centry
+	preds []cpred
+}
+
+type dnode struct {
+	// Value node: dispatch on get(pkt).
+	field string
+	get   func(*netpkt.Packet) scalar
+	cases map[scalar]*dnode
+	def   *dnode
+	// Test node: branch on test(ctx).
+	test     *cexpr
+	tchild   *dnode
+	fchild   *dnode
+	errchild *dnode
+	// Leaf: ordered residual entries.
+	leaf    bool
+	entries []leafEntry
+}
+
+// buildTree lowers entries (already pruned and config-folded, in
+// priority order) into a dispatch tree.
+func buildTree(entries []*centry) *dnode {
+	list := make([]leafEntry, len(entries))
+	for i, e := range entries {
+		list[i] = leafEntry{e: e, preds: e.preds}
+	}
+	return build(list, maxTreeDepth)
+}
+
+func build(list []leafEntry, depth int) *dnode {
+	if depth > 0 && len(list) > 1 {
+		if field, ok := pickField(list); ok {
+			return splitValue(list, field, depth)
+		}
+		if key, ok := pickTest(list); ok {
+			return splitTest(list, key, depth)
+		}
+	}
+	return &dnode{leaf: true, entries: list}
+}
+
+// child recurses only into strictly smaller lists (a discriminator
+// shared by every entry could otherwise loop); non-shrinking children
+// still benefit from the parent's discharge but stay leaves.
+func child(sub []leafEntry, parentLen, depth int) *dnode {
+	if len(sub) < parentLen {
+		return build(sub, depth-1)
+	}
+	return &dnode{leaf: true, entries: sub}
+}
+
+// pickField chooses the packet field with the most entries carrying an
+// equality predicate on it — at least 2, or dispatch buys nothing.
+// Lexicographic tie-break keeps compilation deterministic.
+func pickField(list []leafEntry) (string, bool) {
+	count := map[string]int{}
+	for _, le := range list {
+		seen := map[string]bool{}
+		for _, p := range le.preds {
+			if p.field != "" && !seen[p.field] {
+				seen[p.field] = true
+				count[p.field]++
+			}
+		}
+	}
+	return argmax(count)
+}
+
+// pickTest chooses the polarity-normalized predicate shared (in either
+// polarity) by the most entries — at least 2.
+func pickTest(list []leafEntry) (string, bool) {
+	count := map[string]int{}
+	for _, le := range list {
+		seen := map[string]bool{}
+		for _, p := range le.preds {
+			if p.baseKey != "" && !seen[p.baseKey] {
+				seen[p.baseKey] = true
+				count[p.baseKey]++
+			}
+		}
+	}
+	return argmax(count)
+}
+
+func argmax(count map[string]int) (string, bool) {
+	keys := make([]string, 0, len(count))
+	for k := range count {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best, bestN := "", 1
+	for _, k := range keys {
+		if count[k] > bestN {
+			best, bestN = k, count[k]
+		}
+	}
+	return best, best != ""
+}
+
+// splitValue partitions list on a packet field. Entries with an
+// equality predicate on the field drop into their value's bucket
+// (predicate discharged); all other entries go to the default subtree
+// AND every bucket, predicates intact. Bucket member order follows
+// list order, preserving priority.
+func splitValue(list []leafEntry, field string, depth int) *dnode {
+	get, _ := rawGetter(field)
+	n := &dnode{field: field, get: get, cases: map[scalar]*dnode{}}
+
+	var vals []scalar // first-appearance order
+	buckets := map[scalar][]leafEntry{}
+	var def []leafEntry
+	for _, le := range list {
+		pi := -1
+		for i, p := range le.preds {
+			if p.field == field {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			// Generic on this field: reachable under every value.
+			def = append(def, le)
+			for _, v := range vals {
+				buckets[v] = append(buckets[v], le)
+			}
+			continue
+		}
+		v := le.preds[pi].val
+		if _, ok := buckets[v]; !ok {
+			vals = append(vals, v)
+			// Seed with the generics already collected (they precede this
+			// entry in priority order).
+			buckets[v] = append([]leafEntry(nil), def...)
+		}
+		buckets[v] = append(buckets[v], leafEntry{e: le.e, preds: without(le.preds, pi)})
+	}
+
+	for _, v := range vals {
+		n.cases[v] = child(buckets[v], len(list), depth)
+	}
+	n.def = child(def, len(list), depth)
+	return n
+}
+
+// splitTest branches on one shared predicate: positive entries continue
+// discharged under true, negative under false, generics under both;
+// the error child holds the untouched pre-split list.
+func splitTest(list []leafEntry, key string, depth int) *dnode {
+	n := &dnode{}
+	var tb, fb []leafEntry
+	for _, le := range list {
+		pi := -1
+		for i, p := range le.preds {
+			if p.baseKey == key {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			tb = append(tb, le)
+			fb = append(fb, le)
+			continue
+		}
+		p := le.preds[pi]
+		if n.test == nil {
+			base := p.base
+			n.test = &base
+		}
+		rest := leafEntry{e: le.e, preds: without(le.preds, pi)}
+		if p.neg {
+			fb = append(fb, rest)
+		} else {
+			tb = append(tb, rest)
+		}
+	}
+	n.tchild = child(tb, len(list), depth)
+	n.fchild = child(fb, len(list), depth)
+	n.errchild = &dnode{leaf: true, entries: list}
+	return n
+}
+
+func without(preds []cpred, i int) []cpred {
+	out := make([]cpred, 0, len(preds)-1)
+	out = append(out, preds[:i]...)
+	return append(out, preds[i+1:]...)
+}
+
+// lookup walks the tree for one packet.
+func (n *dnode) lookup(c *ctx) *dnode {
+	for !n.leaf {
+		if n.test != nil {
+			v := n.test.eval(c)
+			switch {
+			case c.err != nil:
+				// The hoisted evaluation failed; the fallback scan
+				// re-evaluates every guard in reference order, raising
+				// the error at exactly the entry the reference would.
+				c.err = nil
+				n = n.errchild
+			case v.k != kBool:
+				n = n.errchild
+			case v.i != 0:
+				n = n.tchild
+			default:
+				n = n.fchild
+			}
+			continue
+		}
+		if sub, ok := n.cases[n.get(c.pkt)]; ok {
+			n = sub
+		} else {
+			n = n.def
+		}
+	}
+	return n
+}
+
+// depth reports the tree's height (0 = single leaf); the error
+// children don't count — they are fallbacks, not dispatch.
+func (n *dnode) depth() int {
+	if n.leaf {
+		return 0
+	}
+	var d int
+	if n.test != nil {
+		d = max(n.tchild.depth(), n.fchild.depth())
+	} else {
+		d = n.def.depth()
+		for _, c := range n.cases {
+			if cd := c.depth(); cd > d {
+				d = cd
+			}
+		}
+	}
+	return d + 1
+}
+
+// maxLeaf reports the longest residual scan list on the non-error
+// paths.
+func (n *dnode) maxLeaf() int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	var m int
+	if n.test != nil {
+		m = max(n.tchild.maxLeaf(), n.fchild.maxLeaf())
+	} else {
+		m = n.def.maxLeaf()
+		for _, c := range n.cases {
+			if cm := c.maxLeaf(); cm > m {
+				m = cm
+			}
+		}
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+// DataplaneRow is one NF's compiled-data-plane measurement: reference
+// model.Instance vs compiled Engine on the same warmed trace, plus the
+// differential cross-check that makes the speedup claim meaningful.
+type DataplaneRow struct {
+	NF            string
+	Entries       int // live (non-pruned) compiled entries
+	TreeDepth     int
+	MaxLeaf       int // longest residual scan list
+	TracePkts     int
+	RefNsPkt      float64
+	EngNsPkt      float64
+	Speedup       float64
+	Partitionable bool
+	DiffTrials    int
+	Mismatches    int
+}
+
+// dataplaneTrace mixes random packets with the NF's stateful traffic
+// shape, so the measurement exercises flow-table hits, not just drops.
+func dataplaneTrace(name string, npkts int, seed int64) []netpkt.Packet {
+	g := workload.New(seed)
+	trace := g.RandomTrace(npkts)
+	switch name {
+	case "lb", "balance", "nat", "mirror":
+		trace = append(trace, g.ClientServerTrace("3.3.3.3", 80, npkts/2)...)
+	default:
+		trace = append(trace, g.FlowTrace(20, npkts/40)...)
+	}
+	return trace
+}
+
+// timeLoop replays the trace until minDur has elapsed and returns the
+// amortized ns/packet. The caller warms state first, so the measurement
+// is steady-state.
+func timeLoop(replay func() error, pkts int, minDur time.Duration) (float64, error) {
+	total := 0
+	start := time.Now()
+	for {
+		if err := replay(); err != nil {
+			return 0, err
+		}
+		total += pkts
+		if time.Since(start) >= minDur {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(total), nil
+}
+
+// Dataplane measures, for each NF, the reference interpreter and the
+// compiled engine on the same trace — after a differential fuzz pass
+// over that trace proves the two agree packet for packet. Rows run
+// sequentially (never concurrently) so the timings are faithful.
+func Dataplane(names []string, npkts int, seed int64, opts Opts) ([]DataplaneRow, error) {
+	const minDur = 300 * time.Millisecond
+	rows := make([]DataplaneRow, 0, len(names))
+	for _, name := range names {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.Analyze(name, nf.Prog, core.Options{
+			Workers: opts.Workers,
+			Cache:   opts.Cache,
+			Perf:    opts.Perf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trace := dataplaneTrace(name, npkts, seed)
+
+		// Equivalence first: a fast engine that disagrees with the
+		// model is not an optimization.
+		diff, err := an.DiffTestCompiled(trace, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+
+		eng, err := an.CompiledEngine(core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		inst, err := an.Instance(core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		vals := make([]value.Value, len(trace))
+		for i := range trace {
+			vals[i] = trace[i].ToValue()
+		}
+		outs := make([]dataplane.Output, len(trace))
+
+		// Warm both sides: flow state populated, steady allocation.
+		for _, v := range vals {
+			if _, err := inst.Process(v); err != nil {
+				return nil, fmt.Errorf("%s reference: %w", name, err)
+			}
+		}
+		if err := eng.ProcessBatch(trace, outs); err != nil {
+			return nil, fmt.Errorf("%s engine: %w", name, err)
+		}
+
+		refNs, err := timeLoop(func() error {
+			for _, v := range vals {
+				if _, err := inst.Process(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s reference: %w", name, err)
+		}
+		engNs, err := timeLoop(func() error {
+			return eng.ProcessBatch(trace, outs)
+		}, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s engine: %w", name, err)
+		}
+
+		_, shardErr := an.ShardedEngine(2, core.Options{})
+		rows = append(rows, DataplaneRow{
+			NF:            name,
+			Entries:       eng.NumEntries(),
+			TreeDepth:     eng.TreeDepth(),
+			MaxLeaf:       eng.MaxLeafEntries(),
+			TracePkts:     len(trace),
+			RefNsPkt:      refNs,
+			EngNsPkt:      engNs,
+			Speedup:       refNs / engNs,
+			Partitionable: shardErr == nil,
+			DiffTrials:    diff.Trials,
+			Mismatches:    diff.Mismatches,
+		})
+	}
+	return rows, nil
+}
+
+// FormatDataplane renders the rows as a table; pkts/sec columns are the
+// reciprocal view operators ask for.
+func FormatDataplane(rows []DataplaneRow) string {
+	var sb strings.Builder
+	sb.WriteString("Compiled data plane vs reference interpreter (same trace, cross-validated)\n")
+	sb.WriteString(fmt.Sprintf("%-10s %7s %5s %7s | %10s %10s | %12s %12s | %7s | %5s %10s\n",
+		"NF", "entries", "depth", "maxleaf", "ref ns/pkt", "eng ns/pkt", "ref pkts/s", "eng pkts/s", "speedup", "shard", "fuzz"))
+	sb.WriteString(strings.Repeat("-", 128) + "\n")
+	for _, r := range rows {
+		fuzz := fmt.Sprintf("%d/%d ok", r.DiffTrials-r.Mismatches, r.DiffTrials)
+		if r.Mismatches > 0 {
+			fuzz = fmt.Sprintf("%d MISMATCH", r.Mismatches)
+		}
+		shard := "no"
+		if r.Partitionable {
+			shard = "yes"
+		}
+		sb.WriteString(fmt.Sprintf("%-10s %7d %5d %7d | %10.0f %10.0f | %12.0f %12.0f | %6.1fx | %5s %10s\n",
+			r.NF, r.Entries, r.TreeDepth, r.MaxLeaf,
+			r.RefNsPkt, r.EngNsPkt, 1e9/r.RefNsPkt, 1e9/r.EngNsPkt, r.Speedup, shard, fuzz))
+	}
+	return sb.String()
+}

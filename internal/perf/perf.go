@@ -20,19 +20,27 @@ import (
 // Standard counter names. Packages may add their own; these are the ones
 // the pipeline always maintains.
 const (
-	CStates        = "symexec.states"          // machine states popped from the frontier
-	CForks         = "symexec.forks"           // child states created at branches
-	CPaths         = "symexec.paths"           // completed paths recorded
-	CPruned        = "symexec.pruned"          // branch alternatives pruned as infeasible
-	CSteps         = "symexec.steps"           // statements executed
-	CSolverCalls   = "solver.satconj.calls"    // SatConj queries issued by the executor
-	CSatCacheHit   = "solver.satconj.hits"     // SatConj answered from the cache
-	CSatCacheMiss  = "solver.satconj.misses"   // SatConj computed and inserted
-	CSimpCacheHit  = "solver.simplify.hits"    // Simplify answered from the cache
-	CSimpCacheMiss = "solver.simplify.misses"  // Simplify computed and inserted
-	CDiffTrials    = "accuracy.diff.trials"    // differential-test packets compared
-	CEquivChecks   = "accuracy.equiv.implies"  // path-implication queries
-	CModelEntries  = "refine.entries"          // table entries refined from paths
+	CStates        = "symexec.states"         // machine states popped from the frontier
+	CForks         = "symexec.forks"          // child states created at branches
+	CPaths         = "symexec.paths"          // completed paths recorded
+	CPruned        = "symexec.pruned"         // branch alternatives pruned as infeasible
+	CSteps         = "symexec.steps"          // statements executed
+	CSolverCalls   = "solver.satconj.calls"   // SatConj queries issued by the executor
+	CSatCacheHit   = "solver.satconj.hits"    // SatConj answered from the cache
+	CSatCacheMiss  = "solver.satconj.misses"  // SatConj computed and inserted
+	CSimpCacheHit  = "solver.simplify.hits"   // Simplify answered from the cache
+	CSimpCacheMiss = "solver.simplify.misses" // Simplify computed and inserted
+	CDiffTrials    = "accuracy.diff.trials"   // differential-test packets compared
+	CEquivChecks   = "accuracy.equiv.implies" // path-implication queries
+	CModelEntries  = "refine.entries"         // table entries refined from paths
+
+	// Data-plane counters (internal/dataplane). The engine accumulates
+	// plain per-shard counters and flushes them here in bulk, keeping
+	// atomics off the per-packet fast path.
+	CDataplanePkts    = "dataplane.packets" // packets processed by compiled engines
+	CDataplaneDrops   = "dataplane.drops"   // packets dropped (incl. implicit drop)
+	CDataplaneBatches = "dataplane.batches" // ProcessBatch calls
+	CDataplaneShards  = "dataplane.shards"  // shards spun up by sharded engines
 )
 
 // Counter is one atomic counter.

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
 	"nfactor/internal/interp"
 	"nfactor/internal/lang"
 	"nfactor/internal/model"
@@ -193,6 +194,65 @@ func (r *Result) Instance() (*model.Instance, error) {
 		return nil, err
 	}
 	return model.NewInstance(r.an.Model, config, state)
+}
+
+// Engine is the compiled data-plane engine: the synthesized model
+// lowered to a decision tree over discriminating packet fields with
+// unboxed closures for guards and actions. It is behaviorally identical
+// to Instance (cross-validated by differential fuzzing) and 10-40x
+// faster, with zero allocations per packet in steady state.
+type Engine = dataplane.Engine
+
+// Sharded is the flow-partitioned concurrent engine: one Engine per
+// shard, packets routed by a hash of the model's state-key fields.
+type Sharded = dataplane.Sharded
+
+// CompiledEngine lowers the synthesized model plus its concrete
+// configuration into an Engine. An error means some term shape has no
+// data-plane lowering; fall back to Instance.
+func (r *Result) CompiledEngine() (*Engine, error) {
+	return r.an.CompiledEngine(r.opts)
+}
+
+// ShardedEngine builds a concurrent engine with n shards. It errors
+// when the model's state is not flow-partitionable (scalar state, or
+// maps not keyed purely by packet fields).
+func (r *Result) ShardedEngine(n int) (*Sharded, error) {
+	return r.an.ShardedEngine(n, r.opts)
+}
+
+// ReplayCompiled runs the trace through the compiled engine.
+func (r *Result) ReplayCompiled(trace []Packet) ([]Verdict, error) {
+	eng, err := r.CompiledEngine()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, 0, len(trace))
+	for i := range trace {
+		o, err := eng.Process(&trace[i])
+		if err != nil {
+			return nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		v := Verdict{Dropped: o.Dropped}
+		for _, s := range o.Sent {
+			v.Sent = append(v.Sent, s.Pkt)
+			v.Ifaces = append(v.Ifaces, s.Iface)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// DiffTestCompiled replays the trace through the reference Instance and
+// the compiled engine in lockstep (§5's differential methodology turned
+// on the data plane itself) and reports mismatches: per-packet outputs,
+// fired entries, and the end state must all agree.
+func (r *Result) DiffTestCompiled(trace []Packet) (mismatches int, firstDiff string, err error) {
+	res, err := r.an.DiffTestCompiled(trace, r.opts)
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Mismatches, res.FirstDiff, nil
 }
 
 // CompileModel lowers the model back to an NFLang program.
