@@ -7,13 +7,18 @@ GO ?= go
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane vet
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-telemetry alloc vet
 
 all: check
 
-# Default gate: compile, vet, test — in that order, so vet failures
-# surface before the (slower) test run.
-check: build vet test
+# Default gate: compile, vet, test, and the zero-allocation regression
+# (telemetry must never put an allocation on the packet path).
+check: build vet test alloc
+
+# The steady-state allocation regressions in isolation: AllocsPerRun
+# must report 0 allocs/packet with telemetry attached.
+alloc:
+	$(GO) test -run 'ZeroAlloc' ./internal/dataplane ./internal/telemetry
 
 build:
 	$(GO) build ./...
@@ -42,3 +47,9 @@ bench-parallel:
 # -workers=1 keeps the per-row timings free of cross-row contention.
 bench-dataplane:
 	$(GO) run ./cmd/nfbench -exp dataplane -workers 1 -out BENCH_dataplane.json
+
+# Telemetry overhead on the compiled engine (sink on vs off, same warmed
+# trace); refreshes the checked-in BENCH_telemetry.json. The acceptance
+# bar is <=10% ns/pkt overhead with zero allocations on the packet path.
+bench-telemetry:
+	$(GO) run ./cmd/nfbench -exp telemetry -workers 1 -out BENCH_telemetry.json

@@ -24,6 +24,8 @@ func main() {
 	maxPaths := flag.Int("maxpaths", 4096, "symbolic execution path budget")
 	workers := flag.Int("workers", 0, "symbolic execution workers (0 = GOMAXPROCS; the model is identical at any count)")
 	check := flag.Bool("check", false, "verify the model: symbolic path-set equivalence against the program (§5)")
+	telemetryN := flag.Int("telemetry", 0, "replay N random packets through the compiled engine and print the hit-annotated model plus telemetry counters")
+	explainN := flag.Int("explain", 0, "print provenance traces for the first N packets of the -telemetry replay")
 	stats := flag.Bool("stats", false, "print performance counters and solver-cache hit rates (implies -check, so the stats cover the full synthesize-and-verify cycle)")
 	list := flag.Bool("list", false, "list the built-in corpus NFs and exit")
 	flag.Parse()
@@ -112,6 +114,14 @@ func main() {
 			fmt.Println("path sets equivalent: model == program")
 		}
 	}
+	if *explainN > *telemetryN {
+		*telemetryN = *explainN
+	}
+	if *telemetryN > 0 {
+		if err := runTelemetry(res, *telemetryN, *explainN); err != nil {
+			fatal(err)
+		}
+	}
 	if *stats {
 		fmt.Println("=== perf ===")
 		fmt.Print(res.PerfReport())
@@ -120,6 +130,49 @@ func main() {
 			cs.SatHits, cs.SatHits+cs.SatMisses, 100*cs.SatHitRate(),
 			cs.SimpHits, cs.SimpHits+cs.SimpMisses)
 	}
+}
+
+// runTelemetry replays n random packets through the compiled engine
+// behind the unified Replayer API and prints the explain traces for the
+// first explainN of them, the telemetry counters, and the model
+// annotated with per-entry hit counts.
+func runTelemetry(res *nfactor.Result, n, explainN int) error {
+	rp, err := res.Replayer(nfactor.BackendCompiled)
+	if err != nil {
+		return err
+	}
+	ex, canExplain := rp.(nfactor.Explainer)
+	trace := nfactor.RandomTrace(n, 1)
+	for i := range trace {
+		if i < explainN && canExplain {
+			_, tr, err := ex.ProcessExplain(&trace[i])
+			if err != nil {
+				return fmt.Errorf("packet %d: %w", i+1, err)
+			}
+			fmt.Printf("--- packet %d ---\n%s", i+1, tr)
+			continue
+		}
+		if _, err := rp.Process(&trace[i]); err != nil {
+			return fmt.Errorf("packet %d: %w", i+1, err)
+		}
+	}
+	snap := rp.Snapshot()
+	fmt.Printf("=== telemetry (%d random packets) ===\n", n)
+	fmt.Print(snap.Report())
+	fmt.Println("=== model with hit counters ===")
+	fmt.Print(res.RenderModelWithCounters(snap))
+	dead, err := res.DeadEntries(snap, 2)
+	if err != nil {
+		return err
+	}
+	for _, d := range dead {
+		if d.Reachable {
+			fmt.Printf("entry %d never hit: reachable (witness %v) — workload coverage gap\n", d.Entry, d.Witness)
+		} else {
+			fmt.Printf("entry %d never hit: unreachable within 2 packets — likely dead table mass\n", d.Entry)
+		}
+	}
+	return nil
 }
 
 func parseConfig(s string) map[string]nfactor.Value {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|dataplane|all]
+//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|dataplane|telemetry|all]
 //	        [-nfs lb,balance,...] [-maxpaths 1024] [-trials 1000]
 //	        [-workers N] [-stats] [-out bench.json]
 //
@@ -12,6 +12,11 @@
 // fuzzing first); -out additionally records the rows as JSON (the
 // checked-in BENCH_dataplane.json is produced this way, via
 // `make bench-dataplane`).
+//
+// -exp telemetry measures the per-packet cost of the always-on
+// telemetry sink on the compiled engine (sink attached vs detached on
+// the same warmed trace); `make bench-telemetry` records the rows as
+// BENCH_telemetry.json.
 //
 // NF rows run concurrently under -workers (default GOMAXPROCS); results
 // are identical at every worker count, but use -workers=1 when the
@@ -33,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | all")
+	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | telemetry | all")
 	nfsFlag := flag.String("nfs", "", "comma-separated NF subset (default: whole corpus)")
 	maxPaths := flag.Int("maxpaths", 1024, "path budget for original-program symbolic execution (the paper's snort run exceeded it)")
 	trials := flag.Int("trials", 1000, "random packets per NF in the accuracy experiment")
@@ -97,6 +102,15 @@ func main() {
 			fmt.Println("wrote", *out)
 		}
 	}
+	if run("telemetry") {
+		rows, err := experiments.Telemetry(names, *trials, *seed, opts)
+		check(err)
+		fmt.Println(experiments.FormatTelemetry(rows))
+		if *out != "" && *exp == "telemetry" {
+			check(writeTelemetryJSON(*out, rows))
+			fmt.Println("wrote", *out)
+		}
+	}
 	if *stats {
 		fmt.Println("=== perf (aggregated across rows) ===")
 		fmt.Print(opts.Perf.Report())
@@ -127,6 +141,33 @@ func writeDataplaneJSON(path string, rows []experiments.DataplaneRow) error {
 			"fuzz pass over that trace confirmed identical outputs and end state. " +
 			"Engine numbers are steady-state and allocation-free (see TestZeroAllocSteadyState). " +
 			"Regenerate with `make bench-dataplane`.",
+		Machine: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTelemetryJSON records the telemetry-overhead rows plus machine
+// context, mirroring writeDataplaneJSON.
+func writeTelemetryJSON(path string, rows []experiments.TelemetryRow) error {
+	doc := struct {
+		Description string                     `json:"description"`
+		Machine     map[string]any             `json:"machine"`
+		Rows        []experiments.TelemetryRow `json:"rows"`
+	}{
+		Description: "Per-packet cost of the always-on telemetry sink on the compiled engine: " +
+			"amortized ns/packet over the same warmed trace with the sink attached (default " +
+			"1-in-16 latency sampling) vs detached. The packet path stays allocation-free with " +
+			"telemetry on (see TestTelemetryZeroAlloc). Regenerate with `make bench-telemetry`.",
 		Machine: map[string]any{
 			"goos":       runtime.GOOS,
 			"goarch":     runtime.GOARCH,

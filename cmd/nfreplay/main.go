@@ -1,13 +1,23 @@
 // Command nfreplay replays a packet trace through an NF — the original
-// program, its synthesized model, the compiled data-plane engine, or
-// two of them side by side (-side diff, the §5 differential methodology
-// on operator-supplied traffic).
+// program, its synthesized model, the compiled data-plane engine, the
+// sharded engine, or reference-vs-candidate side by side (-side diff,
+// the §5 differential methodology on operator-supplied traffic).
 //
 // Usage:
 //
-//	nfreplay -corpus lb -trace flows.txt [-side program|model|diff]
+//	nfreplay -corpus lb -trace flows.txt [-side program|model|compiled|sharded|diff]
+//	         [-explain] [-telemetry] [-prom metrics.prom]
 //	         [-fast] [-bench] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
+// -explain prints the provenance trace of every packet: which guards
+// were evaluated with what outcome, which entry fired, what was sent
+// and how the state changed.
+// -telemetry prints the always-on counters after the replay — verdict
+// and per-entry hit counts, latency quantiles, state sizes — plus the
+// model annotated with hit counters and a dead-entry report that
+// cross-checks never-hit entries against symbolic reachability.
+// -prom FILE additionally writes the snapshot in Prometheus text
+// exposition format.
 // -fast replays the model side through the compiled engine instead of
 // the reference interpreter (identical verdicts, much faster).
 // -bench times the trace through BOTH the reference interpreter and the
@@ -33,7 +43,10 @@ func main() {
 	corpus := flag.String("corpus", "", "corpus NF to replay against")
 	file := flag.String("file", "", "NFLang source file to replay against")
 	traceFile := flag.String("trace", "", "trace file (- for stdin)")
-	side := flag.String("side", "diff", "program | model | diff")
+	side := flag.String("side", "diff", "program | model | compiled | sharded | diff")
+	explain := flag.Bool("explain", false, "print each packet's provenance trace (guards, entry, state changes)")
+	telemetry := flag.Bool("telemetry", false, "print counters, latency quantiles, the hit-annotated model and dead entries after the replay")
+	promFile := flag.String("prom", "", "write the telemetry snapshot in Prometheus text format to this file")
 	fast := flag.Bool("fast", false, "replay the model through the compiled data-plane engine")
 	bench := flag.Bool("bench", false, "time the trace through the reference interpreter and the compiled engine")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
@@ -41,15 +54,17 @@ func main() {
 	flag.Parse()
 
 	if (*corpus == "") == (*file == "") || *traceFile == "" {
-		fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl) -trace file [-side program|model|diff] [-fast] [-bench]")
+		fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl) -trace file [-side program|model|compiled|sharded|diff] [-explain] [-telemetry] [-prom file] [-fast] [-bench]")
 		os.Exit(2)
 	}
 
 	var res *nfactor.Result
 	var err error
+	name := *corpus
 	if *corpus != "" {
 		res, err = nfactor.AnalyzeCorpus(*corpus, nfactor.Options{})
 	} else {
+		name = *file
 		data, rerr := os.ReadFile(*file)
 		if rerr != nil {
 			fatal(rerr)
@@ -94,7 +109,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		if err := runReplay(res, trace, *side, *fast); err != nil {
+		if err := runReplay(res, name, trace, *side, *fast, *explain, *telemetry, *promFile); err != nil {
 			fatal(err)
 		}
 	}
@@ -112,41 +127,100 @@ func main() {
 	}
 }
 
-func runReplay(res *nfactor.Result, trace []nfactor.Packet, side string, fast bool) error {
-	switch side {
-	case "diff":
-		mism, first, err := res.DiffTestTrace(trace)
+func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side string, fast, explain, telemetry bool, promFile string) error {
+	if side == "diff" {
+		candidate := nfactor.BackendModel
+		if fast {
+			candidate = nfactor.BackendCompiled
+		}
+		rep, err := res.DiffTest(nfactor.DiffOptions{Trace: trace, Backend: candidate})
 		if err != nil {
 			return err
 		}
-		if mism == 0 {
-			fmt.Printf("OK: program and model agreed on all %d packets\n", len(trace))
-			return nil
-		}
-		fmt.Printf("DIVERGED on %d of %d packets; first: %s\n", mism, len(trace), first)
-		os.Exit(1)
-		return nil
-	case "program", "model":
-		var verdicts []nfactor.Verdict
-		var err error
-		switch {
-		case side == "program":
-			verdicts, err = res.ReplayProgram(trace)
-		case fast:
-			verdicts, err = res.ReplayCompiled(trace)
-		default:
-			verdicts, err = res.ReplayModel(trace)
-		}
-		if err != nil {
-			return err
-		}
-		for i, v := range verdicts {
-			fmt.Printf("%4d  %-55s %s\n", i+1, trace[i], v)
+		fmt.Print(rep.Render())
+		if !rep.Matches() {
+			os.Exit(1)
 		}
 		return nil
+	}
+
+	var backend nfactor.Backend
+	switch {
+	case side == "program":
+		backend = nfactor.BackendProgram
+	case side == "model" && !fast:
+		backend = nfactor.BackendModel
+	case side == "model" || side == "compiled":
+		backend = nfactor.BackendCompiled
+	case side == "sharded":
+		backend = nfactor.BackendSharded
 	default:
 		return fmt.Errorf("unknown -side %q", side)
 	}
+
+	rp, err := res.Replayer(backend)
+	if err != nil {
+		return err
+	}
+
+	if explain {
+		ex, ok := rp.(nfactor.Explainer)
+		if !ok {
+			return fmt.Errorf("-explain is not available for -side %s (no model table to explain against)", side)
+		}
+		for i := range trace {
+			_, tr, err := ex.ProcessExplain(&trace[i])
+			if err != nil {
+				return fmt.Errorf("packet %d: %w", i+1, err)
+			}
+			fmt.Printf("--- packet %d ---\n%s", i+1, tr)
+		}
+	} else {
+		for i := range trace {
+			v, err := rp.Process(&trace[i])
+			if err != nil {
+				return fmt.Errorf("packet %d: %w", i+1, err)
+			}
+			fmt.Printf("%4d  %-55s %s\n", i+1, trace[i], v)
+		}
+	}
+
+	if telemetry || promFile != "" {
+		snap := rp.Snapshot()
+		if telemetry {
+			fmt.Println("=== telemetry ===")
+			fmt.Print(snap.Report())
+			if backend != nfactor.BackendProgram {
+				fmt.Println("=== model with hit counters ===")
+				fmt.Print(res.RenderModelWithCounters(snap))
+				dead, err := res.DeadEntries(snap, 2)
+				if err != nil {
+					return err
+				}
+				if len(dead) > 0 {
+					fmt.Println("=== entries never hit by this trace ===")
+					for _, d := range dead {
+						if d.Reachable {
+							fmt.Printf("entry %d: reachable (witness %v) — workload coverage gap\n", d.Entry, d.Witness)
+						} else {
+							fmt.Printf("entry %d: unreachable within 2 packets — likely dead table mass\n", d.Entry)
+						}
+					}
+				}
+			}
+		}
+		if promFile != "" {
+			f, err := os.Create(promFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := snap.WritePrometheus(f, name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // runBench cross-validates the engine against the reference on the
@@ -155,12 +229,12 @@ func runReplay(res *nfactor.Result, trace []nfactor.Packet, side string, fast bo
 func runBench(res *nfactor.Result, trace []nfactor.Packet) error {
 	const minDur = 300 * time.Millisecond
 
-	mism, first, err := res.DiffTestCompiled(trace)
+	rep, err := res.DiffTest(nfactor.DiffOptions{Trace: trace, Backend: nfactor.BackendCompiled})
 	if err != nil {
 		return err
 	}
-	if mism != 0 {
-		return fmt.Errorf("engine diverged from the model on %d packets; first: %s", mism, first)
+	if !rep.Matches() {
+		return fmt.Errorf("engine diverged from the model on %d packets; first: %s", rep.Mismatches, rep.FirstDiff)
 	}
 
 	inst, err := res.Instance()

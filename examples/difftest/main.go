@@ -29,13 +29,13 @@ func main() {
 		}
 
 		// Accuracy part 2: 1000 random packets through program and model.
-		mismatches, firstDiff, err := res.DiffTest(trials, 2026)
+		rep, err := res.DiffTest(nfactor.DiffOptions{N: trials, Seed: 2026})
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		verdict := fmt.Sprintf("%d/%d outputs identical", trials-mismatches, trials)
-		if mismatches > 0 {
-			verdict += " — first divergence: " + firstDiff
+		verdict := fmt.Sprintf("%d/%d outputs identical", rep.Trials-rep.Mismatches, rep.Trials)
+		if rep.First != nil {
+			verdict += " — first divergence: " + rep.FirstDiff
 		}
 		fmt.Printf("%-10s %-18s %s\n", name, equiv, verdict)
 	}

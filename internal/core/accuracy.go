@@ -14,6 +14,7 @@ import (
 	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/symexec"
+	"nfactor/internal/telemetry"
 	"nfactor/internal/value"
 )
 
@@ -181,10 +182,80 @@ type DiffResult struct {
 	Trials     int
 	Mismatches int
 	FirstDiff  string
+	// First details the first divergence with provenance traces; nil
+	// when every trial matched.
+	First *Divergence
+}
+
+// Divergence is the structured first-divergence report: which packet
+// disagreed, how, and — via explain-mode replays of fresh replicas up
+// to that packet — the guard-level provenance of each side's verdict.
+type Divergence struct {
+	// Packet is the trace index of the diverging packet; -1 when the
+	// divergence is in the end state rather than any packet's output.
+	Packet int
+	Pkt    netpkt.Packet
+	// Detail describes what differed (verdict, sends, fired entry, or
+	// end state).
+	Detail string
+	// Reference and Candidate are the two sides' explain traces for the
+	// diverging packet. Program-vs-model diffs carry only Candidate
+	// (the model side; the original program has no table to trace);
+	// instance-vs-engine diffs carry both.
+	Reference *telemetry.PacketTrace
+	Candidate *telemetry.PacketTrace
+	// GuardDiff pinpoints the first guard whose outcome differs between
+	// the two traces; empty when both sides matched the same way and
+	// the divergence is in actions or state.
+	GuardDiff string
 }
 
 // Matches reports whether all trials agreed.
 func (r *DiffResult) Matches() bool { return r.Mismatches == 0 }
+
+// Render formats the result for humans: the mismatch tally, and for the
+// first divergence the guard that disagreed plus each side's why-trace.
+func (r *DiffResult) Render() string {
+	if r.Matches() {
+		return fmt.Sprintf("%d trials, all matched\n", r.Trials)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d trials mismatched\nfirst divergence: %s\n", r.Mismatches, r.Trials, r.FirstDiff)
+	if r.First == nil {
+		return sb.String()
+	}
+	if r.First.GuardDiff != "" {
+		fmt.Fprintf(&sb, "guard disagreement: %s\n", r.First.GuardDiff)
+	}
+	if r.First.Reference != nil {
+		sb.WriteString(r.First.Reference.String())
+	}
+	if r.First.Candidate != nil {
+		sb.WriteString(r.First.Candidate.String())
+	}
+	return sb.String()
+}
+
+// explainModelAt replays a fresh model instance over trace[:i] and
+// returns the explain trace of trace[i] — the divergence-report
+// reconstruction. Best-effort: nil when the replica cannot be built.
+func (an *Analysis) explainModelAt(trace []netpkt.Packet, i int, opts Options) *telemetry.PacketTrace {
+	config, state, err := an.ConfigAndState(opts.ConfigOverride)
+	if err != nil {
+		return nil
+	}
+	inst, err := model.NewInstance(an.Model, config, state)
+	if err != nil {
+		return nil
+	}
+	for j := 0; j < i; j++ {
+		if _, err := inst.Process(trace[j].ToValue()); err != nil {
+			break // the replica diverged from the recorded run; trace from here anyway
+		}
+	}
+	_, tr, _ := inst.ProcessExplain(trace[i].ToValue())
+	return tr
+}
 
 // DiffTest runs trace through the original program and the model side by
 // side (each keeping its own evolving state) and compares every
@@ -233,26 +304,33 @@ func (an *Analysis) DiffTest(trace []netpkt.Packet, opts Options) (*DiffResult, 
 	wg.Wait()
 
 	res := &DiffResult{}
-	for i, p := range trace {
+	record := func(i int, diff string) {
+		res.Mismatches++
+		if res.First != nil {
+			return
+		}
+		res.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, trace[i], diff)
+		res.First = &Divergence{
+			Packet:    i,
+			Pkt:       trace[i],
+			Detail:    diff,
+			Candidate: an.explainModelAt(trace, i, opts),
+		}
+	}
+	for i := range trace {
 		res.Trials++
 		trials.Inc()
 		oOut, oErr := oOuts[i], oErrs[i]
 		mOut, mErr := mOuts[i], mErrs[i]
 		if (oErr != nil) != (mErr != nil) {
-			res.Mismatches++
-			if res.FirstDiff == "" {
-				res.FirstDiff = fmt.Sprintf("packet %d (%s): error mismatch: orig=%v model=%v", i, p, oErr, mErr)
-			}
+			record(i, fmt.Sprintf("error mismatch: orig=%v model=%v", oErr, mErr))
 			continue
 		}
 		if oErr != nil {
 			continue // both errored: the packet hits undefined behaviour on both sides
 		}
 		if diff := compareOutputs(oOut, mOut); diff != "" {
-			res.Mismatches++
-			if res.FirstDiff == "" {
-				res.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, p, diff)
-			}
+			record(i, diff)
 		}
 	}
 	return res, nil

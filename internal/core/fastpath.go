@@ -8,6 +8,7 @@ import (
 	"nfactor/internal/model"
 	"nfactor/internal/netpkt"
 	"nfactor/internal/perf"
+	"nfactor/internal/telemetry"
 	"nfactor/internal/value"
 )
 
@@ -88,9 +89,24 @@ func (an *Analysis) DiffTestCompiled(trace []netpkt.Packet, opts Options) (*Diff
 	res := &DiffResult{}
 	record := func(i int, p netpkt.Packet, diff string) {
 		res.Mismatches++
-		if res.FirstDiff == "" {
-			res.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, p, diff)
+		if res.First != nil {
+			return
 		}
+		res.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, p, diff)
+		// Reconstruct both sides' guard trails at the diverging packet
+		// by replaying fresh replicas, then pinpoint the first guard
+		// whose outcome differs.
+		d := &Divergence{
+			Packet:    i,
+			Pkt:       p,
+			Detail:    diff,
+			Reference: an.explainModelAt(trace, i, opts),
+			Candidate: an.explainEngineAt(trace, i, opts),
+		}
+		if d.Reference != nil && d.Candidate != nil {
+			d.GuardDiff = telemetry.DiffGuards(d.Reference, d.Candidate)
+		}
+		res.First = d
 	}
 	for i := range trace {
 		res.Trials++
@@ -112,10 +128,32 @@ func (an *Analysis) DiffTestCompiled(trace []netpkt.Packet, opts Options) (*Diff
 		res.Mismatches++
 		if res.FirstDiff == "" {
 			res.FirstDiff = "end state: " + diff
+			res.First = &Divergence{Packet: -1, Detail: diff}
 		}
 	}
 	eng.Flush()
 	return res, nil
+}
+
+// explainEngineAt replays a fresh compiled engine over trace[:i] and
+// returns the explain trace of trace[i]. Best-effort: nil when the
+// replica cannot be built.
+func (an *Analysis) explainEngineAt(trace []netpkt.Packet, i int, opts Options) *telemetry.PacketTrace {
+	config, state, err := an.ConfigAndState(opts.ConfigOverride)
+	if err != nil {
+		return nil
+	}
+	eng, err := dataplane.Compile(an.Model, config, state)
+	if err != nil {
+		return nil
+	}
+	for j := 0; j < i; j++ {
+		if _, err := eng.Process(&trace[j]); err != nil {
+			break
+		}
+	}
+	_, tr, _ := eng.ProcessExplain(&trace[i])
+	return tr
 }
 
 // compareEngineOutput checks one reference output against one engine

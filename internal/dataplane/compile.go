@@ -837,6 +837,10 @@ type mapUpdate struct {
 type centry struct {
 	idx   int // original entry index (reported like ProcessTraced)
 	preds []cpred
+	// gtext holds the source term text of each predicate (gtext[j] is
+	// preds[j]'s), kept for explain-mode guard trails; the hot path
+	// never touches it.
+	gtext []string
 	sends []csend
 	supd  []slotUpdate
 	mupd  []mapUpdate
@@ -863,6 +867,7 @@ func (cp *compiler) compileEntry(e *model.Entry, idx int) (ce *centry, pruned bo
 			// Wrong-kind constant guard: errors on every evaluation.
 			ee, _ := cp.truthyExpr(ex)
 			ce.preds = append(ce.preds, cpred{ex: ee})
+			ce.gtext = append(ce.gtext, g.String())
 			continue
 		}
 		p := cpred{ex: ex}
@@ -875,6 +880,7 @@ func (cp *compiler) compileEntry(e *model.Entry, idx int) (ce *centry, pruned bo
 			}
 		}
 		ce.preds = append(ce.preds, p)
+		ce.gtext = append(ce.gtext, g.String())
 	}
 	for _, a := range e.Sends {
 		s := csend{}

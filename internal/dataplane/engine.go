@@ -6,6 +6,7 @@ import (
 	"nfactor/internal/model"
 	"nfactor/internal/netpkt"
 	"nfactor/internal/perf"
+	"nfactor/internal/telemetry"
 	"nfactor/internal/value"
 )
 
@@ -64,6 +65,7 @@ type Engine struct {
 
 	stats Stats
 	perf  *perf.Set
+	tel   *telemetry.Sink
 }
 
 // Compile lowers a model and its concrete configuration/initial state
@@ -140,6 +142,9 @@ func Compile(m *model.Model, config, initState map[string]value.Value) (*Engine,
 	copy(e.ctx.tups, cp.constTups)
 	e.ctx.nconst = len(cp.constTups)
 	e.ctx.luts = make([]lut, len(cp.lutIdx))
+	// Telemetry counters are indexed by *original* model entry (pruned
+	// entries just never count), matching ProcessTraced coordinates.
+	e.tel = telemetry.NewSink(len(m.Entries))
 	e.Reset()
 	return e, nil
 }
@@ -149,7 +154,31 @@ func Compile(m *model.Model, config, initState map[string]value.Value) (*Engine,
 // atomics off the per-packet path).
 func (e *Engine) SetPerf(p *perf.Set) { e.perf = p }
 
-// Reset restores the initial state (and zeroes the traffic counters).
+// Sink returns the engine's telemetry sink (e.g. to change the latency
+// sampling period). Single-writer: see the telemetry package rules.
+func (e *Engine) Sink() *telemetry.Sink { return e.tel }
+
+// SetSink replaces the telemetry sink. A nil sink disables telemetry
+// entirely (every accounting call becomes a no-op) — meant only for
+// measuring the counters' own overhead; production engines keep the
+// always-on default.
+func (e *Engine) SetSink(s *telemetry.Sink) { e.tel = s }
+
+// Telemetry snapshots the engine's counters, gauging every state
+// variable's current size (map entry counts; scalars gauge as 1).
+func (e *Engine) Telemetry() telemetry.Snapshot {
+	sizes := make(map[string]int, len(e.slotNames)+len(e.mapNames))
+	for _, name := range e.slotNames {
+		sizes[name] = 1
+	}
+	for i, name := range e.mapNames {
+		sizes[name] = len(e.maps[i])
+	}
+	return e.tel.Snapshot("compiled", sizes)
+}
+
+// Reset restores the initial state (and zeroes the traffic counters and
+// telemetry).
 func (e *Engine) Reset() {
 	e.slots = append(e.slots[:0], e.initSlots...)
 	e.maps = e.maps[:0]
@@ -159,6 +188,7 @@ func (e *Engine) Reset() {
 	e.ctx.slots = e.slots
 	e.ctx.maps = e.maps
 	e.stats = Stats{}
+	e.tel.Reset()
 }
 
 // Model returns the compiled model.
@@ -215,6 +245,13 @@ func (e *Engine) ProcessBatch(pkts []netpkt.Packet, outs []Output) error {
 }
 
 func (e *Engine) process(p *netpkt.Packet, out *Output) error {
+	t0 := e.tel.Start()
+	err := e.match(p, out)
+	e.tel.Count(t0, out.Entry, out.Dropped, err != nil)
+	return err
+}
+
+func (e *Engine) match(p *netpkt.Packet, out *Output) error {
 	e.stats.Packets++
 	c := &e.ctx
 	c.pkt = p
@@ -247,7 +284,99 @@ func (e *Engine) process(p *netpkt.Packet, out *Output) error {
 		if !matched {
 			continue
 		}
-		if err := e.fire(le.e, p, out); err != nil {
+		if err := e.fire(le.e, p, out, nil); err != nil {
+			e.stats.Errors++
+			return err
+		}
+		if out.Dropped {
+			e.stats.Drops++
+		}
+		return nil
+	}
+	out.Dropped = true
+	out.Entry = -1
+	e.stats.Drops++
+	return nil
+}
+
+// ProcessExplain is Process in provenance mode: it additionally records
+// every guard evaluated (with its outcome), the entry that fired, the
+// packets sent and the state transitions committed. It scans the
+// compiled entries linearly in priority order instead of through the
+// dispatch tree — semantically identical (the tree only discharges
+// predicates it has already decided) but with the full guard list
+// observable. Explain mode allocates freely; it is a debugging surface,
+// not a fast path. The returned Output is engine-owned like Process's.
+func (e *Engine) ProcessExplain(p *netpkt.Packet) (*Output, *telemetry.PacketTrace, error) {
+	tr := &telemetry.PacketTrace{Packet: p.String(), Backend: "compiled", Entry: -1}
+	t0 := e.tel.Start()
+	out := &e.out
+	err := e.explain(p, out, tr)
+	e.tel.Count(t0, out.Entry, out.Dropped, err != nil)
+	if err != nil {
+		tr.Err = err.Error()
+		return nil, tr, err
+	}
+	tr.Entry = out.Entry
+	tr.Dropped = out.Dropped
+	for i := range out.Sent {
+		s := out.Sent[i].Pkt.String()
+		if out.Sent[i].Iface != "" {
+			s += " via " + out.Sent[i].Iface
+		}
+		tr.Sent = append(tr.Sent, s)
+	}
+	return out, tr, nil
+}
+
+// explain is the linear-scan twin of match, recording the guard trail.
+// Compiled entries hold their full residual predicate lists (only the
+// tree's leaves hold discharged ones), so scanning e.entries in order
+// evaluates exactly the predicates the reference interpreter would —
+// minus the configuration guards folded away at compile time, which are
+// constant under the engine's pinned configuration.
+func (e *Engine) explain(p *netpkt.Packet, out *Output, tr *telemetry.PacketTrace) error {
+	e.stats.Packets++
+	c := &e.ctx
+	c.pkt = p
+	c.err = nil
+	c.tups = c.tups[:c.nconst]
+	for i := range c.luts {
+		c.luts[i].valid = false
+	}
+	out.Sent = out.Sent[:0]
+
+	for _, ce := range e.entries {
+		matched := true
+		for j := range ce.preds {
+			v := ce.preds[j].ex.eval(c)
+			if c.err != nil {
+				tr.Guards = append(tr.Guards, telemetry.GuardEval{
+					Entry: ce.idx, Guard: ce.gtext[j], Outcome: "error: " + c.err.Error()})
+				e.stats.Errors++
+				return fmt.Errorf("entry %d guard: %w", ce.idx, c.err)
+			}
+			if v.k != kBool {
+				tr.Guards = append(tr.Guards, telemetry.GuardEval{
+					Entry: ce.idx, Guard: ce.gtext[j], Outcome: "error: non-bool"})
+				e.stats.Errors++
+				return fmt.Errorf("entry %d guard: condition is %s, want bool", ce.idx, v.k)
+			}
+			outcome := "true"
+			if v.i == 0 {
+				outcome = "false"
+				matched = false
+			}
+			tr.Guards = append(tr.Guards, telemetry.GuardEval{
+				Entry: ce.idx, Guard: ce.gtext[j], Outcome: outcome})
+			if !matched {
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		if err := e.fire(ce, p, out, tr); err != nil {
 			e.stats.Errors++
 			return err
 		}
@@ -266,8 +395,9 @@ func (e *Engine) process(p *netpkt.Packet, out *Output) error {
 // update value evaluates against the PRE-state into output/scratch
 // buffers; only then do slot and map commits apply — exactly the
 // reference interpreter's evaluate-all-then-commit discipline, so an
-// error mid-entry leaves the state untouched.
-func (e *Engine) fire(ce *centry, p *netpkt.Packet, out *Output) error {
+// error mid-entry leaves the state untouched. tr, when non-nil (explain
+// mode only — it allocates), records the committed state transitions.
+func (e *Engine) fire(ce *centry, p *netpkt.Packet, out *Output, tr *telemetry.PacketTrace) error {
 	c := &e.ctx
 	for si := range ce.sends {
 		s := &ce.sends[si]
@@ -325,6 +455,11 @@ func (e *Engine) fire(ce *centry, p *netpkt.Packet, out *Output) error {
 	// Commit.
 	for i := range ce.supd {
 		e.slots[ce.supd[i].slot] = c.own(e.scratchSlots[i])
+		if tr != nil {
+			tr.Changes = append(tr.Changes, telemetry.StateChange{
+				Var: e.slotNames[ce.supd[i].slot], Op: "assign",
+				Val: e.slots[ce.supd[i].slot].toValue().String()})
+		}
 	}
 	si = 0
 	for mi := range ce.mupd {
@@ -333,8 +468,19 @@ func (e *Engine) fire(ce *centry, p *netpkt.Packet, out *Output) error {
 		for oi := range mu.ops {
 			if mu.ops[oi].del {
 				delete(m, e.scratchKeys[si])
+				if tr != nil {
+					tr.Changes = append(tr.Changes, telemetry.StateChange{
+						Var: e.mapNames[mu.mi], Op: "del",
+						Key: e.scratchKeys[si].toValue().String()})
+				}
 			} else {
 				m[e.scratchKeys[si]] = c.own(e.scratchVals[si])
+				if tr != nil {
+					tr.Changes = append(tr.Changes, telemetry.StateChange{
+						Var: e.mapNames[mu.mi], Op: "set",
+						Key: e.scratchKeys[si].toValue().String(),
+						Val: m[e.scratchKeys[si]].toValue().String()})
+				}
 			}
 			si++
 		}

@@ -10,6 +10,7 @@ import (
 	"nfactor/internal/netpkt"
 	"nfactor/internal/perf"
 	"nfactor/internal/solver"
+	"nfactor/internal/telemetry"
 	"nfactor/internal/value"
 )
 
@@ -350,6 +351,30 @@ func (s *Sharded) State() map[string]value.Value {
 		}
 	}
 	return out
+}
+
+// ProcessExplain routes one packet to its owning shard in provenance
+// mode (see Engine.ProcessExplain).
+func (s *Sharded) ProcessExplain(p *netpkt.Packet) (*Output, *telemetry.PacketTrace, error) {
+	out, tr, err := s.engines[s.shard(p)].ProcessExplain(p)
+	if tr != nil {
+		tr.Backend = "sharded"
+	}
+	return out, tr, err
+}
+
+// Telemetry merges the per-shard telemetry sinks on read: verdict and
+// entry counters sum, latency histograms add, and state sizes union
+// (shard key spaces are disjoint, so per-map sums equal the global map
+// size). Each shard's sink is written lock-free by its own goroutine;
+// like State(), call this between batches, not mid-flight.
+func (s *Sharded) Telemetry() telemetry.Snapshot {
+	snap := s.engines[0].Telemetry()
+	for _, e := range s.engines[1:] {
+		snap = snap.Merge(e.Telemetry())
+	}
+	snap.Backend = "sharded"
+	return snap
 }
 
 // Stats sums the shard counters.

@@ -1,0 +1,233 @@
+package dataplane_test
+
+import (
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/lang"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/workload"
+)
+
+// replayAll pushes a trace through an engine-like Process function,
+// tolerating per-packet errors (they are themselves counted).
+func replayAll(t *testing.T, trace []netpkt.Packet, process func(*netpkt.Packet) error) {
+	t.Helper()
+	for i := range trace {
+		if err := process(&trace[i]); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+}
+
+// TestTelemetryCountSanity pins the counter algebra on every corpus NF:
+// every packet lands in exactly one verdict bucket, and every
+// non-errored packet is attributed to exactly one table entry or to the
+// implicit default drop.
+func TestTelemetryCountSanity(t *testing.T) {
+	for _, name := range nfs.Names() {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			eng, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := fuzzTrace(name, 3)
+			replayAll(t, trace, func(p *netpkt.Packet) error {
+				_, err := eng.Process(p)
+				return err
+			})
+			snap := eng.Telemetry()
+			if snap.Packets != int64(len(trace)) {
+				t.Fatalf("packets = %d, want %d", snap.Packets, len(trace))
+			}
+			if snap.Packets != snap.Forwards+snap.Drops+snap.Errors {
+				t.Fatalf("verdicts don't partition packets: %d != %d+%d+%d",
+					snap.Packets, snap.Forwards, snap.Drops, snap.Errors)
+			}
+			var hits int64
+			for _, h := range snap.EntryHits {
+				hits += h
+			}
+			if hits+snap.DefaultDrops != snap.Forwards+snap.Drops {
+				t.Fatalf("entry attribution broken: hits %d + default %d != forwards %d + drops %d",
+					hits, snap.DefaultDrops, snap.Forwards, snap.Drops)
+			}
+			if snap.DefaultDrops > snap.Drops {
+				t.Fatalf("default drops %d exceed drops %d", snap.DefaultDrops, snap.Drops)
+			}
+		})
+	}
+}
+
+// TestTelemetryShardInvariance demands bitwise-equal counters from the
+// single engine and the sharded engine at every shard count: telemetry
+// must describe the traffic, not the execution strategy.
+func TestTelemetryShardInvariance(t *testing.T) {
+	for _, name := range []string{"firewall", "ratelimit"} {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			g := workload.New(23)
+			trace := append(g.FlowTrace(16, 12), g.RandomTrace(500)...)
+
+			single, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs := make([]dataplane.Output, len(trace))
+			if err := single.ProcessBatch(trace, outs); err != nil {
+				t.Fatal(err)
+			}
+			want := single.Telemetry()
+
+			for _, shards := range []int{1, 2, 4, 8} {
+				sh, err := an.ShardedEngine(shards, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sh.ProcessBatch(trace, outs); err != nil {
+					t.Fatal(err)
+				}
+				got := sh.Telemetry()
+				if !got.CountersEqual(want) {
+					t.Fatalf("%d shards: counters diverge\nsingle:\n%ssharded:\n%s",
+						shards, want.Report(), got.Report())
+				}
+				if got.Shards != shards {
+					t.Fatalf("snapshot reports %d shards, want %d", got.Shards, shards)
+				}
+			}
+		})
+	}
+}
+
+// TestTelemetryWorkerInvariance re-analyzes the same NF under different
+// symbolic-execution worker counts and replays the same trace: the
+// synthesized table — and therefore every per-entry counter — must be
+// identical.
+func TestTelemetryWorkerInvariance(t *testing.T) {
+	nf, err := nfs.Load("firewall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := fuzzTrace("firewall", 5)
+	want := replayCompiled(t, analyzeWorkers(t, nf.Prog, 1), trace)
+	for _, workers := range []int{2, 4} {
+		got := replayCompiled(t, analyzeWorkers(t, nf.Prog, workers), trace)
+		if !got.CountersEqual(want) {
+			t.Fatalf("workers=%d: counters diverge from workers=1\nw1:\n%swN:\n%s",
+				workers, want.Report(), got.Report())
+		}
+	}
+}
+
+func analyzeWorkers(t *testing.T, prog *lang.Program, workers int) *core.Analysis {
+	t.Helper()
+	an, err := core.Analyze("firewall", prog, core.Options{MaxPaths: 4096, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func replayCompiled(t *testing.T, an *core.Analysis, trace []netpkt.Packet) telemetry.Snapshot {
+	t.Helper()
+	eng, err := an.CompiledEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]dataplane.Output, len(trace))
+	if err := eng.ProcessBatch(trace, outs); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Telemetry()
+}
+
+// TestExplainMatchesProcess runs the provenance path (linear scan with
+// guard recording) against the production path (decision-tree dispatch)
+// on every corpus NF: identical verdicts, fired entries and sent
+// packets, and every trace carries the guard evaluations that justify
+// its verdict.
+func TestExplainMatchesProcess(t *testing.T) {
+	for _, name := range nfs.Names() {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			fast, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := fuzzTrace(name, 8)
+			for i := range trace {
+				fOut, fErr := fast.Process(&trace[i])
+				sOut, tr, sErr := slow.ProcessExplain(&trace[i])
+				if (fErr != nil) != (sErr != nil) {
+					t.Fatalf("packet %d: error mismatch: process=%v explain=%v", i, fErr, sErr)
+				}
+				if fErr != nil {
+					continue
+				}
+				if fOut.Dropped != sOut.Dropped || fOut.Entry != sOut.Entry || len(fOut.Sent) != len(sOut.Sent) {
+					t.Fatalf("packet %d: explain diverged: process(entry=%d drop=%v sent=%d) explain(entry=%d drop=%v sent=%d)",
+						i, fOut.Entry, fOut.Dropped, len(fOut.Sent), sOut.Entry, sOut.Dropped, len(sOut.Sent))
+				}
+				if tr == nil {
+					t.Fatalf("packet %d: no trace", i)
+				}
+				if tr.Entry != sOut.Entry || tr.Dropped != sOut.Dropped {
+					t.Fatalf("packet %d: trace disagrees with output: trace(entry=%d drop=%v) out(entry=%d drop=%v)",
+						i, tr.Entry, tr.Dropped, sOut.Entry, sOut.Dropped)
+				}
+				if sOut.Entry >= 0 && len(tr.FiredGuards()) == 0 && len(tr.Guards) > 0 {
+					t.Fatalf("packet %d: entry %d fired but no guards attributed to it", i, sOut.Entry)
+				}
+			}
+			// The explain path must feed the same counters.
+			if !fast.Telemetry().CountersEqual(slow.Telemetry()) {
+				t.Fatalf("explain path counters diverge:\nprocess:\n%sexplain:\n%s",
+					fast.Telemetry().Report(), slow.Telemetry().Report())
+			}
+		})
+	}
+}
+
+// TestTelemetryZeroAlloc tightens TestZeroAllocSteadyState: even with
+// the latency sampler firing on EVERY packet (sample period 1 instead
+// of the default 16), the packet path performs zero heap allocations.
+func TestTelemetryZeroAlloc(t *testing.T) {
+	for _, name := range []string{"lb", "firewall"} {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			eng, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Sink().SetSampleEvery(1)
+			trace := steadyTrace(name)
+			for i := range trace {
+				if _, err := eng.Process(&trace[i]); err != nil {
+					t.Fatalf("warmup packet %d: %v", i, err)
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(500, func() {
+				if _, err := eng.Process(&trace[i%len(trace)]); err != nil {
+					t.Fatalf("packet %d: %v", i, err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: %.1f allocs per packet with telemetry sampling every packet, want 0", name, allocs)
+			}
+			if snap := eng.Telemetry(); snap.Latency.Samples == 0 {
+				t.Fatalf("%s: sampler never fired", name)
+			}
+		})
+	}
+}

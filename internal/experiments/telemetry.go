@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/nfs"
+	"nfactor/internal/telemetry"
+)
+
+// TelemetryRow is one NF's telemetry-overhead measurement: the compiled
+// engine on the same warmed trace with the always-on telemetry sink
+// attached (the shipping configuration) and with it detached (the only
+// configuration in which the counters are off). The overhead column is
+// the price of observability; the acceptance bar is <=10%.
+type TelemetryRow struct {
+	NF          string
+	TracePkts   int
+	BaseNsPkt   float64 // sink detached
+	TelNsPkt    float64 // sink attached, default 1-in-16 latency sampling
+	OverheadPct float64
+}
+
+// Telemetry measures the per-packet cost of the telemetry sink on the
+// compiled engine for each NF. Rows run sequentially so the timings are
+// faithful.
+func Telemetry(names []string, npkts int, seed int64, opts Opts) ([]TelemetryRow, error) {
+	const minDur = 300 * time.Millisecond
+	rows := make([]TelemetryRow, 0, len(names))
+	for _, name := range names {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.Analyze(name, nf.Prog, core.Options{
+			Workers: opts.Workers,
+			Cache:   opts.Cache,
+			Perf:    opts.Perf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trace := dataplaneTrace(name, npkts, seed)
+		eng, err := an.CompiledEngine(core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		outs := make([]dataplane.Output, len(trace))
+
+		// Warm: flow state populated, steady allocation.
+		if err := eng.ProcessBatch(trace, outs); err != nil {
+			return nil, fmt.Errorf("%s engine: %w", name, err)
+		}
+
+		replay := func() error { return eng.ProcessBatch(trace, outs) }
+
+		// Telemetry on — the default, as Compile ships it.
+		telNs, err := timeLoop(replay, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s telemetry on: %w", name, err)
+		}
+		// Telemetry off — detach the sink (bench-only configuration).
+		eng.SetSink(nil)
+		baseNs, err := timeLoop(replay, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s telemetry off: %w", name, err)
+		}
+		eng.SetSink(telemetry.NewSink(len(an.Model.Entries)))
+
+		rows = append(rows, TelemetryRow{
+			NF:          name,
+			TracePkts:   len(trace),
+			BaseNsPkt:   baseNs,
+			TelNsPkt:    telNs,
+			OverheadPct: 100 * (telNs - baseNs) / baseNs,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTelemetry renders the rows as a table.
+func FormatTelemetry(rows []TelemetryRow) string {
+	var sb strings.Builder
+	sb.WriteString("Telemetry overhead on the compiled engine (same warmed trace, sink on vs off)\n")
+	sb.WriteString(fmt.Sprintf("%-10s %7s | %11s %11s | %9s\n",
+		"NF", "pkts", "off ns/pkt", "on ns/pkt", "overhead"))
+	sb.WriteString(strings.Repeat("-", 58) + "\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %7d | %11.1f %11.1f | %8.1f%%\n",
+			r.NF, r.TracePkts, r.BaseNsPkt, r.TelNsPkt, r.OverheadPct))
+	}
+	return sb.String()
+}

@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"nfactor/internal/interp"
+	"nfactor/internal/netpkt"
 	"nfactor/internal/solver"
+	"nfactor/internal/telemetry"
 	"nfactor/internal/value"
 )
 
@@ -17,6 +19,7 @@ type Instance struct {
 	m      *Model
 	config map[string]value.Value
 	state  map[string]value.Value
+	tel    *telemetry.Sink
 }
 
 // NewInstance creates a model instance. config provides concrete values
@@ -42,11 +45,28 @@ func NewInstance(m *Model, config, initState map[string]value.Value) (*Instance,
 	for k, v := range config {
 		cf[k] = v.Clone()
 	}
-	return &Instance{m: m, config: cf, state: st}, nil
+	return &Instance{m: m, config: cf, state: st, tel: telemetry.NewSink(len(m.Entries))}, nil
 }
 
 // State returns the instance's current state variable values.
 func (ins *Instance) State() map[string]value.Value { return ins.state }
+
+// Sink returns the instance's telemetry sink.
+func (ins *Instance) Sink() *telemetry.Sink { return ins.tel }
+
+// Telemetry snapshots the instance's counters, gauging every state
+// variable's current size (map entry counts; scalars gauge as 1).
+func (ins *Instance) Telemetry() telemetry.Snapshot {
+	sizes := make(map[string]int, len(ins.state))
+	for name, v := range ins.state {
+		if v.Kind == value.KindMap {
+			sizes[name] = v.Map.Len()
+		} else {
+			sizes[name] = 1
+		}
+	}
+	return ins.tel.Snapshot("model", sizes)
+}
 
 // env resolves term variables for one packet: pkt.* from the packet
 // fields, name@0 from the current state, bare names from configuration.
@@ -81,14 +101,58 @@ func (ins *Instance) Process(pkt value.Value) (*interp.Output, error) {
 // that fired (-1 for the implicit default drop). Model-guided test
 // generation (internal/buzz) uses it to measure entry coverage.
 func (ins *Instance) ProcessTraced(pkt value.Value) (*interp.Output, int, error) {
+	return ins.process(pkt, nil)
+}
+
+// ProcessExplain is Process in provenance mode: the returned PacketTrace
+// records every guard evaluated with its outcome, the entry that fired,
+// the packets sent and the state transitions applied.
+func (ins *Instance) ProcessExplain(pkt value.Value) (*interp.Output, *telemetry.PacketTrace, error) {
+	tr := &telemetry.PacketTrace{Packet: pktString(pkt), Backend: "model", Entry: -1}
+	out, entry, err := ins.process(pkt, tr)
+	if err != nil {
+		tr.Err = err.Error()
+		return nil, tr, err
+	}
+	tr.Entry = entry
+	tr.Dropped = out.Dropped
+	for _, s := range out.Sent {
+		str := pktString(s.Pkt)
+		if s.Iface != "" {
+			str += " via " + s.Iface
+		}
+		tr.Sent = append(tr.Sent, str)
+	}
+	return out, tr, nil
+}
+
+// pktString renders a packet value through the wire lens when it
+// converts (matching the compiled engine's trace rendering), falling
+// back to the boxed form.
+func pktString(pkt value.Value) string {
+	if p, err := netpkt.FromValue(pkt); err == nil {
+		return p.String()
+	}
+	return pkt.String()
+}
+
+func (ins *Instance) process(pkt value.Value, tr *telemetry.PacketTrace) (*interp.Output, int, error) {
 	if pkt.Kind != value.KindPacket {
 		return nil, -1, fmt.Errorf("model: Process wants a packet, got %s", pkt.Kind)
 	}
+	t0 := ins.tel.Start()
+	out, entry, err := ins.match(pkt, tr)
+	dropped := err == nil && out.Dropped
+	ins.tel.Count(t0, entry, dropped, err != nil)
+	return out, entry, err
+}
+
+func (ins *Instance) match(pkt value.Value, tr *telemetry.PacketTrace) (*interp.Output, int, error) {
 	ev := env{ins: ins, pkt: pkt}
 	out := &interp.Output{}
 	for i := range ins.m.Entries {
 		e := &ins.m.Entries[i]
-		ok, err := ins.matches(e, ev)
+		ok, err := ins.matches(i, e, ev, tr)
 		if err != nil {
 			return nil, -1, fmt.Errorf("model: entry %d guard: %w", i, err)
 		}
@@ -126,6 +190,9 @@ func (ins *Instance) ProcessTraced(pkt value.Value) (*interp.Output, int, error)
 		}
 		for k, v := range newState {
 			ins.state[k] = v
+			if tr != nil {
+				tr.Changes = append(tr.Changes, stateChange(k, e, v))
+			}
 		}
 		out.Sent = sent
 		out.Dropped = len(sent) == 0
@@ -135,9 +202,35 @@ func (ins *Instance) ProcessTraced(pkt value.Value) (*interp.Output, int, error)
 	return out, -1, nil
 }
 
-func (ins *Instance) matches(e *Entry, ev env) (bool, error) {
+// stateChange renders one committed update for the explain trace.
+// Scalars show the concrete new value; maps show the update *term* (the
+// store/del chain) — the concrete map can hold thousands of entries
+// while the term shows exactly the keys this packet touched.
+func stateChange(name string, e *Entry, v value.Value) telemetry.StateChange {
+	if v.Kind != value.KindMap {
+		return telemetry.StateChange{Var: name, Op: "assign", Val: v.String()}
+	}
+	for _, u := range e.Updates {
+		if u.Name == name {
+			return telemetry.StateChange{Var: name, Op: "assign", Val: u.Val.String()}
+		}
+	}
+	return telemetry.StateChange{Var: name, Op: "assign", Val: fmt.Sprintf("map(%d entries)", v.Map.Len())}
+}
+
+func (ins *Instance) matches(idx int, e *Entry, ev env, tr *telemetry.PacketTrace) (bool, error) {
 	for _, c := range e.Guard() {
 		ok, err := solver.EvalBool(c, ev)
+		if tr != nil {
+			outcome := "true"
+			switch {
+			case err != nil:
+				outcome = "error: " + err.Error()
+			case !ok:
+				outcome = "false"
+			}
+			tr.Guards = append(tr.Guards, telemetry.GuardEval{Entry: idx, Guard: c.String(), Outcome: outcome})
+		}
 		if err != nil {
 			return false, err
 		}

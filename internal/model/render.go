@@ -5,17 +5,42 @@ import (
 	"strings"
 
 	"nfactor/internal/solver"
+	"nfactor/internal/telemetry"
 )
 
 // Render prints the model in the paper's Figure 6 layout: one section per
 // configuration condition, one row per entry with flow match, state
 // match, flow action and state action columns.
 func Render(m *Model) string {
+	return render(m, nil)
+}
+
+// RenderWithHits is Render annotated with live telemetry: each entry row
+// carries its hit counter from the snapshot (the OpenFlow per-entry
+// counters the match/action abstraction calls for), and the implicit
+// default drop shows its count. Zero-hit entries are flagged — the raw
+// material for dead-entry detection.
+func RenderWithHits(m *Model, snap telemetry.Snapshot) string {
+	return render(m, &snap)
+}
+
+func render(m *Model, snap *telemetry.Snapshot) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "NFactor model for %s\n", m.NFName)
 	fmt.Fprintf(&sb, "configuration variables: %s\n", strings.Join(m.CfgVars, ", "))
 	fmt.Fprintf(&sb, "state variables:         %s\n", strings.Join(m.OISVars, ", "))
+	if snap != nil {
+		fmt.Fprintf(&sb, "traffic: %d packets (%d forward, %d drop, %d error) via %s\n",
+			snap.Packets, snap.Forwards, snap.Drops, snap.Errors, snap.Backend)
+	}
 	sb.WriteString(strings.Repeat("=", 78) + "\n")
+
+	// Tables() hands out pointers into m.Entries; recover each entry's
+	// model index for the hit-counter lookup.
+	entryIdx := make(map[*Entry]int, len(m.Entries))
+	for i := range m.Entries {
+		entryIdx[&m.Entries[i]] = i
+	}
 
 	for _, tbl := range m.Tables() {
 		if len(tbl.Config) == 0 {
@@ -25,6 +50,18 @@ func Render(m *Model) string {
 		}
 		sb.WriteString(strings.Repeat("-", 78) + "\n")
 		for _, e := range tbl.Entries {
+			if snap != nil {
+				idx := entryIdx[e]
+				var hits int64
+				if idx < len(snap.EntryHits) {
+					hits = snap.EntryHits[idx]
+				}
+				note := ""
+				if hits == 0 {
+					note = "  (never hit)"
+				}
+				fmt.Fprintf(&sb, "  entry %-3d hits: %d%s\n", idx, hits, note)
+			}
 			fmt.Fprintf(&sb, "  match  flow:  %s\n", orStar(joinConds(e.FlowMatch)))
 			fmt.Fprintf(&sb, "         state: %s\n", orStar(joinConds(e.StateMatch)))
 			if e.Dropped() {
@@ -44,7 +81,11 @@ func Render(m *Model) string {
 			sb.WriteString("\n")
 		}
 	}
-	sb.WriteString("default: drop (lowest priority)\n")
+	if snap != nil {
+		fmt.Fprintf(&sb, "default: drop (lowest priority)  hits: %d\n", snap.DefaultDrops)
+	} else {
+		sb.WriteString("default: drop (lowest priority)\n")
+	}
 	return sb.String()
 }
 

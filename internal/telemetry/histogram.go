@@ -1,0 +1,93 @@
+package telemetry
+
+import "math/bits"
+
+// NumBuckets is the histogram's fixed bucket count. Bucket i holds
+// values whose bit length is i, i.e. [2^(i-1), 2^i) nanoseconds (bucket
+// 0 holds exactly 0). 40 buckets cover up to ~18 minutes per packet,
+// far beyond any single-packet latency; larger values clamp into the
+// last bucket.
+const NumBuckets = 40
+
+// Histogram is a fixed-size log2-bucketed latency histogram. It lives
+// inline in a Sink (no pointer, no heap) and Observe is allocation-free.
+type Histogram struct {
+	Counts  [NumBuckets]int64
+	Samples int64
+	SumNs   int64
+	MaxNs   int64
+}
+
+// Observe records one latency sample in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	h.Counts[b]++
+	h.Samples++
+	h.SumNs += ns
+	if ns > h.MaxNs {
+		h.MaxNs = ns
+	}
+}
+
+// Add accumulates another histogram into h (shard merge).
+func (h *Histogram) Add(o Histogram) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Samples += o.Samples
+	h.SumNs += o.SumNs
+	if o.MaxNs > h.MaxNs {
+		h.MaxNs = o.MaxNs
+	}
+}
+
+// BucketBound returns the exclusive upper bound of bucket i in
+// nanoseconds (0 -> 1ns, i -> 2^i ns).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	return int64(1) << uint(i)
+}
+
+// Mean returns the average sample in nanoseconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	return float64(h.SumNs) / float64(h.Samples)
+}
+
+// Quantile returns an upper bound (the bucket boundary) for the q-th
+// quantile, q in [0,1]. With log2 buckets the bound is within 2x of the
+// true value — the right fidelity for "is p99 microseconds or
+// milliseconds" questions.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.Samples))
+	if rank >= h.Samples {
+		rank = h.Samples - 1
+	}
+	var seen int64
+	for i := range h.Counts {
+		seen += h.Counts[i]
+		if seen > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). nf labels every series with the NF the model
+// was synthesized from; the backend label carries the engine kind.
+func (s Snapshot) WritePrometheus(w io.Writer, nf string) error {
+	lbl := fmt.Sprintf("nf=%q,backend=%q", nf, s.Backend)
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP nfactor_packets_total Packets processed.\n# TYPE nfactor_packets_total counter\nnfactor_packets_total{%s} %d\n", lbl, s.Packets); err != nil {
+		return err
+	}
+	if err := p("# HELP nfactor_verdicts_total Packets by verdict.\n# TYPE nfactor_verdicts_total counter\n"); err != nil {
+		return err
+	}
+	for _, v := range []struct {
+		verdict string
+		n       int64
+	}{{"forward", s.Forwards}, {"drop", s.Drops}, {"error", s.Errors}} {
+		if err := p("nfactor_verdicts_total{%s,verdict=%q} %d\n", lbl, v.verdict, v.n); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP nfactor_default_drops_total Drops by the implicit lowest-priority drop.\n# TYPE nfactor_default_drops_total counter\nnfactor_default_drops_total{%s} %d\n", lbl, s.DefaultDrops); err != nil {
+		return err
+	}
+	if err := p("# HELP nfactor_entry_hits_total Table-entry fire counts.\n# TYPE nfactor_entry_hits_total counter\n"); err != nil {
+		return err
+	}
+	for i, h := range s.EntryHits {
+		if err := p("nfactor_entry_hits_total{%s,entry=\"%d\"} %d\n", lbl, i, h); err != nil {
+			return err
+		}
+	}
+	if len(s.StateSizes) > 0 {
+		if err := p("# HELP nfactor_state_size OIS state variable sizes (map entry counts).\n# TYPE nfactor_state_size gauge\n"); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(s.StateSizes))
+		for k := range s.StateSizes {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			if err := p("nfactor_state_size{%s,var=%q} %d\n", lbl, k, s.StateSizes[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("# HELP nfactor_latency_ns Sampled per-packet latency histogram (log2 buckets).\n# TYPE nfactor_latency_ns histogram\n"); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		if s.Latency.Counts[i] == 0 && i > 0 {
+			continue // sparse render: Prometheus cumulative buckets tolerate gaps
+		}
+		cum += s.Latency.Counts[i]
+		if err := p("nfactor_latency_ns_bucket{%s,le=\"%d\"} %d\n", lbl, BucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	if err := p("nfactor_latency_ns_bucket{%s,le=\"+Inf\"} %d\n", lbl, s.Latency.Samples); err != nil {
+		return err
+	}
+	if err := p("nfactor_latency_ns_sum{%s} %d\n", lbl, s.Latency.SumNs); err != nil {
+		return err
+	}
+	return p("nfactor_latency_ns_count{%s} %d\n", lbl, s.Latency.Samples)
+}

@@ -1,0 +1,290 @@
+// Package telemetry is the data-plane observability surface: always-on,
+// allocation-free per-entry hit counters, per-verdict counters, sampled
+// per-packet latency histograms and state-size gauges for every
+// execution engine (the reference model.Instance, the compiled
+// dataplane.Engine, the flow-sharded dataplane.Sharded, and the original
+// program under replay). OpenFlow tables carry per-entry counters as
+// part of the table abstraction itself; the synthesized models are
+// OpenFlow-like tables, so their counters live here.
+//
+// Design rules, in order:
+//
+//   - Zero allocations on the per-packet path. A Sink is a fixed set of
+//     plain int64 fields plus one fixed-size histogram array; Start and
+//     Count never allocate, and Snapshot (which does allocate) is a
+//     read-side operation.
+//   - No atomics on the per-packet path. Every engine is single-threaded
+//     by design (the sharded engine gives each shard its own Engine and
+//     its own Sink); snapshots of a sharded engine are merged on read.
+//     Like Engine.State(), reading a Sink that another goroutine is
+//     writing mid-batch is a race — read between batches.
+//   - Nil-safe. All Sink methods are no-ops on a nil receiver (the
+//     internal/perf convention), so callers can disable telemetry for
+//     pure benchmarking without a branch at every call site.
+//
+// Latency is sampled (default 1 in 16 packets) rather than measured on
+// every packet: two clock reads cost ~50ns, which on a ~100-300ns/pkt
+// compiled engine would alone exceed the 10% overhead budget the
+// counters must fit in. SetSampleEvery(1) restores exhaustive timing
+// for tests.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultSampleEvery is the default latency sampling period: one in
+// every 16 packets gets the two time.Now calls.
+const DefaultSampleEvery = 16
+
+// Sink accumulates one engine's telemetry. It is single-writer; see the
+// package comment for the concurrency rules.
+type Sink struct {
+	packets  int64
+	forwards int64
+	drops    int64
+	errors   int64
+	// defaultDrops counts drops by the implicit lowest-priority drop
+	// (no entry matched, fired entry = -1); a subset of drops.
+	defaultDrops int64
+	// entryHits is indexed by the *original* model entry index, so
+	// engines that prune entries at compile time still report hits in
+	// model coordinates.
+	entryHits []int64
+
+	lat        Histogram
+	seen       uint64 // packets started, drives sampling
+	sampleMask uint64 // sample when seen&mask == 0
+}
+
+// NewSink returns a Sink with per-entry counters for a model of
+// `entries` table entries.
+func NewSink(entries int) *Sink {
+	return &Sink{entryHits: make([]int64, entries), sampleMask: DefaultSampleEvery - 1}
+}
+
+// SetSampleEvery sets the latency sampling period to every n-th packet.
+// n is rounded down to a power of two; n <= 1 times every packet.
+func (s *Sink) SetSampleEvery(n int) {
+	if s == nil {
+		return
+	}
+	mask := uint64(0)
+	for n > 1 {
+		mask = mask<<1 | 1
+		n >>= 1
+	}
+	s.sampleMask = mask
+}
+
+// Start begins one packet's accounting and returns its latency
+// timestamp — the zero Time unless this packet is sampled. Nil-safe.
+func (s *Sink) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.seen++
+	if s.seen&s.sampleMask != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Count finishes one packet's accounting: entry is the model entry that
+// fired (-1 for the implicit drop; ignored when errored), and t0 is the
+// timestamp Start returned. Nil-safe, allocation-free.
+func (s *Sink) Count(t0 time.Time, entry int, dropped, errored bool) {
+	if s == nil {
+		return
+	}
+	s.packets++
+	switch {
+	case errored:
+		s.errors++
+	case dropped:
+		s.drops++
+		if entry >= 0 && entry < len(s.entryHits) {
+			s.entryHits[entry]++
+		} else {
+			s.defaultDrops++
+		}
+	default:
+		s.forwards++
+		if entry >= 0 && entry < len(s.entryHits) {
+			s.entryHits[entry]++
+		}
+	}
+	if !t0.IsZero() {
+		s.lat.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// Reset zeroes every counter and the histogram (the sampling period is
+// kept). Nil-safe.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	mask := s.sampleMask
+	hits := s.entryHits
+	for i := range hits {
+		hits[i] = 0
+	}
+	*s = Sink{entryHits: hits, sampleMask: mask}
+}
+
+// Snapshot exports the sink's current values. backend names the engine
+// kind ("model", "compiled", "sharded", "program"); stateSizes carries
+// the per-OIS-map entry counts the caller gauges at read time.
+func (s *Sink) Snapshot(backend string, stateSizes map[string]int) Snapshot {
+	snap := Snapshot{Backend: backend, StateSizes: stateSizes, Shards: 1}
+	if s == nil {
+		return snap
+	}
+	snap.Packets = s.packets
+	snap.Forwards = s.forwards
+	snap.Drops = s.drops
+	snap.Errors = s.errors
+	snap.DefaultDrops = s.defaultDrops
+	snap.EntryHits = append([]int64(nil), s.entryHits...)
+	snap.Latency = s.lat
+	snap.SampleEvery = int(s.sampleMask) + 1
+	return snap
+}
+
+// Snapshot is a point-in-time export of an engine's telemetry: the
+// structured Go form behind the Prometheus text format and the CLI
+// reports.
+type Snapshot struct {
+	// Backend names the engine kind: "program", "model", "compiled",
+	// "sharded".
+	Backend string
+	// Packets = Forwards + Drops + Errors.
+	Packets  int64
+	Forwards int64
+	Drops    int64
+	Errors   int64
+	// DefaultDrops counts the subset of Drops where no table entry
+	// matched (the model's implicit lowest-priority drop).
+	DefaultDrops int64
+	// EntryHits is indexed by model entry; entry i fired EntryHits[i]
+	// times (forwarding or dropping — firing an explicit drop entry
+	// counts here, not in DefaultDrops).
+	EntryHits []int64
+	// Latency is the per-packet processing-time histogram, built from
+	// every SampleEvery-th packet.
+	Latency     Histogram
+	SampleEvery int
+	// StateSizes gauges each OIS state variable at snapshot time:
+	// map entry count for maps, 1 for scalars.
+	StateSizes map[string]int
+	// Shards is the number of underlying engines merged into this
+	// snapshot (1 for unsharded backends).
+	Shards int
+}
+
+// Merge returns the sum of two snapshots: counters, entry hits,
+// histograms and state sizes add; Shards accumulates. The sharded
+// engine merges its per-shard sinks with this on read.
+func (a Snapshot) Merge(b Snapshot) Snapshot {
+	out := a
+	out.Packets += b.Packets
+	out.Forwards += b.Forwards
+	out.Drops += b.Drops
+	out.Errors += b.Errors
+	out.DefaultDrops += b.DefaultDrops
+	out.EntryHits = append([]int64(nil), a.EntryHits...)
+	for len(out.EntryHits) < len(b.EntryHits) {
+		out.EntryHits = append(out.EntryHits, 0)
+	}
+	for i, h := range b.EntryHits {
+		out.EntryHits[i] += h
+	}
+	out.Latency.Add(b.Latency)
+	out.StateSizes = map[string]int{}
+	for k, v := range a.StateSizes {
+		out.StateSizes[k] += v
+	}
+	for k, v := range b.StateSizes {
+		out.StateSizes[k] += v
+	}
+	out.Shards += b.Shards
+	return out
+}
+
+// CountersEqual reports whether two snapshots agree on every
+// deterministic quantity: packet/verdict counters, per-entry hits and
+// state sizes. Latency, sampling, backend and shard count are excluded —
+// timing is nondeterministic by nature, and the whole point of the
+// comparison is that the same workload on different engine layouts
+// (1 shard vs 8, compiled vs reference) must count identically.
+func (a Snapshot) CountersEqual(b Snapshot) bool {
+	if a.Packets != b.Packets || a.Forwards != b.Forwards ||
+		a.Drops != b.Drops || a.Errors != b.Errors || a.DefaultDrops != b.DefaultDrops {
+		return false
+	}
+	hits := func(s Snapshot, i int) int64 {
+		if i < len(s.EntryHits) {
+			return s.EntryHits[i]
+		}
+		return 0
+	}
+	n := len(a.EntryHits)
+	if len(b.EntryHits) > n {
+		n = len(b.EntryHits)
+	}
+	for i := 0; i < n; i++ {
+		if hits(a, i) != hits(b, i) {
+			return false
+		}
+	}
+	if len(a.StateSizes) != len(b.StateSizes) {
+		return false
+	}
+	for k, v := range a.StateSizes {
+		if b.StateSizes[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the snapshot as a human-readable block (the CLI
+// -telemetry surface).
+func (s Snapshot) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "telemetry (%s", s.Backend)
+	if s.Shards > 1 {
+		fmt.Fprintf(&sb, ", %d shards", s.Shards)
+	}
+	sb.WriteString(")\n")
+	fmt.Fprintf(&sb, "  packets  %12d\n", s.Packets)
+	fmt.Fprintf(&sb, "  forward  %12d\n", s.Forwards)
+	fmt.Fprintf(&sb, "  drop     %12d  (%d by the implicit default drop)\n", s.Drops, s.DefaultDrops)
+	fmt.Fprintf(&sb, "  error    %12d\n", s.Errors)
+	for i, h := range s.EntryHits {
+		fmt.Fprintf(&sb, "  entry %-3d%12d hits\n", i, h)
+	}
+	if len(s.StateSizes) > 0 {
+		names := make([]string, 0, len(s.StateSizes))
+		for k := range s.StateSizes {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&sb, "  state %-18s %6d entries\n", k, s.StateSizes[k])
+		}
+	}
+	if s.Latency.Samples > 0 {
+		fmt.Fprintf(&sb, "  latency  p50<=%s p90<=%s p99<=%s max=%s (%d samples, 1 in %d)\n",
+			time.Duration(s.Latency.Quantile(0.50)),
+			time.Duration(s.Latency.Quantile(0.90)),
+			time.Duration(s.Latency.Quantile(0.99)),
+			time.Duration(s.Latency.MaxNs),
+			s.Latency.Samples, s.SampleEvery)
+	}
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GuardEval is one guard condition evaluated while matching a packet
+// against the table: which entry it belongs to, the condition text, and
+// what it evaluated to.
+type GuardEval struct {
+	Entry   int
+	Guard   string
+	Outcome string // "true", "false", or "error: ..."
+}
+
+// StateChange is one state transition committed by the fired entry.
+type StateChange struct {
+	Var string
+	Op  string // "assign" (scalar or whole-map), "set" (map key), "del" (map key)
+	Key string // map key for set/del, empty otherwise
+	Val string // new value; empty for del
+}
+
+// PacketTrace is the provenance record of one packet: the full guard
+// trail in table priority order, the entry that fired, the packets sent
+// and the state transitions applied. Explain mode is the debugging
+// surface — it allocates freely and is not meant for the hot path.
+type PacketTrace struct {
+	Packet  string
+	Backend string
+	// Entry is the model entry that fired; -1 for the implicit drop.
+	Entry   int
+	Dropped bool
+	Err     string
+	Guards  []GuardEval
+	Changes []StateChange
+	Sent    []string
+}
+
+// FiredGuards returns the guard evaluations of the entry that fired
+// (empty for the implicit drop).
+func (t *PacketTrace) FiredGuards() []GuardEval {
+	var out []GuardEval
+	for _, g := range t.Guards {
+		if g.Entry == t.Entry {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// String renders the human-readable "why" trace.
+func (t *PacketTrace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "why %s (%s):\n", t.Packet, t.Backend)
+	last := -1
+	for _, g := range t.Guards {
+		if g.Entry != last {
+			fmt.Fprintf(&sb, "  entry %d:\n", g.Entry)
+			last = g.Entry
+		}
+		fmt.Fprintf(&sb, "    %-50s = %s\n", g.Guard, g.Outcome)
+	}
+	switch {
+	case t.Err != "":
+		fmt.Fprintf(&sb, "  => ERROR: %s\n", t.Err)
+	case t.Entry < 0:
+		sb.WriteString("  => no entry matched: implicit default drop\n")
+	default:
+		fmt.Fprintf(&sb, "  => entry %d fired\n", t.Entry)
+	}
+	for _, s := range t.Sent {
+		fmt.Fprintf(&sb, "  sent: %s\n", s)
+	}
+	for _, ch := range t.Changes {
+		switch ch.Op {
+		case "set":
+			fmt.Fprintf(&sb, "  state: %s[%s] := %s\n", ch.Var, ch.Key, ch.Val)
+		case "del":
+			fmt.Fprintf(&sb, "  state: delete %s[%s]\n", ch.Var, ch.Key)
+		default:
+			fmt.Fprintf(&sb, "  state: %s := %s\n", ch.Var, ch.Val)
+		}
+	}
+	verdict := "FORWARD"
+	if t.Err != "" {
+		verdict = "ERROR"
+	} else if t.Dropped {
+		verdict = "DROP"
+	}
+	fmt.Fprintf(&sb, "  verdict: %s\n", verdict)
+	return sb.String()
+}
+
+// DiffGuards compares two guard trails of the same model over the same
+// packet and describes the first disagreement — the guard whose outcome
+// differs between the two engines, the heart of the first-divergence
+// report. Trails may differ structurally (one engine folds
+// configuration guards away at compile time), so guards are matched by
+// (entry, condition text); guards present on only one side are skipped.
+// An empty string means every shared guard agreed (the divergence is in
+// actions, not matching).
+func DiffGuards(a, b *PacketTrace) string {
+	type key struct {
+		entry int
+		guard string
+	}
+	bOut := map[key]string{}
+	for _, g := range b.Guards {
+		bOut[key{g.Entry, g.Guard}] = g.Outcome
+	}
+	for _, g := range a.Guards {
+		if out, ok := bOut[key{g.Entry, g.Guard}]; ok && out != g.Outcome {
+			return fmt.Sprintf("entry %d guard %s: %s=%s %s=%s",
+				g.Entry, g.Guard, a.Backend, g.Outcome, b.Backend, out)
+		}
+	}
+	return ""
+}

@@ -31,7 +31,6 @@ import (
 
 	"nfactor/internal/core"
 	"nfactor/internal/dataplane"
-	"nfactor/internal/interp"
 	"nfactor/internal/lang"
 	"nfactor/internal/model"
 	"nfactor/internal/netpkt"
@@ -41,7 +40,6 @@ import (
 	"nfactor/internal/statealyzer"
 	"nfactor/internal/value"
 	"nfactor/internal/verify"
-	"nfactor/internal/workload"
 )
 
 // Options configure an analysis.
@@ -222,33 +220,23 @@ func (r *Result) ShardedEngine(n int) (*Sharded, error) {
 }
 
 // ReplayCompiled runs the trace through the compiled engine.
+//
+// Deprecated: use Replayer(BackendCompiled) and loop Process — the
+// unified surface also exports telemetry.
 func (r *Result) ReplayCompiled(trace []Packet) ([]Verdict, error) {
-	eng, err := r.CompiledEngine()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Verdict, 0, len(trace))
-	for i := range trace {
-		o, err := eng.Process(&trace[i])
-		if err != nil {
-			return nil, fmt.Errorf("packet %d: %w", i, err)
-		}
-		v := Verdict{Dropped: o.Dropped}
-		for _, s := range o.Sent {
-			v.Sent = append(v.Sent, s.Pkt)
-			v.Ifaces = append(v.Ifaces, s.Iface)
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	return r.replay(BackendCompiled, trace)
 }
 
 // DiffTestCompiled replays the trace through the reference Instance and
 // the compiled engine in lockstep (§5's differential methodology turned
 // on the data plane itself) and reports mismatches: per-packet outputs,
 // fired entries, and the end state must all agree.
+//
+// Deprecated: use DiffTest(DiffOptions{Trace: trace, Backend:
+// BackendCompiled}), whose DiffReport carries guard-level divergence
+// detail.
 func (r *Result) DiffTestCompiled(trace []Packet) (mismatches int, firstDiff string, err error) {
-	res, err := r.an.DiffTestCompiled(trace, r.opts)
+	res, err := r.DiffTest(DiffOptions{Trace: trace, Backend: BackendCompiled})
 	if err != nil {
 		return 0, "", err
 	}
@@ -283,21 +271,25 @@ func (r *Result) CheckEquivalence() error {
 	return nil
 }
 
-// DiffTest runs n random packets through the original program and the
-// model side by side (§5 accuracy, part 2) and returns the number of
-// mismatches (0 = the outputs agreed on every trial).
-func (r *Result) DiffTest(n int, seed int64) (mismatches int, firstDiff string, err error) {
-	trace := workload.New(seed).RandomTrace(n)
-	res, err := r.an.DiffTest(trace, r.opts)
+// DiffTestRandom runs n random packets through the original program and
+// the model side by side (§5 accuracy, part 2) and returns the number
+// of mismatches (0 = the outputs agreed on every trial).
+//
+// Deprecated: use DiffTest(DiffOptions{N: n, Seed: seed}), which
+// returns the structured DiffReport.
+func (r *Result) DiffTestRandom(n int, seed int64) (mismatches int, firstDiff string, err error) {
+	res, err := r.DiffTest(DiffOptions{N: n, Seed: seed})
 	if err != nil {
 		return 0, "", err
 	}
 	return res.Mismatches, res.FirstDiff, nil
 }
 
-// DiffTestTrace is DiffTest over a caller-provided trace.
+// DiffTestTrace is DiffTestRandom over a caller-provided trace.
+//
+// Deprecated: use DiffTest(DiffOptions{Trace: trace}).
 func (r *Result) DiffTestTrace(trace []Packet) (mismatches int, firstDiff string, err error) {
-	res, err := r.an.DiffTest(trace, r.opts)
+	res, err := r.DiffTest(DiffOptions{Trace: trace})
 	if err != nil {
 		return 0, "", err
 	}
@@ -413,48 +405,17 @@ func (v Verdict) String() string {
 
 // ReplayProgram runs the trace through the original NF program (state
 // evolving across packets) and returns per-packet verdicts.
+//
+// Deprecated: use Replayer(BackendProgram) and loop Process.
 func (r *Result) ReplayProgram(trace []Packet) ([]Verdict, error) {
-	in, err := interp.New(r.an.Original, r.an.Entry, interp.Options{ConfigOverride: r.opts.ConfigOverride})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Verdict, 0, len(trace))
-	for i, p := range trace {
-		o, err := in.Process(p.ToValue())
-		if err != nil {
-			return nil, fmt.Errorf("packet %d: %w", i, err)
-		}
-		out = append(out, toVerdict(o))
-	}
-	return out, nil
+	return r.replay(BackendProgram, trace)
 }
 
 // ReplayModel runs the trace through the synthesized model.
+//
+// Deprecated: use Replayer(BackendModel) and loop Process.
 func (r *Result) ReplayModel(trace []Packet) ([]Verdict, error) {
-	inst, err := r.Instance()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Verdict, 0, len(trace))
-	for i, p := range trace {
-		o, err := inst.Process(p.ToValue())
-		if err != nil {
-			return nil, fmt.Errorf("packet %d: %w", i, err)
-		}
-		out = append(out, toVerdict(o))
-	}
-	return out, nil
-}
-
-func toVerdict(o *interp.Output) Verdict {
-	v := Verdict{Dropped: o.Dropped}
-	for _, s := range o.Sent {
-		if p, err := netpkt.FromValue(s.Pkt); err == nil {
-			v.Sent = append(v.Sent, p)
-			v.Ifaces = append(v.Ifaces, s.Iface)
-		}
-	}
-	return v
+	return r.replay(BackendModel, trace)
 }
 
 // ParseTrace reads the nfreplay trace text format.

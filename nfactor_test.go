@@ -48,12 +48,12 @@ func process(pkt) {
 	if err := res.CheckEquivalence(); err != nil {
 		t.Error(err)
 	}
-	mism, diff, err := res.DiffTest(300, 9)
+	rep, err := res.DiffTest(DiffOptions{N: 300, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mism != 0 {
-		t.Errorf("difftest mismatches: %s", diff)
+	if !rep.Matches() {
+		t.Errorf("difftest mismatches: %s", rep.FirstDiff)
 	}
 	if m := res.Metrics(); m.EPSlice == 0 || m.LoCSlice == 0 {
 		t.Errorf("metrics empty: %+v", m)

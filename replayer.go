@@ -1,0 +1,377 @@
+package nfactor
+
+import (
+	"fmt"
+	"runtime"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/interp"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+	"nfactor/internal/workload"
+)
+
+// Snapshot is a point-in-time export of a replayer's telemetry: packet
+// and per-verdict counters, per-entry hit counts, sampled latency
+// histogram, and state-size gauges. See internal/telemetry for the
+// field semantics and the Prometheus text export
+// (Snapshot.WritePrometheus).
+type Snapshot = telemetry.Snapshot
+
+// PacketTrace is the provenance record of one packet in explain mode:
+// the guards evaluated with their outcomes, the entry that fired, the
+// packets sent and the state transitions applied. Its String method
+// renders the human-readable "why" trace.
+type PacketTrace = telemetry.PacketTrace
+
+// Backend selects the execution engine behind a Replayer.
+type Backend int
+
+const (
+	// BackendProgram replays through the original NF program (the
+	// reference semantics; no table, so no per-entry counters).
+	BackendProgram Backend = iota
+	// BackendModel replays through the synthesized model's reference
+	// interpreter (model.Instance).
+	BackendModel
+	// BackendCompiled replays through the compiled zero-allocation
+	// data-plane engine.
+	BackendCompiled
+	// BackendSharded replays through the flow-sharded engine with
+	// GOMAXPROCS shards (use Result.ShardedReplayer for an explicit
+	// shard count). Requires a flow-partitionable model.
+	BackendSharded
+)
+
+// String names the backend like the telemetry Snapshot.Backend field.
+func (b Backend) String() string {
+	switch b {
+	case BackendProgram:
+		return "program"
+	case BackendModel:
+		return "model"
+	case BackendCompiled:
+		return "compiled"
+	case BackendSharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Replayer is the unified replay surface: every execution engine —
+// original program, model instance, compiled engine, sharded engine —
+// processes packets one at a time with evolving state and exports the
+// same telemetry Snapshot. Replayers are single-goroutine objects.
+type Replayer interface {
+	// Process runs one packet and returns its verdict. State evolves
+	// across calls.
+	Process(*Packet) (Verdict, error)
+	// Snapshot exports the telemetry accumulated so far.
+	Snapshot() Snapshot
+}
+
+// Explainer is the optional provenance extension of Replayer: table
+// backends (model, compiled, sharded) can explain each verdict with the
+// full guard trail. The program backend does not implement it (the
+// original source has no match/action table to trace).
+type Explainer interface {
+	// ProcessExplain is Process plus the packet's why-trace. It counts
+	// in the same telemetry as Process.
+	ProcessExplain(*Packet) (Verdict, *PacketTrace, error)
+}
+
+// Replayer builds the unified replay surface over the chosen backend.
+// It replaces the ReplayProgram/ReplayModel/ReplayCompiled trio: one
+// constructor, one Process loop, uniform telemetry.
+func (r *Result) Replayer(b Backend) (Replayer, error) {
+	switch b {
+	case BackendProgram:
+		in, err := interp.New(r.an.Original, r.an.Entry, interp.Options{ConfigOverride: r.opts.ConfigOverride})
+		if err != nil {
+			return nil, err
+		}
+		return &programReplayer{in: in, ois: r.an.Model.OISVars, tel: telemetry.NewSink(0)}, nil
+	case BackendModel:
+		inst, err := r.Instance()
+		if err != nil {
+			return nil, err
+		}
+		return &modelReplayer{inst: inst}, nil
+	case BackendCompiled:
+		eng, err := r.CompiledEngine()
+		if err != nil {
+			return nil, err
+		}
+		return &engineReplayer{eng: eng}, nil
+	case BackendSharded:
+		return r.ShardedReplayer(runtime.GOMAXPROCS(0))
+	}
+	return nil, fmt.Errorf("nfactor: unknown backend %v", b)
+}
+
+// ShardedReplayer is Replayer(BackendSharded) with an explicit shard
+// count. Note a Replayer processes packets one at a time; for actual
+// cross-shard parallelism use ShardedEngine's ProcessBatch directly.
+func (r *Result) ShardedReplayer(shards int) (Replayer, error) {
+	sh, err := r.ShardedEngine(shards)
+	if err != nil {
+		return nil, err
+	}
+	return &shardedReplayer{sh: sh}, nil
+}
+
+// --- backends ---------------------------------------------------------
+
+type programReplayer struct {
+	in  *interp.Interp
+	ois []string
+	tel *telemetry.Sink
+}
+
+func (p *programReplayer) Process(pkt *Packet) (Verdict, error) {
+	t0 := p.tel.Start()
+	o, err := p.in.Process(pkt.ToValue())
+	if err != nil {
+		p.tel.Count(t0, -1, false, true)
+		return Verdict{}, err
+	}
+	v, err := toVerdict(o)
+	p.tel.Count(t0, -1, err == nil && v.Dropped, err != nil)
+	return v, err
+}
+
+func (p *programReplayer) Snapshot() Snapshot {
+	sizes := map[string]int{}
+	globals := p.in.Globals()
+	for _, name := range p.ois {
+		g, ok := globals[name]
+		if !ok {
+			continue
+		}
+		if g.Kind == value.KindMap {
+			sizes[name] = g.Map.Len()
+		} else {
+			sizes[name] = 1
+		}
+	}
+	return p.tel.Snapshot("program", sizes)
+}
+
+type modelReplayer struct {
+	inst *model.Instance
+}
+
+func (m *modelReplayer) Process(pkt *Packet) (Verdict, error) {
+	o, err := m.inst.Process(pkt.ToValue())
+	if err != nil {
+		return Verdict{}, err
+	}
+	return toVerdict(o)
+}
+
+func (m *modelReplayer) ProcessExplain(pkt *Packet) (Verdict, *PacketTrace, error) {
+	o, tr, err := m.inst.ProcessExplain(pkt.ToValue())
+	if err != nil {
+		return Verdict{}, tr, err
+	}
+	v, err := toVerdict(o)
+	return v, tr, err
+}
+
+func (m *modelReplayer) Snapshot() Snapshot { return m.inst.Telemetry() }
+
+type engineReplayer struct {
+	eng *dataplane.Engine
+}
+
+// engineVerdict copies an engine-owned Output into a caller-owned
+// Verdict (the engine reuses its Output across calls).
+func engineVerdict(o *dataplane.Output) Verdict {
+	v := Verdict{Dropped: o.Dropped}
+	for _, s := range o.Sent {
+		v.Sent = append(v.Sent, s.Pkt)
+		v.Ifaces = append(v.Ifaces, s.Iface)
+	}
+	return v
+}
+
+func (e *engineReplayer) Process(pkt *Packet) (Verdict, error) {
+	o, err := e.eng.Process(pkt)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return engineVerdict(o), nil
+}
+
+func (e *engineReplayer) ProcessExplain(pkt *Packet) (Verdict, *PacketTrace, error) {
+	o, tr, err := e.eng.ProcessExplain(pkt)
+	if err != nil {
+		return Verdict{}, tr, err
+	}
+	return engineVerdict(o), tr, nil
+}
+
+func (e *engineReplayer) Snapshot() Snapshot { return e.eng.Telemetry() }
+
+type shardedReplayer struct {
+	sh *dataplane.Sharded
+}
+
+func (s *shardedReplayer) Process(pkt *Packet) (Verdict, error) {
+	o, err := s.sh.Process(pkt)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return engineVerdict(o), nil
+}
+
+func (s *shardedReplayer) ProcessExplain(pkt *Packet) (Verdict, *PacketTrace, error) {
+	o, tr, err := s.sh.ProcessExplain(pkt)
+	if err != nil {
+		return Verdict{}, tr, err
+	}
+	return engineVerdict(o), tr, nil
+}
+
+func (s *shardedReplayer) Snapshot() Snapshot { return s.sh.Telemetry() }
+
+// replay loops a backend's Replayer over a trace (the deprecated
+// ReplayProgram/ReplayModel/ReplayCompiled wrappers delegate here).
+func (r *Result) replay(b Backend, trace []Packet) ([]Verdict, error) {
+	rp, err := r.Replayer(b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, 0, len(trace))
+	for i := range trace {
+		v, err := rp.Process(&trace[i])
+		if err != nil {
+			return nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// --- unified diff test ------------------------------------------------
+
+// RandomTrace generates n random packets from seed with the same
+// workload generator DiffTest uses — handy for exercising a Replayer
+// when no operator trace is at hand.
+func RandomTrace(n int, seed int64) []Packet {
+	return workload.New(seed).RandomTrace(n)
+}
+
+// DiffOptions configure Result.DiffTest.
+type DiffOptions struct {
+	// Trace is the packet sequence to replay; nil generates N random
+	// packets from Seed.
+	Trace []Packet
+	// N is the random-trace length when Trace is nil (default 1000 —
+	// the paper's "repeat 1000 times").
+	N int
+	// Seed seeds the random trace generator.
+	Seed int64
+	// Backend selects the candidate side. BackendModel (the default)
+	// reproduces §5: original program vs model instance. BackendCompiled
+	// checks the compiled data plane against the model instance in
+	// lockstep (outputs, fired entries, and end state). BackendProgram
+	// and BackendSharded are not valid candidates.
+	Backend Backend
+}
+
+// DiffReport is the structured outcome of a differential test: trial
+// and mismatch counts plus a guard-level first-divergence report
+// (which packet diverged, how, and — for table-vs-table diffs — which
+// guard disagreed). Render formats it for humans.
+type DiffReport = core.DiffResult
+
+// Divergence details a DiffReport's first divergence.
+type Divergence = core.Divergence
+
+// DiffTest is the one differential-testing entry point (§5 accuracy,
+// part 2): replay a trace — explicit or random — through the reference
+// and a candidate backend side by side and compare every packet's
+// outputs. It replaces DiffTestRandom/DiffTestTrace/DiffTestCompiled.
+func (r *Result) DiffTest(opts DiffOptions) (*DiffReport, error) {
+	trace := opts.Trace
+	if trace == nil {
+		n := opts.N
+		if n <= 0 {
+			n = 1000
+		}
+		trace = workload.New(opts.Seed).RandomTrace(n)
+	}
+	switch opts.Backend {
+	case BackendProgram, BackendModel:
+		// The program is always the reference side, so the zero value
+		// (BackendProgram) means "the default candidate": the model.
+		return r.an.DiffTest(trace, r.opts)
+	case BackendCompiled:
+		return r.an.DiffTestCompiled(trace, r.opts)
+	default:
+		return nil, fmt.Errorf("nfactor: DiffTest candidate must be BackendModel or BackendCompiled, got %v", opts.Backend)
+	}
+}
+
+// --- telemetry-driven model views -------------------------------------
+
+// RenderModelWithCounters renders the Figure 6 tables annotated with a
+// snapshot's live per-entry hit counters (OpenFlow-style table
+// counters) and the default-drop count.
+func (r *Result) RenderModelWithCounters(snap Snapshot) string {
+	return model.RenderWithHits(r.an.Model, snap)
+}
+
+// DeadEntry reports one table entry that a workload never hit, together
+// with its symbolic reachability verdict: an unreachable zero-hit entry
+// is dead table mass (synthesis artifact), while a reachable one is a
+// workload coverage gap (the witness shows the entry sequence that
+// would reach it).
+type DeadEntry struct {
+	Entry     int
+	Reachable bool
+	Witness   []int // entry sequence reaching it (when Reachable)
+}
+
+// DeadEntries cross-checks a snapshot's zero-hit entries against
+// multi-step symbolic reachability (EntryReachable, bounded by
+// maxSteps packets).
+func (r *Result) DeadEntries(snap Snapshot, maxSteps int) ([]DeadEntry, error) {
+	_, state, err := r.an.ConfigAndState(r.opts.ConfigOverride)
+	if err != nil {
+		return nil, err
+	}
+	var out []DeadEntry
+	for i := range r.an.Model.Entries {
+		if i < len(snap.EntryHits) && snap.EntryHits[i] > 0 {
+			continue
+		}
+		res, err := verify.EntryReachable(r.an.Model, i, state, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("nfactor: entry %d reachability: %w", i, err)
+		}
+		out = append(out, DeadEntry{Entry: i, Reachable: res.Reachable, Witness: res.Entries})
+	}
+	return out, nil
+}
+
+// toVerdict converts an interpreter output into a Verdict. A sent value
+// that does not convert to a wire packet is an error (it would
+// previously be dropped silently).
+func toVerdict(o *interp.Output) (Verdict, error) {
+	v := Verdict{Dropped: o.Dropped}
+	for i, s := range o.Sent {
+		p, err := netpkt.FromValue(s.Pkt)
+		if err != nil {
+			return Verdict{}, fmt.Errorf("nfactor: sent value %d is not a packet: %w", i, err)
+		}
+		v.Sent = append(v.Sent, p)
+		v.Ifaces = append(v.Ifaces, s.Iface)
+	}
+	return v, nil
+}

@@ -1,0 +1,284 @@
+package nfactor
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/interp"
+)
+
+// TestReplayerBackends drives the same trace through every backend of
+// the unified Replayer API and cross-checks verdicts and telemetry.
+func TestReplayerBackends(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []Packet{
+		{SrcIP: "10.0.0.1", DstIP: "3.3.3.3", SrcPort: 1234, DstPort: 80, Proto: "tcp", Flags: "S", TTL: 64, InIface: "lan"},
+		{SrcIP: "3.3.3.3", DstIP: "10.0.0.1", SrcPort: 80, DstPort: 1234, Proto: "tcp", Flags: "SA", TTL: 60, InIface: "wan"},
+		{SrcIP: "9.9.9.9", DstIP: "10.0.0.1", SrcPort: 5555, DstPort: 22, Proto: "tcp", Flags: "S", TTL: 60, InIface: "wan"},
+	}
+	wantDropped := []bool{false, false, true}
+
+	for _, b := range []Backend{BackendProgram, BackendModel, BackendCompiled, BackendSharded} {
+		rp, err := res.Replayer(b)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		for i := range trace {
+			v, err := rp.Process(&trace[i])
+			if err != nil {
+				t.Fatalf("%v packet %d: %v", b, i, err)
+			}
+			if v.Dropped != wantDropped[i] {
+				t.Errorf("%v packet %d: dropped=%v, want %v", b, i, v.Dropped, wantDropped[i])
+			}
+		}
+		snap := rp.Snapshot()
+		if snap.Packets != int64(len(trace)) {
+			t.Errorf("%v: snapshot packets = %d, want %d", b, snap.Packets, len(trace))
+		}
+		if snap.Forwards != 2 || snap.Drops != 1 {
+			t.Errorf("%v: forwards/drops = %d/%d, want 2/1", b, snap.Forwards, snap.Drops)
+		}
+		if snap.Backend != b.String() {
+			t.Errorf("%v: snapshot backend = %q", b, snap.Backend)
+		}
+	}
+}
+
+// TestReplayerTelemetryAgree demands the table-backed backends report
+// identical counters for the same traffic (the program backend has no
+// table, so only the verdict counters are comparable there).
+func TestReplayerTelemetryAgree(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := RandomTrace(300, 7)
+	snaps := map[Backend]Snapshot{}
+	for _, b := range []Backend{BackendModel, BackendCompiled, BackendSharded} {
+		rp, err := res.Replayer(b)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		for i := range trace {
+			if _, err := rp.Process(&trace[i]); err != nil {
+				t.Fatalf("%v packet %d: %v", b, i, err)
+			}
+		}
+		snaps[b] = rp.Snapshot()
+	}
+	if !snaps[BackendModel].CountersEqual(snaps[BackendCompiled]) {
+		t.Errorf("model vs compiled counters diverge:\n%s\n%s",
+			snaps[BackendModel].Report(), snaps[BackendCompiled].Report())
+	}
+	if !snaps[BackendCompiled].CountersEqual(snaps[BackendSharded]) {
+		t.Errorf("compiled vs sharded counters diverge:\n%s\n%s",
+			snaps[BackendCompiled].Report(), snaps[BackendSharded].Report())
+	}
+}
+
+// TestReplayerExplain exercises the provenance path through the facade:
+// model, compiled and sharded replayers explain; program does not.
+func TestReplayerExplain(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Packet{SrcIP: "10.0.0.1", DstIP: "3.3.3.3", SrcPort: 1234, DstPort: 80,
+		Proto: "tcp", Flags: "S", TTL: 64, InIface: "lan"}
+
+	for _, b := range []Backend{BackendModel, BackendCompiled, BackendSharded} {
+		rp, err := res.Replayer(b)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		ex, ok := rp.(Explainer)
+		if !ok {
+			t.Fatalf("%v replayer does not explain", b)
+		}
+		v, tr, err := ex.ProcessExplain(&p)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if v.Dropped {
+			t.Errorf("%v: egress flow dropped", b)
+		}
+		if tr == nil || tr.Entry < 0 {
+			t.Fatalf("%v: no entry attributed (trace %+v)", b, tr)
+		}
+		why := tr.String()
+		for _, want := range []string{"why", "entry", "fired", "verdict: FORWARD"} {
+			if !strings.Contains(why, want) {
+				t.Errorf("%v explain output missing %q:\n%s", b, want, why)
+			}
+		}
+	}
+
+	rp, err := res.Replayer(BackendProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rp.(Explainer); ok {
+		t.Error("program replayer claims to explain against a model table")
+	}
+}
+
+// TestDiffTestUnified covers the collapsed differential-test entry
+// point: defaults, explicit backends, and invalid candidates.
+func TestDiffTestUnified(t *testing.T) {
+	res, err := AnalyzeCorpus("nat", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero value: random trace, model candidate.
+	rep, err := res.DiffTest(DiffOptions{N: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 200 || !rep.Matches() {
+		t.Fatalf("model difftest: trials=%d mismatches=%d first=%s", rep.Trials, rep.Mismatches, rep.FirstDiff)
+	}
+	if !strings.Contains(rep.Render(), "all matched") {
+		t.Errorf("render of clean report: %q", rep.Render())
+	}
+	// Compiled candidate on an explicit trace.
+	trace := RandomTrace(200, 4)
+	rep, err = res.DiffTest(DiffOptions{Trace: trace, Backend: BackendCompiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != len(trace) || !rep.Matches() {
+		t.Fatalf("compiled difftest: trials=%d mismatches=%d first=%s", rep.Trials, rep.Mismatches, rep.FirstDiff)
+	}
+	// Invalid candidates are rejected.
+	if _, err := res.DiffTest(DiffOptions{N: 1, Backend: BackendSharded}); err == nil {
+		t.Error("sharded candidate accepted")
+	}
+}
+
+// TestDeprecatedReplayWrappers keeps the pre-Replayer API surface
+// working: the wrappers must behave exactly like the new paths.
+func TestDeprecatedReplayWrappers(t *testing.T) {
+	res, err := AnalyzeCorpus("lb", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := RandomTrace(50, 3)
+	pv, err := res.ReplayProgram(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := res.ReplayModel(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := res.ReplayCompiled(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) != len(trace) || len(mv) != len(trace) || len(cv) != len(trace) {
+		t.Fatalf("verdict counts %d/%d/%d", len(pv), len(mv), len(cv))
+	}
+	for i := range trace {
+		if pv[i].Dropped != mv[i].Dropped || mv[i].Dropped != cv[i].Dropped {
+			t.Errorf("packet %d: verdicts diverge program=%v model=%v compiled=%v",
+				i, pv[i].Dropped, mv[i].Dropped, cv[i].Dropped)
+		}
+	}
+	if mism, diff, err := res.DiffTestRandom(100, 5); err != nil || mism != 0 {
+		t.Errorf("DiffTestRandom: mism=%d diff=%q err=%v", mism, diff, err)
+	}
+	if mism, diff, err := res.DiffTestTrace(trace); err != nil || mism != 0 {
+		t.Errorf("DiffTestTrace: mism=%d diff=%q err=%v", mism, diff, err)
+	}
+	if mism, diff, err := res.DiffTestCompiled(trace); err != nil || mism != 0 {
+		t.Errorf("DiffTestCompiled: mism=%d diff=%q err=%v", mism, diff, err)
+	}
+}
+
+// TestDeadEntries replays traffic that leaves some entries cold and
+// cross-checks the zero-hit report against symbolic reachability.
+func TestDeadEntries(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := res.Replayer(BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only egress traffic on allowed ports: the ingress entries and the
+	// egress-deny entry stay cold.
+	p := Packet{SrcIP: "10.0.0.1", DstIP: "3.3.3.3", SrcPort: 1234, DstPort: 80,
+		Proto: "tcp", Flags: "S", TTL: 64, InIface: "lan"}
+	if _, err := rp.Process(&p); err != nil {
+		t.Fatal(err)
+	}
+	dead, err := res.DeadEntries(rp.Snapshot(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) == 0 {
+		t.Fatal("no cold entries reported for a one-packet workload")
+	}
+	for _, d := range dead {
+		if !d.Reachable {
+			t.Errorf("entry %d reported unreachable — every firewall entry is reachable within 2 packets", d.Entry)
+		}
+	}
+}
+
+// TestRenderModelWithCounters checks the hit-annotated Figure 6 view.
+func TestRenderModelWithCounters(t *testing.T) {
+	res, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := res.Replayer(BackendModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := RandomTrace(100, 2)
+	for i := range trace {
+		if _, err := rp.Process(&trace[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := res.RenderModelWithCounters(rp.Snapshot())
+	for _, want := range []string{"traffic: 100 packets", "hits:", "default: drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated render missing %q:\n%s", want, out)
+		}
+	}
+	// The plain render stays counter-free for the paper figures.
+	if strings.Contains(res.RenderModel(), "hits:") {
+		t.Error("plain RenderModel grew hit counters")
+	}
+}
+
+// TestToVerdictNonPacketSend pins the toVerdict fix: a sent value that
+// does not convert to a wire packet is an error, not a silently
+// shortened verdict. (The interpreter and model instance both reject
+// such sends earlier, so this guards the conversion layer itself.)
+func TestToVerdictNonPacketSend(t *testing.T) {
+	bad := &interp.Output{Sent: []interp.SentPacket{{Pkt: Int(1), Iface: "eth0"}}}
+	if _, err := toVerdict(bad); err == nil {
+		t.Fatal("non-packet send converted without error")
+	} else if !strings.Contains(err.Error(), "not a packet") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	p := Packet{SrcIP: "1.1.1.1", DstIP: "2.2.2.2", SrcPort: 1, DstPort: 2,
+		Proto: "tcp", Flags: "S", TTL: 64, InIface: "eth0"}
+	good := &interp.Output{Sent: []interp.SentPacket{{Pkt: p.ToValue(), Iface: "wan"}}}
+	v, err := toVerdict(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Sent) != 1 || v.Ifaces[0] != "wan" || v.Dropped {
+		t.Errorf("verdict = %+v", v)
+	}
+}
