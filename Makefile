@@ -7,13 +7,24 @@ GO ?= go
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-telemetry alloc vet
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-telemetry alloc vet lint fuzz
 
 all: check
 
-# Default gate: compile, vet, test, and the zero-allocation regression
-# (telemetry must never put an allocation on the packet path).
-check: build vet test alloc
+# Default gate: compile, vet, test, the zero-allocation regression
+# (telemetry must never put an allocation on the packet path), and
+# NFLint over the corpus (sources and synthesized models must be clean).
+check: build vet test alloc lint
+
+# NFLint over the embedded corpus: source passes, Table 1 cross-check,
+# model passes. Non-zero exit on error-severity findings.
+lint:
+	$(GO) run ./cmd/nflint
+
+# Short parser fuzz (the CI smoke variant; crashers land in
+# internal/lang/testdata/fuzz and become regression seeds).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang
 
 # The steady-state allocation regressions in isolation: AllocsPerRun
 # must report 0 allocs/packet with telemetry attached.

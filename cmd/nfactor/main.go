@@ -27,6 +27,7 @@ func main() {
 	telemetryN := flag.Int("telemetry", 0, "replay N random packets through the compiled engine and print the hit-annotated model plus telemetry counters")
 	explainN := flag.Int("explain", 0, "print provenance traces for the first N packets of the -telemetry replay")
 	stats := flag.Bool("stats", false, "print performance counters and solver-cache hit rates (implies -check, so the stats cover the full synthesize-and-verify cycle)")
+	lintFlag := flag.Bool("lint", false, "run NFLint on the program and synthesized model and print the diagnostics (exit 1 on error-severity findings)")
 	list := flag.Bool("list", false, "list the built-in corpus NFs and exit")
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := nfactor.Options{MaxPaths: *maxPaths, Workers: *workers, Config: parseConfig(*configFlag)}
+	opts := nfactor.Options{MaxPaths: *maxPaths, Workers: *workers, Config: parseConfig(*configFlag), Lint: *lintFlag}
 
 	var res *nfactor.Result
 	var err error
@@ -61,6 +62,15 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *lintFlag {
+		diags := res.Diagnostics()
+		fmt.Println("=== lint (NFLint) ===")
+		fmt.Print(nfactor.RenderDiagnostics(diags))
+		if nfactor.HasLintErrors(diags) {
+			os.Exit(1)
+		}
 	}
 
 	sections := map[string]bool{}

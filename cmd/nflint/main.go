@@ -1,0 +1,122 @@
+// Command nflint runs NFLint — static analysis and diagnostics over
+// NFLang sources and the models synthesized from them.
+//
+// Usage:
+//
+//	nflint [-json] [-source] [target ...]
+//
+// Each target is a built-in corpus NF name or an NFLang source file;
+// with no targets the whole corpus is linted. By default nflint runs the
+// full pipeline: the source-level passes (NFL0xx), the Table 1
+// classification cross-check against StateAlyzer (NFL005), and the
+// model-level passes (NFL1xx) on the synthesized model with data-plane
+// state-slot cross-references. -source restricts to the source passes
+// (no synthesis — works on programs that cannot be synthesized yet).
+//
+// Exit status: 0 clean (or warnings/info only), 1 when any
+// error-severity diagnostic was found, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/lint"
+	"nfactor/internal/nfs"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	srcOnly := flag.Bool("source", false, "source-level passes only (no model synthesis)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nflint [-json] [-source] [target ...]\n")
+		fmt.Fprintf(os.Stderr, "targets: corpus NF names (%s) or .nfl files; default: whole corpus\n",
+			strings.Join(nfs.Names(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = nfs.Names()
+	}
+
+	var diags []lint.Diagnostic
+	for _, target := range targets {
+		nf, err := loadTarget(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		diags = append(diags, lintNF(nf, *srcOnly)...)
+	}
+	lint.Sort(diags)
+
+	if *jsonOut {
+		out, err := lint.RenderJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	} else {
+		fmt.Print(lint.Render(diags))
+	}
+	if lint.HasErrors(diags) {
+		os.Exit(1)
+	}
+}
+
+// loadTarget resolves a corpus name or an .nfl file path.
+func loadTarget(target string) (*nfs.NF, error) {
+	if strings.HasSuffix(target, ".nfl") {
+		src, err := os.ReadFile(target)
+		if err != nil {
+			return nil, err
+		}
+		return nfs.FromSource(strings.TrimSuffix(target, ".nfl"), string(src))
+	}
+	return nfs.Load(target)
+}
+
+// lintNF runs the requested passes on one NF.
+func lintNF(nf *nfs.NF, srcOnly bool) []lint.Diagnostic {
+	diags := lint.Source(nf.Prog, nf.Name)
+	if srcOnly {
+		return diags
+	}
+	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
+	if err != nil {
+		// Not synthesizable (e.g. no send()): the source findings stand,
+		// plus an error about why the model passes could not run.
+		return append(diags, lint.Diagnostic{
+			Code: lint.CodePipeline, Severity: lint.SevError, NF: nf.Name, Entry: -1,
+			Message: fmt.Sprintf("model synthesis failed, model passes skipped: %v", err),
+		})
+	}
+	diags = append(diags, lint.CrossCheck(an.Analyzer, an.Vars, nf.Name)...)
+	diags = append(diags, lint.Model(an.Model, lint.ModelOptions{StateSlots: stateSlots(an)})...)
+	return diags
+}
+
+// stateSlots compiles the model to the data plane and returns the state
+// variables it allocated slots for (the NFL104 cross-reference).
+func stateSlots(an *core.Analysis) map[string]bool {
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		return nil
+	}
+	eng, err := dataplane.Compile(an.Model, config, state)
+	if err != nil {
+		return nil
+	}
+	slots := map[string]bool{}
+	for v := range eng.State() {
+		slots[v] = true
+	}
+	return slots
+}

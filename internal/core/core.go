@@ -17,6 +17,7 @@ import (
 
 	"nfactor/internal/interp"
 	"nfactor/internal/lang"
+	"nfactor/internal/lint"
 	"nfactor/internal/model"
 	"nfactor/internal/perf"
 	"nfactor/internal/slice"
@@ -57,6 +58,15 @@ type Options struct {
 	// Perf receives the pipeline's counters and phase timers. Analyze
 	// creates one when nil; the populated Set is on Analysis.Perf.
 	Perf *perf.Set
+	// Lint runs NFLint during synthesis — the source passes and the
+	// Table 1 classification cross-check on the original program, the
+	// model passes on the synthesized model — and puts the findings on
+	// Analysis.Diagnostics.
+	Lint bool
+	// LintStrict (implies Lint) makes Analyze fail with an error when
+	// any error-severity diagnostic is found: degenerate inputs and
+	// models are diagnosed, not silently synthesized.
+	LintStrict bool
 }
 
 func (o Options) entry() string {
@@ -136,6 +146,9 @@ type Analysis struct {
 	// execution hits conjunctions the slice execution already decided.
 	Cache *solver.Cache
 	Perf  *perf.Set
+
+	// Diagnostics are the NFLint findings (when Options.Lint was set).
+	Diagnostics []lint.Diagnostic
 
 	Metrics Metrics
 }
@@ -282,6 +295,22 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	an.Metrics.LoCSlice = lang.CountLoC(an.SliceProg)
 	endSlice()
 
+	// NFLint on the input: the source passes and the Table 1
+	// classification cross-check run before symbolic execution, so a
+	// degenerate program is diagnosed (error-severity findings fail the
+	// run under LintStrict) instead of surfacing as a raw symexec error
+	// or being silently synthesized.
+	if opts.Lint || opts.LintStrict {
+		endLint := opts.Perf.Phase("lint")
+		an.Diagnostics = append(an.Diagnostics, lint.Source(prog, nfName)...)
+		an.Diagnostics = append(an.Diagnostics, lint.CrossCheck(analyzer, an.Vars, nfName)...)
+		lint.Sort(an.Diagnostics)
+		endLint()
+		if opts.LintStrict && lint.HasErrors(an.Diagnostics) {
+			return an, fmt.Errorf("core: lint errors in %s:\n%s", nfName, lint.Render(an.Diagnostics))
+		}
+	}
+
 	// 4. Execution paths of the slice.
 	seOpts := opts.seOpts(an.Vars)
 	seStart := time.Now()
@@ -324,6 +353,18 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 		Perf:    opts.Perf,
 	})
 	endRefine()
+
+	// NFLint on the synthesized model (the input program was linted
+	// before symbolic execution).
+	if opts.Lint || opts.LintStrict {
+		endLint := opts.Perf.Phase("lint")
+		an.Diagnostics = append(an.Diagnostics, lint.Model(an.Model, lint.ModelOptions{})...)
+		lint.Sort(an.Diagnostics)
+		endLint()
+		if opts.LintStrict && lint.HasErrors(an.Diagnostics) {
+			return an, fmt.Errorf("core: lint errors in %s:\n%s", nfName, lint.Render(an.Diagnostics))
+		}
+	}
 
 	// Optional: symbolic execution of the original (inlined) program,
 	// for the "orig" Table 2 columns.

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/lang"
+	"nfactor/internal/lint"
+)
+
+// TestLintOptionCollects: Options.Lint attaches NFLint findings to the
+// Analysis without failing it.
+func TestLintOptionCollects(t *testing.T) {
+	src := `
+SPARE = 1;
+
+func process(pkt) {
+    x = 7;
+    x = pkt.sport;
+    pkt.dport = x;
+    send(pkt, "out");
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze("t", prog, core.Options{Lint: true})
+	if err != nil {
+		t.Fatalf("warnings must not fail the pipeline: %v", err)
+	}
+	codes := map[lint.Code]bool{}
+	for _, d := range an.Diagnostics {
+		codes[d.Code] = true
+	}
+	if !codes[lint.CodeDeadAssign] || !codes[lint.CodeUnusedVar] {
+		t.Fatalf("want NFL002 and NFL004 findings, got:\n%s", lint.Render(an.Diagnostics))
+	}
+}
+
+// TestLintStrictFails: LintStrict turns an error-severity finding into a
+// synthesis failure (diagnose, don't silently synthesize).
+func TestLintStrictFails(t *testing.T) {
+	src := `
+func process(pkt) {
+    if pkt.sport > 0 {
+        pkt.dport = ghost;
+    }
+    send(pkt, "out");
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Analyze("t", prog, core.Options{LintStrict: true})
+	if err == nil || !strings.Contains(err.Error(), "NFL001") {
+		t.Fatalf("want a lint failure naming NFL001, got: %v", err)
+	}
+}
+
+// TestLintStrictCleanPasses: a clean corpus NF synthesizes under the
+// strict gate.
+func TestLintStrictCleanPasses(t *testing.T) {
+	src := `
+func process(pkt) {
+    if pkt.sport > 1024 {
+        send(pkt, "out");
+    }
+}
+`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze("t", prog, core.Options{LintStrict: true})
+	if err != nil {
+		t.Fatalf("clean program must pass the strict gate: %v", err)
+	}
+	if len(an.Diagnostics) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", lint.Render(an.Diagnostics))
+	}
+}

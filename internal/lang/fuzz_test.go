@@ -1,0 +1,63 @@
+package lang_test
+
+import (
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/nfs"
+)
+
+// FuzzParse drives the NFLang lexer and parser with arbitrary input,
+// seeded with the whole embedded corpus plus small syntax-edge seeds.
+// Three properties:
+//
+//  1. no panic on any input (errors must be returned, not thrown),
+//  2. an accepted program survives the printer round-trip
+//     (Parse(Print(p)) succeeds — the printer emits valid NFLang),
+//  3. def-use extraction over the parsed AST does not panic either.
+//
+// Run with: go test -fuzz=FuzzParse ./internal/lang
+func FuzzParse(f *testing.F) {
+	for _, name := range nfs.Names() {
+		nf, err := nfs.Load(name)
+		if err != nil {
+			f.Fatalf("corpus seed %s: %v", name, err)
+		}
+		f.Add(nf.Source)
+	}
+	for _, seed := range []string{
+		"",
+		"func process(pkt) {}",
+		"x = 1;",
+		"func f(a, b) { return a + b; }",
+		"m = {1: \"a\"};\nfunc process(pkt) { if pkt.x in m { send(pkt, m[pkt.x]); } }",
+		"func process(pkt) { while true { break; } for x in m { continue; } }",
+		"t = (1, 2, 3);",
+		"# comment only",
+		"func process(pkt) { x = -(!(pkt.a) + 1); }",
+		"\"unterminated",
+		"func process(pkt) { send(pkt, ",
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		out := lang.Print(prog)
+		reparsed, err := lang.Parse(out)
+		if err != nil {
+			t.Fatalf("printer round-trip rejected:\n%s\nerror: %v", out, err)
+		}
+		// Def-use extraction must be total on parsed programs.
+		for _, p := range []*lang.Program{prog, reparsed} {
+			p.WalkStmts(func(s lang.Stmt) {
+				lang.Uses(s)
+				lang.Defs(s)
+				lang.CallsIn(s)
+			})
+		}
+	})
+}

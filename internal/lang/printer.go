@@ -6,6 +6,31 @@ import (
 	"strings"
 )
 
+// quoteString renders a string literal using exactly the escapes the
+// lexer understands (\n, \t, \", \\); all other bytes are written raw,
+// which the lexer accepts for anything but a newline. strconv.Quote
+// would emit \xNN and \uNNNN escapes that do not re-parse.
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
 // Print renders the program as canonical NFLang source. The output
 // re-parses to an equivalent program; it is also how sliced programs are
 // rendered and how slice LoC (Table 2) is counted.
@@ -121,7 +146,7 @@ func ExprString(e Expr) string {
 	case *IntLit:
 		return strconv.FormatInt(x.Val, 10)
 	case *StrLit:
-		return strconv.Quote(x.Val)
+		return quoteString(x.Val)
 	case *BoolLit:
 		if x.Val {
 			return "true"

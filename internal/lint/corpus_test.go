@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"sync"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/lint"
+	"nfactor/internal/nfs"
+)
+
+// corpusAnalysis memoizes full pipeline runs so the lint tests pay for
+// each corpus NF's synthesis once.
+var (
+	corpusMu   sync.Mutex
+	corpusRuns = map[string]*core.Analysis{}
+)
+
+func analyzeCorpus(t *testing.T, name string) *core.Analysis {
+	t.Helper()
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	if an, ok := corpusRuns[name]; ok {
+		return an
+	}
+	nf, err := nfs.Load(name)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	an, err := core.Analyze(name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatalf("analyze %s: %v", name, err)
+	}
+	corpusRuns[name] = an
+	return an
+}
+
+func corpusNames(t *testing.T) []string {
+	t.Helper()
+	names := nfs.Names()
+	if len(names) == 0 {
+		t.Fatal("empty corpus")
+	}
+	return names
+}
+
+// byCode filters diagnostics to one code.
+func byCode(diags []lint.Diagnostic, code lint.Code) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// wantCode asserts at least one diagnostic with the code and severity.
+func wantCode(t *testing.T, diags []lint.Diagnostic, code lint.Code, sev lint.Severity) lint.Diagnostic {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == code && d.Severity == sev {
+			return d
+		}
+	}
+	t.Fatalf("no %s at severity %s in:\n%s", code, sev, lint.Render(diags))
+	return lint.Diagnostic{}
+}
+
+// wantNone asserts no diagnostic with the code.
+func wantNone(t *testing.T, diags []lint.Diagnostic, code lint.Code) {
+	t.Helper()
+	if got := byCode(diags, code); len(got) != 0 {
+		t.Fatalf("unexpected %s diagnostics:\n%s", code, lint.Render(got))
+	}
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/dataflow"
+	"nfactor/internal/lang"
+	"nfactor/internal/slice"
+	"nfactor/internal/statealyzer"
+)
+
+// CrossCheck re-derives the Table 1 variable classification from first
+// principles — reaching definitions plus postdominator-set control
+// dependence, with the same output-impacting closure and oisVar
+// promotion fixpoint the pipeline applies — and compares it against the
+// StateAlyzer result the pipeline actually used. Any disagreement is an
+// NFL005 error: one of the two derivations has a bug, so this pass is a
+// regression tripwire for the paper's core algorithm (Algorithm 1
+// line 5 and the §3.1 slice-based output-impacting decision).
+//
+// The re-derivation deliberately shares only the cfg/dataflow substrate
+// with the pipeline: control dependence is computed from postdominator
+// sets directly (not the PDG's ipdom-tree walk), and the closure,
+// feature extraction and promotion loop are independent code.
+func CrossCheck(a *slice.Analyzer, vars *statealyzer.Result, nfName string) []Diagnostic {
+	derived, ok := deriveCategories(a)
+	if !ok {
+		return nil // no packet output: nothing to cross-check against
+	}
+
+	names := map[string]bool{}
+	for v := range vars.Category {
+		names[v] = true
+	}
+	for v := range derived {
+		names[v] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for v := range names {
+		sorted = append(sorted, v)
+	}
+	sort.Strings(sorted)
+
+	var diags []Diagnostic
+	for _, v := range sorted {
+		want, inPipe := vars.Category[v]
+		got, inDerived := derived[v]
+		switch {
+		case !inPipe:
+			diags = append(diags, Diagnostic{
+				Code: CodeClassMismatch, Severity: SevError, NF: nfName, Entry: -1,
+				Message: fmt.Sprintf("classification cross-check: %q derived as %s but absent from StateAlyzer result", v, got),
+			})
+		case !inDerived:
+			diags = append(diags, Diagnostic{
+				Code: CodeClassMismatch, Severity: SevError, NF: nfName, Entry: -1,
+				Message: fmt.Sprintf("classification cross-check: StateAlyzer classifies %q as %s but the independent derivation does not see it", v, want),
+			})
+		case got != want:
+			diags = append(diags, Diagnostic{
+				Code: CodeClassMismatch, Severity: SevError, NF: nfName, Entry: -1,
+				Message: fmt.Sprintf("classification cross-check: %q is %s per StateAlyzer but %s per independent dataflow derivation", v, want, got),
+			})
+		}
+	}
+	return diags
+}
+
+// deriveCategories computes the Table 1 category of every variable of
+// the analyzer's (inlined) program without consulting the PDG, the
+// slicer or StateAlyzer. Reports ok=false when the program has no
+// packet-output statement.
+func deriveCategories(a *slice.Analyzer) (map[string]statealyzer.Category, bool) {
+	prog, entry := a.Prog, a.Entry
+	fn := prog.Func(entry)
+	g := a.G
+
+	rd := dataflow.Reaching(g, fn.Params)
+	ctrl := ctrlDepsFromPostdoms(g)
+
+	// Criterion 1: packet-output statements (Algorithm 1 line 2).
+	var sendNodes []int
+	prog.WalkStmts(func(s lang.Stmt) {
+		for _, f := range lang.CallsIn(s) {
+			if f == "send" {
+				if n := g.NodeByStmt(s.StmtID()); n != nil {
+					sendNodes = append(sendNodes, n.ID)
+				}
+				return
+			}
+		}
+	})
+	if len(sendNodes) == 0 {
+		return nil, false
+	}
+	pktStmts := closure(g, rd, ctrl, sendNodes)
+
+	// Features (§2.1), collected by an AST walk of the entry body.
+	persistent := map[string]bool{}
+	for _, gl := range prog.Globals {
+		for _, l := range gl.LHS {
+			if id, isID := l.(*lang.Ident); isID {
+				persistent[id.Name] = true
+			}
+		}
+	}
+	topLevel, updateable := map[string]bool{}, map[string]bool{}
+	walkStmtTree(fn.Body, func(s lang.Stmt) {
+		for _, v := range lang.Uses(s) {
+			topLevel[v] = true
+		}
+		for _, v := range lang.Defs(s) {
+			topLevel[v] = true
+			updateable[v] = true
+		}
+	})
+	outputImpacting := map[string]bool{}
+	markVarsOf(prog, pktStmts, outputImpacting)
+
+	params := map[string]bool{}
+	for _, p := range fn.Params {
+		params[p] = true
+	}
+	all := map[string]bool{}
+	for v := range persistent {
+		all[v] = true
+	}
+	for v := range topLevel {
+		all[v] = true
+	}
+	for v := range params {
+		all[v] = true
+	}
+
+	classify := func(v string) statealyzer.Category {
+		switch {
+		case params[v]:
+			return statealyzer.CatPkt
+		case persistent[v] && topLevel[v] && !updateable[v]:
+			return statealyzer.CatCfg
+		case persistent[v] && topLevel[v] && updateable[v] && outputImpacting[v]:
+			return statealyzer.CatOIS
+		case persistent[v] && topLevel[v] && updateable[v]:
+			return statealyzer.CatLog
+		default:
+			return statealyzer.CatLocal
+		}
+	}
+	cats := map[string]statealyzer.Category{}
+	for v := range all {
+		cats[v] = classify(v)
+	}
+
+	// Promotion fixpoint (the strike-counter → quarantine-set pattern):
+	// a persistent updateable variable whose statements appear in the
+	// backward closure from oisVar updates feeds a later invocation's
+	// output and is output-impacting itself.
+	ois := map[string]bool{}
+	for v, c := range cats {
+		if c == statealyzer.CatOIS {
+			ois[v] = true
+		}
+	}
+	for {
+		var updNodes []int
+		walkStmtTree(fn.Body, func(s lang.Stmt) {
+			if !updatesOIS(s, ois) {
+				return
+			}
+			if n := g.NodeByStmt(s.StmtID()); n != nil {
+				updNodes = append(updNodes, n.ID)
+			}
+		})
+		stateStmts := closure(g, rd, ctrl, updNodes)
+		touched := map[string]bool{}
+		markVarsOf(prog, stateStmts, touched)
+		grew := false
+		for v := range touched {
+			if persistent[v] && topLevel[v] && updateable[v] && !ois[v] {
+				ois[v] = true
+				cats[v] = statealyzer.CatOIS
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	return cats, true
+}
+
+// ctrlDepsFromPostdoms computes control dependence straight from the
+// postdominator sets (Ferrante's definition: w depends on branch u when
+// some successor of u is postdominated by w but u itself is not) —
+// independent of the PDG's ipdom-tree formulation.
+func ctrlDepsFromPostdoms(g *cfg.Graph) map[int][]int {
+	pdoms := g.Postdominators()
+	out := map[int][]int{}
+	for _, u := range g.Nodes {
+		succs := g.Succs(u.ID)
+		if len(succs) < 2 {
+			continue
+		}
+		for _, w := range g.Nodes {
+			if pdoms[u.ID][w.ID] {
+				continue // w postdominates the branch: executes regardless
+			}
+			for _, v := range succs {
+				if pdoms[v][w.ID] {
+					out[w.ID] = append(out[w.ID], u.ID)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// closure runs the backward dependence closure from the given CFG nodes
+// (data edges from reaching definitions, control edges from
+// postdominator sets) and returns the statement IDs it reaches,
+// including the pipeline's jump handling: an early exit whose guarding
+// branches are all in the closure shapes reachability and is kept.
+func closure(g *cfg.Graph, rd *dataflow.ReachDefs, ctrl map[int][]int, roots []int) map[int]bool {
+	inC := map[int]bool{}
+	var work []int
+	push := func(n int) {
+		if !inC[n] {
+			inC[n] = true
+			work = append(work, n)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, v := range dataflow.NodeUses(g, n) {
+			for _, d := range rd.UseDefs(n, v) {
+				if d != n {
+					push(d)
+				}
+			}
+		}
+		for _, u := range ctrl[n] {
+			push(u)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Stmt == nil || inC[n.ID] {
+			continue
+		}
+		switch n.Stmt.(type) {
+		case *lang.ReturnStmt, *lang.BreakStmt, *lang.ContinueStmt:
+			guarded := true
+			for _, u := range ctrl[n.ID] {
+				if !inC[u] {
+					guarded = false
+					break
+				}
+			}
+			if guarded {
+				inC[n.ID] = true
+			}
+		}
+	}
+	stmts := map[int]bool{}
+	for id := range inC {
+		if s := g.Node(id).Stmt; s != nil {
+			stmts[s.StmtID()] = true
+		}
+	}
+	return stmts
+}
+
+// markVarsOf adds every variable used or defined by the given statement
+// IDs to set.
+func markVarsOf(prog *lang.Program, stmtIDs map[int]bool, set map[string]bool) {
+	prog.WalkStmts(func(s lang.Stmt) {
+		if !stmtIDs[s.StmtID()] {
+			return
+		}
+		for _, v := range lang.Uses(s) {
+			set[v] = true
+		}
+		for _, v := range lang.Defs(s) {
+			set[v] = true
+		}
+	})
+}
+
+// updatesOIS reports whether s updates an output-impacting state
+// variable: an assignment with an oisVar base target, or a del() on an
+// oisVar map (Algorithm 1 lines 6-9's criterion).
+func updatesOIS(s lang.Stmt, ois map[string]bool) bool {
+	switch st := s.(type) {
+	case *lang.AssignStmt:
+		for _, l := range st.LHS {
+			if ois[lang.BaseVar(l)] {
+				return true
+			}
+		}
+	case *lang.ExprStmt:
+		if c, isCall := st.X.(*lang.CallExpr); isCall && c.Fun == "del" && len(c.Args) == 2 {
+			if id, isID := c.Args[0].(*lang.Ident); isID && ois[id.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkStmtTree visits s and every nested statement.
+func walkStmtTree(s lang.Stmt, fn func(lang.Stmt)) {
+	fn(s)
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		for _, c := range st.Stmts {
+			walkStmtTree(c, fn)
+		}
+	case *lang.IfStmt:
+		walkStmtTree(st.Then, fn)
+		if st.Else != nil {
+			walkStmtTree(st.Else, fn)
+		}
+	case *lang.WhileStmt:
+		walkStmtTree(st.Body, fn)
+	case *lang.ForStmt:
+		walkStmtTree(st.Body, fn)
+	}
+}

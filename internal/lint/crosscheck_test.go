@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lint"
+	"nfactor/internal/statealyzer"
+)
+
+// TestCrossCheckCorpusClean is the NFL005 negative test and the
+// regression tripwire itself: the independent dataflow re-derivation of
+// the Table 1 classification must agree with StateAlyzer on every corpus
+// NF. A failure here means one of the two derivations regressed.
+func TestCrossCheckCorpusClean(t *testing.T) {
+	for _, name := range corpusNames(t) {
+		an := analyzeCorpus(t, name)
+		if diags := lint.CrossCheck(an.Analyzer, an.Vars, name); len(diags) != 0 {
+			t.Errorf("%s: classification cross-check mismatch:\n%s", name, lint.Render(diags))
+		}
+	}
+}
+
+// cloneVars shallow-copies a StateAlyzer result so a test can corrupt
+// the classification without poisoning the shared corpus cache.
+func cloneVars(r *statealyzer.Result) *statealyzer.Result {
+	out := &statealyzer.Result{
+		Features: make(map[string]statealyzer.Features, len(r.Features)),
+		Category: make(map[string]statealyzer.Category, len(r.Category)),
+	}
+	for k, v := range r.Features {
+		out.Features[k] = v
+	}
+	for k, v := range r.Category {
+		out.Category[k] = v
+	}
+	return out
+}
+
+// TestCrossCheckMismatch is the NFL005 positive test: corrupting the
+// pipeline's classification in each possible way (wrong category,
+// phantom variable, missing variable) must produce an error diagnostic
+// naming the variable.
+func TestCrossCheckMismatch(t *testing.T) {
+	an := analyzeCorpus(t, "firewall")
+
+	t.Run("wrong-category", func(t *testing.T) {
+		vars := cloneVars(an.Vars)
+		var victim string
+		for v, c := range vars.Category {
+			if c == statealyzer.CatOIS {
+				victim = v
+				break
+			}
+		}
+		if victim == "" {
+			t.Fatal("firewall has no oisVar?")
+		}
+		vars.Category[victim] = statealyzer.CatLog
+		d := wantCode(t, lint.CrossCheck(an.Analyzer, vars, "firewall"), lint.CodeClassMismatch, lint.SevError)
+		if !strings.Contains(d.Message, victim) {
+			t.Fatalf("diagnostic does not name %q: %s", victim, d.Message)
+		}
+	})
+
+	t.Run("phantom-variable", func(t *testing.T) {
+		vars := cloneVars(an.Vars)
+		vars.Category["phantom"] = statealyzer.CatCfg
+		d := wantCode(t, lint.CrossCheck(an.Analyzer, vars, "firewall"), lint.CodeClassMismatch, lint.SevError)
+		if !strings.Contains(d.Message, "phantom") {
+			t.Fatalf("diagnostic does not name the phantom: %s", d.Message)
+		}
+	})
+
+	t.Run("missing-variable", func(t *testing.T) {
+		vars := cloneVars(an.Vars)
+		for v, c := range vars.Category {
+			if c == statealyzer.CatCfg {
+				delete(vars.Category, v)
+				break
+			}
+		}
+		wantCode(t, lint.CrossCheck(an.Analyzer, vars, "firewall"), lint.CodeClassMismatch, lint.SevError)
+	})
+}

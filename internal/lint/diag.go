@@ -1,0 +1,246 @@
+// Package lint is NFLint: static analysis and diagnostics over NFLang
+// sources and synthesized NF models. It closes the loop the pipeline
+// otherwise leaves open — the repo *uses* program analysis (slicing,
+// StateAlyzer, symbolic execution) but never checks its own inputs or
+// outputs. NFLint does both:
+//
+//   - Source-level passes run on the cfg/dataflow substrate over NFLang
+//     ASTs: uninitialized reads, dead assignments, unreachable
+//     statements, unused persistent variables, and an independent
+//     re-derivation of the Table 1 variable classification that
+//     cross-checks StateAlyzer (a mismatch is a regression tripwire for
+//     the paper's core algorithm).
+//   - Model-level passes run on synthesized tables with internal/solver:
+//     shadowed entries, overlapping entries with conflicting actions,
+//     match-space gaps that fall through to the §3.2 implicit drop
+//     (reported with a witness packet class), and state variables that
+//     are written but never read back.
+//
+// Diagnostics are structured (code, severity, position, related notes)
+// and render as text or JSON; cmd/nflint is the CLI and the pipeline can
+// gate synthesis on error-class diagnostics (core.Options.Lint).
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/lang"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities, in ascending order.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Code identifies one lint check. NFL0xx codes are source-level, NFL1xx
+// are model-level; DESIGN.md maps each to the paper concept it guards.
+type Code string
+
+// The NFLint diagnostic codes.
+const (
+	// CodePipeline: the synthesis pipeline rejected the program (e.g. no
+	// packet-output statement), so the model-level passes could not run.
+	CodePipeline Code = "NFL000"
+	// CodeUninitRead: a variable is read before any assignment reaches
+	// the read (error: no definition at all on any path; warning: a path
+	// exists on which the variable is still unassigned).
+	CodeUninitRead Code = "NFL001"
+	// CodeDeadAssign: the assigned value is never used afterwards.
+	CodeDeadAssign Code = "NFL002"
+	// CodeUnreachable: the statement can never execute (no CFG path from
+	// function entry reaches it — e.g. code after an unconditional
+	// return).
+	CodeUnreachable Code = "NFL003"
+	// CodeUnusedVar: a persistent (global) variable is never used by any
+	// function — configuration or state that cannot matter.
+	CodeUnusedVar Code = "NFL004"
+	// CodeClassMismatch: NFLint's independent dataflow re-derivation of
+	// the Table 1 variable classification disagrees with StateAlyzer —
+	// one of the two analyses has a bug (regression tripwire).
+	CodeClassMismatch Code = "NFL005"
+	// CodeShadowedEntry: a table entry can never fire — its guard is
+	// unsatisfiable, or a higher-priority entry's match subsumes it.
+	CodeShadowedEntry Code = "NFL101"
+	// CodeOverlapConflict: two entries' matches overlap but their
+	// actions differ — only priority makes the model deterministic.
+	CodeOverlapConflict Code = "NFL102"
+	// CodeMatchGap: the entries do not cover the match space; the
+	// witness packet class falls through to the implicit drop (§3.2).
+	CodeMatchGap Code = "NFL103"
+	// CodeUnmatchedState: a state variable is written by entry actions
+	// but never read back by any match or action term — a logVar
+	// misclassified as output-impacting, or dead state mass.
+	CodeUnmatchedState Code = "NFL104"
+)
+
+// Related is a secondary note attached to a diagnostic (a second
+// position involved, or a cross-reference into another subsystem).
+type Related struct {
+	Pos     lang.Pos `json:"pos,omitempty"`
+	Message string   `json:"message"`
+}
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	// NF names the program or model the finding is about.
+	NF string `json:"nf,omitempty"`
+	// Func is the enclosing function (source-level passes).
+	Func string `json:"func,omitempty"`
+	// Pos is the source position (source-level passes; zero otherwise).
+	Pos lang.Pos `json:"pos,omitempty"`
+	// Entry is the model entry index (model-level passes; -1 otherwise).
+	Entry   int       `json:"entry,omitempty"`
+	Message string    `json:"message"`
+	Related []Related `json:"related,omitempty"`
+}
+
+// String renders the diagnostic as a single grep-able line (plus
+// indented related notes).
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	if d.NF != "" {
+		sb.WriteString(d.NF)
+		sb.WriteString(":")
+	}
+	if d.Pos != (lang.Pos{}) {
+		fmt.Fprintf(&sb, "%s:", d.Pos)
+	}
+	if d.Entry >= 0 && d.Pos == (lang.Pos{}) {
+		fmt.Fprintf(&sb, "entry %d:", d.Entry)
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s[%s]: %s", d.Severity, d.Code, d.Message)
+	for _, r := range d.Related {
+		sb.WriteString("\n    note: ")
+		if r.Pos != (lang.Pos{}) {
+			fmt.Fprintf(&sb, "%s: ", r.Pos)
+		}
+		sb.WriteString(r.Message)
+	}
+	return sb.String()
+}
+
+// Sort orders diagnostics deterministically: source diagnostics by
+// position, model diagnostics by entry, then by code and message.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Entry != b.Entry {
+			return a.Entry < b.Entry
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Max returns the highest severity present (SevInfo when empty).
+func Max(diags []Diagnostic) Severity {
+	out := SevInfo
+	for _, d := range diags {
+		if d.Severity > out {
+			out = d.Severity
+		}
+	}
+	return out
+}
+
+// Render formats diagnostics as human-readable text, one finding per
+// line (related notes indented), ending with a summary line.
+func Render(diags []Diagnostic) string {
+	var sb strings.Builder
+	var errs, warns, infos int
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteString("\n")
+		switch d.Severity {
+		case SevError:
+			errs++
+		case SevWarning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	fmt.Fprintf(&sb, "%d error(s), %d warning(s), %d info\n", errs, warns, infos)
+	return sb.String()
+}
+
+// RenderJSON formats diagnostics as an indented JSON array (stable
+// given Sort), the machine surface of cmd/nflint -json.
+func RenderJSON(diags []Diagnostic) (string, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	b, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}

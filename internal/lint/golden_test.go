@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nfactor/internal/lint"
+	"nfactor/internal/nfs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output drifted from %s:\n--- want ---\n%s--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenCorpus locks the full-corpus nflint output — every pass over
+// every NF, text and JSON. The corpus is expected to lint clean, so the
+// golden also certifies that expectation.
+func TestGoldenCorpus(t *testing.T) {
+	var diags []lint.Diagnostic
+	for _, name := range corpusNames(t) {
+		an := analyzeCorpus(t, name)
+		diags = append(diags, lint.Source(an.Original, name)...)
+		diags = append(diags, lint.CrossCheck(an.Analyzer, an.Vars, name)...)
+		diags = append(diags, lint.Model(an.Model, lint.ModelOptions{})...)
+	}
+	lint.Sort(diags)
+
+	checkGolden(t, "corpus.txt", lint.Render(diags))
+	js, err := lint.RenderJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "corpus.json", js)
+}
+
+// TestGoldenDemo locks the diagnostic wording and JSON shape on a
+// deliberately broken program exercising the source-level codes.
+func TestGoldenDemo(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "demo.nfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := nfs.FromSource("demo", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Source(nf.Prog, "demo")
+
+	codes := map[lint.Code]bool{}
+	for _, d := range diags {
+		codes[d.Code] = true
+	}
+	for _, want := range []lint.Code{lint.CodeUninitRead, lint.CodeDeadAssign, lint.CodeUnreachable, lint.CodeUnusedVar} {
+		if !codes[want] {
+			t.Errorf("demo program should trigger %s; got:\n%s", want, lint.Render(diags))
+		}
+	}
+
+	checkGolden(t, "demo.txt", lint.Render(diags))
+	js, err := lint.RenderJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "demo.json", js)
+
+	if !strings.Contains(lint.Render(diags), "error[NFL001]") {
+		t.Error("demo rendering should include an NFL001 error")
+	}
+}

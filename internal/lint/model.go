@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+)
+
+// ModelOptions configure the model-level passes.
+type ModelOptions struct {
+	// StateSlots, when set, names the state variables the compiled data
+	// plane allocated storage for (dataplane Engine.State() keys); an
+	// NFL104 finding about one of them gets a cross-reference note.
+	StateSlots map[string]bool
+	// EntryHits, when set, are live per-entry hit counters from a
+	// telemetry Snapshot; a shadowed entry that also never fired in the
+	// replay gets a concordance note (the telemetry.DeadEntries view of
+	// the same fact).
+	EntryHits []int64
+	// MaxGapWork bounds the solver calls the match-space gap search may
+	// spend (default 4096).
+	MaxGapWork int
+}
+
+// Model runs the model-level lint passes on a synthesized model:
+// shadowed entries (NFL101), overlapping entries with conflicting
+// actions (NFL102), match-space gaps falling through to the implicit
+// drop (NFL103) and state written but never read back (NFL104). Every
+// verdict that condemns an entry is solver-proved (unsat is a proof;
+// the solver's conservative side only costs missed findings, never
+// false ones).
+func Model(m *model.Model, opts ModelOptions) []Diagnostic {
+	var diags []Diagnostic
+
+	guards := make([][]solver.Term, len(m.Entries))
+	sat := make([]bool, len(m.Entries))
+	for i := range m.Entries {
+		guards[i] = m.Entries[i].Guard()
+		sat[i] = solver.SatConj(guards[i])
+	}
+
+	diags = append(diags, shadowedEntries(m, guards, sat, opts)...)
+	diags = append(diags, overlapConflicts(m, guards, sat)...)
+	diags = append(diags, matchGap(m, guards, sat, opts)...)
+	diags = append(diags, unmatchedState(m, opts)...)
+	Sort(diags)
+	return diags
+}
+
+// shadowedEntries reports entries that can never fire (NFL101): an
+// unsatisfiable guard, or a higher-priority entry whose match subsumes
+// this one (every packet/state satisfying the lower entry's guard also
+// satisfies the higher one's, proved by SAT on guard ∧ ¬literal).
+func shadowedEntries(m *model.Model, guards [][]solver.Term, sat []bool, opts ModelOptions) []Diagnostic {
+	var diags []Diagnostic
+	for j := range m.Entries {
+		var d *Diagnostic
+		if !sat[j] {
+			d = &Diagnostic{
+				Code: CodeShadowedEntry, Severity: SevError, NF: m.NFName, Entry: j,
+				Message: fmt.Sprintf("entry %d can never fire: its match conjunction is unsatisfiable", j),
+			}
+		} else {
+			for i := 0; i < j; i++ {
+				if !sat[i] {
+					continue
+				}
+				if solver.ImpliesAll(guards[j], guards[i]) {
+					d = &Diagnostic{
+						Code: CodeShadowedEntry, Severity: SevError, NF: m.NFName, Entry: j,
+						Message: fmt.Sprintf("entry %d can never fire: higher-priority entry %d matches everything it matches", j, i),
+						Related: []Related{{Message: fmt.Sprintf("entry %d guard: %s", i, renderGuard(guards[i]))}},
+					}
+					break
+				}
+			}
+		}
+		if d == nil {
+			continue
+		}
+		if j < len(opts.EntryHits) && opts.EntryHits[j] == 0 {
+			d.Related = append(d.Related, Related{Message: "telemetry concurs: 0 hits for this entry in the replayed workload"})
+		}
+		diags = append(diags, *d)
+	}
+	return diags
+}
+
+// overlapConflicts reports entry pairs whose matches can both be
+// satisfied by the same packet/state while prescribing different
+// actions (NFL102) — the model is deterministic only by priority.
+func overlapConflicts(m *model.Model, guards [][]solver.Term, sat []bool) []Diagnostic {
+	var diags []Diagnostic
+	for i := range m.Entries {
+		if !sat[i] {
+			continue
+		}
+		for j := i + 1; j < len(m.Entries); j++ {
+			if !sat[j] {
+				continue
+			}
+			if solver.ImpliesAll(guards[j], guards[i]) {
+				continue // full shadow: reported by NFL101
+			}
+			both := append(append([]solver.Term{}, guards[i]...), guards[j]...)
+			if !solver.SatConj(both) {
+				continue // provably disjoint (the symexec-refined normal case)
+			}
+			if sameActions(&m.Entries[i], &m.Entries[j]) {
+				continue // overlap with identical behaviour: harmless split
+			}
+			diags = append(diags, Diagnostic{
+				Code: CodeOverlapConflict, Severity: SevWarning, NF: m.NFName, Entry: j,
+				Message: fmt.Sprintf("entries %d and %d may match the same packet but act differently; priority makes entry %d win on the overlap", i, j, i),
+				Related: []Related{{Message: fmt.Sprintf("entry %d guard: %s", i, renderGuard(guards[i]))}},
+			})
+		}
+	}
+	return diags
+}
+
+// matchGap searches for a packet/state class no entry matches (NFL103).
+// The complement of the guard union is ∧ over entries of (∨ over the
+// entry's literals of the literal's negation); the search picks one
+// negated literal per entry, pruning by SAT, so a found class is
+// disjoint from every entry by construction (it contradicts one literal
+// of each). That class falls through to the §3.2 implicit drop; the
+// finding is informational — implicit drop is usually intended — but
+// the witness tells the operator exactly what traffic dies.
+func matchGap(m *model.Model, guards [][]solver.Term, sat []bool, opts ModelOptions) []Diagnostic {
+	witness := gapWitness(guards, sat, opts.MaxGapWork)
+	if witness == nil {
+		return nil
+	}
+	return []Diagnostic{{
+		Code: CodeMatchGap, Severity: SevInfo, NF: m.NFName, Entry: -1,
+		Message: fmt.Sprintf("match space not covered: the class %s matches no entry and falls through to the implicit drop (§3.2)", renderGuard(witness)),
+	}}
+}
+
+// GapWitness returns a satisfiable packet/state class no entry of m
+// matches, or nil when the entries cover the space (or the work budget
+// runs out before a gap is found). The witness contains one negated
+// literal of every satisfiable entry's guard, so witness ∧ guard is
+// unsatisfiable for each entry — disjointness is provable by
+// construction, which is what the ground-truth tests check. maxWork
+// bounds the solver calls (<= 0: the 4096 default).
+func GapWitness(m *model.Model, maxWork int) []solver.Term {
+	guards := make([][]solver.Term, len(m.Entries))
+	sat := make([]bool, len(m.Entries))
+	for i := range m.Entries {
+		guards[i] = m.Entries[i].Guard()
+		sat[i] = solver.SatConj(guards[i])
+	}
+	return gapWitness(guards, sat, maxWork)
+}
+
+func gapWitness(guards [][]solver.Term, sat []bool, maxWork int) []solver.Term {
+	budget := maxWork
+	if budget <= 0 {
+		budget = 4096
+	}
+	order := make([]int, 0, len(guards))
+	for i, g := range guards {
+		if !sat[i] {
+			continue // an unfireable entry constrains nothing
+		}
+		if len(g) == 0 {
+			return nil // a match-all entry: the space is covered
+		}
+		order = append(order, i)
+	}
+	// Negating short guards first keeps the search tree narrow.
+	sort.SliceStable(order, func(a, b int) bool { return len(guards[order[a]]) < len(guards[order[b]]) })
+	return gapSearch(guards, order, nil, map[string]bool{}, &budget)
+}
+
+// gapSearch extends the accumulated class with one negated literal of
+// each remaining entry. chosen de-duplicates literals by key so an
+// already-contradicted entry costs nothing.
+func gapSearch(guards [][]solver.Term, remaining []int, acc []solver.Term, chosen map[string]bool, budget *int) []solver.Term {
+	if len(remaining) == 0 {
+		return acc
+	}
+	e := remaining[0]
+	for _, lit := range guards[e] {
+		if chosen[solver.Not(lit).Key()] {
+			return gapSearch(guards, remaining[1:], acc, chosen, budget)
+		}
+	}
+	for _, lit := range guards[e] {
+		if *budget <= 0 {
+			return nil
+		}
+		neg := solver.Not(lit)
+		next := append(acc[:len(acc):len(acc)], neg)
+		*budget--
+		if !solver.SatConj(next) {
+			continue
+		}
+		chosen[neg.Key()] = true
+		if w := gapSearch(guards, remaining[1:], next, chosen, budget); w != nil {
+			return w
+		}
+		delete(chosen, neg.Key())
+	}
+	return nil
+}
+
+// unmatchedState reports output-impacting state variables whose value
+// the model never reads back (NFL104): written by actions but absent
+// from every match and every action term, or absent from the model
+// entirely. Either way the variable cannot influence forwarding — the
+// oisVar classification (or the synthesis) is suspect, and the data
+// plane is carrying dead state.
+func unmatchedState(m *model.Model, opts ModelOptions) []Diagnostic {
+	written := map[string]bool{}
+	read := map[string]bool{}
+	note := func(t solver.Term) {
+		for _, v := range solver.Vars(t) {
+			if base, ok := strings.CutSuffix(v, "@0"); ok {
+				read[base] = true
+			}
+		}
+	}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		for _, c := range e.Guard() {
+			note(c)
+		}
+		for _, s := range e.Sends {
+			for _, f := range s.Fields {
+				note(f)
+			}
+			if s.Iface != nil {
+				note(s.Iface)
+			}
+		}
+		for _, u := range e.Updates {
+			written[u.Name] = true
+			note(u.Val)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, v := range m.OISVars {
+		if read[v] {
+			continue
+		}
+		var msg string
+		switch {
+		case written[v]:
+			msg = fmt.Sprintf("state variable %q is written by entry actions but never read by any match or action — oisVar misclassification or dead state", v)
+		default:
+			msg = fmt.Sprintf("state variable %q is declared output-impacting but appears in no entry — dead state", v)
+		}
+		d := Diagnostic{Code: CodeUnmatchedState, Severity: SevWarning, NF: m.NFName, Entry: -1, Message: msg}
+		if opts.StateSlots[v] {
+			d.Related = append(d.Related, Related{Message: "the compiled data plane allocates a state slot for this variable"})
+		}
+		diags = append(diags, d)
+	}
+	return diags
+}
+
+// sameActions reports whether two entries prescribe structurally
+// identical packet actions and state transitions.
+func sameActions(a, b *model.Entry) bool {
+	if len(a.Sends) != len(b.Sends) || len(a.Updates) != len(b.Updates) {
+		return false
+	}
+	for i := range a.Sends {
+		if !sameSend(a.Sends[i], b.Sends[i]) {
+			return false
+		}
+	}
+	au, bu := sortedUpdates(a.Updates), sortedUpdates(b.Updates)
+	for i := range au {
+		if au[i].Name != bu[i].Name || au[i].Val.Key() != bu[i].Val.Key() {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSend(a, b model.Action) bool {
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for k, v := range a.Fields {
+		w, ok := b.Fields[k]
+		if !ok || v.Key() != w.Key() {
+			return false
+		}
+	}
+	switch {
+	case a.Iface == nil && b.Iface == nil:
+		return true
+	case a.Iface == nil || b.Iface == nil:
+		return false
+	default:
+		return a.Iface.Key() == b.Iface.Key()
+	}
+}
+
+func sortedUpdates(u []model.Assign) []model.Assign {
+	out := append([]model.Assign(nil), u...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// renderGuard renders a conjunction compactly for messages.
+func renderGuard(conds []solver.Term) string {
+	if len(conds) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " && ")
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"fmt"
+
+	"nfactor/internal/cfg"
+	"nfactor/internal/dataflow"
+	"nfactor/internal/lang"
+)
+
+// Source runs the source-level lint passes over every function of an
+// NFLang program: uninitialized reads (NFL001), dead assignments
+// (NFL002), unreachable statements (NFL003) and unused persistent
+// variables (NFL004). nfName labels the diagnostics.
+//
+// The passes run on the same cfg/dataflow substrate the synthesis
+// pipeline slices with, so anything they flag is also what the pipeline
+// would silently analyze. The Table 1 classification cross-check
+// (NFL005) needs pipeline results and lives in CrossCheck.
+func Source(prog *lang.Program, nfName string) []Diagnostic {
+	var diags []Diagnostic
+
+	persistent := map[string]bool{}
+	globalStmts := map[int]bool{}
+	for _, g := range prog.Globals {
+		globalStmts[g.StmtID()] = true
+		for _, l := range g.LHS {
+			if id, ok := l.(*lang.Ident); ok {
+				persistent[id.Name] = true
+			}
+		}
+	}
+
+	for _, fn := range prog.Funcs {
+		diags = append(diags, lintFunc(prog, fn, nfName, persistent, globalStmts)...)
+	}
+	diags = append(diags, unusedPersistent(prog, nfName)...)
+	Sort(diags)
+	return diags
+}
+
+// lintFunc runs the CFG-based passes on one function (with the globals
+// prelude, as the pipeline's analyses see it).
+func lintFunc(prog *lang.Program, fn *lang.FuncDecl, nfName string, persistent map[string]bool, globalStmts map[int]bool) []Diagnostic {
+	var diags []Diagnostic
+	g, err := cfg.Build(prog, fn.Name)
+	if err != nil {
+		return []Diagnostic{{
+			Code:     CodeUnreachable,
+			Severity: SevError,
+			NF:       nfName,
+			Func:     fn.Name,
+			Pos:      fn.Pos,
+			Entry:    -1,
+			Message:  fmt.Sprintf("control-flow graph construction failed: %v", err),
+		}}
+	}
+
+	diags = append(diags, unreachableStmts(g, fn, nfName)...)
+
+	rd := dataflow.Reaching(g, fn.Params)
+	must := mustAssigned(g, fn.Params)
+	lv := dataflow.Live(g)
+
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		inGlobals := globalStmts[n.Stmt.StmtID()]
+
+		// NFL001 — uninitialized reads.
+		for _, v := range dataflow.NodeUses(g, n.ID) {
+			if must[n.ID][v] {
+				continue
+			}
+			d := Diagnostic{
+				Code: CodeUninitRead, NF: nfName, Func: fn.Name,
+				Pos: n.Stmt.NodePos(), Entry: -1,
+			}
+			if defs := usableDefs(rd, g, n.ID, v); len(defs) == 0 {
+				d.Severity = SevError
+				d.Message = fmt.Sprintf("%q is read but never assigned", v)
+			} else {
+				d.Severity = SevWarning
+				d.Message = fmt.Sprintf("%q may be read before assignment on some path", v)
+				if s := g.Node(defs[0]).Stmt; s != nil {
+					d.Related = []Related{{Pos: s.NodePos(), Message: fmt.Sprintf("%q assigned here, but not on every path", v)}}
+				}
+			}
+			diags = append(diags, d)
+		}
+
+		// NFL002 — dead assignments. Only strong (whole-variable) defs of
+		// non-persistent variables: container-element stores mutate state
+		// observable through the container, and persistent variables
+		// outlive the invocation (their last write is read next packet).
+		if inGlobals {
+			continue
+		}
+		for _, v := range strongDefs(n.Stmt) {
+			if persistent[v] || lv.Out[n.ID][v] {
+				continue
+			}
+			kind := "value assigned to"
+			if _, isFor := n.Stmt.(*lang.ForStmt); isFor {
+				kind = "loop variable"
+			}
+			diags = append(diags, Diagnostic{
+				Code: CodeDeadAssign, Severity: SevWarning, NF: nfName, Func: fn.Name,
+				Pos: n.Stmt.NodePos(), Entry: -1,
+				Message: fmt.Sprintf("%s %q is never used", kind, v),
+			})
+		}
+	}
+	return diags
+}
+
+// unreachableStmts reports the topmost statements of fn's body that the
+// CFG pruned as unreachable from entry (NFL003). Children of a reported
+// statement are skipped — one finding per dead region.
+func unreachableStmts(g *cfg.Graph, fn *lang.FuncDecl, nfName string) []Diagnostic {
+	var diags []Diagnostic
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		if blk, ok := s.(*lang.BlockStmt); ok {
+			for _, c := range blk.Stmts {
+				walk(c)
+			}
+			return
+		}
+		if g.NodeByStmt(s.StmtID()) == nil {
+			diags = append(diags, Diagnostic{
+				Code: CodeUnreachable, Severity: SevWarning, NF: nfName, Func: fn.Name,
+				Pos: s.NodePos(), Entry: -1,
+				Message: "statement is unreachable",
+			})
+			return // do not cascade into the dead region
+		}
+		switch st := s.(type) {
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.WhileStmt:
+			walk(st.Body)
+		case *lang.ForStmt:
+			walk(st.Body)
+		}
+	}
+	walk(fn.Body)
+	return diags
+}
+
+// unusedPersistent reports globals no function ever reads or updates
+// (NFL004): configuration or state that cannot influence anything.
+func unusedPersistent(prog *lang.Program, nfName string) []Diagnostic {
+	used := map[string]bool{}
+	for _, fn := range prog.Funcs {
+		var walk func(s lang.Stmt)
+		walk = func(s lang.Stmt) {
+			for _, v := range lang.Uses(s) {
+				used[v] = true
+			}
+			for _, v := range lang.Defs(s) {
+				used[v] = true
+			}
+			switch st := s.(type) {
+			case *lang.BlockStmt:
+				for _, c := range st.Stmts {
+					walk(c)
+				}
+			case *lang.IfStmt:
+				walk(st.Then)
+				if st.Else != nil {
+					walk(st.Else)
+				}
+			case *lang.WhileStmt:
+				walk(st.Body)
+			case *lang.ForStmt:
+				walk(st.Body)
+			}
+		}
+		walk(fn.Body)
+	}
+	// A global referenced by another global's initializer counts as used.
+	for _, g := range prog.Globals {
+		for _, v := range lang.Uses(g) {
+			used[v] = true
+		}
+	}
+
+	var diags []Diagnostic
+	for _, g := range prog.Globals {
+		for _, l := range g.LHS {
+			id, ok := l.(*lang.Ident)
+			if !ok || used[id.Name] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Code: CodeUnusedVar, Severity: SevWarning, NF: nfName,
+				Pos: g.NodePos(), Entry: -1,
+				Message: fmt.Sprintf("persistent variable %q is never used by any function", id.Name),
+			})
+		}
+	}
+	return diags
+}
+
+// strongDefs returns the variables a statement assigns as a whole
+// (killing earlier values) — assignment targets that are bare
+// identifiers, and for-loop variables.
+func strongDefs(s lang.Stmt) []string {
+	var out []string
+	switch st := s.(type) {
+	case *lang.AssignStmt:
+		for _, l := range st.LHS {
+			if id, ok := l.(*lang.Ident); ok {
+				out = append(out, id.Name)
+			}
+		}
+	case *lang.ForStmt:
+		out = append(out, st.Var)
+	}
+	return out
+}
+
+// usableDefs returns the reaching definitions of v at node that are real
+// statements (the synthetic ENTRY definitions of parameters do not
+// count: a parameter is always assigned).
+func usableDefs(rd *dataflow.ReachDefs, g *cfg.Graph, node int, v string) []int {
+	var out []int
+	for _, d := range rd.UseDefs(node, v) {
+		if g.Node(d).Stmt != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// mustAssigned computes, per CFG node, the set of variables definitely
+// assigned on every path from ENTRY to that node's evaluation (a
+// forward must-analysis — the dual of the may-style reaching
+// definitions). Parameters are assigned at entry; weak container-store
+// defs do not count (storing into m requires m to already exist).
+func mustAssigned(g *cfg.Graph, params []string) []map[string]bool {
+	n := len(g.Nodes)
+	universe := map[string]bool{}
+	for _, p := range params {
+		universe[p] = true
+	}
+	defs := make([][]string, n)
+	for i, node := range g.Nodes {
+		if node.Stmt != nil {
+			defs[i] = strongDefs(node.Stmt)
+			for _, v := range defs[i] {
+				universe[v] = true
+			}
+			for _, v := range dataflow.NodeUses(g, i) {
+				universe[v] = true
+			}
+		}
+	}
+
+	in := make([]map[string]bool, n)
+	out := make([]map[string]bool, n)
+	full := func() map[string]bool {
+		m := make(map[string]bool, len(universe))
+		for v := range universe {
+			m[v] = true
+		}
+		return m
+	}
+	for i := 0; i < n; i++ {
+		in[i], out[i] = full(), full()
+	}
+	entryIn := map[string]bool{}
+	for _, p := range params {
+		entryIn[p] = true
+	}
+	in[g.Entry.ID] = entryIn
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			cur := in[i]
+			if i != g.Entry.ID {
+				var inter map[string]bool
+				for _, p := range g.Preds(i) {
+					if inter == nil {
+						inter = cloneStrSet(out[p])
+						continue
+					}
+					for v := range inter {
+						if !out[p][v] {
+							delete(inter, v)
+						}
+					}
+				}
+				if inter == nil {
+					inter = map[string]bool{}
+				}
+				cur = inter
+			}
+			next := cloneStrSet(cur)
+			for _, v := range defs[i] {
+				next[v] = true
+			}
+			if !sameStrSet(cur, in[i]) || !sameStrSet(next, out[i]) {
+				in[i], out[i] = cur, next
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+func cloneStrSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func sameStrSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

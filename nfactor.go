@@ -32,6 +32,7 @@ import (
 	"nfactor/internal/core"
 	"nfactor/internal/dataplane"
 	"nfactor/internal/lang"
+	"nfactor/internal/lint"
 	"nfactor/internal/model"
 	"nfactor/internal/netpkt"
 	"nfactor/internal/nfs"
@@ -65,6 +66,13 @@ type Options struct {
 	// Workers=1 reproduces the historical sequential exploration order
 	// exactly (useful for timing measurements).
 	Workers int
+	// Lint runs NFLint alongside synthesis (source passes, Table 1
+	// classification cross-check, model passes); see
+	// Result.Diagnostics.
+	Lint bool
+	// LintStrict additionally fails the analysis when NFLint finds an
+	// error-severity diagnostic.
+	LintStrict bool
 }
 
 // Value is a concrete NFLang value (integers, strings, booleans, tuples,
@@ -101,6 +109,8 @@ func (o Options) toCore() core.Options {
 		Workers:         o.Workers,
 		ConfigOverride:  o.Config,
 		MeasureOriginal: o.MeasureOriginal,
+		Lint:            o.Lint,
+		LintStrict:      o.LintStrict,
 	}
 }
 
@@ -143,6 +153,18 @@ func analyze(nf *nfs.NF, opts Options) (*Result, error) {
 	}
 	return &Result{an: an, opts: copts}, nil
 }
+
+// Diagnostic is one structured NFLint finding.
+type Diagnostic = lint.Diagnostic
+
+// Diagnostics returns the NFLint findings (Options.Lint).
+func (r *Result) Diagnostics() []Diagnostic { return r.an.Diagnostics }
+
+// RenderDiagnostics formats NFLint findings as human-readable text.
+func RenderDiagnostics(diags []Diagnostic) string { return lint.Render(diags) }
+
+// HasLintErrors reports whether any finding is error-severity.
+func HasLintErrors(diags []Diagnostic) bool { return lint.HasErrors(diags) }
 
 // Model returns the synthesized forwarding model.
 func (r *Result) Model() *Model { return r.an.Model }
