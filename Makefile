@@ -5,16 +5,25 @@ GO ?= go
 # Packages with shared-state concurrency (worker-pool explorer, solver
 # cache, pipeline fan-out) — the race target always covers these.
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
-             ./internal/perf ./internal/model ./internal/experiments
+             ./internal/perf ./internal/model ./internal/experiments \
+             ./internal/trace
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-telemetry alloc vet lint fuzz
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-telemetry bench-trace alloc vet lint fuzz trace
 
 all: check
 
-# Default gate: compile, vet, test, the zero-allocation regression
-# (telemetry must never put an allocation on the packet path), and
-# NFLint over the corpus (sources and synthesized models must be clean).
-check: build vet test alloc lint
+# Default gate: compile, vet, test, the zero-allocation regressions
+# (telemetry must never put an allocation on the packet path; a disabled
+# tracer must add none to symexec stepping), NFLint over the corpus
+# (sources and synthesized models must be clean), and the trace smoke
+# gate (every corpus NF yields valid Perfetto-loadable JSON).
+check: build vet test alloc lint trace
+
+# Trace smoke gate: every corpus NF synthesizes under tracing, exports
+# schema-valid Chrome trace-event JSON with all five Algorithm 1 phase
+# spans, and every model entry resolves to source provenance (-why).
+trace:
+	$(GO) test -run 'TestTraceSmoke' -count=1 .
 
 # NFLint over the embedded corpus: source passes, Table 1 cross-check,
 # model passes. Non-zero exit on error-severity findings.
@@ -29,7 +38,7 @@ fuzz:
 # The steady-state allocation regressions in isolation: AllocsPerRun
 # must report 0 allocs/packet with telemetry attached.
 alloc:
-	$(GO) test -run 'ZeroAlloc' ./internal/dataplane ./internal/telemetry
+	$(GO) test -run 'ZeroAlloc|AllocFree' ./internal/dataplane ./internal/telemetry ./internal/trace ./internal/symexec
 
 build:
 	$(GO) build ./...
@@ -64,3 +73,10 @@ bench-dataplane:
 # bar is <=10% ns/pkt overhead with zero allocations on the packet path.
 bench-telemetry:
 	$(GO) run ./cmd/nfbench -exp telemetry -workers 1 -out BENCH_telemetry.json
+
+# Synthesis tracing overhead (whole pipeline, tracing on vs off, fresh
+# solver cache per run); refreshes the checked-in BENCH_trace.json. The
+# acceptance bar is <5% overhead enabled, 0% disabled (nil-tracer fast
+# path — see TestDisabledTracerSteppingIsAllocFree).
+bench-trace:
+	$(GO) run ./cmd/nfbench -exp trace -workers 1 -out BENCH_trace.json

@@ -27,7 +27,12 @@ func main() {
 	telemetryN := flag.Int("telemetry", 0, "replay N random packets through the compiled engine and print the hit-annotated model plus telemetry counters")
 	explainN := flag.Int("explain", 0, "print provenance traces for the first N packets of the -telemetry replay")
 	stats := flag.Bool("stats", false, "print performance counters and solver-cache hit rates (implies -check, so the stats cover the full synthesize-and-verify cycle)")
+	jsonOut := flag.Bool("json", false, "with -stats: emit the perf counters and phase timers as JSON instead of text")
 	lintFlag := flag.Bool("lint", false, "run NFLint on the program and synthesized model and print the diagnostics (exit 1 on error-severity findings)")
+	traceFile := flag.String("trace", "", "record the synthesis as a span tree and write Chrome trace-event JSON (open in https://ui.perfetto.dev) to FILE")
+	traceTree := flag.Bool("tracetree", false, "record the synthesis trace and print it as an indented text tree")
+	why := flag.String("why", "", "print entry-to-source provenance for one model entry index, or 'all'")
+	progress := flag.Bool("progress", false, "print live progress lines during synthesis (frontier depth, paths/sec, solver-cache hit rate)")
 	list := flag.Bool("list", false, "list the built-in corpus NFs and exit")
 	flag.Parse()
 
@@ -44,7 +49,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := nfactor.Options{MaxPaths: *maxPaths, Workers: *workers, Config: parseConfig(*configFlag), Lint: *lintFlag}
+	opts := nfactor.Options{
+		MaxPaths: *maxPaths,
+		Workers:  *workers,
+		Config:   parseConfig(*configFlag),
+		Lint:     *lintFlag,
+		Trace:    *traceFile != "" || *traceTree,
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
 
 	var res *nfactor.Result
 	var err error
@@ -117,11 +131,17 @@ func main() {
 		fmt.Printf("execution paths (slice): %d  SE time: %v\n", m.EPSlice, m.SETimeSlice)
 	}
 	if *check || *stats {
-		fmt.Println("=== model check ===")
+		// With -json the check verdict moves to stderr so stdout stays a
+		// clean JSON document (`nfactor -show none -stats -json | jq`).
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, "=== model check ===")
 		if err := res.CheckEquivalence(); err != nil {
-			fmt.Println(err)
+			fmt.Fprintln(out, err)
 		} else {
-			fmt.Println("path sets equivalent: model == program")
+			fmt.Fprintln(out, "path sets equivalent: model == program")
 		}
 	}
 	if *explainN > *telemetryN {
@@ -133,13 +153,62 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Println("=== perf ===")
-		fmt.Print(res.PerfReport())
-		cs := res.SolverCacheStats()
-		fmt.Printf("solver cache: sat %d/%d hits (%.1f%%), simplify %d/%d hits\n",
-			cs.SatHits, cs.SatHits+cs.SatMisses, 100*cs.SatHitRate(),
-			cs.SimpHits, cs.SimpHits+cs.SimpMisses)
+		if *jsonOut {
+			if err := res.WritePerfJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println("=== perf ===")
+			fmt.Print(res.PerfReport())
+			cs := res.SolverCacheStats()
+			fmt.Printf("solver cache: sat %d/%d hits (%.1f%%), simplify %d/%d hits\n",
+				cs.SatHits, cs.SatHits+cs.SatMisses, 100*cs.SatHitRate(),
+				cs.SimpHits, cs.SimpHits+cs.SimpMisses)
+		}
 	}
+	if *why != "" {
+		if err := runWhy(res, *why); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceTree {
+		fmt.Println("=== synthesis trace ===")
+		fmt.Print(res.TraceTree(true))
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "nfactor: wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", *traceFile)
+	}
+}
+
+// runWhy prints entry-to-source provenance for one entry index or "all".
+func runWhy(res *nfactor.Result, sel string) error {
+	n := len(res.Model().Entries)
+	from, to := 0, n
+	if sel != "all" {
+		i, err := strconv.Atoi(sel)
+		if err != nil {
+			return fmt.Errorf("-why wants an entry index or 'all', got %q", sel)
+		}
+		from, to = i, i+1
+	}
+	for i := from; i < to; i++ {
+		report, err := res.WhyEntry(i)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	}
+	return nil
 }
 
 // runTelemetry replays n random packets through the compiled engine

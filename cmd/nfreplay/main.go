@@ -218,6 +218,11 @@ func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side st
 			if err := snap.WritePrometheus(f, name); err != nil {
 				return err
 			}
+			// Same endpoint also serves the synthesis pipeline's perf
+			// counters (disjoint nfactor_pipeline_* namespace).
+			if err := res.WritePerfPrometheus(f, name); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

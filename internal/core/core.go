@@ -24,6 +24,7 @@ import (
 	"nfactor/internal/solver"
 	"nfactor/internal/statealyzer"
 	"nfactor/internal/symexec"
+	"nfactor/internal/trace"
 	"nfactor/internal/value"
 )
 
@@ -58,6 +59,14 @@ type Options struct {
 	// Perf receives the pipeline's counters and phase timers. Analyze
 	// creates one when nil; the populated Set is on Analysis.Perf.
 	Perf *perf.Set
+	// Trace, when set, records the synthesis as a span tree: one pipeline
+	// root span, one span per Algorithm 1 phase (slice.pkt, statealyzer,
+	// slice.state, se.slice, refine, plus lint/se.orig when enabled), one
+	// span per explored symbolic-execution state, and one span per refined
+	// entry. Phase spans FOLD their duration into Perf's phases — a single
+	// measurement feeds both surfaces, so they can never disagree. A nil
+	// tracer is strictly zero-cost.
+	Trace *trace.Tracer
 	// Lint runs NFLint during synthesis — the source passes and the
 	// Table 1 classification cross-check on the original program, the
 	// model passes on the synthesized model — and puts the findings on
@@ -146,6 +155,9 @@ type Analysis struct {
 	// execution hits conjunctions the slice execution already decided.
 	Cache *solver.Cache
 	Perf  *perf.Set
+	// Tracer is the span recorder the pipeline ran with (nil unless
+	// Options.Trace was set). Export with WriteChrome / Tree.
+	Tracer *trace.Tracer
 
 	// Diagnostics are the NFLint findings (when Options.Lint was set).
 	Diagnostics []lint.Diagnostic
@@ -210,6 +222,19 @@ func stateUpdateStatements(a *slice.Analyzer, ois map[string]bool) []int {
 	return out
 }
 
+// phaseSpan opens an Algorithm 1 phase on both observability surfaces
+// with ONE measurement: tracing on, a phase span whose duration is folded
+// into ps's phase at End (so trace and perf can never disagree); tracing
+// off, a plain perf phase. id is the span id for nesting children (0 when
+// tracing is off).
+func phaseSpan(tr *trace.Tracer, name string, parent int64, ps *perf.Set) (id int64, end func()) {
+	if tr != nil {
+		sp := tr.StartPhase(name, parent, ps)
+		return sp.ID(), sp.End
+	}
+	return 0, ps.Phase(name)
+}
+
 // Analyze runs the full NFactor pipeline on prog.
 func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error) {
 	entry := opts.entry()
@@ -219,10 +244,25 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	if opts.Cache == nil {
 		opts.Cache = solver.NewCacheWithPerf(opts.Perf)
 	}
-	an := &Analysis{NFName: nfName, Entry: entry, Original: prog, Cache: opts.Cache, Perf: opts.Perf}
+	tr := opts.Trace
+	if tr != nil {
+		opts.Cache.AttachTracer(tr)
+	}
+	an := &Analysis{NFName: nfName, Entry: entry, Original: prog, Cache: opts.Cache, Perf: opts.Perf, Tracer: tr}
 	an.Metrics.LoCOrig = lang.CountLoC(prog)
 
+	// Root span for the whole synthesis of this NF.
+	var pipeID int64
+	if tr != nil {
+		root := tr.Start(trace.CatPipeline, nfName, 0)
+		defer root.End()
+		pipeID = root.ID()
+	}
+
 	sliceStart := time.Now()
+	// The umbrella "slice" perf phase covers Algorithm 1 lines 1-10; the
+	// finer slice.pkt / statealyzer / slice.state phases nest inside it
+	// (and are the phase spans the trace shows).
 	endSlice := opts.Perf.Phase("slice")
 	analyzer, err := slice.NewAnalyzer(prog, entry)
 	if err != nil {
@@ -230,19 +270,24 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	}
 	an.Analyzer = analyzer
 
-	// 1. Packet slice.
+	// 1. Packet slice (Algorithm 1 lines 1-3).
+	_, endPkt := phaseSpan(tr, "slice.pkt", pipeID, opts.Perf)
 	sends := SendStatements(analyzer.Prog)
 	if len(sends) == 0 {
+		endPkt()
 		return nil, fmt.Errorf("core: %s has no send() statement — not a forwarding NF", nfName)
 	}
 	pktSlice, err := analyzer.Backward(sends)
+	endPkt()
 	if err != nil {
 		return nil, fmt.Errorf("core: packet slice: %w", err)
 	}
 	an.PktSlice = pktSlice
 
-	// 2. StateAlyzer on the packet slice.
+	// 2. StateAlyzer on the packet slice (lines 4-5).
+	_, endSA := phaseSpan(tr, "statealyzer", pipeID, opts.Perf)
 	an.Vars = statealyzer.Analyze(analyzer, pktSlice)
+	endSA()
 	ois := map[string]bool{}
 	for _, v := range an.Vars.OISVars() {
 		ois[v] = true
@@ -256,10 +301,12 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	// Algorithm 1 runs lines 6-9 once because its two NFs have no such
 	// indirection.)
 	var stateSlice map[int]bool
+	_, endState := phaseSpan(tr, "slice.state", pipeID, opts.Perf)
 	for {
 		updates := stateUpdateStatements(analyzer, ois)
 		stateSlice, err = analyzer.Backward(updates)
 		if err != nil {
+			endState()
 			return nil, fmt.Errorf("core: state slice: %w", err)
 		}
 		grew := false
@@ -286,6 +333,7 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 			break
 		}
 	}
+	endState()
 	an.StateSlice = stateSlice
 
 	// Union slice → reduced program.
@@ -313,8 +361,10 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 
 	// 4. Execution paths of the slice.
 	seOpts := opts.seOpts(an.Vars)
+	seOpts.Trace = tr
 	seStart := time.Now()
-	endSE := opts.Perf.Phase("se.slice")
+	seID, endSE := phaseSpan(tr, "se.slice", pipeID, opts.Perf)
+	seOpts.TraceParent = seID
 	res, err := symexec.Run(an.SliceProg, entry, seOpts)
 	endSE()
 	if err != nil {
@@ -342,15 +392,17 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	for _, v := range an.Vars.LogVars() {
 		logs[v] = true
 	}
-	endRefine := opts.Perf.Phase("refine")
+	refineID, endRefine := phaseSpan(tr, "refine", pipeID, opts.Perf)
 	an.Model = model.Build(an.Paths, model.BuildOptions{
-		NFName:  nfName,
-		PktVar:  analyzer.Prog.Func(entry).Params[0],
-		CfgVars: cfg,
-		OISVars: ois,
-		LogVars: logs,
-		Workers: opts.Workers,
-		Perf:    opts.Perf,
+		NFName:      nfName,
+		PktVar:      analyzer.Prog.Func(entry).Params[0],
+		CfgVars:     cfg,
+		OISVars:     ois,
+		LogVars:     logs,
+		Workers:     opts.Workers,
+		Perf:        opts.Perf,
+		Trace:       tr,
+		TraceParent: refineID,
 	})
 	endRefine()
 
@@ -370,7 +422,8 @@ func Analyze(nfName string, prog *lang.Program, opts Options) (*Analysis, error)
 	// for the "orig" Table 2 columns.
 	if opts.MeasureOriginal {
 		origStart := time.Now()
-		endOrig := opts.Perf.Phase("se.orig")
+		origID, endOrig := phaseSpan(tr, "se.orig", pipeID, opts.Perf)
+		seOpts.TraceParent = origID
 		origRes, err := symexec.Run(analyzer.Prog, entry, seOpts)
 		endOrig()
 		if err != nil {

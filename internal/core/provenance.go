@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/solver"
+	"nfactor/internal/symexec"
+)
+
+// StmtSite is one NFLang source location a model entry traces back to.
+type StmtSite struct {
+	StmtID int
+	Pos    lang.Pos
+	// Text is the statement's first rendered line (loop/if headers rather
+	// than whole bodies).
+	Text string
+}
+
+// EntryProvenance links one synthesized table entry back to the program
+// analysis that produced it: the execution path's id in the exploration
+// tree (shared with the trace's state spans), its path conditions with
+// the branch statement each literal came from, and the source positions
+// of every sliced statement the path executed. This is the data behind
+// `nfactor -why`.
+type EntryProvenance struct {
+	NFName string
+	Entry  int // entry index == Entry.Priority == path index
+	PathID string
+	// Truncated marks an entry refined from a path cut off by the loop
+	// bound or step budget (its conditions under-constrain the behaviour).
+	Truncated bool
+	// Conds are the path-condition literals; CondSites[i] is the branch
+	// statement literal i was collected at.
+	Conds     []solver.Term
+	CondSites []StmtSite
+	// Slice are the distinct sliced statements executed along the path,
+	// in source order — the dynamic footprint of this entry.
+	Slice []StmtSite
+}
+
+// site resolves a statement id against the sliced program — the program
+// the path-enumerating symbolic execution actually ran, whose statement
+// ids Reconstruct renumbered (expression positions still point into the
+// original source).
+func (an *Analysis) site(id int) StmtSite {
+	site := StmtSite{StmtID: id}
+	s := an.SliceProg.StmtByID(id)
+	if s == nil {
+		site.Text = fmt.Sprintf("<statement %d>", id)
+		return site
+	}
+	site.Pos = s.NodePos()
+	text := lang.PrintStmt(s)
+	if i := strings.IndexByte(text, '\n'); i >= 0 {
+		text = text[:i]
+	}
+	site.Text = strings.TrimSpace(text)
+	return site
+}
+
+// EntryProvenance returns the provenance record for model entry i.
+// Entries and paths are in 1:1 correspondence (refinement preserves path
+// order), so the record is derived from Paths[i].
+func (an *Analysis) EntryProvenance(i int) (*EntryProvenance, error) {
+	if an.Model == nil || an.Paths == nil {
+		return nil, fmt.Errorf("core: analysis has no synthesized model")
+	}
+	if i < 0 || i >= len(an.Model.Entries) {
+		return nil, fmt.Errorf("core: entry %d out of range (model has %d entries)", i, len(an.Model.Entries))
+	}
+	if len(an.Paths) != len(an.Model.Entries) {
+		return nil, fmt.Errorf("core: path/entry mismatch (%d paths, %d entries)", len(an.Paths), len(an.Model.Entries))
+	}
+	p := an.Paths[i]
+	pr := &EntryProvenance{
+		NFName:    an.NFName,
+		Entry:     i,
+		PathID:    symexec.PathID(p.Seq),
+		Truncated: p.Truncated,
+		Conds:     p.Conds,
+	}
+	for _, id := range p.CondStmts {
+		pr.CondSites = append(pr.CondSites, an.site(id))
+	}
+	for _, id := range p.VisitedIDs {
+		pr.Slice = append(pr.Slice, an.site(id))
+	}
+	sort.SliceStable(pr.Slice, func(a, b int) bool {
+		pa, pb := pr.Slice[a].Pos, pr.Slice[b].Pos
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		return pa.Col < pb.Col
+	})
+	return pr, nil
+}
+
+// WhyEntry renders entry i's provenance as a human-readable report: what
+// the entry matches and does, which execution path produced it, and the
+// source line behind every path-condition literal plus the statements on
+// its slice.
+func (an *Analysis) WhyEntry(i int) (string, error) {
+	pr, err := an.EntryProvenance(i)
+	if err != nil {
+		return "", err
+	}
+	e := &an.Model.Entries[i]
+	var b strings.Builder
+	fmt.Fprintf(&b, "entry %d of %s (path %s", pr.Entry, pr.NFName, pr.PathID)
+	if pr.Truncated {
+		b.WriteString(", TRUNCATED by loop/step bound")
+	}
+	b.WriteString(")\n")
+
+	action := "drop"
+	if len(e.Sends) > 0 {
+		action = fmt.Sprintf("%d send(s)", len(e.Sends))
+	}
+	fmt.Fprintf(&b, "  action: %s, %d state update(s)\n", action, len(e.Updates))
+
+	if len(pr.Conds) == 0 {
+		b.WriteString("  path conditions: (none — unconditional path)\n")
+	} else {
+		b.WriteString("  path conditions:\n")
+		for j, c := range pr.Conds {
+			site := pr.CondSites[j]
+			fmt.Fprintf(&b, "    %-40s  <- %s %s\n", c.Key(), site.Pos, site.Text)
+		}
+	}
+
+	b.WriteString("  sliced statements executed:\n")
+	for _, s := range pr.Slice {
+		fmt.Fprintf(&b, "    %s %s\n", s.Pos, s.Text)
+	}
+	return b.String(), nil
+}

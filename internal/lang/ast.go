@@ -63,6 +63,11 @@ type stmtBase struct {
 
 func (s *stmtBase) NodePos() Pos { return s.pos }
 
+// SetNodePos sets the statement's source position — for passes that
+// rebuild statements (slicing, normalization) and must keep provenance
+// pointing at the original source.
+func (s *stmtBase) SetNodePos(p Pos) { s.pos = p }
+
 // StmtID returns the statement's unique ID (0 before IndexProgram).
 func (s *stmtBase) StmtID() int { return s.id }
 func (s *stmtBase) setID(i int) { s.id = i }

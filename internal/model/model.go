@@ -12,6 +12,7 @@ package model
 import (
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,7 @@ import (
 	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/symexec"
+	"nfactor/internal/trace"
 )
 
 // Action is one packet emission: the output packet's fields as terms over
@@ -63,6 +65,10 @@ type Entry struct {
 	// from symbolic execution are mutually exclusive, so priority only
 	// breaks ties defensively.
 	Priority int
+	// PathID is the execution-tree coordinate of the path this entry was
+	// refined from (symexec.PathID of its fork-decision sequence) — the
+	// provenance link `nfactor -why` follows back into the trace.
+	PathID string
 }
 
 // Guard returns the entry's full match conjunction.
@@ -133,6 +139,10 @@ type BuildOptions struct {
 	Workers int
 	// Perf, when set, counts the refined entries.
 	Perf *perf.Set
+	// Trace, when set, records one span per refined entry under
+	// TraceParent (usually the pipeline's refine phase span).
+	Trace       *trace.Tracer
+	TraceParent int64
 }
 
 // Build refines symbolic execution paths into a model (Algorithm 1,
@@ -171,7 +181,19 @@ func Build(paths []*symexec.Path, opts BuildOptions) *Model {
 				if i >= len(paths) {
 					return
 				}
+				var sp *trace.Span
+				if opts.Trace != nil {
+					sp = opts.Trace.Start(trace.CatRefine, "entry "+strconv.Itoa(i), opts.TraceParent)
+				}
 				m.Entries[i] = refine(paths[i], i, opts)
+				if sp != nil {
+					e := &m.Entries[i]
+					sp.SetStr("path", e.PathID)
+					sp.SetInt("conds", int64(len(paths[i].Conds)))
+					sp.SetInt("sends", int64(len(e.Sends)))
+					sp.SetInt("updates", int64(len(e.Updates)))
+					sp.End()
+				}
 				entries.Inc()
 			}
 		}()
@@ -183,7 +205,7 @@ func Build(paths []*symexec.Path, opts BuildOptions) *Model {
 // refine turns one execution path into the table entry at priority i
 // (Algorithm 1 lines 11-16, for a single path).
 func refine(p *symexec.Path, i int, opts BuildOptions) Entry {
-	e := Entry{Priority: i}
+	e := Entry{Priority: i, PathID: symexec.PathID(p.Seq)}
 	for _, c := range p.Conds {
 		switch classify(c) {
 		case condState:

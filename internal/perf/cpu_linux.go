@@ -7,6 +7,10 @@ import (
 	"time"
 )
 
+// CPUSupported reports whether the process CPU clock is available; phase
+// CPU columns render as n/a when it is not.
+const CPUSupported = true
+
 // cpuTime returns the process's cumulative user+system CPU time.
 func cpuTime() time.Duration {
 	var ru syscall.Rusage

@@ -4,6 +4,10 @@ package perf
 
 import "time"
 
-// cpuTime is unavailable off Linux; phases then report CPU as 0 and only
-// wall time is meaningful.
+// CPUSupported reports whether the process CPU clock is available; phase
+// CPU columns render as n/a when it is not.
+const CPUSupported = false
+
+// cpuTime is unavailable off Linux; only wall time is meaningful and
+// reports annotate the CPU column as n/a rather than printing 0.
 func cpuTime() time.Duration { return 0 }

@@ -9,7 +9,9 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -41,6 +43,12 @@ const (
 	CDataplaneDrops   = "dataplane.drops"   // packets dropped (incl. implicit drop)
 	CDataplaneBatches = "dataplane.batches" // ProcessBatch calls
 	CDataplaneShards  = "dataplane.shards"  // shards spun up by sharded engines
+
+	// CFrontier is a gauge (Add(+n)/Add(-1)), not a monotonic counter:
+	// the number of machine states currently waiting on the symbolic
+	// executor's frontier. The live -progress reporter polls it; a
+	// non-zero value after a run means states were abandoned by a budget.
+	CFrontier = "symexec.frontier"
 )
 
 // Counter is one atomic counter.
@@ -142,6 +150,24 @@ func (s *Set) Phase(name string) func() {
 	}
 }
 
+// AddPhase folds an externally measured interval into the named phase.
+// It is how trace spans contribute their durations, so the span tree and
+// the perf report are two views of one measurement and cannot disagree.
+// Nil-safe.
+func (s *Set) AddPhase(name string, wall, cpu time.Duration) {
+	if s == nil {
+		return
+	}
+	p := s.phaseFor(name)
+	p.wall.Add(int64(wall))
+	p.cpu.Add(int64(cpu))
+	p.calls.Add(1)
+}
+
+// CPUTime returns the process's cumulative user+system CPU time, or 0 on
+// platforms without rusage support (see CPUSupported).
+func CPUTime() time.Duration { return cpuTime() }
+
 // PhaseWall returns the cumulative wall time of the named phase.
 func (s *Set) PhaseWall(name string) time.Duration {
 	if s == nil {
@@ -171,8 +197,63 @@ func (s *Set) Snapshot() map[string]int64 {
 	for name, p := range s.phases {
 		out["phase."+name+".wall_ns"] = p.wall.Load()
 		out["phase."+name+".cpu_ns"] = p.cpu.Load()
+		out["phase."+name+".calls"] = p.calls.Load()
 	}
 	return out
+}
+
+// PhaseJSON is one phase's timings in WriteJSON output.
+type PhaseJSON struct {
+	WallNs int64 `json:"wall_ns"`
+	// CPUNs is meaningful only when CPUSupported; off Linux the process
+	// CPU clock is unavailable and the field is reported as -1, not a
+	// misleading 0.
+	CPUNs int64 `json:"cpu_ns"`
+	Calls int64 `json:"calls"`
+}
+
+// SetJSON is the machine-readable form of a Set (nfactor -stats -json).
+type SetJSON struct {
+	Counters     map[string]int64     `json:"counters"`
+	Phases       map[string]PhaseJSON `json:"phases"`
+	CPUSupported bool                 `json:"cpu_supported"`
+}
+
+// JSON returns the Set's counters and phase timers as a serializable
+// document. Nil-safe (returns an empty document).
+func (s *Set) JSON() SetJSON {
+	doc := SetJSON{
+		Counters:     map[string]int64{},
+		Phases:       map[string]PhaseJSON{},
+		CPUSupported: CPUSupported,
+	}
+	if s == nil {
+		return doc
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, c := range s.counters {
+		doc.Counters[name] = c.Load()
+	}
+	for name, p := range s.phases {
+		pj := PhaseJSON{WallNs: p.wall.Load(), CPUNs: p.cpu.Load(), Calls: p.calls.Load()}
+		if !CPUSupported {
+			pj.CPUNs = -1
+		}
+		doc.Phases[name] = pj
+	}
+	return doc
+}
+
+// WriteJSON writes the Set as indented JSON. Nil-safe.
+func (s *Set) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s.JSON(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
 }
 
 // Report renders the Set sorted by name: counters first, then phases with
@@ -212,10 +293,16 @@ func (s *Set) Report() string {
 		s.mu.Lock()
 		p := s.phases[name]
 		s.mu.Unlock()
-		sb.WriteString(fmt.Sprintf("%-28s wall=%-12v cpu=%-12v calls=%d\n",
+		// Off Linux the process CPU clock is unavailable; annotate the
+		// column instead of printing a misleading 0s.
+		cpu := "n/a"
+		if CPUSupported {
+			cpu = time.Duration(p.cpu.Load()).Round(time.Microsecond).String()
+		}
+		sb.WriteString(fmt.Sprintf("%-28s wall=%-12v cpu=%-12s calls=%d\n",
 			"phase."+name,
 			time.Duration(p.wall.Load()).Round(time.Microsecond),
-			time.Duration(p.cpu.Load()).Round(time.Microsecond),
+			cpu,
 			p.calls.Load()))
 	}
 	return sb.String()

@@ -167,11 +167,16 @@ func filterStmt(s lang.Stmt, keep map[int]bool) lang.Stmt {
 				ns.Else = els
 			}
 		}
+		ns.SetNodePos(st.NodePos())
 		return cloneVia(ns)
 	case *lang.WhileStmt:
-		return cloneVia(&lang.WhileStmt{Cond: st.Cond, Body: filterBlock(st.Body, keep)})
+		ns := &lang.WhileStmt{Cond: st.Cond, Body: filterBlock(st.Body, keep)}
+		ns.SetNodePos(st.NodePos())
+		return cloneVia(ns)
 	case *lang.ForStmt:
-		return cloneVia(&lang.ForStmt{Var: st.Var, Iter: st.Iter, Body: filterBlock(st.Body, keep)})
+		ns := &lang.ForStmt{Var: st.Var, Iter: st.Iter, Body: filterBlock(st.Body, keep)}
+		ns.SetNodePos(st.NodePos())
+		return cloneVia(ns)
 	default:
 		return cloneVia(s)
 	}

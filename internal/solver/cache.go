@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"nfactor/internal/perf"
+	"nfactor/internal/trace"
 )
 
 // Cache memoizes the solver's two hot entry points — SatConj over literal
@@ -33,6 +34,44 @@ type Cache struct {
 
 	// Mirrored perf counters (nil-safe no-ops when unattached).
 	satHitC, satMissC, simpHitC, simpMissC *perf.Counter
+
+	// tr, when attached, receives a sampled "solver.cache" counter track
+	// (cumulative hits/misses, one sample every traceSampleEvery lookups —
+	// emitting every lookup would dwarf the span events in the trace).
+	tr  atomic.Pointer[trace.Tracer]
+	trN atomic.Int64
+}
+
+// traceSampleEvery is the cache-lookup sampling period for trace counter
+// events.
+const traceSampleEvery = 64
+
+// AttachTracer routes a sampled hit/miss counter track into tr (nil
+// detaches). Safe to call concurrently with lookups.
+func (c *Cache) AttachTracer(tr *trace.Tracer) {
+	if c == nil {
+		return
+	}
+	c.tr.Store(tr)
+}
+
+// traceSample emits the cumulative hit/miss counts as a trace counter
+// event on every traceSampleEvery-th lookup. The unattached fast path is
+// one atomic load.
+func (c *Cache) traceSample() {
+	tr := c.tr.Load()
+	if tr == nil {
+		return
+	}
+	if c.trN.Add(1)%traceSampleEvery != 1 {
+		return
+	}
+	tr.Counter("solver.cache", map[string]int64{
+		"sat_hits":        c.satHits.Load(),
+		"sat_misses":      c.satMisses.Load(),
+		"simplify_hits":   c.simpHits.Load(),
+		"simplify_misses": c.simpMisses.Load(),
+	})
 }
 
 // NewCache returns an empty cache.
@@ -112,10 +151,12 @@ func (c *Cache) SatConj(lits []Term) bool {
 	if v, ok := c.sat.Load(key); ok {
 		c.satHits.Add(1)
 		c.satHitC.Inc()
+		c.traceSample()
 		return v.(bool)
 	}
 	c.satMisses.Add(1)
 	c.satMissC.Inc()
+	c.traceSample()
 	res := SatConj(canon)
 	c.sat.Store(key, res)
 	return res
@@ -152,10 +193,12 @@ func (c *Cache) Simplify(t Term) Term {
 	if v, ok := c.simp.Load(key); ok {
 		c.simpHits.Add(1)
 		c.simpHitC.Inc()
+		c.traceSample()
 		return v.(Term)
 	}
 	c.simpMisses.Add(1)
 	c.simpMissC.Inc()
+	c.traceSample()
 	res := Simplify(t)
 	c.simp.Store(key, res)
 	return res

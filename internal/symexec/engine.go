@@ -2,6 +2,7 @@ package symexec
 
 import (
 	"fmt"
+	"sort"
 
 	"nfactor/internal/interp"
 	"nfactor/internal/lang"
@@ -67,6 +68,7 @@ func Run(prog *lang.Program, entry string, opts Options) (*Result, error) {
 		cPruned:     o.Perf.Counter(perf.CPruned),
 		cSteps:      o.Perf.Counter(perf.CSteps),
 		cSolver:     o.Perf.Counter(perf.CSolverCalls),
+		cFrontier:   o.Perf.Counter(perf.CFrontier),
 	}
 
 	st := &mstate{
@@ -80,6 +82,7 @@ func Run(prog *lang.Program, entry string, opts Options) (*Result, error) {
 	}
 	st.locals[fn.Params[0]] = pktRefTerm(0)
 	st.frames = []frame{{kind: frameBlock, stmts: fn.Body.Stmts}}
+	st.curSpan = o.TraceParent
 
 	return newExplorer(e).explore(st)
 }
@@ -100,8 +103,9 @@ type engine struct {
 	initGlobals map[string]solver.Term
 
 	// Hot-path perf counters (nil when Options.Perf is unset; all
-	// perf.Counter methods are nil-safe).
-	cStates, cForks, cPaths, cPruned, cSteps, cSolver *perf.Counter
+	// perf.Counter methods are nil-safe). cFrontier is a gauge: +forks
+	// on push, -1 on pop.
+	cStates, cForks, cPaths, cPruned, cSteps, cSolver, cFrontier *perf.Counter
 }
 
 // satConj is the engine's feasibility check: memoized through the shared
@@ -234,6 +238,7 @@ func (e *engine) branch(st *mstate, cond lang.Expr, stmtID int, onTrue, onFalse 
 					child.condStmts = append(child.condStmts, stmtID)
 				}
 				if !e.opts.NoPruning {
+					st.evSolver++
 					feasible = e.satConj(child.conds)
 				}
 			}
@@ -242,6 +247,7 @@ func (e *engine) branch(st *mstate, cond lang.Expr, stmtID int, onTrue, onFalse 
 				hook(child)
 				children = append(children, child)
 			} else {
+				st.evPruned++
 				e.cPruned.Inc()
 			}
 		}
@@ -372,8 +378,14 @@ func (e *engine) buildPath(st *mstate) *Path {
 		CondStmts: append([]int{}, st.condStmts...),
 		Sends:     st.sends,
 		Visited:   len(st.visited),
+		Seq:       append([]int32{}, st.seq...),
 		Truncated: st.truncated,
 	}
+	p.VisitedIDs = make([]int, 0, len(st.visited))
+	for id := range st.visited {
+		p.VisitedIDs = append(p.VisitedIDs, id)
+	}
+	sort.Ints(p.VisitedIDs)
 	names := make([]string, 0, len(st.globals))
 	for name := range st.globals {
 		names = append(names, name)

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nfactor/internal/trace"
 )
 
 // explorer drains the frontier of machine states with Options.Workers
@@ -59,14 +61,15 @@ func newExplorer(e *engine) *explorer {
 
 func (ex *explorer) explore(root *mstate) (*Result, error) {
 	ex.frontier = append(ex.frontier, root)
+	ex.e.cFrontier.Inc()
 	workers := ex.e.opts.Workers
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			ex.work()
-		}()
+			ex.work(worker)
+		}(i)
 	}
 	wg.Wait()
 
@@ -86,14 +89,46 @@ func (ex *explorer) explore(root *mstate) (*Result, error) {
 	return res, nil
 }
 
-func (ex *explorer) work() {
+func (ex *explorer) work(worker int) {
 	for {
 		st, ok := ex.next()
 		if !ok {
 			return
 		}
 		ex.e.cStates.Inc()
+		// One span per popped machine state — a fork subtree each. The
+		// span's name is the state's PathID, which is identical at every
+		// worker count, so the span TREE is scheduling-invariant even
+		// though lane assignment (tid) and timing are not. Nil tracer:
+		// this whole block is one pointer compare.
+		var sp *trace.Span
+		if tr := ex.e.opts.Trace; tr != nil {
+			sp = tr.Start(trace.CatState, PathID(st.seq), st.curSpan)
+			sp.SetTID(worker + 1)
+			st.curSpan = sp.ID() // forks nest under this state's span
+		}
+		steps0 := st.steps
 		forks, completed, err := ex.e.runToEvent(st, ex)
+		if sp != nil {
+			sp.SetInt("steps", int64(st.steps-steps0))
+			if st.evSolver > 0 {
+				sp.SetInt("solver_calls", int64(st.evSolver))
+			}
+			if st.evPruned > 0 {
+				sp.SetInt("pruned", int64(st.evPruned))
+			}
+			st.evSolver, st.evPruned = 0, 0
+			if len(forks) > 0 {
+				sp.SetInt("forks", int64(len(forks)))
+			}
+			if completed {
+				sp.SetStr("path", PathID(st.seq))
+				if st.truncated {
+					sp.SetInt("truncated", 1)
+				}
+			}
+			sp.End()
+		}
 		if err != nil {
 			ex.fail(err)
 			ex.done(nil)
@@ -125,6 +160,7 @@ func (ex *explorer) next() (*mstate, bool) {
 		if len(ex.frontier) > 0 {
 			st := ex.frontier[len(ex.frontier)-1]
 			ex.frontier = ex.frontier[:len(ex.frontier)-1]
+			ex.e.cFrontier.Add(-1)
 			ex.active++
 			return st, true
 		}
@@ -142,6 +178,7 @@ func (ex *explorer) done(forks []*mstate) {
 	for i := len(forks) - 1; i >= 0; i-- {
 		ex.frontier = append(ex.frontier, forks[i])
 	}
+	ex.e.cFrontier.Add(int64(len(forks)))
 	ex.active--
 	ex.cond.Broadcast()
 	ex.mu.Unlock()

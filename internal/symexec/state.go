@@ -13,11 +13,13 @@ package symexec
 import (
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"nfactor/internal/lang"
 	"nfactor/internal/perf"
 	"nfactor/internal/solver"
+	"nfactor/internal/trace"
 	"nfactor/internal/value"
 )
 
@@ -49,6 +51,15 @@ type Options struct {
 	// Perf, when set, receives the exploration's counters (states,
 	// forks, paths, pruned branches, steps, solver calls).
 	Perf *perf.Set
+	// Trace, when set, records one span per explored machine state (one
+	// fork subtree each, annotated with its step/solver-call/prune
+	// counts and completed path id), nested under the span TraceParent.
+	// A nil tracer is strictly zero-cost: the step loop carries no
+	// tracing code, and the per-state hook is a nil check.
+	Trace *trace.Tracer
+	// TraceParent is the span id the exploration's state spans nest
+	// under (usually the pipeline's se.* phase span).
+	TraceParent int64
 	// ConfigVars are globals to treat as symbolic configuration scalars
 	// (no @0 suffix) when their initial value is a scalar. Non-scalar
 	// config (lists, maps) stays concrete.
@@ -121,8 +132,33 @@ type Path struct {
 	// Visited is the number of distinct statements executed (the "path"
 	// LoC column of Table 2).
 	Visited int
+	// VisitedIDs are the distinct statement IDs executed along the path,
+	// sorted — the raw material of entry-to-source provenance (each
+	// model entry's -why links back through these to AST positions).
+	VisitedIDs []int
+	// Seq is the path's coordinate in the execution tree: the sequence
+	// of fork-decision indices that produced it (see PathID).
+	Seq []int32
 	// Truncated marks a path cut off by the loop bound or step budget.
 	Truncated bool
+}
+
+// PathID renders a fork-decision sequence as a stable human-readable
+// path identifier: "root" for the forkless path, else the dotted
+// decision indices ("0.1.0"). It is identical at every worker count and
+// is the id trace spans, model entries and `nfactor -why` share.
+func PathID(seq []int32) string {
+	if len(seq) == 0 {
+		return "root"
+	}
+	b := make([]byte, 0, 2*len(seq))
+	for i, d := range seq {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendInt(b, int64(d), 10)
+	}
+	return string(b)
 }
 
 // Dropped reports whether the path performs the implicit drop action.
@@ -179,6 +215,16 @@ type mstate struct {
 	// paths sort by it, which makes Result.Paths independent of worker
 	// scheduling.
 	seq []int32
+
+	// curSpan is the trace span the state currently belongs to: the
+	// parent span for the span opened when this state is popped, then
+	// (overwritten at pop) the parent for any children it forks. Cloned
+	// to children; 0 when tracing is off.
+	curSpan int64
+	// evSolver/evPruned count the solver calls and pruned alternatives
+	// of the CURRENT pop-to-event window (one branch at most). They are
+	// deliberately NOT cloned: children start their own window at 0.
+	evSolver, evPruned int
 }
 
 func (st *mstate) clone() *mstate {
@@ -194,6 +240,7 @@ func (st *mstate) clone() *mstate {
 		steps:     st.steps,
 		truncated: st.truncated,
 		seq:       append([]int32{}, st.seq...),
+		curSpan:   st.curSpan,
 	}
 	copy(out.frames, st.frames)
 	for k, v := range st.locals {

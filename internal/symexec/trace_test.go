@@ -1,0 +1,107 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/lang"
+	"nfactor/internal/trace"
+)
+
+// The span tree must be scheduling-invariant: spans are named by the
+// state's fork-decision PathID and the canonical rendering sorts children
+// and omits timestamps/lanes, so exploring with one worker and with four
+// must record byte-identical trees.
+func TestTraceTreeDeterministicAcrossWorkers(t *testing.T) {
+	trees := make(map[int]string)
+	for _, workers := range []int{1, 4} {
+		tr := trace.New()
+		opts := lbOpts
+		opts.Workers = workers
+		opts.Trace = tr
+		res, err := Run(lang.MustParse(lbSrc), "process", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Paths) != 5 {
+			t.Fatalf("workers=%d: paths = %d, want 5", workers, len(res.Paths))
+		}
+		if tr.SpanCount() == 0 {
+			t.Fatalf("workers=%d: no spans recorded", workers)
+		}
+		trees[workers] = tr.Tree(false)
+	}
+	if trees[1] != trees[4] {
+		t.Fatalf("span tree differs across worker counts:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", trees[1], trees[4])
+	}
+	tree := trees[1]
+	if !strings.Contains(tree, "state root") {
+		t.Fatalf("tree missing the root state span:\n%s", tree)
+	}
+	if !strings.Contains(tree, "solver_calls=") {
+		t.Fatalf("no state span carries a solver-call annotation:\n%s", tree)
+	}
+	if !strings.Contains(tree, "path=") {
+		t.Fatalf("no completed-path annotation in tree:\n%s", tree)
+	}
+}
+
+// Every completed path must carry its provenance raw material: the
+// fork-decision sequence (unique, PathID-renderable) and the sorted
+// statement ids it executed.
+func TestPathsCarryProvenance(t *testing.T) {
+	res, err := Run(lang.MustParse(lbSrc), "process", lbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range res.Paths {
+		id := PathID(p.Seq)
+		if seen[id] {
+			t.Fatalf("duplicate path id %q", id)
+		}
+		seen[id] = true
+		if len(p.VisitedIDs) != p.Visited {
+			t.Fatalf("path %s: VisitedIDs has %d ids, Visited says %d", id, len(p.VisitedIDs), p.Visited)
+		}
+		for i := 1; i < len(p.VisitedIDs); i++ {
+			if p.VisitedIDs[i-1] >= p.VisitedIDs[i] {
+				t.Fatalf("path %s: VisitedIDs not strictly sorted: %v", id, p.VisitedIDs)
+			}
+		}
+		if len(p.CondStmts) != len(p.Conds) {
+			t.Fatalf("path %s: %d cond sites for %d conds", id, len(p.CondStmts), len(p.Conds))
+		}
+	}
+}
+
+func TestPathID(t *testing.T) {
+	if got := PathID(nil); got != "root" {
+		t.Fatalf("PathID(nil) = %q", got)
+	}
+	if got := PathID([]int32{0, 1, 10}); got != "0.1.10" {
+		t.Fatalf("PathID = %q, want 0.1.10", got)
+	}
+}
+
+// The disabled-tracer fast path: the only tracing code a nil tracer
+// leaves in the exploration loop is the per-state nil guard in work()
+// (the step loop itself carries none). That guard path must not allocate.
+func TestDisabledTracerSteppingIsAllocFree(t *testing.T) {
+	var tr *trace.Tracer
+	st := &mstate{curSpan: 0}
+	allocs := testing.AllocsPerRun(1000, func() {
+		// Exactly the per-state hook work() performs when tracing is off.
+		var sp *trace.Span
+		if tr != nil {
+			sp = tr.Start(trace.CatState, PathID(st.seq), st.curSpan)
+		}
+		if sp != nil {
+			sp.End()
+		}
+		st.evSolver, st.evPruned = 0, 0
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracer per-state hook allocates %.1f allocs/op, want 0", allocs)
+	}
+}

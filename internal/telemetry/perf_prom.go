@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nfactor/internal/perf"
+)
+
+// WritePerfPrometheus renders a synthesis-pipeline perf set in the
+// Prometheus text exposition format, alongside (and composable with) the
+// data-plane series WritePrometheus emits: the pipeline series live in
+// their own nfactor_pipeline_* namespace, so one scrape endpoint can
+// serve both without duplicated metric names.
+func WritePerfPrometheus(w io.Writer, nf string, ps *perf.Set) error {
+	if ps == nil {
+		return nil
+	}
+	doc := ps.JSON()
+	lbl := fmt.Sprintf("nf=%q", nf)
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+
+	if len(doc.Counters) > 0 {
+		if err := p("# HELP nfactor_pipeline_counter Synthesis-pipeline event counters (states, forks, solver calls, cache hits, ...).\n# TYPE nfactor_pipeline_counter counter\n"); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(doc.Counters))
+		for k := range doc.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			if err := p("nfactor_pipeline_counter{%s,counter=%q} %d\n", lbl, k, doc.Counters[k]); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(doc.Phases) > 0 {
+		if err := p("# HELP nfactor_pipeline_phase_seconds Wall-clock time per Algorithm 1 phase.\n# TYPE nfactor_pipeline_phase_seconds counter\n"); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(doc.Phases))
+		for k := range doc.Phases {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			if err := p("nfactor_pipeline_phase_seconds{%s,phase=%q} %g\n", lbl, k, float64(doc.Phases[k].WallNs)/1e9); err != nil {
+				return err
+			}
+		}
+		if doc.CPUSupported {
+			if err := p("# HELP nfactor_pipeline_phase_cpu_seconds CPU time per Algorithm 1 phase (Linux only).\n# TYPE nfactor_pipeline_phase_cpu_seconds counter\n"); err != nil {
+				return err
+			}
+			for _, k := range names {
+				if err := p("nfactor_pipeline_phase_cpu_seconds{%s,phase=%q} %g\n", lbl, k, float64(doc.Phases[k].CPUNs)/1e9); err != nil {
+					return err
+				}
+			}
+		}
+		if err := p("# HELP nfactor_pipeline_phase_calls Invocations per phase.\n# TYPE nfactor_pipeline_phase_calls counter\n"); err != nil {
+			return err
+		}
+		for _, k := range names {
+			if err := p("nfactor_pipeline_phase_calls{%s,phase=%q} %d\n", lbl, k, doc.Phases[k].Calls); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

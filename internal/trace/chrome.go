@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event (the JSON object format consumed
+// by chrome://tracing and Perfetto). Spans become "X" complete events;
+// counter samples become "C" counter events; lane names are "M" metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds from the tracer epoch
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the object-form trace file: {"traceEvents": [...]}.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+func us(d int64) float64 { return float64(d) / 1e3 }
+
+// WriteChrome exports the recorded spans and counter tracks as Chrome
+// trace-event JSON. Span tree identity survives the flattening: every
+// event's args carry the span id and parent id, so the exact exploration
+// tree can be reconstructed from the file (the timeline view additionally
+// groups spans by lane — tid 0 for pipeline phases, tid 1..N for symexec
+// workers).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: tracer is nil (tracing was not enabled)")
+	}
+	spans, counters := t.snapshot()
+	doc := chromeDoc{DisplayTimeUnit: "ns"}
+	tids := map[int]bool{}
+	for _, sp := range spans {
+		dur := us(int64(sp.dur))
+		if sp.dur < 0 {
+			dur = 0
+		}
+		args := map[string]any{"id": sp.id, "parent": sp.parent}
+		for _, a := range sp.attrs {
+			if a.IsInt {
+				args[a.Key] = a.Int
+			} else {
+				args[a.Key] = a.Str
+			}
+		}
+		tids[int(sp.tid)] = true
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sp.name,
+			Cat:  sp.cat,
+			Ph:   "X",
+			TS:   us(int64(sp.start)),
+			Dur:  &dur,
+			PID:  1,
+			TID:  int(sp.tid),
+			Args: args,
+		})
+	}
+	for _, c := range counters {
+		args := make(map[string]any, len(c.keys))
+		for i, k := range c.keys {
+			args[k] = c.vals[i]
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: c.name,
+			Ph:   "C",
+			TS:   us(int64(c.at)),
+			PID:  1,
+			TID:  0,
+			Args: args,
+		})
+	}
+	// Lane names, so Perfetto shows "pipeline" / "worker N" instead of
+	// bare thread ids.
+	lanes := make([]int, 0, len(tids))
+	for tid := range tids {
+		lanes = append(lanes, tid)
+	}
+	sort.Ints(lanes)
+	for _, tid := range lanes {
+		name := "pipeline"
+		if tid > 0 {
+			name = fmt.Sprintf("worker %d", tid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Validate checks that data is well-formed Chrome trace-event JSON: an
+// object with a non-empty traceEvents array whose events carry the fields
+// each phase type requires. It is the CI trace-smoke gate for the files
+// `nfactor -trace` writes.
+func Validate(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no traceEvents")
+	}
+	num := func(ev map[string]any, key string) (float64, bool) {
+		v, ok := ev[key].(float64)
+		return v, ok
+	}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if _, ok := num(ev, "pid"); !ok {
+			return fmt.Errorf("trace: event %d (%s): missing pid", i, name)
+		}
+		if _, ok := num(ev, "tid"); !ok {
+			return fmt.Errorf("trace: event %d (%s): missing tid", i, name)
+		}
+		switch ph {
+		case "X":
+			ts, ok := num(ev, "ts")
+			if !ok || ts < 0 {
+				return fmt.Errorf("trace: event %d (%s): complete event needs ts >= 0", i, name)
+			}
+			dur, ok := num(ev, "dur")
+			if !ok || dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): complete event needs dur >= 0", i, name)
+			}
+		case "C", "i", "I":
+			if _, ok := num(ev, "ts"); !ok {
+				return fmt.Errorf("trace: event %d (%s): %s event needs ts", i, name, ph)
+			}
+		case "M":
+			// Metadata events carry no timestamp.
+		default:
+			return fmt.Errorf("trace: event %d (%s): unsupported phase %q", i, name, ph)
+		}
+	}
+	return nil
+}

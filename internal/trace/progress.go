@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nfactor/internal/perf"
+)
+
+// StartProgress launches a live reporter for a long synthesis run: every
+// interval it prints one line with the symbolic-execution frontier depth,
+// cumulative states/paths, the paths/sec rate over the last interval, and
+// the solver-cache hit rate, all polled from ps's atomic counters (so the
+// run itself is not perturbed). The returned stop function halts the
+// reporter, prints a final line, and must be called exactly once.
+func StartProgress(w io.Writer, ps *perf.Set, interval time.Duration) (stop func()) {
+	if w == nil || ps == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		lastPaths := int64(0)
+		lastAt := time.Now()
+		line := func(final bool) {
+			now := time.Now()
+			paths := ps.Get(perf.CPaths)
+			rate := float64(paths-lastPaths) / now.Sub(lastAt).Seconds()
+			lastPaths, lastAt = paths, now
+			hits := ps.Get(perf.CSatCacheHit) + ps.Get(perf.CSimpCacheHit)
+			misses := ps.Get(perf.CSatCacheMiss) + ps.Get(perf.CSimpCacheMiss)
+			cache := "n/a"
+			if hits+misses > 0 {
+				cache = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+			}
+			tag := "progress"
+			if final {
+				tag = "progress(final)"
+			}
+			fmt.Fprintf(w, "%s: frontier=%d states=%d paths=%d (%.0f/s) steps=%d solver-cache=%s\n",
+				tag, ps.Get(perf.CFrontier), ps.Get(perf.CStates), paths, rate,
+				ps.Get(perf.CSteps), cache)
+		}
+		for {
+			select {
+			case <-done:
+				line(true)
+				return
+			case <-t.C:
+				line(false)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -1,0 +1,277 @@
+// Package trace is the synthesis-pipeline tracer: an allocation-conscious
+// span recorder threaded through core, slice, StateAlyzer, symexec,
+// solver and model refinement, so a long or surprising synthesis run can
+// be inspected instead of guessed at.
+//
+// The span tree mirrors Algorithm 1: one "phase" span per pipeline stage
+// (packet slice, StateAlyzer, state slice, path enumeration, refinement),
+// one "state" span per machine state the symbolic executor pops (i.e. per
+// fork subtree, annotated with steps/solver-calls/prunes), and one
+// "refine" span per synthesized table entry. The tree exports as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing, see
+// WriteChrome) and as a human-readable indented dump (Tree).
+//
+// Everything is nil-safe: a nil *Tracer and the nil *Span it returns are
+// no-ops, so instrumented hot paths need no branches beyond a nil check
+// and tracing is strictly zero-cost when disabled. Phase spans started
+// with StartPhase fold their measured duration into a perf.Set phase of
+// the same name on End, so the trace and the perf report are two views of
+// one measurement.
+//
+// Span creation takes one short mutex hold; span mutation (attributes,
+// End) is owner-only and lock-free, which keeps the tracer safe under
+// symexec's -workers > 1 without serializing the exploration.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nfactor/internal/perf"
+)
+
+// Span categories used by the pipeline. Packages may introduce others;
+// these are the ones the synthesis pipeline always emits.
+const (
+	CatPipeline = "pipeline" // one root span per core.Analyze call
+	CatPhase    = "phase"    // Algorithm 1 stages (slice.pkt, statealyzer, ...)
+	CatState    = "state"    // one explored machine state / fork subtree
+	CatRefine   = "refine"   // one synthesized table entry
+)
+
+// Attr is one span annotation (either a string or an int64 value).
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+func (a Attr) value() string {
+	if a.IsInt {
+		return fmt.Sprintf("%d", a.Int)
+	}
+	return a.Str
+}
+
+// Span is one recorded interval. A nil *Span (from a nil Tracer) is a
+// no-op on every method.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	cat    string
+	name   string
+	tid    int32
+	start  time.Duration // offset from the tracer's epoch
+	dur    time.Duration // -1 until End
+	attrs  []Attr
+
+	// Phase folding (StartPhase): on End the measured wall/CPU interval
+	// is added to ps's phase of the same name.
+	ps   *perf.Set
+	cpu0 time.Duration
+}
+
+// ID returns the span's identifier (0 on a nil span; real IDs start at 1,
+// so 0 doubles as the "root" parent).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetTID assigns the span to a display lane (worker index) in the Chrome
+// trace. Nil-safe.
+func (s *Span) SetTID(tid int) {
+	if s != nil {
+		s.tid = int32(tid)
+	}
+}
+
+// SetInt attaches an integer annotation. Nil-safe.
+func (s *Span) SetInt(key string, v int64) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Int: v, IsInt: true})
+	}
+}
+
+// SetStr attaches a string annotation. Nil-safe.
+func (s *Span) SetStr(key, v string) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Str: v})
+	}
+}
+
+// End closes the span. For StartPhase spans the measured duration also
+// folds into the attached perf.Set. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.dur = time.Since(s.tr.t0) - s.start
+	if s.ps != nil {
+		s.ps.AddPhase(s.name, s.dur, perf.CPUTime()-s.cpu0)
+	}
+}
+
+// counterSample is one point on a Chrome counter track (ph "C").
+type counterSample struct {
+	name string
+	at   time.Duration
+	keys []string
+	vals []int64
+}
+
+// Tracer collects spans and counter samples for one pipeline run.
+type Tracer struct {
+	t0     time.Time
+	nextID atomic.Int64
+
+	mu       sync.Mutex
+	spans    []*Span
+	counters []counterSample
+}
+
+// New returns an empty tracer whose epoch is now.
+func New() *Tracer { return &Tracer{t0: time.Now()} }
+
+// Enabled reports whether t records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start opens a span under parent (0 = root). Nil-safe: returns nil on a
+// nil tracer, and nil *Span methods are no-ops — callers on hot paths
+// should still guard with `if tracer != nil` to avoid building names.
+func (t *Tracer) Start(cat, name string, parent int64) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		cat:    cat,
+		name:   name,
+		start:  time.Since(t.t0),
+		dur:    -1,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// StartPhase opens a CatPhase span that, on End, folds its measured
+// wall/CPU duration into ps's phase of the same name — the single-
+// measurement guarantee that keeps `-trace` and `-stats` consistent.
+func (t *Tracer) StartPhase(name string, parent int64, ps *perf.Set) *Span {
+	sp := t.Start(CatPhase, name, parent)
+	if sp != nil {
+		sp.ps = ps
+		sp.cpu0 = perf.CPUTime()
+	}
+	return sp
+}
+
+// Counter records one sample on the named Chrome counter track (for
+// example the solver cache's cumulative hit/miss counts). Nil-safe.
+func (t *Tracer) Counter(name string, vals map[string]int64) {
+	if t == nil {
+		return
+	}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vs := make([]int64, len(keys))
+	for i, k := range keys {
+		vs[i] = vals[k]
+	}
+	sample := counterSample{name: name, at: time.Since(t.t0), keys: keys, vals: vs}
+	t.mu.Lock()
+	t.counters = append(t.counters, sample)
+	t.mu.Unlock()
+}
+
+// SpanCount returns the number of recorded spans. Nil-safe.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// snapshot copies the span and counter slices. Callers mutate nothing.
+func (t *Tracer) snapshot() ([]*Span, []counterSample) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span{}, t.spans...), append([]counterSample{}, t.counters...)
+}
+
+// Tree renders the span forest as an indented dump. With withTimes the
+// children sort by start time and durations are printed; without, the
+// rendering is canonical — children sort by (category, name) and all
+// scheduling-dependent detail (timestamps, durations, worker lanes) is
+// omitted, so two runs of the same exploration produce byte-identical
+// trees regardless of worker count (the determinism regression relies on
+// this).
+func (t *Tracer) Tree(withTimes bool) string {
+	if t == nil {
+		return ""
+	}
+	spans, _ := t.snapshot()
+	children := map[int64][]*Span{}
+	for _, sp := range spans {
+		children[sp.parent] = append(children[sp.parent], sp)
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(a, b int) bool {
+			if withTimes {
+				if cs[a].start != cs[b].start {
+					return cs[a].start < cs[b].start
+				}
+				return cs[a].id < cs[b].id
+			}
+			if cs[a].cat != cs[b].cat {
+				return cs[a].cat < cs[b].cat
+			}
+			if cs[a].name != cs[b].name {
+				return cs[a].name < cs[b].name
+			}
+			return cs[a].id < cs[b].id
+		})
+	}
+	var sb strings.Builder
+	var walk func(parent int64, depth int)
+	walk = func(parent int64, depth int) {
+		for _, sp := range children[parent] {
+			for i := 0; i < depth; i++ {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(sp.cat)
+			sb.WriteByte(' ')
+			sb.WriteString(sp.name)
+			for _, a := range sp.attrs {
+				sb.WriteByte(' ')
+				sb.WriteString(a.Key)
+				sb.WriteByte('=')
+				sb.WriteString(a.value())
+			}
+			if withTimes && sp.dur >= 0 {
+				fmt.Fprintf(&sb, " (%v)", sp.dur.Round(time.Microsecond))
+			}
+			sb.WriteByte('\n')
+			walk(sp.id, depth+1)
+		}
+	}
+	walk(0, 0)
+	return sb.String()
+}

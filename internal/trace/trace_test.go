@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"nfactor/internal/perf"
+)
+
+func TestSpanTreeAndChromeExport(t *testing.T) {
+	tr := New()
+	root := tr.Start(CatPipeline, "nat", 0)
+	ph := tr.Start(CatPhase, "se.slice", root.ID())
+	st := tr.Start(CatState, "root", ph.ID())
+	st.SetTID(1)
+	st.SetInt("steps", 12)
+	st.SetStr("path", "0.1")
+	st.End()
+	ph.End()
+	tr.Counter("solver.cache", map[string]int64{"sat_hits": 3, "sat_misses": 1})
+	root.End()
+
+	if got := tr.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 3 spans + 1 counter + lane metadata (tid 0 and tid 1).
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6:\n%s", len(doc.TraceEvents), buf.String())
+	}
+
+	tree := tr.Tree(false)
+	want := "pipeline nat\n  phase se.slice\n    state root steps=12 path=0.1\n"
+	if tree != want {
+		t.Fatalf("canonical tree:\n%q\nwant:\n%q", tree, want)
+	}
+	timed := tr.Tree(true)
+	if !strings.Contains(timed, "(") {
+		t.Fatalf("timed tree missing durations:\n%s", timed)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{"traceEvents": []}`,
+		`{"traceEvents": [{"ph":"X","name":"a","pid":1,"tid":0,"ts":-1,"dur":2}]}`,
+		`{"traceEvents": [{"ph":"X","name":"a","pid":1,"tid":0,"ts":1}]}`,
+		`{"traceEvents": [{"ph":"Q","name":"a","pid":1,"tid":0,"ts":1}]}`,
+		`{"traceEvents": [{"ph":"X","pid":1,"tid":0,"ts":1,"dur":1}]}`,
+	} {
+		if err := Validate([]byte(bad)); err == nil {
+			t.Errorf("Validate accepted %s", bad)
+		}
+	}
+}
+
+func TestNilTracerIsNoOpAndAllocFree(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Tree(true) != "" || tr.SpanCount() != 0 {
+		t.Fatal("nil tracer returned data")
+	}
+	if err := tr.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer WriteChrome succeeded")
+	}
+	// The disabled-tracer fast path the pipeline leaves in hot loops:
+	// Start/annotate/End on a nil tracer must allocate nothing.
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(CatState, "s", 0)
+		sp.SetTID(1)
+		sp.SetInt("steps", 1)
+		sp.SetStr("path", "x")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer span ops allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestStartPhaseFoldsIntoPerf(t *testing.T) {
+	tr := New()
+	ps := perf.New()
+	sp := tr.StartPhase("se.slice", 0, ps)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	wall := ps.PhaseWall("se.slice")
+	if wall <= 0 {
+		t.Fatalf("phase wall not folded: %v", wall)
+	}
+	// The span duration and the folded phase duration are the SAME
+	// measurement, not two clock reads.
+	if sp.dur != wall {
+		t.Fatalf("span dur %v != perf phase wall %v", sp.dur, wall)
+	}
+	doc := ps.JSON()
+	if doc.Phases["se.slice"].Calls != 1 {
+		t.Fatalf("phase calls = %d, want 1", doc.Phases["se.slice"].Calls)
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	ps := perf.New()
+	ps.Counter(perf.CPaths).Add(7)
+	ps.Counter(perf.CFrontier).Add(3)
+	ps.Counter(perf.CSatCacheHit).Add(9)
+	ps.Counter(perf.CSatCacheMiss).Add(1)
+	var buf bytes.Buffer
+	stop := StartProgress(&buf, ps, 5*time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "frontier=3") || !strings.Contains(out, "paths=7") {
+		t.Fatalf("progress output missing gauges:\n%s", out)
+	}
+	if !strings.Contains(out, "solver-cache=90.0%") {
+		t.Fatalf("progress output missing cache rate:\n%s", out)
+	}
+	if !strings.Contains(out, "progress(final)") {
+		t.Fatalf("progress output missing final line:\n%s", out)
+	}
+	// stop() is sync: nothing may write after it returns.
+	n := buf.Len()
+	time.Sleep(15 * time.Millisecond)
+	if buf.Len() != n {
+		t.Fatal("reporter wrote after stop")
+	}
+}

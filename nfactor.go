@@ -37,8 +37,11 @@ import (
 	"nfactor/internal/netpkt"
 	"nfactor/internal/nfs"
 	"nfactor/internal/normalize"
+	"nfactor/internal/perf"
 	"nfactor/internal/solver"
 	"nfactor/internal/statealyzer"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/trace"
 	"nfactor/internal/value"
 	"nfactor/internal/verify"
 )
@@ -73,6 +76,17 @@ type Options struct {
 	// LintStrict additionally fails the analysis when NFLint finds an
 	// error-severity diagnostic.
 	LintStrict bool
+	// Trace records the synthesis as a span tree — one span per Algorithm
+	// 1 phase, per explored symbolic-execution state and per refined model
+	// entry — exportable as Chrome trace-event JSON (Perfetto-loadable,
+	// Result.WriteChromeTrace) or a text tree (Result.TraceTree). Off (the
+	// default) costs nothing: the pipeline's hot paths carry only nil
+	// checks.
+	Trace bool
+	// Progress, when set, receives a live one-line status every 200ms
+	// during analysis (symexec frontier depth, paths/sec, solver-cache hit
+	// rate) plus a final summary line.
+	Progress io.Writer
 }
 
 // Value is a concrete NFLang value (integers, strings, booleans, tuples,
@@ -147,6 +161,14 @@ func CorpusSource(name string) (string, error) {
 
 func analyze(nf *nfs.NF, opts Options) (*Result, error) {
 	copts := opts.toCore()
+	if opts.Trace {
+		copts.Trace = trace.New()
+	}
+	if opts.Progress != nil {
+		copts.Perf = perf.New()
+		stop := trace.StartProgress(opts.Progress, copts.Perf, 0)
+		defer stop()
+	}
 	an, err := core.Analyze(nf.Name, nf.Prog, copts)
 	if err != nil {
 		return nil, err
@@ -183,6 +205,41 @@ func (r *Result) SolverCacheStats() CacheStats { return r.an.Cache.Stats() }
 // (states explored, forks, solver calls, cache hit rates, per-phase
 // wall/CPU time).
 func (r *Result) PerfReport() string { return r.an.Perf.Report() }
+
+// WritePerfJSON writes the analysis' perf counters and phase timers as a
+// machine-readable JSON document (`nfactor -stats -json`).
+func (r *Result) WritePerfJSON(w io.Writer) error { return r.an.Perf.WriteJSON(w) }
+
+// WritePerfPrometheus writes the analysis' perf counters and phase
+// timers in the Prometheus text exposition format, under the
+// nfactor_pipeline_* namespace (disjoint from the data-plane telemetry
+// series, so both can share one scrape endpoint).
+func (r *Result) WritePerfPrometheus(w io.Writer, nf string) error {
+	return telemetry.WritePerfPrometheus(w, nf, r.an.Perf)
+}
+
+// WriteChromeTrace exports the recorded synthesis trace as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. It errors unless the analysis ran with Options.Trace.
+func (r *Result) WriteChromeTrace(w io.Writer) error { return r.an.Tracer.WriteChrome(w) }
+
+// TraceTree renders the recorded span tree as indented text. withTimes
+// adds wall-clock durations; without them the rendering is canonical
+// (children sorted, no timestamps) and identical at every worker count.
+// Empty unless the analysis ran with Options.Trace.
+func (r *Result) TraceTree(withTimes bool) string { return r.an.Tracer.Tree(withTimes) }
+
+// EntryProvenance links a model entry back to the analysis that produced
+// it: execution path id, path conditions with their branch statements,
+// and the source position of every sliced statement on the path.
+type EntryProvenance = core.EntryProvenance
+
+// EntryProvenance returns the provenance record of model entry i.
+func (r *Result) EntryProvenance(i int) (*EntryProvenance, error) { return r.an.EntryProvenance(i) }
+
+// WhyEntry renders entry i's provenance as a human-readable report
+// (`nfactor -why`).
+func (r *Result) WhyEntry(i int) (string, error) { return r.an.WhyEntry(i) }
 
 // RenderModel returns the Figure 6-style table rendering.
 func (r *Result) RenderModel() string { return model.Render(r.an.Model) }

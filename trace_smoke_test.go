@@ -1,0 +1,107 @@
+package nfactor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nfactor/internal/trace"
+)
+
+// phaseSpans are the Algorithm 1 phases every traced synthesis must
+// record (lines 1-3, 4-5, 6-9, 10, 11-16 respectively).
+var phaseSpans = []string{
+	"phase slice.pkt",
+	"phase statealyzer",
+	"phase slice.state",
+	"phase se.slice",
+	"phase refine",
+}
+
+// TestTraceSmoke is the CI trace gate (`make trace`): for every corpus
+// NF, a traced analysis must produce valid Chrome trace-event JSON
+// containing spans for all five Algorithm 1 phases plus at least one
+// per-state exploration span and one per-entry refine span, and every
+// model entry must resolve to source-level provenance via WhyEntry.
+func TestTraceSmoke(t *testing.T) {
+	for _, name := range CorpusNames() {
+		t.Run(name, func(t *testing.T) {
+			res, err := AnalyzeCorpus(name, Options{Trace: true, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if err := res.WriteChromeTrace(&buf); err != nil {
+				t.Fatalf("WriteChromeTrace: %v", err)
+			}
+			if err := trace.Validate(buf.Bytes()); err != nil {
+				t.Fatalf("invalid Chrome trace JSON: %v", err)
+			}
+
+			tree := res.TraceTree(false)
+			if !strings.HasPrefix(tree, "pipeline "+name) {
+				t.Fatalf("tree does not start with the pipeline root span:\n%s", tree)
+			}
+			for _, want := range phaseSpans {
+				if !strings.Contains(tree, want) {
+					t.Fatalf("trace missing %q:\n%s", want, tree)
+				}
+			}
+			if !strings.Contains(tree, "state root") {
+				t.Fatalf("trace has no per-state exploration spans:\n%s", tree)
+			}
+			if !strings.Contains(tree, "refine entry 0") {
+				t.Fatalf("trace has no per-entry refine spans:\n%s", tree)
+			}
+
+			entries := res.Model().Entries
+			if len(entries) == 0 {
+				t.Fatal("no model entries")
+			}
+			for i := range entries {
+				why, err := res.WhyEntry(i)
+				if err != nil {
+					t.Fatalf("WhyEntry(%d): %v", i, err)
+				}
+				if !strings.Contains(why, "path "+entries[i].PathID) {
+					t.Fatalf("WhyEntry(%d) does not cite path %s:\n%s", i, entries[i].PathID, why)
+				}
+				if !strings.Contains(why, "sliced statements executed:") {
+					t.Fatalf("WhyEntry(%d) has no source attribution:\n%s", i, why)
+				}
+			}
+		})
+	}
+}
+
+// The full pipeline's canonical span tree — phases, per-state spans,
+// per-entry refine spans — must be identical at any worker count.
+func TestPipelineTraceDeterministicAcrossWorkers(t *testing.T) {
+	trees := map[int]string{}
+	for _, workers := range []int{1, 4} {
+		res, err := AnalyzeCorpus("nat", Options{Trace: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[workers] = res.TraceTree(false)
+	}
+	if trees[1] != trees[4] {
+		t.Fatalf("pipeline span tree differs across worker counts:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", trees[1], trees[4])
+	}
+}
+
+// Tracing must not change what is synthesized.
+func TestTracedModelMatchesUntraced(t *testing.T) {
+	plain, err := AnalyzeCorpus("firewall", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := AnalyzeCorpus("firewall", Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := traced.RenderModel(), plain.RenderModel(); got != want {
+		t.Fatalf("traced model differs from untraced:\n--- traced ---\n%s--- plain ---\n%s", got, want)
+	}
+}
