@@ -3,12 +3,13 @@
 GO ?= go
 
 # Packages with shared-state concurrency (worker-pool explorer, solver
-# cache, pipeline fan-out) — the race target always covers these.
+# cache, pipeline fan-out, sharded data plane) — the race target always
+# covers these.
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments \
-             ./internal/trace
+             ./internal/trace ./internal/dataplane
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-telemetry bench-trace alloc vet lint fuzz trace
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-telemetry bench-trace alloc vet lint fuzz trace
 
 all: check
 
@@ -67,6 +68,13 @@ bench-parallel:
 # -workers=1 keeps the per-row timings free of cross-row contention.
 bench-dataplane:
 	$(GO) run ./cmd/nfbench -exp dataplane -workers 1 -out BENCH_dataplane.json
+
+# Sharded data plane scaling (aggregate pkts/sec per shard count, Zipf
+# workload, equivalence-gated); refreshes the checked-in
+# BENCH_sharding.json. Speedup above 1x needs a multi-core machine — the
+# JSON's machine block records what the run had.
+bench-sharding:
+	$(GO) run ./cmd/nfbench -exp sharding -workers 1 -out BENCH_sharding.json
 
 # Telemetry overhead on the compiled engine (sink on vs off, same warmed
 # trace); refreshes the checked-in BENCH_telemetry.json. The acceptance

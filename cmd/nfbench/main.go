@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|dataplane|telemetry|trace|all]
+//	nfbench [-exp table1|table2|figure1|figure6|accuracy|verification|dataplane|sharding|telemetry|trace|all]
 //	        [-nfs lb,balance,...] [-maxpaths 1024] [-trials 1000]
-//	        [-workers N] [-stats] [-out bench.json]
+//	        [-shards 1,2,4,8] [-workers N] [-stats] [-out bench.json]
 //
 // -exp dataplane measures the compiled match-action engine against the
 // reference interpreter on every NF (cross-validated by differential
 // fuzzing first); -out additionally records the rows as JSON (the
 // checked-in BENCH_dataplane.json is produced this way, via
 // `make bench-dataplane`).
+//
+// -exp sharding measures aggregate throughput of the generalized
+// sharded engine (every corpus NF, each -shards count) on a Zipf
+// workload, after a closed-loop differential gate against the
+// sequential engine; `make bench-sharding` records the rows as
+// BENCH_sharding.json. Shard scaling only shows on a multi-core host —
+// the machine block in the JSON records what the run had.
 //
 // -exp telemetry measures the per-packet cost of the always-on
 // telemetry sink on the compiled engine (sink attached vs detached on
@@ -42,11 +49,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | telemetry | trace | all")
+	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | sharding | telemetry | trace | all")
 	nfsFlag := flag.String("nfs", "", "comma-separated NF subset (default: whole corpus)")
 	maxPaths := flag.Int("maxpaths", 1024, "path budget for original-program symbolic execution (the paper's snort run exceeded it)")
 	trials := flag.Int("trials", 1000, "random packets per NF in the accuracy experiment")
 	seed := flag.Int64("seed", 1, "trace generator seed")
+	shards := flag.String("shards", "1,2,4,8", "shard counts for the sharding experiment")
 	workers := flag.Int("workers", 0, "concurrent NF rows and SE workers (0 = GOMAXPROCS; use 1 for faithful per-row timings)")
 	stats := flag.Bool("stats", false, "print aggregated performance counters and solver-cache hit rates")
 	out := flag.String("out", "", "write the dataplane experiment's rows as JSON to this file")
@@ -106,6 +114,17 @@ func main() {
 			fmt.Println("wrote", *out)
 		}
 	}
+	if run("sharding") {
+		counts, err := parseShards(*shards)
+		check(err)
+		rows, err := experiments.Sharding(names, *trials, *seed, counts, opts)
+		check(err)
+		fmt.Println(experiments.FormatSharding(rows))
+		if *out != "" && *exp == "sharding" {
+			check(writeShardingJSON(*out, rows))
+			fmt.Println("wrote", *out)
+		}
+	}
 	if run("telemetry") {
 		rows, err := experiments.Telemetry(names, *trials, *seed, opts)
 		check(err)
@@ -139,6 +158,49 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "nfbench:", err)
 		os.Exit(1)
 	}
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeShardingJSON records the scaling rows plus machine context — the
+// cores/gomaxprocs fields say whether shard counts above 1 could run in
+// parallel at all.
+func writeShardingJSON(path string, rows []experiments.ShardingRow) error {
+	doc := struct {
+		Description string                    `json:"description"`
+		Machine     map[string]any            `json:"machine"`
+		Rows        []experiments.ShardingRow `json:"rows"`
+	}{
+		Description: "Generalized sharded data plane (internal/dataplane.Sharded): aggregate " +
+			"pkts/sec per shard count on a Zipf-skewed workload, per NF, measured only after a " +
+			"closed-loop differential gate proved the sharded engine equivalent to the " +
+			"sequential one (exact for flow-partitioned state, modulo allocator renaming and " +
+			"per-flow rotor choice otherwise; see dataplane.Equiv). Speedup is relative to the " +
+			"1-shard row. Shards are goroutines: scaling beyond 1x requires cores > 1 in the " +
+			"machine block. Regenerate with `make bench-sharding`.",
+		Machine: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeDataplaneJSON records the dataplane rows plus enough machine

@@ -8,9 +8,11 @@
 // Each target is a built-in corpus NF name or an NFLang source file;
 // with no targets the whole corpus is linted. By default nflint runs the
 // full pipeline: the source-level passes (NFL0xx), the Table 1
-// classification cross-check against StateAlyzer (NFL005), and the
+// classification cross-check against StateAlyzer (NFL005), the
 // model-level passes (NFL1xx) on the synthesized model with data-plane
-// state-slot cross-references. -source restricts to the source passes
+// state-slot cross-references, and the data-plane sharding pass
+// (NFL2xx: an informational finding naming the state variable that
+// keeps the model single-core). -source restricts to the source passes
 // (no synthesis — works on programs that cannot be synthesized yet).
 //
 // Exit status: 0 clean (or warnings/info only), 1 when any
@@ -27,6 +29,7 @@ import (
 	"nfactor/internal/dataplane"
 	"nfactor/internal/lint"
 	"nfactor/internal/nfs"
+	"nfactor/internal/value"
 )
 
 func main() {
@@ -99,15 +102,21 @@ func lintNF(nf *nfs.NF, srcOnly bool) []lint.Diagnostic {
 		})
 	}
 	diags = append(diags, lint.CrossCheck(an.Analyzer, an.Vars, nf.Name)...)
-	diags = append(diags, lint.Model(an.Model, lint.ModelOptions{StateSlots: stateSlots(an)})...)
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		config, state = nil, nil
+	}
+	diags = append(diags, lint.Model(an.Model, lint.ModelOptions{StateSlots: stateSlots(an, config, state)})...)
+	if config != nil {
+		diags = append(diags, lint.Sharding(an.Model, config, state)...)
+	}
 	return diags
 }
 
 // stateSlots compiles the model to the data plane and returns the state
 // variables it allocated slots for (the NFL104 cross-reference).
-func stateSlots(an *core.Analysis) map[string]bool {
-	config, state, err := an.ConfigAndState(nil)
-	if err != nil {
+func stateSlots(an *core.Analysis, config, state map[string]value.Value) map[string]bool {
+	if config == nil {
 		return nil
 	}
 	eng, err := dataplane.Compile(an.Model, config, state)

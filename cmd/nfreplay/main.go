@@ -6,8 +6,13 @@
 // Usage:
 //
 //	nfreplay -corpus lb -trace flows.txt [-side program|model|compiled|sharded|diff]
-//	         [-explain] [-telemetry] [-prom metrics.prom]
+//	         [-shards N] [-explain] [-telemetry] [-prom metrics.prom]
 //	         [-fast] [-bench] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -shards N picks the shard count for -side sharded (default
+// GOMAXPROCS). When the model's state has no sharding lowering, the
+// replay reports *why* on stderr — naming the blocking state variable —
+// and falls back to the single compiled engine instead of failing.
 //
 // -explain prints the provenance trace of every packet: which guards
 // were evaluated with what outcome, which entry fired, what was sent
@@ -44,6 +49,7 @@ func main() {
 	file := flag.String("file", "", "NFLang source file to replay against")
 	traceFile := flag.String("trace", "", "trace file (- for stdin)")
 	side := flag.String("side", "diff", "program | model | compiled | sharded | diff")
+	shards := flag.Int("shards", 0, "shard count for -side sharded (0 = GOMAXPROCS)")
 	explain := flag.Bool("explain", false, "print each packet's provenance trace (guards, entry, state changes)")
 	telemetry := flag.Bool("telemetry", false, "print counters, latency quantiles, the hit-annotated model and dead entries after the replay")
 	promFile := flag.String("prom", "", "write the telemetry snapshot in Prometheus text format to this file")
@@ -109,7 +115,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		if err := runReplay(res, name, trace, *side, *fast, *explain, *telemetry, *promFile); err != nil {
+		if err := runReplay(res, name, trace, *side, *shards, *fast, *explain, *telemetry, *promFile); err != nil {
 			fatal(err)
 		}
 	}
@@ -127,7 +133,7 @@ func main() {
 	}
 }
 
-func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side string, fast, explain, telemetry bool, promFile string) error {
+func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side string, shards int, fast, explain, telemetry bool, promFile string) error {
 	if side == "diff" {
 		candidate := nfactor.BackendModel
 		if fast {
@@ -158,7 +164,25 @@ func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side st
 		return fmt.Errorf("unknown -side %q", side)
 	}
 
-	rp, err := res.Replayer(backend)
+	var rp nfactor.Replayer
+	var err error
+	if backend == nfactor.BackendSharded {
+		n := shards
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		rp, err = res.ShardedReplayer(n)
+		if err != nil {
+			// Say why this model cannot shard (the error names the state
+			// variable with no sharding lowering), then degrade loudly
+			// rather than silently.
+			fmt.Fprintf(os.Stderr, "nfreplay: %s cannot run sharded: %v\n", name, err)
+			fmt.Fprintln(os.Stderr, "nfreplay: falling back to the single compiled engine")
+			rp, err = res.Replayer(nfactor.BackendCompiled)
+		}
+	} else {
+		rp, err = res.Replayer(backend)
+	}
 	if err != nil {
 		return err
 	}

@@ -43,8 +43,8 @@ func (an *Analysis) Instance(opts Options) (*model.Instance, error) {
 }
 
 // ShardedEngine builds the flow-partitioned concurrent engine with n
-// shards. It errors when the model's state is not flow-partitionable
-// (see dataplane.PartitionFields).
+// shards. It errors when some state variable has no sharding lowering
+// (see dataplane.Classify; dataplane.BlockingVar names the variable).
 func (an *Analysis) ShardedEngine(n int, opts Options) (*dataplane.Sharded, error) {
 	opts = an.inherit(opts)
 	config, state, err := an.ConfigAndState(opts.ConfigOverride)

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"nfactor/internal/dataplane"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/perf"
+)
+
+// DiffTestSharded replays a closed-loop workload through the sequential
+// compiled engine and an n-shard Sharded engine in lockstep and demands
+// equivalence modulo allocator-value renaming and per-flow rotor choice
+// (dataplane.Equiv documents the exact relation; for purely
+// flow-partitioned models it degenerates to exact equality).
+//
+// The loop is closed per engine: whenever a stimulus packet is
+// forwarded, the reply it would provoke — endpoints swapped, arriving
+// on the interface the engine emitted it to — is materialized from that
+// engine's *own* output and fed back to it. This is what exercises the
+// renamed half of the state space: a NAT'd reply comes back to whatever
+// port that engine allocated, so each side chases its own renaming
+// while the comparator checks the two stay bijective.
+//
+// Stimulus packets should keep their ports outside the model's
+// allocator ranges (client ports below 10000 clear the corpus), so an
+// allocated value is never confused with workload coincidence.
+func (an *Analysis) DiffTestSharded(stimulus []netpkt.Packet, n int, opts Options) (*DiffResult, error) {
+	opts = an.inherit(opts)
+	config, state, err := an.ConfigAndState(opts.ConfigOverride)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := dataplane.Compile(an.Model, config, state)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := dataplane.NewSharded(an.Model, config, state, n)
+	if err != nil {
+		return nil, err
+	}
+	eq := dataplane.NewEquiv(sh.Class(), config)
+
+	defer opts.Perf.Phase("accuracy.diff.sharded")()
+	trials := opts.Perf.Counter(perf.CDiffTrials)
+	res := &DiffResult{}
+	record := func(i int, p netpkt.Packet, diff string) {
+		res.Mismatches++
+		if res.First == nil {
+			res.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, p, diff)
+			res.First = &Divergence{Packet: i, Pkt: p, Detail: diff}
+		}
+	}
+	// step processes one packet pair and reports whether both sides are
+	// healthy enough to keep the closed loop going.
+	step := func(i int, key string, pa, pb netpkt.Packet) (*dataplane.Output, *dataplane.Output, bool) {
+		res.Trials++
+		trials.Inc()
+		aOut, aErr := seq.Process(&pa)
+		bOut, bErr := sh.Process(&pb)
+		if (aErr != nil) != (bErr != nil) {
+			record(i, pa, fmt.Sprintf("error mismatch: sequential=%v sharded=%v", aErr, bErr))
+			return nil, nil, false
+		}
+		if aErr != nil {
+			return nil, nil, false // both errored identically
+		}
+		if diff := eq.CompareOutputs(key, aOut, bOut); diff != "" {
+			record(i, pa, diff)
+			return nil, nil, false
+		}
+		return aOut, bOut, true
+	}
+	for i := range stimulus {
+		key := dataplane.FlowKey(&stimulus[i])
+		aOut, bOut, ok := step(i, key, stimulus[i], stimulus[i])
+		if !ok || aOut.Dropped || len(aOut.Sent) == 0 || len(bOut.Sent) == 0 {
+			continue
+		}
+		// One reply round per forwarded stimulus, materialized from each
+		// engine's own output.
+		ra := replyTo(aOut.Sent[0].Pkt, aOut.Sent[0].Iface)
+		rb := replyTo(bOut.Sent[0].Pkt, bOut.Sent[0].Iface)
+		step(i, key, ra, rb)
+	}
+	if diff := eq.CompareStates(seq.State(), sh.State()); diff != "" {
+		res.Mismatches++
+		if res.First == nil {
+			res.FirstDiff = "end state: " + diff
+			res.First = &Divergence{Packet: -1, Detail: diff}
+		}
+	}
+	return res, nil
+}
+
+// replyTo builds the answer an emitted packet would provoke: endpoints
+// swapped, arriving back on the interface it left through.
+func replyTo(p netpkt.Packet, iface string) netpkt.Packet {
+	p.SrcIP, p.DstIP = p.DstIP, p.SrcIP
+	p.SrcPort, p.DstPort = p.DstPort, p.SrcPort
+	p.Flags = "A"
+	p.InIface = iface
+	return p
+}

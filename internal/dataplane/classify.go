@@ -1,0 +1,828 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// Per-variable state classification: the analysis that generalizes flow
+// sharding from "every state map is keyed by packet fields" to the whole
+// corpus. Each OIS variable gets a sharding lowering of its own, derived
+// from how the synthesized model's entries touch it:
+//
+//   - FlowMap: a map whose every key (read and write) is built from
+//     packet fields alone. Keys partition by the flow hash over the key
+//     field *values* (sorted, so a flow and its reverse co-shard), and
+//     the map lives shard-local.
+//   - ReplicaMap: a map no entry ever writes. Each shard gets a full
+//     copy; reads are shard-agnostic.
+//   - OwnedMap: a map written under keys that carry an allocator value
+//     (nat's reverse table keyed by the allocated port, lb's
+//     backend-to-front table). Because each shard allocates from a
+//     disjoint interleaved range, the allocator value itself encodes
+//     which shard owns the entry, and reads keyed by a packet field
+//     route to owner(field value).
+//   - Allocator: a scalar bumped by a constant step (nat's next_port,
+//     lb's cur_port). Shard s of n runs a sub-allocator over the
+//     interleaved range {init + s*step + k*n*step}: same values, no two
+//     shards ever hand out the same one, and no cross-shard
+//     coordination. The sequential value is recoverable exactly (the
+//     per-shard positions encode the total allocation count), which is
+//     how Sharded.State() reports it.
+//   - Rotor: a scalar advanced modulo a constant (round-robin indices).
+//     Each shard runs its own rotor; the sequential position is again
+//     recoverable from the per-shard positions.
+//   - Frozen: a scalar no entry writes; replicated.
+//
+// On top of the per-variable classes, each entry gets a routing demand —
+// which shard must process a packet for that entry's state accesses to
+// be local — and a static coherence check marks entries whose demand
+// cannot be decided before the state guards run (none in the corpus;
+// such packets take the serial hand-off path).
+
+// StateClass is one variable's sharding lowering.
+type StateClass int
+
+const (
+	ClassFlowMap StateClass = iota
+	ClassReplicaMap
+	ClassOwnedMap
+	ClassAllocator
+	ClassRotor
+	ClassFrozen
+)
+
+func (c StateClass) String() string {
+	switch c {
+	case ClassFlowMap:
+		return "flow-map"
+	case ClassReplicaMap:
+		return "replica-map"
+	case ClassOwnedMap:
+		return "owned-map"
+	case ClassAllocator:
+		return "allocator"
+	case ClassRotor:
+		return "rotor"
+	case ClassFrozen:
+		return "frozen"
+	}
+	return "?"
+}
+
+// VarClass is the classification of one OIS variable.
+type VarClass struct {
+	Name  string
+	Class StateClass
+
+	// Allocator and Rotor.
+	Init int64 // initial scalar value
+	Step int64 // Allocator: increment per allocation
+	Mod  int64 // Rotor: cycle modulus
+
+	// OwnedMap.
+	Alloc  string // the allocator whose values key the map
+	KeyPos int    // allocator component position in tuple write keys (-1: whole scalar key)
+}
+
+func (v *VarClass) describe() string {
+	switch v.Class {
+	case ClassFlowMap:
+		return fmt.Sprintf("%s: flow-map (shard-local, keys hash by packet-field values)", v.Name)
+	case ClassReplicaMap:
+		return fmt.Sprintf("%s: replica-map (read-only after init, copied per shard)", v.Name)
+	case ClassOwnedMap:
+		return fmt.Sprintf("%s: owned-map (keys carry %s values; owner shard decoded from the key)", v.Name, v.Alloc)
+	case ClassAllocator:
+		return fmt.Sprintf("%s: allocator (init %d, step %d; interleaved per-shard sub-ranges)", v.Name, v.Init, v.Step)
+	case ClassRotor:
+		return fmt.Sprintf("%s: rotor (mod %d; independent per-shard rotors)", v.Name, v.Mod)
+	case ClassFrozen:
+		return fmt.Sprintf("%s: frozen scalar (never written, replicated)", v.Name)
+	}
+	return v.Name
+}
+
+// demandKind says how an entry's shard is decided.
+type demandKind int
+
+const (
+	demandNone  demandKind = iota // any shard works
+	demandFlow                    // hash of the sorted key-field values
+	demandOwner                   // owner shard decoded from an allocator-valued field
+)
+
+// demand is one entry's routing requirement.
+type demand struct {
+	kind   demandKind
+	fields []string // demandFlow: key field names, sorted
+	owner  string   // demandOwner: packet field carrying the allocator value
+	alloc  string   // demandOwner: the allocator variable
+}
+
+func (d demand) equal(o demand) bool {
+	if d.kind != o.kind {
+		return false
+	}
+	switch d.kind {
+	case demandFlow:
+		if len(d.fields) != len(o.fields) {
+			return false
+		}
+		for i := range d.fields {
+			if d.fields[i] != o.fields[i] {
+				return false
+			}
+		}
+		return true
+	case demandOwner:
+		return d.owner == o.owner && d.alloc == o.alloc
+	}
+	return true
+}
+
+func (d demand) String() string {
+	switch d.kind {
+	case demandFlow:
+		return "flow(" + strings.Join(d.fields, ",") + ")"
+	case demandOwner:
+		return fmt.Sprintf("owner(%s:%s)", d.alloc, d.owner)
+	}
+	return "any"
+}
+
+// entryPlan is the routing plan for one live (non-config-pruned) entry.
+type entryPlan struct {
+	idx       int // original model entry index
+	d         demand
+	ambiguous bool // demand conflicts with a statelessly co-satisfiable entry
+}
+
+// statelessSig holds the dispatch material of one entry's stateless
+// guards, for the syntactic-contradiction test: eqPred (field == const)
+// shapes and polarity-normalized test forms.
+type statelessSig struct {
+	eq    map[string]scalar // field -> required constant
+	tests map[string]bool   // testForm base key -> polarity (true = negated)
+}
+
+// contradicts reports whether two entries' stateless guards can be seen,
+// syntactically, to never both hold: the same field required equal to two
+// different constants, or the same base test required with opposite
+// polarity. Conservative — false only means "could not prove disjoint".
+func (a *statelessSig) contradicts(b *statelessSig) bool {
+	for f, av := range a.eq {
+		if bv, ok := b.eq[f]; ok && !scalarEqual(av, bv) {
+			return true
+		}
+	}
+	for k, aneg := range a.tests {
+		if bneg, ok := b.tests[k]; ok && aneg != bneg {
+			return true
+		}
+	}
+	return false
+}
+
+// Classification is the sharding plan for one model under one concrete
+// configuration and initial state.
+type Classification struct {
+	Vars map[string]*VarClass
+
+	plans []entryPlan
+
+	// Ambiguous counts live entries whose shard cannot be decided from
+	// stateless guards alone (they take the serial hand-off path).
+	Ambiguous int
+}
+
+// Plan returns (demand string, ambiguous) for the given original entry
+// index, for diagnostics. ok is false for pruned/unknown entries.
+func (c *Classification) Plan(idx int) (string, bool, bool) {
+	for i := range c.plans {
+		if c.plans[i].idx == idx {
+			return c.plans[i].d.String(), c.plans[i].ambiguous, true
+		}
+	}
+	return "", false, false
+}
+
+// VarReport lists the per-variable lowerings, sorted by name.
+func (c *Classification) VarReport() []string {
+	names := make([]string, 0, len(c.Vars))
+	for n := range c.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = c.Vars[n].describe()
+	}
+	return out
+}
+
+// PurelyFlowPartitioned reports whether every variable is a FlowMap —
+// the shape the original all-or-nothing PartitionFields check accepted.
+func (c *Classification) PurelyFlowPartitioned() bool {
+	for _, v := range c.Vars {
+		if v.Class != ClassFlowMap {
+			return false
+		}
+	}
+	return true
+}
+
+// access is one state-map access site.
+type access struct {
+	entry int
+	key   solver.Term
+	write bool
+	del   bool
+}
+
+// scalarWrite is one scalar state update site.
+type scalarWrite struct {
+	entry int
+	val   solver.Term
+}
+
+// classifyErr marks a variable that blocks sharding; the variable name
+// travels with the error so diagnostics (nflint NFL2xx, nfreplay
+// fallback reports) can point at it.
+type classifyErr struct {
+	Var string
+	err error
+}
+
+func (e *classifyErr) Error() string { return e.err.Error() }
+
+// BlockingVar extracts the state variable named by a classification
+// error, if any ("" when the error is not a classification error).
+func BlockingVar(err error) string {
+	for ; err != nil; err = unwrap(err) {
+		if ce, ok := err.(*classifyErr); ok {
+			return ce.Var
+		}
+	}
+	return ""
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+func blockVar(name, format string, args ...any) error {
+	return &classifyErr{Var: name, err: fmt.Errorf("dataplane: "+format, args...)}
+}
+
+// Classify derives the sharding plan for a model under its concrete
+// configuration and initial state. An error means some variable has no
+// sharding lowering; the model still runs on a single Engine.
+func Classify(m *model.Model, config, initState map[string]value.Value) (*Classification, error) {
+	cp := &compiler{config: config, slotIdx: map[string]int{}, mapIdx: map[string]int{}, lutIdx: map[string]int{}}
+	scalars := map[string]value.Value{}
+	mapsInit := map[string]value.Value{}
+	for _, name := range m.OISVars {
+		iv, ok := initState[name]
+		if !ok {
+			return nil, fmt.Errorf("dataplane: missing initial state for %q", name)
+		}
+		if iv.Kind == value.KindMap {
+			cp.mapIdx[name] = len(cp.mapIdx)
+			mapsInit[name] = iv
+		} else {
+			cp.slotIdx[name] = len(cp.slotIdx)
+			scalars[name] = iv
+		}
+	}
+
+	// constInt folds a term under the concrete configuration.
+	constInt := func(t solver.Term) (int64, bool) {
+		ex, err := cp.compile(t)
+		if err != nil || !ex.isConst() || ex.c.k != kInt {
+			return 0, false
+		}
+		return ex.c.i, true
+	}
+
+	// Collect live entries (config-pruned entries never fire under this
+	// configuration, exactly as Compile prunes them) and their stateless
+	// signatures.
+	type liveEntry struct {
+		idx int
+		sig statelessSig
+	}
+	var live []liveEntry
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		pruned := false
+		sig := statelessSig{eq: map[string]scalar{}, tests: map[string]bool{}}
+		for _, g := range e.Guard() {
+			ex, err := cp.compile(g)
+			if err != nil {
+				return nil, fmt.Errorf("dataplane: entry %d guard: %w", i, err)
+			}
+			if ex.isConst() && ex.c.k == kBool && ex.c.i == 0 {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		for _, g := range e.FlowMatch {
+			if f, v, ok := cp.eqPred(g); ok {
+				sig.eq[f] = v
+			}
+			if base, neg := testForm(g); base != nil {
+				if onlyPktConfig(base) {
+					sig.tests[base.Key()] = neg
+				}
+			}
+		}
+		live = append(live, liveEntry{idx: i, sig: sig})
+	}
+
+	// Collect accesses over the live entries.
+	mapAcc := map[string][]access{}
+	scalarGuardRead := map[string][]int{}
+	scalarWrites := map[string][]scalarWrite{}
+	for _, le := range live {
+		e := &m.Entries[le.idx]
+		collect := func(t solver.Term, guard bool) {
+			walkAccesses(t, cp, le.idx, mapAcc)
+			for _, v := range solver.Vars(t) {
+				if base, ok := strings.CutSuffix(v, "@0"); ok {
+					if _, isScalar := scalars[base]; isScalar && guard {
+						scalarGuardRead[base] = append(scalarGuardRead[base], le.idx)
+					}
+				}
+			}
+		}
+		for _, g := range e.Guard() {
+			collect(g, true)
+		}
+		for _, a := range e.Sends {
+			for _, f := range a.FieldNames() {
+				collect(a.Fields[f], false)
+			}
+			collect(a.Iface, false)
+		}
+		for _, u := range e.Updates {
+			if _, isScalar := scalars[u.Name]; isScalar {
+				scalarWrites[u.Name] = append(scalarWrites[u.Name], scalarWrite{entry: le.idx, val: u.Val})
+				// The update value may itself read maps/scalars.
+				collect(u.Val, false)
+				continue
+			}
+			// Map update: record the Store/Del chain's keys as writes and
+			// walk embedded reads.
+			if err := walkMapUpdate(u.Name, u.Val, cp, le.idx, mapAcc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cls := &Classification{Vars: map[string]*VarClass{}}
+
+	// Scalars first: allocators and rotors anchor the owned-map class.
+	for name, iv := range scalars {
+		vc := &VarClass{Name: name, KeyPos: -1}
+		writes := scalarWrites[name]
+		if len(writes) == 0 {
+			vc.Class = ClassFrozen
+			cls.Vars[name] = vc
+			continue
+		}
+		if iv.Kind != value.KindInt {
+			return nil, blockVar(name, "state scalar %q: only integer counters shard (have %s)", name, iv.Kind)
+		}
+		vc.Init = iv.I
+		kind, step, mod, err := classifyScalarWrites(name, writes, constInt)
+		if err != nil {
+			return nil, err
+		}
+		vc.Class, vc.Step, vc.Mod = kind, step, mod
+		if len(scalarGuardRead[name]) > 0 {
+			return nil, blockVar(name, "state scalar %q is read by a guard: per-shard %ss would change match outcomes", name, kind)
+		}
+		cls.Vars[name] = vc
+	}
+
+	// Maps.
+	for name, iv := range mapsInit {
+		accs := mapAcc[name]
+		vc := &VarClass{Name: name, KeyPos: -1}
+		hasWrite := false
+		for _, a := range accs {
+			if a.write {
+				hasWrite = true
+				break
+			}
+		}
+		if !hasWrite {
+			vc.Class = ClassReplicaMap
+			cls.Vars[name] = vc
+			continue
+		}
+		pure := true
+		for _, a := range accs {
+			if _, ok := pureKeyFields(a.key); !ok {
+				pure = false
+				break
+			}
+		}
+		if pure {
+			if iv.Map.Len() != 0 {
+				for _, a := range accs {
+					if a.del {
+						return nil, blockVar(name, "map %q is pre-populated and deleted from: a shard-local delete would leave stale replicas", name)
+					}
+				}
+			}
+			vc.Class = ClassFlowMap
+			cls.Vars[name] = vc
+			continue
+		}
+		// Owned-map: every write key carries exactly one allocator
+		// component at a fixed position; every read key is packet-pure.
+		alloc, pos, err := ownedMapShape(name, accs, cls.Vars)
+		if err != nil {
+			return nil, err
+		}
+		if iv.Map.Len() != 0 {
+			return nil, blockVar(name, "owned map %q is pre-populated: initial keys precede the allocator range", name)
+		}
+		vc.Class, vc.Alloc, vc.KeyPos = ClassOwnedMap, alloc, pos
+		cls.Vars[name] = vc
+	}
+
+	// Per-entry demands.
+	planOf := map[int]*entryPlan{}
+	for _, le := range live {
+		cls.plans = append(cls.plans, entryPlan{idx: le.idx})
+		planOf[le.idx] = &cls.plans[len(cls.plans)-1]
+	}
+	for name, accs := range mapAcc {
+		vc := cls.Vars[name]
+		for _, a := range accs {
+			d, err := accessDemand(name, vc, a)
+			if err != nil {
+				return nil, err
+			}
+			if d.kind == demandNone {
+				continue
+			}
+			pl := planOf[a.entry]
+			if pl.d.kind == demandNone {
+				pl.d = d
+				continue
+			}
+			if !pl.d.equal(d) {
+				return nil, blockVar(name, "entry %d needs both %s and %s: no single shard holds its state", a.entry, pl.d, d)
+			}
+		}
+	}
+
+	// Coherence: two statelessly co-satisfiable entries with different
+	// non-none demands cannot be routed before the state guards run.
+	for i := range live {
+		for j := i + 1; j < len(live); j++ {
+			pi, pj := planOf[live[i].idx], planOf[live[j].idx]
+			if pi.d.kind == demandNone || pj.d.kind == demandNone || pi.d.equal(pj.d) {
+				continue
+			}
+			if !live[i].sig.contradicts(&live[j].sig) {
+				pi.ambiguous = true
+				pj.ambiguous = true
+			}
+		}
+	}
+	for i := range cls.plans {
+		if cls.plans[i].ambiguous {
+			cls.Ambiguous++
+		}
+	}
+	return cls, nil
+}
+
+// classifyScalarWrites recognizes the two shardable scalar update shapes:
+// allocator (v@0 + c, one uniform constant step) and rotor
+// ((v@0 + c) % K, one uniform modulus).
+func classifyScalarWrites(name string, writes []scalarWrite, constInt func(solver.Term) (int64, bool)) (StateClass, int64, int64, error) {
+	var kind StateClass
+	var step, mod int64
+	first := true
+	for _, w := range writes {
+		k, s, m, ok := scalarWriteShape(name, w.val, constInt)
+		if !ok {
+			return 0, 0, 0, blockVar(name, "state scalar %q: entry %d update is neither an allocator (%s@0 + c) nor a rotor ((%s@0 + c) %% K)", name, w.entry, name, name)
+		}
+		if first {
+			kind, step, mod = k, s, m
+			first = false
+			continue
+		}
+		if k != kind || s != step || m != mod {
+			return 0, 0, 0, blockVar(name, "state scalar %q: entries disagree on the update shape", name)
+		}
+	}
+	if kind == ClassAllocator && step <= 0 {
+		return 0, 0, 0, blockVar(name, "state scalar %q: allocator step %d is not positive", name, step)
+	}
+	if kind == ClassRotor && mod <= 0 {
+		return 0, 0, 0, blockVar(name, "state scalar %q: rotor modulus %d is not positive", name, mod)
+	}
+	return kind, step, mod, nil
+}
+
+// scalarWriteShape matches one update value against the allocator and
+// rotor shapes.
+func scalarWriteShape(name string, t solver.Term, constInt func(solver.Term) (int64, bool)) (StateClass, int64, int64, bool) {
+	if b, ok := t.(solver.Bin); ok && b.Op == "%" {
+		if k, ok := constInt(b.Y); ok {
+			if _, step, _, okIn := scalarWriteShape(name, b.X, constInt); okIn {
+				return ClassRotor, step, k, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	b, ok := t.(solver.Bin)
+	if !ok || b.Op != "+" {
+		return 0, 0, 0, false
+	}
+	isSelf := func(x solver.Term) bool {
+		v, ok := x.(solver.Var)
+		return ok && v.Name == name+"@0"
+	}
+	if isSelf(b.X) {
+		if c, ok := constInt(b.Y); ok {
+			return ClassAllocator, c, 0, true
+		}
+	}
+	if isSelf(b.Y) {
+		if c, ok := constInt(b.X); ok {
+			return ClassAllocator, c, 0, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// ownedMapShape checks the owned-map key discipline and returns the
+// owning allocator and its component position.
+func ownedMapShape(name string, accs []access, vars map[string]*VarClass) (string, int, error) {
+	alloc, pos := "", -2
+	for _, a := range accs {
+		if !a.write {
+			continue
+		}
+		wAlloc, wPos, err := writeKeyAllocator(name, a, vars)
+		if err != nil {
+			return "", 0, err
+		}
+		if pos == -2 {
+			alloc, pos = wAlloc, wPos
+			continue
+		}
+		if wAlloc != alloc || wPos != pos {
+			return "", 0, blockVar(name, "map %q: write keys disagree on the allocator component (%s@%d vs %s@%d)", name, alloc, pos, wAlloc, wPos)
+		}
+	}
+	if pos == -2 {
+		return "", 0, blockVar(name, "map %q has no shardable key discipline", name)
+	}
+	// Read keys must expose the allocator component as a packet field so
+	// the router can decode the owner before touching state.
+	for _, a := range accs {
+		if a.write {
+			continue
+		}
+		if _, err := readOwnerField(name, a.key, pos); err != nil {
+			return "", 0, err
+		}
+	}
+	return alloc, pos, nil
+}
+
+// writeKeyAllocator finds the single allocator-valued component of an
+// owned-map write key.
+func writeKeyAllocator(name string, a access, vars map[string]*VarClass) (string, int, error) {
+	isAllocRead := func(t solver.Term) (string, bool) {
+		v, ok := t.(solver.Var)
+		if !ok {
+			return "", false
+		}
+		base, ok := strings.CutSuffix(v.Name, "@0")
+		if !ok {
+			return "", false
+		}
+		vc, ok := vars[base]
+		if !ok || vc.Class != ClassAllocator {
+			return "", false
+		}
+		return base, true
+	}
+	if al, ok := isAllocRead(a.key); ok {
+		return al, -1, nil
+	}
+	if tp, ok := a.key.(solver.Tuple); ok {
+		alloc, pos := "", -2
+		for i, el := range tp.Elems {
+			if al, ok := isAllocRead(el); ok {
+				if pos != -2 {
+					return "", 0, blockVar(name, "map %q: write key carries two allocator components", name)
+				}
+				alloc, pos = al, i
+			}
+		}
+		if pos != -2 {
+			return alloc, pos, nil
+		}
+	}
+	return "", 0, blockVar(name, "map %q: entry %d writes a key that is neither packet-pure nor allocator-carrying", name, a.entry)
+}
+
+// readOwnerField returns the packet field at the allocator position of an
+// owned-map read key.
+func readOwnerField(name string, key solver.Term, pos int) (string, error) {
+	fieldOf := func(t solver.Term) (string, bool) {
+		v, ok := t.(solver.Var)
+		if !ok {
+			return "", false
+		}
+		f, ok := strings.CutPrefix(v.Name, "pkt.")
+		if !ok {
+			return "", false
+		}
+		_, known := rawGetter(f)
+		return f, known
+	}
+	if pos == -1 {
+		if f, ok := fieldOf(key); ok {
+			return f, nil
+		}
+		return "", blockVar(name, "map %q: read key %s does not expose the allocator value as a packet field", name, key)
+	}
+	tp, ok := key.(solver.Tuple)
+	if !ok || pos >= len(tp.Elems) {
+		return "", blockVar(name, "map %q: read key %s does not match the write-key shape", name, key)
+	}
+	f, ok := fieldOf(tp.Elems[pos])
+	if !ok {
+		return "", blockVar(name, "map %q: read key component %d is not a packet field", name, pos)
+	}
+	return f, nil
+}
+
+// accessDemand converts one classified access into a routing demand.
+func accessDemand(name string, vc *VarClass, a access) (demand, error) {
+	switch vc.Class {
+	case ClassReplicaMap:
+		return demand{}, nil
+	case ClassFlowMap:
+		fields, ok := pureKeyFields(a.key)
+		if !ok {
+			return demand{}, blockVar(name, "map %q: entry %d key is not packet-pure", name, a.entry)
+		}
+		return demand{kind: demandFlow, fields: fields}, nil
+	case ClassOwnedMap:
+		if a.write {
+			// The written key carries the shard's own allocator value:
+			// always local.
+			return demand{}, nil
+		}
+		f, err := readOwnerField(name, a.key, vc.KeyPos)
+		if err != nil {
+			return demand{}, err
+		}
+		return demand{kind: demandOwner, owner: f, alloc: vc.Alloc}, nil
+	}
+	return demand{}, nil
+}
+
+// pureKeyFields returns the sorted packet fields a key is built from, or
+// ok=false when the key reads anything else (state, config, constants).
+func pureKeyFields(key solver.Term) ([]string, bool) {
+	vars := solver.Vars(key)
+	if len(vars) == 0 {
+		return nil, false
+	}
+	fields := make([]string, 0, len(vars))
+	for _, v := range vars {
+		f, ok := strings.CutPrefix(v, "pkt.")
+		if !ok {
+			return nil, false
+		}
+		if _, known := rawGetter(f); !known {
+			return nil, false
+		}
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	return fields, true
+}
+
+// onlyPktConfig reports whether a term reads no pre-state (so its value
+// is decidable before routing).
+func onlyPktConfig(t solver.Term) bool {
+	for _, v := range solver.Vars(t) {
+		if strings.HasSuffix(v, "@0") {
+			return false
+		}
+	}
+	return true
+}
+
+// walkAccesses records every state-map read (Select/In) keyed under t.
+func walkAccesses(t solver.Term, cp *compiler, entry int, acc map[string][]access) {
+	var walk func(t solver.Term)
+	record := func(m solver.Term, k solver.Term) bool {
+		mv, ok := m.(solver.MapVar)
+		if !ok {
+			return false
+		}
+		base := strings.TrimSuffix(mv.Name, "@0")
+		if _, ok := cp.mapIdx[base]; !ok {
+			return false
+		}
+		acc[base] = append(acc[base], access{entry: entry, key: k})
+		return true
+	}
+	walk = func(t solver.Term) {
+		switch x := t.(type) {
+		case solver.Bin:
+			walk(x.X)
+			walk(x.Y)
+		case solver.Un:
+			walk(x.X)
+		case solver.Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case solver.Tuple:
+			for _, e := range x.Elems {
+				walk(e)
+			}
+		case solver.Index:
+			walk(x.X)
+			walk(x.I)
+		case solver.Select:
+			if !record(x.M, x.K) {
+				walk(x.M)
+			}
+			walk(x.K)
+		case solver.In:
+			if !record(x.M, x.K) {
+				walk(x.M)
+			}
+			walk(x.K)
+		case solver.Store:
+			walk(x.M)
+			walk(x.K)
+			walk(x.V)
+		case solver.Del:
+			walk(x.M)
+			walk(x.K)
+		}
+	}
+	walk(t)
+}
+
+// walkMapUpdate records the write keys of a map update's Store/Del chain
+// (and walks embedded reads).
+func walkMapUpdate(name string, t solver.Term, cp *compiler, entry int, acc map[string][]access) error {
+	var walk func(t solver.Term) error
+	walk = func(t solver.Term) error {
+		switch x := t.(type) {
+		case solver.MapVar:
+			return nil
+		case solver.Store:
+			if err := walk(x.M); err != nil {
+				return err
+			}
+			acc[name] = append(acc[name], access{entry: entry, key: x.K, write: true})
+			walkAccesses(x.K, cp, entry, acc)
+			walkAccesses(x.V, cp, entry, acc)
+			return nil
+		case solver.Del:
+			if err := walk(x.M); err != nil {
+				return err
+			}
+			acc[name] = append(acc[name], access{entry: entry, key: x.K, write: true, del: true})
+			walkAccesses(x.K, cp, entry, acc)
+			return nil
+		default:
+			return errCompile("update of %q is not a store/del chain (%T)", name, t)
+		}
+	}
+	return walk(t)
+}

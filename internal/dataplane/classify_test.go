@@ -1,0 +1,85 @@
+package dataplane_test
+
+import (
+	"testing"
+
+	"nfactor/internal/dataplane"
+	"nfactor/internal/nfs"
+)
+
+// TestClassifyCorpus pins the per-variable sharding lowerings the
+// classifier derives for the stateful corpus NFs: nat's port pool is an
+// allocator with its reverse table keyed by allocated ports, lb combines
+// an allocator, a round-robin rotor and both map disciplines, balance is
+// flow-keyed maps plus a rotor.
+func TestClassifyCorpus(t *testing.T) {
+	want := map[string]map[string]dataplane.StateClass{
+		"nat": {
+			"fwd":       dataplane.ClassFlowMap,
+			"next_port": dataplane.ClassAllocator,
+			"rev":       dataplane.ClassOwnedMap,
+		},
+		"lb": {
+			"b2f_nat":  dataplane.ClassOwnedMap,
+			"cur_port": dataplane.ClassAllocator,
+			"f2b_nat":  dataplane.ClassFlowMap,
+			"rr_idx":   dataplane.ClassRotor,
+		},
+		"balance": {
+			"backend":   dataplane.ClassFlowMap,
+			"rr_idx":    dataplane.ClassRotor,
+			"tcp_state": dataplane.ClassFlowMap,
+		},
+	}
+	for name, vars := range want {
+		t.Run(name, func(t *testing.T) {
+			cls := classify(t, name)
+			if len(cls.Vars) != len(vars) {
+				t.Fatalf("classified %d variables, want %d (%v)", len(cls.Vars), len(vars), cls.VarReport())
+			}
+			for v, wc := range vars {
+				vc, ok := cls.Vars[v]
+				if !ok {
+					t.Fatalf("variable %q not classified", v)
+				}
+				if vc.Class != wc {
+					t.Errorf("%s: classified %s, want %s", v, vc.Class, wc)
+				}
+			}
+			if cls.PurelyFlowPartitioned() {
+				t.Errorf("%s should not be purely flow-partitioned", name)
+			}
+		})
+	}
+}
+
+// TestClassifyWholeCorpus demands every corpus NF classifies with zero
+// ambiguous entries: each packet's shard is decidable from stateless
+// guards alone, so the serial hand-off path never runs on the corpus.
+func TestClassifyWholeCorpus(t *testing.T) {
+	for _, name := range nfs.Names() {
+		t.Run(name, func(t *testing.T) {
+			cls := classify(t, name)
+			if cls.Ambiguous != 0 {
+				t.Errorf("%d ambiguous entries, want 0", cls.Ambiguous)
+			}
+			for _, line := range cls.VarReport() {
+				t.Log(line)
+			}
+		})
+	}
+}
+
+func classify(t *testing.T, name string) *dataplane.Classification {
+	t.Helper()
+	an := analyze(t, name)
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := dataplane.Classify(an.Model, config, state)
+	if err != nil {
+		t.Fatalf("classify %s: %v", name, err)
+	}
+	return cls
+}

@@ -299,6 +299,76 @@ func (e *Engine) match(p *netpkt.Packet, out *Output) error {
 	return nil
 }
 
+// entryAt returns the compiled entry with original model index idx, or
+// nil when that entry was pruned under the engine's configuration. Used
+// by the sharded engine's hand-off path; cold.
+func (e *Engine) entryAt(idx int) *centry {
+	for _, ce := range e.entries {
+		if ce.idx == idx {
+			return ce
+		}
+	}
+	return nil
+}
+
+// processEntry evaluates exactly one entry's full guard list and, on a
+// match, fires it — the sharded engine's hand-off primitive, where each
+// entry is probed on the shard that owns its state. Non-matching probes
+// leave stats and telemetry untouched (the packet is counted once, on
+// the shard where an entry fires or the implicit drop lands).
+func (e *Engine) processEntry(p *netpkt.Packet, ce *centry, out *Output) (bool, error) {
+	t0 := e.tel.Start()
+	c := &e.ctx
+	c.pkt = p
+	c.err = nil
+	c.tups = c.tups[:c.nconst]
+	for i := range c.luts {
+		c.luts[i].valid = false
+	}
+	for j := range ce.preds {
+		v := ce.preds[j].ex.eval(c)
+		if c.err != nil {
+			e.stats.Packets++
+			e.stats.Errors++
+			e.tel.Count(t0, ce.idx, false, true)
+			return false, fmt.Errorf("entry %d guard: %w", ce.idx, c.err)
+		}
+		if v.k != kBool {
+			e.stats.Packets++
+			e.stats.Errors++
+			e.tel.Count(t0, ce.idx, false, true)
+			return false, fmt.Errorf("entry %d guard: condition is %s, want bool", ce.idx, v.k)
+		}
+		if v.i == 0 {
+			return false, nil
+		}
+	}
+	e.stats.Packets++
+	out.Sent = out.Sent[:0]
+	if err := e.fire(ce, p, out, nil); err != nil {
+		e.stats.Errors++
+		e.tel.Count(t0, ce.idx, false, true)
+		return true, err
+	}
+	if out.Dropped {
+		e.stats.Drops++
+	}
+	e.tel.Count(t0, out.Entry, out.Dropped, false)
+	return true, nil
+}
+
+// dropNoMatch commits the implicit lowest-priority drop for a hand-off
+// packet no entry matched, with the same accounting process would do.
+func (e *Engine) dropNoMatch(p *netpkt.Packet, out *Output) {
+	t0 := e.tel.Start()
+	e.stats.Packets++
+	out.Sent = out.Sent[:0]
+	out.Dropped = true
+	out.Entry = -1
+	e.stats.Drops++
+	e.tel.Count(t0, -1, true, false)
+}
+
 // ProcessExplain is Process in provenance mode: it additionally records
 // every guard evaluated (with its outcome), the entry that fired, the
 // packets sent and the state transitions committed. It scans the

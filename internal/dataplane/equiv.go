@@ -1,0 +1,306 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+)
+
+// Equiv compares sequential-Engine and Sharded executions of one model.
+//
+// For purely flow-partitioned models the comparison is exact. Allocators
+// break exactness by design: shard s of n hands out init+s*step,
+// init+(s+n)*step, ... — the same *set* of values as the sequential
+// allocator, assigned to flows in a different order. Rotors likewise
+// advance per shard, so a round-robin choice may pick a different (but
+// equally valid) config constant. Equivalence is therefore checked
+// modulo two renamings, each constrained to stay a renaming:
+//
+//   - allocator values must be related by a bijection, built up as
+//     differing values are observed: once sequential value a is paired
+//     with sharded value b, a may never pair with b' nor b with a'.
+//     Both must lie in the allocator's arithmetic range
+//     (v >= init, (v-init) % step == 0) — a differing pair with only
+//     one side in range is a real divergence.
+//   - rotor-derived values must both be configuration constants, and —
+//     for per-packet outputs — stay consistent per flow: the flow that
+//     saw sequential backend a answered by sharded backend b keeps that
+//     pairing for the rest of the trace.
+//
+// Everything else — verdicts, fired entries, interface choices, send
+// counts, untainted fields, flow-map key sets — must match exactly.
+type Equiv struct {
+	cls    *Classification
+	allocs []*VarClass
+	pool   map[string]bool // canonical forms of config scalar constants
+
+	// allocator bijections, per allocator variable, both directions
+	bij map[string]map[int64]int64
+	jib map[string]map[int64]int64
+
+	// per-flow rotor pairings, both directions: flowKey+canon(val)
+	pairs map[string]string
+	sriap map[string]string
+}
+
+// NewEquiv builds a comparator from the sharding classification and the
+// concrete configuration the engines were compiled with.
+func NewEquiv(cls *Classification, config map[string]value.Value) *Equiv {
+	e := &Equiv{
+		cls:   cls,
+		pool:  map[string]bool{},
+		bij:   map[string]map[int64]int64{},
+		jib:   map[string]map[int64]int64{},
+		pairs: map[string]string{},
+		sriap: map[string]string{},
+	}
+	for _, vc := range cls.Vars {
+		if vc.Class == ClassAllocator {
+			e.allocs = append(e.allocs, vc)
+			e.bij[vc.Name] = map[int64]int64{}
+			e.jib[vc.Name] = map[int64]int64{}
+		}
+	}
+	for _, v := range config {
+		e.addPool(v)
+	}
+	return e
+}
+
+func (e *Equiv) addPool(v value.Value) {
+	switch v.Kind {
+	case value.KindTuple:
+		for _, el := range v.Tuple {
+			e.addPool(el)
+		}
+	case value.KindList:
+		for _, el := range v.List.Elems {
+			e.addPool(el)
+		}
+	case value.KindMap:
+		for _, k := range v.Map.Keys() {
+			e.addPool(k)
+			if mv, ok, _ := v.Map.Get(k); ok {
+				e.addPool(mv)
+			}
+		}
+	default:
+		e.pool[canon(v)] = true
+	}
+}
+
+func canon(v value.Value) string { return v.String() }
+
+// FlowKey canonicalizes a packet to its undirected flow identity: the
+// sorted multiset of its addresses and ports. Forward and reverse
+// packets of one connection share a key, which is what pins a rotor
+// choice to a connection.
+func FlowKey(p *netpkt.Packet) string {
+	vals := []string{
+		"s" + p.SrcIP, "s" + p.DstIP,
+		fmt.Sprintf("i%d", p.SrcPort), fmt.Sprintf("i%d", p.DstPort),
+	}
+	sort.Strings(vals)
+	return strings.Join(vals, "|")
+}
+
+// findAlloc returns the allocator whose arithmetic range contains v —
+// the tightest (largest init) when ranges nest.
+func (e *Equiv) findAlloc(v int64) *VarClass {
+	var best *VarClass
+	for _, a := range e.allocs {
+		if v >= a.Init && (v-a.Init)%a.Step == 0 {
+			if best == nil || a.Init > best.Init {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+// equalMod relates one sequential value to one sharded value. flowKey
+// scopes rotor pairings; pass "" for end-state comparison, where
+// per-flow consistency was already enforced packet by packet.
+func (e *Equiv) equalMod(flowKey string, a, b value.Value) string {
+	if value.Equal(a, b) {
+		return ""
+	}
+	if a.Kind == value.KindTuple && b.Kind == value.KindTuple && len(a.Tuple) == len(b.Tuple) {
+		for i := range a.Tuple {
+			if diff := e.equalMod(flowKey, a.Tuple[i], b.Tuple[i]); diff != "" {
+				return fmt.Sprintf("component %d: %s", i, diff)
+			}
+		}
+		return ""
+	}
+	if a.Kind == value.KindInt && b.Kind == value.KindInt {
+		fa, fb := e.findAlloc(a.I), e.findAlloc(b.I)
+		if fa != nil && fa == fb {
+			if prev, ok := e.bij[fa.Name][a.I]; ok && prev != b.I {
+				return fmt.Sprintf("allocator %s renaming is not a function: sequential %d was paired with sharded %d, now %d", fa.Name, a.I, prev, b.I)
+			}
+			if prev, ok := e.jib[fa.Name][b.I]; ok && prev != a.I {
+				return fmt.Sprintf("allocator %s renaming is not injective: sharded %d was paired with sequential %d, now %d", fa.Name, b.I, prev, a.I)
+			}
+			e.bij[fa.Name][a.I] = b.I
+			e.jib[fa.Name][b.I] = a.I
+			return ""
+		}
+		if fa != nil || fb != nil {
+			return fmt.Sprintf("%s vs %s: only one side is an allocated value", a, b)
+		}
+	}
+	ca, cb := canon(a), canon(b)
+	if e.pool[ca] && e.pool[cb] {
+		if flowKey == "" {
+			return ""
+		}
+		ka, kb := flowKey+"\x00"+ca, flowKey+"\x00"+cb
+		if prev, ok := e.pairs[ka]; ok && prev != cb {
+			return fmt.Sprintf("rotor choice flapped: this flow saw sequential %s answered by sharded %s, now %s", ca, prev, cb)
+		}
+		if prev, ok := e.sriap[kb]; ok && prev != ca {
+			return fmt.Sprintf("rotor choice flapped: sharded %s answered sequential %s for this flow, now %s", cb, prev, ca)
+		}
+		e.pairs[ka] = cb
+		e.sriap[kb] = ca
+		return ""
+	}
+	return fmt.Sprintf("%s vs %s", a, b)
+}
+
+// CompareOutputs relates one packet's sequential output to its sharded
+// output. flowKey must identify the logical connection the packet
+// belongs to (FlowKey of the stimulus that opened it); "" disables the
+// per-flow rotor consistency check.
+func (e *Equiv) CompareOutputs(flowKey string, a, b *Output) string {
+	if a.Dropped != b.Dropped {
+		return fmt.Sprintf("drop mismatch: sequential=%v sharded=%v", a.Dropped, b.Dropped)
+	}
+	if a.Entry != b.Entry {
+		return fmt.Sprintf("fired entry mismatch: sequential=%d sharded=%d", a.Entry, b.Entry)
+	}
+	if len(a.Sent) != len(b.Sent) {
+		return fmt.Sprintf("send count mismatch: sequential=%d sharded=%d", len(a.Sent), len(b.Sent))
+	}
+	for i := range a.Sent {
+		if a.Sent[i].Iface != b.Sent[i].Iface {
+			return fmt.Sprintf("send %d iface mismatch: %q vs %q", i, a.Sent[i].Iface, b.Sent[i].Iface)
+		}
+		if diff := e.comparePkts(flowKey, &a.Sent[i].Pkt, &b.Sent[i].Pkt); diff != "" {
+			return fmt.Sprintf("send %d: %s", i, diff)
+		}
+	}
+	return ""
+}
+
+func (e *Equiv) comparePkts(flowKey string, a, b *netpkt.Packet) string {
+	fields := []struct {
+		name string
+		av   value.Value
+		bv   value.Value
+	}{
+		{netpkt.FieldSrcIP, value.Str(a.SrcIP), value.Str(b.SrcIP)},
+		{netpkt.FieldDstIP, value.Str(a.DstIP), value.Str(b.DstIP)},
+		{netpkt.FieldSrcPort, value.Int(int64(a.SrcPort)), value.Int(int64(b.SrcPort))},
+		{netpkt.FieldDstPort, value.Int(int64(a.DstPort)), value.Int(int64(b.DstPort))},
+		{netpkt.FieldProto, value.Str(a.Proto), value.Str(b.Proto)},
+		{netpkt.FieldFlags, value.Str(a.Flags), value.Str(b.Flags)},
+		{netpkt.FieldTTL, value.Int(int64(a.TTL)), value.Int(int64(b.TTL))},
+		{netpkt.FieldLength, value.Int(int64(a.Length)), value.Int(int64(b.Length))},
+		{netpkt.FieldPayload, value.Str(a.Payload), value.Str(b.Payload)},
+		{netpkt.FieldInIface, value.Str(a.InIface), value.Str(b.InIface)},
+	}
+	for _, f := range fields {
+		if diff := e.equalMod(flowKey, f.av, f.bv); diff != "" {
+			return fmt.Sprintf("field %s: %s", f.name, diff)
+		}
+	}
+	return ""
+}
+
+// CompareStates relates the sequential end state to the *merged*
+// sharded end state (Sharded.State). Scalars must match exactly — the
+// merge reconstructs the sequential allocator and rotor positions.
+// Flow-map key sets match exactly with values compared modulo the
+// renamings; owned-map entries are matched by their (untainted) values,
+// then their allocator-valued keys must respect the bijection.
+func (e *Equiv) CompareStates(a, b map[string]value.Value) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("state variable count mismatch: sequential=%d sharded=%d", len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			return fmt.Sprintf("sharded state is missing %q", name)
+		}
+		vc := e.cls.Vars[name]
+		if vc == nil || vc.Class == ClassFrozen || vc.Class == ClassReplicaMap ||
+			vc.Class == ClassAllocator || vc.Class == ClassRotor {
+			if !value.Equal(av, bv) {
+				return fmt.Sprintf("state %q mismatch:\n  sequential: %s\n  sharded:    %s", name, av, bv)
+			}
+			continue
+		}
+		var diff string
+		switch vc.Class {
+		case ClassFlowMap:
+			diff = e.compareFlowMap(av, bv)
+		case ClassOwnedMap:
+			diff = e.compareOwnedMap(av, bv)
+		}
+		if diff != "" {
+			return fmt.Sprintf("state %q: %s", name, diff)
+		}
+	}
+	return ""
+}
+
+func (e *Equiv) compareFlowMap(a, b value.Value) string {
+	ak, bk := a.Map.Keys(), b.Map.Keys()
+	if len(ak) != len(bk) {
+		return fmt.Sprintf("size mismatch: sequential=%d sharded=%d", len(ak), len(bk))
+	}
+	for _, k := range ak {
+		av, _, _ := a.Map.Get(k)
+		bv, ok, _ := b.Map.Get(k)
+		if !ok {
+			return fmt.Sprintf("sharded side is missing key %s", k)
+		}
+		if diff := e.equalMod("", av, bv); diff != "" {
+			return fmt.Sprintf("key %s: %s", k, diff)
+		}
+	}
+	return ""
+}
+
+func (e *Equiv) compareOwnedMap(a, b value.Value) string {
+	ak, bk := a.Map.Keys(), b.Map.Keys()
+	if len(ak) != len(bk) {
+		return fmt.Sprintf("size mismatch: sequential=%d sharded=%d", len(ak), len(bk))
+	}
+	// Keys are allocator-renamed, values are not: match entries by
+	// value, then hold the keys to the bijection.
+	byVal := map[string][]value.Value{}
+	for _, k := range bk {
+		bv, _, _ := b.Map.Get(k)
+		byVal[canon(bv)] = append(byVal[canon(bv)], k)
+	}
+	for _, k := range ak {
+		av, _, _ := a.Map.Get(k)
+		cands := byVal[canon(av)]
+		if len(cands) == 0 {
+			return fmt.Sprintf("no sharded entry has value %s (sequential key %s)", av, k)
+		}
+		if len(cands) > 1 {
+			return fmt.Sprintf("%d sharded entries share value %s; cannot match keys", len(cands), av)
+		}
+		if diff := e.equalMod("", k, cands[0]); diff != "" {
+			return fmt.Sprintf("keys for value %s: %s", av, diff)
+		}
+	}
+	return ""
+}

@@ -2,8 +2,6 @@ package dataplane
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
 
 	"nfactor/internal/model"
@@ -14,185 +12,88 @@ import (
 	"nfactor/internal/value"
 )
 
-// Flow-partitioned concurrency. A model qualifies when its entire
-// mutable state is map-shaped and every state-map access is keyed by
-// packet fields alone; then the key space partitions cleanly and each
-// partition can run on its own single-threaded Engine. The shard
-// function hashes the *sorted* values of the key fields, so a flow and
-// its reverse (the NF reading `(dip, dport, sip, sport)` for return
-// traffic) land on the same shard: equal keys imply equal value
-// multisets imply equal shards, which is exactly the property that
-// makes per-shard sequential execution equivalent to a global
-// sequential run.
+// Generalized flow-partitioned concurrency. Classify (classify.go)
+// assigns every OIS variable a sharding lowering; NewSharded then builds
+// one single-threaded Engine per shard over a per-shard *specialized*
+// model:
+//
+//   - Flow maps stay shard-local. The shard function hashes the *sorted
+//     values* of each packet's demanded key fields, so a flow and its
+//     reverse land on the same shard no matter which field names an
+//     entry reads them through.
+//   - Replica maps and frozen scalars are copied into every shard.
+//   - Allocators are specialized: shard s of n starts at init + s*step
+//     and bumps by n*step, so the shards allocate from disjoint
+//     interleaved ranges whose union is exactly the sequential
+//     allocator's output sequence — no locks, no reconciliation, and
+//     the allocated value itself encodes its owner shard:
+//     owner(v) = ((v - init) / step) mod n.
+//   - Owned maps (keyed by allocator values) stay shard-local too:
+//     writes key by the shard's own allocator, and reads — return
+//     traffic keyed by an allocated port — route to owner(field).
+//
+// The router decides each packet's shard from the entries' *stateless*
+// guards alone, before any state is touched: the first statelessly
+// satisfied entry with a routing demand names the shard. Classify's
+// coherence check proves this sound per model — any two entries that
+// could both be stateless-satisfied by one packet agree on the demand —
+// and marks the (corpus-absent) exceptions ambiguous; ambiguous packets
+// act as batch barriers and execute serially through the hand-off path,
+// probing each entry on the shard that owns its state.
+//
+// Equivalence with the sequential Engine is exact for purely
+// flow-partitioned models, and exact modulo allocator-value renaming and
+// rotor choice otherwise (see equiv.go and core.DiffTestSharded); the
+// merged end state in State() reconstructs the sequential scalar values
+// exactly from the per-shard positions.
 
-// PartitionFields reports the packet fields every state-map key is
-// built from, or an error describing why the model's state cannot be
-// flow-partitioned (scalar state, state-derived keys, differing key
-// shapes, or pre-populated initial maps).
-func PartitionFields(m *model.Model, initState map[string]value.Value) ([]string, error) {
-	stateMaps := map[string]bool{}
-	for _, name := range m.OISVars {
-		iv, ok := initState[name]
-		if !ok {
-			return nil, fmt.Errorf("dataplane: missing initial state for %q", name)
-		}
-		if iv.Kind != value.KindMap {
-			return nil, fmt.Errorf("dataplane: scalar state %q is not flow-partitionable", name)
-		}
-		if iv.Map.Len() != 0 {
-			return nil, fmt.Errorf("dataplane: pre-populated map %q defeats shard-local state", name)
-		}
-		stateMaps[name] = true
-	}
-
-	var shape []string
-	check := func(k solver.Term) error {
-		var fields []string
-		for _, v := range solver.Vars(k) {
-			f, ok := strings.CutPrefix(v, "pkt.")
-			if !ok {
-				return fmt.Errorf("dataplane: state-map key reads %q (not a packet field)", v)
-			}
-			fields = append(fields, f)
-		}
-		if len(fields) == 0 {
-			return fmt.Errorf("dataplane: constant state-map key")
-		}
-		sort.Strings(fields)
-		if shape == nil {
-			shape = fields
-			return nil
-		}
-		if len(fields) != len(shape) {
-			return fmt.Errorf("dataplane: key shapes differ: %v vs %v", shape, fields)
-		}
-		for i := range fields {
-			if fields[i] != shape[i] {
-				return fmt.Errorf("dataplane: key shapes differ: %v vs %v", shape, fields)
-			}
-		}
-		return nil
-	}
-
-	var walk func(t solver.Term) error
-	walk = func(t solver.Term) error {
-		switch x := t.(type) {
-		case solver.Bin:
-			if err := walk(x.X); err != nil {
-				return err
-			}
-			return walk(x.Y)
-		case solver.Un:
-			return walk(x.X)
-		case solver.Call:
-			for _, a := range x.Args {
-				if err := walk(a); err != nil {
-					return err
-				}
-			}
-			return nil
-		case solver.Tuple:
-			for _, e := range x.Elems {
-				if err := walk(e); err != nil {
-					return err
-				}
-			}
-			return nil
-		case solver.Index:
-			if err := walk(x.X); err != nil {
-				return err
-			}
-			return walk(x.I)
-		case solver.Select:
-			if mv, ok := x.M.(solver.MapVar); ok && stateMaps[strings.TrimSuffix(mv.Name, "@0")] {
-				if err := check(x.K); err != nil {
-					return err
-				}
-			} else if err := walk(x.M); err != nil {
-				return err
-			}
-			return walk(x.K)
-		case solver.In:
-			if mv, ok := x.M.(solver.MapVar); ok && stateMaps[strings.TrimSuffix(mv.Name, "@0")] {
-				if err := check(x.K); err != nil {
-					return err
-				}
-			} else if err := walk(x.M); err != nil {
-				return err
-			}
-			return walk(x.K)
-		case solver.Store:
-			if _, ok := x.M.(solver.MapVar); !ok {
-				if err := walk(x.M); err != nil {
-					return err
-				}
-			}
-			if err := check(x.K); err != nil {
-				return err
-			}
-			if err := walk(x.K); err != nil {
-				return err
-			}
-			return walk(x.V)
-		case solver.Del:
-			if _, ok := x.M.(solver.MapVar); !ok {
-				if err := walk(x.M); err != nil {
-					return err
-				}
-			}
-			if err := check(x.K); err != nil {
-				return err
-			}
-			return walk(x.K)
-		default:
-			return nil
-		}
-	}
-
-	for i := range m.Entries {
-		e := &m.Entries[i]
-		for _, g := range e.Guard() {
-			if err := walk(g); err != nil {
-				return nil, err
-			}
-		}
-		for _, a := range e.Sends {
-			for _, f := range a.FieldNames() {
-				if err := walk(a.Fields[f]); err != nil {
-					return nil, err
-				}
-			}
-			if err := walk(a.Iface); err != nil {
-				return nil, err
-			}
-		}
-		for _, u := range e.Updates {
-			if err := walk(u.Val); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if shape == nil {
-		return nil, fmt.Errorf("dataplane: model has no state-map accesses to partition on")
-	}
-	return shape, nil
+// demandProg is a compiled routing demand.
+type demandProg struct {
+	kind     demandKind
+	fields   []string                      // demandFlow: sorted key-field names
+	getters  []func(*netpkt.Packet) scalar // demandFlow: key-field readers
+	ownerGet func(*netpkt.Packet) scalar   // demandOwner: allocator-valued field
+	owner    string                        // demandOwner: field name
+	init     int64
+	step     int64
 }
 
-// Sharded runs one compiled Engine per flow partition. ProcessBatch
-// fans each batch out across the shards and is the only concurrent
-// entry point; Process routes sequentially (useful for equivalence
-// checks). Outputs and final state are identical to a single Engine
-// run — enforced by TestShardedEquivalence.
+// routeStep is one router decision: an entry's compiled stateless guards
+// plus its demand.
+type routeStep struct {
+	preds []cexpr
+	d     demandProg
+	amb   bool
+}
+
+// router routes packets to shards by evaluating stateless guards in
+// priority order.
+type router struct {
+	n       int
+	uniform *demandProg // every demanding entry agrees: skip the guard scan
+	steps   []routeStep
+	dfl     demandProg // full-tuple hash for packets no demanding entry claims
+	ctx     ctx
+}
+
+// Sharded runs one specialized Engine per shard. ProcessBatch fans each
+// batch out across the shards and is the only concurrent entry point;
+// Process routes sequentially (useful for equivalence checks).
 type Sharded struct {
+	cls     *Classification
 	engines []*Engine
-	getters []func(*netpkt.Packet) scalar
-	fields  []string
+	route   router
+	// planProgs[i] is the demand program of cls.plans[i], for the
+	// hand-off path.
+	planProgs []demandProg
 
 	// per-batch scratch, reused
-	shardOf []int
-	idxs    [][]int
-	errs    []shardErr
-	perf    *perf.Set
+	shardOf  []int32
+	idxs     [][]int
+	errs     []shardErr
+	out      Output
+	perf     *perf.Set
+	handoffs int64
 }
 
 type shardErr struct {
@@ -200,37 +101,272 @@ type shardErr struct {
 	err error
 }
 
-// NewSharded compiles n independent shard engines (n <= 1 is pinned to
-// 1). The model must be flow-partitionable per PartitionFields.
+// NewSharded classifies the model's state and compiles n shard engines
+// (n <= 1 is pinned to 1), each over the shard's specialized model. An
+// error means some state variable has no sharding lowering
+// (BlockingVar names it); the model still runs on a single Engine.
 func NewSharded(m *model.Model, config, initState map[string]value.Value, n int) (*Sharded, error) {
-	fields, err := PartitionFields(m, initState)
+	cls, err := Classify(m, config, initState)
 	if err != nil {
 		return nil, err
 	}
 	if n < 1 {
 		n = 1
 	}
-	if len(fields) > 8 {
-		return nil, fmt.Errorf("dataplane: %d partition fields exceed the shard hash width", len(fields))
-	}
-	s := &Sharded{fields: fields}
-	for _, f := range fields {
-		g, ok := rawGetter(f)
-		if !ok {
-			return nil, fmt.Errorf("dataplane: unknown partition field %q", f)
-		}
-		s.getters = append(s.getters, g)
-	}
+	s := &Sharded{cls: cls}
 	for i := 0; i < n; i++ {
-		e, err := Compile(m, config, initState)
+		ms, st := specialize(m, cls, i, n, initState)
+		e, err := Compile(ms, config, st)
 		if err != nil {
 			return nil, err
 		}
 		s.engines = append(s.engines, e)
 	}
+	if err := s.buildRouter(m, config, n); err != nil {
+		return nil, err
+	}
 	s.idxs = make([][]int, n)
 	s.errs = make([]shardErr, n)
 	return s, nil
+}
+
+// specialize rewrites the model and initial state for shard s of n:
+// every allocator starts at init + s*step and bumps by n*step. With no
+// allocators (or a single shard) the model is shared untouched.
+func specialize(m *model.Model, cls *Classification, s, n int, initState map[string]value.Value) (*model.Model, map[string]value.Value) {
+	hasAlloc := false
+	for _, vc := range cls.Vars {
+		if vc.Class == ClassAllocator {
+			hasAlloc = true
+			break
+		}
+	}
+	if !hasAlloc || n == 1 {
+		return m, initState
+	}
+	ms := *m
+	ms.Entries = append([]model.Entry{}, m.Entries...)
+	for i := range ms.Entries {
+		e := &ms.Entries[i]
+		var ups []model.Assign
+		changed := false
+		for _, u := range e.Updates {
+			if vc := cls.Vars[u.Name]; vc != nil && vc.Class == ClassAllocator {
+				u.Val = solver.Bin{
+					Op: "+",
+					X:  solver.Var{Name: u.Name + "@0"},
+					Y:  solver.Const{V: value.Int(vc.Step * int64(n))},
+				}
+				changed = true
+			}
+			ups = append(ups, u)
+		}
+		if changed {
+			e.Updates = ups
+		}
+	}
+	st := make(map[string]value.Value, len(initState))
+	for k, v := range initState {
+		st[k] = v
+	}
+	for name, vc := range cls.Vars {
+		if vc.Class == ClassAllocator {
+			st[name] = value.Int(vc.Init + int64(s)*vc.Step)
+		}
+	}
+	return &ms, st
+}
+
+// buildRouter compiles the stateless guard programs and demand programs.
+func (s *Sharded) buildRouter(m *model.Model, config map[string]value.Value, n int) error {
+	r := &s.route
+	r.n = n
+	cp := &compiler{config: config, slotIdx: map[string]int{}, mapIdx: map[string]int{}, lutIdx: map[string]int{}}
+
+	var err error
+	r.dfl, err = s.flowProg([]string{netpkt.FieldSrcIP, netpkt.FieldDstIP, netpkt.FieldSrcPort, netpkt.FieldDstPort})
+	if err != nil {
+		return err
+	}
+
+	s.planProgs = make([]demandProg, len(s.cls.plans))
+	for i := range s.cls.plans {
+		pl := &s.cls.plans[i]
+		s.planProgs[i], err = s.demandProgOf(pl.d)
+		if err != nil {
+			return err
+		}
+		if pl.d.kind == demandNone && !pl.ambiguous {
+			continue
+		}
+		st := routeStep{d: s.planProgs[i], amb: pl.ambiguous}
+		for _, g := range m.Entries[pl.idx].FlowMatch {
+			ex, err := cp.compile(g)
+			if err != nil {
+				return err
+			}
+			if ex.isConst() {
+				continue // const-true under this config (false would have pruned)
+			}
+			st.preds = append(st.preds, ex)
+		}
+		r.steps = append(r.steps, st)
+	}
+
+	// Uniform fast path: every demanding entry routes identically, so
+	// the guard scan is unnecessary — the original single-hash behavior
+	// for purely flow-keyed models.
+	uniform := true
+	for i := 1; i < len(r.steps); i++ {
+		if r.steps[i].amb || r.steps[0].amb || !sameProg(&r.steps[i].d, &r.steps[0].d) {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		if len(r.steps) == 0 {
+			r.uniform = &r.dfl
+		} else {
+			r.uniform = &r.steps[0].d
+		}
+	}
+
+	r.ctx.tups = make([][maxTuple]scalar, len(cp.constTups), len(cp.constTups)+16)
+	copy(r.ctx.tups, cp.constTups)
+	r.ctx.nconst = len(cp.constTups)
+	r.ctx.luts = make([]lut, len(cp.lutIdx))
+	return nil
+}
+
+func sameProg(a, b *demandProg) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case demandOwner:
+		return a.owner == b.owner && a.init == b.init && a.step == b.step
+	case demandFlow:
+		if len(a.fields) != len(b.fields) {
+			return false
+		}
+		for i := range a.fields {
+			if a.fields[i] != b.fields[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *Sharded) flowProg(fields []string) (demandProg, error) {
+	d := demandProg{kind: demandFlow, fields: fields}
+	if len(fields) > 8 {
+		return d, fmt.Errorf("dataplane: %d partition fields exceed the shard hash width", len(fields))
+	}
+	for _, f := range fields {
+		g, ok := rawGetter(f)
+		if !ok {
+			return d, fmt.Errorf("dataplane: unknown partition field %q", f)
+		}
+		d.getters = append(d.getters, g)
+	}
+	return d, nil
+}
+
+func (s *Sharded) demandProgOf(d demand) (demandProg, error) {
+	switch d.kind {
+	case demandFlow:
+		return s.flowProg(d.fields)
+	case demandOwner:
+		g, ok := rawGetter(d.owner)
+		if !ok {
+			return demandProg{}, fmt.Errorf("dataplane: unknown owner field %q", d.owner)
+		}
+		vc := s.cls.Vars[d.alloc]
+		return demandProg{kind: demandOwner, ownerGet: g, owner: d.owner, init: vc.Init, step: vc.Step}, nil
+	}
+	return demandProg{kind: demandNone}, nil
+}
+
+// route returns the packet's shard, or ambiguous=true when the shard
+// cannot be decided statelessly (hand-off path).
+func (r *router) route(p *netpkt.Packet) (int, bool) {
+	if r.uniform != nil {
+		return r.evalDemand(r.uniform, p), false
+	}
+	c := &r.ctx
+	c.pkt = p
+	c.err = nil
+	c.tups = c.tups[:c.nconst]
+	for i := range c.luts {
+		c.luts[i].valid = false
+	}
+	for i := range r.steps {
+		st := &r.steps[i]
+		sat := true
+		for j := range st.preds {
+			v := st.preds[j].eval(c)
+			if c.err != nil || v.k != kBool {
+				// A stateless guard that errors at runtime errors
+				// identically on every shard; route by the default hash
+				// and let the owning engine surface it.
+				c.err = nil
+				sat = false
+				break
+			}
+			if v.i == 0 {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			if st.amb {
+				return 0, true
+			}
+			return r.evalDemand(&st.d, p), false
+		}
+	}
+	return r.evalFlow(&r.dfl, p), false
+}
+
+func (r *router) evalDemand(d *demandProg, p *netpkt.Packet) int {
+	if d.kind == demandOwner {
+		v := d.ownerGet(p)
+		if v.k == kInt {
+			delta := v.i - d.init
+			if delta >= 0 && delta%d.step == 0 {
+				return int((delta / d.step) % int64(r.n))
+			}
+		}
+		// Not a value any shard's allocator handed out: every lookup
+		// misses wherever it runs; spread by the default hash.
+		return r.evalFlow(&r.dfl, p)
+	}
+	if d.kind == demandNone {
+		return r.evalFlow(&r.dfl, p)
+	}
+	return r.evalFlow(d, p)
+}
+
+// evalFlow hashes the sorted values of the demanded fields, so every
+// permutation of the same value multiset — forward and reverse flow
+// keys, whichever field names carry them — maps to the same shard.
+func (r *router) evalFlow(d *demandProg, p *netpkt.Packet) int {
+	var vals [8]scalar
+	n := len(d.getters)
+	for i, g := range d.getters {
+		vals[i] = g(p)
+	}
+	for i := 1; i < n; i++ { // insertion sort, n <= 8
+		for j := i; j > 0 && scalarLess(vals[j], vals[j-1]); j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	h := fnv64(fnvOffset64)
+	for i := 0; i < n; i++ {
+		_ = h.wscalar(vals[i])
+	}
+	return int(uint64(h) % uint64(r.n))
 }
 
 // SetPerf attaches a perf set to every shard.
@@ -245,61 +381,95 @@ func (s *Sharded) SetPerf(p *perf.Set) {
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.engines) }
 
-// Fields returns the partition fields (sorted multiset).
-func (s *Sharded) Fields() []string { return s.fields }
+// Class returns the state classification the sharding was derived from.
+func (s *Sharded) Class() *Classification { return s.cls }
 
-// shard hashes the sorted values of the partition fields, so every
-// permutation of the same value multiset — forward and reverse flow
-// keys — maps to the same shard.
-func (s *Sharded) shard(p *netpkt.Packet) int {
-	var vals [8]scalar
-	n := len(s.getters)
-	for i, g := range s.getters {
-		vals[i] = g(p)
-	}
-	for i := 1; i < n; i++ { // insertion sort, n <= maxTuple in practice
-		for j := i; j > 0 && scalarLess(vals[j], vals[j-1]); j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
-	h := fnv64(fnvOffset64)
-	for i := 0; i < n; i++ {
-		_ = h.wscalar(vals[i])
-	}
-	return int(uint64(h) % uint64(len(s.engines)))
-}
+// Handoffs counts the packets that took the serial hand-off path (zero
+// for every corpus NF: their shard is always statelessly decidable).
+func (s *Sharded) Handoffs() int64 { return s.handoffs }
 
 // Process routes one packet to its owning shard (sequential mode).
 func (s *Sharded) Process(p *netpkt.Packet) (*Output, error) {
-	return s.engines[s.shard(p)].Process(p)
+	sh, amb := s.route.route(p)
+	if amb {
+		s.handoffs++
+		if err := s.resolveHandoff(p, &s.out); err != nil {
+			return nil, err
+		}
+		return &s.out, nil
+	}
+	return s.engines[sh].Process(p)
 }
 
-// ProcessBatch partitions pkts by flow and runs the shards
+// ProcessBatch partitions pkts by the router and runs the shards
 // concurrently, preserving per-shard packet order; outs[i] receives
-// pkts[i]'s output. On an evaluation error the owning shard stops (its
-// earlier packets stay committed, like a sequential loop) and the error
-// with the smallest packet index is returned.
+// pkts[i]'s output. Ambiguous packets are barriers: the batch runs in
+// segments around them, and they execute serially in between. On an
+// evaluation error the owning shard stops (its earlier packets stay
+// committed, like a sequential loop) and the error with the smallest
+// packet index is returned.
 func (s *Sharded) ProcessBatch(pkts []netpkt.Packet, outs []Output) error {
 	if len(outs) < len(pkts) {
 		return fmt.Errorf("dataplane: %d outputs for %d packets", len(outs), len(pkts))
 	}
 	if cap(s.shardOf) < len(pkts) {
-		s.shardOf = make([]int, len(pkts))
+		s.shardOf = make([]int32, len(pkts))
 	}
 	s.shardOf = s.shardOf[:len(pkts)]
+	amb := false
+	for i := range pkts {
+		sh, a := s.route.route(&pkts[i])
+		if a {
+			s.shardOf[i] = -1
+			amb = true
+		} else {
+			s.shardOf[i] = int32(sh)
+		}
+	}
+	if !amb {
+		if err := s.runSegment(pkts, outs, 0, len(pkts)); err != nil {
+			return err
+		}
+	} else {
+		lo := 0
+		for i := 0; i <= len(pkts); i++ {
+			if i < len(pkts) && s.shardOf[i] >= 0 {
+				continue
+			}
+			if err := s.runSegment(pkts, outs, lo, i); err != nil {
+				return err
+			}
+			if i < len(pkts) {
+				s.handoffs++
+				if err := s.resolveHandoff(&pkts[i], &outs[i]); err != nil {
+					return fmt.Errorf("dataplane: packet %d: %w", i, err)
+				}
+			}
+			lo = i + 1
+		}
+	}
+	if s.perf != nil {
+		s.perf.Counter(perf.CDataplaneBatches).Inc()
+	}
+	return nil
+}
+
+// runSegment fans pkts[lo:hi) out to their shards concurrently.
+func (s *Sharded) runSegment(pkts []netpkt.Packet, outs []Output, lo, hi int) error {
+	if lo >= hi {
+		return nil
+	}
 	for i := range s.idxs {
 		s.idxs[i] = s.idxs[i][:0]
 	}
-	for i := range pkts {
-		sh := s.shard(&pkts[i])
-		s.shardOf[i] = sh
+	for i := lo; i < hi; i++ {
+		sh := s.shardOf[i]
 		s.idxs[sh] = append(s.idxs[sh], i)
 	}
-
 	var wg sync.WaitGroup
 	for sh := range s.engines {
 		if len(s.idxs[sh]) == 0 {
-			s.errs[sh] = shardErr{}
+			s.errs[sh] = shardErr{at: -1}
 			continue
 		}
 		wg.Add(1)
@@ -327,36 +497,146 @@ func (s *Sharded) ProcessBatch(pkts []netpkt.Packet, outs []Output) error {
 	if first.err != nil {
 		return fmt.Errorf("dataplane: packet %d: %w", first.at, first.err)
 	}
-	if s.perf != nil {
-		s.perf.Counter(perf.CDataplaneBatches).Inc()
-	}
 	return nil
 }
 
-// State merges the shard states. Shard key spaces are disjoint (equal
-// keys land on the same shard), so the merge is a plain union.
+// resolveHandoff executes one routing-ambiguous packet serially: probe
+// the live entries in priority order, each on the shard whose state it
+// would read, and fire the first match there. The shards are idle
+// between segments, so this is race-free. It is the completeness story:
+// every model that classifies constructs a Sharded engine, with
+// ambiguous packets paying serialization instead of failing
+// construction.
+func (s *Sharded) resolveHandoff(p *netpkt.Packet, out *Output) error {
+	for i := range s.cls.plans {
+		pl := &s.cls.plans[i]
+		eng := s.engines[s.route.evalDemand(&s.planProgs[i], p)]
+		ce := eng.entryAt(pl.idx)
+		if ce == nil {
+			continue
+		}
+		matched, err := eng.processEntry(p, ce, out)
+		if err != nil {
+			return err
+		}
+		if matched {
+			return nil
+		}
+	}
+	s.engines[s.route.evalFlow(&s.route.dfl, p)].dropNoMatch(p, out)
+	return nil
+}
+
+// State merges the shard states back into the sequential view:
+//   - flow and owned maps union (their key spaces are disjoint across
+//     shards; for pre-populated flow maps the key's owner shard wins),
+//   - allocators reconstruct the sequential position exactly — each
+//     shard's offset into its interleaved range counts its allocations,
+//     and the sequential allocator advanced once per allocation,
+//   - rotors reconstruct the sequential position exactly the same way,
+//     mod the cycle length,
+//   - replicas report shard 0's (identical everywhere).
 func (s *Sharded) State() map[string]value.Value {
 	out := s.engines[0].State()
-	for _, e := range s.engines[1:] {
-		st := e.State()
-		for name, v := range st {
-			if v.Kind != value.KindMap {
-				continue
+	if len(s.engines) == 1 {
+		return out
+	}
+	n := int64(len(s.engines))
+	states := make([]map[string]value.Value, len(s.engines))
+	states[0] = out
+	for i := 1; i < len(s.engines); i++ {
+		states[i] = s.engines[i].State()
+	}
+	for name, vc := range s.cls.Vars {
+		switch vc.Class {
+		case ClassAllocator:
+			var total int64
+			for i := range states {
+				total += (states[i][name].I - (vc.Init + int64(i)*vc.Step)) / (vc.Step * n)
 			}
+			out[name] = value.Int(vc.Init + vc.Step*total)
+		case ClassRotor:
+			var adv int64
+			for i := range states {
+				d := (states[i][name].I - vc.Init) % vc.Mod
+				if d < 0 {
+					d += vc.Mod
+				}
+				adv += d
+			}
+			v := (vc.Init + adv) % vc.Mod
+			if v < 0 {
+				v += vc.Mod
+			}
+			out[name] = value.Int(v)
+		case ClassFrozen, ClassReplicaMap:
+			// shard 0's copy, already in out.
+		default: // flow and owned maps
 			dst := out[name]
-			for _, k := range v.Map.Keys() {
-				val, _, _ := v.Map.Get(k)
-				_ = dst.Map.Set(k, val)
+			for i := 1; i < len(states); i++ {
+				v := states[i][name]
+				for _, k := range v.Map.Keys() {
+					val, _, _ := v.Map.Get(k)
+					if _, present, _ := dst.Map.Get(k); present && ownerOfKey(k, len(s.engines)) != i {
+						continue
+					}
+					_ = dst.Map.Set(k, val)
+				}
 			}
 		}
 	}
 	return out
 }
 
+// ownerOfKey replays the flow hash on a boxed map key's components: the
+// shard whose traffic can reach this key. Only consulted for keys
+// present on several shards (pre-populated flow maps).
+func ownerOfKey(k value.Value, n int) int {
+	var vals []scalar
+	if k.Kind == value.KindTuple {
+		for _, e := range k.Tuple {
+			sv, err := scalarOf(e)
+			if err != nil {
+				return 0
+			}
+			vals = append(vals, sv)
+		}
+	} else {
+		sv, err := scalarOf(k)
+		if err != nil {
+			return 0
+		}
+		vals = append(vals, sv)
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && scalarLess(vals[j], vals[j-1]); j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	h := fnv64(fnvOffset64)
+	for i := range vals {
+		_ = h.wscalar(vals[i])
+	}
+	return int(uint64(h) % uint64(n))
+}
+
 // ProcessExplain routes one packet to its owning shard in provenance
-// mode (see Engine.ProcessExplain).
+// mode (see Engine.ProcessExplain). Ambiguous packets report their
+// hand-off resolution without a guard trail.
 func (s *Sharded) ProcessExplain(p *netpkt.Packet) (*Output, *telemetry.PacketTrace, error) {
-	out, tr, err := s.engines[s.shard(p)].ProcessExplain(p)
+	sh, amb := s.route.route(p)
+	if amb {
+		s.handoffs++
+		tr := &telemetry.PacketTrace{Packet: p.String(), Backend: "sharded", Entry: -1}
+		if err := s.resolveHandoff(p, &s.out); err != nil {
+			tr.Err = err.Error()
+			return nil, tr, err
+		}
+		tr.Entry = s.out.Entry
+		tr.Dropped = s.out.Dropped
+		return &s.out, tr, nil
+	}
+	out, tr, err := s.engines[sh].ProcessExplain(p)
 	if tr != nil {
 		tr.Backend = "sharded"
 	}
@@ -364,14 +644,23 @@ func (s *Sharded) ProcessExplain(p *netpkt.Packet) (*Output, *telemetry.PacketTr
 }
 
 // Telemetry merges the per-shard telemetry sinks on read: verdict and
-// entry counters sum, latency histograms add, and state sizes union
-// (shard key spaces are disjoint, so per-map sums equal the global map
-// size). Each shard's sink is written lock-free by its own goroutine;
-// like State(), call this between batches, not mid-flight.
+// entry counters sum, latency histograms add, and flow/owned map sizes
+// sum (their shard key spaces are disjoint). Scalar and replica gauges
+// are per-shard copies, not partitions, so they report shard 0's value
+// instead of a meaningless sum. Each shard's sink is written lock-free
+// by its own goroutine; like State(), call this between batches, not
+// mid-flight.
 func (s *Sharded) Telemetry() telemetry.Snapshot {
-	snap := s.engines[0].Telemetry()
+	first := s.engines[0].Telemetry()
+	snap := first
 	for _, e := range s.engines[1:] {
 		snap = snap.Merge(e.Telemetry())
+	}
+	for name, vc := range s.cls.Vars {
+		switch vc.Class {
+		case ClassAllocator, ClassRotor, ClassFrozen, ClassReplicaMap:
+			snap.StateSizes[name] = first.StateSizes[name]
+		}
 	}
 	snap.Backend = "sharded"
 	return snap
@@ -394,4 +683,5 @@ func (s *Sharded) Reset() {
 	for _, e := range s.engines {
 		e.Reset()
 	}
+	s.handoffs = 0
 }

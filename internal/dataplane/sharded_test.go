@@ -6,6 +6,7 @@ import (
 
 	"nfactor/internal/core"
 	"nfactor/internal/dataplane"
+	"nfactor/internal/nfs"
 	"nfactor/internal/value"
 	"nfactor/internal/workload"
 )
@@ -26,26 +27,21 @@ func stateDiff(a, b map[string]value.Value) string {
 	return ""
 }
 
-// TestPartitionability pins down which corpus NFs qualify for flow
-// sharding: map-only state keyed purely by packet fields shards; NFs
-// with scalar round-robin counters or state-derived keys (nat's reverse
-// table is keyed by an allocated port) must not.
+// TestPartitionability demands every corpus NF constructs a multi-shard
+// engine: the classifier lowers scalar round-robin counters to rotors,
+// port allocators to interleaved per-shard sub-allocators, and
+// state-derived reverse tables (nat's rev, lb's b2f_nat) to owned maps
+// routed by decoding the allocated value, so nothing falls back.
 func TestPartitionability(t *testing.T) {
-	want := map[string]bool{
-		"firewall":  true,
-		"snortlite": true,
-		"dpi":       true,
-		"ratelimit": true,
-		"mirror":    true,
-		"lb":        false, // rr_idx scalar state
-		"balance":   false, // rr_idx scalar state
-		"nat":       false, // scalar port allocator + state-derived reverse keys
-	}
-	for name, wantOK := range want {
+	for _, name := range nfs.Names() {
 		an := analyze(t, name)
-		_, err := an.ShardedEngine(2, core.Options{})
-		if gotOK := err == nil; gotOK != wantOK {
-			t.Errorf("%s: partitionable=%v, want %v (err=%v)", name, gotOK, wantOK, err)
+		sh, err := an.ShardedEngine(2, core.Options{})
+		if err != nil {
+			t.Errorf("%s: no sharded engine: %v", name, err)
+			continue
+		}
+		if got := sh.NumShards(); got != 2 {
+			t.Errorf("%s: %d shards, want 2", name, got)
 		}
 	}
 }

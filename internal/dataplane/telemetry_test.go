@@ -9,7 +9,6 @@ import (
 	"nfactor/internal/netpkt"
 	"nfactor/internal/nfs"
 	"nfactor/internal/telemetry"
-	"nfactor/internal/workload"
 )
 
 // replayAll pushes a trace through an engine-like Process function,
@@ -65,13 +64,15 @@ func TestTelemetryCountSanity(t *testing.T) {
 
 // TestTelemetryShardInvariance demands bitwise-equal counters from the
 // single engine and the sharded engine at every shard count: telemetry
-// must describe the traffic, not the execution strategy.
+// must describe the traffic, not the execution strategy. The stateful
+// NFs (allocators, rotors, owned maps) are held to the same bar — the
+// values those variables take differ per shard layout, but every
+// counter and state-size gauge must not.
 func TestTelemetryShardInvariance(t *testing.T) {
-	for _, name := range []string{"firewall", "ratelimit"} {
+	for _, name := range []string{"firewall", "ratelimit", "balance", "lb", "nat"} {
 		t.Run(name, func(t *testing.T) {
 			an := analyze(t, name)
-			g := workload.New(23)
-			trace := append(g.FlowTrace(16, 12), g.RandomTrace(500)...)
+			trace := shardStimulus(name, 23, 500)
 
 			single, err := an.CompiledEngine(core.Options{})
 			if err != nil {

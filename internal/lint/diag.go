@@ -75,7 +75,9 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 }
 
 // Code identifies one lint check. NFL0xx codes are source-level, NFL1xx
-// are model-level; DESIGN.md maps each to the paper concept it guards.
+// are model-level, NFL2xx are data-plane-level (properties of the
+// lowered model, not the model itself); DESIGN.md maps each to the
+// paper concept it guards.
 type Code string
 
 // The NFLint diagnostic codes.
@@ -113,6 +115,11 @@ const (
 	// but never read back by any match or action term — a logVar
 	// misclassified as output-impacting, or dead state mass.
 	CodeUnmatchedState Code = "NFL104"
+	// CodeShardBlocked: a state variable admits none of the data
+	// plane's sharding lowerings, so the model can only run
+	// single-core; the message names the blocking variable and why
+	// (informational — the sequential engine is still correct).
+	CodeShardBlocked Code = "NFL201"
 )
 
 // Related is a secondary note attached to a diagnostic (a second

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/dataplane"
+	"nfactor/internal/model"
+	"nfactor/internal/value"
+)
+
+// Sharding runs the data-plane-level pass (NFL2xx): can the synthesized
+// model scale across cores? dataplane.Classify must find a sharding
+// lowering for every state variable — flow-partitioned map, replicable
+// read-only map, owner-routed map, per-shard sub-allocator, rotor or
+// frozen scalar. The one shape with no lowering is a scalar that is
+// both written and read by a guard: per-shard copies would change match
+// outcomes, so every packet has to see the same copy. The finding is
+// informational, not an error — the sequential engine is still correct;
+// the model just cannot use more than one core (nfreplay -side sharded
+// falls back and reports the same variable).
+func Sharding(m *model.Model, config, initState map[string]value.Value) []Diagnostic {
+	_, err := dataplane.Classify(m, config, initState)
+	if err == nil {
+		return nil
+	}
+	d := Diagnostic{
+		Code: CodeShardBlocked, Severity: SevInfo, NF: m.NFName, Entry: -1,
+		Message: fmt.Sprintf("model cannot shard: %s", strings.TrimPrefix(err.Error(), "dataplane: ")),
+		Related: []Related{{Message: "the sharded engine is unavailable; nfreplay -side sharded falls back to the single compiled engine"}},
+	}
+	if v := dataplane.BlockingVar(err); v != "" {
+		d.Related = append(d.Related, Related{
+			Message: fmt.Sprintf("to shard, restructure %q so it is keyed by packet fields or advanced by a constant stride", v),
+		})
+	}
+	return []Diagnostic{d}
+}

@@ -1,0 +1,75 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/lint"
+	"nfactor/internal/nfs"
+)
+
+// TestShardingCorpusClean asserts the tentpole invariant from the lint
+// side: every corpus NF's state admits a sharding lowering, so the
+// NFL201 pass is silent on all of them.
+func TestShardingCorpusClean(t *testing.T) {
+	for _, name := range corpusNames(t) {
+		an := analyzeCorpus(t, name)
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			t.Fatalf("%s: ConfigAndState: %v", name, err)
+		}
+		if diags := lint.Sharding(an.Model, config, state); len(diags) != 0 {
+			t.Errorf("%s: unexpected sharding diagnostics: %v", name, diags)
+		}
+	}
+}
+
+// TestShardingBlockedScalar locks the NFL201 shape on the canonical
+// non-shardable program: a global scalar both read by a guard and
+// written, which no per-shard lowering preserves.
+func TestShardingBlockedScalar(t *testing.T) {
+	const src = `
+LIMIT = 3;
+count = 0;
+
+func process(pkt) {
+    if count < LIMIT {
+        count = count + 1;
+        send(pkt, "out");
+    }
+}
+`
+	nf, err := nfs.FromSource("admit", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Sharding(an.Model, config, state)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly one diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Code != lint.CodeShardBlocked {
+		t.Errorf("code = %s, want %s", d.Code, lint.CodeShardBlocked)
+	}
+	if d.Severity != lint.SevInfo {
+		t.Errorf("severity = %s, want info (sharding is an opportunity, not a defect)", d.Severity)
+	}
+	if !strings.Contains(d.Message, `"count"`) {
+		t.Errorf("message must name the blocking state variable: %q", d.Message)
+	}
+	if len(d.Related) == 0 {
+		t.Errorf("want related notes explaining the fallback, got none")
+	}
+	if lint.HasErrors(diags) {
+		t.Errorf("informational finding must not fail the lint gate")
+	}
+}

@@ -193,3 +193,90 @@ func (g *Gen) AdversarialTrace(n int) []netpkt.Packet {
 	}
 	return out[:n]
 }
+
+// ZipfOpts shapes SkewedTrace. Zero values pick sensible defaults.
+type ZipfOpts struct {
+	// Flows is the size of the active flow set (default 64).
+	Flows int
+	// Skew is the Zipf s parameter; rank r is drawn with probability
+	// proportional to 1/(r+1)^s (default 1.2 — a few elephant flows,
+	// a long mouse tail).
+	Skew float64
+	// Churn is the per-packet probability that the drawn flow is
+	// retired and replaced by a fresh one mid-trace (default 0).
+	Churn float64
+	// VIP/Port, when set, aim every flow at one service endpoint — the
+	// workload a load balancer or NAT gateway sees. Packets then flow
+	// client→service only, for closed-loop drivers that synthesize the
+	// replies themselves.
+	VIP  string
+	Port int
+	// MaxPort bounds client source ports (exclusive, default 10000,
+	// minimum 1025): flow identifiers stay clear of the port ranges NF
+	// allocators hand out, so an allocated port is never confused with
+	// a client's.
+	MaxPort int
+}
+
+func (o *ZipfOpts) defaults() {
+	if o.Flows <= 0 {
+		o.Flows = 64
+	}
+	if o.Skew <= 1 {
+		o.Skew = 1.2
+	}
+	if o.Port == 0 {
+		o.Port = 80
+	}
+	if o.MaxPort <= 1024 {
+		o.MaxPort = 10000
+	}
+}
+
+// SkewedTrace generates n packets whose flow popularity follows a Zipf
+// distribution over a churning active set — the realistic-skew scaling
+// workload: a handful of hot flows hammer their shard while the tail
+// spreads. Each flow opens with a SYN and continues with data packets,
+// so stateful NFs see a plausible per-flow lifecycle.
+func (g *Gen) SkewedTrace(n int, o ZipfOpts) []netpkt.Packet {
+	o.defaults()
+	zipf := rand.NewZipf(g.rng, o.Skew, 1, uint64(o.Flows-1))
+	clientPort := func() int { return 1024 + g.rng.Intn(o.MaxPort-1024) }
+	fresh := func() netpkt.Flow {
+		f := netpkt.Flow{SrcIP: g.ip(), SrcPort: clientPort(), Proto: "tcp"}
+		if o.VIP != "" {
+			f.DstIP, f.DstPort = o.VIP, o.Port
+		} else {
+			f.DstIP, f.DstPort = g.ip(), []int{80, 443, 22, 8080}[g.rng.Intn(4)]
+		}
+		return f
+	}
+	type slot struct {
+		f    netpkt.Flow
+		sent int
+	}
+	slots := make([]slot, o.Flows)
+	for i := range slots {
+		slots[i] = slot{f: fresh()}
+	}
+	out := make([]netpkt.Packet, 0, n)
+	for len(out) < n {
+		s := &slots[zipf.Uint64()]
+		if o.Churn > 0 && g.rng.Float64() < o.Churn {
+			*s = slot{f: fresh()}
+		}
+		p := netpkt.Packet{
+			SrcIP: s.f.SrcIP, SrcPort: s.f.SrcPort,
+			DstIP: s.f.DstIP, DstPort: s.f.DstPort,
+			Proto: "tcp", TTL: 64, InIface: "eth0",
+		}
+		if s.sent == 0 {
+			p.Flags, p.Length = "S", 0
+		} else {
+			p.Flags, p.Length = "PA", 1+g.rng.Intn(1400)
+		}
+		s.sent++
+		out = append(out, p)
+	}
+	return out
+}

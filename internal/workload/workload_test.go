@@ -108,3 +108,51 @@ func TestAdversarialTraceCoversEdgeCases(t *testing.T) {
 		t.Errorf("missing edge cases: zeroTTL=%v malformed=%v repeat=%v", zeroTTL, malformed, repeat)
 	}
 }
+
+// TestSkewedTraceDeterministic pins the Zipf/churn generator: identical
+// seeds and options reproduce the trace bit for bit, the popularity
+// distribution is actually skewed, churn actually retires flows, and
+// client ports respect the allocator-range bound.
+func TestSkewedTraceDeterministic(t *testing.T) {
+	opts := ZipfOpts{Flows: 32, Skew: 1.3, Churn: 0.02, VIP: "10.0.0.1", Port: 80}
+	a := New(42).SkewedTrace(500, opts)
+	b := New(42).SkewedTrace(500, opts)
+	for i := range a {
+		if !netpkt.Equal(a[i], b[i]) {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+
+	counts := map[netpkt.Flow]int{}
+	for _, p := range a {
+		counts[p.Flow()]++
+		if p.SrcPort < 1024 || p.SrcPort >= 10000 {
+			t.Fatalf("client port %d outside [1024,10000)", p.SrcPort)
+		}
+		if p.DstIP != "10.0.0.1" || p.DstPort != 80 {
+			t.Fatalf("packet misses the VIP: %+v", p)
+		}
+	}
+	if len(counts) <= opts.Flows {
+		t.Errorf("churn produced only %d distinct flows for %d slots", len(counts), opts.Flows)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(a)/10 {
+		t.Errorf("hottest flow carried %d/%d packets; want Zipf-style concentration", max, len(a))
+	}
+
+	// Without churn the active set is closed.
+	noChurn := New(7).SkewedTrace(400, ZipfOpts{Flows: 16})
+	distinct := map[netpkt.Flow]bool{}
+	for _, p := range noChurn {
+		distinct[p.Flow()] = true
+	}
+	if len(distinct) > 16 {
+		t.Errorf("%d distinct flows without churn, want <= 16", len(distinct))
+	}
+}

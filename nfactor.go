@@ -280,8 +280,9 @@ func (r *Result) Instance() (*model.Instance, error) {
 // faster, with zero allocations per packet in steady state.
 type Engine = dataplane.Engine
 
-// Sharded is the flow-partitioned concurrent engine: one Engine per
-// shard, packets routed by a hash of the model's state-key fields.
+// Sharded is the concurrent engine: one specialized Engine per shard,
+// packets routed by a flow-affinity hash or owner decode derived from
+// the model's per-variable state classification (dataplane.Classify).
 type Sharded = dataplane.Sharded
 
 // CompiledEngine lowers the synthesized model plus its concrete
@@ -291,11 +292,28 @@ func (r *Result) CompiledEngine() (*Engine, error) {
 	return r.an.CompiledEngine(r.opts)
 }
 
-// ShardedEngine builds a concurrent engine with n shards. It errors
-// when the model's state is not flow-partitionable (scalar state, or
-// maps not keyed purely by packet fields).
+// ShardedEngine builds a concurrent engine with n shards. Every state
+// variable must admit a sharding lowering (flow-partitioned map,
+// replicated read-only state, owner-routed map, per-shard
+// sub-allocator, rotor); the error otherwise names the blocking
+// variable (see dataplane.BlockingVar and nflint's NFL201).
 func (r *Result) ShardedEngine(n int) (*Sharded, error) {
 	return r.an.ShardedEngine(n, r.opts)
+}
+
+// DiffTestSharded replays a closed-loop stimulus (each forwarded packet
+// followed by the reply its own output implies) through the sequential
+// compiled engine and an n-shard ShardedEngine in lockstep, comparing
+// every output and the end state — exact for partitioned state, modulo
+// a checked bijection for allocator values (see dataplane.Equiv). This
+// is the equivalence gate the corpus tests and `make bench-sharding`
+// run; 0 mismatches means the sharded engine is safe to serve from.
+func (r *Result) DiffTestSharded(stimulus []Packet, n int) (mismatches int, firstDiff string, err error) {
+	res, err := r.an.DiffTestSharded(stimulus, n, r.opts)
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Mismatches, res.FirstDiff, nil
 }
 
 // ReplayCompiled runs the trace through the compiled engine.

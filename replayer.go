@@ -41,9 +41,11 @@ const (
 	// BackendCompiled replays through the compiled zero-allocation
 	// data-plane engine.
 	BackendCompiled
-	// BackendSharded replays through the flow-sharded engine with
-	// GOMAXPROCS shards (use Result.ShardedReplayer for an explicit
-	// shard count). Requires a flow-partitionable model.
+	// BackendSharded replays through the sharded engine with GOMAXPROCS
+	// shards (use Result.ShardedReplayer for an explicit shard count).
+	// Requires every state variable to have a sharding lowering (see
+	// dataplane.Classify); the error names the blocking variable
+	// otherwise.
 	BackendSharded
 )
 
