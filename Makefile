@@ -9,7 +9,7 @@ RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments \
              ./internal/trace ./internal/dataplane
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-telemetry bench-trace alloc vet lint fuzz trace
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace alloc vet lint fuzz trace
 
 all: check
 
@@ -75,6 +75,13 @@ bench-dataplane:
 # JSON's machine block records what the run had.
 bench-sharding:
 	$(GO) run ./cmd/nfbench -exp sharding -workers 1 -out BENCH_sharding.json
+
+# Fused service-chain data plane vs sequential per-NF engines vs
+# chained interpreters, equivalence-gated by closed-loop differential
+# fuzzing; refreshes the checked-in BENCH_chain.json. The acceptance bar
+# is fused < sequential on every corpus chain with 0 mismatches.
+bench-chain:
+	$(GO) run ./cmd/nfbench -exp chain -workers 1 -out BENCH_chain.json
 
 # Telemetry overhead on the compiled engine (sink on vs off, same warmed
 # trace); refreshes the checked-in BENCH_telemetry.json. The acceptance

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	nfchain [-nfs firewall,snortlite,lb]
+//	nfchain [-nfs firewall,snortlite,lb] [-all] [-fast [-n 4000]]
+//
+// The NFs are analyzed concurrently (one synthesis pipeline per NF). By
+// default the hazard-graph composer emits only hazard-minimal orders;
+// -all enumerates every permutation (n ≤ 5). -fast additionally fuses
+// the best order into a single chain data plane (dataplane.CompileChain),
+// pushes a sample trace through it and prints per-stage entry hit
+// counts — the model-to-wire round trip in one command.
 package main
 
 import (
@@ -16,23 +23,27 @@ import (
 
 	"nfactor/internal/chain"
 	"nfactor/internal/core"
-	"nfactor/internal/nfs"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/workload"
 )
 
 func main() {
 	nfsFlag := flag.String("nfs", "firewall,snortlite,lb", "NFs to compose")
+	all := flag.Bool("all", false, "enumerate every order (O(n!), n <= 5) instead of hazard-minimal orders")
+	fast := flag.Bool("fast", false, "fuse the best order into one data plane and run a sample trace")
+	nPkts := flag.Int("n", 4000, "sample trace size for -fast")
 	flag.Parse()
 
-	var models []chain.NamedModel
-	for _, name := range strings.Split(*nfsFlag, ",") {
-		name = strings.TrimSpace(name)
-		nf, err := nfs.Load(name)
-		check(err)
-		an, err := core.Analyze(name, nf.Prog, core.Options{})
-		check(err)
-		models = append(models, chain.NamedModel{Name: name, Model: an.Model})
+	names := strings.Split(*nfsFlag, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	models, err := core.AnalyzeChain(names, core.Options{})
+	check(err)
+	for _, nm := range models {
 		fmt.Printf("%-10s matches on %v, rewrites %v\n",
-			name, chain.MatchedFields(an.Model), chain.ModifiedFields(an.Model))
+			nm.Name, chain.MatchedFields(nm.Model), chain.ModifiedFields(nm.Model))
 	}
 
 	fmt.Println("\nordering hazards:")
@@ -44,14 +55,85 @@ func main() {
 		fmt.Printf("  %s\n", c)
 	}
 
-	fmt.Println("\ncompositions (best first):")
-	for i, o := range chain.Compose(models) {
+	var orders []chain.Order
+	if *all {
+		if len(models) > 5 {
+			fmt.Fprintf(os.Stderr, "nfchain: -all enumerates %d! orders; use the default hazard-graph composer for chains this long\n", len(models))
+			os.Exit(1)
+		}
+		orders = chain.ComposeAll(models)
+		fmt.Println("\nall compositions (best first):")
+	} else {
+		orders = chain.Compose(models)
+		fmt.Printf("\nhazard-minimal compositions (at most %d):\n", chain.MaxOrders)
+	}
+	for i, o := range orders {
 		marker := "  "
 		if len(o.Hazards) == 0 {
 			marker = "✓ "
 		}
 		fmt.Printf("%s%d. %-35s hazards: %d\n", marker, i+1, strings.Join(o.Names, " → "), len(o.Hazards))
 	}
+
+	if *fast {
+		runFast(models, orders[0], *nPkts)
+	}
+}
+
+// runFast fuses the chain in the given order and pushes a sample trace
+// through it, reporting per-stage verdicts and entry hit counts.
+func runFast(models []chain.NamedModel, best chain.Order, n int) {
+	byName := map[string]chain.NamedModel{}
+	for _, nm := range models {
+		byName[nm.Name] = nm
+	}
+	stages := make([]chain.NamedModel, len(best.Names))
+	for i, name := range best.Names {
+		stages[i] = byName[name]
+	}
+	eng, err := dataplane.CompileChain(stages)
+	check(err)
+
+	fmt.Printf("\nfused data plane: %s (%d entries", strings.Join(best.Names, " → "), eng.NumEntries())
+	if f := eng.FoldedEntries(); f > 0 {
+		fmt.Printf(", %d pruned by cross-stage constant folding", f)
+	}
+	fmt.Println(")")
+
+	trace := sampleTrace(n)
+	for i := range trace {
+		if _, err := eng.Process(&trace[i]); err != nil {
+			check(fmt.Errorf("packet %d: %v", i, err))
+		}
+	}
+
+	fmt.Printf("%d packets through the fused chain:\n", len(trace))
+	for si, name := range eng.StageNames() {
+		snap := eng.StageTelemetry(si)
+		fmt.Printf("  stage %d %-10s pkts=%-6d fwd=%-6d drop=%-6d default-drop=%d\n",
+			si, name, snap.Packets, snap.Forwards, snap.Drops, snap.DefaultDrops)
+		for ei, hits := range snap.EntryHits {
+			if hits > 0 {
+				fmt.Printf("      entry %-2d %8d hits\n", ei, hits)
+			}
+		}
+	}
+}
+
+// sampleTrace mixes trusted-side client flows at the corpus LB's
+// service endpoint with stray and adversarial traffic, so packets die
+// at every depth of the chain.
+func sampleTrace(n int) []netpkt.Packet {
+	g := workload.New(7)
+	tr := g.ClientServerTrace("3.3.3.3", 80, n/2)
+	for i := range tr {
+		if tr[i].DstPort == 80 {
+			tr[i].InIface = "lan"
+		}
+	}
+	tr = append(tr, g.RandomTrace(n/4)...)
+	tr = append(tr, g.AdversarialTrace(n/4)...)
+	return tr
 }
 
 func check(err error) {

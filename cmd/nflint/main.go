@@ -15,6 +15,13 @@
 // keeps the model single-core). -source restricts to the source passes
 // (no synthesis — works on programs that cannot be synthesized yet).
 //
+// -chain a,b,c switches to the chain-level pass (NFL3xx): the named
+// corpus NFs are analyzed concurrently, composed in the given order,
+// and each model entry is solver-checked for cross-NF deadness
+// (NFL301). -class restricts the injected traffic, e.g.
+// -class in_iface=lan,dport=80 — without it, NFs whose reverse path
+// admits arbitrary replies keep most downstream entries reachable.
+//
 // Exit status: 0 clean (or warnings/info only), 1 when any
 // error-severity diagnostic was found, 2 on usage or load errors.
 package main
@@ -23,39 +30,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"nfactor/internal/core"
 	"nfactor/internal/dataplane"
 	"nfactor/internal/lint"
 	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
 	"nfactor/internal/value"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	srcOnly := flag.Bool("source", false, "source-level passes only (no model synthesis)")
+	chainSpec := flag.String("chain", "", "comma-separated NF order: run the chain-level pass (NFL301) instead of per-NF passes")
+	classSpec := flag.String("class", "", "restrict injected traffic for -chain, e.g. in_iface=lan,dport=80")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nflint [-json] [-source] [target ...]\n")
+		fmt.Fprintf(os.Stderr, "       nflint [-json] -chain a,b,c [-class field=value,...]\n")
 		fmt.Fprintf(os.Stderr, "targets: corpus NF names (%s) or .nfl files; default: whole corpus\n",
 			strings.Join(nfs.Names(), ", "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	targets := flag.Args()
-	if len(targets) == 0 {
-		targets = nfs.Names()
-	}
-
 	var diags []lint.Diagnostic
-	for _, target := range targets {
-		nf, err := loadTarget(target)
+	if *chainSpec != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "nflint: -chain takes its NFs from the flag, not positional targets")
+			os.Exit(2)
+		}
+		var err error
+		diags, err = lintChain(*chainSpec, *classSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		diags = append(diags, lintNF(nf, *srcOnly)...)
+	} else {
+		if *classSpec != "" {
+			fmt.Fprintln(os.Stderr, "nflint: -class only applies with -chain")
+			os.Exit(2)
+		}
+		targets := flag.Args()
+		if len(targets) == 0 {
+			targets = nfs.Names()
+		}
+		for _, target := range targets {
+			nf, err := loadTarget(target)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			diags = append(diags, lintNF(nf, *srcOnly)...)
+		}
 	}
 	lint.Sort(diags)
 
@@ -72,6 +100,48 @@ func main() {
 	if lint.HasErrors(diags) {
 		os.Exit(1)
 	}
+}
+
+// lintChain runs the chain-level pass over a comma-separated NF order.
+func lintChain(chainSpec, classSpec string) ([]lint.Diagnostic, error) {
+	names := strings.Split(chainSpec, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	extra, err := parseClass(classSpec)
+	if err != nil {
+		return nil, err
+	}
+	stages, err := core.AnalyzeChain(names, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("nflint: %v", err)
+	}
+	return lint.Chain(stages, extra), nil
+}
+
+// parseClass turns "field=value,field=value" into packet constraints.
+// Bare integers become ints; everything else is a string.
+func parseClass(spec string) ([]solver.Term, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []solver.Term
+	for _, pair := range strings.Split(spec, ",") {
+		f, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || f == "" || v == "" {
+			return nil, fmt.Errorf("nflint: bad -class element %q, want field=value", pair)
+		}
+		val := value.Str(v)
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			val = value.Int(n)
+		}
+		out = append(out, solver.Bin{
+			Op: "==",
+			X:  solver.Var{Name: "pkt." + f},
+			Y:  solver.Const{V: val},
+		})
+	}
+	return out, nil
 }
 
 // loadTarget resolves a corpus name or an .nfl file path.

@@ -8,6 +8,14 @@
 //	nfreplay -corpus lb -trace flows.txt [-side program|model|compiled|sharded|diff]
 //	         [-shards N] [-explain] [-telemetry] [-prom metrics.prom]
 //	         [-fast] [-bench] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	nfreplay -chain firewall,snortlite,lb -trace flows.txt [-shards N] [-telemetry]
+//
+// -chain replays the trace through the fused service-chain data plane
+// (dataplane.CompileChain): one engine for the whole chain, per-packet
+// verdicts showing where each packet died or what the final stage
+// emitted. With -shards N the chain runs flow-sharded when every
+// stage's flow keys co-hash (falling back loudly otherwise);
+// -telemetry prints per-stage counters afterwards.
 //
 // -shards N picks the shard count for -side sharded (default
 // GOMAXPROCS). When the model's state has no sharding lowering, the
@@ -39,14 +47,19 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"nfactor"
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/telemetry"
 )
 
 func main() {
 	corpus := flag.String("corpus", "", "corpus NF to replay against")
 	file := flag.String("file", "", "NFLang source file to replay against")
+	chainSpec := flag.String("chain", "", "comma-separated NF order: replay through the fused chain data plane")
 	traceFile := flag.String("trace", "", "trace file (- for stdin)")
 	side := flag.String("side", "diff", "program | model | compiled | sharded | diff")
 	shards := flag.Int("shards", 0, "shard count for -side sharded (0 = GOMAXPROCS)")
@@ -59,6 +72,16 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile after the replay to this file")
 	flag.Parse()
 
+	if *chainSpec != "" {
+		if *traceFile == "" || *corpus != "" || *file != "" {
+			fmt.Fprintln(os.Stderr, "usage: nfreplay -chain a,b,c -trace file [-shards N] [-telemetry]")
+			os.Exit(2)
+		}
+		if err := runChain(*chainSpec, *traceFile, *shards, *telemetry); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if (*corpus == "") == (*file == "") || *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl) -trace file [-side program|model|compiled|sharded|diff] [-explain] [-telemetry] [-prom file] [-fast] [-bench]")
 		os.Exit(2)
@@ -324,6 +347,102 @@ func timeReplay(minDur time.Duration, pkts int, replay func() error) (float64, e
 		}
 	}
 	return float64(time.Since(start).Nanoseconds()) / float64(total), nil
+}
+
+// chainPlane is the slice of the fused and sharded chain engines that
+// the chain replay needs.
+type chainPlane interface {
+	Process(p *nfactor.Packet) (*dataplane.ChainOutput, error)
+	StageTelemetry(i int) telemetry.Snapshot
+}
+
+// runChain replays the trace through the fused chain data plane.
+func runChain(spec, traceFile string, shards int, tel bool) error {
+	names := strings.Split(spec, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	stages, err := core.AnalyzeChain(names, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	var plane chainPlane
+	if shards > 1 {
+		sh, err := dataplane.NewShardedChain(stages, shards)
+		if err != nil {
+			// Name the stage and state variable that blocks co-hashing,
+			// then degrade loudly rather than silently.
+			fmt.Fprintf(os.Stderr, "nfreplay: chain cannot run sharded: %v\n", err)
+			fmt.Fprintln(os.Stderr, "nfreplay: falling back to the single fused engine")
+		} else {
+			plane = sh
+		}
+	}
+	if plane == nil {
+		eng, err := dataplane.CompileChain(stages)
+		if err != nil {
+			return err
+		}
+		plane = eng
+	}
+
+	in := os.Stdin
+	if traceFile != "-" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	trace, err := nfactor.ParseTrace(in)
+	if err != nil {
+		return err
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	for i := range trace {
+		out, err := plane.Process(&trace[i])
+		if err != nil {
+			return fmt.Errorf("packet %d: %w", i+1, err)
+		}
+		fmt.Printf("%4d  %-55s %s\n", i+1, trace[i], chainVerdict(names, out))
+	}
+
+	if tel {
+		fmt.Println("=== per-stage telemetry ===")
+		for si, name := range names {
+			snap := plane.StageTelemetry(si)
+			fmt.Printf("--- stage %d: %s ---\n%s", si, name, snap.Report())
+		}
+	}
+	return nil
+}
+
+// chainVerdict renders where a packet ended up: the emitted interfaces,
+// or the stage whose entry (or implicit drop) killed it.
+func chainVerdict(names []string, out *dataplane.ChainOutput) string {
+	if !out.Dropped {
+		ifaces := make([]string, len(out.Sent))
+		for i, sp := range out.Sent {
+			ifaces[i] = sp.Iface
+		}
+		return fmt.Sprintf("sent %s", strings.Join(ifaces, ","))
+	}
+	for si := len(out.Entries) - 1; si >= 0; si-- {
+		switch out.Entries[si] {
+		case dataplane.EntryNotReached:
+			continue
+		case -1:
+			return fmt.Sprintf("drop@%s (no entry matched)", names[si])
+		default:
+			return fmt.Sprintf("drop@%s (entry %d)", names[si], out.Entries[si])
+		}
+	}
+	return "drop"
 }
 
 func fatal(err error) {

@@ -10,6 +10,15 @@
 // that matches on that field (the FW/IDS match on addresses) changes what
 // the downstream NF sees; the model makes both the modified-field set and
 // the matched-field set explicit.
+//
+// Compose works on the hazard graph rather than by permutation
+// enumeration: each conflict (writer W, reader R) is an arc R→W ("R
+// should precede W"), the strongly connected components of that graph
+// are condensed, the unavoidable hazards inside each component are
+// minimized locally, and only topological orders of the condensation —
+// exactly the hazard-minimal orders — are emitted. That keeps 8+ NF
+// chains tractable; ComposeAll keeps the original full enumeration for
+// small chains.
 package chain
 
 import (
@@ -19,12 +28,18 @@ import (
 
 	"nfactor/internal/model"
 	"nfactor/internal/solver"
+	"nfactor/internal/value"
 )
 
-// NamedModel is a chain element.
+// NamedModel is a chain element. Config and State optionally carry the
+// concrete configuration and initial state of the NF (as produced by
+// core.Analysis.Named) so the element can be compiled into a data plane
+// (dataplane.CompileChain); the ordering analysis uses only Name+Model.
 type NamedModel struct {
-	Name  string
-	Model *model.Model
+	Name   string
+	Model  *model.Model
+	Config map[string]value.Value
+	State  map[string]value.Value
 }
 
 // MatchedFields returns the packet header fields the model's entries
@@ -101,29 +116,141 @@ type Order struct {
 	Hazards []Conflict // writer placed before reader
 }
 
-// Compose enumerates all orders of the given NFs and returns them sorted
-// by ascending hazard count (then lexicographically); the first orders
-// are the safe compositions. A hazard materializes when a field-rewriting
-// NF precedes a field-matching NF.
+// MaxOrders caps how many hazard-minimal orders Compose emits: once the
+// constraint graph admits many equivalent topological orders (e.g. a
+// conflict-free 8-NF chain has 8! of them, all minimal), only the first
+// MaxOrders in deterministic lexicographic-index order are returned.
+const MaxOrders = 24
+
+// maxSCCBrute bounds the brute-force hazard minimization inside one
+// strongly connected component of the constraint graph; larger
+// components fall back to their input order (still a valid order, the
+// hazard count just may not be the global minimum).
+const maxSCCBrute = 7
+
+// Compose returns hazard-minimal orders of the given NFs, best-first.
+//
+// It builds the constraint graph (an arc reader→writer per conflict:
+// the reader should run before the writer rewrites its fields),
+// condenses strongly connected components, minimizes the unavoidable
+// hazards inside each component by local search, and emits topological
+// orders of the condensation. Cross-component constraints are all
+// satisfied by construction, so every emitted order achieves the same
+// — minimal — hazard count, without enumerating the n! permutations.
+// At most MaxOrders orders are returned, sorted lexicographically.
 func Compose(nfs []NamedModel) []Order {
+	n := len(nfs)
+	if n == 0 {
+		return nil
+	}
+	conf := Conflicts(nfs)
+	idx := map[string]int{}
+	for i, nf := range nfs {
+		idx[nf.Name] = i
+	}
+	// Constraint arcs: reader → writer.
+	adj := make([][]int, n)
+	for _, c := range conf {
+		adj[idx[c.Reader]] = append(adj[idx[c.Reader]], idx[c.Writer])
+	}
+	comps := scc(adj)
+	// Per-component members, sorted for determinism.
+	members := make([][]int, 0)
+	compOf := make([]int, n)
+	{
+		byComp := map[int][]int{}
+		for v, c := range comps {
+			byComp[c] = append(byComp[c], v)
+		}
+		ids := make([]int, 0, len(byComp))
+		for c := range byComp {
+			ids = append(ids, c)
+		}
+		sort.Ints(ids)
+		for newID, c := range ids {
+			vs := byComp[c]
+			sort.Ints(vs)
+			for _, v := range vs {
+				compOf[v] = newID
+			}
+			members = append(members, vs)
+		}
+	}
+	nc := len(members)
+	// Condensation DAG + indegrees.
+	cadj := make([]map[int]bool, nc)
+	indeg := make([]int, nc)
+	for i := range cadj {
+		cadj[i] = map[int]bool{}
+	}
+	for u, outs := range adj {
+		for _, v := range outs {
+			cu, cv := compOf[u], compOf[v]
+			if cu != cv && !cadj[cu][cv] {
+				cadj[cu][cv] = true
+				indeg[cv]++
+			}
+		}
+	}
+	// Minimal internal arrangements per component.
+	arr := make([][][]int, nc)
+	for c, vs := range members {
+		arr[c] = minimalArrangements(vs, adj)
+	}
+	// Enumerate topological orders of the condensation, expanding each
+	// component through its minimal arrangements, up to MaxOrders.
+	var out []Order
+	order := make([]int, 0, n)
+	placed := make([]bool, nc)
+	var rec func()
+	rec = func() {
+		if len(out) >= MaxOrders {
+			return
+		}
+		if len(order) == n {
+			out = append(out, mkOrder(nfs, conf, order))
+			return
+		}
+		for c := 0; c < nc; c++ {
+			if placed[c] || indeg[c] != 0 {
+				continue
+			}
+			placed[c] = true
+			for t := range cadj[c] {
+				indeg[t]--
+			}
+			for _, a := range arr[c] {
+				order = append(order, a...)
+				rec()
+				order = order[:len(order)-len(a)]
+				if len(out) >= MaxOrders {
+					break
+				}
+			}
+			for t := range cadj[c] {
+				indeg[t]++
+			}
+			placed[c] = false
+		}
+	}
+	rec()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Names, ",") < strings.Join(out[j].Names, ",")
+	})
+	return out
+}
+
+// ComposeAll enumerates every order of the given NFs — the original
+// O(n!) analysis — sorted by ascending hazard count then
+// lexicographically. It is intended for small chains (n ≤ 5, the
+// nfchain -all flag); Compose is the scalable entry point.
+func ComposeAll(nfs []NamedModel) []Order {
 	conf := Conflicts(nfs)
 	var perms [][]int
 	permute(len(nfs), &perms)
 	var out []Order
 	for _, p := range perms {
-		names := make([]string, len(p))
-		pos := map[string]int{}
-		for i, idx := range p {
-			names[i] = nfs[idx].Name
-			pos[nfs[idx].Name] = i
-		}
-		var hazards []Conflict
-		for _, c := range conf {
-			if pos[c.Writer] < pos[c.Reader] {
-				hazards = append(hazards, c)
-			}
-		}
-		out = append(out, Order{Names: names, Hazards: hazards})
+		out = append(out, mkOrder(nfs, conf, p))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Hazards) != len(out[j].Hazards) {
@@ -145,18 +272,136 @@ func Safe(nfs []NamedModel) []Order {
 	return out
 }
 
+// mkOrder materializes an Order from a permutation of nf indices.
+func mkOrder(nfs []NamedModel, conf []Conflict, perm []int) Order {
+	names := make([]string, len(perm))
+	pos := map[string]int{}
+	for i, v := range perm {
+		names[i] = nfs[v].Name
+		pos[nfs[v].Name] = i
+	}
+	var hazards []Conflict
+	for _, c := range conf {
+		if pos[c.Writer] < pos[c.Reader] {
+			hazards = append(hazards, c)
+		}
+	}
+	return Order{Names: names, Hazards: hazards}
+}
+
+// minimalArrangements returns the orderings of vs (one strongly
+// connected component) that minimize violated internal arcs, in
+// deterministic order. A singleton has one arrangement; components
+// larger than maxSCCBrute fall back to their sorted input order.
+func minimalArrangements(vs []int, adj [][]int) [][]int {
+	if len(vs) == 1 || len(vs) > maxSCCBrute {
+		return [][]int{append([]int{}, vs...)}
+	}
+	in := map[int]bool{}
+	for _, v := range vs {
+		in[v] = true
+	}
+	// Internal arcs u→v: u should precede v; violated when v precedes u.
+	var arcs [][2]int
+	for _, u := range vs {
+		for _, v := range adj[u] {
+			if in[v] {
+				arcs = append(arcs, [2]int{u, v})
+			}
+		}
+	}
+	var perms [][]int
+	permuteOf(vs, &perms)
+	best := len(arcs) + 1
+	var out [][]int
+	for _, p := range perms {
+		pos := map[int]int{}
+		for i, v := range p {
+			pos[v] = i
+		}
+		viol := 0
+		for _, a := range arcs {
+			if pos[a[1]] < pos[a[0]] {
+				viol++
+			}
+		}
+		if viol < best {
+			best = viol
+			out = out[:0]
+		}
+		if viol == best {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// scc assigns a component id to every vertex (Tarjan).
+func scc(adj [][]int) []int {
+	n := len(adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	low := make([]int, n)
+	num := make([]int, n)
+	onStack := make([]bool, n)
+	var stack []int
+	counter, nComp := 0, 0
+	var dfs func(v int)
+	dfs = func(v int) {
+		counter++
+		num[v], low[v] = counter, counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if num[w] == 0 {
+				dfs(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && num[w] < low[v] {
+				low[v] = num[w]
+			}
+		}
+		if low[v] == num[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if num[v] == 0 {
+			dfs(v)
+		}
+	}
+	return comp
+}
+
 func permute(n int, out *[][]int) {
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
+	permuteOf(idx, out)
+}
+
+func permuteOf(items []int, out *[][]int) {
+	idx := append([]int{}, items...)
 	var rec func(k int)
 	rec = func(k int) {
-		if k == n {
+		if k == len(idx) {
 			*out = append(*out, append([]int{}, idx...))
 			return
 		}
-		for i := k; i < n; i++ {
+		for i := k; i < len(idx); i++ {
 			idx[k], idx[i] = idx[i], idx[k]
 			rec(k + 1)
 			idx[k], idx[i] = idx[i], idx[k]

@@ -1,36 +1,37 @@
-package chain
+package chain_test
 
 import (
 	"strings"
 	"testing"
 
+	"nfactor/internal/chain"
 	"nfactor/internal/core"
 	"nfactor/internal/nfs"
 )
 
-func loadModel(t *testing.T, name string) NamedModel {
+func loadModel(t *testing.T, name string) chain.NamedModel {
 	t.Helper()
 	nf := nfs.MustLoad(name)
 	an, err := core.Analyze(name, nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NamedModel{Name: name, Model: an.Model}
+	return chain.NamedModel{Name: name, Model: an.Model}
 }
 
 func TestFieldSets(t *testing.T) {
 	lb := loadModel(t, "lb")
 	snort := loadModel(t, "snortlite")
 
-	lbMod := ModifiedFields(lb.Model)
+	lbMod := chain.ModifiedFields(lb.Model)
 	if !contains(lbMod, "dip") || !contains(lbMod, "dport") {
 		t.Errorf("lb modified fields = %v, want address rewrites", lbMod)
 	}
-	snortMatch := MatchedFields(snort.Model)
+	snortMatch := chain.MatchedFields(snort.Model)
 	if !contains(snortMatch, "dport") || !contains(snortMatch, "proto") {
 		t.Errorf("snortlite matched fields = %v", snortMatch)
 	}
-	snortMod := ModifiedFields(snort.Model)
+	snortMod := chain.ModifiedFields(snort.Model)
 	if len(snortMod) != 0 {
 		t.Errorf("snortlite modifies fields %v, expected none (pass-through)", snortMod)
 	}
@@ -39,7 +40,7 @@ func TestFieldSets(t *testing.T) {
 func TestConflictsLBvsIDS(t *testing.T) {
 	lb := loadModel(t, "lb")
 	snort := loadModel(t, "snortlite")
-	conf := Conflicts([]NamedModel{lb, snort})
+	conf := chain.Conflicts([]chain.NamedModel{lb, snort})
 	// LB rewrites dport which the IDS matches on → a (lb before snortlite)
 	// hazard must be reported; the IDS modifies nothing, so no reverse
 	// hazard.
@@ -58,14 +59,36 @@ func TestConflictsLBvsIDS(t *testing.T) {
 }
 
 func TestComposeOrdersIDSBeforeLB(t *testing.T) {
-	// The paper's example: {FW, IDS} + {LB}. The safe compositions place
+	// The paper's example: {FW, IDS} + {LB}. chain.Compose emits only the
+	// hazard-minimal orders — here the hazard-free ones, which all place
 	// the address-rewriting LB last.
 	fw := loadModel(t, "firewall")
 	ids := loadModel(t, "snortlite")
 	lb := loadModel(t, "lb")
-	orders := Compose([]NamedModel{fw, ids, lb})
+	orders := chain.Compose([]chain.NamedModel{fw, ids, lb})
+	if len(orders) == 0 {
+		t.Fatal("chain.Compose returned no orders")
+	}
+	if len(orders) >= 6 {
+		t.Fatalf("orders = %d, expected only hazard-minimal orders, not the full 3! enumeration", len(orders))
+	}
+	for _, o := range orders {
+		if len(o.Hazards) != 0 {
+			t.Errorf("hazard-minimal order %v carries hazards %v", o.Names, o.Hazards)
+		}
+		if o.Names[len(o.Names)-1] != "lb" {
+			t.Errorf("minimal order %v does not place lb last", o.Names)
+		}
+	}
+}
+
+func TestComposeAllEnumerates(t *testing.T) {
+	fw := loadModel(t, "firewall")
+	ids := loadModel(t, "snortlite")
+	lb := loadModel(t, "lb")
+	orders := chain.ComposeAll([]chain.NamedModel{fw, ids, lb})
 	if len(orders) != 6 {
-		t.Fatalf("orders = %d, want 3! = 6", len(orders))
+		t.Fatalf("chain.ComposeAll orders = %d, want 3! = 6", len(orders))
 	}
 	best := orders[0]
 	if len(best.Hazards) != 0 {
@@ -80,12 +103,44 @@ func TestComposeOrdersIDSBeforeLB(t *testing.T) {
 			t.Errorf("lb-first order %v reported hazard-free", o.Names)
 		}
 	}
+	// chain.Compose's minimal orders must agree with the brute-force minimum.
+	min := chain.Compose([]chain.NamedModel{fw, ids, lb})
+	if len(min[0].Hazards) != len(orders[0].Hazards) {
+		t.Errorf("chain.Compose minimum %d hazards, chain.ComposeAll best %d", len(min[0].Hazards), len(orders[0].Hazards))
+	}
+}
+
+func TestComposeScalesPastEnumeration(t *testing.T) {
+	// 9 copies of pass-through NFs would be 9! = 362880 permutations;
+	// the hazard-graph path must return promptly with a bounded set of
+	// hazard-free orders. Distinct names keep the conflict logic honest.
+	ids := loadModel(t, "snortlite")
+	rl := loadModel(t, "ratelimit")
+	dpi := loadModel(t, "dpi")
+	var nfs []chain.NamedModel
+	for i := 0; i < 3; i++ {
+		for _, base := range []chain.NamedModel{ids, rl, dpi} {
+			nfs = append(nfs, chain.NamedModel{Name: base.Name + string(rune('0'+i)), Model: base.Model})
+		}
+	}
+	orders := chain.Compose(nfs)
+	if len(orders) == 0 || len(orders) > chain.MaxOrders {
+		t.Fatalf("orders = %d, want 1..%d", len(orders), chain.MaxOrders)
+	}
+	for _, o := range orders {
+		if len(o.Names) != 9 {
+			t.Fatalf("order %v has %d names, want 9", o.Names, len(o.Names))
+		}
+		if len(o.Hazards) != 0 {
+			t.Errorf("pass-through chain order %v carries hazards %v", o.Names, o.Hazards)
+		}
+	}
 }
 
 func TestSafeFiltersHazards(t *testing.T) {
 	ids := loadModel(t, "snortlite")
 	lb := loadModel(t, "lb")
-	safe := Safe([]NamedModel{ids, lb})
+	safe := chain.Safe([]chain.NamedModel{ids, lb})
 	if len(safe) == 0 {
 		t.Fatal("no safe order for {ids, lb}")
 	}
@@ -97,7 +152,7 @@ func TestSafeFiltersHazards(t *testing.T) {
 }
 
 func TestConflictString(t *testing.T) {
-	c := Conflict{Writer: "a", Reader: "b", Fields: []string{"dport"}}
+	c := chain.Conflict{Writer: "a", Reader: "b", Fields: []string{"dport"}}
 	if !strings.Contains(c.String(), "a rewrites") || !strings.Contains(c.String(), "b matches") {
 		t.Errorf("conflict string = %q", c.String())
 	}

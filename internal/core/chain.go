@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
+)
+
+// Named packages the analysis as a chain element: the synthesized model
+// plus the concrete configuration and initial state it was analyzed
+// under — everything chain composition and dataplane.CompileChain need.
+func (an *Analysis) Named() (chain.NamedModel, error) {
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		return chain.NamedModel{}, err
+	}
+	return chain.NamedModel{Name: an.NFName, Model: an.Model, Config: config, State: state}, nil
+}
+
+// ChainSpec names a service chain over corpus NFs.
+type ChainSpec struct {
+	Name      string
+	NFs       []string
+	Shardable bool // every stage's flow keys co-hash (ShardedChain accepts it)
+}
+
+// ChainCorpus lists the service chains the fused-chain pipeline is
+// validated and benchmarked against: the {FW, IDS, LB} reference chain
+// in several orders, shorter 2-NF chains (including the shardable
+// flow-co-hashing pairs and a multi-send fan-out chain), and a 4-NF
+// chain. Shardable marks the chains whose stages all key state on the
+// same field multiset, the precondition NewShardedChain enforces.
+func ChainCorpus() []ChainSpec {
+	return []ChainSpec{
+		{Name: "fw-ids", NFs: []string{"firewall", "snortlite"}},
+		{Name: "dpi-ids", NFs: []string{"dpi", "snortlite"}, Shardable: true},
+		{Name: "fw-mirror", NFs: []string{"firewall", "mirror"}, Shardable: true},
+		{Name: "fw-ids-lb", NFs: []string{"firewall", "snortlite", "lb"}},
+		{Name: "fw-lb-ids", NFs: []string{"firewall", "lb", "snortlite"}},
+		{Name: "ids-fw-lb", NFs: []string{"snortlite", "firewall", "lb"}},
+		{Name: "fw-rl-ids-lb", NFs: []string{"firewall", "ratelimit", "snortlite", "lb"}},
+	}
+}
+
+// AnalyzeChain synthesizes the models of the named corpus NFs
+// concurrently — the analyses are independent — and returns them in
+// chain order as compile-ready chain elements. A single solver cache is
+// shared across the NFs (it is safe for concurrent use), so common
+// conjunctions are decided once.
+func AnalyzeChain(names []string, opts Options) ([]chain.NamedModel, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: empty chain")
+	}
+	if opts.Cache == nil {
+		opts.Cache = solver.NewCache()
+	}
+	stages := make([]chain.NamedModel, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			nf, err := nfs.Load(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			an, err := Analyze(name, nf.Prog, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: analyze %s: %w", name, err)
+				return
+			}
+			stages[i], errs[i] = an.Named()
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stages, nil
+}

@@ -1,0 +1,369 @@
+package dataplane_test
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/workload"
+)
+
+// chainStages analyzes the named corpus NFs (cached) into compile-ready
+// chain elements.
+func chainStages(t testing.TB, names []string) []chain.NamedModel {
+	t.Helper()
+	stages := make([]chain.NamedModel, len(names))
+	for i, name := range names {
+		nm, err := analyze(t, name).Named()
+		if err != nil {
+			t.Fatalf("named %s: %v", name, err)
+		}
+		stages[i] = nm
+	}
+	return stages
+}
+
+// chainTrace builds chain stimulus: trusted-side client flows at the
+// LB's service endpoint (they clear the firewall's egress policy and
+// exercise the LB's NAT install path), stray traffic on other ports and
+// interfaces (dropped at various depths, exercising the short-circuit),
+// and random fuzz.
+func chainTrace(seed int64, n int) []netpkt.Packet {
+	g := workload.New(seed)
+	tr := g.ClientServerTrace("3.3.3.3", 80, n)
+	for i := range tr {
+		if tr[i].DstPort == 80 {
+			tr[i].InIface = "lan"
+		}
+	}
+	tr = append(tr, g.SkewedTrace(n/2, workload.ZipfOpts{Flows: 32, Churn: 0.05, VIP: "3.3.3.3", Port: 80})...)
+	for i := n; i < len(tr); i++ {
+		tr[i].InIface = "lan"
+	}
+	tr = append(tr, g.RandomTrace(n)...)
+	tr = append(tr, g.AdversarialTrace(n/4)...)
+	return tr
+}
+
+// fwIdsLbOrders enumerates every order of the ISSUE's reference chain.
+func fwIdsLbOrders() [][]string {
+	nfset := []string{"firewall", "snortlite", "lb"}
+	var out [][]string
+	for i := range nfset {
+		for j := range nfset {
+			for k := range nfset {
+				if i != j && j != k && i != k {
+					out = append(out, []string{nfset[i], nfset[j], nfset[k]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestChainDifferentialFuzz is the fused data plane's equivalence gate:
+// for every corpus chain — all six {FW, IDS, LB} orders plus the 2- and
+// 4-NF chains — a closed-loop workload runs through the fused engine
+// and the sequential per-NF reference in lockstep and must agree on
+// every verdict, per-stage fired entry, emitted packet, final per-stage
+// state, and per-stage telemetry counter.
+func TestChainDifferentialFuzz(t *testing.T) {
+	type tc struct {
+		name string
+		nfs  []string
+	}
+	var cases []tc
+	for _, spec := range core.ChainCorpus() {
+		cases = append(cases, tc{spec.Name, spec.NFs})
+	}
+	for _, order := range fwIdsLbOrders() {
+		cases = append(cases, tc{strings.Join(order, ">"), order})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stages := chainStages(t, c.nfs)
+			stim := chainTrace(17, 300)
+			res, err := dataplane.DiffTestChain(stages, stim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Trials < len(stim) {
+				t.Fatalf("only %d trials for %d stimulus packets", res.Trials, len(stim))
+			}
+			if res.Mismatches != 0 {
+				t.Fatalf("%d/%d mismatches; first: %s", res.Mismatches, res.Trials, res.FirstDiff)
+			}
+		})
+	}
+}
+
+// TestChainShardedDiff runs every shardable corpus chain at 1, 2 and 4
+// shards against the fused single-copy engine: verdicts, emitted
+// packets, merged per-stage state and merged per-stage telemetry must
+// agree at every shard count.
+func TestChainShardedDiff(t *testing.T) {
+	for _, spec := range core.ChainCorpus() {
+		if !spec.Shardable {
+			continue
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			stages := chainStages(t, spec.NFs)
+			for _, shards := range []int{1, 2, 4} {
+				stim := chainTrace(23+int64(shards), 250)
+				res, err := dataplane.DiffTestChainSharded(stages, stim, shards)
+				if err != nil {
+					t.Fatalf("%d shards: %v", shards, err)
+				}
+				if res.Mismatches != 0 {
+					t.Fatalf("%d shards: %d/%d mismatches; first: %s",
+						shards, res.Mismatches, res.Trials, res.FirstDiff)
+				}
+			}
+		})
+	}
+}
+
+// TestChainShardRejects pins the fail-loudly contract: a chain whose
+// stages do not co-hash is rejected with an error naming the offending
+// stage and state variable, never silently mis-sharded.
+func TestChainShardRejects(t *testing.T) {
+	cases := []struct {
+		nfs      []string
+		wantSubs []string
+	}{
+		// lb's b2f_nat is owner-routed via the cur_port allocator — a
+		// fused chain cannot route by flow hash to reach it.
+		{[]string{"lb"}, []string{"lb", "b2f_nat"}},
+		// snortlite keys {sip}; firewall keys the 4-tuple — no co-hash.
+		{[]string{"firewall", "snortlite", "lb"}, []string{"snortlite", "syn_count"}},
+	}
+	for _, c := range cases {
+		t.Run(strings.Join(c.nfs, ">"), func(t *testing.T) {
+			stages := chainStages(t, c.nfs)
+			_, err := dataplane.NewShardedChain(stages, 2)
+			if err == nil {
+				t.Fatalf("NewShardedChain(%v) succeeded, want co-hash rejection", c.nfs)
+			}
+			for _, sub := range c.wantSubs {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q does not name %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestChainSingleNFBitwise pins ChainEngine([nf]) to the standalone
+// Engine bit for bit on every corpus NF: a one-stage chain must be the
+// identity wrapper — same verdicts, same packets, same entry
+// attribution, same end state, same telemetry counters.
+func TestChainSingleNFBitwise(t *testing.T) {
+	for _, name := range nfs.Names() {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			nm, err := an.Named()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := dataplane.CompileChain([]chain.NamedModel{nm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := fuzzTrace(name, 1234)
+			for i := range trace {
+				p := trace[i]
+				eOut, eErr := eng.Process(&p)
+				cOut, cErr := ch.Process(&trace[i])
+				if (eErr != nil) != (cErr != nil) {
+					t.Fatalf("packet %d (%s): error mismatch: engine=%v chain=%v", i, trace[i], eErr, cErr)
+				}
+				if eErr != nil {
+					continue
+				}
+				if eOut.Dropped != cOut.Dropped {
+					t.Fatalf("packet %d: dropped %v vs %v", i, eOut.Dropped, cOut.Dropped)
+				}
+				if eOut.Entry != cOut.Entries[0] {
+					t.Fatalf("packet %d: entry %d vs %d", i, eOut.Entry, cOut.Entries[0])
+				}
+				if len(eOut.Sent) != len(cOut.Sent) {
+					t.Fatalf("packet %d: sent %d vs %d", i, len(eOut.Sent), len(cOut.Sent))
+				}
+				for s := range eOut.Sent {
+					if eOut.Sent[s].Iface != cOut.Sent[s].Iface || !netpkt.Equal(eOut.Sent[s].Pkt, cOut.Sent[s].Pkt) {
+						t.Fatalf("packet %d sent[%d]: %s/%s vs %s/%s", i, s,
+							eOut.Sent[s].Pkt, eOut.Sent[s].Iface, cOut.Sent[s].Pkt, cOut.Sent[s].Iface)
+					}
+				}
+			}
+			if diff := stateDiff(eng.State(), ch.StageState(0)); diff != "" {
+				t.Fatalf("end state differs: %s", diff)
+			}
+			if !eng.Telemetry().CountersEqual(ch.StageTelemetry(0)) {
+				t.Fatalf("telemetry counters diverge:\nengine: %+v\nchain:  %+v", eng.Telemetry(), ch.StageTelemetry(0))
+			}
+		})
+	}
+}
+
+// TestChainBatchMatchesProcess pins the stage-major batch path to the
+// packet-major path: identical outputs and identical end state on an
+// error-free trace.
+func TestChainBatchMatchesProcess(t *testing.T) {
+	for _, spec := range core.ChainCorpus() {
+		t.Run(spec.Name, func(t *testing.T) {
+			stages := chainStages(t, spec.NFs)
+			one, err := dataplane.CompileChain(stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := chainTrace(5, 200)
+			// Keep only the error-free prefix: ProcessBatch documents a
+			// different error placement, so the comparison needs clean
+			// packets (the corpus produces none, but fuzz may).
+			var want []dataplane.ChainOutput
+			for i := range trace {
+				p := trace[i]
+				out, err := one.Process(&p)
+				if err != nil {
+					trace = trace[:i]
+					break
+				}
+				var cp dataplane.ChainOutput
+				cp.Sent = append(cp.Sent, out.Sent...)
+				cp.Entries = append(cp.Entries, out.Entries...)
+				cp.Dropped = out.Dropped
+				want = append(want, cp)
+			}
+			batch, err := dataplane.CompileChain(stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs := make([]dataplane.ChainOutput, len(trace))
+			if err := batch.ProcessBatch(trace, outs); err != nil {
+				t.Fatal(err)
+			}
+			for i := range trace {
+				if outs[i].Dropped != want[i].Dropped || len(outs[i].Sent) != len(want[i].Sent) {
+					t.Fatalf("packet %d: batch %+v vs process %+v", i, outs[i], want[i])
+				}
+				for s := range want[i].Sent {
+					if outs[i].Sent[s] != want[i].Sent[s] {
+						t.Fatalf("packet %d sent[%d]: %+v vs %+v", i, s, outs[i].Sent[s], want[i].Sent[s])
+					}
+				}
+				for si := range want[i].Entries {
+					if outs[i].Entries[si] != want[i].Entries[si] {
+						t.Fatalf("packet %d stage %d: entry %d vs %d", i, si, outs[i].Entries[si], want[i].Entries[si])
+					}
+				}
+			}
+			if diff := stateDiff(one.State(), batch.State()); diff != "" {
+				t.Fatalf("end state differs: %s", diff)
+			}
+		})
+	}
+}
+
+// TestChainZeroAllocSteadyState extends the engine's perf contract to
+// the fused chain: once flow state is warmed, a packet traverses the
+// whole {FW, IDS, LB} chain with zero heap allocations.
+func TestChainZeroAllocSteadyState(t *testing.T) {
+	stages := chainStages(t, []string{"firewall", "snortlite", "lb"})
+	eng, err := dataplane.CompileChain(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.New(11)
+	trace := g.ClientServerTrace("3.3.3.3", 80, 64)
+	for i := range trace {
+		if trace[i].DstPort == 80 {
+			trace[i].InIface = "lan"
+		}
+	}
+	for i := range trace {
+		if _, err := eng.Process(&trace[i]); err != nil {
+			t.Fatalf("warmup packet %d: %v", i, err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := eng.Process(&trace[i%len(trace)]); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("%.1f allocs per packet in chain steady state, want 0", allocs)
+	}
+}
+
+// TestChainConstFold pins the cross-stage constant-folding contract: a
+// stage that pins a header field to one constant lets the compiler
+// prune downstream entries that contradict it, without changing
+// behavior.
+func TestChainConstFold(t *testing.T) {
+	const normSrc = `
+OUT = "mid";
+rewritten_stat = 0;
+func process(pkt) {
+    pkt.dport = 80;
+    rewritten_stat = rewritten_stat + 1;
+    send(pkt, OUT);
+}
+`
+	const routeSrc = `
+WEB_IFACE = "web";
+OTHER_IFACE = "other";
+web_stat = 0;
+other_stat = 0;
+func process(pkt) {
+    if pkt.dport == 80 {
+        web_stat = web_stat + 1;
+        send(pkt, WEB_IFACE);
+    } else {
+        other_stat = other_stat + 1;
+        send(pkt, OTHER_IFACE);
+    }
+}
+`
+	load := func(name, src string) chain.NamedModel {
+		nf, err := nfs.FromSource(name, src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		an, err := core.Analyze(name, nf.Prog, core.Options{})
+		if err != nil {
+			t.Fatalf("analyze %s: %v", name, err)
+		}
+		nm, err := an.Named()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nm
+	}
+	stages := []chain.NamedModel{load("norm", normSrc), load("route", routeSrc)}
+	fused, err := dataplane.CompileChain(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.FoldedEntries() == 0 {
+		t.Fatalf("no entries folded: the dport!=80 route entry should be pruned by the upstream pkt.dport=80 rewrite")
+	}
+	// Folding must not change behavior.
+	res, err := dataplane.DiffTestChain(stages, workload.New(3).RandomTrace(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d mismatches after folding; first: %s", res.Mismatches, res.FirstDiff)
+	}
+}

@@ -1,0 +1,609 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/perf"
+	"nfactor/internal/solver"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+)
+
+// CompileChain fuses a service chain into one ChainEngine. Every stage
+// must carry its concrete configuration and initial state
+// (core.Analysis.Named fills them). The stages share one flat state
+// arena — each stage's scalars and maps occupy a contiguous slot/map
+// range — one tuple arena and one lookup-memo table, so the whole
+// chain evaluates in a single context.
+//
+// Cross-stage constant folding: when every packet stage i can emit has
+// some header field pinned to one compile-time constant (every send of
+// every live entry writes that field to the same constant), that
+// constant is substituted into stage i+1's entries before they are
+// compiled — predicates decided by it disappear from the dispatch
+// tree, and entries whose guards become unsatisfiable are pruned
+// (FoldedEntries counts them). This is sound because in a linear chain
+// stage i is the only producer of stage i+1's input.
+func CompileChain(stages []chain.NamedModel) (*ChainEngine, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("dataplane: empty chain")
+	}
+	e := &ChainEngine{}
+	lutIdx := map[string]int{}
+	var constTups [][maxTuple]scalar
+	maxSlotUpd, maxMops, maxFields := 0, 0, 0
+	prodSends := 1 // worst-case fan-out across the chain (Sent capacity)
+	var constWrites map[string]value.Value
+
+	for si := range stages {
+		nm := &stages[si]
+		if nm.Model == nil {
+			return nil, fmt.Errorf("dataplane: chain stage %d (%s): nil model", si, nm.Name)
+		}
+		if nm.Config == nil || nm.State == nil {
+			return nil, fmt.Errorf("dataplane: chain stage %d (%s): missing config/state (use core.Analysis.Named)", si, nm.Name)
+		}
+		m := nm.Model
+		for _, v := range m.CfgVars {
+			if _, ok := nm.Config[v]; !ok {
+				return nil, fmt.Errorf("dataplane: chain stage %d (%s): missing configuration value for %q", si, nm.Name, v)
+			}
+		}
+		st := &chainStage{
+			name: nm.Name, m: m,
+			slotLo: len(e.slotNames), mapLo: len(e.mapNames), lutLo: len(lutIdx),
+		}
+		cp := &compiler{
+			config:    nm.Config,
+			slotIdx:   map[string]int{},
+			mapIdx:    map[string]int{},
+			lutIdx:    lutIdx,
+			lutNS:     fmt.Sprintf("%d|", si),
+			constTups: constTups,
+		}
+		// Stage state layout: stage-local names, global indices.
+		for _, name := range m.OISVars {
+			iv, ok := nm.State[name]
+			if !ok {
+				return nil, fmt.Errorf("dataplane: chain stage %d (%s): missing initial state for %q", si, nm.Name, name)
+			}
+			if iv.Kind == value.KindMap {
+				cp.mapIdx[name] = len(e.mapNames)
+				e.mapNames = append(e.mapNames, name)
+				rm, err := rmapOf(iv)
+				if err != nil {
+					return nil, fmt.Errorf("dataplane: chain stage %d (%s): initial %q: %w", si, nm.Name, name, err)
+				}
+				e.initMaps = append(e.initMaps, rm)
+				continue
+			}
+			v, err := mvalOf(iv)
+			if err != nil {
+				return nil, fmt.Errorf("dataplane: chain stage %d (%s): initial %q: %w", si, nm.Name, name, err)
+			}
+			cp.slotIdx[name] = len(e.slotNames)
+			e.slotNames = append(e.slotNames, name)
+			e.initSlots = append(e.initSlots, v)
+		}
+
+		maxSends := 0
+		for i := range m.Entries {
+			src := &m.Entries[i]
+			folded := src
+			if len(constWrites) > 0 {
+				folded = foldEntry(src, constWrites)
+			}
+			ce, pruned, err := cp.compileEntry(folded, i)
+			if err != nil {
+				return nil, fmt.Errorf("dataplane: chain stage %d (%s): %w", si, nm.Name, err)
+			}
+			if pruned {
+				if len(constWrites) > 0 {
+					// Only count prunes the fold itself caused (not
+					// config prunes the single-model compile would do).
+					if _, p0, err0 := cp.compileEntry(src, i); err0 == nil && !p0 {
+						st.folded++
+					}
+				}
+				continue
+			}
+			st.entries = append(st.entries, ce)
+			if len(ce.sends) > maxSends {
+				maxSends = len(ce.sends)
+			}
+			if len(ce.supd) > maxSlotUpd {
+				maxSlotUpd = len(ce.supd)
+			}
+			if ce.nMops > maxMops {
+				maxMops = ce.nMops
+			}
+			for sdi := range ce.sends {
+				if len(ce.sends[sdi].fields) > maxFields {
+					maxFields = len(ce.sends[sdi].fields)
+				}
+			}
+		}
+		st.root = buildTree(st.entries)
+		st.slotHi, st.mapHi, st.lutHi = len(e.slotNames), len(e.mapNames), len(lutIdx)
+		st.tel = telemetry.NewSink(len(m.Entries))
+		if maxSends > 0 {
+			st.sendBuf = make([]SentPacket, 0, maxSends)
+			prodSends *= maxSends
+		} else {
+			prodSends = 0
+		}
+		e.stages = append(e.stages, st)
+
+		constTups = cp.constTups
+		constWrites = stageConstWrites(st, cp, m)
+	}
+
+	e.out.Sent = make([]SentPacket, 0, prodSends)
+	e.out.Entries = make([]int, len(e.stages))
+	e.scratchSlots = make([]rv, maxSlotUpd)
+	e.scratchKeys = make([]mkey, maxMops)
+	e.scratchVals = make([]rv, maxMops)
+	e.scratchFields = make([]rv, maxFields)
+	e.ctx.tups = make([][maxTuple]scalar, len(constTups), len(constTups)+16)
+	copy(e.ctx.tups, constTups)
+	e.ctx.nconst = len(constTups)
+	e.ctx.luts = make([]lut, len(lutIdx))
+	e.Reset()
+	return e, nil
+}
+
+// stageConstWrites computes the header fields every packet the stage
+// can emit has pinned to one compile-time constant: the intersection,
+// over every send of every live forwarding entry, of the fields written
+// to the same constant. Returns nil when the stage forwards nothing
+// (downstream stages are unreachable; folding would be vacuous).
+func stageConstWrites(st *chainStage, cp *compiler, m *model.Model) map[string]value.Value {
+	var cw map[string]value.Value
+	for _, ce := range st.entries {
+		if len(ce.sends) == 0 {
+			continue // drop entry: emits nothing
+		}
+		src := &m.Entries[ce.idx]
+		for i := range src.Sends {
+			sw := sendConstWrites(cp, &src.Sends[i])
+			if cw == nil {
+				cw = sw
+				continue
+			}
+			for f, v := range cw {
+				ov, ok := sw[f]
+				if !ok || !value.Equal(ov, v) {
+					delete(cw, f)
+				}
+			}
+		}
+	}
+	if len(cw) == 0 {
+		return nil
+	}
+	return cw
+}
+
+// sendConstWrites returns the fields one send action writes to
+// compile-time constants (under the stage's configuration).
+func sendConstWrites(cp *compiler, a *model.Action) map[string]value.Value {
+	out := map[string]value.Value{}
+	for f, t := range a.Fields {
+		ex, err := cp.compile(t)
+		if err != nil || !ex.isConst() || ex.c.k == kTuple {
+			continue
+		}
+		out[f] = mval{scalar: ex.c.scalar}.toValue()
+	}
+	return out
+}
+
+// foldEntry substitutes the upstream constant writes into one entry's
+// guards and actions: every pkt.<f> with f pinned upstream becomes the
+// constant. compileEntry then discharges decided predicates and prunes
+// entries whose guards become constant-false.
+func foldEntry(e *model.Entry, cw map[string]value.Value) *model.Entry {
+	sub := func(t solver.Term) solver.Term { return substPktConsts(t, cw) }
+	subList := func(ts []solver.Term) []solver.Term {
+		out := make([]solver.Term, len(ts))
+		for i, t := range ts {
+			out[i] = sub(t)
+		}
+		return out
+	}
+	ne := &model.Entry{
+		Config:     subList(e.Config),
+		FlowMatch:  subList(e.FlowMatch),
+		StateMatch: subList(e.StateMatch),
+		Priority:   e.Priority,
+		PathID:     e.PathID,
+	}
+	for i := range e.Sends {
+		a := e.Sends[i]
+		nf := make(map[string]solver.Term, len(a.Fields))
+		for f, t := range a.Fields {
+			nf[f] = sub(t)
+		}
+		ne.Sends = append(ne.Sends, model.Action{Fields: nf, Iface: sub(a.Iface)})
+	}
+	for i := range e.Updates {
+		ne.Updates = append(ne.Updates, model.Assign{Name: e.Updates[i].Name, Val: sub(e.Updates[i].Val)})
+	}
+	return ne
+}
+
+// substPktConsts replaces pkt.<f> variables whose field is pinned to an
+// upstream constant by that constant (the full-AST walk of
+// verify.substituteFields, specialized to constants).
+func substPktConsts(t solver.Term, cw map[string]value.Value) solver.Term {
+	switch x := t.(type) {
+	case solver.Var:
+		if f, ok := strings.CutPrefix(x.Name, "pkt."); ok {
+			if v, ok := cw[f]; ok {
+				return solver.Const{V: v}
+			}
+		}
+		return t
+	case solver.Bin:
+		return solver.Bin{Op: x.Op, X: substPktConsts(x.X, cw), Y: substPktConsts(x.Y, cw)}
+	case solver.Un:
+		return solver.Un{Op: x.Op, X: substPktConsts(x.X, cw)}
+	case solver.Call:
+		args := make([]solver.Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substPktConsts(a, cw)
+		}
+		return solver.Call{Fn: x.Fn, Args: args}
+	case solver.Tuple:
+		elems := make([]solver.Term, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = substPktConsts(el, cw)
+		}
+		return solver.Tuple{Elems: elems}
+	case solver.Index:
+		return solver.Index{X: substPktConsts(x.X, cw), I: substPktConsts(x.I, cw)}
+	case solver.Select:
+		return solver.Select{M: substPktConsts(x.M, cw), K: substPktConsts(x.K, cw)}
+	case solver.Store:
+		return solver.Store{M: substPktConsts(x.M, cw), K: substPktConsts(x.K, cw), V: substPktConsts(x.V, cw)}
+	case solver.Del:
+		return solver.Del{M: substPktConsts(x.M, cw), K: substPktConsts(x.K, cw)}
+	case solver.In:
+		return solver.In{K: substPktConsts(x.K, cw), M: substPktConsts(x.M, cw)}
+	default:
+		return t
+	}
+}
+
+// --- sharded chain ----------------------------------------------------
+
+// ShardedChain runs n specialized copies of a fused chain, one per
+// shard, routed by a single chain-wide flow hash. A chain shards iff
+// every stage's state demands are flow demands over the same field-name
+// multiset (so all stages co-hash under the value-sorted flow hash) and
+// no stage rewrites a field a downstream stage's hash depends on;
+// otherwise NewShardedChain fails loudly naming the stage and variable,
+// like NewSharded does for a single NF.
+type ShardedChain struct {
+	stages  []chain.NamedModel
+	clss    []*Classification
+	engines []*ChainEngine
+
+	fields  []string
+	getters []func(*netpkt.Packet) scalar
+
+	shardOf []int32
+	idxs    [][]int
+
+	out  ChainOutput
+	perf *perf.Set
+}
+
+// NewShardedChain builds an n-shard fused chain.
+func NewShardedChain(stages []chain.NamedModel, n int) (*ShardedChain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataplane: shard count %d", n)
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("dataplane: empty chain")
+	}
+	s := &ShardedChain{stages: stages, idxs: make([][]int, n)}
+
+	// Classify every stage and check chain-wide co-hashing.
+	for si := range stages {
+		nm := &stages[si]
+		cls, err := Classify(nm.Model, nm.Config, nm.State)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: chain stage %d (%s): %w", si, nm.Name, err)
+		}
+		if cls.Ambiguous > 0 {
+			return nil, fmt.Errorf("dataplane: chain stage %d (%s): %d entries need the serial hand-off path; a fused chain cannot hand off mid-traversal", si, nm.Name, cls.Ambiguous)
+		}
+		for _, pl := range cls.plans {
+			d := pl.d
+			switch d.kind {
+			case demandNone:
+				continue
+			case demandOwner:
+				return nil, fmt.Errorf("dataplane: chain stage %d (%s): %w", si, nm.Name,
+					blockVar(d.src, "map %q is owner-routed via allocator %q; chain routing needs flow keys", d.src, d.alloc))
+			case demandFlow:
+				if s.fields == nil {
+					s.fields = d.fields
+				} else if !sameFields(s.fields, d.fields) {
+					return nil, fmt.Errorf("dataplane: chain stage %d (%s): %w", si, nm.Name,
+						blockVar(d.src, "map %q is keyed by %v which does not co-hash with the chain's flow key %v", d.src, d.fields, s.fields))
+				}
+			}
+		}
+		s.clss = append(s.clss, cls)
+	}
+	// A stage must not rewrite a field any downstream stage hashes on:
+	// the router hashes the ingress packet, downstream stages key on
+	// the rewritten one.
+	if len(s.fields) > 0 {
+		keyed := map[string]bool{}
+		for _, f := range s.fields {
+			keyed[f] = true
+		}
+		for si := 0; si < len(stages)-1; si++ {
+			downstreamKeyed := false
+			for sj := si + 1; sj < len(stages); sj++ {
+				for _, pl := range s.clss[sj].plans {
+					if pl.d.kind == demandFlow {
+						downstreamKeyed = true
+					}
+				}
+			}
+			if !downstreamKeyed {
+				break
+			}
+			for _, f := range ModifiedFieldsOf(stages[si].Model) {
+				if keyed[f] {
+					return nil, fmt.Errorf("dataplane: chain stage %d (%s): rewrites %q which downstream stages hash on; the chain cannot shard", si, stages[si].Name, f)
+				}
+			}
+		}
+	}
+	for _, f := range s.fields {
+		g, ok := rawGetter(f)
+		if !ok {
+			return nil, fmt.Errorf("dataplane: unknown chain flow field %q", f)
+		}
+		s.getters = append(s.getters, g)
+	}
+	if len(s.fields) > 8 {
+		return nil, fmt.Errorf("dataplane: %d chain flow fields exceed the shard hash width", len(s.fields))
+	}
+
+	// Per shard: specialize each stage (sub-allocators, rotors) and
+	// fuse the specialized chain.
+	for sh := 0; sh < n; sh++ {
+		spec := make([]chain.NamedModel, len(stages))
+		for si := range stages {
+			nm := stages[si]
+			ms, mst := specialize(nm.Model, s.clss[si], sh, n, nm.State)
+			spec[si] = chain.NamedModel{Name: nm.Name, Model: ms, Config: nm.Config, State: mst}
+		}
+		eng, err := CompileChain(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: shard %d: %w", sh, err)
+		}
+		s.engines = append(s.engines, eng)
+	}
+	return s, nil
+}
+
+// sameFields reports whether two sorted field-name lists are identical
+// (the co-hash condition: the value-sorted flow hash makes any
+// permutation of the same name set agree, but different sets diverge).
+func sameFields(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ModifiedFieldsOf mirrors chain.ModifiedFields without importing the
+// chain analysis into the hot compile path: the packet fields the
+// model's sends rewrite (non-identity).
+func ModifiedFieldsOf(m *model.Model) []string {
+	set := map[string]bool{}
+	for i := range m.Entries {
+		for _, a := range m.Entries[i].Sends {
+			for f, t := range a.Fields {
+				if v, ok := t.(solver.Var); ok && v.Name == "pkt."+f {
+					continue
+				}
+				set[f] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// route hashes the chain flow key (value-sorted, like the single-NF
+// router, so forward and reverse flows co-shard).
+func (s *ShardedChain) route(p *netpkt.Packet) int {
+	if len(s.getters) == 0 {
+		return 0
+	}
+	var vals [8]scalar
+	n := len(s.getters)
+	for i, g := range s.getters {
+		vals[i] = g(p)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && scalarLess(vals[j], vals[j-1]); j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	h := fnv64(fnvOffset64)
+	for i := 0; i < n; i++ {
+		_ = h.wscalar(vals[i])
+	}
+	return int(uint64(h) % uint64(len(s.engines)))
+}
+
+// NumShards returns the shard count.
+func (s *ShardedChain) NumShards() int { return len(s.engines) }
+
+// FlowFields returns the chain-wide flow key field names (sorted).
+func (s *ShardedChain) FlowFields() []string { return s.fields }
+
+// Process routes one packet to its owning shard.
+func (s *ShardedChain) Process(p *netpkt.Packet) (*ChainOutput, error) {
+	return s.engines[s.route(p)].Process(p)
+}
+
+// ProcessBatch partitions pkts by the flow hash and runs the shards
+// concurrently (each shard stage-major over its sub-batch), preserving
+// per-shard packet order; outs[i] receives pkts[i]'s output. On an
+// evaluation error the error with the smallest packet index is
+// returned.
+func (s *ShardedChain) ProcessBatch(pkts []netpkt.Packet, outs []ChainOutput) error {
+	if len(outs) < len(pkts) {
+		return fmt.Errorf("dataplane: %d outputs for %d packets", len(outs), len(pkts))
+	}
+	if len(s.engines) == 1 {
+		return s.engines[0].ProcessBatch(pkts, outs)
+	}
+	if cap(s.shardOf) < len(pkts) {
+		s.shardOf = make([]int32, len(pkts))
+	}
+	s.shardOf = s.shardOf[:len(pkts)]
+	for i := range s.idxs {
+		s.idxs[i] = s.idxs[i][:0]
+	}
+	for i := range pkts {
+		sh := s.route(&pkts[i])
+		s.shardOf[i] = int32(sh)
+		s.idxs[sh] = append(s.idxs[sh], i)
+	}
+	var wg sync.WaitGroup
+	errIdx := make([]int, len(s.engines))
+	errs := make([]error, len(s.engines))
+	for sh := range s.engines {
+		if len(s.idxs[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			eng := s.engines[sh]
+			for _, i := range s.idxs[sh] {
+				out, err := eng.Process(&pkts[i])
+				if err != nil {
+					errIdx[sh], errs[sh] = i, err
+					return
+				}
+				copyChainOutput(&outs[i], out)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	first, firstIdx := error(nil), -1
+	for sh, err := range errs {
+		if err != nil && (firstIdx == -1 || errIdx[sh] < firstIdx) {
+			first, firstIdx = err, errIdx[sh]
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("dataplane: packet %d: %w", firstIdx, first)
+	}
+	if s.perf != nil {
+		s.perf.Counter(perf.CDataplaneBatches).Inc()
+	}
+	return nil
+}
+
+// copyChainOutput copies an engine-owned output into a caller-owned
+// one, reusing backing arrays.
+func copyChainOutput(dst *ChainOutput, src *ChainOutput) {
+	dst.Sent = append(dst.Sent[:0], src.Sent...)
+	dst.Entries = append(dst.Entries[:0], src.Entries...)
+	dst.Dropped = src.Dropped
+}
+
+// SetPerf attaches a perf set to every shard.
+func (s *ShardedChain) SetPerf(p *perf.Set) {
+	s.perf = p
+	for _, e := range s.engines {
+		e.SetPerf(p)
+	}
+	p.Counter(perf.CDataplaneShards).Add(int64(len(s.engines)))
+}
+
+// StageState merges stage i's state across the shards, inverting each
+// classification lowering (shared logic with Sharded.State).
+func (s *ShardedChain) StageState(i int) map[string]value.Value {
+	states := make([]map[string]value.Value, len(s.engines))
+	for sh := range s.engines {
+		states[sh] = s.engines[sh].StageState(i)
+	}
+	return mergeShardStates(s.clss[i], states)
+}
+
+// StageTelemetry merges stage i's telemetry across the shards: counters
+// sum (entry hits stay attributed to stage i's own model entries),
+// partitioned map sizes sum, per-shard scalar/replica gauges report
+// shard 0's value.
+func (s *ShardedChain) StageTelemetry(i int) telemetry.Snapshot {
+	first := s.engines[0].StageTelemetry(i)
+	snap := first
+	for _, e := range s.engines[1:] {
+		snap = snap.Merge(e.StageTelemetry(i))
+	}
+	for name, vc := range s.clss[i].Vars {
+		switch vc.Class {
+		case ClassAllocator, ClassRotor, ClassFrozen, ClassReplicaMap:
+			snap.StateSizes[name] = first.StateSizes[name]
+		}
+	}
+	snap.Backend = "sharded-chain"
+	return snap
+}
+
+// Telemetry snapshots every stage, in chain order.
+func (s *ShardedChain) Telemetry() []telemetry.Snapshot {
+	out := make([]telemetry.Snapshot, len(s.stages))
+	for i := range s.stages {
+		out[i] = s.StageTelemetry(i)
+	}
+	return out
+}
+
+// Stats sums the shard counters.
+func (s *ShardedChain) Stats() Stats {
+	var t Stats
+	for _, e := range s.engines {
+		st := e.Stats()
+		t.Packets += st.Packets
+		t.Drops += st.Drops
+		t.Errors += st.Errors
+	}
+	return t
+}
+
+// Reset restores every shard to the initial state.
+func (s *ShardedChain) Reset() {
+	for _, e := range s.engines {
+		e.Reset()
+	}
+}

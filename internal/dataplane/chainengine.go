@@ -1,0 +1,540 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/perf"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+)
+
+// EntryNotReached marks a chain stage no packet reached during one
+// traversal (upstream drop) in ChainOutput.Entries.
+const EntryNotReached = -2
+
+// ChainOutput is the result of running one packet through a fused
+// service chain. Process returns an engine-owned ChainOutput that is
+// overwritten by the next call; ProcessBatch fills caller-owned ones,
+// reusing their backing arrays across batches.
+type ChainOutput struct {
+	// Sent holds the packets that exited the final stage, each with the
+	// interface the last stage emitted it on, in traversal order.
+	Sent []SentPacket
+	// Dropped is true when no packet survived the whole chain.
+	Dropped bool
+	// Entries[i] is the entry that fired at stage i for the first packet
+	// reaching that stage (-1: the stage's implicit drop;
+	// EntryNotReached: no packet got that far). For a single-stage chain
+	// Entries[0] equals Engine Output.Entry.
+	Entries []int
+}
+
+// chainStage is one fused NF: its compiled entries and dispatch tree,
+// indexing the ChainEngine's shared state arena, plus its own telemetry
+// sink so entry hits stay attributed to the originating NF's model.
+type chainStage struct {
+	name    string
+	m       *model.Model
+	entries []*centry
+	root    *dnode
+
+	// Ranges into the engine-wide arrays.
+	slotLo, slotHi int // e.slots / slotNames
+	mapLo, mapHi   int // e.maps / mapNames
+	lutLo, lutHi   int // e.ctx.luts
+
+	folded int // entries pruned by cross-stage constant folding
+
+	tel *telemetry.Sink
+
+	// Per-stage action buffers. sendBuf materializes multi-send
+	// fan-out; single-send entries rewrite the in-flight packet in
+	// place instead (the zero-copy path) and record the interface here.
+	sendBuf []SentPacket
+	iface   string
+}
+
+// ChainEngine is a whole service chain compiled into one data plane: the
+// per-NF dispatch trees execute back to back over a single flat state
+// arena and a single evaluation context, so a packet traverses the
+// entire chain in one call with no per-hop Output materialization and —
+// on the common single-send path — no per-hop packet copy. A stage
+// whose entry drops terminates the traversal immediately; constant
+// header rewrites of stage i are folded into stage i+1's entries at
+// compile time (see CompileChain). Like Engine, a ChainEngine is
+// single-threaded; ShardedChain gives each shard its own.
+type ChainEngine struct {
+	stages []*chainStage
+
+	slotNames []string // per-stage ranges; names are stage-local
+	mapNames  []string
+	slots     []mval
+	maps      []rmap
+
+	initSlots []mval
+	initMaps  []rmap
+
+	ctx ctx
+	out ChainOutput
+
+	pktBuf netpkt.Packet // ingress copy; the chain rewrites it in place
+
+	scratchSlots  []rv
+	scratchKeys   []mkey
+	scratchVals   []rv
+	scratchFields []rv // single-send in-place rewrite staging
+
+	// BFS rings for chain-level batch processing.
+	ringA, ringB []flight
+
+	stats Stats
+	perf  *perf.Set
+}
+
+// flight is one in-flight packet during stage-major batch processing.
+type flight struct {
+	pkt   netpkt.Packet
+	iface string
+	src   int32 // index of the originating ingress packet
+}
+
+// NumStages returns the chain length.
+func (e *ChainEngine) NumStages() int { return len(e.stages) }
+
+// StageNames returns the NF names in chain order.
+func (e *ChainEngine) StageNames() []string {
+	names := make([]string, len(e.stages))
+	for i, st := range e.stages {
+		names[i] = st.name
+	}
+	return names
+}
+
+// NumEntries returns the total live compiled entries across all stages.
+func (e *ChainEngine) NumEntries() int {
+	n := 0
+	for _, st := range e.stages {
+		n += len(st.entries)
+	}
+	return n
+}
+
+// FoldedEntries returns how many entries cross-stage constant folding
+// removed (entries whose guards are unsatisfiable for any packet an
+// upstream stage can emit).
+func (e *ChainEngine) FoldedEntries() int {
+	n := 0
+	for _, st := range e.stages {
+		n += st.folded
+	}
+	return n
+}
+
+// Stats returns the chain-level traffic counters (ingress packets).
+func (e *ChainEngine) Stats() Stats { return e.stats }
+
+// SetPerf attaches a perf set (batch-level counter aggregation).
+func (e *ChainEngine) SetPerf(p *perf.Set) { e.perf = p }
+
+// StageSink returns stage i's telemetry sink.
+func (e *ChainEngine) StageSink(i int) *telemetry.Sink { return e.stages[i].tel }
+
+// StageTelemetry snapshots stage i's counters; entry hits are indexed
+// by that stage's original model entries, exactly like a standalone
+// Engine's — fusion does not lose attribution.
+func (e *ChainEngine) StageTelemetry(i int) telemetry.Snapshot {
+	st := e.stages[i]
+	sizes := make(map[string]int, (st.slotHi-st.slotLo)+(st.mapHi-st.mapLo))
+	for s := st.slotLo; s < st.slotHi; s++ {
+		sizes[e.slotNames[s]] = 1
+	}
+	for m := st.mapLo; m < st.mapHi; m++ {
+		sizes[e.mapNames[m]] = len(e.maps[m])
+	}
+	return st.tel.Snapshot("chain", sizes)
+}
+
+// Telemetry snapshots every stage, in chain order.
+func (e *ChainEngine) Telemetry() []telemetry.Snapshot {
+	out := make([]telemetry.Snapshot, len(e.stages))
+	for i := range e.stages {
+		out[i] = e.StageTelemetry(i)
+	}
+	return out
+}
+
+// StageState exports stage i's current state under its model's own
+// variable names, shaped like Engine.State() for differential
+// comparison against a standalone engine of the same NF.
+func (e *ChainEngine) StageState(i int) map[string]value.Value {
+	st := e.stages[i]
+	out := make(map[string]value.Value, (st.slotHi-st.slotLo)+(st.mapHi-st.mapLo))
+	for s := st.slotLo; s < st.slotHi; s++ {
+		out[e.slotNames[s]] = e.slots[s].toValue()
+	}
+	for m := st.mapLo; m < st.mapHi; m++ {
+		out[e.mapNames[m]] = e.maps[m].toValue()
+	}
+	return out
+}
+
+// State exports the whole arena, namespacing each stage's variables as
+// "name#i:var" (the internal/verify hop namespace convention).
+func (e *ChainEngine) State() map[string]value.Value {
+	out := make(map[string]value.Value, len(e.slotNames)+len(e.mapNames))
+	for i, st := range e.stages {
+		for name, v := range e.StageState(i) {
+			out[fmt.Sprintf("%s#%d:%s", st.name, i, name)] = v
+		}
+	}
+	return out
+}
+
+// Reset restores every stage's initial state and zeroes all counters.
+func (e *ChainEngine) Reset() {
+	e.slots = append(e.slots[:0], e.initSlots...)
+	e.maps = e.maps[:0]
+	for _, m := range e.initMaps {
+		e.maps = append(e.maps, m.clone())
+	}
+	e.ctx.slots = e.slots
+	e.ctx.maps = e.maps
+	e.stats = Stats{}
+	for _, st := range e.stages {
+		st.tel.Reset()
+	}
+}
+
+// Flush adds the traffic counters to the attached perf set and zeroes
+// them.
+func (e *ChainEngine) Flush() {
+	if e.perf != nil {
+		e.perf.Counter(perf.CDataplanePkts).Add(e.stats.Packets)
+		e.perf.Counter(perf.CDataplaneDrops).Add(e.stats.Drops)
+	}
+	e.stats = Stats{}
+}
+
+// Process runs one packet through the whole chain (depth-first: each
+// emitted copy traverses the remaining stages before its sibling
+// enters, like a cut-through wire). The input packet is not modified;
+// the returned ChainOutput is engine-owned and reused by the next call.
+func (e *ChainEngine) Process(p *netpkt.Packet) (*ChainOutput, error) {
+	if err := e.process(p, &e.out); err != nil {
+		return nil, err
+	}
+	return &e.out, nil
+}
+
+// ProcessBatch runs pkts through the chain stage-major: stage 0 over
+// the whole batch, then stage 1 over the survivors, and so on — each
+// stage's dispatch tree and state stay hot for the full batch. Per-
+// packet outputs, final states and telemetry are identical to a
+// Process loop (sibling order is preserved end to end). The one
+// difference is error placement: on an evaluation error, all packets
+// have committed every stage before the failing one, rather than the
+// prefix of packets having committed every stage. len(outs) must be at
+// least len(pkts).
+func (e *ChainEngine) ProcessBatch(pkts []netpkt.Packet, outs []ChainOutput) error {
+	if len(outs) < len(pkts) {
+		return fmt.Errorf("dataplane: %d outputs for %d packets", len(outs), len(pkts))
+	}
+	cur, next := e.ringA[:0], e.ringB[:0]
+	for i := range pkts {
+		e.stats.Packets++
+		out := &outs[i]
+		out.Sent = out.Sent[:0]
+		out.Entries = resetEntries(out.Entries, len(e.stages))
+		cur = append(cur, flight{pkt: pkts[i], src: int32(i)})
+	}
+	for si := range e.stages {
+		st := e.stages[si]
+		next = next[:0]
+		for fi := range cur {
+			fl := &cur[fi]
+			ce, n, err := e.stageRun(st, &fl.pkt)
+			if err != nil {
+				e.stats.Errors++
+				e.ringA, e.ringB = cur[:0], next[:0]
+				return fmt.Errorf("dataplane: packet %d: chain stage %d (%s): %w", fl.src, si, st.name, err)
+			}
+			out := &outs[fl.src]
+			if out.Entries[si] == EntryNotReached {
+				out.Entries[si] = firedIdx(ce)
+			}
+			switch {
+			case n == 0:
+			case n == 1:
+				fl.iface = st.iface
+				next = append(next, *fl)
+			default:
+				for k := 0; k < n; k++ {
+					next = append(next, flight{pkt: st.sendBuf[k].Pkt, iface: st.sendBuf[k].Iface, src: fl.src})
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	for fi := range cur {
+		fl := &cur[fi]
+		outs[fl.src].Sent = append(outs[fl.src].Sent, SentPacket{Pkt: fl.pkt, Iface: fl.iface})
+	}
+	for i := range pkts {
+		outs[i].Dropped = len(outs[i].Sent) == 0
+		if outs[i].Dropped {
+			e.stats.Drops++
+		}
+	}
+	e.ringA, e.ringB = cur[:0], next[:0]
+	if e.perf != nil {
+		e.perf.Counter(perf.CDataplaneBatches).Inc()
+	}
+	return nil
+}
+
+func (e *ChainEngine) process(p *netpkt.Packet, out *ChainOutput) error {
+	e.stats.Packets++
+	out.Sent = out.Sent[:0]
+	out.Entries = resetEntries(out.Entries, len(e.stages))
+	e.pktBuf = *p // the chain rewrites in place; never touch the caller's packet
+	if err := e.run(0, &e.pktBuf, "", out); err != nil {
+		e.stats.Errors++
+		return err
+	}
+	out.Dropped = len(out.Sent) == 0
+	if out.Dropped {
+		e.stats.Drops++
+	}
+	return nil
+}
+
+// run advances one packet from stage si to the end of the chain,
+// rewriting it in place on the single-send path. iface carries the
+// interface the previous stage emitted it on; the value reported for a
+// surviving packet is the final stage's.
+func (e *ChainEngine) run(si int, p *netpkt.Packet, iface string, out *ChainOutput) error {
+	for si < len(e.stages) {
+		st := e.stages[si]
+		ce, n, err := e.stageRun(st, p)
+		if err != nil {
+			return fmt.Errorf("dataplane: chain stage %d (%s): %w", si, st.name, err)
+		}
+		if out.Entries[si] == EntryNotReached {
+			out.Entries[si] = firedIdx(ce)
+		}
+		if n == 0 {
+			return nil // stage drop: the whole branch terminates here
+		}
+		if n > 1 {
+			// Fan-out: each copy traverses the rest of the chain in
+			// order. The stage's sendBuf is safe to walk across the
+			// recursion — deeper calls only touch later stages, and a
+			// re-entry of this stage happens only after this walk
+			// finished.
+			for k := 0; k < n; k++ {
+				sp := &st.sendBuf[k]
+				if err := e.run(si+1, &sp.Pkt, sp.Iface, out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		iface = st.iface
+		si++
+	}
+	out.Sent = append(out.Sent, SentPacket{Pkt: *p, Iface: iface})
+	return nil
+}
+
+// stageRun evaluates one stage on p: dispatch-tree lookup, residual
+// guard scan, and the matched entry's actions. Single-send entries
+// rewrite p in place and set st.iface (n=1); multi-send entries
+// materialize copies in st.sendBuf; drops return n=0. ce is the fired
+// entry (nil for the implicit drop).
+func (e *ChainEngine) stageRun(st *chainStage, p *netpkt.Packet) (ce *centry, n int, err error) {
+	t0 := st.tel.Start()
+	c := &e.ctx
+	c.pkt = p
+	c.err = nil
+	c.tups = c.tups[:c.nconst]
+	for i := st.lutLo; i < st.lutHi; i++ {
+		c.luts[i].valid = false
+	}
+	leaf := st.root.lookup(c)
+	for i := range leaf.entries {
+		le := &leaf.entries[i]
+		matched := true
+		for j := range le.preds {
+			v := le.preds[j].ex.eval(c)
+			if c.err != nil {
+				st.tel.Count(t0, le.e.idx, false, true)
+				return nil, 0, fmt.Errorf("entry %d guard: %w", le.e.idx, c.err)
+			}
+			if v.k != kBool {
+				st.tel.Count(t0, le.e.idx, false, true)
+				return nil, 0, fmt.Errorf("entry %d guard: condition is %s, want bool", le.e.idx, v.k)
+			}
+			if v.i == 0 {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		n, err = e.fireStage(st, le.e, p)
+		if err != nil {
+			st.tel.Count(t0, le.e.idx, false, true)
+			return le.e, 0, err
+		}
+		st.tel.Count(t0, le.e.idx, n == 0, false)
+		return le.e, n, nil
+	}
+	st.tel.Count(t0, -1, true, false)
+	return nil, 0, nil
+}
+
+// fireStage executes one entry's actions with the engine's
+// evaluate-all-then-commit discipline. The single-send fast path
+// evaluates every send field, the interface and every update against
+// the pre-state and pre-rewrite packet, commits the state, then
+// rewrites p in place — no packet copy. Zero- and multi-send entries
+// take the materializing path (st.sendBuf).
+func (e *ChainEngine) fireStage(st *chainStage, ce *centry, p *netpkt.Packet) (int, error) {
+	c := &e.ctx
+	if len(ce.sends) == 1 {
+		s := &ce.sends[0]
+		for fi := range s.fields {
+			e.scratchFields[fi] = s.fields[fi].ex.eval(c)
+			if c.err != nil {
+				return 0, fmt.Errorf("entry %d send: %w", ce.idx, c.err)
+			}
+		}
+		iv := s.iface.eval(c)
+		if c.err != nil {
+			return 0, fmt.Errorf("entry %d iface: %w", ce.idx, c.err)
+		}
+		if err := e.evalUpdates(ce); err != nil {
+			return 0, err
+		}
+		e.commitUpdates(ce)
+		for fi := range s.fields {
+			s.fields[fi].set(p, e.scratchFields[fi])
+		}
+		if iv.k == kStr {
+			st.iface = iv.s
+		} else {
+			st.iface = ""
+		}
+		return 1, nil
+	}
+
+	st.sendBuf = st.sendBuf[:0]
+	for si := range ce.sends {
+		s := &ce.sends[si]
+		st.sendBuf = append(st.sendBuf, SentPacket{Pkt: *p})
+		sp := &st.sendBuf[len(st.sendBuf)-1]
+		for fi := range s.fields {
+			f := &s.fields[fi]
+			v := f.ex.eval(c)
+			if c.err != nil {
+				return 0, fmt.Errorf("entry %d send: %w", ce.idx, c.err)
+			}
+			f.set(&sp.Pkt, v)
+		}
+		iv := s.iface.eval(c)
+		if c.err != nil {
+			return 0, fmt.Errorf("entry %d iface: %w", ce.idx, c.err)
+		}
+		if iv.k == kStr {
+			sp.Iface = iv.s
+		} else {
+			sp.Iface = ""
+		}
+	}
+	if err := e.evalUpdates(ce); err != nil {
+		return 0, err
+	}
+	e.commitUpdates(ce)
+	return len(ce.sends), nil
+}
+
+// evalUpdates stages an entry's slot and map updates in the scratch
+// buffers, evaluating against the pre-state.
+func (e *ChainEngine) evalUpdates(ce *centry) error {
+	c := &e.ctx
+	for i := range ce.supd {
+		e.scratchSlots[i] = ce.supd[i].ex.eval(c)
+		if c.err != nil {
+			return fmt.Errorf("entry %d update: %w", ce.idx, c.err)
+		}
+	}
+	si := 0
+	for mi := range ce.mupd {
+		mu := &ce.mupd[mi]
+		for oi := range mu.ops {
+			op := &mu.ops[oi]
+			kv := op.key.eval(c)
+			if c.err != nil {
+				return fmt.Errorf("entry %d update: %w", ce.idx, c.err)
+			}
+			k, err := keyOf(kv, c)
+			if err != nil {
+				return fmt.Errorf("entry %d update: %w", ce.idx, err)
+			}
+			e.scratchKeys[si] = k
+			if !op.del {
+				e.scratchVals[si] = op.val.eval(c)
+				if c.err != nil {
+					return fmt.Errorf("entry %d update: %w", ce.idx, c.err)
+				}
+			}
+			si++
+		}
+	}
+	return nil
+}
+
+// commitUpdates applies the staged updates to the shared arena.
+func (e *ChainEngine) commitUpdates(ce *centry) {
+	c := &e.ctx
+	for i := range ce.supd {
+		e.slots[ce.supd[i].slot] = c.own(e.scratchSlots[i])
+	}
+	si := 0
+	for mi := range ce.mupd {
+		mu := &ce.mupd[mi]
+		m := e.maps[mu.mi]
+		for oi := range mu.ops {
+			if mu.ops[oi].del {
+				delete(m, e.scratchKeys[si])
+			} else {
+				m[e.scratchKeys[si]] = c.own(e.scratchVals[si])
+			}
+			si++
+		}
+	}
+}
+
+// firedIdx maps a stageRun result to the ChainOutput.Entries encoding.
+func firedIdx(ce *centry) int {
+	if ce == nil {
+		return -1
+	}
+	return ce.idx
+}
+
+// resetEntries sizes an Entries slice for n stages and marks all stages
+// unreached, reusing the backing array.
+func resetEntries(ents []int, n int) []int {
+	if cap(ents) < n {
+		ents = make([]int, n)
+	}
+	ents = ents[:n]
+	for i := range ents {
+		ents[i] = EntryNotReached
+	}
+	return ents
+}

@@ -1,0 +1,290 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+)
+
+// SeqChain is the per-NF reference data plane a fused chain is checked
+// against: one standalone compiled Engine per stage, packets handed off
+// between them by materialized copies, exactly as a deployment of
+// separate engines would run. Its traversal order is the same DFS the
+// fused engine uses, so outputs, per-stage state trajectories and
+// per-stage telemetry must agree packet for packet.
+type SeqChain struct {
+	engines []*Engine
+	names   []string
+	hand    [][]SentPacket // per-stage hand-off buffers (fan-out safe: DFS never re-enters a stage)
+	out     ChainOutput
+}
+
+// NewSeqChain compiles each stage standalone.
+func NewSeqChain(stages []chain.NamedModel) (*SeqChain, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("dataplane: empty chain")
+	}
+	s := &SeqChain{hand: make([][]SentPacket, len(stages))}
+	for si := range stages {
+		nm := &stages[si]
+		eng, err := Compile(nm.Model, nm.Config, nm.State)
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: chain stage %d (%s): %w", si, nm.Name, err)
+		}
+		s.engines = append(s.engines, eng)
+		s.names = append(s.names, nm.Name)
+	}
+	s.out.Entries = make([]int, len(stages))
+	return s, nil
+}
+
+// Process runs one packet through every stage, materializing each
+// stage's output and copying survivors into the next stage.
+func (s *SeqChain) Process(p *netpkt.Packet) (*ChainOutput, error) {
+	out := &s.out
+	out.Sent = out.Sent[:0]
+	out.Entries = resetEntries(out.Entries, len(s.engines))
+	if err := s.run(0, *p, "", out); err != nil {
+		return nil, err
+	}
+	out.Dropped = len(out.Sent) == 0
+	return out, nil
+}
+
+func (s *SeqChain) run(si int, p netpkt.Packet, iface string, out *ChainOutput) error {
+	if si == len(s.engines) {
+		out.Sent = append(out.Sent, SentPacket{Pkt: p, Iface: iface})
+		return nil
+	}
+	o, err := s.engines[si].Process(&p)
+	if err != nil {
+		return fmt.Errorf("dataplane: chain stage %d (%s): %w", si, s.names[si], err)
+	}
+	if out.Entries[si] == EntryNotReached {
+		out.Entries[si] = o.Entry
+	}
+	// Materialize the hand-off: the engine owns o.Sent and will reuse it.
+	s.hand[si] = append(s.hand[si][:0], o.Sent...)
+	for i := range s.hand[si] {
+		if err := s.run(si+1, s.hand[si][i].Pkt, s.hand[si][i].Iface, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageState returns stage i's state (plain variable names).
+func (s *SeqChain) StageState(i int) map[string]value.Value { return s.engines[i].State() }
+
+// StageTelemetry snapshots stage i's sink.
+func (s *SeqChain) StageTelemetry(i int) telemetry.Snapshot { return s.engines[i].Telemetry() }
+
+// Reset restores every stage to its initial state.
+func (s *SeqChain) Reset() {
+	for _, e := range s.engines {
+		e.Reset()
+	}
+}
+
+// ChainDiffResult summarizes a fused-vs-reference differential run.
+type ChainDiffResult struct {
+	Trials     int
+	Mismatches int
+	FirstDiff  string
+}
+
+func (r *ChainDiffResult) record(i int, p netpkt.Packet, diff string) {
+	r.Mismatches++
+	if r.FirstDiff == "" {
+		if i >= 0 {
+			r.FirstDiff = fmt.Sprintf("packet %d (%s): %s", i, p, diff)
+		} else {
+			r.FirstDiff = diff
+		}
+	}
+}
+
+// DiffTestChain replays a closed-loop workload through the fused chain
+// engine and the sequential per-NF reference in lockstep, demanding
+// exact equivalence: same verdicts (per-stage fired entries, drop
+// bits), same emitted packets, same final per-stage state, same
+// per-stage telemetry counters — so merged sinks provably attribute
+// every hit to the originating NF's own entries.
+//
+// The loop is closed per side: whenever a stimulus is forwarded, the
+// reply it would provoke (endpoints swapped, arriving on the emit
+// interface) is materialized from that side's own output and fed back,
+// exercising reply-path state (NAT translations, established-flow
+// entries) end to end.
+func DiffTestChain(stages []chain.NamedModel, stimulus []netpkt.Packet) (*ChainDiffResult, error) {
+	fused, err := CompileChain(stages)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := NewSeqChain(stages)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChainDiffResult{}
+	step := func(i int, pa, pb netpkt.Packet) (*ChainOutput, *ChainOutput, bool) {
+		res.Trials++
+		aOut, aErr := fused.Process(&pa)
+		bOut, bErr := seq.Process(&pb)
+		if (aErr != nil) != (bErr != nil) {
+			res.record(i, pa, fmt.Sprintf("error mismatch: fused=%v sequential=%v", aErr, bErr))
+			return nil, nil, false
+		}
+		if aErr != nil {
+			return nil, nil, false // both errored identically
+		}
+		if diff := compareChainOutputs(aOut, bOut); diff != "" {
+			res.record(i, pa, diff)
+			return nil, nil, false
+		}
+		return aOut, bOut, true
+	}
+	for i := range stimulus {
+		aOut, bOut, ok := step(i, stimulus[i], stimulus[i])
+		if !ok || aOut.Dropped || len(aOut.Sent) == 0 || len(bOut.Sent) == 0 {
+			continue
+		}
+		ra := chainReply(aOut.Sent[0].Pkt, aOut.Sent[0].Iface)
+		rb := chainReply(bOut.Sent[0].Pkt, bOut.Sent[0].Iface)
+		step(i, ra, rb)
+	}
+	for si := range stages {
+		if diff := equalStates(fused.StageState(si), seq.StageState(si)); diff != "" {
+			res.record(-1, netpkt.Packet{}, fmt.Sprintf("stage %d (%s) end state: %s", si, stages[si].Name, diff))
+		}
+		ft, st := fused.StageTelemetry(si), seq.StageTelemetry(si)
+		if !ft.CountersEqual(st) {
+			res.record(-1, netpkt.Packet{}, fmt.Sprintf("stage %d (%s) telemetry counters diverge:\nfused:      %+v\nsequential: %+v",
+				si, stages[si].Name, ft, st))
+		}
+	}
+	return res, nil
+}
+
+// DiffTestChainSharded replays the workload through the fused chain and
+// an n-shard ShardedChain in lockstep. Shardable chains are flow-
+// partitioned by construction (NewShardedChain rejects allocator-owned
+// state), so outputs compare exactly; per-stage end states compare
+// modulo each stage's classification (merged maps, summed partitioned
+// gauges) via that stage's Equiv relation.
+func DiffTestChainSharded(stages []chain.NamedModel, stimulus []netpkt.Packet, n int) (*ChainDiffResult, error) {
+	fused, err := CompileChain(stages)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := NewShardedChain(stages, n)
+	if err != nil {
+		return nil, err
+	}
+	eqs := make([]*Equiv, len(stages))
+	for si := range stages {
+		eqs[si] = NewEquiv(sh.clss[si], stages[si].Config)
+	}
+	res := &ChainDiffResult{}
+	step := func(i int, pa, pb netpkt.Packet) (*ChainOutput, *ChainOutput, bool) {
+		res.Trials++
+		aOut, aErr := fused.Process(&pa)
+		bOut, bErr := sh.Process(&pb)
+		if (aErr != nil) != (bErr != nil) {
+			res.record(i, pa, fmt.Sprintf("error mismatch: fused=%v sharded=%v", aErr, bErr))
+			return nil, nil, false
+		}
+		if aErr != nil {
+			return nil, nil, false
+		}
+		if diff := compareChainOutputs(aOut, bOut); diff != "" {
+			res.record(i, pa, diff)
+			return nil, nil, false
+		}
+		return aOut, bOut, true
+	}
+	for i := range stimulus {
+		aOut, bOut, ok := step(i, stimulus[i], stimulus[i])
+		if !ok || aOut.Dropped || len(aOut.Sent) == 0 || len(bOut.Sent) == 0 {
+			continue
+		}
+		ra := chainReply(aOut.Sent[0].Pkt, aOut.Sent[0].Iface)
+		rb := chainReply(bOut.Sent[0].Pkt, bOut.Sent[0].Iface)
+		step(i, ra, rb)
+	}
+	for si := range stages {
+		if diff := eqs[si].CompareStates(fused.StageState(si), sh.StageState(si)); diff != "" {
+			res.record(-1, netpkt.Packet{}, fmt.Sprintf("stage %d (%s) end state: %s", si, stages[si].Name, diff))
+		}
+		ft, st := fused.StageTelemetry(si), sh.StageTelemetry(si)
+		if !ft.CountersEqual(st) {
+			res.record(-1, netpkt.Packet{}, fmt.Sprintf("stage %d (%s) telemetry counters diverge:\nfused:   %+v\nsharded: %+v",
+				si, stages[si].Name, ft, st))
+		}
+	}
+	return res, nil
+}
+
+// chainReply builds the answer an emitted packet would provoke:
+// endpoints swapped, arriving back on the interface it left through
+// (the same closed-loop convention core.DiffTestSharded uses).
+func chainReply(p netpkt.Packet, iface string) netpkt.Packet {
+	p.SrcIP, p.DstIP = p.DstIP, p.SrcIP
+	p.SrcPort, p.DstPort = p.DstPort, p.SrcPort
+	p.Flags = "A"
+	p.InIface = iface
+	return p
+}
+
+// compareChainOutputs demands exact agreement: per-stage fired entries,
+// drop verdict, and the emitted packet sequence.
+func compareChainOutputs(a, b *ChainOutput) string {
+	if a.Dropped != b.Dropped {
+		return fmt.Sprintf("verdict: dropped=%v vs %v", a.Dropped, b.Dropped)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		return fmt.Sprintf("stage count: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for si := range a.Entries {
+		if a.Entries[si] != b.Entries[si] {
+			return fmt.Sprintf("stage %d fired entry %d vs %d", si, a.Entries[si], b.Entries[si])
+		}
+	}
+	if len(a.Sent) != len(b.Sent) {
+		return fmt.Sprintf("sent %d packets vs %d", len(a.Sent), len(b.Sent))
+	}
+	for i := range a.Sent {
+		if a.Sent[i].Iface != b.Sent[i].Iface {
+			return fmt.Sprintf("sent[%d] iface %q vs %q", i, a.Sent[i].Iface, b.Sent[i].Iface)
+		}
+		if !netpkt.Equal(a.Sent[i].Pkt, b.Sent[i].Pkt) {
+			return fmt.Sprintf("sent[%d]: %s vs %s", i, a.Sent[i].Pkt, b.Sent[i].Pkt)
+		}
+	}
+	return ""
+}
+
+// equalStates compares two state maps for exact value equality.
+func equalStates(a, b map[string]value.Value) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d variables vs %d", len(a), len(b))
+	}
+	names := make([]string, 0, len(a))
+	for k := range a {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		bv, ok := b[k]
+		if !ok {
+			return fmt.Sprintf("variable %q missing on one side", k)
+		}
+		if !value.Equal(a[k], bv) {
+			return fmt.Sprintf("%s: %s vs %s", k, a[k], bv)
+		}
+	}
+	return ""
+}

@@ -123,6 +123,7 @@ type demand struct {
 	fields []string // demandFlow: key field names, sorted
 	owner  string   // demandOwner: packet field carrying the allocator value
 	alloc  string   // demandOwner: the allocator variable
+	src    string   // the state variable the demand comes from (diagnostics only; not part of equal)
 }
 
 func (d demand) equal(o demand) bool {
@@ -693,7 +694,7 @@ func accessDemand(name string, vc *VarClass, a access) (demand, error) {
 		if !ok {
 			return demand{}, blockVar(name, "map %q: entry %d key is not packet-pure", name, a.entry)
 		}
-		return demand{kind: demandFlow, fields: fields}, nil
+		return demand{kind: demandFlow, fields: fields, src: name}, nil
 	case ClassOwnedMap:
 		if a.write {
 			// The written key carries the shard's own allocator value:
@@ -704,7 +705,7 @@ func accessDemand(name string, vc *VarClass, a access) (demand, error) {
 		if err != nil {
 			return demand{}, err
 		}
-		return demand{kind: demandOwner, owner: f, alloc: vc.Alloc}, nil
+		return demand{kind: demandOwner, owner: f, alloc: vc.Alloc, src: name}, nil
 	}
 	return demand{}, nil
 }

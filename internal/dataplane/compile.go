@@ -135,12 +135,17 @@ type compiler struct {
 	// lutIdx assigns one per-packet memo slot to each distinct
 	// state-map lookup, keyed by the canonical map|key term encoding.
 	lutIdx map[string]int
+	// lutNS namespaces the lut signatures when several per-stage
+	// compilers share one lutIdx (CompileChain): two stages' identical
+	// lookup terms refer to different state and must not share a memo
+	// slot. Empty for single-model compiles.
+	lutNS string
 }
 
 // lutSlot returns the memo slot for a map/key term pair (one slot per
 // distinct pair, shared by In and Select).
 func (cp *compiler) lutSlot(m, k solver.Term) int {
-	sig := m.Key() + "|" + k.Key()
+	sig := cp.lutNS + m.Key() + "|" + k.Key()
 	if s, ok := cp.lutIdx[sig]; ok {
 		return s
 	}

@@ -537,17 +537,23 @@ func (s *Sharded) resolveHandoff(p *netpkt.Packet, out *Output) error {
 //     mod the cycle length,
 //   - replicas report shard 0's (identical everywhere).
 func (s *Sharded) State() map[string]value.Value {
-	out := s.engines[0].State()
-	if len(s.engines) == 1 {
-		return out
-	}
-	n := int64(len(s.engines))
 	states := make([]map[string]value.Value, len(s.engines))
-	states[0] = out
-	for i := 1; i < len(s.engines); i++ {
+	for i := range s.engines {
 		states[i] = s.engines[i].State()
 	}
-	for name, vc := range s.cls.Vars {
+	return mergeShardStates(s.cls, states)
+}
+
+// mergeShardStates reconstructs the sequential-engine state from the
+// per-shard states, inverting each classification's lowering. states[0]
+// is reused as the output. Shared with ShardedChain (per stage).
+func mergeShardStates(cls *Classification, states []map[string]value.Value) map[string]value.Value {
+	out := states[0]
+	if len(states) == 1 {
+		return out
+	}
+	n := int64(len(states))
+	for name, vc := range cls.Vars {
 		switch vc.Class {
 		case ClassAllocator:
 			var total int64
@@ -577,7 +583,7 @@ func (s *Sharded) State() map[string]value.Value {
 				v := states[i][name]
 				for _, k := range v.Map.Keys() {
 					val, _, _ := v.Map.Get(k)
-					if _, present, _ := dst.Map.Get(k); present && ownerOfKey(k, len(s.engines)) != i {
+					if _, present, _ := dst.Map.Get(k); present && ownerOfKey(k, len(states)) != i {
 						continue
 					}
 					_ = dst.Map.Set(k, val)

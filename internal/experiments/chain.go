@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+// ChainRow is one service chain's fused-data-plane measurement: the
+// fused ChainEngine vs a chain of standalone compiled Engines with
+// materialized hand-offs vs a chain of reference interpreters, on the
+// same warmed trace — after a closed-loop differential pass proved the
+// fused engine equivalent to the sequential reference.
+type ChainRow struct {
+	Chain     string   `json:"chain"`
+	NFs       []string `json:"nfs"`
+	Stages    int      `json:"stages"`
+	Entries   int      `json:"entries"` // live compiled entries across all stages
+	Folded    int      `json:"folded"`  // entries pruned by cross-stage constant folding
+	Shardable bool     `json:"shardable"`
+	TracePkts int      `json:"trace_pkts"`
+
+	InterpNsPkt float64 `json:"interp_ns_pkt"` // chained model.Instance interpreters
+	SeqNsPkt    float64 `json:"seq_ns_pkt"`    // chained compiled Engines, materialized hand-off
+	FusedNsPkt  float64 `json:"fused_ns_pkt"`  // one fused ChainEngine
+
+	SpeedupVsSeq    float64 `json:"speedup_vs_seq"`
+	SpeedupVsInterp float64 `json:"speedup_vs_interp"`
+
+	DiffTrials int `json:"diff_trials"`
+	Mismatches int `json:"mismatches"`
+}
+
+// chainStimulus mixes trusted-side client flows at the corpus LB's
+// service endpoint (they clear the firewall's egress policy and install
+// NAT state), skewed flows, and random/adversarial fuzz — so packets
+// die at every depth of the chain and the flow tables fill.
+func chainStimulus(npkts int, seed int64) []netpkt.Packet {
+	g := workload.New(seed)
+	tr := g.ClientServerTrace("3.3.3.3", 80, npkts/2)
+	for i := range tr {
+		if tr[i].DstPort == 80 {
+			tr[i].InIface = "lan"
+		}
+	}
+	off := len(tr)
+	tr = append(tr, g.SkewedTrace(npkts/4, workload.ZipfOpts{Flows: 32, Churn: 0.05, VIP: "3.3.3.3", Port: 80})...)
+	for i := off; i < len(tr); i++ {
+		tr[i].InIface = "lan"
+	}
+	tr = append(tr, g.RandomTrace(npkts/4)...)
+	return tr
+}
+
+// Chain measures every corpus service chain three ways. Rows run
+// sequentially so the timings are faithful.
+func Chain(npkts int, seed int64, opts Opts) ([]ChainRow, error) {
+	const minDur = 300 * time.Millisecond
+	specs := core.ChainCorpus()
+	rows := make([]ChainRow, 0, len(specs))
+	for _, spec := range specs {
+		stages, err := core.AnalyzeChain(spec.NFs, core.Options{
+			Workers: opts.Workers,
+			Cache:   opts.Cache,
+			Perf:    opts.Perf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		trace := chainStimulus(npkts, seed)
+
+		// Equivalence first: a fused chain that disagrees with the
+		// sequential per-NF deployment is not an optimization.
+		diff, err := dataplane.DiffTestChain(stages, trace)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+
+		fused, err := dataplane.CompileChain(stages)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		seq, err := dataplane.NewSeqChain(stages)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		insts := make([]*model.Instance, len(stages))
+		for si, nm := range stages {
+			if insts[si], err = model.NewInstance(nm.Model, nm.Config, nm.State); err != nil {
+				return nil, fmt.Errorf("%s stage %s: %w", spec.Name, nm.Name, err)
+			}
+		}
+
+		runInterp := func() error {
+			return interpReplay(insts, trace)
+		}
+		runSeq := func() error {
+			for i := range trace {
+				if _, err := seq.Process(&trace[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		outs := make([]dataplane.ChainOutput, len(trace))
+		runFused := func() error {
+			return fused.ProcessBatch(trace, outs)
+		}
+
+		// Warm all three sides: flow state populated, steady allocation.
+		if err := runInterp(); err != nil {
+			return nil, fmt.Errorf("%s interpreter: %w", spec.Name, err)
+		}
+		if err := runSeq(); err != nil {
+			return nil, fmt.Errorf("%s sequential: %w", spec.Name, err)
+		}
+		if err := runFused(); err != nil {
+			return nil, fmt.Errorf("%s fused: %w", spec.Name, err)
+		}
+
+		interpNs, err := timeLoop(runInterp, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s interpreter: %w", spec.Name, err)
+		}
+		seqNs, err := timeLoop(runSeq, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s sequential: %w", spec.Name, err)
+		}
+		fusedNs, err := timeLoop(runFused, len(trace), minDur)
+		if err != nil {
+			return nil, fmt.Errorf("%s fused: %w", spec.Name, err)
+		}
+
+		_, shardErr := dataplane.NewShardedChain(stages, 2)
+		rows = append(rows, ChainRow{
+			Chain:           spec.Name,
+			NFs:             spec.NFs,
+			Stages:          len(stages),
+			Entries:         fused.NumEntries(),
+			Folded:          fused.FoldedEntries(),
+			Shardable:       shardErr == nil,
+			TracePkts:       len(trace),
+			InterpNsPkt:     interpNs,
+			SeqNsPkt:        seqNs,
+			FusedNsPkt:      fusedNs,
+			SpeedupVsSeq:    seqNs / fusedNs,
+			SpeedupVsInterp: interpNs / fusedNs,
+			DiffTrials:      diff.Trials,
+			Mismatches:      diff.Mismatches,
+		})
+	}
+	return rows, nil
+}
+
+// interpReplay runs the trace through chained reference interpreters,
+// the pre-compilation baseline: the same DFS the data planes use, each
+// sent packet value feeding the next stage.
+func interpReplay(insts []*model.Instance, trace []netpkt.Packet) error {
+	for i := range trace {
+		if err := interpStep(insts, 0, trace[i].ToValue()); err != nil {
+			return fmt.Errorf("packet %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func interpStep(insts []*model.Instance, si int, pkt value.Value) error {
+	if si == len(insts) {
+		return nil
+	}
+	out, err := insts[si].Process(pkt)
+	if err != nil {
+		return err
+	}
+	for _, sp := range out.Sent {
+		if err := interpStep(insts, si+1, sp.Pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatChain renders the rows as a table.
+func FormatChain(rows []ChainRow) string {
+	var sb strings.Builder
+	sb.WriteString("Fused chain data plane vs sequential per-NF engines vs chained interpreters\n")
+	sb.WriteString(fmt.Sprintf("%-14s %6s %7s %6s | %13s %12s %12s | %9s %9s | %5s %10s\n",
+		"chain", "stages", "entries", "folded", "interp ns/pkt", "seq ns/pkt", "fused ns/pkt", "vs seq", "vs interp", "shard", "fuzz"))
+	sb.WriteString(strings.Repeat("-", 126) + "\n")
+	for _, r := range rows {
+		fuzz := fmt.Sprintf("%d/%d ok", r.DiffTrials-r.Mismatches, r.DiffTrials)
+		if r.Mismatches > 0 {
+			fuzz = fmt.Sprintf("%d MISMATCH", r.Mismatches)
+		}
+		shard := "no"
+		if r.Shardable {
+			shard = "yes"
+		}
+		sb.WriteString(fmt.Sprintf("%-14s %6d %7d %6d | %13.0f %12.0f %12.0f | %8.1fx %8.1fx | %5s %10s\n",
+			r.Chain, r.Stages, r.Entries, r.Folded,
+			r.InterpNsPkt, r.SeqNsPkt, r.FusedNsPkt, r.SpeedupVsSeq, r.SpeedupVsInterp, shard, fuzz))
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+	"nfactor/internal/verify"
+)
+
+// Chain runs the chain-level pass (NFL3xx) over an ordered service
+// chain: which model entries are cross-NF dead — unreachable by any
+// injected traffic once the upstream NFs' forwarding entries and header
+// rewrites are composed in front of them? Each dead entry yields an
+// NFL301 warning; the pass is solver-checked both ways, so entries it
+// stays silent about have a concrete feasibility witness (the upstream
+// entry choice plus the constraint on the injected packet).
+//
+// Deadness is relative to the chain order: the same entry can be live
+// standalone (NFL101 finds truly shadowed entries) and dead behind a
+// firewall that only forwards a handful of ports. Config maps and
+// scalars are concrete in the models, so the composition decides
+// membership tests against them exactly; NF state stays symbolic —
+// entries needing particular upstream state are treated as reachable
+// (conservative: no false dead reports).
+func Chain(stages []chain.NamedModel, extra []solver.Term) []Diagnostic {
+	hops := make([]verify.Hop, len(stages))
+	for i, nm := range stages {
+		hops[i] = verify.Hop{Name: nm.Name, Model: nm.Model, Config: nm.Config}
+	}
+	reach, err := verify.ChainEntryReach(hops, extra)
+	if err != nil {
+		return []Diagnostic{{
+			Code: CodePipeline, Severity: SevError, Entry: -1,
+			Message: fmt.Sprintf("chain composition failed: %v", err),
+		}}
+	}
+	names := make([]string, len(hops))
+	for i, h := range hops {
+		names[i] = h.Name
+	}
+	order := strings.Join(names, " > ")
+	var out []Diagnostic
+	for hi, h := range hops {
+		for ei := range h.Model.Entries {
+			if reach[hi][ei] != nil {
+				continue
+			}
+			e := &h.Model.Entries[ei]
+			d := Diagnostic{
+				Code: CodeChainDead, Severity: SevWarning, NF: h.Name, Entry: ei,
+				Message: fmt.Sprintf("entry %d (%s) can never fire in chain %s: no injected traffic reaches hop %d with this guard satisfiable",
+					ei, entryVerdict(e), order, hi),
+			}
+			if hi == 0 {
+				if len(extra) == 0 {
+					// Dead at the first hop means dead standalone — point
+					// at the single-model pass.
+					d.Related = append(d.Related, Related{Message: "dead at hop 0: the guard is unsatisfiable on its own (see NFL101)"})
+				} else {
+					d.Related = append(d.Related, Related{Message: "dead at hop 0 under the injected traffic-class restriction"})
+				}
+			} else {
+				d.Related = append(d.Related, Related{
+					Message: fmt.Sprintf("upstream %s forwards only packet classes this guard excludes; reorder the chain or widen the upstream policy if the entry should be live",
+						strings.Join(names[:hi], " > ")),
+				})
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// entryVerdict summarizes what an entry does, for the diagnostic text.
+func entryVerdict(e *model.Entry) string {
+	if e.Dropped() {
+		return "drop"
+	}
+	if len(e.Sends) > 1 {
+		return fmt.Sprintf("%d sends", len(e.Sends))
+	}
+	return "forward"
+}

@@ -1,0 +1,267 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/core"
+	"nfactor/internal/lint"
+	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+)
+
+func chainStages(t *testing.T, names ...string) []chain.NamedModel {
+	t.Helper()
+	stages := make([]chain.NamedModel, len(names))
+	for i, name := range names {
+		nm, err := analyzeCorpus(t, name).Named()
+		if err != nil {
+			t.Fatalf("named %s: %v", name, err)
+		}
+		stages[i] = nm
+	}
+	return stages
+}
+
+// lanOnly restricts the injected traffic class to the firewall's
+// trusted side. Without it the firewall's reverse path (established
+// connections arriving from the WAN, any port) keeps every downstream
+// entry reachable — which is the conservatively correct answer, just
+// not the interesting one.
+func lanOnly() []solver.Term {
+	return []solver.Term{solver.Bin{
+		Op: "==",
+		X:  solver.Var{Name: "pkt.in_iface"},
+		Y:  solver.Const{V: value.Str("lan")},
+	}}
+}
+
+// TestChainDeadBehindFirewall is NFL301's flagship case: for LAN-side
+// traffic the firewall forwards only its egress policy ports
+// (80/443/53/22), so snortlite's rule-table alerts — telnet, SMB, RDP,
+// all on other ports — can never fire behind it. Standalone, those
+// entries are live (NFL101 stays silent); the deadness exists only in
+// the composition.
+func TestChainDeadBehindFirewall(t *testing.T) {
+	diags := lint.Chain(chainStages(t, "firewall", "snortlite"), lanOnly())
+	if len(diags) == 0 {
+		t.Fatalf("no NFL301 diagnostics: snortlite's rule alerts are unreachable behind the firewall's egress policy")
+	}
+	var sawIDS bool
+	for _, d := range diags {
+		if d.Code != lint.CodeChainDead {
+			t.Fatalf("unexpected code %s: %s", d.Code, d.Message)
+		}
+		switch d.NF {
+		case "snortlite":
+			sawIDS = true
+		case "firewall":
+			// The firewall's reverse-path entries are dead at hop 0 under
+			// the LAN-only restriction; that must be attributed to the
+			// restriction, not to the upstream prefix.
+			if len(d.Related) == 0 || !strings.Contains(d.Related[0].Message, "restriction") {
+				t.Fatalf("hop-0 dead entry not attributed to the traffic-class restriction: %+v", d)
+			}
+		default:
+			t.Fatalf("diagnostic for unexpected NF %q: %s", d.NF, d.Message)
+		}
+	}
+	if !sawIDS {
+		t.Fatalf("no dead snortlite entry reported; got %d diagnostics for other NFs", len(diags))
+	}
+}
+
+// TestChainDeadUnrestricted pins the conservative default: with no
+// traffic-class restriction the firewall's reverse path admits any
+// port, so the only snortlite entries reported dead are the ones that
+// are config-dead standalone (mode="IPS" grounds out the alert-only
+// branches; SYN_LIMIT kills the impossible first-SYN flood) — nothing
+// becomes dead through the composition itself.
+func TestChainDeadUnrestricted(t *testing.T) {
+	configDead := map[int]bool{}
+	for _, d := range lint.Chain(chainStages(t, "snortlite"), nil) {
+		configDead[d.Entry] = true
+	}
+	for _, d := range lint.Chain(chainStages(t, "firewall", "snortlite"), nil) {
+		if d.NF == "snortlite" && !configDead[d.Entry] {
+			t.Fatalf("snortlite entry %d reported dead without a traffic-class restriction; the reverse path keeps it reachable: %s", d.Entry, d.Message)
+		}
+	}
+}
+
+// TestChainDeadWitnessSide checks the feasible side is solver-witnessed:
+// entries NOT reported dead have a concrete reachability witness whose
+// hop-0 entry is a real forwarding entry of the first NF.
+func TestChainDeadWitnessSide(t *testing.T) {
+	stages := chainStages(t, "firewall", "snortlite")
+	hops := make([]verify.Hop, len(stages))
+	for i, nm := range stages {
+		hops[i] = verify.Hop{Name: nm.Name, Model: nm.Model, Config: nm.Config}
+	}
+	extra := lanOnly()
+	reach, err := verify.ChainEntryReach(hops, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{}
+	for _, d := range lint.Chain(stages, extra) {
+		if d.NF == "snortlite" {
+			dead[d.Entry] = true
+		}
+	}
+	anyLive := false
+	for ei, w := range reach[1] {
+		if dead[ei] {
+			if w != nil {
+				t.Fatalf("entry %d reported dead but has witness %s", ei, w)
+			}
+			continue
+		}
+		if w == nil {
+			t.Fatalf("entry %d not reported dead but has no witness", ei)
+		}
+		anyLive = true
+		if len(w.Entries) != 2 {
+			t.Fatalf("entry %d witness spans %d hops, want 2: %s", ei, len(w.Entries), w)
+		}
+		fw := hops[0].Model
+		if e := &fw.Entries[w.Entries[0]]; len(e.Sends) == 0 {
+			t.Fatalf("entry %d witness routes through firewall drop entry %d", ei, w.Entries[0])
+		}
+	}
+	if !anyLive {
+		t.Fatalf("every snortlite entry reported dead; the pass-through path must stay live")
+	}
+}
+
+// TestChainDeadOrderSensitivity pins deadness to the order: with
+// snortlite in front of the firewall it sees the raw LAN traffic, so
+// the rule alerts that were dead behind the firewall come back to life.
+func TestChainDeadOrderSensitivity(t *testing.T) {
+	extra := lanOnly()
+	behind := map[int]bool{}
+	for _, d := range lint.Chain(chainStages(t, "firewall", "snortlite"), extra) {
+		if d.NF == "snortlite" {
+			behind[d.Entry] = true
+		}
+	}
+	if len(behind) == 0 {
+		t.Fatalf("no snortlite entries dead behind the firewall; nothing to compare")
+	}
+	front := map[int]bool{}
+	for _, d := range lint.Chain(chainStages(t, "snortlite", "firewall"), extra) {
+		if d.NF == "snortlite" {
+			front[d.Entry] = true
+		}
+	}
+	revived := 0
+	for ei := range behind {
+		if !front[ei] {
+			revived++
+		}
+	}
+	if revived == 0 {
+		t.Fatalf("reordering did not revive any snortlite entry: behind=%v front=%v", behind, front)
+	}
+	// Entries dead even at hop 0 are dead standalone (or excluded by the
+	// restriction), never an artifact of the composition.
+	for ei := range front {
+		if !behind[ei] {
+			t.Fatalf("entry %d dead only when snortlite is FIRST — order sensitivity inverted", ei)
+		}
+	}
+}
+
+// TestChainDeadNoRestriction exercises the composition-only case with
+// no extra constraint: a normalizer that pins dport to 80 makes the
+// router's non-web branch dead, purely through the constant-rewrite
+// composition.
+func TestChainDeadNoRestriction(t *testing.T) {
+	const normSrc = `
+OUT = "mid";
+rewritten_stat = 0;
+func process(pkt) {
+    pkt.dport = 80;
+    rewritten_stat = rewritten_stat + 1;
+    send(pkt, OUT);
+}
+`
+	const routeSrc = `
+WEB_IFACE = "web";
+OTHER_IFACE = "other";
+web_stat = 0;
+other_stat = 0;
+func process(pkt) {
+    if pkt.dport == 80 {
+        web_stat = web_stat + 1;
+        send(pkt, WEB_IFACE);
+    } else {
+        other_stat = other_stat + 1;
+        send(pkt, OTHER_IFACE);
+    }
+}
+`
+	load := func(name, src string) chain.NamedModel {
+		nf, err := nfs.FromSource(name, src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		an, err := core.Analyze(name, nf.Prog, core.Options{})
+		if err != nil {
+			t.Fatalf("analyze %s: %v", name, err)
+		}
+		nm, err := an.Named()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nm
+	}
+	diags := lint.Chain([]chain.NamedModel{load("norm", normSrc), load("route", routeSrc)}, nil)
+	var sawOther bool
+	for _, d := range diags {
+		if d.Code != lint.CodeChainDead {
+			t.Fatalf("unexpected code %s: %s", d.Code, d.Message)
+		}
+		if d.NF == "norm" {
+			t.Fatalf("norm is the first hop and unconditional; entry %d cannot be dead: %s", d.Entry, d.Message)
+		}
+		if d.NF == "route" {
+			sawOther = true
+		}
+	}
+	if !sawOther {
+		t.Fatalf("route's non-web branch not reported dead behind the dport-80 normalizer")
+	}
+}
+
+// TestChainDiagnosticShape checks the rendering contract: NFL301
+// warnings name the chain order and the upstream prefix.
+func TestChainDiagnosticShape(t *testing.T) {
+	diags := lint.Chain(chainStages(t, "firewall", "snortlite"), lanOnly())
+	if len(diags) == 0 {
+		t.Skip("no diagnostics to check")
+	}
+	var d lint.Diagnostic
+	var found bool
+	for _, cand := range diags {
+		if cand.NF == "snortlite" {
+			d, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no snortlite diagnostic to check")
+	}
+	if d.Severity != lint.SevWarning {
+		t.Fatalf("severity %s, want warning", d.Severity)
+	}
+	if !strings.Contains(d.Message, "firewall > snortlite") {
+		t.Fatalf("message does not name the chain order: %s", d.Message)
+	}
+	if len(d.Related) == 0 || !strings.Contains(d.Related[0].Message, "firewall") {
+		t.Fatalf("related note does not name the upstream prefix: %+v", d.Related)
+	}
+}

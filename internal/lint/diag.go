@@ -120,6 +120,14 @@ const (
 	// single-core; the message names the blocking variable and why
 	// (informational — the sequential engine is still correct).
 	CodeShardBlocked Code = "NFL201"
+	// CodeChainDead: given a service-chain order (nflint -chain a,b,c),
+	// a model entry can never fire — no injected traffic survives the
+	// upstream NFs' forwarding entries and their header rewrites with
+	// this entry's guard still satisfiable. Solver-checked over the
+	// symbolic chain composition; reachable entries carry a witness on
+	// the feasible side. NFL3xx codes are chain-level: properties of an
+	// NF composition, not of any single model.
+	CodeChainDead Code = "NFL301"
 )
 
 // Related is a secondary note attached to a diagnostic (a second

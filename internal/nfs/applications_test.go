@@ -1,8 +1,10 @@
-package nfs
+package nfs_test
 
 import (
 	"strings"
 	"testing"
+
+	"nfactor/internal/nfs"
 
 	"nfactor/internal/core"
 	"nfactor/internal/model"
@@ -15,7 +17,7 @@ import (
 // explicit: ∅ → SYN_RCVD → ESTABLISHED, the diagram the paper's §2.4
 // says testing tools like BUZZ build from the state transition logic.
 func TestBalanceTCPStateMachine(t *testing.T) {
-	nf := MustLoad("balance")
+	nf := nfs.MustLoad("balance")
 	an, err := core.Analyze("balance", nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +64,7 @@ func TestBalanceTCPStateMachine(t *testing.T) {
 // the solver-backed comparator proves them equivalent to NFactor's
 // synthesized output.
 func TestFirewallMatchesHandWrittenModel(t *testing.T) {
-	nf := MustLoad("firewall")
+	nf := nfs.MustLoad("firewall")
 	an, err := core.Analyze("firewall", nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +130,7 @@ func TestFirewallMatchesHandWrittenModel(t *testing.T) {
 // entry carries two packet actions (tap copy + forward) and that the
 // model executes both.
 func TestMirrorMultiSendPath(t *testing.T) {
-	nf := MustLoad("mirror")
+	nf := nfs.MustLoad("mirror")
 	an, err := core.Analyze("mirror", nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +181,7 @@ func TestMirrorMultiSendPath(t *testing.T) {
 // TestRatelimitInterproceduralModel checks the helper-function NF: the
 // inlined pipeline must produce a model whose counting logic works.
 func TestRatelimitInterproceduralModel(t *testing.T) {
-	nf := MustLoad("ratelimit")
+	nf := nfs.MustLoad("ratelimit")
 	an, err := core.Analyze("ratelimit", nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +220,7 @@ func TestRatelimitInterproceduralModel(t *testing.T) {
 // drop even its clean traffic — state flowing across invocations through
 // two coupled maps.
 func TestDPIQuarantineAcrossInvocations(t *testing.T) {
-	nf := MustLoad("dpi")
+	nf := nfs.MustLoad("dpi")
 	an, err := core.Analyze("dpi", nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -294,7 +296,7 @@ func TestDPIQuarantineAcrossInvocations(t *testing.T) {
 // TestDPIDiffTestRepeatOffender replays the exact cross-invocation
 // scenario through program and model side by side.
 func TestDPIDiffTestRepeatOffender(t *testing.T) {
-	nf := MustLoad("dpi")
+	nf := nfs.MustLoad("dpi")
 	opts := core.Options{}
 	an, err := core.Analyze("dpi", nf.Prog, opts)
 	if err != nil {

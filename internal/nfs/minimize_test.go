@@ -1,7 +1,9 @@
-package nfs
+package nfs_test
 
 import (
 	"testing"
+
+	"nfactor/internal/nfs"
 
 	"nfactor/internal/core"
 	"nfactor/internal/interp"
@@ -9,7 +11,7 @@ import (
 	"nfactor/internal/workload"
 )
 
-func newCorpusInterp(nf *NF) (*interp.Interp, error) {
+func newCorpusInterp(nf *nfs.NF) (*interp.Interp, error) {
 	return interp.New(nf.Prog, "process", interp.Options{})
 }
 
@@ -17,10 +19,10 @@ func newCorpusInterp(nf *NF) (*interp.Interp, error) {
 // behaviour: the minimized model must still agree with the original
 // program on random traffic and cover all original entries.
 func TestMinimizeCorpusModelsPreserveBehaviour(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range nfs.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			nf := MustLoad(name)
+			nf := nfs.MustLoad(name)
 			opts := core.Options{}
 			an, err := core.Analyze(name, nf.Prog, opts)
 			if err != nil {
@@ -75,7 +77,7 @@ func TestMinimizeMergesBehaviourallyEqualPaths(t *testing.T) {
 	// Both arms perform the same packet action, so the two paths differ
 	// only in their (complementary) guard. The static slicer keeps the
 	// branch (it writes an output field); minimization folds it.
-	nf, err := FromSource("equalarms", `
+	nf, err := nfs.FromSource("equalarms", `
 func process(pkt) {
     if pkt.ttl > 10 {
         pkt.mark = 1;
@@ -105,7 +107,7 @@ func process(pkt) {
 
 // Minimization is idempotent and stable on an already-minimal model.
 func TestMinimizeIdempotent(t *testing.T) {
-	nf := MustLoad("snortlite")
+	nf := nfs.MustLoad("snortlite")
 	an, err := core.Analyze("snortlite", nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)

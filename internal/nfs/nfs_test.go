@@ -1,8 +1,10 @@
-package nfs
+package nfs_test
 
 import (
 	"strings"
 	"testing"
+
+	"nfactor/internal/nfs"
 
 	"nfactor/internal/core"
 	"nfactor/internal/lang"
@@ -13,7 +15,7 @@ import (
 )
 
 func TestNamesListsCorpus(t *testing.T) {
-	names := Names()
+	names := nfs.Names()
 	want := []string{"balance", "dpi", "firewall", "lb", "mirror", "nat", "ratelimit", "snortlite"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
@@ -26,8 +28,8 @@ func TestNamesListsCorpus(t *testing.T) {
 }
 
 func TestLoadAllParsesAndNormalizes(t *testing.T) {
-	for _, name := range Names() {
-		nf, err := Load(name)
+	for _, name := range nfs.Names() {
+		nf, err := nfs.Load(name)
 		if err != nil {
 			t.Errorf("Load(%s): %v", name, err)
 			continue
@@ -42,7 +44,7 @@ func TestLoadAllParsesAndNormalizes(t *testing.T) {
 }
 
 func TestBalanceIsNestedLoop(t *testing.T) {
-	nf := MustLoad("balance")
+	nf := nfs.MustLoad("balance")
 	if nf.Kind != normalize.KindNestedLoop {
 		t.Errorf("balance kind = %v", nf.Kind)
 	}
@@ -53,18 +55,18 @@ func TestBalanceIsNestedLoop(t *testing.T) {
 }
 
 func TestLoadUnknown(t *testing.T) {
-	if _, err := Load("doesnotexist"); err == nil {
-		t.Error("unknown NF did not error")
+	if _, err := nfs.Load("doesnotexist"); err == nil {
+		t.Error("unknown nfs.NF did not error")
 	}
 }
 
-// Every corpus NF must survive the full pipeline and pass the accuracy
+// Every corpus nfs.NF must survive the full pipeline and pass the accuracy
 // checks — the paper's §5 methodology applied corpus-wide.
 func TestPipelineOverCorpus(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range nfs.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			nf := MustLoad(name)
+			nf := nfs.MustLoad(name)
 			opts := core.Options{MaxPaths: 2048}
 			an, err := core.Analyze(nf.Name, nf.Prog, opts)
 			if err != nil {
@@ -74,7 +76,7 @@ func TestPipelineOverCorpus(t *testing.T) {
 				t.Fatal("empty model")
 			}
 			// The slice is never larger than the analyzed program; it is
-			// strictly smaller whenever the NF has log/failure-handling
+			// strictly smaller whenever the nfs.NF has log/failure-handling
 			// code (balance's unfolded form is already minimal).
 			if an.Metrics.LoCSlice > an.Metrics.LoCOrig {
 				t.Errorf("slice LoC %d > orig LoC %d", an.Metrics.LoCSlice, an.Metrics.LoCOrig)
@@ -102,7 +104,7 @@ func TestPipelineOverCorpus(t *testing.T) {
 }
 
 func TestSnortliteOrigPathExplosion(t *testing.T) {
-	nf := MustLoad("snortlite")
+	nf := nfs.MustLoad("snortlite")
 	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{MaxPaths: 1024, MeasureOriginal: true})
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +125,7 @@ func TestSnortliteOrigPathExplosion(t *testing.T) {
 }
 
 func TestSnortliteIDSvsIPSMode(t *testing.T) {
-	nf := MustLoad("snortlite")
+	nf := nfs.MustLoad("snortlite")
 	// In IDS mode a rule hit still forwards; in IPS mode it drops.
 	mk := func(mode string) *core.Analysis {
 		an, err := core.Analyze(nf.Name, nf.Prog, core.Options{
@@ -151,7 +153,7 @@ func TestSnortliteIDSvsIPSMode(t *testing.T) {
 }
 
 func TestBalanceFigure6Shape(t *testing.T) {
-	nf := MustLoad("balance")
+	nf := nfs.MustLoad("balance")
 	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +176,7 @@ func TestBalanceFigure6Shape(t *testing.T) {
 }
 
 func TestFirewallModelBlocksUnsolicitedInbound(t *testing.T) {
-	nf := MustLoad("firewall")
+	nf := nfs.MustLoad("firewall")
 	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +222,7 @@ func TestFirewallModelBlocksUnsolicitedInbound(t *testing.T) {
 }
 
 func TestNATModelTranslatesAndReverses(t *testing.T) {
-	nf := MustLoad("nat")
+	nf := nfs.MustLoad("nat")
 	an, err := core.Analyze(nf.Name, nf.Prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)

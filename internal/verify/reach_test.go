@@ -1,7 +1,9 @@
-package verify
+package verify_test
 
 import (
 	"testing"
+
+	"nfactor/internal/verify"
 
 	"nfactor/internal/solver"
 	"nfactor/internal/value"
@@ -43,7 +45,7 @@ func TestFirewallInboundAllowNeedsTwoSteps(t *testing.T) {
 	})
 
 	// One packet cannot fire it: conns starts empty.
-	res, err := EntryReachable(m, target, state, 1)
+	res, err := verify.EntryReachable(m, target, state, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestFirewallInboundAllowNeedsTwoSteps(t *testing.T) {
 	}
 
 	// Two packets can: an outbound packet installs the flow first.
-	res, err = EntryReachable(m, target, state, 2)
+	res, err = verify.EntryReachable(m, target, state, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,14 +96,14 @@ func TestLBExistingConnectionNeedsPriorFlow(t *testing.T) {
 		return false
 	})
 
-	res, err := EntryReachable(m, target, state, 1)
+	res, err := verify.EntryReachable(m, target, state, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Reachable {
 		t.Errorf("existing-connection entry reachable with empty NAT table: %s", res)
 	}
-	res, err = EntryReachable(m, target, state, 2)
+	res, err = verify.EntryReachable(m, target, state, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestEveryNonConfigGatedEntryEventuallyReachable(t *testing.T) {
 	}
 	unreachable := 0
 	for i := range m.Entries {
-		res, err := EntryReachable(m, i, state, 2)
+		res, err := verify.EntryReachable(m, i, state, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,10 +145,10 @@ func TestEntryReachableErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EntryReachable(an.Model, 999, state, 1); err == nil {
+	if _, err := verify.EntryReachable(an.Model, 999, state, 1); err == nil {
 		t.Error("out-of-range entry did not error")
 	}
-	if _, err := EntryReachable(an.Model, 0, map[string]value.Value{}, 1); err == nil {
+	if _, err := verify.EntryReachable(an.Model, 0, map[string]value.Value{}, 1); err == nil {
 		t.Error("missing initial state did not error")
 	}
 }

@@ -1,7 +1,9 @@
-package verify
+package verify_test
 
 import (
 	"testing"
+
+	"nfactor/internal/verify"
 
 	"nfactor/internal/value"
 )
@@ -21,7 +23,7 @@ func TestFullServiceChainTopology(t *testing.T) {
 	ids := instance(t, analyzed(t, "snortlite"))
 	lb := instance(t, analyzed(t, "lb"))
 
-	net := NewNetwork()
+	net := verify.NewNetwork()
 	net.AddHost("backend1")
 	net.AddHost("backend2")
 	net.AddHost("blackhole")

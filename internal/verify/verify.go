@@ -27,9 +27,15 @@ import (
 )
 
 // Hop is one NF in a service chain, with a namespace for its state.
+// Config, when set, supplies the NF's concrete configuration values:
+// chain-level passes ground config variables per hop before composing
+// guards, both for precision (comparisons against config constants
+// fold) and for correctness (two hops may use the same config name with
+// different values; grounding keeps them independent).
 type Hop struct {
-	Name  string
-	Model *model.Model
+	Name   string
+	Model  *model.Model
+	Config map[string]value.Value
 }
 
 // Witness is a feasible end-to-end path through a chain: the entry chosen
@@ -109,6 +115,224 @@ func ChainReachable(hops []Hop, extra []solver.Term) ([]Witness, error) {
 	}
 	rec(0, append([]solver.Term{}, extra...), map[string]solver.Term{}, nil)
 	return out, nil
+}
+
+// ChainEntryReach decides, for every (hop, entry) pair, whether any injected
+// traffic satisfying extra can drive the chain so that the entry fires:
+// some choice of forwarding entries at the upstream hops rewrites the
+// header into the entry's guard satisfiably. Reachable entries carry a
+// witness — the upstream entry indices plus the constraint on the
+// injected packet (the feasible side); a nil slot is a solver-checked
+// cross-NF dead entry under this chain order. Unlike ChainReachable,
+// drop entries are judged too (they just contribute no downstream
+// traffic).
+func ChainEntryReach(hops []Hop, extra []solver.Term) ([][]*Witness, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("verify: empty chain")
+	}
+	reach := make([][]*Witness, len(hops))
+	for i, h := range hops {
+		reach[i] = make([]*Witness, len(h.Model.Entries))
+	}
+	var rec func(hop int, conds []solver.Term, fields map[string]solver.Term, entries []int)
+	rec = func(hop int, conds []solver.Term, fields map[string]solver.Term, entries []int) {
+		if hop == len(hops) {
+			return
+		}
+		h := hops[hop]
+		ns := fmt.Sprintf("%s#%d", h.Name, hop)
+		for i := range h.Model.Entries {
+			e := &h.Model.Entries[i]
+			next := append([]solver.Term{}, conds...)
+			ok := true
+			for _, g := range e.Guard() {
+				ng := solver.Simplify(groundNamed(substituteFields(namespaceState(groundConfig(g, h.Config), ns), fields)))
+				if b, isB := solver.IsConstBool(ng); isB {
+					if !b {
+						ok = false
+						break
+					}
+					continue
+				}
+				next = append(next, ng)
+			}
+			if !ok || !satSplit(next, maxMemberSplits) {
+				continue
+			}
+			if reach[hop][i] == nil {
+				reach[hop][i] = &Witness{
+					Entries: append(append([]int{}, entries...), i),
+					Conds:   append([]solver.Term{}, next...),
+				}
+			}
+			if e.Dropped() || len(e.Sends) == 0 {
+				continue
+			}
+			send := e.Sends[0]
+			nf := make(map[string]solver.Term, len(fields)+len(send.Fields))
+			for k, v := range fields {
+				nf[k] = v
+			}
+			for f, t := range send.Fields {
+				nf[f] = solver.Simplify(groundNamed(substituteFields(namespaceState(groundConfig(t, h.Config), ns), fields)))
+			}
+			rec(hop+1, next, nf, append(entries, i))
+		}
+	}
+	rec(0, append([]solver.Term{}, extra...), map[string]solver.Term{}, nil)
+	return reach, nil
+}
+
+// groundConfig replaces config variables by the hop's concrete values.
+func groundConfig(t solver.Term, cfg map[string]value.Value) solver.Term {
+	if len(cfg) == 0 {
+		return t
+	}
+	switch x := t.(type) {
+	case solver.Var:
+		if v, ok := cfg[x.Name]; ok {
+			return solver.Const{V: v}
+		}
+		return t
+	case solver.MapVar:
+		if v, ok := cfg[x.Name]; ok {
+			return solver.Const{V: v}
+		}
+		return t
+	case solver.NamedConst:
+		return t // already carries its value; groundNamed folds it
+	case solver.Bin:
+		return solver.Bin{Op: x.Op, X: groundConfig(x.X, cfg), Y: groundConfig(x.Y, cfg)}
+	case solver.Un:
+		return solver.Un{Op: x.Op, X: groundConfig(x.X, cfg)}
+	case solver.Call:
+		args := make([]solver.Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = groundConfig(a, cfg)
+		}
+		return solver.Call{Fn: x.Fn, Args: args}
+	case solver.Tuple:
+		elems := make([]solver.Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = groundConfig(e, cfg)
+		}
+		return solver.Tuple{Elems: elems}
+	case solver.Index:
+		return solver.Index{X: groundConfig(x.X, cfg), I: groundConfig(x.I, cfg)}
+	case solver.Select:
+		return solver.Select{M: groundConfig(x.M, cfg), K: groundConfig(x.K, cfg)}
+	case solver.Store:
+		return solver.Store{M: groundConfig(x.M, cfg), K: groundConfig(x.K, cfg), V: groundConfig(x.V, cfg)}
+	case solver.Del:
+		return solver.Del{M: groundConfig(x.M, cfg), K: groundConfig(x.K, cfg)}
+	case solver.In:
+		return solver.In{K: groundConfig(x.K, cfg), M: groundConfig(x.M, cfg)}
+	default:
+		return t
+	}
+}
+
+// satSplit bounds for the membership case-split: how many positive
+// membership literals may be split, and how large a concrete map may be
+// enumerated. Beyond either bound the check falls back to plain
+// SatConj — conservative toward "satisfiable", i.e. toward reporting an
+// entry reachable.
+const (
+	maxMemberSplits = 6
+	maxMemberDomain = 64
+)
+
+// satSplit decides conjunction satisfiability like solver.SatConj, but
+// finitely case-splits positive membership tests over concrete maps:
+// `K in M` with M a compile-time map is equivalent to the disjunction
+// of K == k over M's keys, which conjunction-level reasoning alone
+// cannot see. This is what lets the chain composition prove, e.g., that
+// a dport constrained into a firewall's egress policy can never also
+// hit an IDS rule table keyed by disjoint ports.
+func satSplit(lits []solver.Term, depth int) bool {
+	if depth > 0 {
+		for i, l := range lits {
+			in, ok := l.(solver.In)
+			if !ok {
+				continue
+			}
+			if _, isC := in.K.(solver.Const); isC {
+				continue // concrete key: Simplify already folded or will
+			}
+			keys, ok := concreteMapKeys(in.M)
+			if !ok || len(keys) > maxMemberDomain {
+				continue
+			}
+			rest := make([]solver.Term, 0, len(lits))
+			rest = append(rest, lits[:i]...)
+			rest = append(rest, lits[i+1:]...)
+			for _, kv := range keys {
+				branch := append(append([]solver.Term{}, rest...),
+					solver.Simplify(solver.Bin{Op: "==", X: in.K, Y: solver.Const{V: kv}}))
+				if satSplit(branch, depth-1) {
+					return true
+				}
+			}
+			return false // every key binding contradicts the rest
+		}
+	}
+	return solver.SatConj(lits)
+}
+
+// groundNamed replaces NamedConst terms by their concrete values so the
+// conjunction checker can fold comparisons against them: a named config
+// constant IS a constant for satisfiability purposes (Simplify keeps
+// the name elsewhere only for provenance in rendered models).
+func groundNamed(t solver.Term) solver.Term {
+	switch x := t.(type) {
+	case solver.NamedConst:
+		return solver.Const{V: x.V}
+	case solver.Bin:
+		return solver.Bin{Op: x.Op, X: groundNamed(x.X), Y: groundNamed(x.Y)}
+	case solver.Un:
+		return solver.Un{Op: x.Op, X: groundNamed(x.X)}
+	case solver.Call:
+		args := make([]solver.Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = groundNamed(a)
+		}
+		return solver.Call{Fn: x.Fn, Args: args}
+	case solver.Tuple:
+		elems := make([]solver.Term, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = groundNamed(e)
+		}
+		return solver.Tuple{Elems: elems}
+	case solver.Index:
+		return solver.Index{X: groundNamed(x.X), I: groundNamed(x.I)}
+	case solver.Select:
+		return solver.Select{M: groundNamed(x.M), K: groundNamed(x.K)}
+	case solver.Store:
+		return solver.Store{M: groundNamed(x.M), K: groundNamed(x.K), V: groundNamed(x.V)}
+	case solver.Del:
+		return solver.Del{M: groundNamed(x.M), K: groundNamed(x.K)}
+	case solver.In:
+		return solver.In{K: groundNamed(x.K), M: groundNamed(x.M)}
+	default:
+		return t
+	}
+}
+
+// concreteMapKeys extracts the key values of a compile-time map term.
+func concreteMapKeys(t solver.Term) ([]value.Value, bool) {
+	var v value.Value
+	switch x := t.(type) {
+	case solver.NamedConst:
+		v = x.V
+	case solver.Const:
+		v = x.V
+	default:
+		return nil, false
+	}
+	if v.Kind != value.KindMap {
+		return nil, false
+	}
+	return v.Map.Keys(), true
 }
 
 // Blocked reports whether no traffic satisfying extra can traverse the

@@ -1,7 +1,9 @@
-package verify
+package verify_test
 
 import (
 	"testing"
+
+	"nfactor/internal/verify"
 
 	"nfactor/internal/core"
 	"nfactor/internal/model"
@@ -39,9 +41,9 @@ func pf(f string) solver.Term { return solver.Var{Name: "pkt." + f} }
 
 func TestChainReachableSnortlitePassClass(t *testing.T) {
 	snort := analyzed(t, "snortlite")
-	hops := []Hop{{Name: "ids", Model: snort.Model}}
+	hops := []verify.Hop{{Name: "ids", Model: snort.Model}}
 	// Benign traffic (port 8080, no SYN) can traverse.
-	ws, err := ChainReachable(hops, []solver.Term{
+	ws, err := verify.ChainReachable(hops, []solver.Term{
 		solver.Bin{Op: "==", X: pf("dport"), Y: iv(8080)},
 		solver.Bin{Op: "==", X: pf("proto"), Y: sv("tcp")},
 	})
@@ -55,9 +57,9 @@ func TestChainReachableSnortlitePassClass(t *testing.T) {
 
 func TestChainBlockedTelnetThroughIPS(t *testing.T) {
 	snort := analyzed(t, "snortlite")
-	hops := []Hop{{Name: "ips", Model: snort.Model}}
+	hops := []verify.Hop{{Name: "ips", Model: snort.Model}}
 	// In IPS mode, telnet (tcp/23) must be blocked end-to-end.
-	blocked, ws, err := Blocked(hops, []solver.Term{
+	blocked, ws, err := verify.Blocked(hops, []solver.Term{
 		solver.Bin{Op: "==", X: pf("dport"), Y: iv(23)},
 		solver.Bin{Op: "==", X: pf("proto"), Y: sv("tcp")},
 		solver.Bin{Op: "==", X: solver.Var{Name: "mode"}, Y: sv("IPS")},
@@ -69,7 +71,7 @@ func TestChainBlockedTelnetThroughIPS(t *testing.T) {
 		t.Errorf("telnet class traverses snortlite in IPS mode: %v", ws)
 	}
 	// In IDS mode it passes (alert only).
-	blocked, _, err = Blocked(hops, []solver.Term{
+	blocked, _, err = verify.Blocked(hops, []solver.Term{
 		solver.Bin{Op: "==", X: pf("dport"), Y: iv(23)},
 		solver.Bin{Op: "==", X: pf("proto"), Y: sv("tcp")},
 		solver.Bin{Op: "==", X: solver.Var{Name: "mode"}, Y: sv("IDS")},
@@ -92,11 +94,11 @@ func TestChainOrderingLBBeforeIDSHidesPorts(t *testing.T) {
 	// LB (the LB only ever emits dport 80 traffic for client flows).
 	lb := analyzed(t, "lb")
 	snort := analyzed(t, "snortlite")
-	hops := []Hop{
+	hops := []verify.Hop{
 		{Name: "lb", Model: lb.Model},
 		{Name: "ids", Model: snort.Model},
 	}
-	ws, err := ChainReachable(hops, []solver.Term{
+	ws, err := verify.ChainReachable(hops, []solver.Term{
 		solver.Bin{Op: "==", X: pf("proto"), Y: sv("tcp")},
 	})
 	if err != nil {
@@ -122,7 +124,7 @@ func TestNetworkSimulationFirewall(t *testing.T) {
 	fw := analyzed(t, "firewall")
 	inst := instance(t, fw)
 
-	net := NewNetwork()
+	net := verify.NewNetwork()
 	net.AddHost("inside")
 	net.AddHost("outside")
 	net.AddNF("fw", inst)
@@ -170,7 +172,7 @@ func TestNetworkSimulationFirewall(t *testing.T) {
 }
 
 func TestNetworkSwitchForwarding(t *testing.T) {
-	net := NewNetwork()
+	net := verify.NewNetwork()
 	net.AddHost("a")
 	net.AddHost("b")
 	net.AddSwitch("sw", map[string]string{"10.0.0.1": "p1", "10.0.0.2": "p2"})
@@ -198,7 +200,7 @@ func TestNetworkSwitchForwarding(t *testing.T) {
 }
 
 func TestNetworkErrors(t *testing.T) {
-	net := NewNetwork()
+	net := verify.NewNetwork()
 	net.AddHost("a")
 	if err := net.Link("a", "x", "nope"); err == nil {
 		t.Error("link to unknown node did not error")
@@ -209,7 +211,7 @@ func TestNetworkErrors(t *testing.T) {
 	if _, err := net.Delivered("nope"); err == nil {
 		t.Error("delivered of unknown node did not error")
 	}
-	if _, err := ChainReachable(nil, nil); err == nil {
+	if _, err := verify.ChainReachable(nil, nil); err == nil {
 		t.Error("empty chain did not error")
 	}
 }
@@ -219,7 +221,7 @@ func TestSymbolicAgreesWithConcrete(t *testing.T) {
 	// concrete simulation.
 	snort := analyzed(t, "snortlite")
 	inst := instance(t, snort)
-	net := NewNetwork()
+	net := verify.NewNetwork()
 	net.AddHost("server")
 	net.AddNF("ips", inst)
 	_ = net.Link("ips", "eth1", "server")
