@@ -7,9 +7,9 @@ GO ?= go
 # covers these.
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments \
-             ./internal/trace ./internal/dataplane
+             ./internal/trace ./internal/dataplane ./internal/serve
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace alloc vet lint fuzz trace
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace alloc vet lint fuzz trace serve
 
 all: check
 
@@ -35,6 +35,14 @@ lint:
 # internal/lang/testdata/fuzz and become regression seeds).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang
+
+# Live serving smoke: 10k synthetic packets through the firewall with
+# one gated hot swap under load. Verdicts go to stdout (discarded);
+# the summary line on stderr must report the swap applied with no
+# blocked swaps and no per-packet consistency violations.
+serve:
+	$(GO) run ./cmd/nfreplay -corpus firewall -serve -gen 10000 \
+	    -swap-after 5000 -swap-allow-change > /dev/null
 
 # The steady-state allocation regressions in isolation: AllocsPerRun
 # must report 0 allocs/packet with telemetry attached.

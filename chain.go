@@ -1,0 +1,136 @@
+package nfactor
+
+import (
+	"fmt"
+	"runtime"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/serve"
+)
+
+// ChainResult is a composed service chain of analyzed corpus NFs: each
+// stage synthesized independently, then fused (or sharded) into one
+// data plane. It satisfies the same Replayer/Explainer facade as a
+// single Result, so replay loops, telemetry consumers and the serving
+// daemon treat chains and single NFs uniformly.
+type ChainResult struct {
+	names  []string
+	stages []chain.NamedModel
+}
+
+// AnalyzeChain synthesizes every named corpus NF and composes them in
+// order. See ChainCorpusNames for the validated chain specs.
+func AnalyzeChain(names []string, opts Options) (*ChainResult, error) {
+	stages, err := core.AnalyzeChain(names, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &ChainResult{names: append([]string(nil), names...), stages: stages}, nil
+}
+
+// Names returns the stage NF names in chain order.
+func (c *ChainResult) Names() []string { return append([]string(nil), c.names...) }
+
+// Replayer builds the unified replay surface over the chain.
+// BackendCompiled fuses the chain into one ChainEngine; BackendSharded
+// flow-partitions the fused chain across GOMAXPROCS shards (use
+// ShardedReplayer for an explicit count). The program and model
+// backends have no chain composition and error.
+func (c *ChainResult) Replayer(b Backend) (Replayer, error) {
+	switch b {
+	case BackendCompiled:
+		eng, err := dataplane.CompileChain(c.stages)
+		if err != nil {
+			return nil, err
+		}
+		return &chainReplayer{eng: eng}, nil
+	case BackendSharded:
+		return c.ShardedReplayer(runtime.GOMAXPROCS(0))
+	default:
+		return nil, fmt.Errorf("nfactor: chain replayer supports BackendCompiled and BackendSharded, got %v", b)
+	}
+}
+
+// ShardedReplayer is Replayer(BackendSharded) with an explicit shard
+// count.
+func (c *ChainResult) ShardedReplayer(shards int) (Replayer, error) {
+	sh, err := dataplane.NewShardedChain(c.stages, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &chainReplayer{eng: sh}, nil
+}
+
+// DiffTest replays a stimulus through the fused chain and the
+// stage-by-stage reference engines in lockstep (the fused-chain
+// equivalence gate). A nil trace generates 1000 random packets.
+func (c *ChainResult) DiffTest(trace []Packet) (mismatches int, firstDiff string, err error) {
+	if trace == nil {
+		trace = RandomTrace(1000, 0)
+	}
+	res, err := dataplane.DiffTestChain(c.stages, trace)
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Mismatches, res.FirstDiff, nil
+}
+
+// ServeCandidate describes this chain to the serving daemon (see
+// NewServer): the initial generation, or a hot-swap candidate.
+func (c *ChainResult) ServeCandidate(shards int) ServeCandidate {
+	return ServeCandidate{Stages: c.stages, Shards: shards}
+}
+
+// chainLike is the shared surface of the fused and sharded chain
+// engines.
+type chainLike interface {
+	Process(*Packet) (*dataplane.ChainOutput, error)
+	ProcessExplain(*Packet) (*dataplane.ChainOutput, *PacketTrace, error)
+	ChainTelemetry() Snapshot
+}
+
+// chainReplayer adapts a chain engine to the Replayer/Explainer facade.
+type chainReplayer struct {
+	eng chainLike
+}
+
+func (c *chainReplayer) Process(pkt *Packet) (Verdict, error) {
+	o, err := c.eng.Process(pkt)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return chainVerdict(o), nil
+}
+
+func (c *chainReplayer) ProcessExplain(pkt *Packet) (Verdict, *PacketTrace, error) {
+	o, tr, err := c.eng.ProcessExplain(pkt)
+	if err != nil {
+		return Verdict{}, tr, err
+	}
+	return chainVerdict(o), tr, nil
+}
+
+func (c *chainReplayer) Snapshot() Snapshot { return c.eng.ChainTelemetry() }
+
+// chainVerdict copies an engine-owned ChainOutput into a caller-owned
+// Verdict.
+func chainVerdict(o *dataplane.ChainOutput) Verdict {
+	v := Verdict{Dropped: o.Dropped}
+	for _, s := range o.Sent {
+		v.Sent = append(v.Sent, s.Pkt)
+		v.Ifaces = append(v.Ifaces, s.Iface)
+	}
+	return v
+}
+
+// ServeCandidate re-exports serve.Candidate: one engine generation for
+// the serving daemon — the initial one or a hot-swap candidate. Build
+// them with Result.ServeCandidate / ChainResult.ServeCandidate.
+type ServeCandidate = serve.Candidate
+
+// ServeCandidate describes this analysis to the serving daemon.
+func (r *Result) ServeCandidate(shards int) ServeCandidate {
+	return ServeCandidate{Analysis: r.an, Opts: r.opts, Shards: shards}
+}

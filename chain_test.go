@@ -1,0 +1,82 @@
+package nfactor
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChainFacade drives a service chain through the same
+// Replayer/Explainer surface as a single NF: fused and sharded engines
+// agree packet for packet, telemetry reports the chain as one logical
+// NF, and provenance traces work through the facade.
+func TestChainFacade(t *testing.T) {
+	cr, err := AnalyzeChain([]string{"dpi", "snortlite"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := cr.Names(); len(names) != 2 || names[0] != "dpi" || names[1] != "snortlite" {
+		t.Fatalf("names = %v", names)
+	}
+
+	trace := RandomTrace(300, 11)
+	fused, err := cr.Replayer(BackendCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := cr.ShardedReplayer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace {
+		fv, err := fused.Process(&trace[i])
+		if err != nil {
+			t.Fatalf("fused packet %d: %v", i, err)
+		}
+		sv, err := sharded.Process(&trace[i])
+		if err != nil {
+			t.Fatalf("sharded packet %d: %v", i, err)
+		}
+		if fv.Dropped != sv.Dropped || len(fv.Sent) != len(sv.Sent) {
+			t.Fatalf("packet %d: fused %s vs sharded %s", i, fv, sv)
+		}
+	}
+
+	fs, ss := fused.Snapshot(), sharded.Snapshot()
+	if fs.Backend != "chain" || ss.Backend != "sharded-chain" {
+		t.Errorf("backends = %q / %q", fs.Backend, ss.Backend)
+	}
+	if fs.Packets != int64(len(trace)) || ss.Packets != int64(len(trace)) {
+		t.Errorf("packets = %d / %d, want %d", fs.Packets, ss.Packets, len(trace))
+	}
+	if fs.Drops != ss.Drops {
+		t.Errorf("drops diverge: fused %d, sharded %d", fs.Drops, ss.Drops)
+	}
+
+	// Provenance through the facade: both engines explain.
+	for _, rp := range []Replayer{fused, sharded} {
+		ex, ok := rp.(Explainer)
+		if !ok {
+			t.Fatalf("%s replayer does not explain", rp.Snapshot().Backend)
+		}
+		_, tr, err := ex.ProcessExplain(&trace[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil || !strings.Contains(tr.String(), "why") {
+			t.Errorf("chain explain trace: %+v", tr)
+		}
+	}
+
+	// The chain-level differential gate stays clean on the facade.
+	if mism, diff, err := cr.DiffTest(trace); err != nil || mism != 0 {
+		t.Errorf("chain difftest: mism=%d diff=%q err=%v", mism, diff, err)
+	}
+
+	// Backends without a chain composition are rejected, not silently
+	// approximated.
+	for _, b := range []Backend{BackendProgram, BackendModel} {
+		if _, err := cr.Replayer(b); err == nil {
+			t.Errorf("%v accepted for a chain", b)
+		}
+	}
+}

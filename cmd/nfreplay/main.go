@@ -9,6 +9,10 @@
 //	         [-shards N] [-explain] [-telemetry] [-prom metrics.prom]
 //	         [-fast] [-bench] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	nfreplay -chain firewall,snortlite,lb -trace flows.txt [-shards N] [-telemetry]
+//	nfreplay (-corpus NAME | -file prog.nfl | -chain a,b) -serve
+//	         (-trace flows.txt [-loop] | -gen N [-seed S] | -listen host:port)
+//	         [-shards N] [-batch N] [-window N]
+//	         [-swap-after N] [-swap-allow-change] [-telemetry] [-prom file]
 //
 // -chain replays the trace through the fused service-chain data plane
 // (dataplane.CompileChain): one engine for the whole chain, per-packet
@@ -36,6 +40,18 @@
 // -bench times the trace through BOTH the reference interpreter and the
 // compiled engine and reports pkts/sec and ns/pkt for each.
 //
+// -serve runs the live serving daemon instead of a one-shot replay:
+// packets come from the trace file (looping with -loop), from -gen N
+// synthetic workload packets, or from UDP datagrams (-listen); verdict
+// lines go to stdout, diagnostics to stderr. SIGHUP re-synthesizes the
+// NF from its current source and hot-swaps the engine generation under
+// load — the swap applies only at a batch barrier, carries compatible
+// state over, and is refused (loudly, naming the first divergence) if
+// the candidate's behavior diverges from the serving generation on the
+// live traffic window, unless -swap-allow-change. -swap-after N queues
+// one such swap after N packets (a self-test of the swap path).
+// SIGINT/SIGTERM drain and print the serving summary.
+//
 // Trace format (one packet per line, # comments allowed):
 //
 //	tcp 10.0.0.1:1234 > 3.3.3.3:80 [S] ttl=64 len=0 iface=eth0
@@ -45,9 +61,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"nfactor"
@@ -70,7 +88,36 @@ func main() {
 	bench := flag.Bool("bench", false, "time the trace through the reference interpreter and the compiled engine")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the replay to this file")
+	serveMode := flag.Bool("serve", false, "run the live serving daemon (SIGHUP hot-swaps a re-synthesized engine)")
+	loop := flag.Bool("loop", false, "with -serve -trace: loop the trace instead of draining it once")
+	genPkts := flag.Int64("gen", 0, "with -serve: serve N synthetic workload packets instead of a trace")
+	seed := flag.Int64("seed", 1, "with -serve -gen: workload seed")
+	listen := flag.String("listen", "", "with -serve: serve packets from UDP datagrams on this address")
+	batch := flag.Int("batch", 0, "with -serve: batch size (swap quiescence granularity; 0 = default)")
+	window := flag.Int("window", 0, "with -serve: live-traffic window gating swaps (0 = default)")
+	swapAfter := flag.Int64("swap-after", 0, "with -serve: re-synthesize and hot-swap once after N packets")
+	swapAllow := flag.Bool("swap-allow-change", false, "with -serve: apply swaps even when behavior diverges on the live window")
 	flag.Parse()
+
+	if *serveMode {
+		name, rebuild := resynther(*corpus, *file, *chainSpec, *shards)
+		if rebuild == nil {
+			fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl | -chain a,b) -serve (-trace file [-loop] | -gen N [-seed S] | -listen addr) [-shards N] [-batch N] [-window N] [-swap-after N] [-swap-allow-change] [-telemetry] [-prom file]")
+			os.Exit(2)
+		}
+		err := runServe(serveOpts{
+			name: name, rebuild: rebuild,
+			traceFile: *traceFile, loop: *loop,
+			genPkts: *genPkts, seed: *seed, listen: *listen,
+			batch: *batch, window: *window,
+			swapAfter: *swapAfter, swapAllow: *swapAllow,
+			telemetry: *telemetry, promFile: *promFile,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *chainSpec != "" {
 		if *traceFile == "" || *corpus != "" || *file != "" {
@@ -156,6 +203,199 @@ func main() {
 	}
 }
 
+// resynther returns the NF's display name and a closure that
+// re-synthesizes it from scratch — the serving daemon calls it once for
+// the initial generation and again on every swap request, so a SIGHUP
+// picks up whatever the source (file, corpus, chain spec) says *now*.
+func resynther(corpus, file, chainSpec string, shards int) (string, func() (nfactor.ServeCandidate, error)) {
+	switch {
+	case chainSpec != "" && corpus == "" && file == "":
+		names := splitChain(chainSpec)
+		return strings.Join(names, "->"), func() (nfactor.ServeCandidate, error) {
+			cr, err := nfactor.AnalyzeChain(names, nfactor.Options{})
+			if err != nil {
+				return nfactor.ServeCandidate{}, err
+			}
+			return cr.ServeCandidate(shards), nil
+		}
+	case corpus != "" && file == "" && chainSpec == "":
+		return corpus, func() (nfactor.ServeCandidate, error) {
+			res, err := nfactor.AnalyzeCorpus(corpus, nfactor.Options{})
+			if err != nil {
+				return nfactor.ServeCandidate{}, err
+			}
+			return res.ServeCandidate(shards), nil
+		}
+	case file != "" && corpus == "" && chainSpec == "":
+		return file, func() (nfactor.ServeCandidate, error) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				return nfactor.ServeCandidate{}, err
+			}
+			res, err := nfactor.AnalyzeSource(file, string(data), nfactor.Options{})
+			if err != nil {
+				return nfactor.ServeCandidate{}, err
+			}
+			return res.ServeCandidate(shards), nil
+		}
+	}
+	return "", nil
+}
+
+type serveOpts struct {
+	name      string
+	rebuild   func() (nfactor.ServeCandidate, error)
+	traceFile string
+	loop      bool
+	genPkts   int64
+	seed      int64
+	listen    string
+	batch     int
+	window    int
+	swapAfter int64
+	swapAllow bool
+	telemetry bool
+	promFile  string
+}
+
+// runServe is the -serve daemon: verdict lines to stdout, everything
+// operational (swap reports, the final summary, telemetry) to stderr.
+func runServe(o serveOpts) error {
+	cand, err := o.rebuild()
+	if err != nil {
+		return err
+	}
+
+	var source nfactor.Source
+	var closeSource func() error
+	switch {
+	case o.listen != "":
+		udp, err := nfactor.NewUDPSource(o.listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nfreplay: listening on %s (one trace line per UDP datagram)\n", udp.Addr())
+		source, closeSource = udp, udp.Close
+	case o.genPkts > 0:
+		n := o.genPkts
+		if n > 2048 {
+			n = 2048
+		}
+		source = nfactor.NewTraceSource(serveWorkload(int(n), o.seed), true, o.genPkts)
+	case o.traceFile == "-":
+		source = nfactor.NewReaderSource(os.Stdin)
+	case o.traceFile != "":
+		f, err := os.Open(o.traceFile)
+		if err != nil {
+			return err
+		}
+		trace, perr := nfactor.ParseTrace(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		if len(trace) == 0 {
+			return fmt.Errorf("empty trace")
+		}
+		source = nfactor.NewTraceSource(trace, o.loop, 0)
+	default:
+		return fmt.Errorf("-serve needs a packet source: -trace file|-, -gen N, or -listen addr")
+	}
+
+	srv, err := nfactor.NewServer(cand, nfactor.ServeConfig{
+		Source:     source,
+		Sink:       nfactor.NewWriterSink(os.Stdout),
+		BatchSize:  o.batch,
+		WindowSize: o.window,
+		OnSwap:     func(rep *nfactor.SwapReport) { fmt.Fprint(os.Stderr, rep.Render()) },
+	})
+	if err != nil {
+		return err
+	}
+	num, genName := srv.Generation()
+	fmt.Fprintf(os.Stderr, "nfreplay: serving %q, generation %d (SIGHUP re-synthesizes and hot-swaps)\n", genName, num)
+
+	if o.swapAfter > 0 {
+		next, err := o.rebuild()
+		if err != nil {
+			return fmt.Errorf("re-synthesis for -swap-after: %w", err)
+		}
+		srv.RequestSwap(nfactor.SwapRequest{Candidate: next,
+			AllowBehaviorChange: o.swapAllow, AfterPackets: o.swapAfter})
+	}
+
+	sigCh := make(chan os.Signal, 4)
+	signal.Notify(sigCh, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case sig := <-sigCh:
+				if sig != syscall.SIGHUP {
+					srv.Stop()
+					if closeSource != nil {
+						closeSource()
+					}
+					continue
+				}
+				next, err := o.rebuild()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nfreplay: re-synthesis failed, serving generation stays: %v\n", err)
+					continue
+				}
+				// The report lands on stderr via OnSwap; nobody waits here.
+				srv.RequestSwap(nfactor.SwapRequest{Candidate: next, AllowBehaviorChange: o.swapAllow})
+			}
+		}
+	}()
+
+	runErr := srv.Run()
+
+	stats := srv.Stats()
+	fmt.Fprintf(os.Stderr, "serve: %s\n", stats.Report())
+	if o.telemetry {
+		fmt.Fprintln(os.Stderr, "=== serving engine telemetry ===")
+		fmt.Fprint(os.Stderr, srv.Snapshot().Report())
+	}
+	if o.promFile != "" {
+		f, err := os.Create(o.promFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := stats.WriteServePrometheus(f, o.name); err != nil {
+			return err
+		}
+		if err := srv.Snapshot().WritePrometheus(f, o.name); err != nil {
+			return err
+		}
+	}
+	return runErr
+}
+
+// serveWorkload generates synthetic serving traffic: the DiffTest
+// workload generator's flows with the ingress interface cycled through
+// lan/wan/eth0 (so interface-sensitive NFs see traffic on every side
+// rather than a single dead interface) and half the destination ports
+// drawn from well-known services (so port-policy NFs forward some of it
+// instead of dropping uniformly random ports on the floor).
+func serveWorkload(n int, seed int64) []nfactor.Packet {
+	trace := nfactor.RandomTrace(n, seed)
+	ifaces := [...]string{"lan", "wan", "eth0"}
+	ports := [...]int{80, 443, 53, 22, 8080}
+	for i := range trace {
+		trace[i].InIface = ifaces[i%len(ifaces)]
+		if i%2 == 0 {
+			trace[i].DstPort = ports[(i/2)%len(ports)]
+		}
+	}
+	return trace
+}
+
 func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side string, shards int, fast, explain, telemetry bool, promFile string) error {
 	if side == "diff" {
 		candidate := nfactor.BackendModel
@@ -235,22 +475,24 @@ func runReplay(res *nfactor.Result, name string, trace []nfactor.Packet, side st
 	if telemetry || promFile != "" {
 		snap := rp.Snapshot()
 		if telemetry {
-			fmt.Println("=== telemetry ===")
-			fmt.Print(snap.Report())
+			// Diagnostics go to stderr: stdout carries only the verdict
+			// stream, so it pipes cleanly into diff/grep.
+			fmt.Fprintln(os.Stderr, "=== telemetry ===")
+			fmt.Fprint(os.Stderr, snap.Report())
 			if backend != nfactor.BackendProgram {
-				fmt.Println("=== model with hit counters ===")
-				fmt.Print(res.RenderModelWithCounters(snap))
+				fmt.Fprintln(os.Stderr, "=== model with hit counters ===")
+				fmt.Fprint(os.Stderr, res.RenderModelWithCounters(snap))
 				dead, err := res.DeadEntries(snap, 2)
 				if err != nil {
 					return err
 				}
 				if len(dead) > 0 {
-					fmt.Println("=== entries never hit by this trace ===")
+					fmt.Fprintln(os.Stderr, "=== entries never hit by this trace ===")
 					for _, d := range dead {
 						if d.Reachable {
-							fmt.Printf("entry %d: reachable (witness %v) — workload coverage gap\n", d.Entry, d.Witness)
+							fmt.Fprintf(os.Stderr, "entry %d: reachable (witness %v) — workload coverage gap\n", d.Entry, d.Witness)
 						} else {
-							fmt.Printf("entry %d: unreachable within 2 packets — likely dead table mass\n", d.Entry)
+							fmt.Fprintf(os.Stderr, "entry %d: unreachable within 2 packets — likely dead table mass\n", d.Entry)
 						}
 					}
 				}
@@ -356,12 +598,18 @@ type chainPlane interface {
 	StageTelemetry(i int) telemetry.Snapshot
 }
 
-// runChain replays the trace through the fused chain data plane.
-func runChain(spec, traceFile string, shards int, tel bool) error {
+// splitChain parses the comma-separated -chain spec.
+func splitChain(spec string) []string {
 	names := strings.Split(spec, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
+	return names
+}
+
+// runChain replays the trace through the fused chain data plane.
+func runChain(spec, traceFile string, shards int, tel bool) error {
+	names := splitChain(spec)
 	stages, err := core.AnalyzeChain(names, core.Options{})
 	if err != nil {
 		return err
@@ -413,10 +661,12 @@ func runChain(spec, traceFile string, shards int, tel bool) error {
 	}
 
 	if tel {
-		fmt.Println("=== per-stage telemetry ===")
+		// Per-stage counters are diagnostics: stderr, like the sharding
+		// fallback notices, keeping stdout a pure verdict stream.
+		fmt.Fprintln(os.Stderr, "=== per-stage telemetry ===")
 		for si, name := range names {
 			snap := plane.StageTelemetry(si)
-			fmt.Printf("--- stage %d: %s ---\n%s", si, name, snap.Report())
+			fmt.Fprintf(os.Stderr, "--- stage %d: %s ---\n%s", si, name, snap.Report())
 		}
 	}
 	return nil

@@ -464,6 +464,23 @@ func (s *ShardedChain) route(p *netpkt.Packet) int {
 // NumShards returns the shard count.
 func (s *ShardedChain) NumShards() int { return len(s.engines) }
 
+// NumStages returns the chain length.
+func (s *ShardedChain) NumStages() int { return len(s.stages) }
+
+// SetEpoch tags every shard's fused chain with a generation number (see
+// Engine.SetEpoch). Call only between batches.
+func (s *ShardedChain) SetEpoch(v uint64) {
+	for _, e := range s.engines {
+		e.SetEpoch(v)
+	}
+}
+
+// ProcessExplain routes one packet to its owning shard and explains it
+// there (see ChainEngine.ProcessExplain).
+func (s *ShardedChain) ProcessExplain(p *netpkt.Packet) (*ChainOutput, *telemetry.PacketTrace, error) {
+	return s.engines[s.route(p)].ProcessExplain(p)
+}
+
 // FlowFields returns the chain-wide flow key field names (sorted).
 func (s *ShardedChain) FlowFields() []string { return s.fields }
 
@@ -539,6 +556,7 @@ func copyChainOutput(dst *ChainOutput, src *ChainOutput) {
 	dst.Sent = append(dst.Sent[:0], src.Sent...)
 	dst.Entries = append(dst.Entries[:0], src.Entries...)
 	dst.Dropped = src.Dropped
+	dst.Epoch = src.Epoch
 }
 
 // SetPerf attaches a perf set to every shard.
@@ -587,6 +605,17 @@ func (s *ShardedChain) Telemetry() []telemetry.Snapshot {
 		out[i] = s.StageTelemetry(i)
 	}
 	return out
+}
+
+// ChainTelemetry merges the whole-chain snapshots across shards (see
+// ChainEngine.ChainTelemetry).
+func (s *ShardedChain) ChainTelemetry() telemetry.Snapshot {
+	snap := s.engines[0].ChainTelemetry()
+	for _, e := range s.engines[1:] {
+		snap = snap.Merge(e.ChainTelemetry())
+	}
+	snap.Backend = "sharded-chain"
+	return snap
 }
 
 // Stats sums the shard counters.

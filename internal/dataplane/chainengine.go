@@ -29,6 +29,9 @@ type ChainOutput struct {
 	// EntryNotReached: no packet got that far). For a single-stage chain
 	// Entries[0] equals Engine Output.Entry.
 	Entries []int
+	// Epoch is the engine generation that processed this packet (see
+	// SetEpoch), the serving loop's per-packet consistency stamp.
+	Epoch uint64
 }
 
 // chainStage is one fused NF: its compiled entries and dispatch tree,
@@ -91,6 +94,7 @@ type ChainEngine struct {
 
 	stats Stats
 	perf  *perf.Set
+	epoch uint64
 }
 
 // flight is one in-flight packet during stage-major batch processing.
@@ -137,6 +141,11 @@ func (e *ChainEngine) Stats() Stats { return e.stats }
 
 // SetPerf attaches a perf set (batch-level counter aggregation).
 func (e *ChainEngine) SetPerf(p *perf.Set) { e.perf = p }
+
+// SetEpoch tags the fused chain with a generation number; every
+// ChainOutput it produces from now on carries it (see Engine.SetEpoch).
+// Call only between batches.
+func (e *ChainEngine) SetEpoch(v uint64) { e.epoch = v }
 
 // StageSink returns stage i's telemetry sink.
 func (e *ChainEngine) StageSink(i int) *telemetry.Sink { return e.stages[i].tel }
@@ -247,6 +256,7 @@ func (e *ChainEngine) ProcessBatch(pkts []netpkt.Packet, outs []ChainOutput) err
 		out := &outs[i]
 		out.Sent = out.Sent[:0]
 		out.Entries = resetEntries(out.Entries, len(e.stages))
+		out.Epoch = e.epoch
 		cur = append(cur, flight{pkt: pkts[i], src: int32(i)})
 	}
 	for si := range e.stages {
@@ -298,6 +308,7 @@ func (e *ChainEngine) process(p *netpkt.Packet, out *ChainOutput) error {
 	e.stats.Packets++
 	out.Sent = out.Sent[:0]
 	out.Entries = resetEntries(out.Entries, len(e.stages))
+	out.Epoch = e.epoch
 	e.pktBuf = *p // the chain rewrites in place; never touch the caller's packet
 	if err := e.run(0, &e.pktBuf, "", out); err != nil {
 		e.stats.Errors++

@@ -1,0 +1,201 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+)
+
+// ProcessExplain is ChainEngine.Process in provenance mode: it records
+// every guard evaluated at every stage a packet (or one of its fan-out
+// copies) reaches, plus the state transitions each fired entry
+// committed, with variables namespaced "name#i:var" so multi-stage
+// trails stay attributable. Each stage scans its compiled entries
+// linearly in priority order instead of through the dispatch tree —
+// semantically identical, with the full guard list observable. Like
+// Engine.ProcessExplain this is a debugging surface, not a fast path;
+// the returned ChainOutput is engine-owned and reused by the next call.
+// PacketTrace.Entry reports the entry fired at the deepest stage any
+// packet reached.
+func (e *ChainEngine) ProcessExplain(p *netpkt.Packet) (*ChainOutput, *telemetry.PacketTrace, error) {
+	tr := &telemetry.PacketTrace{Packet: p.String(), Backend: "chain", Entry: -1}
+	out := &e.out
+	e.stats.Packets++
+	out.Sent = out.Sent[:0]
+	out.Entries = resetEntries(out.Entries, len(e.stages))
+	out.Epoch = e.epoch
+	e.pktBuf = *p
+	if err := e.explainRun(0, &e.pktBuf, "", out, tr); err != nil {
+		e.stats.Errors++
+		tr.Err = err.Error()
+		return nil, tr, err
+	}
+	out.Dropped = len(out.Sent) == 0
+	if out.Dropped {
+		e.stats.Drops++
+	}
+	for i := len(out.Entries) - 1; i >= 0; i-- {
+		if out.Entries[i] != EntryNotReached {
+			tr.Entry = out.Entries[i]
+			break
+		}
+	}
+	tr.Dropped = out.Dropped
+	for i := range out.Sent {
+		s := out.Sent[i].Pkt.String()
+		if out.Sent[i].Iface != "" {
+			s += " via " + out.Sent[i].Iface
+		}
+		tr.Sent = append(tr.Sent, s)
+	}
+	return out, tr, nil
+}
+
+// explainRun is run's provenance twin: same depth-first traversal,
+// delegating each stage to stageExplain.
+func (e *ChainEngine) explainRun(si int, p *netpkt.Packet, iface string, out *ChainOutput, tr *telemetry.PacketTrace) error {
+	for si < len(e.stages) {
+		st := e.stages[si]
+		ce, n, err := e.stageExplain(st, si, p, tr)
+		if err != nil {
+			return fmt.Errorf("dataplane: chain stage %d (%s): %w", si, st.name, err)
+		}
+		if out.Entries[si] == EntryNotReached {
+			out.Entries[si] = firedIdx(ce)
+		}
+		if n == 0 {
+			return nil
+		}
+		if n > 1 {
+			for k := 0; k < n; k++ {
+				sp := &st.sendBuf[k]
+				if err := e.explainRun(si+1, &sp.Pkt, sp.Iface, out, tr); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		iface = st.iface
+		si++
+	}
+	out.Sent = append(out.Sent, SentPacket{Pkt: *p, Iface: iface})
+	return nil
+}
+
+// stageExplain is stageRun's linear-scan twin, recording the guard
+// trail. Compiled entries hold their full residual predicate lists, so
+// scanning st.entries in order evaluates exactly the predicates the
+// dispatch tree would decide plus the ones it discharged.
+func (e *ChainEngine) stageExplain(st *chainStage, si int, p *netpkt.Packet, tr *telemetry.PacketTrace) (fired *centry, n int, err error) {
+	t0 := st.tel.Start()
+	c := &e.ctx
+	c.pkt = p
+	c.err = nil
+	c.tups = c.tups[:c.nconst]
+	for i := st.lutLo; i < st.lutHi; i++ {
+		c.luts[i].valid = false
+	}
+	label := fmt.Sprintf("%s#%d: ", st.name, si)
+	for _, ce := range st.entries {
+		matched := true
+		for j := range ce.preds {
+			v := ce.preds[j].ex.eval(c)
+			if c.err != nil {
+				tr.Guards = append(tr.Guards, telemetry.GuardEval{
+					Entry: ce.idx, Guard: label + ce.gtext[j], Outcome: "error: " + c.err.Error()})
+				st.tel.Count(t0, ce.idx, false, true)
+				return nil, 0, fmt.Errorf("entry %d guard: %w", ce.idx, c.err)
+			}
+			if v.k != kBool {
+				tr.Guards = append(tr.Guards, telemetry.GuardEval{
+					Entry: ce.idx, Guard: label + ce.gtext[j], Outcome: "error: non-bool"})
+				st.tel.Count(t0, ce.idx, false, true)
+				return nil, 0, fmt.Errorf("entry %d guard: condition is %s, want bool", ce.idx, v.k)
+			}
+			outcome := "true"
+			if v.i == 0 {
+				outcome = "false"
+				matched = false
+			}
+			tr.Guards = append(tr.Guards, telemetry.GuardEval{
+				Entry: ce.idx, Guard: label + ce.gtext[j], Outcome: outcome})
+			if !matched {
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		n, err = e.fireStageExplain(st, ce, p, label, tr)
+		if err != nil {
+			st.tel.Count(t0, ce.idx, false, true)
+			return ce, 0, err
+		}
+		st.tel.Count(t0, ce.idx, n == 0, false)
+		return ce, n, nil
+	}
+	st.tel.Count(t0, -1, true, false)
+	return nil, 0, nil
+}
+
+// fireStageExplain fires the entry through the normal fast path, then
+// reads the committed transitions back out of the staging buffers —
+// fireStage leaves scratchKeys/scratchVals intact until the next fire,
+// so the trail records exactly what was committed.
+func (e *ChainEngine) fireStageExplain(st *chainStage, ce *centry, p *netpkt.Packet, label string, tr *telemetry.PacketTrace) (int, error) {
+	n, err := e.fireStage(st, ce, p)
+	if err != nil {
+		return n, err
+	}
+	for i := range ce.supd {
+		tr.Changes = append(tr.Changes, telemetry.StateChange{
+			Var: label + e.slotNames[ce.supd[i].slot], Op: "assign",
+			Val: e.slots[ce.supd[i].slot].toValue().String()})
+	}
+	si := 0
+	for mi := range ce.mupd {
+		mu := &ce.mupd[mi]
+		for oi := range mu.ops {
+			if mu.ops[oi].del {
+				tr.Changes = append(tr.Changes, telemetry.StateChange{
+					Var: label + e.mapNames[mu.mi], Op: "del",
+					Key: e.scratchKeys[si].toValue().String()})
+			} else {
+				tr.Changes = append(tr.Changes, telemetry.StateChange{
+					Var: label + e.mapNames[mu.mi], Op: "set",
+					Key: e.scratchKeys[si].toValue().String(),
+					Val: e.maps[mu.mi][e.scratchKeys[si]].toValue().String()})
+			}
+			si++
+		}
+	}
+	return n, nil
+}
+
+// ChainTelemetry snapshots the chain as one logical NF: ingress-level
+// traffic counters (a packet forwarded by the final stage counts one
+// Forward regardless of how many hops it took) and the full namespaced
+// state gauge. Per-stage entry hits stay on StageTelemetry — a fused
+// chain has no single entry-index space.
+func (e *ChainEngine) ChainTelemetry() telemetry.Snapshot {
+	sizes := make(map[string]int, len(e.slotNames)+len(e.mapNames))
+	for i, st := range e.stages {
+		for s := st.slotLo; s < st.slotHi; s++ {
+			sizes[fmt.Sprintf("%s#%d:%s", st.name, i, e.slotNames[s])] = 1
+		}
+		for m := st.mapLo; m < st.mapHi; m++ {
+			sizes[fmt.Sprintf("%s#%d:%s", st.name, i, e.mapNames[m])] = len(e.maps[m])
+		}
+	}
+	st := e.stats
+	return telemetry.Snapshot{
+		Backend:    "chain",
+		Packets:    st.Packets,
+		Forwards:   st.Packets - st.Drops - st.Errors,
+		Drops:      st.Drops,
+		Errors:     st.Errors,
+		StateSizes: sizes,
+		Shards:     1,
+	}
+}

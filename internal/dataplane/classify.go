@@ -461,7 +461,35 @@ func Classify(m *model.Model, config, initState map[string]value.Value) (*Classi
 			return nil, err
 		}
 		if iv.Map.Len() != 0 {
-			return nil, blockVar(name, "owned map %q is pre-populated: initial keys precede the allocator range", name)
+			// A pre-populated owned map is accepted only when every
+			// existing key is a *retired* allocation: on the allocator's
+			// step lattice, strictly before its current seed. That is what
+			// carried-over state looks like after a generation swap — the
+			// allocator can never hand those values out again, so the
+			// entries are frozen and replicate safely to every shard
+			// (reads of a retired key are correct wherever they route).
+			for _, a := range accs {
+				if a.del {
+					return nil, blockVar(name, "owned map %q is pre-populated and deleted from: a shard-local delete would leave stale replicas", name)
+				}
+			}
+			av := cls.Vars[alloc]
+			for _, k := range iv.Map.Keys() {
+				comp := k
+				if pos >= 0 {
+					if k.Kind != value.KindTuple || pos >= len(k.Tuple) {
+						return nil, blockVar(name, "owned map %q is pre-populated with a key of the wrong shape: %s", name, k)
+					}
+					comp = k.Tuple[pos]
+				}
+				if comp.Kind != value.KindInt {
+					return nil, blockVar(name, "owned map %q is pre-populated with a non-integer %s component: %s", name, alloc, k)
+				}
+				delta := av.Init - comp.I
+				if delta == 0 || delta%av.Step != 0 || delta/av.Step < 0 {
+					return nil, blockVar(name, "owned map %q is pre-populated with key %s outside the retired %s lattice (seed %d, step %d)", name, k, alloc, av.Init, av.Step)
+				}
+			}
 		}
 		vc.Class, vc.Alloc, vc.KeyPos = ClassOwnedMap, alloc, pos
 		cls.Vars[name] = vc

@@ -26,6 +26,10 @@ type Output struct {
 	// Entry is the index of the model entry that fired (-1 for the
 	// implicit lowest-priority drop), comparable to ProcessTraced.
 	Entry int
+	// Epoch is the engine generation that processed this packet (see
+	// SetEpoch). The serving loop's hot-swap protocol asserts on it:
+	// every packet must observe exactly one generation.
+	Epoch uint64
 }
 
 // Stats counts an engine's traffic. Counters are plain (non-atomic):
@@ -66,6 +70,7 @@ type Engine struct {
 	stats Stats
 	perf  *perf.Set
 	tel   *telemetry.Sink
+	epoch uint64
 }
 
 // Compile lowers a model and its concrete configuration/initial state
@@ -191,6 +196,13 @@ func (e *Engine) Reset() {
 	e.tel.Reset()
 }
 
+// SetEpoch tags the engine with a generation number; every Output it
+// produces from now on carries it (Output.Epoch). The serving loop's
+// swap protocol bumps the epoch at a quiesced batch barrier, so the
+// stamp proves per-packet generation consistency. Call only between
+// batches — the engine is single-threaded.
+func (e *Engine) SetEpoch(v uint64) { e.epoch = v }
+
 // Model returns the compiled model.
 func (e *Engine) Model() *model.Model { return e.m }
 
@@ -253,6 +265,7 @@ func (e *Engine) process(p *netpkt.Packet, out *Output) error {
 
 func (e *Engine) match(p *netpkt.Packet, out *Output) error {
 	e.stats.Packets++
+	out.Epoch = e.epoch
 	c := &e.ctx
 	c.pkt = p
 	c.err = nil
@@ -344,6 +357,7 @@ func (e *Engine) processEntry(p *netpkt.Packet, ce *centry, out *Output) (bool, 
 		}
 	}
 	e.stats.Packets++
+	out.Epoch = e.epoch
 	out.Sent = out.Sent[:0]
 	if err := e.fire(ce, p, out, nil); err != nil {
 		e.stats.Errors++
@@ -362,6 +376,7 @@ func (e *Engine) processEntry(p *netpkt.Packet, ce *centry, out *Output) (bool, 
 func (e *Engine) dropNoMatch(p *netpkt.Packet, out *Output) {
 	t0 := e.tel.Start()
 	e.stats.Packets++
+	out.Epoch = e.epoch
 	out.Sent = out.Sent[:0]
 	out.Dropped = true
 	out.Entry = -1
@@ -407,6 +422,7 @@ func (e *Engine) ProcessExplain(p *netpkt.Packet) (*Output, *telemetry.PacketTra
 // constant under the engine's pinned configuration.
 func (e *Engine) explain(p *netpkt.Packet, out *Output, tr *telemetry.PacketTrace) error {
 	e.stats.Packets++
+	out.Epoch = e.epoch
 	c := &e.ctx
 	c.pkt = p
 	c.err = nil

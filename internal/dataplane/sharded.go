@@ -31,6 +31,9 @@ import (
 //   - Owned maps (keyed by allocator values) stay shard-local too:
 //     writes key by the shard's own allocator, and reads — return
 //     traffic keyed by an allocated port — route to owner(field).
+//     Retired entries (pre-populated keys before the allocator's seed,
+//     e.g. state carried over a generation swap) are frozen: they
+//     replicate to every shard and answer reads wherever they route.
 //
 // The router decides each packet's shard from the entries' *stateless*
 // guards alone, before any state is touched: the first statelessly
@@ -338,8 +341,10 @@ func (r *router) evalDemand(d *demandProg, p *netpkt.Packet) int {
 				return int((delta / d.step) % int64(r.n))
 			}
 		}
-		// Not a value any shard's allocator handed out: every lookup
-		// misses wherever it runs; spread by the default hash.
+		// Not a value any shard's allocator will hand out: either the
+		// lookup misses wherever it runs, or it hits a retired
+		// (pre-populated) entry, which is frozen and replicated to every
+		// shard. Both are correct anywhere; spread by the default hash.
 		return r.evalFlow(&r.dfl, p)
 	}
 	if d.kind == demandNone {
@@ -376,6 +381,15 @@ func (s *Sharded) SetPerf(p *perf.Set) {
 		e.SetPerf(p)
 	}
 	p.Counter(perf.CDataplaneShards).Add(int64(len(s.engines)))
+}
+
+// SetEpoch tags every shard engine with a generation number (see
+// Engine.SetEpoch). Call only between batches — ProcessBatch must have
+// returned, so all shard goroutines are quiesced at the barrier.
+func (s *Sharded) SetEpoch(v uint64) {
+	for _, e := range s.engines {
+		e.SetEpoch(v)
+	}
 }
 
 // NumShards returns the shard count.

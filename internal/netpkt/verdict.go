@@ -1,0 +1,33 @@
+package netpkt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verdict is one packet's observable outcome during replay or serving:
+// dropped, or forwarded as one or more (possibly rewritten) packets on
+// their interfaces. It is the output domain every execution backend —
+// original program, model instance, compiled engine, sharded engine,
+// fused chain — is compared and served in.
+type Verdict struct {
+	Dropped bool
+	Sent    []Packet
+	Ifaces  []string
+}
+
+// String renders the verdict compactly.
+func (v Verdict) String() string {
+	if v.Dropped {
+		return "DROP"
+	}
+	parts := make([]string, len(v.Sent))
+	for i := range v.Sent {
+		dst := fmt.Sprintf("%s:%d", v.Sent[i].DstIP, v.Sent[i].DstPort)
+		if v.Ifaces[i] != "" {
+			dst += " via " + v.Ifaces[i]
+		}
+		parts[i] = dst
+	}
+	return "FORWARD -> " + strings.Join(parts, ", ")
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+)
+
+// Candidate describes one engine generation to build and serve: a
+// synthesized single NF (Analysis) or a service chain (Stages), at a
+// shard count. The same Candidate type feeds both the initial
+// generation and every hot-swap request.
+type Candidate struct {
+	// Analysis is the synthesized single NF. Exactly one of Analysis
+	// and Stages must be set.
+	Analysis *core.Analysis
+	// Opts are the analysis options the generation inherits (config
+	// override, perf set). Only meaningful with Analysis.
+	Opts core.Options
+	// Stages is the service chain, each stage with its concrete config
+	// and pristine initial state (core.Analysis.Named fills them).
+	Stages []chain.NamedModel
+	// Shards > 1 builds the flow-partitioned engine (Sharded /
+	// ShardedChain); otherwise the sequential one.
+	Shards int
+	// Name labels the generation in reports; defaults to the NF or
+	// chain name.
+	Name string
+}
+
+// name derives the display label.
+func (c *Candidate) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	if c.Analysis != nil {
+		return c.Analysis.NFName
+	}
+	names := make([]string, len(c.Stages))
+	for i := range c.Stages {
+		names[i] = c.Stages[i].Name
+	}
+	return strings.Join(names, "->")
+}
+
+// Outcome is one served packet's result: the verdict plus the serving
+// provenance — which entry fired (deepest stage for chains) and which
+// engine generation processed it. The epoch stamp is the per-packet
+// consistency witness: during a correct swap the stream of epochs is
+// non-decreasing with exactly one transition, and uniform within every
+// batch.
+type Outcome struct {
+	Verdict netpkt.Verdict
+	Entry   int
+	Epoch   uint64
+}
+
+// genStage is the pristine description of one stage of a generation:
+// the synthesized model, its concrete configuration, its own
+// synthesized initial state, and the state classification computed
+// against that PRISTINE init. Carry-over matching must compare what the
+// models declare (allocator seed/stride, state classes), not how far a
+// live instance has advanced — classifying against live state would
+// make a second swap see the allocator's current position as its
+// "init" and wrongly reset it.
+type genStage struct {
+	name   string
+	m      *model.Model
+	config map[string]value.Value
+	init   map[string]value.Value
+	cls    *dataplane.Classification // nil: no sharding lowering; carry falls back to name+kind
+}
+
+// Generation is one built engine generation serving traffic.
+type Generation struct {
+	// Num is the generation number: the epoch every Output it produces
+	// is stamped with.
+	Num  uint64
+	Name string
+
+	cand   Candidate
+	stages []genStage
+	plane  plane
+}
+
+// normalize turns a candidate into its pristine stage descriptions:
+// model, concrete config, synthesized init state and the classification
+// against that pristine init. The swap gate and carry-over matching run
+// over these before any plane is built.
+func normalize(c Candidate) ([]genStage, error) {
+	var stages []genStage
+	switch {
+	case c.Analysis != nil && len(c.Stages) > 0:
+		return nil, fmt.Errorf("serve: candidate has both a single NF and a chain")
+	case c.Analysis != nil:
+		config, state, err := c.Analysis.ConfigAndState(c.Opts.ConfigOverride)
+		if err != nil {
+			return nil, err
+		}
+		stages = []genStage{{name: c.Analysis.NFName, m: c.Analysis.Model, config: config, init: state}}
+	case len(c.Stages) > 0:
+		for i := range c.Stages {
+			nm := &c.Stages[i]
+			if nm.Model == nil || nm.Config == nil || nm.State == nil {
+				return nil, fmt.Errorf("serve: chain stage %d (%s): missing model/config/state (use core.Analysis.Named)", i, nm.Name)
+			}
+			stages = append(stages, genStage{name: nm.Name, m: nm.Model, config: nm.Config, init: nm.State})
+		}
+	default:
+		return nil, fmt.Errorf("serve: empty candidate")
+	}
+	for i := range stages {
+		st := &stages[i]
+		st.cls, _ = dataplane.Classify(st.m, st.config, st.init) // nil on no-lowering: carry degrades gracefully
+	}
+	return stages, nil
+}
+
+// buildGeneration applies the carried state to normalized stages (nil
+// carry: each stage starts from its pristine init), builds the data
+// plane and stamps it with num. The plane is built FROM the carried
+// state but the kept classification is against the pristine init (see
+// genStage); NewSharded/NewShardedChain internally re-derive what they
+// need from the carried build state, which is exactly what gives shard
+// s a carried allocator position of carried+s*step.
+func buildGeneration(c Candidate, num uint64, stages []genStage, carry []map[string]value.Value) (*Generation, error) {
+	g := &Generation{Num: num, Name: c.name(), cand: c, stages: stages}
+	if carry != nil && len(carry) != len(g.stages) {
+		return nil, fmt.Errorf("serve: carried state for %d stages, candidate has %d", len(carry), len(g.stages))
+	}
+	buildState := make([]map[string]value.Value, len(g.stages))
+	for i := range g.stages {
+		if carry != nil && carry[i] != nil {
+			buildState[i] = carry[i]
+		} else {
+			buildState[i] = g.stages[i].init
+		}
+	}
+	var err error
+	g.plane, err = buildPlane(g, buildState)
+	if err != nil {
+		return nil, err
+	}
+	g.plane.setEpoch(num)
+	return g, nil
+}
+
+// buildPlane compiles the stages into the right engine shape.
+func buildPlane(g *Generation, state []map[string]value.Value) (plane, error) {
+	if g.cand.Analysis != nil {
+		st := &g.stages[0]
+		if g.cand.Shards > 1 {
+			sh, err := dataplane.NewSharded(st.m, st.config, state[0], g.cand.Shards)
+			if err != nil {
+				return nil, err
+			}
+			return &enginePlane{eng: sh}, nil
+		}
+		eng, err := dataplane.Compile(st.m, st.config, state[0])
+		if err != nil {
+			return nil, err
+		}
+		return &enginePlane{eng: eng}, nil
+	}
+	spec := make([]chain.NamedModel, len(g.stages))
+	for i := range g.stages {
+		st := &g.stages[i]
+		spec[i] = chain.NamedModel{Name: st.name, Model: st.m, Config: st.config, State: state[i]}
+	}
+	if g.cand.Shards > 1 {
+		sh, err := dataplane.NewShardedChain(spec, g.cand.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return &chainPlane{eng: sh, stages: len(spec)}, nil
+	}
+	eng, err := dataplane.CompileChain(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &chainPlane{eng: eng, stages: len(spec)}, nil
+}
+
+// --- plane adapters ---------------------------------------------------
+
+// plane is what the serving loop needs from any engine shape: batch
+// processing into Outcomes, epoch stamping at the barrier, per-stage
+// state export for carry-over, and a telemetry snapshot.
+type plane interface {
+	processBatch(pkts []netpkt.Packet, outs []Outcome) error
+	setEpoch(v uint64)
+	// stageStates exports the live state per stage (len 1 for a single
+	// NF), merged across shards. Call only between batches.
+	stageStates() []map[string]value.Value
+	snapshot() telemetry.Snapshot
+}
+
+// engineLike is the single-NF engine surface (Engine and Sharded).
+type engineLike interface {
+	ProcessBatch(pkts []netpkt.Packet, outs []dataplane.Output) error
+	SetEpoch(v uint64)
+	State() map[string]value.Value
+	Telemetry() telemetry.Snapshot
+}
+
+type enginePlane struct {
+	eng  engineLike
+	outs []dataplane.Output
+}
+
+func (ep *enginePlane) processBatch(pkts []netpkt.Packet, outs []Outcome) error {
+	if cap(ep.outs) < len(pkts) {
+		ep.outs = make([]dataplane.Output, len(pkts))
+	}
+	ep.outs = ep.outs[:len(pkts)]
+	if err := ep.eng.ProcessBatch(pkts, ep.outs); err != nil {
+		return err
+	}
+	for i := range pkts {
+		o := &ep.outs[i]
+		outs[i] = Outcome{Verdict: verdictOfOutput(o), Entry: o.Entry, Epoch: o.Epoch}
+	}
+	return nil
+}
+
+func (ep *enginePlane) setEpoch(v uint64) { ep.eng.SetEpoch(v) }
+
+func (ep *enginePlane) stageStates() []map[string]value.Value {
+	return []map[string]value.Value{ep.eng.State()}
+}
+
+func (ep *enginePlane) snapshot() telemetry.Snapshot { return ep.eng.Telemetry() }
+
+// verdictOfOutput deep-copies an engine-owned Output into a Verdict
+// (the engine reuses the Output's backing arrays across batches).
+func verdictOfOutput(o *dataplane.Output) netpkt.Verdict {
+	v := netpkt.Verdict{Dropped: o.Dropped}
+	for _, s := range o.Sent {
+		v.Sent = append(v.Sent, s.Pkt)
+		v.Ifaces = append(v.Ifaces, s.Iface)
+	}
+	return v
+}
+
+// chainLike is the fused-chain surface (ChainEngine and ShardedChain).
+type chainLike interface {
+	ProcessBatch(pkts []netpkt.Packet, outs []dataplane.ChainOutput) error
+	SetEpoch(v uint64)
+	StageState(i int) map[string]value.Value
+	ChainTelemetry() telemetry.Snapshot
+}
+
+type chainPlane struct {
+	eng    chainLike
+	stages int
+	outs   []dataplane.ChainOutput
+}
+
+func (cp *chainPlane) processBatch(pkts []netpkt.Packet, outs []Outcome) error {
+	if cap(cp.outs) < len(pkts) {
+		cp.outs = make([]dataplane.ChainOutput, len(pkts))
+	}
+	cp.outs = cp.outs[:len(pkts)]
+	if err := cp.eng.ProcessBatch(pkts, cp.outs); err != nil {
+		return err
+	}
+	for i := range pkts {
+		o := &cp.outs[i]
+		outs[i] = Outcome{Verdict: verdictOfChainOutput(o), Entry: chainEntry(o), Epoch: o.Epoch}
+	}
+	return nil
+}
+
+func (cp *chainPlane) setEpoch(v uint64) { cp.eng.SetEpoch(v) }
+
+func (cp *chainPlane) stageStates() []map[string]value.Value {
+	out := make([]map[string]value.Value, cp.stages)
+	for i := range out {
+		out[i] = cp.eng.StageState(i)
+	}
+	return out
+}
+
+func (cp *chainPlane) snapshot() telemetry.Snapshot { return cp.eng.ChainTelemetry() }
+
+// verdictOfChainOutput deep-copies an engine-owned ChainOutput.
+func verdictOfChainOutput(o *dataplane.ChainOutput) netpkt.Verdict {
+	v := netpkt.Verdict{Dropped: o.Dropped}
+	for _, s := range o.Sent {
+		v.Sent = append(v.Sent, s.Pkt)
+		v.Ifaces = append(v.Ifaces, s.Iface)
+	}
+	return v
+}
+
+// chainEntry reports the entry fired at the deepest stage any packet
+// reached (the chain analogue of Output.Entry).
+func chainEntry(o *dataplane.ChainOutput) int {
+	for i := len(o.Entries) - 1; i >= 0; i-- {
+		if o.Entries[i] != dataplane.EntryNotReached {
+			return o.Entries[i]
+		}
+	}
+	return -1
+}

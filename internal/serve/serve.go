@@ -1,0 +1,206 @@
+// Package serve is the live serving surface of nfactor: a long-running
+// loop that pulls packets from a Source, pushes per-packet verdicts to
+// a Sink, and can hot-swap the running engine for a freshly
+// re-synthesized generation without restarting — with per-packet
+// generation consistency (every packet observes a consistently-old or
+// consistently-new engine, never a mix; Output epochs prove it), state
+// carry-over for session state that survives the model change, and a
+// differential gate that refuses a swap whose candidate diverges from
+// the running generation over a window of recently served traffic.
+//
+// It also defines the Replayer/Explainer interfaces the root facade
+// re-exports: the one replay surface every execution backend — original
+// program, model instance, compiled engine, sharded engine, fused chain
+// — satisfies.
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+)
+
+// Replayer is the unified replay surface: every execution engine
+// processes packets one at a time with evolving state and exports the
+// same telemetry Snapshot. Replayers are single-goroutine objects.
+type Replayer interface {
+	// Process runs one packet and returns its verdict. State evolves
+	// across calls.
+	Process(*netpkt.Packet) (netpkt.Verdict, error)
+	// Snapshot exports the telemetry accumulated so far.
+	Snapshot() telemetry.Snapshot
+}
+
+// Explainer is the optional provenance extension of Replayer: table
+// backends (model, compiled, sharded, chain) can explain each verdict
+// with the full guard trail. The program backend does not implement it
+// (the original source has no match/action table to trace).
+type Explainer interface {
+	// ProcessExplain is Process plus the packet's why-trace. It counts
+	// in the same telemetry as Process.
+	ProcessExplain(*netpkt.Packet) (netpkt.Verdict, *telemetry.PacketTrace, error)
+}
+
+// --- sources ----------------------------------------------------------
+
+// Source feeds packets to a Server. Implementations are read from a
+// single goroutine (the serving loop).
+type Source interface {
+	// Next fills p with the next packet to serve. ok=false means the
+	// source is exhausted and the server stops cleanly. A non-nil error
+	// with ok=true reports a malformed input that was skipped.
+	Next(p *netpkt.Packet) (ok bool, err error)
+}
+
+// TraceSource serves a fixed trace, once or looping forever.
+type TraceSource struct {
+	trace []netpkt.Packet
+	loop  bool
+	limit int64 // max packets to emit (0: len(trace) once, or forever when looping)
+	at    int64
+}
+
+// NewTraceSource serves trace once. With loop, it restarts from the top
+// after the last packet until limit packets have been emitted
+// (limit 0: forever).
+func NewTraceSource(trace []netpkt.Packet, loop bool, limit int64) *TraceSource {
+	return &TraceSource{trace: trace, loop: loop, limit: limit}
+}
+
+func (t *TraceSource) Next(p *netpkt.Packet) (bool, error) {
+	if len(t.trace) == 0 || (t.limit > 0 && t.at >= t.limit) {
+		return false, nil
+	}
+	if !t.loop && t.at >= int64(len(t.trace)) {
+		return false, nil
+	}
+	*p = t.trace[t.at%int64(len(t.trace))]
+	t.at++
+	return true, nil
+}
+
+// ReaderSource parses trace lines (netpkt.ParseLine) from a stream —
+// stdin, a file, a pipe. Blank lines and '#' comments are skipped;
+// malformed lines are counted and skipped.
+type ReaderSource struct {
+	sc        *bufio.Scanner
+	malformed atomic.Int64
+}
+
+// NewReaderSource wraps r in a line scanner.
+func NewReaderSource(r io.Reader) *ReaderSource {
+	return &ReaderSource{sc: bufio.NewScanner(r)}
+}
+
+// Malformed returns how many lines failed to parse so far.
+func (r *ReaderSource) Malformed() int64 { return r.malformed.Load() }
+
+func (r *ReaderSource) Next(p *netpkt.Packet) (bool, error) {
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		if isSkippable(line) {
+			continue
+		}
+		pkt, err := netpkt.ParseLine(line)
+		if err != nil {
+			r.malformed.Add(1)
+			return true, err
+		}
+		*p = pkt
+		return true, nil
+	}
+	return false, nil
+}
+
+// UDPSource serves one trace line per UDP datagram. Close makes the
+// next Next report exhaustion.
+type UDPSource struct {
+	conn      net.PacketConn
+	buf       []byte
+	malformed atomic.Int64
+}
+
+// NewUDPSource listens on addr (e.g. ":9099").
+func NewUDPSource(addr string) (*UDPSource, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPSource{conn: conn, buf: make([]byte, 64*1024)}, nil
+}
+
+// Addr returns the bound listen address.
+func (u *UDPSource) Addr() net.Addr { return u.conn.LocalAddr() }
+
+// Close unblocks a pending read and exhausts the source.
+func (u *UDPSource) Close() error { return u.conn.Close() }
+
+// Malformed returns how many datagrams failed to parse so far.
+func (u *UDPSource) Malformed() int64 { return u.malformed.Load() }
+
+func (u *UDPSource) Next(p *netpkt.Packet) (bool, error) {
+	for {
+		n, _, err := u.conn.ReadFrom(u.buf)
+		if err != nil {
+			return false, nil // closed: clean exhaustion
+		}
+		line := string(u.buf[:n])
+		if isSkippable(line) {
+			continue
+		}
+		pkt, perr := netpkt.ParseLine(line)
+		if perr != nil {
+			u.malformed.Add(1)
+			return true, perr
+		}
+		*p = pkt
+		return true, nil
+	}
+}
+
+func isSkippable(line string) bool {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '#':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// --- sinks ------------------------------------------------------------
+
+// Sink receives each served packet's outcome, in serving order, from
+// the serving goroutine.
+type Sink interface {
+	Emit(seq int64, p *netpkt.Packet, o *Outcome) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(seq int64, p *netpkt.Packet, o *Outcome) error
+
+// Emit calls f.
+func (f SinkFunc) Emit(seq int64, p *netpkt.Packet, o *Outcome) error { return f(seq, p, o) }
+
+// NewWriterSink renders verdict lines in nfreplay's replay format.
+func NewWriterSink(w io.Writer) Sink {
+	bw := bufio.NewWriter(w)
+	return SinkFunc(func(seq int64, p *netpkt.Packet, o *Outcome) error {
+		if _, err := fmt.Fprintf(bw, "%6d  %-55s %s\n", seq, p, o.Verdict); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// Discard drops every outcome (benchmarks, smoke runs with -q).
+var Discard Sink = SinkFunc(func(int64, *netpkt.Packet, *Outcome) error { return nil })

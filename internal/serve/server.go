@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Source feeds packets; nil is invalid. Sink receives outcomes;
+	// nil means Discard.
+	Source Source
+	Sink   Sink
+	// BatchSize is the quiescence granularity: swaps apply only at
+	// batch barriers, so a smaller batch bounds swap latency while a
+	// larger one amortizes the per-barrier bookkeeping. Default 64.
+	BatchSize int
+	// WindowSize bounds the ring of recently served packets that gates
+	// swaps. Default 1024.
+	WindowSize int
+	// OnSwap, when set, observes every swap decision (applied or
+	// blocked) from the serving goroutine, before the requester's
+	// channel is answered.
+	OnSwap func(*SwapReport)
+}
+
+// Server is the live serving loop: one goroutine (Run) pulls packets
+// from the Source in batches, pushes every verdict to the Sink, and
+// applies queued generation swaps at batch barriers — the quiescence
+// point where no packet is in flight, so every packet observes exactly
+// one generation (asserted per packet via the epoch stamp).
+//
+// RequestSwap, Stats and Snapshot may be called from other goroutines;
+// everything else belongs to the serving goroutine.
+type Server struct {
+	cfg Config
+	gen *Generation
+
+	window []netpkt.Packet // ring of the last WindowSize served packets
+	total  int64           // packets pushed into the ring
+
+	swapCh chan *swapTicket
+	stopCh chan struct{}
+
+	stats telemetry.ServeStats // serving-goroutine copy
+	pub   atomic.Pointer[Published]
+
+	lastEpoch uint64
+}
+
+// Published is the cross-goroutine observable state, republished after
+// every batch: the serving stats plus the engine's own telemetry.
+type Published struct {
+	Stats  telemetry.ServeStats
+	Engine telemetry.Snapshot
+}
+
+type swapTicket struct {
+	req SwapRequest
+	ch  chan *SwapReport
+}
+
+// New builds the initial generation (number 1, pristine state) and a
+// server around it.
+func New(c Candidate, cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: nil source")
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = Discard
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 1024
+	}
+	stages, err := normalize(c)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := buildGeneration(c, 1, stages, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		gen:       gen,
+		window:    make([]netpkt.Packet, 0, cfg.WindowSize),
+		swapCh:    make(chan *swapTicket, 16),
+		stopCh:    make(chan struct{}),
+		lastEpoch: gen.Num,
+	}
+	s.stats.Generation = gen.Num
+	s.publish()
+	return s, nil
+}
+
+// Generation returns the serving generation's number and name.
+func (s *Server) Generation() (uint64, string) { return s.gen.Num, s.gen.Name }
+
+// RequestSwap queues a swap for the next eligible batch barrier and
+// returns a channel that receives the report (buffered: the requester
+// may drop it). Requests are served FIFO; each gates against whatever
+// generation is serving when it reaches its barrier. If the server
+// stops (or the source drains) before the request becomes eligible, the
+// report comes back Blocked with that reason.
+func (s *Server) RequestSwap(req SwapRequest) <-chan *SwapReport {
+	t := &swapTicket{req: req, ch: make(chan *SwapReport, 1)}
+	select {
+	case s.swapCh <- t:
+	default:
+		t.ch <- &SwapReport{Name: req.Candidate.name(), Blocked: true,
+			Reason: "swap queue full", DivergencePacket: -1}
+	}
+	return t.ch
+}
+
+// Stop makes Run return at the next batch barrier. Sources that block
+// indefinitely (UDP) should also be closed to unblock the fill.
+func (s *Server) Stop() {
+	select {
+	case <-s.stopCh:
+	default:
+		close(s.stopCh)
+	}
+}
+
+// Stats returns the most recently published serving stats.
+func (s *Server) Stats() telemetry.ServeStats { return s.pub.Load().Stats }
+
+// Snapshot returns the serving engine's most recently published
+// telemetry snapshot.
+func (s *Server) Snapshot() telemetry.Snapshot { return s.pub.Load().Engine }
+
+// Run serves until the source is exhausted or Stop is called. It
+// returns a non-nil error only when the data plane itself fails (an
+// evaluation error — a synthesis bug, not an operational condition) or
+// the sink rejects a write.
+func (s *Server) Run() error {
+	var pending []*swapTicket
+	defer func() {
+		for _, t := range pending {
+			t.ch <- &SwapReport{From: s.gen.Num, To: s.gen.Num, Name: t.req.Candidate.name(),
+				Blocked: true, Reason: "server stopped before the swap point", DivergencePacket: -1}
+		}
+	}()
+
+	batch := make([]netpkt.Packet, 0, s.cfg.BatchSize)
+	outs := make([]Outcome, s.cfg.BatchSize)
+	for {
+		// Barrier: no packet is in flight here. Apply every eligible
+		// queued swap, FIFO.
+		pending = s.drainSwaps(pending)
+		pending = s.applyEligible(pending)
+
+		select {
+		case <-s.stopCh:
+			return nil
+		default:
+		}
+
+		batch = batch[:0]
+		exhausted := false
+		for len(batch) < s.cfg.BatchSize {
+			var p netpkt.Packet
+			ok, err := s.cfg.Source.Next(&p)
+			if !ok {
+				exhausted = true
+				break
+			}
+			if err != nil {
+				continue // malformed input, counted by the source
+			}
+			batch = append(batch, p)
+		}
+		if len(batch) > 0 {
+			if err := s.serveBatch(batch, outs[:len(batch)]); err != nil {
+				return err
+			}
+		}
+		if exhausted {
+			pending = s.drainSwaps(pending)
+			pending = s.applyEligible(pending)
+			return nil
+		}
+	}
+}
+
+// serveBatch runs one batch through the serving plane, asserts the
+// per-packet consistency invariant on every output's epoch stamp,
+// records the packets in the gating window and emits the outcomes.
+func (s *Server) serveBatch(batch []netpkt.Packet, outs []Outcome) error {
+	if err := s.gen.plane.processBatch(batch, outs); err != nil {
+		return fmt.Errorf("serve: generation %d: %w", s.gen.Num, err)
+	}
+	for i := range batch {
+		o := &outs[i]
+		// Per-packet consistency: a batch straddles no swap, so every
+		// stamp must be the serving generation's, and stamps never move
+		// backwards across batches.
+		if o.Epoch != s.gen.Num || o.Epoch < s.lastEpoch {
+			s.stats.EpochViolations++
+		}
+		s.lastEpoch = o.Epoch
+		s.pushWindow(&batch[i])
+		s.stats.Packets++
+		if err := s.cfg.Sink.Emit(s.stats.Packets, &batch[i], o); err != nil {
+			return fmt.Errorf("serve: sink: %w", err)
+		}
+	}
+	s.publish()
+	return nil
+}
+
+// drainSwaps moves queued tickets into the pending list without
+// blocking.
+func (s *Server) drainSwaps(pending []*swapTicket) []*swapTicket {
+	for {
+		select {
+		case t := <-s.swapCh:
+			pending = append(pending, t)
+		default:
+			return pending
+		}
+	}
+}
+
+// applyEligible runs every pending swap whose packet threshold has been
+// reached. Runs at the barrier, on the serving goroutine.
+func (s *Server) applyEligible(pending []*swapTicket) []*swapTicket {
+	rest := pending[:0]
+	for _, t := range pending {
+		if t.req.AfterPackets > s.stats.Packets {
+			rest = append(rest, t)
+			continue
+		}
+		gen, rep := swap(s.gen, t.req, s.windowCopy())
+		if gen != nil {
+			s.gen = gen
+			s.stats.Generation = gen.Num
+			s.stats.Swaps++
+			s.stats.CarriedVars += int64(rep.Carried)
+			s.stats.ResetVars += int64(rep.Reset)
+			s.stats.LastSwapPauseNs = rep.Pause.Nanoseconds()
+		} else {
+			s.stats.SwapsBlocked++
+		}
+		s.publish()
+		if s.cfg.OnSwap != nil {
+			s.cfg.OnSwap(rep)
+		}
+		t.ch <- rep
+	}
+	return rest
+}
+
+// pushWindow records one served packet in the gating ring.
+func (s *Server) pushWindow(p *netpkt.Packet) {
+	if len(s.window) < cap(s.window) {
+		s.window = append(s.window, *p)
+	} else {
+		s.window[s.total%int64(cap(s.window))] = *p
+	}
+	s.total++
+}
+
+// windowCopy snapshots the ring in serving order (oldest first).
+func (s *Server) windowCopy() []netpkt.Packet {
+	n := int64(len(s.window))
+	out := make([]netpkt.Packet, 0, n)
+	if n < int64(cap(s.window)) {
+		return append(out, s.window...)
+	}
+	at := s.total % n
+	out = append(out, s.window[at:]...)
+	return append(out, s.window[:at]...)
+}
+
+// publish republishes the observable state.
+func (s *Server) publish() {
+	st := s.stats
+	st.WindowLen = int64(len(s.window))
+	s.pub.Store(&Published{Stats: st, Engine: s.gen.plane.snapshot()})
+}

@@ -1,0 +1,423 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+)
+
+// SwapRequest asks the server to replace the running generation with a
+// freshly built candidate at the next batch barrier.
+type SwapRequest struct {
+	Candidate Candidate
+	// AllowBehaviorChange skips the old-vs-new behavior gate — the
+	// normal case for an intentional model update (a re-synthesized NF
+	// with a changed config or source). The candidate-faithfulness gate
+	// (candidate engine vs its own reference semantics over the live
+	// window) always runs.
+	AllowBehaviorChange bool
+	// AfterPackets defers the swap until at least this many packets
+	// have been served (0: the next barrier). Lets tests and smoke runs
+	// place the swap mid-stream deterministically.
+	AfterPackets int64
+}
+
+// SwapReport is the outcome of one swap request: applied (with the
+// carry-over audit) or blocked (with the first divergence, down to the
+// diverging guard when the trails disagree).
+type SwapReport struct {
+	// From and To are the generation numbers. A blocked swap has To ==
+	// From: the old generation keeps serving.
+	From, To uint64
+	// Name labels the candidate.
+	Name string
+	// Blocked reports a refused swap; Reason says why, naming the
+	// first divergence.
+	Blocked bool
+	Reason  string
+	// GuardDiff pinpoints the first guard whose outcome differs
+	// between the two generations' explain trails at the diverging
+	// packet (behavior gate) or between the candidate and its
+	// reference (faithfulness gate). Empty when the divergence is not
+	// guard-attributable.
+	GuardDiff string
+	// DivergencePacket is the window index of the diverging packet
+	// (-1: none / not packet-attributable).
+	DivergencePacket int
+	// WindowLen is how many recently served packets gated this swap.
+	WindowLen int
+	// EntriesAdded / EntriesRemoved summarize the entry-table diff
+	// between the generations (by entry fingerprint, summed across
+	// stages).
+	EntriesAdded, EntriesRemoved int
+	// Decisions is the per-variable carry-over audit (stage-prefixed
+	// "name#i:var" for chains); Carried and Reset count them.
+	Decisions []dataplane.CarryDecision
+	Carried   int
+	Reset     int
+	// Pause is how long the data plane was quiesced at the barrier
+	// (gating, carry, build, verify).
+	Pause time.Duration
+}
+
+// Render formats the report for humans (one paragraph, stderr-bound).
+func (r *SwapReport) Render() string {
+	var b strings.Builder
+	if r.Blocked {
+		fmt.Fprintf(&b, "swap to %q BLOCKED (generation %d keeps serving): %s\n", r.Name, r.From, r.Reason)
+		if r.GuardDiff != "" {
+			fmt.Fprintf(&b, "  diverging guard: %s\n", r.GuardDiff)
+		}
+		fmt.Fprintf(&b, "  gated over %d live packets\n", r.WindowLen)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "swapped generation %d -> %d (%q) in %s\n", r.From, r.To, r.Name, r.Pause)
+	fmt.Fprintf(&b, "  entry table: +%d -%d; gated over %d live packets\n", r.EntriesAdded, r.EntriesRemoved, r.WindowLen)
+	fmt.Fprintf(&b, "  state carry-over: %d carried, %d reset\n", r.Carried, r.Reset)
+	for _, d := range r.Decisions {
+		verb := "reset"
+		if d.Carried {
+			verb = "carried"
+		}
+		fmt.Fprintf(&b, "    %-7s %s: %s\n", verb, d.Var, d.Reason)
+	}
+	return b.String()
+}
+
+// specOf rebuilds the chain.NamedModel spec from normalized stages,
+// with each stage's pristine init state.
+func specOf(stages []genStage) []chain.NamedModel {
+	spec := make([]chain.NamedModel, len(stages))
+	for i := range stages {
+		st := &stages[i]
+		spec[i] = chain.NamedModel{Name: st.name, Model: st.m, Config: st.config, State: st.init}
+	}
+	return spec
+}
+
+// swap runs the full swap protocol against the currently installed
+// generation `old`, over `window` (the most recently served packets in
+// serving order): gate the candidate, compute carry-over from the live
+// state, build the new plane from the carried state, verify the carry
+// landed, and return the new generation with its report. A blocked
+// swap returns gen == nil and report.Blocked.
+func swap(old *Generation, req SwapRequest, window []netpkt.Packet) (*Generation, *SwapReport) {
+	start := time.Now()
+	rep := &SwapReport{From: old.Num, To: old.Num, Name: req.Candidate.name(),
+		WindowLen: len(window), DivergencePacket: -1}
+	block := func(reason, guardDiff string, pkt int) (*Generation, *SwapReport) {
+		rep.Blocked, rep.Reason, rep.GuardDiff, rep.DivergencePacket = true, reason, guardDiff, pkt
+		rep.Pause = time.Since(start)
+		return nil, rep
+	}
+
+	next, err := normalize(req.Candidate)
+	if err != nil {
+		return block(err.Error(), "", -1)
+	}
+
+	// Gate 1 — candidate faithfulness: the candidate's compiled engine
+	// must match its own reference semantics over the live window. A
+	// candidate that fails this is mis-synthesized or mis-lowered; it
+	// never reaches the wire.
+	if len(window) > 0 {
+		if req.Candidate.Analysis != nil {
+			res, err := req.Candidate.Analysis.DiffTestCompiled(window, req.Candidate.Opts)
+			if err != nil {
+				return block(fmt.Sprintf("faithfulness gate failed to run: %v", err), "", -1)
+			}
+			if res.Mismatches > 0 {
+				gd, pkt := "", -1
+				if res.First != nil {
+					gd, pkt = res.First.GuardDiff, res.First.Packet
+				}
+				return block("candidate diverges from its own reference semantics: "+res.FirstDiff, gd, pkt)
+			}
+		} else {
+			res, err := dataplane.DiffTestChain(specOf(next), window)
+			if err != nil {
+				return block(fmt.Sprintf("faithfulness gate failed to run: %v", err), "", -1)
+			}
+			if res.Mismatches > 0 {
+				return block("candidate chain diverges from its stage-by-stage reference: "+res.FirstDiff, "", -1)
+			}
+		}
+	}
+
+	// Gate 2 — behavior equivalence: old and new generations, replayed
+	// from pristine state over the live window, must produce the same
+	// observable behavior (verdict, emitted packets, interfaces — entry
+	// indices renumber across generations and are not compared). Skipped
+	// only on an explicit AllowBehaviorChange.
+	if !req.AllowBehaviorChange && len(window) > 0 {
+		if reason, gd, pkt := behaviorGate(old, next, window); reason != "" {
+			return block(reason, gd, pkt)
+		}
+	}
+
+	rep.EntriesAdded, rep.EntriesRemoved = entryTableDiff(old.stages, next)
+
+	// Carry-over: per-variable against the live state, quiesced at the
+	// barrier.
+	var carry []map[string]value.Value
+	if len(next) == len(old.stages) {
+		live := old.plane.stageStates()
+		carry = make([]map[string]value.Value, len(next))
+		for i := range next {
+			if next[i].name != old.stages[i].name {
+				for _, n := range sortedVarNames(next[i].init) {
+					rep.Decisions = append(rep.Decisions, dataplane.CarryDecision{
+						Var: stageVar(next, i, n), Reason: fmt.Sprintf("stage NF changed (%s -> %s)", old.stages[i].name, next[i].name)})
+				}
+				continue // carry[i] stays nil: pristine init
+			}
+			st, decs := dataplane.CarryOver(old.stages[i].cls, next[i].cls, live[i], next[i].init)
+			carry[i] = st
+			for _, d := range decs {
+				d.Var = stageVar(next, i, d.Var)
+				rep.Decisions = append(rep.Decisions, d)
+			}
+		}
+	} else {
+		for i := range next {
+			for _, n := range sortedVarNames(next[i].init) {
+				rep.Decisions = append(rep.Decisions, dataplane.CarryDecision{
+					Var: stageVar(next, i, n), Reason: fmt.Sprintf("chain shape changed (%d -> %d stages)", len(old.stages), len(next))})
+			}
+		}
+	}
+	for _, d := range rep.Decisions {
+		if d.Carried {
+			rep.Carried++
+		} else {
+			rep.Reset++
+		}
+	}
+
+	gen, err := buildGeneration(req.Candidate, old.Num+1, next, carry)
+	if err != nil {
+		return block(fmt.Sprintf("candidate failed to build: %v", err), "", -1)
+	}
+
+	// Verify the carried state actually landed in the new plane (the
+	// sharded builders re-lower it; the merge must invert the lowering).
+	if carry != nil {
+		got := gen.plane.stageStates()
+		for i := range next {
+			if carry[i] == nil {
+				continue
+			}
+			for name, want := range carry[i] {
+				if have, ok := got[i][name]; !ok || !value.Equal(want, have) {
+					return block(fmt.Sprintf("carry verification failed: %s did not survive the rebuild (want %s, plane has %s)",
+						stageVar(next, i, name), want, got[i][name]), "", -1)
+				}
+			}
+		}
+	}
+
+	rep.To = gen.Num
+	rep.Pause = time.Since(start)
+	return gen, rep
+}
+
+// behaviorGate replays fresh pristine replicas of both generations over
+// the window in lockstep. On the first observable difference it
+// rebuilds both replicas, replays the prefix, explains the diverging
+// packet on each side and names the first guard whose outcome differs.
+// Returns "" when the window agrees.
+func behaviorGate(old *Generation, next []genStage, window []netpkt.Packet) (reason, guardDiff string, pkt int) {
+	oldRep, err := newReplica(old.stages)
+	if err != nil {
+		return fmt.Sprintf("behavior gate: old replica: %v", err), "", -1
+	}
+	newRep, err := newReplica(next)
+	if err != nil {
+		return fmt.Sprintf("behavior gate: candidate replica: %v", err), "", -1
+	}
+	for i := range window {
+		ov, oerr := oldRep.process(&window[i])
+		nv, nerr := newRep.process(&window[i])
+		if (oerr != nil) != (nerr != nil) {
+			return fmt.Sprintf("packet %d (%s): error mismatch: old=%v new=%v", i, &window[i], oerr, nerr), "", i
+		}
+		if oerr != nil {
+			continue // both errored identically observable
+		}
+		if diff := compareVerdicts(ov, nv); diff != "" {
+			gd := explainDivergence(old, next, window, i)
+			return fmt.Sprintf("packet %d (%s): generations diverge: %s", i, &window[i], diff), gd, i
+		}
+	}
+	return "", "", -1
+}
+
+// explainDivergence replays fresh replicas of both generations over
+// window[:i] and diffs the guard trails of window[i], labeling each
+// side with its generation number. Best-effort: "" when a replica
+// cannot be rebuilt.
+func explainDivergence(old *Generation, next []genStage, window []netpkt.Packet, i int) string {
+	trailOf := func(stages []genStage, label string) *telemetry.PacketTrace {
+		rep, err := newReplica(stages)
+		if err != nil {
+			return nil
+		}
+		for j := 0; j < i; j++ {
+			if _, err := rep.process(&window[j]); err != nil {
+				return nil
+			}
+		}
+		tr, _ := rep.explain(&window[i])
+		if tr != nil {
+			tr.Backend = label
+		}
+		return tr
+	}
+	a := trailOf(old.stages, fmt.Sprintf("gen%d", old.Num))
+	b := trailOf(next, fmt.Sprintf("gen%d", old.Num+1))
+	if a == nil || b == nil {
+		return ""
+	}
+	return telemetry.DiffGuards(a, b)
+}
+
+// compareVerdicts checks observable behavior only: drop/forward, the
+// emitted packets and their interfaces. Entry indices are generation-
+// local and excluded.
+func compareVerdicts(a, b netpkt.Verdict) string {
+	if a.Dropped != b.Dropped {
+		return fmt.Sprintf("verdict mismatch: old=%v new=%v", a, b)
+	}
+	if len(a.Sent) != len(b.Sent) {
+		return fmt.Sprintf("send count mismatch: old=%d new=%d", len(a.Sent), len(b.Sent))
+	}
+	for i := range a.Sent {
+		if a.Ifaces[i] != b.Ifaces[i] {
+			return fmt.Sprintf("send %d iface mismatch: old=%q new=%q", i, a.Ifaces[i], b.Ifaces[i])
+		}
+		if a.Sent[i].Canonical() != b.Sent[i].Canonical() {
+			return fmt.Sprintf("send %d packet mismatch:\n  old: %s\n  new: %s", i, a.Sent[i].Canonical(), b.Sent[i].Canonical())
+		}
+	}
+	return ""
+}
+
+// replica is a fresh sequential twin of a generation, replayed from
+// pristine state during gating.
+type replica interface {
+	process(p *netpkt.Packet) (netpkt.Verdict, error)
+	explain(p *netpkt.Packet) (*telemetry.PacketTrace, error)
+}
+
+// newReplica compiles a sequential replica from pristine state: an
+// Engine for a single NF, a fused ChainEngine for a chain (faithful to
+// the stage-by-stage reference by gate 1's own check).
+func newReplica(stages []genStage) (replica, error) {
+	if len(stages) == 1 {
+		eng, err := dataplane.Compile(stages[0].m, stages[0].config, stages[0].init)
+		if err != nil {
+			return nil, err
+		}
+		return &engineReplica{eng: eng}, nil
+	}
+	eng, err := dataplane.CompileChain(specOf(stages))
+	if err != nil {
+		return nil, err
+	}
+	return &chainReplica{eng: eng}, nil
+}
+
+type engineReplica struct{ eng *dataplane.Engine }
+
+func (r *engineReplica) process(p *netpkt.Packet) (netpkt.Verdict, error) {
+	o, err := r.eng.Process(p)
+	if err != nil {
+		return netpkt.Verdict{}, err
+	}
+	return verdictOfOutput(o), nil
+}
+
+func (r *engineReplica) explain(p *netpkt.Packet) (*telemetry.PacketTrace, error) {
+	_, tr, err := r.eng.ProcessExplain(p)
+	return tr, err
+}
+
+type chainReplica struct{ eng *dataplane.ChainEngine }
+
+func (r *chainReplica) process(p *netpkt.Packet) (netpkt.Verdict, error) {
+	o, err := r.eng.Process(p)
+	if err != nil {
+		return netpkt.Verdict{}, err
+	}
+	return verdictOfChainOutput(o), nil
+}
+
+func (r *chainReplica) explain(p *netpkt.Packet) (*telemetry.PacketTrace, error) {
+	_, tr, err := r.eng.ProcessExplain(p)
+	return tr, err
+}
+
+// entryTableDiff counts, per stage index, the entries present in one
+// generation's table and not the other (by structural fingerprint),
+// summed across stages. Stages beyond the shorter chain count whole.
+func entryTableDiff(old, next []genStage) (added, removed int) {
+	n := len(old)
+	if len(next) > n {
+		n = len(next)
+	}
+	for i := 0; i < n; i++ {
+		var of, nf map[string]int
+		if i < len(old) {
+			of = entryFingerprints(old[i].m)
+		}
+		if i < len(next) {
+			nf = entryFingerprints(next[i].m)
+		}
+		for fp, c := range nf {
+			if d := c - of[fp]; d > 0 {
+				added += d
+			}
+		}
+		for fp, c := range of {
+			if d := c - nf[fp]; d > 0 {
+				removed += d
+			}
+		}
+	}
+	return added, removed
+}
+
+func entryFingerprints(m *model.Model) map[string]int {
+	out := make(map[string]int, len(m.Entries))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		out[fmt.Sprintf("%v|%v|%v|%v|%v", e.Config, e.FlowMatch, e.StateMatch, e.Sends, e.Updates)]++
+	}
+	return out
+}
+
+// stageVar namespaces a variable name for reports: bare for a single
+// NF, "name#i:var" for chains (the hop-namespace convention).
+func stageVar(stages []genStage, i int, name string) string {
+	if len(stages) == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s#%d:%s", stages[i].name, i, name)
+}
+
+func sortedVarNames(m map[string]value.Value) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

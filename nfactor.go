@@ -27,7 +27,6 @@ package nfactor
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"nfactor/internal/core"
 	"nfactor/internal/dataplane"
@@ -316,30 +315,6 @@ func (r *Result) DiffTestSharded(stimulus []Packet, n int) (mismatches int, firs
 	return res.Mismatches, res.FirstDiff, nil
 }
 
-// ReplayCompiled runs the trace through the compiled engine.
-//
-// Deprecated: use Replayer(BackendCompiled) and loop Process — the
-// unified surface also exports telemetry.
-func (r *Result) ReplayCompiled(trace []Packet) ([]Verdict, error) {
-	return r.replay(BackendCompiled, trace)
-}
-
-// DiffTestCompiled replays the trace through the reference Instance and
-// the compiled engine in lockstep (§5's differential methodology turned
-// on the data plane itself) and reports mismatches: per-packet outputs,
-// fired entries, and the end state must all agree.
-//
-// Deprecated: use DiffTest(DiffOptions{Trace: trace, Backend:
-// BackendCompiled}), whose DiffReport carries guard-level divergence
-// detail.
-func (r *Result) DiffTestCompiled(trace []Packet) (mismatches int, firstDiff string, err error) {
-	res, err := r.DiffTest(DiffOptions{Trace: trace, Backend: BackendCompiled})
-	if err != nil {
-		return 0, "", err
-	}
-	return res.Mismatches, res.FirstDiff, nil
-}
-
 // CompileModel lowers the model back to an NFLang program.
 func (r *Result) CompileModel() (string, error) {
 	config, state, err := r.an.ConfigAndState(r.opts.ConfigOverride)
@@ -366,31 +341,6 @@ func (r *Result) CheckEquivalence() error {
 			len(rep.UncoveredProgram), len(rep.MismatchedModel))
 	}
 	return nil
-}
-
-// DiffTestRandom runs n random packets through the original program and
-// the model side by side (§5 accuracy, part 2) and returns the number
-// of mismatches (0 = the outputs agreed on every trial).
-//
-// Deprecated: use DiffTest(DiffOptions{N: n, Seed: seed}), which
-// returns the structured DiffReport.
-func (r *Result) DiffTestRandom(n int, seed int64) (mismatches int, firstDiff string, err error) {
-	res, err := r.DiffTest(DiffOptions{N: n, Seed: seed})
-	if err != nil {
-		return 0, "", err
-	}
-	return res.Mismatches, res.FirstDiff, nil
-}
-
-// DiffTestTrace is DiffTestRandom over a caller-provided trace.
-//
-// Deprecated: use DiffTest(DiffOptions{Trace: trace}).
-func (r *Result) DiffTestTrace(trace []Packet) (mismatches int, firstDiff string, err error) {
-	res, err := r.DiffTest(DiffOptions{Trace: trace})
-	if err != nil {
-		return 0, "", err
-	}
-	return res.Mismatches, res.FirstDiff, nil
 }
 
 // DetectStructure reports the Figure 4 code structure of an NFLang
@@ -477,43 +427,10 @@ func (r *Result) MinimizeModel() *Model {
 	return model.Minimize(r.an.Model)
 }
 
-// Verdict is one packet's observable outcome during replay.
-type Verdict struct {
-	Dropped bool
-	Sent    []Packet
-	Ifaces  []string
-}
-
-// String renders the verdict compactly.
-func (v Verdict) String() string {
-	if v.Dropped {
-		return "DROP"
-	}
-	parts := make([]string, len(v.Sent))
-	for i := range v.Sent {
-		dst := fmt.Sprintf("%s:%d", v.Sent[i].DstIP, v.Sent[i].DstPort)
-		if v.Ifaces[i] != "" {
-			dst += " via " + v.Ifaces[i]
-		}
-		parts[i] = dst
-	}
-	return "FORWARD -> " + strings.Join(parts, ", ")
-}
-
-// ReplayProgram runs the trace through the original NF program (state
-// evolving across packets) and returns per-packet verdicts.
-//
-// Deprecated: use Replayer(BackendProgram) and loop Process.
-func (r *Result) ReplayProgram(trace []Packet) ([]Verdict, error) {
-	return r.replay(BackendProgram, trace)
-}
-
-// ReplayModel runs the trace through the synthesized model.
-//
-// Deprecated: use Replayer(BackendModel) and loop Process.
-func (r *Result) ReplayModel(trace []Packet) ([]Verdict, error) {
-	return r.replay(BackendModel, trace)
-}
+// Verdict is one packet's observable outcome during replay or serving:
+// dropped, or forwarded as one or more (possibly rewritten) packets on
+// their interfaces.
+type Verdict = netpkt.Verdict
 
 // ParseTrace reads the nfreplay trace text format.
 func ParseTrace(r io.Reader) ([]Packet, error) { return netpkt.ParseTrace(r) }

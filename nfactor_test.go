@@ -255,14 +255,24 @@ func TestReplayAPIs(t *testing.T) {
 		{SrcIP: "9.9.9.9", DstIP: "3.3.3.3", SrcPort: 5555, DstPort: 80, Proto: "tcp", Flags: "S", TTL: 64, InIface: "eth0"},
 		{SrcIP: "1.2.3.4", DstIP: "9.9.9.9", SrcPort: 81, DstPort: 6666, Proto: "tcp", Flags: "A", TTL: 64, InIface: "eth0"},
 	}
-	pv, err := res.ReplayProgram(trace)
-	if err != nil {
-		t.Fatal(err)
+	replay := func(b Backend) []Verdict {
+		t.Helper()
+		rp, err := res.Replayer(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Verdict, 0, len(trace))
+		for i := range trace {
+			v, err := rp.Process(&trace[i])
+			if err != nil {
+				t.Fatalf("packet %d: %v", i, err)
+			}
+			out = append(out, v)
+		}
+		return out
 	}
-	mv, err := res.ReplayModel(trace)
-	if err != nil {
-		t.Fatal(err)
-	}
+	pv := replay(BackendProgram)
+	mv := replay(BackendModel)
 	if len(pv) != 2 || len(mv) != 2 {
 		t.Fatalf("verdict counts %d/%d", len(pv), len(mv))
 	}

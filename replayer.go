@@ -9,6 +9,7 @@ import (
 	"nfactor/internal/interp"
 	"nfactor/internal/model"
 	"nfactor/internal/netpkt"
+	"nfactor/internal/serve"
 	"nfactor/internal/telemetry"
 	"nfactor/internal/value"
 	"nfactor/internal/verify"
@@ -65,26 +66,18 @@ func (b Backend) String() string {
 }
 
 // Replayer is the unified replay surface: every execution engine —
-// original program, model instance, compiled engine, sharded engine —
-// processes packets one at a time with evolving state and exports the
-// same telemetry Snapshot. Replayers are single-goroutine objects.
-type Replayer interface {
-	// Process runs one packet and returns its verdict. State evolves
-	// across calls.
-	Process(*Packet) (Verdict, error)
-	// Snapshot exports the telemetry accumulated so far.
-	Snapshot() Snapshot
-}
+// original program, model instance, compiled engine, sharded engine,
+// fused chain — processes packets one at a time with evolving state and
+// exports the same telemetry Snapshot. Replayers are single-goroutine
+// objects. The canonical definition lives in internal/serve: the same
+// interface the serving daemon hot-swaps behind.
+type Replayer = serve.Replayer
 
 // Explainer is the optional provenance extension of Replayer: table
-// backends (model, compiled, sharded) can explain each verdict with the
-// full guard trail. The program backend does not implement it (the
-// original source has no match/action table to trace).
-type Explainer interface {
-	// ProcessExplain is Process plus the packet's why-trace. It counts
-	// in the same telemetry as Process.
-	ProcessExplain(*Packet) (Verdict, *PacketTrace, error)
-}
+// backends (model, compiled, sharded, chain) can explain each verdict
+// with the full guard trail. The program backend does not implement it
+// (the original source has no match/action table to trace).
+type Explainer = serve.Explainer
 
 // Replayer builds the unified replay surface over the chosen backend.
 // It replaces the ReplayProgram/ReplayModel/ReplayCompiled trio: one
@@ -240,24 +233,6 @@ func (s *shardedReplayer) ProcessExplain(pkt *Packet) (Verdict, *PacketTrace, er
 }
 
 func (s *shardedReplayer) Snapshot() Snapshot { return s.sh.Telemetry() }
-
-// replay loops a backend's Replayer over a trace (the deprecated
-// ReplayProgram/ReplayModel/ReplayCompiled wrappers delegate here).
-func (r *Result) replay(b Backend, trace []Packet) ([]Verdict, error) {
-	rp, err := r.Replayer(b)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Verdict, 0, len(trace))
-	for i := range trace {
-		v, err := rp.Process(&trace[i])
-		if err != nil {
-			return nil, fmt.Errorf("packet %d: %w", i, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 // --- unified diff test ------------------------------------------------
 

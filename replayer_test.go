@@ -159,44 +159,54 @@ func TestDiffTestUnified(t *testing.T) {
 	}
 }
 
-// TestDeprecatedReplayWrappers keeps the pre-Replayer API surface
-// working: the wrappers must behave exactly like the new paths.
-func TestDeprecatedReplayWrappers(t *testing.T) {
+// TestFacadeBackendParity drives every backend through the one
+// Replayer surface and checks they agree packet for packet — the
+// property the deleted per-backend Replay* wrappers used to pin.
+func TestFacadeBackendParity(t *testing.T) {
 	res, err := AnalyzeCorpus("lb", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	trace := RandomTrace(50, 3)
-	pv, err := res.ReplayProgram(trace)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mv, err := res.ReplayModel(trace)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cv, err := res.ReplayCompiled(trace)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(pv) != len(trace) || len(mv) != len(trace) || len(cv) != len(trace) {
-		t.Fatalf("verdict counts %d/%d/%d", len(pv), len(mv), len(cv))
-	}
-	for i := range trace {
-		if pv[i].Dropped != mv[i].Dropped || mv[i].Dropped != cv[i].Dropped {
-			t.Errorf("packet %d: verdicts diverge program=%v model=%v compiled=%v",
-				i, pv[i].Dropped, mv[i].Dropped, cv[i].Dropped)
+	backends := []Backend{BackendProgram, BackendModel, BackendCompiled, BackendSharded}
+	verdicts := make([][]Verdict, len(backends))
+	for bi, b := range backends {
+		rp, err := res.Replayer(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range trace {
+			v, err := rp.Process(&trace[i])
+			if err != nil {
+				t.Fatalf("%v packet %d: %v", b, i, err)
+			}
+			verdicts[bi] = append(verdicts[bi], v)
+		}
+		if snap := rp.Snapshot(); snap.Packets != int64(len(trace)) {
+			t.Errorf("%v snapshot packets = %d, want %d", b, snap.Packets, len(trace))
 		}
 	}
-	if mism, diff, err := res.DiffTestRandom(100, 5); err != nil || mism != 0 {
-		t.Errorf("DiffTestRandom: mism=%d diff=%q err=%v", mism, diff, err)
+	for bi := 1; bi < len(backends); bi++ {
+		for i := range trace {
+			if verdicts[0][i].Dropped != verdicts[bi][i].Dropped {
+				t.Errorf("packet %d: %v verdict diverges from %v", i, backends[bi], backends[0])
+			}
+		}
 	}
-	if mism, diff, err := res.DiffTestTrace(trace); err != nil || mism != 0 {
-		t.Errorf("DiffTestTrace: mism=%d diff=%q err=%v", mism, diff, err)
+	if mism, diff, err := diffVia(res, DiffOptions{N: 100, Seed: 5}); err != nil || mism != 0 {
+		t.Errorf("random difftest: mism=%d diff=%q err=%v", mism, diff, err)
 	}
-	if mism, diff, err := res.DiffTestCompiled(trace); err != nil || mism != 0 {
-		t.Errorf("DiffTestCompiled: mism=%d diff=%q err=%v", mism, diff, err)
+	if mism, diff, err := diffVia(res, DiffOptions{Trace: trace, Backend: BackendCompiled}); err != nil || mism != 0 {
+		t.Errorf("compiled difftest: mism=%d diff=%q err=%v", mism, diff, err)
 	}
+}
+
+func diffVia(res *Result, opts DiffOptions) (int, string, error) {
+	rep, err := res.DiffTest(opts)
+	if err != nil {
+		return 0, "", err
+	}
+	return rep.Mismatches, rep.FirstDiff, nil
 }
 
 // TestDeadEntries replays traffic that leaves some entries cold and

@@ -1,0 +1,63 @@
+package nfactor
+
+import (
+	"io"
+
+	"nfactor/internal/serve"
+	"nfactor/internal/telemetry"
+)
+
+// Server is the live serving daemon: a long-running loop pulling
+// packets from a Source, pushing verdicts to a Sink, with
+// generation-consistent engine hot-swap — see internal/serve for the
+// protocol (batch-barrier quiescence, per-packet epoch stamps, state
+// carry-over, differential swap gate).
+type Server = serve.Server
+
+// ServeConfig tunes a Server (source, sink, batch and window sizes).
+type ServeConfig = serve.Config
+
+// SwapRequest asks a running Server to replace its engine generation
+// with a freshly synthesized candidate.
+type SwapRequest = serve.SwapRequest
+
+// SwapReport is a swap's outcome: applied with a carry-over audit, or
+// blocked with the first divergence (down to the diverging guard).
+type SwapReport = serve.SwapReport
+
+// ServeStats are the serving loop's generation counters, published
+// after every batch (Server.Stats).
+type ServeStats = telemetry.ServeStats
+
+// Source feeds packets to a Server; Sink receives each outcome.
+type (
+	Source  = serve.Source
+	Sink    = serve.Sink
+	Outcome = serve.Outcome
+)
+
+// NewServer builds the initial generation from a candidate (see
+// Result.ServeCandidate / ChainResult.ServeCandidate) and a server
+// around it. Call Run to serve.
+func NewServer(c ServeCandidate, cfg ServeConfig) (*Server, error) {
+	return serve.New(c, cfg)
+}
+
+// NewTraceSource serves a fixed trace, once or looping (limit bounds
+// the total; 0 = once through, or forever when looping).
+func NewTraceSource(trace []Packet, loop bool, limit int64) Source {
+	return serve.NewTraceSource(trace, loop, limit)
+}
+
+// NewReaderSource parses trace lines from a stream (stdin, a pipe).
+func NewReaderSource(r io.Reader) Source { return serve.NewReaderSource(r) }
+
+// UDPSource serves packets parsed from UDP datagrams, one trace line
+// per datagram. Close it to unblock a draining Server.
+type UDPSource = serve.UDPSource
+
+// NewUDPSource listens on addr and returns a Source fed by datagrams.
+func NewUDPSource(addr string) (*UDPSource, error) { return serve.NewUDPSource(addr) }
+
+// NewWriterSink renders verdict lines in nfreplay's replay format.
+func NewWriterSink(w io.Writer) Sink { return serve.NewWriterSink(w) }
