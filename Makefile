@@ -7,9 +7,10 @@ GO ?= go
 # covers these.
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments \
-             ./internal/trace ./internal/dataplane ./internal/serve
+             ./internal/trace ./internal/dataplane ./internal/serve \
+             ./internal/verify
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace alloc vet lint fuzz trace serve
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace bench-verify alloc vet lint fuzz trace serve verify-net
 
 all: check
 
@@ -30,6 +31,14 @@ trace:
 # model passes. Non-zero exit on error-severity findings.
 lint:
 	$(GO) run ./cmd/nflint
+
+# Network verification smoke: the checked-in branching fixtures must
+# verify (protected: all invariants hold, exit 0) and refute (breach:
+# NFL401 with a concrete witness, exit 1) — the same pair the CI
+# verify-smoke job asserts.
+verify-net:
+	$(GO) run ./cmd/nfverify -topo internal/verify/testdata/protected.json
+	! $(GO) run ./cmd/nfverify -topo internal/verify/testdata/breach.json
 
 # Short parser fuzz (the CI smoke variant; crashers land in
 # internal/lang/testdata/fuzz and become regression seeds).
@@ -103,3 +112,10 @@ bench-telemetry:
 # path — see TestDisabledTracerSteppingIsAllocFree).
 bench-trace:
 	$(GO) run ./cmd/nfbench -exp trace -workers 1 -out BENCH_trace.json
+
+# Symbolic network verification vs topology size (chain / diamond /
+# fat-tree-8, workers 1 vs 4, cold solver cache each); refreshes the
+# checked-in BENCH_verify.json. The acceptance bar is worker_invariant
+# true on every row — byte-identical reports at every worker count.
+bench-verify:
+	$(GO) run ./cmd/nfbench -exp verify -workers 1 -out BENCH_verify.json

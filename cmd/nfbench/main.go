@@ -35,6 +35,12 @@
 // (whole-pipeline wall time, tracing on vs off, fresh solver cache per
 // run); `make bench-trace` records the rows as BENCH_trace.json.
 //
+// -exp verify measures symbolic network verification (reach/isolation/
+// waypoint/loopfree invariants over branching topologies of corpus NF
+// models) at 1 worker vs a pool, with solver-cache hit rates and a
+// worker-invariance cross-check; `make bench-verify` records the rows
+// as BENCH_verify.json.
+//
 // NF rows run concurrently under -workers (default GOMAXPROCS); results
 // are identical at every worker count, but use -workers=1 when the
 // per-row timing columns matter — concurrent rows contend for cores.
@@ -55,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | sharding | chain | telemetry | trace | all")
+	exp := flag.String("exp", "all", "experiment: table1 | table2 | figure1 | figure6 | accuracy | verification | dataplane | sharding | chain | telemetry | trace | verify | all")
 	nfsFlag := flag.String("nfs", "", "comma-separated NF subset (default: whole corpus)")
 	maxPaths := flag.Int("maxpaths", 1024, "path budget for original-program symbolic execution (the paper's snort run exceeded it)")
 	trials := flag.Int("trials", 1000, "random packets per NF in the accuracy experiment")
@@ -155,6 +161,15 @@ func main() {
 		fmt.Println(experiments.FormatTrace(rows))
 		if *out != "" && *exp == "trace" {
 			check(writeTraceJSON(*out, rows))
+			fmt.Println("wrote", *out)
+		}
+	}
+	if run("verify") {
+		rows, err := experiments.VerifyNet(opts)
+		check(err)
+		fmt.Println(experiments.FormatVerifyNet(rows))
+		if *out != "" && *exp == "verify" {
+			check(writeVerifyNetJSON(*out, rows))
 			fmt.Println("wrote", *out)
 		}
 	}
@@ -291,6 +306,34 @@ func writeTraceJSON(path string, rows []experiments.TraceRow) error {
 			"strictly zero-cost — a nil tracer leaves only nil checks in the exploration loop " +
 			"(see TestDisabledTracerSteppingIsAllocFree). Target: <5% overhead enabled. " +
 			"Regenerate with `make bench-trace`.",
+		Machine: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cores":      runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeVerifyNetJSON records the network-verification scaling rows.
+func writeVerifyNetJSON(path string, rows []experiments.VerifyNetRow) error {
+	doc := struct {
+		Description string                     `json:"description"`
+		Machine     map[string]any             `json:"machine"`
+		Rows        []experiments.VerifyNetRow `json:"rows"`
+	}{
+		Description: "Network verification (internal/verify.SymNetwork): wall time to check " +
+			"solver-proved invariants (reach, isolation, waypoint, loopfree) over branching " +
+			"topologies of corpus NF models, at 1 worker vs a pool, each on a cold solver " +
+			"cache. cache_hit_rate is the fraction of satisfiability decisions answered from " +
+			"the memoizing cache in the 1-worker run; worker_invariant asserts the two runs " +
+			"produced byte-identical reports. Regenerate with `make bench-verify`.",
 		Machine: map[string]any{
 			"goos":       runtime.GOOS,
 			"goarch":     runtime.GOARCH,

@@ -22,6 +22,12 @@
 // -class in_iface=lan,dport=80 — without it, NFs whose reverse path
 // admits arbitrary replies keep most downstream entries reachable.
 //
+// -topo net.json switches to the network-level pass (NFL4xx): the
+// topology's invariants are checked by symbolic exploration and every
+// violation — isolation breach (NFL401), forwarding loop (NFL402),
+// waypoint bypass (NFL403), black-hole (NFL404) — is reported with its
+// path and concrete witness packet.
+//
 // Exit status: 0 clean (or warnings/info only), 1 when any
 // error-severity diagnostic was found, 2 on usage or load errors.
 package main
@@ -36,9 +42,11 @@ import (
 	"nfactor/internal/core"
 	"nfactor/internal/dataplane"
 	"nfactor/internal/lint"
+	"nfactor/internal/model"
 	"nfactor/internal/nfs"
 	"nfactor/internal/solver"
 	"nfactor/internal/value"
+	"nfactor/internal/verify"
 )
 
 func main() {
@@ -46,9 +54,11 @@ func main() {
 	srcOnly := flag.Bool("source", false, "source-level passes only (no model synthesis)")
 	chainSpec := flag.String("chain", "", "comma-separated NF order: run the chain-level pass (NFL301) instead of per-NF passes")
 	classSpec := flag.String("class", "", "restrict injected traffic for -chain, e.g. in_iface=lan,dport=80")
+	topoSpec := flag.String("topo", "", "topology file: run the network-level pass (NFL4xx) instead of per-NF passes")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nflint [-json] [-source] [target ...]\n")
 		fmt.Fprintf(os.Stderr, "       nflint [-json] -chain a,b,c [-class field=value,...]\n")
+		fmt.Fprintf(os.Stderr, "       nflint [-json] -topo net.json\n")
 		fmt.Fprintf(os.Stderr, "targets: corpus NF names (%s) or .nfl files; default: whole corpus\n",
 			strings.Join(nfs.Names(), ", "))
 		flag.PrintDefaults()
@@ -56,7 +66,19 @@ func main() {
 	flag.Parse()
 
 	var diags []lint.Diagnostic
-	if *chainSpec != "" {
+	switch {
+	case *topoSpec != "":
+		if flag.NArg() > 0 || *chainSpec != "" || *classSpec != "" {
+			fmt.Fprintln(os.Stderr, "nflint: -topo takes no positional targets and excludes -chain/-class")
+			os.Exit(2)
+		}
+		var err error
+		diags, err = lintTopo(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *chainSpec != "":
 		if flag.NArg() > 0 {
 			fmt.Fprintln(os.Stderr, "nflint: -chain takes its NFs from the flag, not positional targets")
 			os.Exit(2)
@@ -67,7 +89,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		if *classSpec != "" {
 			fmt.Fprintln(os.Stderr, "nflint: -class only applies with -chain")
 			os.Exit(2)
@@ -99,6 +121,55 @@ func main() {
 	}
 	if lint.HasErrors(diags) {
 		os.Exit(1)
+	}
+}
+
+// lintTopo runs the network-level pass (NFL4xx) over a topology file.
+func lintTopo(path string) ([]lint.Diagnostic, error) {
+	topo, err := verify.LoadTopo(path)
+	if err != nil {
+		return nil, fmt.Errorf("nflint: %v", err)
+	}
+	invs, err := topo.ParsedInvariants()
+	if err != nil {
+		return nil, fmt.Errorf("nflint: %v", err)
+	}
+	if len(invs) == 0 {
+		return nil, fmt.Errorf("nflint: topology %s declares no invariants", path)
+	}
+	net, err := topo.Sym(resolveNF())
+	if err != nil {
+		return nil, fmt.Errorf("nflint: %v", err)
+	}
+	diags, err := lint.Network(net, invs, verify.ExploreOpts{Cache: solver.NewCache()})
+	if err != nil {
+		return nil, fmt.Errorf("nflint: %v", err)
+	}
+	return diags, nil
+}
+
+// resolveNF resolves corpus NF names for topology nodes, analyzing each
+// program once.
+func resolveNF() verify.NFResolver {
+	cache := map[string]*core.Analysis{}
+	return func(name string) (*model.Model, map[string]value.Value, map[string]value.Value, error) {
+		an, ok := cache[name]
+		if !ok {
+			nf, err := nfs.Load(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			an, err = core.Analyze(name, nf.Prog, core.Options{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cache[name] = an
+		}
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return an.Model, config, state, nil
 	}
 }
 

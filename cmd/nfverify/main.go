@@ -1,34 +1,291 @@
-// Command nfverify demonstrates stateful verification with synthesized
-// models (§4 "Network Verification"): it builds a service chain from
-// corpus NFs, checks symbolic reachability / isolation properties, and
-// cross-validates one verdict with concrete simulation.
+// Command nfverify is the §4 "Network Verification" application:
+// synthesized NF models plugged into a stateful data-plane verifier.
 //
-// Usage:
+// Topology mode checks solver-proved invariants over a branching network
+// of hosts, switches and NF models, with every violation carrying a
+// concrete witness packet that is replayed on the concrete simulator:
 //
-//	nfverify [-chain snortlite,lb] [-class dport=23,proto=tcp]
+//	nfverify -topo net.json [-invariant 'isolation(h1,h3)'] [-json] [-workers N]
+//
+// Invariants come from the topology file's "invariants" list plus any
+// -invariant flags (repeatable): reach(src,dst), isolation(src,dst),
+// waypoint(src,dst,via), loopfree, noblackhole. Exit status: 0 all
+// invariants hold, 1 violation found, 2 usage or load errors.
+//
+// Chain mode (legacy) checks symbolic reachability of a traffic class
+// through a linear service chain:
+//
+//	nfverify -chain snortlite,lb [-class dport=23,proto=tcp]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"nfactor/internal/core"
+	"nfactor/internal/lint"
+	"nfactor/internal/model"
 	"nfactor/internal/nfs"
 	"nfactor/internal/solver"
 	"nfactor/internal/value"
 	"nfactor/internal/verify"
 )
 
+// stringList collects repeatable flags.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
 func main() {
-	chainFlag := flag.String("chain", "snortlite,lb", "comma-separated NF chain, left to right")
+	topoFlag := flag.String("topo", "", "topology file: check network invariants symbolically")
+	var invFlags stringList
+	flag.Var(&invFlags, "invariant", "additional invariant to check (repeatable), e.g. 'isolation(h1,h3)'")
+	jsonOut := flag.Bool("json", false, "emit the topology report as JSON")
+	workers := flag.Int("workers", 0, "parallel explorations (0: GOMAXPROCS); results are identical at any count")
+	chainFlag := flag.String("chain", "", "comma-separated NF chain, left to right (legacy chain mode)")
 	classFlag := flag.String("class", "", "traffic class constraints, e.g. dport=23,proto=tcp")
 	flag.Parse()
 
+	if *topoFlag != "" {
+		if *chainFlag != "" {
+			fmt.Fprintln(os.Stderr, "nfverify: -topo and -chain are mutually exclusive")
+			os.Exit(2)
+		}
+		os.Exit(runTopo(*topoFlag, invFlags, *jsonOut, *workers))
+	}
+	chain := *chainFlag
+	if chain == "" {
+		chain = "snortlite,lb"
+	}
+	runChain(chain, *classFlag)
+}
+
+// resolveNF resolves corpus NF names through the synthesis pipeline,
+// analyzing each program once.
+func resolveNF() verify.NFResolver {
+	cache := map[string]*core.Analysis{}
+	return func(name string) (*model.Model, map[string]value.Value, map[string]value.Value, error) {
+		an, ok := cache[name]
+		if !ok {
+			nf, err := nfs.Load(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			an, err = core.Analyze(name, nf.Prog, core.Options{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cache[name] = an
+		}
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return an.Model, config, state, nil
+	}
+}
+
+// --- topology mode ----------------------------------------------------
+
+func runTopo(path string, extraInvs []string, jsonOut bool, workers int) int {
+	topo, err := verify.LoadTopo(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfverify:", err)
+		return 2
+	}
+	invs, err := topo.ParsedInvariants()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfverify:", err)
+		return 2
+	}
+	for _, s := range extraInvs {
+		inv, err := verify.ParseInvariant(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfverify:", err)
+			return 2
+		}
+		invs = append(invs, inv)
+	}
+	if len(invs) == 0 {
+		fmt.Fprintln(os.Stderr, "nfverify: no invariants (topology file has none; pass -invariant)")
+		return 2
+	}
+	resolve := resolveNF()
+	net, err := topo.Sym(resolve)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfverify:", err)
+		return 2
+	}
+	rep, err := net.Check(invs, verify.ExploreOpts{Workers: workers, Cache: solver.NewCache()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfverify:", err)
+		return 2
+	}
+	replays := replayAll(topo, resolve, rep.Violations)
+
+	if jsonOut {
+		if err := printJSON(path, topo, invs, rep, replays); err != nil {
+			fmt.Fprintln(os.Stderr, "nfverify:", err)
+			return 2
+		}
+	} else {
+		printText(path, topo, invs, rep, replays, workers)
+	}
+	if rep.Clean() {
+		return 0
+	}
+	return 1
+}
+
+// replayAll validates each concrete witness on a cold concrete network
+// (one fresh network per replay: NF state evolves during injection).
+// The returned slice is parallel to the violations.
+func replayAll(topo *verify.TopoFile, resolve verify.NFResolver, vs []verify.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = replay(topo, resolve, v)
+	}
+	return out
+}
+
+func replay(topo *verify.TopoFile, resolve verify.NFResolver, v verify.Violation) string {
+	if v.Packet.Kind != value.KindPacket || len(v.Path) == 0 {
+		return ""
+	}
+	conc, err := topo.Concrete(resolve)
+	if err != nil {
+		return fmt.Sprintf("replay unavailable: %v", err)
+	}
+	entry := v.Path[0]
+	res, err := conc.InjectReport(entry, v.Packet)
+	switch v.Kind {
+	case verify.VForwardingLoop:
+		if err != nil && strings.Contains(err.Error(), "hop limit") {
+			return "replayed concretely: hop limit exceeded, loop confirmed"
+		}
+		return fmt.Sprintf("replay DISAGREES: expected hop-limit overflow, got %v", err)
+	case verify.VIsolationBreach, verify.VWaypointBypass:
+		if err != nil {
+			return fmt.Sprintf("replay DISAGREES: %v", err)
+		}
+		for _, d := range res.Delivered {
+			if d.Host == v.Invariant.Dst {
+				return fmt.Sprintf("replayed concretely: delivered at %s via %s", d.Host, strings.Join(d.Path, " -> "))
+			}
+		}
+		return fmt.Sprintf("replay DISAGREES: witness not delivered at %s (reached %v)", v.Invariant.Dst, res.Hosts())
+	case verify.VBlackHole:
+		if err != nil {
+			return fmt.Sprintf("replay DISAGREES: %v", err)
+		}
+		for _, b := range res.BlackHoles {
+			if b.Node == v.Node {
+				return fmt.Sprintf("replayed concretely: black-holed at %s", b.Node)
+			}
+		}
+		return fmt.Sprintf("replay DISAGREES: no black-hole at %s", v.Node)
+	}
+	return ""
+}
+
+func printText(path string, topo *verify.TopoFile, invs []verify.Invariant, rep *verify.Report, replays []string, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("topology %s: %s\n", path, topo.Summary())
+	fmt.Printf("checking %d invariant(s) over %d symbolic injection(s), %d worker(s)\n\n", len(invs), rep.Explorations, workers)
+	violated := map[string]bool{}
+	for _, v := range rep.Violations {
+		violated[v.Invariant.Raw] = true
+	}
+	for _, inv := range invs {
+		if violated[inv.Raw] {
+			fmt.Printf("FAIL %s\n", inv.Raw)
+		} else {
+			fmt.Printf("PASS %s\n", inv.Raw)
+		}
+	}
+	if rep.Clean() {
+		fmt.Println("\nVERDICT: all invariants hold")
+		return
+	}
+	fmt.Printf("\n%d violation(s):\n", len(rep.Violations))
+	for i, v := range rep.Violations {
+		code, _ := lint.NetworkCode(v.Kind)
+		fmt.Printf("  [%s] %s\n", code, v)
+		if replays[i] != "" {
+			fmt.Printf("        %s\n", replays[i])
+		}
+	}
+	fmt.Println("\nVERDICT: VIOLATED")
+}
+
+type jsonViolation struct {
+	Invariant string            `json:"invariant"`
+	Kind      string            `json:"kind"`
+	Code      string            `json:"code"`
+	Node      string            `json:"node,omitempty"`
+	Path      []string          `json:"path,omitempty"`
+	Detail    string            `json:"detail"`
+	Witness   map[string]string `json:"witness,omitempty"`
+	Replay    string            `json:"replay,omitempty"`
+}
+
+func printJSON(path string, topo *verify.TopoFile, invs []verify.Invariant, rep *verify.Report, replays []string) error {
+	type report struct {
+		Topology   string          `json:"topology"`
+		Summary    string          `json:"summary"`
+		Invariants []string        `json:"invariants"`
+		Clean      bool            `json:"clean"`
+		Violations []jsonViolation `json:"violations"`
+	}
+	out := report{
+		Topology:   path,
+		Summary:    topo.Summary(),
+		Clean:      rep.Clean(),
+		Violations: []jsonViolation{},
+	}
+	for _, inv := range invs {
+		out.Invariants = append(out.Invariants, inv.Raw)
+	}
+	for i, v := range rep.Violations {
+		code, _ := lint.NetworkCode(v.Kind)
+		jv := jsonViolation{
+			Invariant: v.Invariant.Raw,
+			Kind:      v.Kind.String(),
+			Code:      string(code),
+			Node:      v.Node,
+			Path:      v.Path,
+			Detail:    v.Detail,
+			Replay:    replays[i],
+		}
+		if v.Packet.Kind == value.KindPacket {
+			jv.Witness = map[string]string{}
+			for f, fv := range v.Packet.Pkt.Fields {
+				jv.Witness[f] = fv.String()
+			}
+		}
+		out.Violations = append(out.Violations, jv)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+// --- legacy chain mode ------------------------------------------------
+
+func runChain(chainFlag, classFlag string) {
 	var hops []verify.Hop
-	for _, name := range strings.Split(*chainFlag, ",") {
+	for _, name := range strings.Split(chainFlag, ",") {
 		name = strings.TrimSpace(name)
 		nf, err := nfs.Load(name)
 		check(err)
@@ -38,8 +295,8 @@ func main() {
 		fmt.Printf("loaded %-10s: %d model entries\n", name, len(an.Model.Entries))
 	}
 
-	extra := parseClass(*classFlag)
-	fmt.Printf("\nchecking chain %s for class %q\n\n", *chainFlag, *classFlag)
+	extra := parseClass(classFlag)
+	fmt.Printf("\nchecking chain %s for class %q\n\n", chainFlag, classFlag)
 	ws, err := verify.ChainReachable(hops, extra)
 	check(err)
 	if len(ws) == 0 {

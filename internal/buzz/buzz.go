@@ -95,11 +95,19 @@ func Generate(m *model.Model, config, initState map[string]value.Value, opts Opt
 }
 
 // synthesize attempts to build a concrete packet satisfying the entry's
-// guard under the instance's current state: constraint-directed field
-// seeding plus randomized completion, validated by concrete guard
-// evaluation.
+// guard under the instance's current state.
 func synthesize(m *model.Model, e *model.Entry, inst *model.Instance, config map[string]value.Value, rng *rand.Rand, tries int) value.Value {
-	guard := e.Guard()
+	return Synthesize(e.Guard(), inst.State(), config, rng, tries)
+}
+
+// Synthesize builds a concrete packet satisfying the conjunction of
+// guard literals under the given state and config: constraint-directed
+// field seeding plus randomized completion, validated by concrete guard
+// evaluation. It returns the zero Value when no satisfying packet is
+// found within tries attempts. Exported so other constraint consumers —
+// gap-trace workload generation, topology-verification witness replay —
+// share one concretization procedure.
+func Synthesize(guard []solver.Term, state, config map[string]value.Value, rng *rand.Rand, tries int) value.Value {
 	for attempt := 0; attempt < tries; attempt++ {
 		fields := map[string]value.Value{
 			"sip":      value.Str(randIP(rng)),
@@ -112,14 +120,14 @@ func synthesize(m *model.Model, e *model.Entry, inst *model.Instance, config map
 			"length":   value.Int(int64(rng.Intn(1400))),
 			"in_iface": value.Str([]string{"eth0", "lan", "wan"}[rng.Intn(3)]),
 		}
-		env := synthEnv{fields: fields, state: inst.State(), config: config}
+		env := synthEnv{fields: fields, state: state, config: config}
 		for _, g := range guard {
 			seedFromAtom(g, fields, env, rng)
 		}
 		pkt := value.NewPacket(fields)
 		ok := true
 		for _, g := range guard {
-			b, err := solver.EvalBool(g, evalEnv{pkt: pkt, state: inst.State(), config: config})
+			b, err := solver.EvalBool(g, evalEnv{pkt: pkt, state: state, config: config})
 			if err != nil || !b {
 				ok = false
 				break

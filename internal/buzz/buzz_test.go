@@ -1,16 +1,17 @@
-package buzz
+package buzz_test
 
 import (
 	"strings"
 	"testing"
 
+	"nfactor/internal/buzz"
 	"nfactor/internal/core"
 	"nfactor/internal/interp"
 	"nfactor/internal/nfs"
 	"nfactor/internal/solver"
 )
 
-func generate(t *testing.T, name string, opts Options) (*core.Analysis, *Suite) {
+func generate(t *testing.T, name string, opts buzz.Options) (*core.Analysis, *buzz.Suite) {
 	t.Helper()
 	nf := nfs.MustLoad(name)
 	an, err := core.Analyze(name, nf.Prog, core.Options{})
@@ -21,7 +22,7 @@ func generate(t *testing.T, name string, opts Options) (*core.Analysis, *Suite) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	suite, err := Generate(an.Model, config, state, opts)
+	suite, err := buzz.Generate(an.Model, config, state, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func generate(t *testing.T, name string, opts Options) (*core.Analysis, *Suite) 
 }
 
 func TestGenerateCoversLB(t *testing.T) {
-	an, suite := generate(t, "lb", Options{Seed: 1})
+	an, suite := generate(t, "lb", buzz.Options{Seed: 1})
 	covered, total := suite.Coverage()
 	if total != len(an.Model.Entries) {
 		t.Fatalf("total = %d", total)
@@ -37,7 +38,7 @@ func TestGenerateCoversLB(t *testing.T) {
 	// All but the HASH-mode entry are coverable under the RR
 	// configuration (the hash entry needs mode == "HASH").
 	if covered < total-1 {
-		t.Errorf("coverage %d/%d too low:\n%s", covered, total, Render(an.Model, suite))
+		t.Errorf("coverage %d/%d too low:\n%s", covered, total, buzz.Render(an.Model, suite))
 	}
 	// The "existing connection" entry requires a prior state-creating
 	// packet; its coverage proves multi-step sequencing works.
@@ -53,23 +54,23 @@ func TestGenerateCoversLB(t *testing.T) {
 		}
 	}
 	if !hitStateful {
-		t.Errorf("existing-connection entry not covered:\n%s", Render(an.Model, suite))
+		t.Errorf("existing-connection entry not covered:\n%s", buzz.Render(an.Model, suite))
 	}
 }
 
 func TestGenerateCoversFirewall(t *testing.T) {
-	an, suite := generate(t, "firewall", Options{Seed: 2})
+	an, suite := generate(t, "firewall", buzz.Options{Seed: 2})
 	covered, total := suite.Coverage()
 	if covered != total {
-		t.Errorf("firewall coverage %d/%d:\n%s", covered, total, Render(an.Model, suite))
+		t.Errorf("firewall coverage %d/%d:\n%s", covered, total, buzz.Render(an.Model, suite))
 	}
 }
 
 func TestGenerateCoversNAT(t *testing.T) {
-	an, suite := generate(t, "nat", Options{Seed: 3})
+	an, suite := generate(t, "nat", buzz.Options{Seed: 3})
 	covered, total := suite.Coverage()
 	if covered != total {
-		t.Errorf("nat coverage %d/%d:\n%s", covered, total, Render(an.Model, suite))
+		t.Errorf("nat coverage %d/%d:\n%s", covered, total, buzz.Render(an.Model, suite))
 	}
 }
 
@@ -86,7 +87,7 @@ func TestGeneratedPacketsReplayOnOriginalProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	suite, err := Generate(an.Model, config, state, Options{Seed: 4})
+	suite, err := buzz.Generate(an.Model, config, state, buzz.Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,22 +113,22 @@ func TestGeneratedPacketsReplayOnOriginalProgram(t *testing.T) {
 }
 
 func TestRenderSuite(t *testing.T) {
-	an, suite := generate(t, "firewall", Options{Seed: 5})
-	out := Render(an.Model, suite)
+	an, suite := generate(t, "firewall", buzz.Options{Seed: 5})
+	out := buzz.Render(an.Model, suite)
 	if !strings.Contains(out, "entries covered") {
 		t.Errorf("render = %q", out)
 	}
 }
 
 func TestGenerateRespectsRounds(t *testing.T) {
-	_, suite := generate(t, "lb", Options{Seed: 6, MaxRounds: 1, Tries: 4})
+	_, suite := generate(t, "lb", buzz.Options{Seed: 6, MaxRounds: 1, Tries: 4})
 	if len(suite.Steps) == 0 {
 		t.Error("single round produced no steps")
 	}
 }
 
 func TestGenerateCoversSnortlite(t *testing.T) {
-	an, suite := generate(t, "snortlite", Options{Seed: 11, MaxRounds: 12, Tries: 128})
+	an, suite := generate(t, "snortlite", buzz.Options{Seed: 11, MaxRounds: 12, Tries: 128})
 	covered, total := suite.Coverage()
 	// Not every entry is coverable under the instantiated configuration:
 	// config-gated entries (the IDS-mode variants — mode is pinned to IPS
@@ -159,15 +160,15 @@ func TestGenerateCoversSnortlite(t *testing.T) {
 	}
 	if covered < feasible {
 		t.Errorf("snortlite coverage %d < feasible %d (total %d):\n%s",
-			covered, feasible, total, Render(an.Model, suite))
+			covered, feasible, total, buzz.Render(an.Model, suite))
 	}
 }
 
 func TestGenerateCoversDPI(t *testing.T) {
-	an, suite := generate(t, "dpi", Options{Seed: 12, MaxRounds: 10, Tries: 128})
+	an, suite := generate(t, "dpi", buzz.Options{Seed: 12, MaxRounds: 10, Tries: 128})
 	covered, total := suite.Coverage()
 	if covered < total/2 {
-		t.Errorf("dpi coverage %d/%d too low:\n%s", covered, total, Render(an.Model, suite))
+		t.Errorf("dpi coverage %d/%d too low:\n%s", covered, total, buzz.Render(an.Model, suite))
 	}
 	// Content-matching entries require seeded payloads; at least one
 	// generated packet must carry a signature.
@@ -183,9 +184,9 @@ func TestGenerateCoversDPI(t *testing.T) {
 }
 
 func TestGenerateMirrorsMultiSendEntry(t *testing.T) {
-	an, suite := generate(t, "mirror", Options{Seed: 13})
+	an, suite := generate(t, "mirror", buzz.Options{Seed: 13})
 	covered, total := suite.Coverage()
 	if covered != total {
-		t.Errorf("mirror coverage %d/%d:\n%s", covered, total, Render(an.Model, suite))
+		t.Errorf("mirror coverage %d/%d:\n%s", covered, total, buzz.Render(an.Model, suite))
 	}
 }

@@ -1,0 +1,311 @@
+// verifynet.go measures the §4 network-verification application at
+// scale: symbolic invariant checking (internal/verify.SymNetwork) over
+// topologies of increasing size built from corpus NF models — a linear
+// service chain, a diamond DAG with two inspection paths joining at a
+// shared load balancer, and an 8-host two-level fat-tree with an inline
+// IPS on one pod's uplink. Each row records exploration wall time at 1
+// worker vs a small pool on a cold solver cache, the cache hit rate
+// (per-node config grounding makes verdicts transfer between nodes
+// running the same NF), and whether the two worker counts produced
+// byte-identical results — the explorer's determinism contract.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nfactor/internal/core"
+	"nfactor/internal/model"
+	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+)
+
+// VerifyNetRow is one topology's verification measurement.
+type VerifyNetRow struct {
+	Topology     string `json:"topology"`
+	Nodes        int    `json:"nodes"`
+	Links        int    `json:"links"`
+	NFNodes      int    `json:"nf_nodes"`
+	Invariants   int    `json:"invariants"`
+	Explorations int    `json:"explorations"` // symbolic injections per check
+	Violations   int    `json:"violations"`
+
+	MsWorkers1 float64 `json:"ms_workers_1"` // cold-cache Check wall time, 1 worker
+	MsWorkersN float64 `json:"ms_workers_n"` // cold-cache Check wall time, N workers
+	WorkersN   int     `json:"workers_n"`
+	Speedup    float64 `json:"speedup"`
+
+	SatQueries   int64   `json:"sat_queries"`    // solver decisions in the 1-worker run
+	CacheHitRate float64 `json:"cache_hit_rate"` // fraction answered from the cache
+
+	// WorkerInvariant is true when the 1-worker and N-worker reports
+	// render byte-identically (it must always be).
+	WorkerInvariant bool `json:"worker_invariant"`
+}
+
+// verifyNetWorkers is the pool size for the parallel column.
+const verifyNetWorkers = 4
+
+// chainTopo is the linear service chain: every packet from the client
+// traverses firewall → IPS → load balancer before reaching a backend.
+func chainTopo() *verify.TopoFile {
+	return &verify.TopoFile{
+		Hosts: []verify.TopoHost{
+			{Name: "h1", IP: "10.0.0.5"},
+			{Name: "web1", IP: "1.1.1.1"},
+			{Name: "web2", IP: "2.2.2.2"},
+		},
+		Switches: []verify.TopoSwitch{
+			{Name: "lansw", Routes: map[string]string{"3.3.3.3": "lan"}},
+			{Name: "wansw", Routes: map[string]string{"3.3.3.3": "eth0"}},
+			{Name: "fabric", Routes: map[string]string{"1.1.1.1": "b1", "2.2.2.2": "b2"}},
+		},
+		NFs: []verify.TopoNF{
+			{Name: "fw", NF: "firewall"},
+			{Name: "ids", NF: "snortlite"},
+			{Name: "lb", NF: "lb"},
+		},
+		Links: []verify.TopoLink{
+			{From: "h1", Iface: "eth0", To: "lansw"},
+			{From: "lansw", Iface: "lan", To: "fw"},
+			{From: "fw", Iface: "wan", To: "wansw"},
+			{From: "wansw", Iface: "eth0", To: "ids"},
+			{From: "ids", Iface: "eth1", To: "lb"},
+			{From: "lb", Iface: "eth0", To: "fabric"},
+			{From: "fabric", Iface: "b1", To: "web1"},
+			{From: "fabric", Iface: "b2", To: "web2"},
+		},
+		Invariants: []string{
+			"reach(h1,web1)",
+			"waypoint(h1,web1,ids)",
+			"loopfree",
+		},
+	}
+}
+
+// diamondTopo is a DAG: two clients each behind their own IPS, the two
+// inspection paths joining at one shared load balancer.
+func diamondTopo() *verify.TopoFile {
+	return &verify.TopoFile{
+		Hosts: []verify.TopoHost{
+			{Name: "h1", IP: "10.0.0.5"},
+			{Name: "h2", IP: "10.0.0.6"},
+			{Name: "web1", IP: "1.1.1.1"},
+			{Name: "web2", IP: "2.2.2.2"},
+		},
+		Switches: []verify.TopoSwitch{
+			{Name: "s1", Routes: map[string]string{"3.3.3.3": "up"}},
+			{Name: "s2", Routes: map[string]string{"3.3.3.3": "up"}},
+			{Name: "smid", Routes: map[string]string{"3.3.3.3": "svc"}},
+			{Name: "fabric", Routes: map[string]string{"1.1.1.1": "b1", "2.2.2.2": "b2"}},
+		},
+		NFs: []verify.TopoNF{
+			{Name: "ids1", NF: "snortlite"},
+			{Name: "ids2", NF: "snortlite"},
+			{Name: "lb", NF: "lb"},
+		},
+		Links: []verify.TopoLink{
+			{From: "h1", Iface: "eth0", To: "s1"},
+			{From: "s1", Iface: "up", To: "ids1"},
+			{From: "ids1", Iface: "eth1", To: "smid"},
+			{From: "h2", Iface: "eth0", To: "s2"},
+			{From: "s2", Iface: "up", To: "ids2"},
+			{From: "ids2", Iface: "eth1", To: "smid"},
+			{From: "smid", Iface: "svc", To: "lb"},
+			{From: "lb", Iface: "eth0", To: "fabric"},
+			{From: "fabric", Iface: "b1", To: "web1"},
+			{From: "fabric", Iface: "b2", To: "web2"},
+		},
+		Invariants: []string{
+			"reach(h1,web1)",
+			"reach(h2,web1)",
+			"waypoint(h1,web1,ids1)",
+			"waypoint(h2,web1,ids2)",
+			"loopfree",
+		},
+	}
+}
+
+// fatTreeTopo is an 8-host two-level fat-tree: four edge switches with
+// two hosts each, two cores, destination-routed with remote pods split
+// across the cores by parity — except pod 0, whose entire uplink passes
+// an inline IPS (so waypoint(h0,h7,ids) must hold while the reverse
+// path legitimately bypasses it).
+func fatTreeTopo() *verify.TopoFile {
+	ip := func(i int) string { return fmt.Sprintf("10.0.%d.%d", i/2, i%2+1) }
+	topo := &verify.TopoFile{
+		NFs: []verify.TopoNF{{Name: "ids", NF: "snortlite"}},
+		Invariants: []string{
+			"reach(h0,h7)",
+			"reach(h7,h0)",
+			"waypoint(h0,h7,ids)",
+			"loopfree",
+		},
+	}
+	for i := 0; i < 8; i++ {
+		topo.Hosts = append(topo.Hosts, verify.TopoHost{Name: fmt.Sprintf("h%d", i), IP: ip(i)})
+	}
+	for e := 0; e < 4; e++ {
+		routes := map[string]string{}
+		for j := 0; j < 8; j++ {
+			switch {
+			case j/2 == e:
+				routes[ip(j)] = fmt.Sprintf("p%d", j%2)
+			case e == 0:
+				routes[ip(j)] = "up" // pod 0 egress is inspected
+			case j/2%2 == 0:
+				routes[ip(j)] = "u0"
+			default:
+				routes[ip(j)] = "u1"
+			}
+		}
+		topo.Switches = append(topo.Switches, verify.TopoSwitch{Name: fmt.Sprintf("e%d", e), Routes: routes})
+	}
+	for c := 0; c < 2; c++ {
+		routes := map[string]string{}
+		for j := 0; j < 8; j++ {
+			routes[ip(j)] = fmt.Sprintf("d%d", j/2)
+		}
+		topo.Switches = append(topo.Switches, verify.TopoSwitch{Name: fmt.Sprintf("c%d", c), Routes: routes})
+	}
+	for i := 0; i < 8; i++ {
+		topo.Links = append(topo.Links,
+			verify.TopoLink{From: fmt.Sprintf("h%d", i), Iface: "eth0", To: fmt.Sprintf("e%d", i/2)},
+			verify.TopoLink{From: fmt.Sprintf("e%d", i/2), Iface: fmt.Sprintf("p%d", i%2), To: fmt.Sprintf("h%d", i)})
+	}
+	topo.Links = append(topo.Links,
+		verify.TopoLink{From: "e0", Iface: "up", To: "ids"},
+		verify.TopoLink{From: "ids", Iface: "eth1", To: "c0"})
+	for e := 1; e < 4; e++ {
+		topo.Links = append(topo.Links,
+			verify.TopoLink{From: fmt.Sprintf("e%d", e), Iface: "u0", To: "c0"},
+			verify.TopoLink{From: fmt.Sprintf("e%d", e), Iface: "u1", To: "c1"})
+	}
+	for c := 0; c < 2; c++ {
+		for e := 0; e < 4; e++ {
+			topo.Links = append(topo.Links,
+				verify.TopoLink{From: fmt.Sprintf("c%d", c), Iface: fmt.Sprintf("d%d", e), To: fmt.Sprintf("e%d", e)})
+		}
+	}
+	return topo
+}
+
+// verifyNetResolver analyzes each corpus NF once and hands out fresh
+// config/state per node, like the CLI resolvers.
+func verifyNetResolver(opts Opts) verify.NFResolver {
+	cache := map[string]*core.Analysis{}
+	return func(name string) (*model.Model, map[string]value.Value, map[string]value.Value, error) {
+		an, ok := cache[name]
+		if !ok {
+			nf, err := nfs.Load(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			an, err = core.Analyze(name, nf.Prog, core.Options{Workers: opts.Workers, Cache: opts.Cache, Perf: opts.Perf})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cache[name] = an
+		}
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return an.Model, config, state, nil
+	}
+}
+
+// VerifyNet checks each benchmark topology's invariants twice — 1
+// worker and verifyNetWorkers workers, each on a cold solver cache — and
+// reports wall times, cache effectiveness, and result consistency.
+// Model synthesis happens before the clock starts; the rows time
+// exploration only.
+func VerifyNet(opts Opts) ([]VerifyNetRow, error) {
+	specs := []struct {
+		name string
+		topo *verify.TopoFile
+	}{
+		{"chain", chainTopo()},
+		{"diamond", diamondTopo()},
+		{"fat-tree-8", fatTreeTopo()},
+	}
+	resolve := verifyNetResolver(opts)
+	rows := make([]VerifyNetRow, 0, len(specs))
+	for _, spec := range specs {
+		invs, err := spec.topo.ParsedInvariants()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, err)
+		}
+		net, err := spec.topo.Sym(resolve)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, err)
+		}
+
+		cache1 := solver.NewCache()
+		start := time.Now()
+		rep1, err := net.Check(invs, verify.ExploreOpts{Workers: 1, Cache: cache1})
+		ms1 := float64(time.Since(start).Microseconds()) / 1e3
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, err)
+		}
+
+		start = time.Now()
+		repN, err := net.Check(invs, verify.ExploreOpts{Workers: verifyNetWorkers, Cache: solver.NewCache()})
+		msN := float64(time.Since(start).Microseconds()) / 1e3
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.name, err)
+		}
+
+		cs := cache1.Stats()
+		rows = append(rows, VerifyNetRow{
+			Topology:        spec.name,
+			Nodes:           len(spec.topo.Hosts) + len(spec.topo.Switches) + len(spec.topo.NFs),
+			Links:           len(spec.topo.Links),
+			NFNodes:         len(spec.topo.NFs),
+			Invariants:      len(invs),
+			Explorations:    rep1.Explorations,
+			Violations:      len(rep1.Violations),
+			MsWorkers1:      ms1,
+			MsWorkersN:      msN,
+			WorkersN:        verifyNetWorkers,
+			Speedup:         ms1 / msN,
+			SatQueries:      cs.SatHits + cs.SatMisses,
+			CacheHitRate:    cs.SatHitRate(),
+			WorkerInvariant: renderReport(rep1) == renderReport(repN),
+		})
+	}
+	return rows, nil
+}
+
+// renderReport flattens a report for the worker-invariance comparison.
+func renderReport(rep *verify.Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "explorations=%d\n", rep.Explorations)
+	for _, v := range rep.Violations {
+		sb.WriteString(v.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatVerifyNet renders the rows as a table.
+func FormatVerifyNet(rows []VerifyNetRow) string {
+	var sb strings.Builder
+	sb.WriteString("Network verification: symbolic invariant checking vs topology size\n")
+	sb.WriteString(fmt.Sprintf("%-11s %5s %5s %4s %4s %5s %5s | %9s %9s %7s | %7s %8s | %s\n",
+		"topology", "nodes", "links", "nfs", "invs", "injs", "viols", "1w ms", fmt.Sprintf("%dw ms", verifyNetWorkers), "speedup", "sat q", "cache", "consistent"))
+	sb.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, r := range rows {
+		consistent := "yes"
+		if !r.WorkerInvariant {
+			consistent = "NO (BUG)"
+		}
+		sb.WriteString(fmt.Sprintf("%-11s %5d %5d %4d %4d %5d %5d | %9.1f %9.1f %6.2fx | %7d %7.1f%% | %s\n",
+			r.Topology, r.Nodes, r.Links, r.NFNodes, r.Invariants, r.Explorations, r.Violations,
+			r.MsWorkers1, r.MsWorkersN, r.Speedup, r.SatQueries, 100*r.CacheHitRate, consistent))
+	}
+	return sb.String()
+}

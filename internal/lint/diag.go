@@ -128,6 +128,26 @@ const (
 	// the feasible side. NFL3xx codes are chain-level: properties of an
 	// NF composition, not of any single model.
 	CodeChainDead Code = "NFL301"
+	// NFL4xx codes are network-level: properties of a full topology of
+	// hosts, switches and NF models (nflint -topo), decided by symbolic
+	// exploration in internal/verify and carrying concrete witness
+	// packets that replay on the concrete simulator.
+	//
+	// CodeIsolationBreach: an isolation(src,dst) invariant is violated —
+	// some packet class from src is delivered at dst.
+	CodeIsolationBreach Code = "NFL401"
+	// CodeForwardingLoop: a packet class revisits a node with an
+	// identical header state, so the deterministic per-node transfer
+	// functions forward it forever.
+	CodeForwardingLoop Code = "NFL402"
+	// CodeWaypointBypass: a waypoint(src,dst,via) invariant is violated
+	// — some delivery from src to dst takes a path avoiding via.
+	CodeWaypointBypass Code = "NFL403"
+	// CodeBlackHole: traffic vanishes without any node deciding to drop
+	// it — a switch with no route for a feasible destination class, a
+	// send on an unconnected interface, or (error severity) a reach
+	// invariant whose traffic never arrives at all.
+	CodeBlackHole Code = "NFL404"
 )
 
 // Related is a secondary note attached to a diagnostic (a second

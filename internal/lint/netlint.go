@@ -1,0 +1,68 @@
+// netlint.go is the network-level lint pass (NFL4xx): invariants over a
+// topology of hosts, switches and synthesized NF models, decided by the
+// symbolic explorer in internal/verify and reported as structured
+// diagnostics. Where the chain pass (NFL301) judges one linear NF
+// composition, this pass judges a branching deployment: isolation
+// breaches, forwarding loops, waypoint bypasses and black-holes, each
+// with a constraint witness and (when synthesis succeeds) a concrete
+// packet that replays the violation on the concrete simulator.
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+)
+
+// Network checks the invariants against the topology and renders every
+// violation as an NFL4xx diagnostic. Diagnostics are deterministic and
+// independent of opts.Workers.
+func Network(net *verify.SymNetwork, invs []verify.Invariant, opts verify.ExploreOpts) ([]Diagnostic, error) {
+	rep, err := net.Check(invs, opts)
+	if err != nil {
+		return nil, err
+	}
+	diags := make([]Diagnostic, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		diags = append(diags, violationDiag(v))
+	}
+	return diags, nil
+}
+
+// NetworkCode maps a violation kind onto its diagnostic code and
+// severity (shared with cmd/nfverify's report).
+func NetworkCode(k verify.ViolationKind) (Code, Severity) {
+	switch k {
+	case verify.VIsolationBreach:
+		return CodeIsolationBreach, SevError
+	case verify.VForwardingLoop:
+		return CodeForwardingLoop, SevError
+	case verify.VWaypointBypass:
+		return CodeWaypointBypass, SevError
+	case verify.VUnreachable:
+		// A failed reach() invariant is error-severity: the operator
+		// asserted the traffic must arrive.
+		return CodeBlackHole, SevError
+	default:
+		return CodeBlackHole, SevWarning
+	}
+}
+
+// violationDiag maps one verify.Violation onto its diagnostic code.
+func violationDiag(v verify.Violation) Diagnostic {
+	d := Diagnostic{
+		NF:      v.Node,
+		Entry:   -1,
+		Message: fmt.Sprintf("%s: %s", v.Invariant.Raw, v.Detail),
+	}
+	d.Code, d.Severity = NetworkCode(v.Kind)
+	if len(v.Path) > 0 {
+		d.Related = append(d.Related, Related{Message: "path: " + strings.Join(v.Path, " -> ")})
+	}
+	if v.Packet.Kind == value.KindPacket {
+		d.Related = append(d.Related, Related{Message: fmt.Sprintf("witness packet: %s", v.Packet)})
+	}
+	return d
+}

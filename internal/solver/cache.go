@@ -24,8 +24,9 @@ import (
 // conjunction. Permutation invariance of SatConj itself is covered by
 // property tests in permutation_test.go.
 type Cache struct {
-	sat  sync.Map // canonical conjunction key -> bool
-	simp sync.Map // term key -> Term
+	sat   sync.Map // canonical conjunction key -> bool
+	split sync.Map // canonical conjunction key -> bool (SatSplit verdicts)
+	simp  sync.Map // term key -> Term
 
 	satHits    atomic.Int64
 	satMisses  atomic.Int64
@@ -159,6 +160,35 @@ func (c *Cache) SatConj(lits []Term) bool {
 	c.traceSample()
 	res := SatConj(canon)
 	c.sat.Store(key, res)
+	return res
+}
+
+// SatSplit is the memoized form of solver.SatSplit. It keeps its own key
+// space: the case-split procedure can prove conjunctions unsatisfiable
+// that plain SatConj reports satisfiable, so the two verdicts must never
+// share an entry. Like SatConj, the canonical (sorted, deduplicated)
+// literal set is what gets decided — SatSplit inherits SatConj's
+// permutation/duplication invariance, and the split step itself only
+// removes one literal and appends one, preserving set semantics. Network
+// topology exploration hits this hard: per-node config grounding turns
+// two nodes running the same NF with the same configuration into
+// byte-identical grounded terms, so verdicts transfer across nodes.
+func (c *Cache) SatSplit(lits []Term) bool {
+	if c == nil {
+		return SatSplit(lits)
+	}
+	canon, key := canonLits(lits)
+	if v, ok := c.split.Load(key); ok {
+		c.satHits.Add(1)
+		c.satHitC.Inc()
+		c.traceSample()
+		return v.(bool)
+	}
+	c.satMisses.Add(1)
+	c.satMissC.Inc()
+	c.traceSample()
+	res := SatSplit(canon)
+	c.split.Store(key, res)
 	return res
 }
 

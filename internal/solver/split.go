@@ -1,0 +1,71 @@
+package solver
+
+import "nfactor/internal/value"
+
+// Bounds for the membership case-split: how many positive membership
+// literals may be split, and how large a concrete map may be enumerated.
+// Beyond either bound the check falls back to plain SatConj —
+// conservative toward "satisfiable", i.e. toward reporting a term class
+// feasible.
+const (
+	MaxMemberSplits = 6
+	MaxMemberDomain = 64
+)
+
+// SatSplit decides conjunction satisfiability like SatConj, but finitely
+// case-splits positive membership tests over concrete maps: `K in M`
+// with M a compile-time map is equivalent to the disjunction of K == k
+// over M's keys, which conjunction-level reasoning alone cannot see.
+// This is what lets chain and topology composition prove, e.g., that a
+// dport constrained into a firewall's egress policy can never also hit
+// an IDS rule table keyed by disjoint ports. Originally private to
+// internal/verify's chain pass; hoisted here so every composition layer
+// (and the memoizing Cache) shares one procedure.
+func SatSplit(lits []Term) bool { return satSplitDepth(lits, MaxMemberSplits) }
+
+func satSplitDepth(lits []Term, depth int) bool {
+	if depth > 0 {
+		for i, l := range lits {
+			in, ok := l.(In)
+			if !ok {
+				continue
+			}
+			if _, isC := in.K.(Const); isC {
+				continue // concrete key: Simplify already folded or will
+			}
+			keys, ok := ConcreteMapKeys(in.M)
+			if !ok || len(keys) > MaxMemberDomain {
+				continue
+			}
+			rest := make([]Term, 0, len(lits))
+			rest = append(rest, lits[:i]...)
+			rest = append(rest, lits[i+1:]...)
+			for _, kv := range keys {
+				branch := append(append([]Term{}, rest...),
+					Simplify(Bin{Op: "==", X: in.K, Y: Const{V: kv}}))
+				if satSplitDepth(branch, depth-1) {
+					return true
+				}
+			}
+			return false // every key binding contradicts the rest
+		}
+	}
+	return SatConj(lits)
+}
+
+// ConcreteMapKeys extracts the key values of a compile-time map term.
+func ConcreteMapKeys(t Term) ([]value.Value, bool) {
+	var v value.Value
+	switch x := t.(type) {
+	case NamedConst:
+		v = x.V
+	case Const:
+		v = x.V
+	default:
+		return nil, false
+	}
+	if v.Kind != value.KindMap {
+		return nil, false
+	}
+	return v.Map.Keys(), true
+}

@@ -1,0 +1,48 @@
+package symexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunIndexed runs n independent tasks over a pool of min(workers, n)
+// goroutines (workers <= 0: GOMAXPROCS), the same atomic-counter fan-out
+// the path-refinement and experiment layers use. Tasks are identified by
+// index; each task writes its result at its own index, so callers get
+// output identical at every worker count — the determinism contract the
+// parallel explorer established, reused by model refinement and the
+// symbolic topology explorer in internal/verify.
+func RunIndexed(n, workers int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

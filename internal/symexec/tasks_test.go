@@ -1,0 +1,34 @@
+package symexec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexedCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 9} {
+		const n = 137
+		var hits [n]atomic.Int32
+		RunIndexed(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunIndexedResultsWorkerInvariant(t *testing.T) {
+	run := func(workers int) [64]int {
+		var out [64]int
+		RunIndexed(len(out), workers, func(i int) { out[i] = i * i })
+		return out
+	}
+	if run(1) != run(4) {
+		t.Fatal("indexed results differ across worker counts")
+	}
+}
+
+func TestRunIndexedZeroTasks(t *testing.T) {
+	RunIndexed(0, 4, func(int) { t.Fatal("task ran for n=0") })
+}

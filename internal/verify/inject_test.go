@@ -1,0 +1,152 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+)
+
+// fwNetwork builds h1 --eth0--> s1 --lan--> fw --wan--> srv with a
+// single route (9.9.9.9) at the switch. withWanLink controls whether the
+// firewall's wan interface is connected — disconnecting it turns every
+// allowed packet into a black-hole at fw.
+func fwNetwork(t *testing.T, withWanLink bool) *verify.Network {
+	t.Helper()
+	n := verify.NewNetwork()
+	n.AddHost("h1")
+	n.AddHost("srv")
+	n.AddSwitch("s1", map[string]string{"9.9.9.9": "lan"})
+	n.AddNF("fw", instance(t, analyzed(t, "firewall")))
+	for _, l := range [][3]string{{"h1", "eth0", "s1"}, {"s1", "lan", "fw"}} {
+		if err := n.Link(l[0], l[1], l[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withWanLink {
+		if err := n.Link("fw", "wan", "srv"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func egressPkt(dport int) value.Value {
+	return netpkt.Packet{
+		SrcIP: "10.0.0.5", DstIP: "9.9.9.9",
+		SrcPort: 1234, DstPort: dport,
+		Proto: "tcp", Flags: "S", TTL: 64,
+	}.ToValue()
+}
+
+// TestInjectReportDelivered: an allowed packet is accounted as exactly
+// one delivery, with no drops and no black-holes.
+func TestInjectReportDelivered(t *testing.T) {
+	n := fwNetwork(t, true)
+	res, err := n.InjectReport("h1", egressPkt(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 1 || res.Dropped != 0 || len(res.BlackHoles) != 0 {
+		t.Fatalf("want 1 delivery only, got %+v", res)
+	}
+	d := res.Delivered[0]
+	if d.Host != "srv" {
+		t.Errorf("delivered at %s, want srv", d.Host)
+	}
+	if got := strings.Join(d.Path, ">"); got != "h1>s1>fw>srv" {
+		t.Errorf("path %s, want h1>s1>fw>srv", got)
+	}
+	if got := res.Hosts(); len(got) != 1 || got[0] != "srv" {
+		t.Errorf("Hosts() = %v, want [srv]", got)
+	}
+}
+
+// TestInjectReportDropIsNotBlackHole: the firewall's policy drop (dport
+// outside the egress set) counts as a drop, NOT a black-hole — the node
+// decided to consume the packet. This is the concrete side of the
+// NFL404 semantics: only vanished traffic is a black-hole.
+func TestInjectReportDropIsNotBlackHole(t *testing.T) {
+	n := fwNetwork(t, true)
+	res, err := n.InjectReport("h1", egressPkt(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", res.Dropped)
+	}
+	if len(res.Delivered) != 0 || len(res.BlackHoles) != 0 {
+		t.Errorf("policy drop misclassified: %+v", res)
+	}
+}
+
+// TestInjectReportSwitchBlackHole: a destination with no forwarding
+// entry black-holes at the switch, and is distinguished from a drop.
+func TestInjectReportSwitchBlackHole(t *testing.T) {
+	n := fwNetwork(t, true)
+	pkt := netpkt.Packet{SrcIP: "10.0.0.5", DstIP: "203.0.113.7", DstPort: 80, Proto: "tcp", TTL: 64}.ToValue()
+	res, err := n.InjectReport("h1", pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BlackHoles) != 1 || res.Dropped != 0 || len(res.Delivered) != 0 {
+		t.Fatalf("want 1 black-hole only, got %+v", res)
+	}
+	b := res.BlackHoles[0]
+	if b.Node != "s1" || !strings.Contains(b.Reason, "no forwarding entry") {
+		t.Errorf("black-hole = %+v, want at s1 with no-forwarding-entry reason", b)
+	}
+	if got := strings.Join(b.Path, ">"); got != "h1>s1" {
+		t.Errorf("path %s, want h1>s1", got)
+	}
+}
+
+// TestInjectReportUnconnectedIfaceBlackHole: a send on an interface with
+// no link black-holes at the sending node.
+func TestInjectReportUnconnectedIfaceBlackHole(t *testing.T) {
+	n := fwNetwork(t, false) // fw's wan iface unconnected
+	res, err := n.InjectReport("h1", egressPkt(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BlackHoles) != 1 || len(res.Delivered) != 0 || res.Dropped != 0 {
+		t.Fatalf("want 1 black-hole only, got %+v", res)
+	}
+	b := res.BlackHoles[0]
+	if b.Node != "fw" || !strings.Contains(b.Reason, "unconnected interface") {
+		t.Errorf("black-hole = %+v, want at fw with unconnected-interface reason", b)
+	}
+}
+
+// TestInjectReportEntryHostNoLinks: injecting at a host with no links
+// black-holes immediately rather than silently succeeding.
+func TestInjectReportEntryHostNoLinks(t *testing.T) {
+	n := verify.NewNetwork()
+	n.AddHost("lonely")
+	res, err := n.InjectReport("lonely", egressPkt(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BlackHoles) != 1 || res.BlackHoles[0].Node != "lonely" {
+		t.Fatalf("want black-hole at lonely, got %+v", res)
+	}
+}
+
+// TestInjectKeepsDeliveredContract: the legacy Inject wrapper still
+// returns the hosts reached.
+func TestInjectKeepsDeliveredContract(t *testing.T) {
+	n := fwNetwork(t, true)
+	hosts, err := n.Inject("h1", egressPkt(443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 1 || hosts[0] != "srv" {
+		t.Errorf("Inject = %v, want [srv]", hosts)
+	}
+	got, err := n.Delivered("srv")
+	if err != nil || len(got) != 1 {
+		t.Errorf("Delivered(srv) = %v, %v; want one packet", got, err)
+	}
+}

@@ -1,0 +1,379 @@
+// invariant.go defines the network invariant language checked over
+// SymNetwork explorations, and the parallel checker that fans
+// per-(entry-host, traffic-class) explorations over the shared worker
+// pool with worker-count-invariant results.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nfactor/internal/buzz"
+	"nfactor/internal/solver"
+	"nfactor/internal/symexec"
+	"nfactor/internal/value"
+)
+
+// InvariantKind enumerates the checkable network properties.
+type InvariantKind int
+
+// The invariant kinds.
+const (
+	// InvReach: reach(src,dst) — some packet from src's IP to dst's IP
+	// is delivered at dst.
+	InvReach InvariantKind = iota
+	// InvIsolation: isolation(src,dst) — no packet from src's IP to
+	// dst's IP is ever delivered at dst (MustNotReach).
+	InvIsolation
+	// InvWaypoint: waypoint(src,dst,via) — every delivery from src to
+	// dst traverses node via.
+	InvWaypoint
+	// InvLoopFree: loopfree — no injected class from any host can enter
+	// a forwarding loop.
+	InvLoopFree
+	// InvNoBlackHole: noblackhole — no injected class from any host
+	// vanishes without an explicit drop.
+	InvNoBlackHole
+)
+
+// Invariant is one parsed network property.
+type Invariant struct {
+	Kind          InvariantKind
+	Src, Dst, Via string
+	Raw           string
+}
+
+// String returns the invariant's source form.
+func (v Invariant) String() string { return v.Raw }
+
+// ParseInvariant parses the invariant syntax used by topology files and
+// the nfverify -invariant flag:
+//
+//	reach(src,dst)  isolation(src,dst)  waypoint(src,dst,via)
+//	loopfree        noblackhole
+func ParseInvariant(s string) (Invariant, error) {
+	raw := strings.TrimSpace(s)
+	name, rest, hasArgs := strings.Cut(raw, "(")
+	name = strings.TrimSpace(name)
+	var args []string
+	if hasArgs {
+		body, ok := strings.CutSuffix(strings.TrimSpace(rest), ")")
+		if !ok {
+			return Invariant{}, fmt.Errorf("verify: invariant %q: missing ')'", raw)
+		}
+		for _, a := range strings.Split(body, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("verify: invariant %q: want %d argument(s), got %d", raw, n, len(args))
+		}
+		for _, a := range args {
+			if a == "" {
+				return fmt.Errorf("verify: invariant %q: empty argument", raw)
+			}
+		}
+		return nil
+	}
+	inv := Invariant{Raw: raw}
+	switch name {
+	case "reach":
+		inv.Kind = InvReach
+		if err := need(2); err != nil {
+			return Invariant{}, err
+		}
+		inv.Src, inv.Dst = args[0], args[1]
+	case "isolation":
+		inv.Kind = InvIsolation
+		if err := need(2); err != nil {
+			return Invariant{}, err
+		}
+		inv.Src, inv.Dst = args[0], args[1]
+	case "waypoint":
+		inv.Kind = InvWaypoint
+		if err := need(3); err != nil {
+			return Invariant{}, err
+		}
+		inv.Src, inv.Dst, inv.Via = args[0], args[1], args[2]
+	case "loopfree":
+		inv.Kind = InvLoopFree
+		if err := need(0); err != nil {
+			return Invariant{}, err
+		}
+	case "noblackhole":
+		inv.Kind = InvNoBlackHole
+		if err := need(0); err != nil {
+			return Invariant{}, err
+		}
+	default:
+		return Invariant{}, fmt.Errorf("verify: unknown invariant %q", raw)
+	}
+	return inv, nil
+}
+
+// ViolationKind classifies how an invariant failed.
+type ViolationKind int
+
+// The violation kinds, each mapping to one NFLint network diagnostic.
+const (
+	VIsolationBreach ViolationKind = iota // NFL401
+	VForwardingLoop                       // NFL402
+	VWaypointBypass                       // NFL403
+	VBlackHole                            // NFL404
+	VUnreachable                          // NFL404 (traffic never arrives)
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case VIsolationBreach:
+		return "isolation-breach"
+	case VForwardingLoop:
+		return "forwarding-loop"
+	case VWaypointBypass:
+		return "waypoint-bypass"
+	case VBlackHole:
+		return "black-hole"
+	default:
+		return "unreachable"
+	}
+}
+
+// Violation is one proven invariant failure. Conds is the symbolic
+// constraint witness (unsatisfiable-free by construction); Packet, when
+// non-zero, is a concrete packet satisfying Conds that replays the
+// violation on a cold concrete Network.
+type Violation struct {
+	Invariant Invariant
+	Kind      ViolationKind
+	Node      string // offending node: loop node, black-hole node, breached/bypassed destination
+	Path      []string
+	Conds     []solver.Term
+	Packet    value.Value
+	Detail    string
+}
+
+// String renders the violation as one line.
+func (v Violation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s", v.Invariant.Raw, v.Detail)
+	if len(v.Path) > 0 {
+		fmt.Fprintf(&sb, " (path %s)", strings.Join(v.Path, " -> "))
+	}
+	if v.Packet.Kind == value.KindPacket {
+		fmt.Fprintf(&sb, " witness %s", v.Packet)
+	}
+	return sb.String()
+}
+
+// Report is the outcome of checking a set of invariants.
+type Report struct {
+	Invariants   []Invariant
+	Violations   []Violation
+	Explorations int // symbolic injections performed
+}
+
+// Clean reports whether every invariant held.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// checkTask is one (invariant, entry-host, traffic-class) exploration.
+type checkTask struct {
+	inv   Invariant
+	entry string
+	extra []solver.Term
+}
+
+// Check verifies the invariants against the topology. Each
+// (invariant, entry-host) pair becomes an independent symbolic
+// exploration fanned over opts.Workers goroutines; results are merged in
+// task order, so the report is byte-identical at every worker count.
+func (n *SymNetwork) Check(invs []Invariant, opts ExploreOpts) (*Report, error) {
+	var tasks []checkTask
+	for _, inv := range invs {
+		switch inv.Kind {
+		case InvReach, InvIsolation, InvWaypoint:
+			extra, err := n.pairClass(inv)
+			if err != nil {
+				return nil, err
+			}
+			if inv.Kind == InvWaypoint && !n.has(inv.Via) {
+				return nil, fmt.Errorf("verify: invariant %q: unknown waypoint %q", inv.Raw, inv.Via)
+			}
+			tasks = append(tasks, checkTask{inv: inv, entry: inv.Src, extra: extra})
+		case InvLoopFree, InvNoBlackHole:
+			// Topology-wide: one unconstrained injection per host.
+			for _, h := range n.Hosts() {
+				tasks = append(tasks, checkTask{inv: inv, entry: h})
+			}
+		}
+	}
+	results := make([][]Violation, len(tasks))
+	errs := make([]error, len(tasks))
+	symexec.RunIndexed(len(tasks), opts.Workers, func(i int) {
+		results[i], errs[i] = n.runTask(tasks[i], opts)
+	})
+	rep := &Report{Invariants: invs, Explorations: len(tasks)}
+	seen := map[string]bool{}
+	for i, vs := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for _, v := range vs {
+			// Topology-wide invariants rediscover the same loop or
+			// black-hole from multiple entry hosts; keep the first.
+			key := fmt.Sprintf("%d|%s|%s", v.Kind, v.Node, v.Detail)
+			if (v.Kind == VForwardingLoop || v.Kind == VBlackHole) && seen[key] {
+				continue
+			}
+			seen[key] = true
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	return rep, nil
+}
+
+// pairClass builds the traffic-class constraints for a src→dst
+// invariant: pkt.sip fixed to src's IP when the host is addressed. The
+// destination is deliberately NOT constrained by address — delivery is
+// judged by which host the packet arrives at, and pinning pkt.dip would
+// be wrong behind NATs (traffic reaching a backend is addressed to the
+// load balancer's VIP, and an isolation breach must be found whatever
+// destination the attacker writes into the header).
+func (n *SymNetwork) pairClass(inv Invariant) ([]solver.Term, error) {
+	sip, ok := n.HostIP(inv.Src)
+	if !ok {
+		return nil, fmt.Errorf("verify: invariant %q: unknown host %q", inv.Raw, inv.Src)
+	}
+	if _, ok := n.HostIP(inv.Dst); !ok {
+		return nil, fmt.Errorf("verify: invariant %q: unknown host %q", inv.Raw, inv.Dst)
+	}
+	var extra []solver.Term
+	if sip != "" {
+		extra = append(extra, solver.Bin{Op: "==", X: solver.Var{Name: "pkt.sip"}, Y: solver.Const{V: value.Str(sip)}})
+	}
+	return extra, nil
+}
+
+func (n *SymNetwork) runTask(t checkTask, opts ExploreOpts) ([]Violation, error) {
+	exp, err := n.Explore(t.entry, t.extra, opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	switch t.inv.Kind {
+	case InvReach:
+		for _, d := range exp.Deliveries {
+			if d.Host == t.inv.Dst {
+				return nil, nil // held
+			}
+		}
+		out = append(out, Violation{
+			Invariant: t.inv, Kind: VUnreachable, Node: t.inv.Dst, Conds: t.extra,
+			Detail: n.unreachableDetail(t, exp),
+		})
+	case InvIsolation:
+		for _, d := range exp.Deliveries {
+			if d.Host != t.inv.Dst {
+				continue
+			}
+			out = append(out, n.witnessed(Violation{
+				Invariant: t.inv, Kind: VIsolationBreach, Node: d.Host, Path: d.Path, Conds: d.Conds,
+				Detail: fmt.Sprintf("traffic from %s is delivered at %s", t.inv.Src, t.inv.Dst),
+			}, opts))
+		}
+	case InvWaypoint:
+		for _, d := range exp.Deliveries {
+			if d.Host != t.inv.Dst || contains(d.Path, t.inv.Via) {
+				continue
+			}
+			out = append(out, n.witnessed(Violation{
+				Invariant: t.inv, Kind: VWaypointBypass, Node: t.inv.Via, Path: d.Path, Conds: d.Conds,
+				Detail: fmt.Sprintf("delivery at %s bypasses waypoint %s", t.inv.Dst, t.inv.Via),
+			}, opts))
+		}
+	case InvLoopFree:
+		for _, l := range exp.Loops {
+			out = append(out, n.witnessed(Violation{
+				Invariant: t.inv, Kind: VForwardingLoop, Node: l.Node, Path: l.Path, Conds: l.Conds,
+				Detail: fmt.Sprintf("forwarding loop: %s", l.Reason),
+			}, opts))
+		}
+	case InvNoBlackHole:
+		for _, b := range exp.BlackHoles {
+			out = append(out, n.witnessed(Violation{
+				Invariant: t.inv, Kind: VBlackHole, Node: b.Node, Path: b.Path, Conds: b.Conds,
+				Detail: fmt.Sprintf("black-hole at %s: %s", b.Node, b.Reason),
+			}, opts))
+		}
+	}
+	return out, nil
+}
+
+// unreachableDetail explains why nothing arrived: how many classes were
+// dropped versus black-holed on the way.
+func (n *SymNetwork) unreachableDetail(t checkTask, exp *Exploration) string {
+	parts := []string{fmt.Sprintf("no traffic from %s reaches %s", t.inv.Src, t.inv.Dst)}
+	if exp.Drops > 0 {
+		parts = append(parts, fmt.Sprintf("%d class(es) dropped by NFs", exp.Drops))
+	}
+	if len(exp.BlackHoles) > 0 {
+		bh := exp.BlackHoles[0]
+		parts = append(parts, fmt.Sprintf("%d class(es) black-holed (first at %s: %s)", len(exp.BlackHoles), bh.Node, bh.Reason))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// witnessed attaches a concrete witness packet to the violation:
+// constraint-directed synthesis over the violation's (fully grounded)
+// constraint set, seeded deterministically per violation so the result
+// is independent of scheduling. Synthesis can fail only for classes the
+// randomized completion cannot hit; the symbolic witness stands either
+// way.
+func (n *SymNetwork) witnessed(v Violation, opts ExploreOpts) Violation {
+	if opts.SymbolicState {
+		return v // residual state variables: not concretely replayable
+	}
+	tries := opts.SynthTries
+	if tries == 0 {
+		tries = 256
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed + int64(len(v.Conds))))
+	if pkt := buzz.Synthesize(v.Conds, nil, nil, rng, tries); pkt.Kind == value.KindPacket {
+		v.Packet = pkt
+	}
+	return v
+}
+
+func contains(path []string, node string) bool {
+	for _, p := range path {
+		if p == node {
+			return true
+		}
+	}
+	return false
+}
+
+// SortViolations orders violations deterministically: by invariant text,
+// then kind, node, and path.
+func SortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Invariant.Raw != b.Invariant.Raw {
+			return a.Invariant.Raw < b.Invariant.Raw
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return strings.Join(a.Path, ">") < strings.Join(b.Path, ">")
+	})
+}

@@ -1,0 +1,477 @@
+// symnet.go implements the symbolic topology explorer: ChainEntryReach's
+// per-hop composition generalized from a linear chain to an arbitrary
+// branching network of hosts, switches and synthesized NF models. A
+// symbolic packet class — a conjunction of constraints on the injected
+// packet — is walked through the topology; switches case-split the class
+// over their forwarding tables, NF models case-split it over their table
+// entries (per-node config grounding keeps two instances of the same NF
+// independent, and lets the memoizing solver cache share verdicts when
+// they are NOT independent), and every trajectory ends in one of four
+// dispositions, each with a solver-checked constraint witness:
+//
+//   - delivery at a host (the reachability side),
+//   - an explicit NF drop (including the §3.2 implicit drop),
+//   - a black-hole: a switch with no route for the class, or a send on
+//     an unconnected interface (NFL404),
+//   - a forwarding loop: the class revisits a node with an identical
+//     header state, so the deterministic transfer functions repeat
+//     forever (NFL402).
+//
+// NF state is grounded to each node's initial values by default
+// (ExploreOpts.SymbolicState keeps it symbolic instead): loop cutting
+// guarantees a class traverses each node at most once per trajectory, so
+// within one walk the pre-state IS the initial state, and — unlike a
+// symbolic state treatment — every verdict is concretely replayable on a
+// cold concrete Network, which is how the checks validate themselves.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/model"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// SymNF is one NF node of a symbolic topology: a synthesized model plus
+// the concrete configuration and initial state it is deployed with.
+type SymNF struct {
+	Model  *model.Model
+	Config map[string]value.Value
+	State  map[string]value.Value
+}
+
+// SymNetwork is a topology of hosts, switches and NF models for symbolic
+// exploration. Unlike the concrete Network it holds no mutable state:
+// explorations are independent and safe to run concurrently.
+type SymNetwork struct {
+	hosts    map[string]string            // name -> ip ("" when unaddressed)
+	switches map[string]map[string]string // name -> dst ip -> out iface
+	nfs      map[string]*SymNF
+	links    map[string]map[string]string // node -> out iface -> peer
+}
+
+// NewSymNetwork returns an empty symbolic topology.
+func NewSymNetwork() *SymNetwork {
+	return &SymNetwork{
+		hosts:    map[string]string{},
+		switches: map[string]map[string]string{},
+		nfs:      map[string]*SymNF{},
+		links:    map[string]map[string]string{},
+	}
+}
+
+func (n *SymNetwork) has(name string) bool {
+	if _, ok := n.hosts[name]; ok {
+		return true
+	}
+	if _, ok := n.switches[name]; ok {
+		return true
+	}
+	_, ok := n.nfs[name]
+	return ok
+}
+
+// AddHost adds an endpoint with an (optional) IP address. Invariants
+// identify traffic by host IPs: reach(a,b) constrains pkt.sip to a's IP
+// and pkt.dip to b's.
+func (n *SymNetwork) AddHost(name, ip string) error {
+	if n.has(name) {
+		return fmt.Errorf("verify: duplicate node %q", name)
+	}
+	n.hosts[name] = ip
+	return nil
+}
+
+// AddSwitch adds a switch with a dstIP→iface forwarding table.
+func (n *SymNetwork) AddSwitch(name string, byDst map[string]string) error {
+	if n.has(name) {
+		return fmt.Errorf("verify: duplicate node %q", name)
+	}
+	routes := make(map[string]string, len(byDst))
+	for k, v := range byDst {
+		routes[k] = v
+	}
+	n.switches[name] = routes
+	return nil
+}
+
+// AddNF adds an NF node.
+func (n *SymNetwork) AddNF(name string, nf SymNF) error {
+	if n.has(name) {
+		return fmt.Errorf("verify: duplicate node %q", name)
+	}
+	if nf.Model == nil {
+		return fmt.Errorf("verify: NF node %q has no model", name)
+	}
+	n.nfs[name] = &nf
+	return nil
+}
+
+// Link connects from's out-interface iface to node to. As in the
+// concrete Network, the out-interface name is what the receiving NF sees
+// as pkt.in_iface, so links into an NF must be named after the interface
+// the NF's program matches on.
+func (n *SymNetwork) Link(from, iface, to string) error {
+	if !n.has(from) {
+		return fmt.Errorf("verify: unknown node %q", from)
+	}
+	if !n.has(to) {
+		return fmt.Errorf("verify: unknown node %q", to)
+	}
+	if n.links[from] == nil {
+		n.links[from] = map[string]string{}
+	}
+	if prev, ok := n.links[from][iface]; ok {
+		return fmt.Errorf("verify: duplicate link %s.%s (already to %q)", from, iface, prev)
+	}
+	n.links[from][iface] = to
+	return nil
+}
+
+// Hosts returns the host names in sorted order.
+func (n *SymNetwork) Hosts() []string {
+	out := make([]string, 0, len(n.hosts))
+	for h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostIP returns the host's IP ("" when the host exists but is
+// unaddressed) and whether the host exists.
+func (n *SymNetwork) HostIP(name string) (string, bool) {
+	ip, ok := n.hosts[name]
+	return ip, ok
+}
+
+// ExploreOpts configure symbolic exploration.
+type ExploreOpts struct {
+	// Workers bounds invariant-level parallelism in Check (<=0:
+	// GOMAXPROCS). Results are byte-identical at every worker count.
+	Workers int
+	// Cache, when set, memoizes solver verdicts across explorations.
+	Cache *solver.Cache
+	// SymbolicState keeps NF state symbolic (fresh per-node variables)
+	// instead of grounding it to each node's initial values. Symbolic
+	// verdicts are sound over all states but not concretely replayable.
+	SymbolicState bool
+	// MaxHops bounds trajectory length (default 64); exceeding it is
+	// conservatively reported as a loop.
+	MaxHops int
+	// SynthTries bounds concrete-witness synthesis attempts per
+	// violation (default 256).
+	SynthTries int
+	// Seed drives witness synthesis (default 1). Synthesis is seeded
+	// per violation, so results do not depend on scheduling.
+	Seed int64
+}
+
+const defaultMaxSymHops = 64
+
+func (o ExploreOpts) maxHops() int {
+	if o.MaxHops > 0 {
+		return o.MaxHops
+	}
+	return defaultMaxSymHops
+}
+
+// SymDelivery is a symbolic packet class that reaches a host: the node
+// path (entry first, host last) and the constraints on the injected
+// packet under which the path is taken.
+type SymDelivery struct {
+	Host  string
+	Path  []string
+	Conds []solver.Term
+}
+
+// SymLoop is a proven forwarding loop: a class that revisits a node with
+// an identical header state, so the deterministic per-node transfer
+// functions repeat forever. Path ends at the revisited node.
+type SymLoop struct {
+	Node   string
+	Path   []string
+	Conds  []solver.Term
+	Reason string
+}
+
+// SymBlackHole is a class that vanishes without any node deciding to
+// drop it.
+type SymBlackHole struct {
+	Node   string
+	Path   []string
+	Conds  []solver.Term
+	Reason string
+}
+
+// Exploration is every trajectory of one symbolic injection.
+type Exploration struct {
+	Entry      string
+	Deliveries []SymDelivery
+	Loops      []SymLoop
+	BlackHoles []SymBlackHole
+	// Drops counts classes consumed by an explicit (or §3.2 implicit)
+	// NF drop — defined behavior, not a diagnostic.
+	Drops int
+}
+
+// Explore injects a symbolic packet constrained by extra at entry and
+// walks every feasible trajectory. Exploration order is deterministic:
+// switch routes by destination, NF entries by index, links by interface
+// name — independent of worker count (Explore itself is sequential;
+// Check parallelizes across explorations).
+func (n *SymNetwork) Explore(entry string, extra []solver.Term, opts ExploreOpts) (*Exploration, error) {
+	if !n.has(entry) {
+		return nil, fmt.Errorf("verify: unknown node %q", entry)
+	}
+	w := &walker{n: n, opts: opts, exp: &Exploration{Entry: entry}}
+	conds := append([]solver.Term{}, extra...)
+	if !w.sat(conds) {
+		return w.exp, nil // the injected class itself is empty
+	}
+	err := w.walk(entry, conds, map[string]solver.Term{}, []string{entry}, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	return w.exp, nil
+}
+
+type walker struct {
+	n    *SymNetwork
+	opts ExploreOpts
+	exp  *Exploration
+}
+
+func (w *walker) sat(lits []solver.Term) bool { return w.opts.Cache.SatSplit(lits) }
+
+func (w *walker) walk(node string, conds []solver.Term, fields map[string]solver.Term, path []string, visited map[string]bool) error {
+	if len(path) > w.opts.maxHops() {
+		w.exp.Loops = append(w.exp.Loops, SymLoop{
+			Node: node, Path: path, Conds: conds,
+			Reason: fmt.Sprintf("trajectory exceeds %d hops", w.opts.maxHops()),
+		})
+		return nil
+	}
+	if _, ok := w.n.hosts[node]; ok {
+		if len(path) == 1 {
+			// The entry host transmits: fan out over its links.
+			return w.fanHost(node, conds, fields, path, visited)
+		}
+		w.exp.Deliveries = append(w.exp.Deliveries, SymDelivery{Host: node, Path: path, Conds: conds})
+		return nil
+	}
+	if routes, ok := w.n.switches[node]; ok {
+		return w.walkSwitch(node, routes, conds, fields, path, visited)
+	}
+	if nf, ok := w.n.nfs[node]; ok {
+		return w.walkNF(node, nf, conds, fields, path, visited)
+	}
+	return fmt.Errorf("verify: unknown node %q", node)
+}
+
+func (w *walker) fanHost(node string, conds []solver.Term, fields map[string]solver.Term, path []string, visited map[string]bool) error {
+	ifaces := sortedKeys(w.n.links[node])
+	if len(ifaces) == 0 {
+		w.exp.BlackHoles = append(w.exp.BlackHoles, SymBlackHole{
+			Node: node, Path: path, Conds: conds, Reason: "entry host has no links",
+		})
+		return nil
+	}
+	for _, iface := range ifaces {
+		if err := w.step(node, iface, conds, fields, path, visited); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkSwitch case-splits the class over the forwarding table: one branch
+// per feasible route plus the residual no-route class, which black-holes.
+func (w *walker) walkSwitch(node string, routes map[string]string, conds []solver.Term, fields map[string]solver.Term, path []string, visited map[string]bool) error {
+	dip := fieldTerm(fields, "dip")
+	noRoute := append([]solver.Term{}, conds...)
+	noRouteOK := true
+	for _, dst := range sortedKeys(routes) {
+		eq := solver.Simplify(solver.Bin{Op: "==", X: dip, Y: solver.Const{V: value.Str(dst)}})
+		branch := conds
+		if b, isB := solver.IsConstBool(eq); isB {
+			if !b {
+				continue // route can never match this class
+			}
+			noRouteOK = false // route always matches: no residual class
+		} else {
+			branch = append(append([]solver.Term{}, conds...), eq)
+			if !w.sat(branch) {
+				continue
+			}
+			noRoute = append(noRoute, solver.Simplify(solver.Not(eq)))
+		}
+		if err := w.step(node, routes[dst], branch, fields, path, visited); err != nil {
+			return err
+		}
+	}
+	if noRouteOK && w.sat(noRoute) {
+		w.exp.BlackHoles = append(w.exp.BlackHoles, SymBlackHole{
+			Node: node, Path: path, Conds: noRoute,
+			Reason: "no forwarding entry for destination class",
+		})
+	}
+	return nil
+}
+
+// walkNF case-splits the class over the model's table entries (mutually
+// exclusive by construction), grounding config — and, by default, the
+// node's initial state — into each guard before deciding feasibility.
+func (w *walker) walkNF(node string, nf *SymNF, conds []solver.Term, fields map[string]solver.Term, path []string, visited map[string]bool) error {
+	ground := nf.Config
+	if !w.opts.SymbolicState && len(nf.State) > 0 {
+		merged := make(map[string]value.Value, len(nf.Config)+len(nf.State))
+		for k, v := range nf.Config {
+			merged[k] = v
+		}
+		for k, v := range nf.State {
+			merged[k+"@0"] = v // state vars appear in guards as name@0
+		}
+		ground = merged
+	}
+	rw := func(t solver.Term) solver.Term {
+		return solver.Simplify(groundNamed(substituteFields(namespaceState(groundConfig(t, ground), node), fields)))
+	}
+	for i := range nf.Model.Entries {
+		e := &nf.Model.Entries[i]
+		next := append([]solver.Term{}, conds...)
+		ok := true
+		for _, g := range e.Guard() {
+			ng := rw(g)
+			if b, isB := solver.IsConstBool(ng); isB {
+				if !b {
+					ok = false
+					break
+				}
+				continue
+			}
+			next = append(next, ng)
+		}
+		if !ok || !w.sat(next) {
+			continue
+		}
+		if e.Dropped() {
+			w.exp.Drops++
+			continue
+		}
+		for _, send := range e.Sends {
+			nf2 := make(map[string]solver.Term, len(fields)+len(send.Fields))
+			for k, v := range fields {
+				nf2[k] = v
+			}
+			for f, t := range send.Fields {
+				nf2[f] = rw(t)
+			}
+			if err := w.send(node, rw(send.Iface), next, nf2, path, visited); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// send routes one NF output. The model's send interface is a term; when
+// it grounds to a constant the packet takes that link, otherwise the
+// class is case-split over the node's connected interfaces, with the
+// residual (interface matching no link) black-holing.
+func (w *walker) send(node string, iface solver.Term, conds []solver.Term, fields map[string]solver.Term, path []string, visited map[string]bool) error {
+	if c, isC := iface.(solver.Const); isC && c.V.Kind == value.KindStr {
+		return w.step(node, c.V.S, conds, fields, path, visited)
+	}
+	residual := append([]solver.Term{}, conds...)
+	for _, l := range sortedKeys(w.n.links[node]) {
+		eq := solver.Simplify(solver.Bin{Op: "==", X: iface, Y: solver.Const{V: value.Str(l)}})
+		if b, isB := solver.IsConstBool(eq); isB && !b {
+			continue
+		}
+		branch := append(append([]solver.Term{}, conds...), eq)
+		if !w.sat(branch) {
+			continue
+		}
+		residual = append(residual, solver.Simplify(solver.Not(eq)))
+		if err := w.step(node, l, branch, fields, path, visited); err != nil {
+			return err
+		}
+	}
+	if w.sat(residual) {
+		w.exp.BlackHoles = append(w.exp.BlackHoles, SymBlackHole{
+			Node: node, Path: path, Conds: residual,
+			Reason: fmt.Sprintf("send on unresolved interface %s", iface),
+		})
+	}
+	return nil
+}
+
+// step crosses the link from.(iface), stamping the link name as the
+// receiver's in_iface (the concrete Network's contract). A revisit of
+// (node, in-iface, header state) already on this trajectory is a proven
+// forwarding loop: the transfer functions are deterministic per class,
+// so the walk from here repeats exactly.
+func (w *walker) step(from, iface string, conds []solver.Term, fields map[string]solver.Term, path []string, visited map[string]bool) error {
+	peer, ok := w.n.links[from][iface]
+	if !ok {
+		w.exp.BlackHoles = append(w.exp.BlackHoles, SymBlackHole{
+			Node: from, Path: path, Conds: conds,
+			Reason: fmt.Sprintf("send on unconnected interface %q", iface),
+		})
+		return nil
+	}
+	nf := make(map[string]solver.Term, len(fields)+1)
+	for k, v := range fields {
+		nf[k] = v
+	}
+	nf["in_iface"] = solver.Const{V: value.Str(iface)}
+	key := peer + "\x00" + iface + "\x00" + fieldsKey(nf)
+	next := append(path[:len(path):len(path)], peer)
+	if visited[key] {
+		w.exp.Loops = append(w.exp.Loops, SymLoop{
+			Node: peer, Path: next, Conds: conds,
+			Reason: fmt.Sprintf("%s revisited with identical header class", peer),
+		})
+		return nil
+	}
+	visited[key] = true
+	err := w.walk(peer, conds, nf, next, visited)
+	delete(visited, key)
+	return err
+}
+
+// fieldTerm returns the current symbolic term for a packet field: the
+// accumulated rewrite, or the injected packet's own variable.
+func fieldTerm(fields map[string]solver.Term, name string) solver.Term {
+	if t, ok := fields[name]; ok {
+		return t
+	}
+	return solver.Var{Name: "pkt." + name}
+}
+
+// fieldsKey canonicalizes a header state for loop detection.
+func fieldsKey(fields map[string]solver.Term) string {
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = k + "=" + fields[k].Key()
+	}
+	return strings.Join(parts, ";")
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,283 @@
+package verify_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/model"
+	"nfactor/internal/nfs"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+	"nfactor/internal/verify"
+)
+
+// resolver resolves corpus NF names through the synthesis pipeline, the
+// same way cmd/nfverify does.
+func resolver(t *testing.T) verify.NFResolver {
+	t.Helper()
+	cache := map[string]*core.Analysis{}
+	return func(name string) (*model.Model, map[string]value.Value, map[string]value.Value, error) {
+		an, ok := cache[name]
+		if !ok {
+			nf, err := nfs.Load(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			an, err = core.Analyze(name, nf.Prog, core.Options{})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			cache[name] = an
+		}
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return an.Model, config, state, nil
+	}
+}
+
+func loadFixture(t *testing.T, name string) (*verify.TopoFile, *verify.SymNetwork, []verify.Invariant) {
+	t.Helper()
+	topo, err := verify.LoadTopo(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topo.Sym(resolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := topo.ParsedInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, net, invs
+}
+
+// TestProtectedTopologyInvariantsHold is the positive side of the §4
+// verification story: on the firewall-protected branching deployment,
+// isolation of the internal db from the outside, reachability of the
+// backend through the full chain, waypointing through the IDS, and
+// loop-freedom are all solver-proved clean.
+func TestProtectedTopologyInvariantsHold(t *testing.T) {
+	_, net, invs := loadFixture(t, "protected.json")
+	rep, err := net.Check(invs, verify.ExploreOpts{Cache: solver.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, v := range rep.Violations {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+	if rep.Explorations == 0 {
+		t.Error("no explorations performed")
+	}
+}
+
+// TestBreachWitnessReplaysConcretely removes the firewall from evil's
+// path (a direct link into the lan switch) and checks the full
+// both-ways loop: the symbolic check finds the isolation breach, the
+// synthesized witness packet satisfies the constraint set, and replaying
+// it on a cold concrete Network delivers it at the protected host along
+// the symbolic path.
+func TestBreachWitnessReplaysConcretely(t *testing.T) {
+	topo, net, invs := loadFixture(t, "breach.json")
+	rep, err := net.Check(invs, verify.ExploreOpts{Cache: solver.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var breach *verify.Violation
+	for i := range rep.Violations {
+		if rep.Violations[i].Kind == verify.VIsolationBreach {
+			breach = &rep.Violations[i]
+		}
+	}
+	if breach == nil {
+		t.Fatalf("isolation breach not detected; violations: %v", rep.Violations)
+	}
+	if breach.Packet.Kind != value.KindPacket {
+		t.Fatalf("no concrete witness synthesized for %s", breach)
+	}
+	if want := []string{"evil", "lanswitch", "db"}; strings.Join(breach.Path, ">") != strings.Join(want, ">") {
+		t.Errorf("breach path = %v, want %v", breach.Path, want)
+	}
+
+	conc, err := topo.Concrete(resolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conc.InjectReport("evil", breach.Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *verify.DeliveredPkt
+	for i := range res.Delivered {
+		if res.Delivered[i].Host == "db" {
+			hit = &res.Delivered[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("witness packet %s not delivered at db concretely (delivered: %v)", breach.Packet, res.Hosts())
+	}
+	if strings.Join(hit.Path, ">") != strings.Join(breach.Path, ">") {
+		t.Errorf("concrete path %v != symbolic path %v", hit.Path, breach.Path)
+	}
+}
+
+// TestLoopDetectedAndConfirmedConcretely: the mis-routed switch pair
+// yields a proven forwarding-loop witness whose concrete replay trips
+// the simulator's hop limit, while the non-looping class still reaches
+// its server.
+func TestLoopDetectedAndConfirmedConcretely(t *testing.T) {
+	topo, net, invs := loadFixture(t, "loop.json")
+	rep, err := net.Check(invs, verify.ExploreOpts{Cache: solver.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *verify.Violation
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		if v.Kind == verify.VForwardingLoop {
+			loop = v
+		} else {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+	if loop == nil {
+		t.Fatal("forwarding loop not detected")
+	}
+	if loop.Packet.Kind != value.KindPacket {
+		t.Fatalf("no concrete witness synthesized for %s", loop)
+	}
+
+	conc, err := topo.Concrete(resolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conc.InjectReport("h1", loop.Packet); err == nil {
+		t.Error("loop witness packet did not trip the concrete hop limit")
+	} else if !strings.Contains(err.Error(), "hop limit") {
+		t.Errorf("unexpected replay error: %v", err)
+	}
+}
+
+// TestCheckWorkerInvariant: the report — violations, order, witnesses —
+// is byte-identical at 1 and 4 workers.
+func TestCheckWorkerInvariant(t *testing.T) {
+	for _, fixture := range []string{"breach.json", "loop.json", "protected.json"} {
+		render := func(workers int) string {
+			_, net, invs := loadFixture(t, fixture)
+			rep, err := net.Check(invs, verify.ExploreOpts{Workers: workers, Cache: solver.NewCache()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "explorations=%d\n", rep.Explorations)
+			for _, v := range rep.Violations {
+				sb.WriteString(v.String())
+				sb.WriteString("\n")
+			}
+			return sb.String()
+		}
+		if got1, got4 := render(1), render(4); got1 != got4 {
+			t.Errorf("%s: report differs across worker counts:\n-- workers=1 --\n%s-- workers=4 --\n%s", fixture, got1, got4)
+		}
+	}
+}
+
+// TestSymbolicStateModeStaysSound: with state symbolic instead of
+// grounded, the firewall's established-connection entry becomes
+// feasible, so isolation of the protected host can no longer be proven —
+// the breach it reports is over SOME state, hence not concretely
+// witnessed. This pins down why StateInit is the default for topology
+// checks.
+func TestSymbolicStateModeStaysSound(t *testing.T) {
+	_, net, _ := loadFixture(t, "protected.json")
+	inv, err := verify.ParseInvariant("isolation(evil,db)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Check([]verify.Invariant{inv}, verify.ExploreOpts{Cache: solver.NewCache(), SymbolicState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Error("symbolic-state mode proved isolation that depends on the firewall's connection state being empty")
+	}
+	for _, v := range rep.Violations {
+		if v.Packet.Kind == value.KindPacket {
+			t.Errorf("symbolic-state violation carries a concrete witness: %s", v)
+		}
+	}
+}
+
+func TestExploreBlackHoleClass(t *testing.T) {
+	_, net, _ := loadFixture(t, "protected.json")
+	// Traffic from h1 to an unrouted destination dies at the lan switch
+	// with a no-route constraint witness.
+	exp, err := net.Explore("h1", []solver.Term{
+		solver.Bin{Op: "==", X: solver.Var{Name: "pkt.dip"}, Y: solver.Const{V: value.Str("203.0.113.7")}},
+	}, verify.ExploreOpts{Cache: solver.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Deliveries) != 0 {
+		t.Errorf("unrouted class delivered: %v", exp.Deliveries)
+	}
+	found := false
+	for _, b := range exp.BlackHoles {
+		if b.Node == "lanswitch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no black-hole recorded at lanswitch: %+v", exp.BlackHoles)
+	}
+}
+
+func TestParseInvariant(t *testing.T) {
+	good := []string{"reach(a,b)", "isolation( a , b )", "waypoint(a,b,c)", "loopfree", "noblackhole"}
+	for _, s := range good {
+		if _, err := verify.ParseInvariant(s); err != nil {
+			t.Errorf("ParseInvariant(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "reach(a)", "reach(a,b,c)", "waypoint(a,b)", "loopfree(a)", "frob(a,b)", "reach(a,b", "reach(,b)"}
+	for _, s := range bad {
+		if _, err := verify.ParseInvariant(s); err == nil {
+			t.Errorf("ParseInvariant(%q) accepted", s)
+		}
+	}
+}
+
+func TestSymNetworkValidation(t *testing.T) {
+	n := verify.NewSymNetwork()
+	if err := n.AddHost("a", "1.1.1.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost("a", "1.1.1.2"); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if err := n.AddSwitch("a", nil); err == nil {
+		t.Error("switch shadowing host accepted")
+	}
+	if err := n.Link("a", "eth0", "nope"); err == nil {
+		t.Error("link to unknown node accepted")
+	}
+	if err := n.AddSwitch("s", map[string]string{"1.1.1.1": "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link("s", "p", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link("s", "p", "a"); err == nil {
+		t.Error("duplicate link accepted")
+	}
+	if _, err := n.Explore("nope", nil, verify.ExploreOpts{}); err == nil {
+		t.Error("explore from unknown node accepted")
+	}
+}

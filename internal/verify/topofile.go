@@ -1,0 +1,157 @@
+// topofile.go defines the JSON topology format consumed by
+// `nfverify -topo` and `nflint -topo`: hosts, switches, NF nodes,
+// directed links, and the invariants to check. NF nodes name a corpus NF
+// (or any program the caller can resolve); the file format stays
+// model-agnostic by delegating model/config/state resolution to a
+// callback, so this package never depends on the synthesis pipeline.
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nfactor/internal/model"
+	"nfactor/internal/value"
+)
+
+// TopoHost is an endpoint. IP, when set, identifies the host's traffic
+// in reach/isolation/waypoint invariants.
+type TopoHost struct {
+	Name string `json:"name"`
+	IP   string `json:"ip,omitempty"`
+}
+
+// TopoSwitch is a switch with an exact-match dstIP→iface table.
+type TopoSwitch struct {
+	Name   string            `json:"name"`
+	Routes map[string]string `json:"routes"`
+}
+
+// TopoNF is an NF node running the named program.
+type TopoNF struct {
+	Name string `json:"name"`
+	NF   string `json:"nf"`
+}
+
+// TopoLink is a directed link: From's out-interface Iface feeds To. The
+// interface name becomes pkt.in_iface at a receiving NF, so links into
+// an NF must use the interface names its program matches on.
+type TopoLink struct {
+	From  string `json:"from"`
+	Iface string `json:"iface"`
+	To    string `json:"to"`
+}
+
+// TopoFile is the on-disk topology.
+type TopoFile struct {
+	Hosts      []TopoHost   `json:"hosts,omitempty"`
+	Switches   []TopoSwitch `json:"switches,omitempty"`
+	NFs        []TopoNF     `json:"nfs,omitempty"`
+	Links      []TopoLink   `json:"links,omitempty"`
+	Invariants []string     `json:"invariants,omitempty"`
+}
+
+// LoadTopo reads and decodes a topology file.
+func LoadTopo(path string) (*TopoFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	return ParseTopo(b)
+}
+
+// ParseTopo decodes a topology from JSON bytes.
+func ParseTopo(b []byte) (*TopoFile, error) {
+	var t TopoFile
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("verify: bad topology: %w", err)
+	}
+	return &t, nil
+}
+
+// NFResolver resolves an NF program name to its synthesized model plus
+// the concrete config and initial state to deploy it with.
+type NFResolver func(name string) (*model.Model, map[string]value.Value, map[string]value.Value, error)
+
+// Sym builds the symbolic topology.
+func (t *TopoFile) Sym(resolve NFResolver) (*SymNetwork, error) {
+	n := NewSymNetwork()
+	for _, h := range t.Hosts {
+		if err := n.AddHost(h.Name, h.IP); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range t.Switches {
+		if err := n.AddSwitch(s.Name, s.Routes); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range t.NFs {
+		m, cfg, st, err := resolve(f.NF)
+		if err != nil {
+			return nil, fmt.Errorf("verify: NF node %q: %w", f.Name, err)
+		}
+		if err := n.AddNF(f.Name, SymNF{Model: m, Config: cfg, State: st}); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range t.Links {
+		if err := n.Link(l.From, l.Iface, l.To); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Concrete builds the concrete simulation twin of the topology: same
+// nodes and links, NFs instantiated cold (initial state), for replaying
+// symbolic witnesses.
+func (t *TopoFile) Concrete(resolve NFResolver) (*Network, error) {
+	n := NewNetwork()
+	for _, h := range t.Hosts {
+		n.AddHost(h.Name)
+	}
+	for _, s := range t.Switches {
+		n.AddSwitch(s.Name, s.Routes)
+	}
+	for _, f := range t.NFs {
+		m, cfg, st, err := resolve(f.NF)
+		if err != nil {
+			return nil, fmt.Errorf("verify: NF node %q: %w", f.Name, err)
+		}
+		inst, err := model.NewInstance(m, cfg, st)
+		if err != nil {
+			return nil, fmt.Errorf("verify: NF node %q: %w", f.Name, err)
+		}
+		n.AddNF(f.Name, inst)
+	}
+	for _, l := range t.Links {
+		if err := n.Link(l.From, l.Iface, l.To); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// ParsedInvariants parses the file's invariant list.
+func (t *TopoFile) ParsedInvariants() ([]Invariant, error) {
+	out := make([]Invariant, 0, len(t.Invariants))
+	for _, s := range t.Invariants {
+		inv, err := ParseInvariant(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inv)
+	}
+	return out, nil
+}
+
+// Summary describes the topology in one line.
+func (t *TopoFile) Summary() string {
+	return fmt.Sprintf("%d host(s), %d switch(es), %d NF(s), %d link(s)",
+		len(t.Hosts), len(t.Switches), len(t.NFs), len(t.Links))
+}

@@ -156,7 +156,7 @@ func ChainEntryReach(hops []Hop, extra []solver.Term) ([][]*Witness, error) {
 				}
 				next = append(next, ng)
 			}
-			if !ok || !satSplit(next, maxMemberSplits) {
+			if !ok || !solver.SatSplit(next) {
 				continue
 			}
 			if reach[hop][i] == nil {
@@ -232,53 +232,6 @@ func groundConfig(t solver.Term, cfg map[string]value.Value) solver.Term {
 	}
 }
 
-// satSplit bounds for the membership case-split: how many positive
-// membership literals may be split, and how large a concrete map may be
-// enumerated. Beyond either bound the check falls back to plain
-// SatConj — conservative toward "satisfiable", i.e. toward reporting an
-// entry reachable.
-const (
-	maxMemberSplits = 6
-	maxMemberDomain = 64
-)
-
-// satSplit decides conjunction satisfiability like solver.SatConj, but
-// finitely case-splits positive membership tests over concrete maps:
-// `K in M` with M a compile-time map is equivalent to the disjunction
-// of K == k over M's keys, which conjunction-level reasoning alone
-// cannot see. This is what lets the chain composition prove, e.g., that
-// a dport constrained into a firewall's egress policy can never also
-// hit an IDS rule table keyed by disjoint ports.
-func satSplit(lits []solver.Term, depth int) bool {
-	if depth > 0 {
-		for i, l := range lits {
-			in, ok := l.(solver.In)
-			if !ok {
-				continue
-			}
-			if _, isC := in.K.(solver.Const); isC {
-				continue // concrete key: Simplify already folded or will
-			}
-			keys, ok := concreteMapKeys(in.M)
-			if !ok || len(keys) > maxMemberDomain {
-				continue
-			}
-			rest := make([]solver.Term, 0, len(lits))
-			rest = append(rest, lits[:i]...)
-			rest = append(rest, lits[i+1:]...)
-			for _, kv := range keys {
-				branch := append(append([]solver.Term{}, rest...),
-					solver.Simplify(solver.Bin{Op: "==", X: in.K, Y: solver.Const{V: kv}}))
-				if satSplit(branch, depth-1) {
-					return true
-				}
-			}
-			return false // every key binding contradicts the rest
-		}
-	}
-	return solver.SatConj(lits)
-}
-
 // groundNamed replaces NamedConst terms by their concrete values so the
 // conjunction checker can fold comparisons against them: a named config
 // constant IS a constant for satisfiability purposes (Simplify keeps
@@ -316,23 +269,6 @@ func groundNamed(t solver.Term) solver.Term {
 	default:
 		return t
 	}
-}
-
-// concreteMapKeys extracts the key values of a compile-time map term.
-func concreteMapKeys(t solver.Term) ([]value.Value, bool) {
-	var v value.Value
-	switch x := t.(type) {
-	case solver.NamedConst:
-		v = x.V
-	case solver.Const:
-		v = x.V
-	default:
-		return nil, false
-	}
-	if v.Kind != value.KindMap {
-		return nil, false
-	}
-	return v.Map.Keys(), true
 }
 
 // Blocked reports whether no traffic satisfying extra can traverse the
@@ -411,13 +347,29 @@ type Network struct {
 }
 
 type node interface {
-	process(pkt value.Value, inIface string) ([]outPkt, error)
+	// process consumes a packet and returns the forwarded copies plus a
+	// disposition for the packet itself: delivered (host), dropped
+	// (explicit NF verdict — including the model's §3.2 implicit drop,
+	// which is defined behavior), black-holed (a switch with no route:
+	// nothing decided to kill the packet, it just has nowhere to go), or
+	// forwarded.
+	process(pkt value.Value, inIface string) ([]outPkt, disposition, error)
 }
 
 type outPkt struct {
 	pkt   value.Value
 	iface string
 }
+
+// disposition classifies what a node did with a packet.
+type disposition int
+
+const (
+	dispForwarded disposition = iota
+	dispDelivered
+	dispDropped
+	dispBlackHole
+)
 
 // NewNetwork returns an empty topology.
 func NewNetwork() *Network {
@@ -427,34 +379,35 @@ func NewNetwork() *Network {
 // hostNode records delivered packets.
 type hostNode struct{ delivered []value.Value }
 
-func (h *hostNode) process(pkt value.Value, _ string) ([]outPkt, error) {
+func (h *hostNode) process(pkt value.Value, _ string) ([]outPkt, disposition, error) {
 	h.delivered = append(h.delivered, pkt)
-	return nil, nil
+	return nil, dispDelivered, nil
 }
 
-// switchNode forwards by exact destination IP, flooding unknown
-// destinations nowhere (dropping).
+// switchNode forwards by exact destination IP. A destination with no
+// route is a black-hole: the switch neither delivers nor explicitly
+// drops, the packet just vanishes (the NFL404 condition).
 type switchNode struct {
 	byDst map[string]string // dst ip -> out iface
 }
 
-func (s *switchNode) process(pkt value.Value, _ string) ([]outPkt, error) {
+func (s *switchNode) process(pkt value.Value, _ string) ([]outPkt, disposition, error) {
 	dst, ok := pkt.Pkt.Fields["dip"]
 	if !ok || dst.Kind != value.KindStr {
-		return nil, nil
+		return nil, dispBlackHole, nil
 	}
 	iface, ok := s.byDst[dst.S]
 	if !ok {
-		return nil, nil
+		return nil, dispBlackHole, nil
 	}
-	return []outPkt{{pkt: pkt, iface: iface}}, nil
+	return []outPkt{{pkt: pkt, iface: iface}}, dispForwarded, nil
 }
 
 // nfNode wraps a model instance; the ingress link name becomes the
 // packet's in_iface.
 type nfNode struct{ inst *model.Instance }
 
-func (n *nfNode) process(pkt value.Value, inIface string) ([]outPkt, error) {
+func (n *nfNode) process(pkt value.Value, inIface string) ([]outPkt, disposition, error) {
 	p := pkt.Clone()
 	// Mid-network hops stamp the ingress link; injected packets keep
 	// their preset in_iface.
@@ -463,13 +416,16 @@ func (n *nfNode) process(pkt value.Value, inIface string) ([]outPkt, error) {
 	}
 	out, err := n.inst.Process(p)
 	if err != nil {
-		return nil, err
+		return nil, dispDropped, err
 	}
 	var res []outPkt
 	for _, s := range out.Sent {
 		res = append(res, outPkt{pkt: s.Pkt, iface: s.Iface})
 	}
-	return res, nil
+	if len(res) == 0 {
+		return nil, dispDropped, nil
+	}
+	return res, dispForwarded, nil
 }
 
 // AddHost adds an endpoint node.
@@ -502,38 +458,134 @@ func (n *Network) Link(from, iface, to string) error {
 
 const maxHops = 32
 
-// Inject sends pkt into the network at node entry and simulates until all
-// copies are delivered or dropped. It returns the hosts that received a
-// copy.
-func (n *Network) Inject(entry string, pkt value.Value) ([]string, error) {
+// DeliveredPkt is one packet copy that reached a host, with the node
+// path it took (entry node first, host last).
+type DeliveredPkt struct {
+	Host string
+	Pkt  value.Value
+	Path []string
+}
+
+// BlackHolePkt is one packet copy that vanished without any node
+// deciding to drop it: a switch with no route for its destination, or a
+// send onto an interface with no link. This is the concrete counterpart
+// of the NFL404 diagnostic.
+type BlackHolePkt struct {
+	Node   string
+	Pkt    value.Value
+	Path   []string // entry node first, black-holing node last
+	Reason string
+}
+
+// InjectResult is the full accounting of one injection: every copy ends
+// up delivered, explicitly dropped, or black-holed.
+type InjectResult struct {
+	Delivered  []DeliveredPkt
+	BlackHoles []BlackHolePkt
+	Dropped    int // copies consumed by an explicit (or §3.2 implicit) NF drop
+}
+
+// Hosts returns the sorted distinct hosts that received a copy.
+func (r *InjectResult) Hosts() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range r.Delivered {
+		if !seen[d.Host] {
+			seen[d.Host] = true
+			out = append(out, d.Host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InjectReport sends pkt into the network at node entry and simulates
+// until every copy is delivered, dropped, or black-holed, distinguishing
+// the three. Injecting at a host models that host transmitting: the
+// packet goes out the host's links (in iface order) rather than being
+// self-delivered; a host with no links black-holes its own traffic.
+func (n *Network) InjectReport(entry string, pkt value.Value) (*InjectResult, error) {
+	if _, ok := n.nodes[entry]; !ok {
+		return nil, fmt.Errorf("verify: unknown node %q", entry)
+	}
+	res := &InjectResult{}
 	type inflight struct {
 		node    string
 		pkt     value.Value
 		inIface string
-		hops    int
+		path    []string
 	}
-	work := []inflight{{node: entry, pkt: pkt.Clone()}}
+	var work []inflight
+	fanOut := func(from string, path []string, outs []outPkt) {
+		for i := len(outs) - 1; i >= 0; i-- { // stack: keep DFS in send order
+			o := outs[i]
+			peer, ok := n.links[from][o.iface]
+			if !ok {
+				res.BlackHoles = append(res.BlackHoles, BlackHolePkt{
+					Node: from, Pkt: o.pkt, Path: path,
+					Reason: fmt.Sprintf("send on unconnected interface %q", o.iface),
+				})
+				continue
+			}
+			work = append(work, inflight{node: peer, pkt: o.pkt, inIface: o.iface, path: append(path[:len(path):len(path)], peer)})
+		}
+	}
+	entryPath := []string{entry}
+	if _, isHost := n.nodes[entry].(*hostNode); isHost {
+		ifaces := make([]string, 0, len(n.links[entry]))
+		for iface := range n.links[entry] {
+			ifaces = append(ifaces, iface)
+		}
+		sort.Strings(ifaces)
+		var outs []outPkt
+		for _, iface := range ifaces {
+			outs = append(outs, outPkt{pkt: pkt.Clone(), iface: iface})
+		}
+		if len(outs) == 0 {
+			res.BlackHoles = append(res.BlackHoles, BlackHolePkt{
+				Node: entry, Pkt: pkt.Clone(), Path: entryPath,
+				Reason: "entry host has no links",
+			})
+		}
+		fanOut(entry, entryPath, outs)
+	} else {
+		work = append(work, inflight{node: entry, pkt: pkt.Clone(), path: entryPath})
+	}
 	for len(work) > 0 {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
-		if cur.hops > maxHops {
-			return nil, fmt.Errorf("verify: hop limit exceeded (forwarding loop?)")
+		if len(cur.path) > maxHops {
+			return nil, fmt.Errorf("verify: hop limit exceeded at %s (forwarding loop?)", strings.Join(cur.path, " -> "))
 		}
-		nd, ok := n.nodes[cur.node]
-		if !ok {
-			return nil, fmt.Errorf("verify: unknown node %q", cur.node)
-		}
-		outs, err := nd.process(cur.pkt, cur.inIface)
+		nd := n.nodes[cur.node]
+		outs, disp, err := nd.process(cur.pkt, cur.inIface)
 		if err != nil {
 			return nil, fmt.Errorf("verify: node %s: %w", cur.node, err)
 		}
-		for _, o := range outs {
-			peer, ok := n.links[cur.node][o.iface]
-			if !ok {
-				continue // unconnected interface: packet leaves the world
-			}
-			work = append(work, inflight{node: peer, pkt: o.pkt, inIface: o.iface, hops: cur.hops + 1})
+		switch disp {
+		case dispDelivered:
+			res.Delivered = append(res.Delivered, DeliveredPkt{Host: cur.node, Pkt: cur.pkt, Path: cur.path})
+		case dispDropped:
+			res.Dropped++
+		case dispBlackHole:
+			res.BlackHoles = append(res.BlackHoles, BlackHolePkt{
+				Node: cur.node, Pkt: cur.pkt, Path: cur.path,
+				Reason: "no forwarding entry for destination",
+			})
 		}
+		fanOut(cur.node, cur.path, outs)
+	}
+	return res, nil
+}
+
+// Inject sends pkt into the network at node entry and simulates until all
+// copies are delivered or dropped. It returns the hosts that received a
+// copy (every host with a delivery on record, including earlier
+// injections since the last Reset — the original troubleshooting-mode
+// contract).
+func (n *Network) Inject(entry string, pkt value.Value) ([]string, error) {
+	if _, err := n.InjectReport(entry, pkt); err != nil {
+		return nil, err
 	}
 	var reached []string
 	for name, nd := range n.nodes {

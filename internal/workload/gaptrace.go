@@ -1,0 +1,46 @@
+// gaptrace.go turns the NFL103 match-space gap analysis into workload:
+// lint.GapWitness proves a packet/state class that no model entry
+// matches, and GapTrace concretizes members of that class into packets.
+// Every packet in the trace is guaranteed (solver-proved class, then
+// validated by concrete guard evaluation) to fall through to the §3.2
+// implicit drop — the adversarial complement of the model-guided buzz
+// suite, which aims at entries instead of between them.
+package workload
+
+import (
+	"nfactor/internal/buzz"
+	"nfactor/internal/lint"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+)
+
+// gapSynthTries bounds the randomized completions per packet. The gap
+// class is satisfiable by construction, but individual literals may need
+// many draws to hit (e.g. a negated membership over a large set).
+const gapSynthTries = 256
+
+// GapTrace returns up to n packets inside the model's match-space gap
+// under the given config and initial state, or nil when the entries
+// cover the space (no NFL103 finding) or no member can be concretized.
+// Replaying the trace against a cold instance must leave every entry
+// unfired; TestGapTraceHitsDefaultAction pins that corpus-wide.
+func (g *Gen) GapTrace(m *model.Model, config, state map[string]value.Value, n int) []netpkt.Packet {
+	witness := lint.GapWitness(m, 0)
+	if witness == nil {
+		return nil
+	}
+	var out []netpkt.Packet
+	for i := 0; i < n; i++ {
+		v := buzz.Synthesize(witness, state, config, g.rng, gapSynthTries)
+		if v.Kind != value.KindPacket {
+			continue // this draw found no member; later seeds may
+		}
+		p, err := netpkt.FromValue(v)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
