@@ -8,9 +8,9 @@ GO ?= go
 RACE_PKGS := ./internal/symexec ./internal/solver ./internal/core \
              ./internal/perf ./internal/model ./internal/experiments \
              ./internal/trace ./internal/dataplane ./internal/serve \
-             ./internal/verify
+             ./internal/verify ./internal/obsrv
 
-.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace bench-verify alloc vet lint fuzz trace serve verify-net
+.PHONY: all check build test race bench bench-parallel bench-dataplane bench-sharding bench-chain bench-telemetry bench-trace bench-verify bench-obsrv alloc vet lint fuzz trace serve verify-net
 
 all: check
 
@@ -56,7 +56,7 @@ serve:
 # The steady-state allocation regressions in isolation: AllocsPerRun
 # must report 0 allocs/packet with telemetry attached.
 alloc:
-	$(GO) test -run 'ZeroAlloc|AllocFree' ./internal/dataplane ./internal/telemetry ./internal/trace ./internal/symexec
+	$(GO) test -run 'ZeroAlloc|AllocFree' ./internal/dataplane ./internal/telemetry ./internal/trace ./internal/symexec ./internal/obsrv
 
 build:
 	$(GO) build ./...
@@ -119,3 +119,11 @@ bench-trace:
 # true on every row — byte-identical reports at every worker count.
 bench-verify:
 	$(GO) run ./cmd/nfbench -exp verify -workers 1 -out BENCH_verify.json
+
+# Serving-loop observability overhead (obsrv collectors off vs on vs on
+# with a concurrent HTTP scraper cycling every endpoint); refreshes the
+# checked-in BENCH_obsrv.json. The acceptance bar is <=5% overhead with
+# the scraper attached and zero allocations on the packet path (see
+# TestObserveZeroAlloc).
+bench-obsrv:
+	$(GO) run ./cmd/nfbench -exp obsrv -workers 1 -out BENCH_obsrv.json

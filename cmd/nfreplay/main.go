@@ -11,8 +11,9 @@
 //	nfreplay -chain firewall,snortlite,lb -trace flows.txt [-shards N] [-telemetry]
 //	nfreplay (-corpus NAME | -file prog.nfl | -chain a,b) -serve
 //	         (-trace flows.txt [-loop] | -gen N [-seed S] | -listen host:port)
-//	         [-shards N] [-batch N] [-window N]
-//	         [-swap-after N] [-swap-allow-change] [-telemetry] [-prom file]
+//	         [-shards N] [-batch N] [-window N] [-rate PPS]
+//	         [-http host:port] [-prom file] [-prom-interval D]
+//	         [-swap-after N] [-swap-allow-change] [-telemetry]
 //
 // -chain replays the trace through the fused service-chain data plane
 // (dataplane.CompileChain): one engine for the whole chain, per-packet
@@ -52,6 +53,17 @@
 // one such swap after N packets (a self-test of the swap path).
 // SIGINT/SIGTERM drain and print the serving summary.
 //
+// -http ADDR embeds the observability server on ADDR: /metrics (live
+// Prometheus scrape: serve stats, engine telemetry, pipeline perf
+// counters, NFL103 gap-hit and drift gauges), /state (per-variable
+// flow-state inspector, quiesced at a batch barrier), /coverage
+// (entry-hit coverage with staleness candidates and gap hits), /swaps
+// (the generation-swap audit trail) and /debug/pprof/. With -serve,
+// -prom FILE is rewritten atomically every -prom-interval (default 2s)
+// with the same payload /metrics serves, so a file-based scraper works
+// alongside — or instead of — the HTTP endpoint. -rate PPS paces the
+// source so a bounded trace stands in for live traffic.
+//
 // Trace format (one packet per line, # comments allowed):
 //
 //	tcp 10.0.0.1:1234 > 3.3.3.3:80 [S] ttl=64 len=0 iface=eth0
@@ -60,11 +72,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -97,21 +111,25 @@ func main() {
 	window := flag.Int("window", 0, "with -serve: live-traffic window gating swaps (0 = default)")
 	swapAfter := flag.Int64("swap-after", 0, "with -serve: re-synthesize and hot-swap once after N packets")
 	swapAllow := flag.Bool("swap-allow-change", false, "with -serve: apply swaps even when behavior diverges on the live window")
+	httpAddr := flag.String("http", "", "with -serve: embedded observability server address (/metrics /state /coverage /swaps /debug/pprof/)")
+	rate := flag.Float64("rate", 0, "with -serve: pace the source to this many packets per second (0 = unpaced)")
+	promEvery := flag.Duration("prom-interval", 2*time.Second, "with -serve -prom: atomic rewrite interval for the metrics file")
 	flag.Parse()
 
 	if *serveMode {
 		name, rebuild := resynther(*corpus, *file, *chainSpec, *shards)
 		if rebuild == nil {
-			fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl | -chain a,b) -serve (-trace file [-loop] | -gen N [-seed S] | -listen addr) [-shards N] [-batch N] [-window N] [-swap-after N] [-swap-allow-change] [-telemetry] [-prom file]")
+			fmt.Fprintln(os.Stderr, "usage: nfreplay (-corpus NAME | -file prog.nfl | -chain a,b) -serve (-trace file [-loop] | -gen N [-seed S] | -listen addr) [-shards N] [-batch N] [-window N] [-rate PPS] [-http addr] [-prom file] [-prom-interval D] [-swap-after N] [-swap-allow-change] [-telemetry]")
 			os.Exit(2)
 		}
 		err := runServe(serveOpts{
 			name: name, rebuild: rebuild,
 			traceFile: *traceFile, loop: *loop,
 			genPkts: *genPkts, seed: *seed, listen: *listen,
-			batch: *batch, window: *window,
+			batch: *batch, window: *window, rate: *rate,
 			swapAfter: *swapAfter, swapAllow: *swapAllow,
 			telemetry: *telemetry, promFile: *promFile,
+			promEvery: *promEvery, httpAddr: *httpAddr,
 		})
 		if err != nil {
 			fatal(err)
@@ -207,44 +225,54 @@ func main() {
 // re-synthesizes it from scratch — the serving daemon calls it once for
 // the initial generation and again on every swap request, so a SIGHUP
 // picks up whatever the source (file, corpus, chain spec) says *now*.
-func resynther(corpus, file, chainSpec string, shards int) (string, func() (nfactor.ServeCandidate, error)) {
+// Alongside the candidate, the closure returns an appender for the
+// synthesis pipeline's perf counters (nil for chains), so /metrics and
+// the periodic -prom file always report the perf of the *serving*
+// generation's synthesis run.
+func resynther(corpus, file, chainSpec string, shards int) (string, func() (nfactor.ServeCandidate, promAppender, error)) {
 	switch {
 	case chainSpec != "" && corpus == "" && file == "":
 		names := splitChain(chainSpec)
-		return strings.Join(names, "->"), func() (nfactor.ServeCandidate, error) {
+		name := strings.Join(names, "->")
+		return name, func() (nfactor.ServeCandidate, promAppender, error) {
 			cr, err := nfactor.AnalyzeChain(names, nfactor.Options{})
 			if err != nil {
-				return nfactor.ServeCandidate{}, err
+				return nfactor.ServeCandidate{}, nil, err
 			}
-			return cr.ServeCandidate(shards), nil
+			return cr.ServeCandidate(shards), nil, nil
 		}
 	case corpus != "" && file == "" && chainSpec == "":
-		return corpus, func() (nfactor.ServeCandidate, error) {
+		return corpus, func() (nfactor.ServeCandidate, promAppender, error) {
 			res, err := nfactor.AnalyzeCorpus(corpus, nfactor.Options{})
 			if err != nil {
-				return nfactor.ServeCandidate{}, err
+				return nfactor.ServeCandidate{}, nil, err
 			}
-			return res.ServeCandidate(shards), nil
+			perf := func(w io.Writer) error { return res.WritePerfPrometheus(w, corpus) }
+			return res.ServeCandidate(shards), perf, nil
 		}
 	case file != "" && corpus == "" && chainSpec == "":
-		return file, func() (nfactor.ServeCandidate, error) {
+		return file, func() (nfactor.ServeCandidate, promAppender, error) {
 			data, err := os.ReadFile(file)
 			if err != nil {
-				return nfactor.ServeCandidate{}, err
+				return nfactor.ServeCandidate{}, nil, err
 			}
 			res, err := nfactor.AnalyzeSource(file, string(data), nfactor.Options{})
 			if err != nil {
-				return nfactor.ServeCandidate{}, err
+				return nfactor.ServeCandidate{}, nil, err
 			}
-			return res.ServeCandidate(shards), nil
+			perf := func(w io.Writer) error { return res.WritePerfPrometheus(w, file) }
+			return res.ServeCandidate(shards), perf, nil
 		}
 	}
 	return "", nil
 }
 
+// promAppender appends extra Prometheus series to a scrape payload.
+type promAppender = func(w io.Writer) error
+
 type serveOpts struct {
 	name      string
-	rebuild   func() (nfactor.ServeCandidate, error)
+	rebuild   func() (nfactor.ServeCandidate, promAppender, error)
 	traceFile string
 	loop      bool
 	genPkts   int64
@@ -252,18 +280,41 @@ type serveOpts struct {
 	listen    string
 	batch     int
 	window    int
+	rate      float64
 	swapAfter int64
 	swapAllow bool
 	telemetry bool
 	promFile  string
+	promEvery time.Duration
+	httpAddr  string
 }
 
 // runServe is the -serve daemon: verdict lines to stdout, everything
 // operational (swap reports, the final summary, telemetry) to stderr.
 func runServe(o serveOpts) error {
-	cand, err := o.rebuild()
+	cand, perf, err := o.rebuild()
 	if err != nil {
 		return err
+	}
+
+	// The perf appender tracks the SERVING generation: a hot-swap's
+	// candidate carries its own synthesis perf counters, installed only
+	// when the swap actually applies (OnSwap, below).
+	var perfMu sync.Mutex
+	var pendingPerf promAppender
+	extras := []func(w io.Writer) error{func(w io.Writer) error {
+		perfMu.Lock()
+		p := perf
+		perfMu.Unlock()
+		if p == nil {
+			return nil
+		}
+		return p(w)
+	}}
+	stagePerf := func(p promAppender) {
+		perfMu.Lock()
+		pendingPerf = p
+		perfMu.Unlock()
 	}
 
 	var source nfactor.Source
@@ -301,13 +352,33 @@ func runServe(o serveOpts) error {
 	default:
 		return fmt.Errorf("-serve needs a packet source: -trace file|-, -gen N, or -listen addr")
 	}
+	if o.rate > 0 {
+		source = nfactor.NewPacedSource(source, o.rate)
+		fmt.Fprintf(os.Stderr, "nfreplay: pacing source at %.0f pkts/sec\n", o.rate)
+	}
+
+	// The observability collectors (gap-hit, drift, swap audit) back the
+	// -http endpoints and the periodic -prom file.
+	var obsOpts *nfactor.ObsOptions
+	if o.httpAddr != "" || o.promFile != "" {
+		obsOpts = &nfactor.ObsOptions{}
+	}
 
 	srv, err := nfactor.NewServer(cand, nfactor.ServeConfig{
 		Source:     source,
 		Sink:       nfactor.NewWriterSink(os.Stdout),
 		BatchSize:  o.batch,
 		WindowSize: o.window,
-		OnSwap:     func(rep *nfactor.SwapReport) { fmt.Fprint(os.Stderr, rep.Render()) },
+		Obs:        obsOpts,
+		OnSwap: func(rep *nfactor.SwapReport) {
+			fmt.Fprint(os.Stderr, rep.Render())
+			perfMu.Lock()
+			if !rep.Blocked && pendingPerf != nil {
+				perf = pendingPerf
+			}
+			pendingPerf = nil
+			perfMu.Unlock()
+		},
 	})
 	if err != nil {
 		return err
@@ -315,11 +386,21 @@ func runServe(o serveOpts) error {
 	num, genName := srv.Generation()
 	fmt.Fprintf(os.Stderr, "nfreplay: serving %q, generation %d (SIGHUP re-synthesizes and hot-swaps)\n", genName, num)
 
+	if o.httpAddr != "" {
+		oh, err := nfactor.NewObsHTTP(o.httpAddr, srv, nfactor.ObsHTTPConfig{NF: o.name, ExtraProm: extras})
+		if err != nil {
+			return err
+		}
+		defer oh.Close()
+		fmt.Fprintf(os.Stderr, "nfreplay: observability on http://%s (/metrics /state /coverage /swaps /debug/pprof/)\n", oh.Addr())
+	}
+
 	if o.swapAfter > 0 {
-		next, err := o.rebuild()
+		next, nextPerf, err := o.rebuild()
 		if err != nil {
 			return fmt.Errorf("re-synthesis for -swap-after: %w", err)
 		}
+		stagePerf(nextPerf)
 		srv.RequestSwap(nfactor.SwapRequest{Candidate: next,
 			AllowBehaviorChange: o.swapAllow, AfterPackets: o.swapAfter})
 	}
@@ -342,16 +423,46 @@ func runServe(o serveOpts) error {
 					}
 					continue
 				}
-				next, err := o.rebuild()
+				next, nextPerf, err := o.rebuild()
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "nfreplay: re-synthesis failed, serving generation stays: %v\n", err)
 					continue
 				}
+				stagePerf(nextPerf)
 				// The report lands on stderr via OnSwap; nobody waits here.
 				srv.RequestSwap(nfactor.SwapRequest{Candidate: next, AllowBehaviorChange: o.swapAllow})
 			}
 		}
 	}()
+
+	// Periodic atomic rewrite of the -prom file while serving: a
+	// file-based scraper sees a complete, never-torn payload (temp file
+	// + rename), refreshed from the same renderer /metrics uses.
+	writeProm := func() error {
+		return nfactor.WriteObsFileAtomic(o.promFile, func(w io.Writer) error {
+			return nfactor.WriteServeMetrics(w, srv, o.name, extras)
+		})
+	}
+	if o.promFile != "" {
+		every := o.promEvery
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		go func() {
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					if err := writeProm(); err != nil {
+						fmt.Fprintf(os.Stderr, "nfreplay: prom rewrite: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	runErr := srv.Run()
 
@@ -362,15 +473,8 @@ func runServe(o serveOpts) error {
 		fmt.Fprint(os.Stderr, srv.Snapshot().Report())
 	}
 	if o.promFile != "" {
-		f, err := os.Create(o.promFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := stats.WriteServePrometheus(f, o.name); err != nil {
-			return err
-		}
-		if err := srv.Snapshot().WritePrometheus(f, o.name); err != nil {
+		// Final rewrite so the file reflects the drained totals.
+		if err := writeProm(); err != nil {
 			return err
 		}
 	}

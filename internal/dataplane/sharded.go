@@ -566,29 +566,18 @@ func mergeShardStates(cls *Classification, states []map[string]value.Value) map[
 	if len(states) == 1 {
 		return out
 	}
-	n := int64(len(states))
 	for name, vc := range cls.Vars {
 		switch vc.Class {
-		case ClassAllocator:
-			var total int64
+		case ClassAllocator, ClassRotor:
+			vals := make([]int64, len(states))
 			for i := range states {
-				total += (states[i][name].I - (vc.Init + int64(i)*vc.Step)) / (vc.Step * n)
+				vals[i] = states[i][name].I
 			}
-			out[name] = value.Int(vc.Init + vc.Step*total)
-		case ClassRotor:
-			var adv int64
-			for i := range states {
-				d := (states[i][name].I - vc.Init) % vc.Mod
-				if d < 0 {
-					d += vc.Mod
-				}
-				adv += d
+			if vc.Class == ClassAllocator {
+				out[name] = value.Int(mergeAllocatorVals(vc, vals))
+			} else {
+				out[name] = value.Int(mergeRotorVals(vc, vals))
 			}
-			v := (vc.Init + adv) % vc.Mod
-			if v < 0 {
-				v += vc.Mod
-			}
-			out[name] = value.Int(v)
 		case ClassFrozen, ClassReplicaMap:
 			// shard 0's copy, already in out.
 		default: // flow and owned maps

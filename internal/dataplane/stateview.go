@@ -1,0 +1,161 @@
+package dataplane
+
+import "nfactor/internal/value"
+
+// StateView is the bounded live-state export behind the /state
+// inspector: every scalar boxed in full, every map as its true entry
+// count plus at most a handful of boxed sample entries. Unlike State()
+// — a full deep copy for differential comparison — the cost is
+// O(vars + max), never O(table), so the serving loop can answer an
+// inspection ticket at a batch barrier without stalling behind a
+// table-sized copy-and-sort.
+type StateView struct {
+	// Vars holds scalars as their value and maps as a sampled map of at
+	// most max entries (whichever entries Go's map iteration yields — a
+	// sample, not a canonical prefix).
+	Vars map[string]value.Value
+	// Sizes holds the true entry count per map variable (scalars: 1).
+	// For sharded flow/owned maps this sums the per-shard counts:
+	// live-learned keys exist only on their owner shard so the sum is
+	// exact for them; keys pre-populated at init are replicated and may
+	// be counted once per shard still holding them.
+	Sizes map[string]int
+}
+
+func newStateView(n int) StateView {
+	return StateView{
+		Vars:  make(map[string]value.Value, n),
+		Sizes: make(map[string]int, n),
+	}
+}
+
+// StateView exports a bounded view of the engine's live state.
+func (e *Engine) StateView(max int) StateView {
+	v := newStateView(len(e.slotNames) + len(e.mapNames))
+	for i, name := range e.slotNames {
+		v.Vars[name] = e.slots[i].toValue()
+		v.Sizes[name] = 1
+	}
+	for i, name := range e.mapNames {
+		v.Vars[name] = e.maps[i].sampleValue(max)
+		v.Sizes[name] = len(e.maps[i])
+	}
+	return v
+}
+
+// StageStateView exports a bounded view of stage i's live state, under
+// the stage model's own variable names like StageState.
+func (e *ChainEngine) StageStateView(i, max int) StateView {
+	st := e.stages[i]
+	v := newStateView((st.slotHi - st.slotLo) + (st.mapHi - st.mapLo))
+	for s := st.slotLo; s < st.slotHi; s++ {
+		v.Vars[e.slotNames[s]] = e.slots[s].toValue()
+		v.Sizes[e.slotNames[s]] = 1
+	}
+	for m := st.mapLo; m < st.mapHi; m++ {
+		v.Vars[e.mapNames[m]] = e.maps[m].sampleValue(max)
+		v.Sizes[e.mapNames[m]] = len(e.maps[m])
+	}
+	return v
+}
+
+// StateView merges the shards' bounded views (see mergeShardViews).
+func (s *Sharded) StateView(max int) StateView {
+	views := make([]StateView, len(s.engines))
+	for i := range s.engines {
+		views[i] = s.engines[i].StateView(max)
+	}
+	return mergeShardViews(s.cls, views, max)
+}
+
+// StageStateView merges stage i's bounded views across the shards.
+func (s *ShardedChain) StageStateView(i, max int) StateView {
+	views := make([]StateView, len(s.engines))
+	for sh := range s.engines {
+		views[sh] = s.engines[sh].StageStateView(i, max)
+	}
+	return mergeShardViews(s.clss[i], views, max)
+}
+
+// mergeShardViews inverts the classification lowerings on bounded
+// views: allocators and rotors reconstruct the exact sequential scalar
+// (the same arithmetic mergeShardStates uses), replicas report shard
+// 0's copy, and partitioned maps sum their sizes and top the sample up
+// from later shards. views[0] is reused as the output.
+func mergeShardViews(cls *Classification, views []StateView, max int) StateView {
+	out := views[0]
+	if len(views) == 1 {
+		return out
+	}
+	for name, vc := range cls.Vars {
+		switch vc.Class {
+		case ClassAllocator:
+			out.Vars[name] = value.Int(mergeAllocatorVals(vc, shardVals(views, name)))
+		case ClassRotor:
+			out.Vars[name] = value.Int(mergeRotorVals(vc, shardVals(views, name)))
+		case ClassFrozen, ClassReplicaMap:
+			// shard 0's copy, already in out.
+		default: // flow and owned maps
+			size := 0
+			for i := range views {
+				size += views[i].Sizes[name]
+			}
+			out.Sizes[name] = size
+			dst := out.Vars[name]
+			for i := 1; i < len(views) && dst.Map.Len() < max; i++ {
+				src := views[i].Vars[name]
+				for _, k := range src.Map.Keys() {
+					if dst.Map.Len() >= max {
+						break
+					}
+					if _, present, _ := dst.Map.Get(k); present {
+						continue
+					}
+					val, _, _ := src.Map.Get(k)
+					_ = dst.Map.Set(k, val)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shardVals collects one scalar variable's per-shard values.
+func shardVals(views []StateView, name string) []int64 {
+	vals := make([]int64, len(views))
+	for i := range views {
+		vals[i] = views[i].Vars[name].I
+	}
+	return vals
+}
+
+// mergeAllocatorVals reconstructs the sequential allocator position
+// from the per-shard positions: each shard's offset into its
+// interleaved range counts its allocations, and the sequential
+// allocator advanced once per allocation.
+func mergeAllocatorVals(vc *VarClass, vals []int64) int64 {
+	n := int64(len(vals))
+	var total int64
+	for i, v := range vals {
+		total += (v - (vc.Init + int64(i)*vc.Step)) / (vc.Step * n)
+	}
+	return vc.Init + vc.Step*total
+}
+
+// mergeRotorVals reconstructs the sequential rotor position from the
+// per-shard advances, mod the cycle length.
+func mergeRotorVals(vc *VarClass, vals []int64) int64 {
+	var adv int64
+	for _, v := range vals {
+		d := (v - vc.Init) % vc.Mod
+		if d < 0 {
+			d += vc.Mod
+		}
+		adv += d
+	}
+	v := (vc.Init + adv) % vc.Mod
+	if v < 0 {
+		v += vc.Mod
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package dataplane_test
+
+import (
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/nfs"
+	"nfactor/internal/value"
+)
+
+// TestStateViewBounded pins the /state inspector's export contract on
+// the sequential engine, for every corpus NF after a stateful trace:
+// scalars come back in full, map samples never exceed the bound, Sizes
+// reports the true table size, and every sampled entry matches the full
+// deep copy.
+func TestStateViewBounded(t *testing.T) {
+	const max = 4
+	for _, name := range nfs.Names() {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			eng, err := an.CompiledEngine(core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := fuzzTrace(name, 7)
+			outs := make([]dataplane.Output, len(trace))
+			if err := eng.ProcessBatch(trace, outs); err != nil {
+				t.Fatal(err)
+			}
+			checkViewAgainst(t, eng.StateView(max), eng.State(), max, true)
+		})
+	}
+}
+
+// TestShardedStateViewMerge pins the sharded export: allocator and
+// rotor scalars reconstruct the exact sequential value (the same one
+// Sharded.State() merges to), flow-map sizes cover the union of the
+// shards' live keys, and every sampled entry agrees with the merged
+// full state.
+func TestShardedStateViewMerge(t *testing.T) {
+	const max = 6
+	for _, name := range []string{"nat", "lb", "firewall"} {
+		t.Run(name, func(t *testing.T) {
+			an := analyze(t, name)
+			for _, shards := range []int{2, 4} {
+				sh, err := an.ShardedEngine(shards, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				trace := shardStimulus(name, 11, 400)
+				outs := make([]dataplane.Output, len(trace))
+				if err := sh.ProcessBatch(trace, outs); err != nil {
+					t.Fatalf("%d shards: %v", shards, err)
+				}
+				checkViewAgainst(t, sh.StateView(max), sh.State(), max, false)
+			}
+		})
+	}
+}
+
+// checkViewAgainst validates one StateView against the full deep-copied
+// state. exactSizes is true for the sequential engine; sharded views
+// may overcount init-replicated keys, so there Sizes is only required
+// to cover the merged table.
+func checkViewAgainst(t *testing.T, view dataplane.StateView, full map[string]value.Value, max int, exactSizes bool) {
+	t.Helper()
+	if len(view.Vars) != len(full) {
+		t.Fatalf("view has %d vars, full state %d", len(view.Vars), len(full))
+	}
+	for name, fv := range full {
+		vv, ok := view.Vars[name]
+		if !ok {
+			t.Fatalf("%s missing from view", name)
+		}
+		if fv.Kind != value.KindMap {
+			if vv.String() != fv.String() {
+				t.Fatalf("%s: view %s, full state %s", name, vv, fv)
+			}
+			if view.Sizes[name] != 1 {
+				t.Fatalf("%s: scalar size %d", name, view.Sizes[name])
+			}
+			continue
+		}
+		if vv.Map.Len() > max {
+			t.Fatalf("%s: sample holds %d entries, bound %d", name, vv.Map.Len(), max)
+		}
+		if want := fv.Map.Len(); want > max && vv.Map.Len() != max {
+			t.Fatalf("%s: sample holds %d entries, want full bound %d of %d", name, vv.Map.Len(), max, want)
+		}
+		if exactSizes {
+			if view.Sizes[name] != fv.Map.Len() {
+				t.Fatalf("%s: size %d, table holds %d", name, view.Sizes[name], fv.Map.Len())
+			}
+		} else if view.Sizes[name] < fv.Map.Len() {
+			t.Fatalf("%s: size %d under merged table %d", name, view.Sizes[name], fv.Map.Len())
+		}
+		for _, k := range vv.Map.Keys() {
+			got, _, err := vv.Map.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, present, err := fv.Map.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !present {
+				t.Fatalf("%s: sampled key %s not in full state", name, k)
+			}
+			if got.String() != want.String() {
+				t.Fatalf("%s[%s]: view %s, full state %s", name, k, got, want)
+			}
+		}
+	}
+}

@@ -268,6 +268,20 @@ func (m rmap) toValue() value.Value {
 	return out
 }
 
+// sampleValue boxes at most max entries — whichever Go's map iteration
+// yields, a sample rather than a canonical prefix. O(max) regardless of
+// table size; inspectors sort the handful they receive.
+func (m rmap) sampleValue(max int) value.Value {
+	out := value.NewMap()
+	for k, v := range m {
+		if out.Map.Len() >= max {
+			break
+		}
+		_ = out.Map.Set(k.toValue(), v.toValue())
+	}
+	return out
+}
+
 func (m rmap) clone() rmap {
 	out := make(rmap, len(m))
 	for k, v := range m {

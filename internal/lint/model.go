@@ -312,6 +312,12 @@ func sortedUpdates(u []model.Assign) []model.Assign {
 	return out
 }
 
+// RenderGuard renders a guard (or gap-witness) conjunction the way
+// lint findings do — "lit && lit && ..." ("true" when empty). Exported
+// so the observability plane labels gap predicates and entry guards
+// identically to the NFL103 findings they came from.
+func RenderGuard(conds []solver.Term) string { return renderGuard(conds) }
+
 // renderGuard renders a conjunction compactly for messages.
 func renderGuard(conds []solver.Term) string {
 	if len(conds) == 0 {

@@ -1,0 +1,102 @@
+package obsrv
+
+import (
+	"fmt"
+	"strings"
+
+	"nfactor/internal/telemetry"
+)
+
+// The /coverage view: live entry-hit coverage of the synthesized model
+// (per stage, generation-local — engine counters reset when a swap
+// installs a new generation) plus the gap-hit detector's counts. An
+// entry that never fired is a staleness candidate — table mass the live
+// traffic does not exercise; a non-zero gap-hit count is the repair
+// trigger — live traffic the model provably never captured.
+
+// StageCoverage is one stage's coverage report.
+type StageCoverage struct {
+	Stage   int    `json:"stage"`
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+	Fired   int    `json:"fired"`
+	// Hits is the per-entry fire count (index = entry).
+	Hits []int64 `json:"hits"`
+	// Stale lists entries that never fired, with their guards.
+	Stale []StaleEntry `json:"stale,omitempty"`
+	// DefaultDrops is the engine's implicit-default drop counter;
+	// DefaultHits/GapHits are the collector's (they agree for a single
+	// NF; for chains the engine counter is per-stage too).
+	DefaultDrops int64 `json:"default_drops"`
+	// Witness renders the NFL103 gap class ("" when covered).
+	Witness     string   `json:"witness,omitempty"`
+	DefaultHits int64    `json:"default_hits"`
+	GapHits     int64    `json:"gap_hits"`
+	GapSamples  []string `json:"gap_samples,omitempty"`
+}
+
+// StaleEntry is one never-fired entry.
+type StaleEntry struct {
+	Entry int    `json:"entry"`
+	Guard string `json:"guard,omitempty"`
+}
+
+// BuildCoverage joins the per-stage engine snapshots (entry hits,
+// default drops) with the collector snapshot (entry guards, gap-hit
+// counts). obs may be nil (collectors off): guards and gap counts are
+// then absent.
+func BuildCoverage(stages []telemetry.Snapshot, obs *Snapshot) []StageCoverage {
+	out := make([]StageCoverage, len(stages))
+	for i := range stages {
+		sn := &stages[i]
+		cov := &out[i]
+		cov.Stage = i
+		cov.Hits = sn.EntryHits
+		cov.DefaultDrops = sn.DefaultDrops
+		cov.Entries = len(sn.EntryHits)
+		var gs *GapStats
+		if obs != nil && i < len(obs.Stages) {
+			gs = &obs.Stages[i]
+			cov.Name = gs.Name
+			cov.Witness = gs.Witness
+			cov.DefaultHits = gs.DefaultHits
+			cov.GapHits = gs.GapHits
+			cov.GapSamples = gs.Samples
+		}
+		for e, h := range sn.EntryHits {
+			if h > 0 {
+				cov.Fired++
+				continue
+			}
+			se := StaleEntry{Entry: e}
+			if gs != nil {
+				se.Guard = gs.EntryGuard(e)
+			}
+			cov.Stale = append(cov.Stale, se)
+		}
+	}
+	return out
+}
+
+// RenderCoverage formats the report for humans.
+func RenderCoverage(cov []StageCoverage) string {
+	var b strings.Builder
+	for i := range cov {
+		c := &cov[i]
+		fmt.Fprintf(&b, "--- stage %d: %s ---\n", c.Stage, c.Name)
+		fmt.Fprintf(&b, "entries fired: %d/%d; implicit-default drops: %d\n", c.Fired, c.Entries, c.DefaultDrops)
+		for _, s := range c.Stale {
+			fmt.Fprintf(&b, "  stale entry %d: %s\n", s.Entry, s.Guard)
+		}
+		if c.Witness != "" {
+			fmt.Fprintf(&b, "gap class: %s\n", c.Witness)
+			fmt.Fprintf(&b, "  gap hits: %d (of %d default drops)\n", c.GapHits, c.DefaultHits)
+			for _, p := range c.GapSamples {
+				fmt.Fprintf(&b, "  sample: %s\n", p)
+			}
+		} else {
+			fmt.Fprintf(&b, "match space covered: no gap class\n")
+		}
+	}
+	return b.String()
+}

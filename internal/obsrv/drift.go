@@ -1,0 +1,306 @@
+package obsrv
+
+import "nfactor/internal/netpkt"
+
+// The windowed drift detector: every DriftWindow packets it closes a
+// window of verdict-mix counters and a sampled top-K flow sketch, and
+// compares both against the baseline window — the first window
+// completed after the generation installed (the engine-publish
+// baseline). Divergence is scored two ways:
+//
+//   - mix score: total-variation distance between the normalized
+//     verdict mixes (forward / explicit drop / implicit-default drop),
+//     in [0,1];
+//   - top score: the fraction of baseline top-K flows that vanished
+//     from the current top-K.
+//
+// Either score crossing its threshold flags the window as drifting —
+// the signal that live traffic no longer resembles what the serving
+// model was last validated against.
+//
+// Everything runs on the serving goroutine inside Observe. Window rolls
+// are branch-on-counter and reuse preallocated buffers (the sketch is
+// cleared, not rebuilt), so the steady path stays allocation-free.
+
+// Mix is one window's verdict-mix counters. DefaultDrops is the subset
+// of Drops killed by an implicit default.
+type Mix struct {
+	Forwards     int64 `json:"forwards"`
+	Drops        int64 `json:"drops"`
+	DefaultDrops int64 `json:"default_drops"`
+}
+
+func (m Mix) total() int64 { return m.Forwards + m.Drops }
+
+// FlowCount is one heavy-hitter flow with its (sampled) sketch count.
+type FlowCount struct {
+	Flow  string `json:"flow"`
+	Count int64  `json:"count"`
+}
+
+// DriftStats is the drift detector's published state.
+type DriftStats struct {
+	Window int `json:"window"`
+	TopK   int `json:"top_k"`
+	// Windows counts completed windows since the collector installed
+	// (the baseline is window 1).
+	Windows      int64 `json:"windows"`
+	HaveBaseline bool  `json:"have_baseline"`
+	Baseline     Mix   `json:"baseline"`
+	Current      Mix   `json:"current"`
+	// MixScore is the total-variation distance between the normalized
+	// baseline and current verdict mixes; TopScore the fraction of
+	// baseline top-K flows missing from the current top-K. Both for the
+	// most recently completed window.
+	MixScore float64 `json:"mix_score"`
+	TopScore float64 `json:"top_score"`
+	Drifting bool    `json:"drifting"`
+
+	BaselineTop []FlowCount `json:"baseline_top,omitempty"`
+	CurrentTop  []FlowCount `json:"current_top,omitempty"`
+}
+
+// drift is the detector's serving-goroutine state.
+type drift struct {
+	window      int
+	topK        int
+	mixThresh   float64
+	topThresh   float64
+	sketchEvery int
+
+	skip int // packets until the next sketch sample (down-counter)
+	cur  Mix
+	curN int
+
+	sketch spaceSaving
+
+	windows  int64
+	haveBase bool
+	baseMix  Mix
+	baseTop  []ssSlot // preallocated, rolled into at baseline close
+	lastMix  Mix
+	lastTop  []ssSlot
+	mixScore float64
+	topScore float64
+	drifting bool
+}
+
+func (d *drift) init(opts Options) {
+	d.window = opts.DriftWindow
+	d.topK = opts.TopK
+	d.mixThresh = opts.MixThreshold
+	d.topThresh = opts.TopThreshold
+	d.sketchEvery = opts.SketchSample
+	d.skip = opts.SketchSample
+	// 3x slots over-provisioning keeps space-saving's count error low
+	// for the flows that actually make the reported top-K.
+	d.sketch.init(3 * opts.TopK)
+	d.baseTop = make([]ssSlot, 0, 3*opts.TopK)
+	d.lastTop = make([]ssSlot, 0, 3*opts.TopK)
+}
+
+func (d *drift) observe(p *netpkt.Packet, dropped, isDefault bool) {
+	if dropped {
+		d.cur.Drops++
+		if isDefault {
+			d.cur.DefaultDrops++
+		}
+	} else {
+		d.cur.Forwards++
+	}
+	// Down-counter, not modulo: a divide per packet is measurable at
+	// data-plane rates.
+	d.skip--
+	if d.skip <= 0 {
+		d.skip = d.sketchEvery
+		d.sketch.observe(p.Flow())
+	}
+	d.curN++
+	if d.curN >= d.window {
+		d.roll()
+	}
+}
+
+// roll closes the current window: the first one becomes the baseline,
+// every later one is scored against it. Reuses preallocated buffers —
+// no allocation.
+func (d *drift) roll() {
+	d.windows++
+	if !d.haveBase {
+		d.haveBase = true
+		d.baseMix = d.cur
+		d.baseTop = d.sketch.sortedInto(d.baseTop)
+		d.lastMix = d.cur
+		d.lastTop = append(d.lastTop[:0], d.baseTop...)
+	} else {
+		d.lastMix = d.cur
+		d.lastTop = d.sketch.sortedInto(d.lastTop)
+		d.mixScore = mixDistance(d.baseMix, d.lastMix)
+		d.topScore = d.topMissing()
+		d.drifting = d.mixScore > d.mixThresh || d.topScore > d.topThresh
+	}
+	d.cur = Mix{}
+	d.curN = 0
+	d.sketch.reset()
+}
+
+// topMissing is the fraction of baseline top-K flows absent from the
+// current top-K.
+func (d *drift) topMissing() float64 {
+	base := d.baseTop
+	if len(base) > d.topK {
+		base = base[:d.topK]
+	}
+	cur := d.lastTop
+	if len(cur) > d.topK {
+		cur = cur[:d.topK]
+	}
+	if len(base) == 0 {
+		return 0
+	}
+	missing := 0
+	for i := range base {
+		found := false
+		for j := range cur {
+			if base[i].flow == cur[j].flow {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(base))
+}
+
+// mixDistance is the total-variation distance between the normalized
+// mixes over {forward, explicit drop, implicit-default drop}, in [0,1].
+func mixDistance(a, b Mix) float64 {
+	at, bt := a.total(), b.total()
+	if at == 0 || bt == 0 {
+		return 0
+	}
+	frac := func(n, t int64) float64 { return float64(n) / float64(t) }
+	d := abs(frac(a.Forwards, at)-frac(b.Forwards, bt)) +
+		abs(frac(a.Drops-a.DefaultDrops, at)-frac(b.Drops-b.DefaultDrops, bt)) +
+		abs(frac(a.DefaultDrops, at)-frac(b.DefaultDrops, bt))
+	return d / 2
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// snapshot copies the detector state (allocates; publish-path only).
+func (d *drift) snapshot() DriftStats {
+	s := DriftStats{
+		Window:       d.window,
+		TopK:         d.topK,
+		Windows:      d.windows,
+		HaveBaseline: d.haveBase,
+		Baseline:     d.baseMix,
+		Current:      d.lastMix,
+		MixScore:     d.mixScore,
+		TopScore:     d.topScore,
+		Drifting:     d.drifting,
+	}
+	top := func(slots []ssSlot) []FlowCount {
+		n := len(slots)
+		if n > d.topK {
+			n = d.topK
+		}
+		out := make([]FlowCount, n)
+		for i := 0; i < n; i++ {
+			out[i] = FlowCount{Flow: slots[i].flow.String(), Count: slots[i].count}
+		}
+		return out
+	}
+	s.BaselineTop = top(d.baseTop)
+	s.CurrentTop = top(d.lastTop)
+	return s
+}
+
+// spaceSaving is the Metwally et al. heavy-hitters sketch over flows:
+// at most k tracked flows; an untracked flow evicts the minimum-count
+// slot and inherits its count + 1 (the classic overestimate bound).
+// Flows are identified by a 64-bit FNV-1a hash and matched by a single
+// scan of the slot table that doubles as the min-slot search — no map,
+// so a sampled packet costs one short hash plus k integer compares
+// instead of a string-keyed map lookup (and, on the high-cardinality
+// miss path, a map delete + insert). A hash collision merges two flows'
+// counts; at k<=tens of slots against a 64-bit space that is vanishingly
+// unlikely and harmless for a sketch. Fixed storage, zero allocation.
+type spaceSaving struct {
+	slots []ssSlot
+	used  int
+}
+
+type ssSlot struct {
+	hash  uint64
+	flow  netpkt.Flow
+	count int64
+}
+
+func (s *spaceSaving) init(k int) {
+	s.slots = make([]ssSlot, k)
+}
+
+func (s *spaceSaving) observe(f netpkt.Flow) {
+	h := flowHash(f)
+	min := 0
+	for i := 0; i < s.used; i++ {
+		if s.slots[i].hash == h {
+			s.slots[i].count++
+			return
+		}
+		if s.slots[i].count < s.slots[min].count {
+			min = i
+		}
+	}
+	if s.used < len(s.slots) {
+		s.slots[s.used] = ssSlot{hash: h, flow: f, count: 1}
+		s.used++
+		return
+	}
+	s.slots[min] = ssSlot{hash: h, flow: f, count: s.slots[min].count + 1}
+}
+
+// flowHash is FNV-1a over the directed 5-tuple.
+func flowHash(f netpkt.Flow) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
+	}
+	str(f.SrcIP)
+	h = (h ^ uint64(uint32(f.SrcPort))) * prime
+	str(f.DstIP)
+	h = (h ^ uint64(uint32(f.DstPort))) * prime
+	str(f.Proto)
+	return h
+}
+
+// reset clears the sketch for the next window (the slot table is
+// length-managed by used, so this is a store).
+func (s *spaceSaving) reset() {
+	s.used = 0
+}
+
+// sortedInto copies the used slots into dst (reusing its backing array)
+// sorted by descending count — insertion sort: the table is tiny and
+// sort.Slice would allocate.
+func (s *spaceSaving) sortedInto(dst []ssSlot) []ssSlot {
+	dst = append(dst[:0], s.slots[:s.used]...)
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].count > dst[j-1].count; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}

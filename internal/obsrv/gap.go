@@ -1,0 +1,189 @@
+package obsrv
+
+import (
+	"strings"
+
+	"nfactor/internal/lint"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/solver"
+	"nfactor/internal/value"
+)
+
+// GapMatcher is an NFL103 gap witness compiled into a cheap concrete
+// matcher: it decides whether a live packet falls inside the
+// solver-proved uncovered match class — traffic the synthesized model
+// can only kill with its implicit default drop, i.e. behavior the model
+// never captured. The serving loop evaluates it only on packets that
+// already hit the implicit default, so a healthy model pays nothing.
+//
+// At compile time every literal with no packet variable is folded
+// against the stage's pristine state and config: for the corpus
+// witnesses (negated memberships over initially empty flow maps, config
+// comparisons) this leaves only pure packet-field literals, which
+// evaluate allocation-free.
+type GapMatcher struct {
+	lits []solver.Term // packet-dependent (or unfoldable) literals
+	env  matchEnv
+	desc string // rendered witness, for reports
+}
+
+// CompileGap runs the NFL103 witness search over the model and compiles
+// the witness. Returns nil when the model covers its match space (or
+// the search budget ran out — no witness, nothing to match).
+func CompileGap(m *model.Model, config, init map[string]value.Value, maxWork int) *GapMatcher {
+	w := lint.GapWitness(m, maxWork)
+	if w == nil {
+		return nil
+	}
+	g := &GapMatcher{desc: lint.RenderGuard(w), env: matchEnv{state: init, config: config}}
+	for _, lit := range w {
+		lit = foldEmptyMembership(lit, &g.env)
+		if !mentionsPkt(lit) {
+			// Ground literal: decide it once against the pristine frame.
+			// True folds away; false (or uneval) keeps the literal, so
+			// Match stays faithful to the witness semantics.
+			if ok, err := solver.EvalBool(lit, &g.env); err == nil && ok {
+				continue
+			}
+		}
+		g.lits = append(g.lits, lit)
+	}
+	return g
+}
+
+// Witness renders the gap class.
+func (g *GapMatcher) Witness() string { return g.desc }
+
+// Match reports whether the packet satisfies every witness literal
+// under the stage's pristine state frame. Call only from the serving
+// goroutine (the env is reused across calls).
+func (g *GapMatcher) Match(p *netpkt.Packet) bool {
+	g.env.pkt = p
+	for _, lit := range g.lits {
+		ok, err := solver.EvalBool(lit, &g.env)
+		if err != nil || !ok {
+			g.env.pkt = nil
+			return false
+		}
+	}
+	g.env.pkt = nil
+	return true
+}
+
+// matchEnv resolves witness variables without building a packet value:
+// "pkt.FIELD" reads the wire packet directly, "VAR@0" the pristine
+// state frame, anything else the config — the same resolution buzz
+// and the model interpreter use, minus the allocation.
+type matchEnv struct {
+	pkt    *netpkt.Packet
+	state  map[string]value.Value
+	config map[string]value.Value
+}
+
+// Lookup implements solver.Env.
+func (e *matchEnv) Lookup(name string) (value.Value, bool) {
+	if f, ok := strings.CutPrefix(name, "pkt."); ok {
+		if e.pkt == nil {
+			return value.Value{}, false
+		}
+		return pktField(e.pkt, f)
+	}
+	if base, ok := strings.CutSuffix(name, "@0"); ok {
+		v, ok := e.state[base]
+		return v, ok
+	}
+	v, ok := e.config[name]
+	return v, ok
+}
+
+// pktField mirrors netpkt.Packet.ToValue field by field, without the
+// map and packet-value allocations.
+func pktField(p *netpkt.Packet, f string) (value.Value, bool) {
+	switch f {
+	case netpkt.FieldSrcIP:
+		return value.Str(p.SrcIP), true
+	case netpkt.FieldDstIP:
+		return value.Str(p.DstIP), true
+	case netpkt.FieldSrcPort:
+		return value.Int(int64(p.SrcPort)), true
+	case netpkt.FieldDstPort:
+		return value.Int(int64(p.DstPort)), true
+	case netpkt.FieldProto:
+		return value.Str(p.Proto), true
+	case netpkt.FieldFlags:
+		return value.Str(p.Flags), true
+	case netpkt.FieldTTL:
+		return value.Int(int64(p.TTL)), true
+	case netpkt.FieldLength:
+		return value.Int(int64(p.Length)), true
+	case netpkt.FieldPayload:
+		return value.Str(p.Payload), true
+	case netpkt.FieldInIface:
+		return value.Str(p.InIface), true
+	}
+	return value.Value{}, false
+}
+
+// foldEmptyMembership rewrites membership tests over maps that are
+// empty in the pristine frame to a false constant: `k in {}` holds for
+// no key, so the rewrite is sound even when k depends on the packet.
+// This is what makes the corpus witnesses (negated memberships over
+// initially empty flow maps) allocation-free to match — the tuple-key
+// construction the membership would need per packet folds away, and the
+// enclosing negation then folds to ground truth in CompileGap.
+func foldEmptyMembership(t solver.Term, env solver.Env) solver.Term {
+	switch x := t.(type) {
+	case solver.In:
+		if mv, ok := x.M.(solver.MapVar); ok {
+			if v, ok := env.Lookup(mv.Name); ok && v.Kind == value.KindMap && v.Map != nil && v.Map.Len() == 0 {
+				return solver.Const{V: value.Bool(false)}
+			}
+		}
+		return x
+	case solver.Un:
+		return solver.Un{Op: x.Op, X: foldEmptyMembership(x.X, env)}
+	case solver.Bin:
+		return solver.Bin{Op: x.Op, X: foldEmptyMembership(x.X, env), Y: foldEmptyMembership(x.Y, env)}
+	}
+	return t
+}
+
+// mentionsPkt reports whether the term reads any packet field.
+func mentionsPkt(t solver.Term) bool {
+	switch x := t.(type) {
+	case solver.Const, solver.NamedConst, solver.MapVar:
+		return false
+	case solver.Var:
+		return strings.HasPrefix(x.Name, "pkt.")
+	case solver.Bin:
+		return mentionsPkt(x.X) || mentionsPkt(x.Y)
+	case solver.Un:
+		return mentionsPkt(x.X)
+	case solver.Call:
+		for _, a := range x.Args {
+			if mentionsPkt(a) {
+				return true
+			}
+		}
+		return false
+	case solver.Tuple:
+		for _, e := range x.Elems {
+			if mentionsPkt(e) {
+				return true
+			}
+		}
+		return false
+	case solver.Index:
+		return mentionsPkt(x.X) || mentionsPkt(x.I)
+	case solver.Select:
+		return mentionsPkt(x.M) || mentionsPkt(x.K)
+	case solver.Store:
+		return mentionsPkt(x.M) || mentionsPkt(x.K) || mentionsPkt(x.V)
+	case solver.Del:
+		return mentionsPkt(x.M) || mentionsPkt(x.K)
+	case solver.In:
+		return mentionsPkt(x.K) || mentionsPkt(x.M)
+	}
+	return true // unknown term shape: be conservative, evaluate per packet
+}

@@ -1,0 +1,219 @@
+package obsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"nfactor/internal/telemetry"
+)
+
+// Observable is the HTTP layer's view of the serving daemon. Everything
+// except InspectState reads atomically published snapshots and never
+// blocks the serving loop; InspectState is serviced at the next batch
+// barrier (the quiescence point) and may time out.
+type Observable interface {
+	// Stats and Snapshot are the serve loop's published stats and the
+	// merged engine telemetry.
+	Stats() telemetry.ServeStats
+	Snapshot() telemetry.Snapshot
+	// StageSnapshots is the per-stage engine telemetry (len 1 for a
+	// single NF; nil when the server publishes no per-stage view).
+	StageSnapshots() []telemetry.Snapshot
+	// Observed is the collectors' snapshot (nil: collectors disabled).
+	Observed() *Snapshot
+	// InspectState walks the quiesced live state at the next batch
+	// barrier (nil on timeout or shutdown).
+	InspectState(timeout time.Duration) []StageState
+	// SwapEvents is the bounded swap audit trail, oldest first.
+	SwapEvents() []SwapEvent
+	// Generation is the serving generation's number and name.
+	Generation() (uint64, string)
+}
+
+// HTTPConfig tunes the observability HTTP server.
+type HTTPConfig struct {
+	// NF labels every metric series (the NF or chain name).
+	NF string
+	// ExtraProm appenders run after the built-in /metrics writers —
+	// the synthesis pipeline's perf counters ride here.
+	ExtraProm []func(io.Writer) error
+	// InspectTimeout bounds how long /state waits for a batch barrier.
+	// Default 2s.
+	InspectTimeout time.Duration
+	// StateSample bounds sampled entries per state variable. Default 8.
+	StateSample int
+}
+
+// HTTP is the embedded observability server: /metrics, /state,
+// /coverage, /swaps and /debug/pprof/ over an Observable.
+type HTTP struct {
+	obs Observable
+	cfg HTTPConfig
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewHTTP binds addr and starts serving in a background goroutine.
+// Close to stop.
+func NewHTTP(addr string, obs Observable, cfg HTTPConfig) (*HTTP, error) {
+	if cfg.InspectTimeout <= 0 {
+		cfg.InspectTimeout = 2 * time.Second
+	}
+	if cfg.StateSample <= 0 {
+		cfg.StateSample = 8
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &HTTP{obs: obs, cfg: cfg, ln: ln}
+	h.srv = &http.Server{Handler: h.mux()}
+	go h.srv.Serve(ln)
+	return h, nil
+}
+
+// Addr is the bound listen address (resolves ":0" requests).
+func (h *HTTP) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the server.
+func (h *HTTP) Close() error { return h.srv.Close() }
+
+// Handler returns the route mux (also used standalone in tests).
+func (h *HTTP) Handler() http.Handler { return h.mux() }
+
+func (h *HTTP) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", h.handleIndex)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/state", h.handleState)
+	mux.HandleFunc("/coverage", h.handleCoverage)
+	mux.HandleFunc("/swaps", h.handleSwaps)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (h *HTTP) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	gen, name := h.obs.Generation()
+	fmt.Fprintf(w, "nfactor observability — serving %q, generation %d\n\n", name, gen)
+	fmt.Fprintf(w, "/metrics   Prometheus scrape: serve stats, engine telemetry, gap-hit and drift gauges\n")
+	fmt.Fprintf(w, "/state     live flow-state inspector (quiesced at a batch barrier; ?format=json)\n")
+	fmt.Fprintf(w, "/coverage  entry-hit coverage, staleness candidates and NFL103 gap hits (?format=json)\n")
+	fmt.Fprintf(w, "/swaps     generation-swap audit trail (?format=json)\n")
+	fmt.Fprintf(w, "/debug/pprof/  runtime profiles\n")
+}
+
+// WriteAllMetrics renders the full scrape payload for an Observable:
+// serve stats, merged engine telemetry, collector gauges, coverage
+// gauges, then the extra appenders. /metrics and the periodic -prom
+// file rewrite share this renderer.
+func WriteAllMetrics(w io.Writer, obs Observable, nf string, extra []func(io.Writer) error) error {
+	if err := obs.Stats().WriteServePrometheus(w, nf); err != nil {
+		return err
+	}
+	if err := obs.Snapshot().WritePrometheus(w, nf); err != nil {
+		return err
+	}
+	if snap := obs.Observed(); snap != nil {
+		if err := snap.WritePrometheus(w, nf); err != nil {
+			return err
+		}
+		if stages := obs.StageSnapshots(); stages != nil {
+			if err := WriteCoveragePrometheus(w, nf, BuildCoverage(stages, snap)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fn := range extra {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetrics renders the full /metrics payload.
+func (h *HTTP) WriteMetrics(w io.Writer) error {
+	return WriteAllMetrics(w, h.obs, h.cfg.NF, h.cfg.ExtraProm)
+}
+
+func (h *HTTP) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := h.WriteMetrics(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func (h *HTTP) handleState(w http.ResponseWriter, r *http.Request) {
+	states := h.obs.InspectState(h.cfg.InspectTimeout)
+	if states == nil {
+		http.Error(w, "state inspection timed out: no batch barrier inside the window (is the server running?)", http.StatusServiceUnavailable)
+		return
+	}
+	if wantJSON(r) {
+		writeJSON(w, states)
+		return
+	}
+	gen, name := h.obs.Generation()
+	fmt.Fprintf(w, "live state — %q generation %d (quiesced at a batch barrier)\n", name, gen)
+	io.WriteString(w, RenderStates(states))
+}
+
+func (h *HTTP) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	stages := h.obs.StageSnapshots()
+	if stages == nil {
+		stages = []telemetry.Snapshot{h.obs.Snapshot()}
+	}
+	cov := BuildCoverage(stages, h.obs.Observed())
+	if wantJSON(r) {
+		writeJSON(w, cov)
+		return
+	}
+	gen, name := h.obs.Generation()
+	fmt.Fprintf(w, "coverage — %q generation %d (counters reset at each swap)\n", name, gen)
+	io.WriteString(w, RenderCoverage(cov))
+}
+
+func (h *HTTP) handleSwaps(w http.ResponseWriter, r *http.Request) {
+	events := h.obs.SwapEvents()
+	if wantJSON(r) {
+		writeJSON(w, events)
+		return
+	}
+	st := h.obs.Stats()
+	fmt.Fprintf(w, "swap audit — %d applied, %d blocked\n", st.Swaps, st.SwapsBlocked)
+	for i := range events {
+		io.WriteString(w, events[i].Render())
+	}
+}
+
+func wantJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

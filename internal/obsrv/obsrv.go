@@ -1,0 +1,239 @@
+// Package obsrv is the live observability plane of the serving daemon:
+// the data-path collectors (gap-hit detection against NFL103 witnesses,
+// windowed verdict-mix and top-K flow drift) plus the embedded HTTP
+// server that exposes them, together with the serve loop's published
+// state, as /metrics, /state, /coverage, /swaps and /debug/pprof/.
+//
+// The package deliberately does not import internal/serve: serve owns
+// the hot loop and imports obsrv for its collectors, and the HTTP layer
+// sees the server only through the Observable interface. Everything the
+// collectors do on the packet path is allocation-free: sampling
+// decisions are branch-on-counter, the heavy-hitter sketch and the gap
+// sample rings live in preallocated fixed-size storage, and gap
+// matchers evaluate only on packets that already hit a model's implicit
+// default drop.
+package obsrv
+
+import (
+	"time"
+
+	"nfactor/internal/lint"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/value"
+)
+
+// Options tunes the collectors. The zero value of every field selects
+// its default.
+type Options struct {
+	// DriftWindow is the packet count of one drift comparison window;
+	// the first completed window after a generation install becomes the
+	// baseline. Default 4096.
+	DriftWindow int
+	// TopK is how many heavy-hitter flows the space-saving sketch
+	// reports per window. Default 8.
+	TopK int
+	// MixThreshold is the total-variation distance between the baseline
+	// and current verdict mixes above which the window counts as
+	// drifting. Default 0.25.
+	MixThreshold float64
+	// TopThreshold is the fraction of baseline top-K flows allowed to
+	// vanish from the current top-K before the window counts as
+	// drifting. Default 0.5.
+	TopThreshold float64
+	// SketchSample feeds every Nth packet to the flow sketch (the
+	// verdict mix counts every packet). Default 16 — 256 samples per
+	// default window, ample to rank a top-8 of heavy hitters, and the
+	// sampled hash+scan stays under a nanosecond per packet amortized.
+	SketchSample int
+	// GapMaxWork bounds the NFL103 gap-witness search per stage.
+	// Default 4096 (the lint default).
+	GapMaxWork int
+	// GapSamples bounds the ring of concrete gap-hitting packets kept
+	// per stage. Default 8.
+	GapSamples int
+	// SwapLog bounds the ring of retained swap events. Default 64.
+	SwapLog int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DriftWindow <= 0 {
+		o.DriftWindow = 4096
+	}
+	if o.TopK <= 0 {
+		o.TopK = 8
+	}
+	if o.MixThreshold <= 0 {
+		o.MixThreshold = 0.25
+	}
+	if o.TopThreshold <= 0 {
+		o.TopThreshold = 0.5
+	}
+	if o.SketchSample <= 0 {
+		o.SketchSample = 16
+	}
+	if o.GapMaxWork <= 0 {
+		o.GapMaxWork = 4096
+	}
+	if o.GapSamples <= 0 {
+		o.GapSamples = 8
+	}
+	if o.SwapLog <= 0 {
+		o.SwapLog = 64
+	}
+	return o
+}
+
+// StageInfo describes one stage of the serving generation to the
+// collector: the synthesized model plus the concrete config and
+// PRISTINE initial state the gap witness is grounded against (witness
+// semantics are defined from pristine state — the implicit default drop
+// performs no updates, so gap traffic never perturbs them).
+type StageInfo struct {
+	Name   string
+	Model  *model.Model
+	Config map[string]value.Value
+	Init   map[string]value.Value
+}
+
+// Collector is the per-generation data-path observer: per-stage gap-hit
+// detection and the windowed drift detector. Observe belongs to the
+// serving goroutine; Snapshot is called at the publish point (same
+// goroutine) and returns an immutable copy for cross-goroutine readers.
+type Collector struct {
+	stages []stageObs
+	drift  drift
+	opts   Options
+}
+
+// stageObs is one stage's gap-hit state.
+type stageObs struct {
+	name    string
+	entries int
+	guards  []string // rendered entry guards, for staleness reports
+
+	gap *GapMatcher // nil: the model covers its match space
+
+	defaultHits int64 // packets killed by this stage's implicit default
+	gapHits     int64 // ... that also satisfied the gap witness
+
+	samples  []netpkt.Packet // ring of gap-hitting packets, cap GapSamples
+	sampleAt int64           // total ring writes
+}
+
+// NewCollector compiles the per-stage gap matchers and sizes the drift
+// detector. Building is control-plane work (it runs the NFL103 witness
+// search); do it once per generation install, not per packet.
+func NewCollector(stages []StageInfo, opts Options) *Collector {
+	opts = opts.withDefaults()
+	c := &Collector{opts: opts}
+	c.stages = make([]stageObs, len(stages))
+	for i := range stages {
+		si := &stages[i]
+		so := &c.stages[i]
+		so.name = si.Name
+		so.entries = len(si.Model.Entries)
+		so.guards = make([]string, len(si.Model.Entries))
+		for e := range si.Model.Entries {
+			so.guards[e] = lint.RenderGuard(si.Model.Entries[e].Guard())
+		}
+		so.gap = CompileGap(si.Model, si.Config, si.Init, opts.GapMaxWork)
+		so.samples = make([]netpkt.Packet, 0, opts.GapSamples)
+	}
+	c.drift.init(opts)
+	return c
+}
+
+// Observe records one served packet's outcome. defaultStage is the
+// stage whose implicit lowest-priority drop killed the packet (-1: an
+// explicit entry decided it). Allocation-free on the steady path: the
+// gap matcher runs only on implicit-default drops, the sketch is
+// sampled branch-on-counter, and window rolls reuse preallocated
+// buffers.
+func (c *Collector) Observe(p *netpkt.Packet, dropped bool, defaultStage int) {
+	if defaultStage >= 0 && defaultStage < len(c.stages) {
+		so := &c.stages[defaultStage]
+		so.defaultHits++
+		if so.gap != nil && so.gap.Match(p) {
+			so.gapHits++
+			so.pushSample(p)
+		}
+	}
+	c.drift.observe(p, dropped, defaultStage >= 0)
+}
+
+// pushSample records a gap-hitting packet in the bounded ring.
+func (so *stageObs) pushSample(p *netpkt.Packet) {
+	if len(so.samples) < cap(so.samples) {
+		so.samples = append(so.samples, *p)
+	} else {
+		so.samples[so.sampleAt%int64(cap(so.samples))] = *p
+	}
+	so.sampleAt++
+}
+
+// Snapshot copies the collector state for cross-goroutine readers.
+// Call from the serving goroutine only (the publish point).
+func (c *Collector) Snapshot(generation uint64, name string) *Snapshot {
+	s := &Snapshot{Generation: generation, Name: name, Taken: time.Now()}
+	s.Stages = make([]GapStats, len(c.stages))
+	for i := range c.stages {
+		so := &c.stages[i]
+		gs := &s.Stages[i]
+		gs.Stage = i
+		gs.Name = so.name
+		gs.Entries = so.entries
+		gs.DefaultHits = so.defaultHits
+		gs.GapHits = so.gapHits
+		if so.gap != nil {
+			gs.Witness = so.gap.Witness()
+		}
+		gs.Samples = make([]string, len(so.samples))
+		for j := range so.samples {
+			gs.Samples[j] = netpkt.FormatLine(so.samples[j])
+		}
+		gs.guards = so.guards
+	}
+	s.Drift = c.drift.snapshot()
+	return s
+}
+
+// Snapshot is the collectors' published state: immutable once built.
+type Snapshot struct {
+	Generation uint64     `json:"generation"`
+	Name       string     `json:"name"`
+	Taken      time.Time  `json:"taken"`
+	Stages     []GapStats `json:"stages"`
+	Drift      DriftStats `json:"drift"`
+}
+
+// GapStats is one stage's gap-hit state: how often live traffic fell
+// into the model's implicit default, and how often it landed inside the
+// solver-proved uncovered match class — the concrete repair trigger.
+type GapStats struct {
+	Stage   int    `json:"stage"`
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+	// Witness renders the NFL103 gap class ("" when the model covers
+	// its match space and no gap matcher is installed).
+	Witness string `json:"witness,omitempty"`
+	// DefaultHits counts packets this stage's implicit default dropped;
+	// GapHits counts the subset that satisfied the gap witness.
+	DefaultHits int64 `json:"default_hits"`
+	GapHits     int64 `json:"gap_hits"`
+	// Samples are recently captured gap-hitting packets (trace-line
+	// format, replayable).
+	Samples []string `json:"samples,omitempty"`
+
+	// guards carries the rendered entry guards for coverage reports
+	// (shared immutable backing, not serialized per scrape).
+	guards []string
+}
+
+// EntryGuard renders entry i's guard conjunction ("" when unknown).
+func (g *GapStats) EntryGuard(i int) string {
+	if i < 0 || i >= len(g.guards) {
+		return ""
+	}
+	return g.guards[i]
+}

@@ -1,0 +1,70 @@
+package obsrv
+
+import (
+	"testing"
+
+	"nfactor/internal/core"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/workload"
+)
+
+func natCollector(b *testing.B) *Collector {
+	b.Helper()
+	nf := nfs.MustLoad("nat")
+	an, err := core.Analyze("nat", nf.Prog, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewCollector([]StageInfo{{Name: "nat", Model: an.Model, Config: config, Init: state}}, Options{})
+}
+
+func BenchmarkObserveMixed(b *testing.B) {
+	c := natCollector(b)
+	pkts := workload.New(42).RandomTrace(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &pkts[i%len(pkts)]
+		c.Observe(p, i%3 == 0, -1)
+	}
+}
+
+func BenchmarkObserveDefaultDrop(b *testing.B) {
+	c := natCollector(b)
+	pkts := workload.New(42).RandomTrace(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &pkts[i%len(pkts)]
+		c.Observe(p, true, 0)
+	}
+}
+
+func BenchmarkSketchObserve(b *testing.B) {
+	var s spaceSaving
+	s.init(24)
+	pkts := workload.New(42).RandomTrace(4096)
+	flows := make([]netpkt.Flow, len(pkts))
+	for i := range pkts {
+		flows[i] = pkts[i].Flow()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.observe(flows[i%len(flows)])
+	}
+}
+
+func BenchmarkCollectorSnapshot(b *testing.B) {
+	c := natCollector(b)
+	pkts := workload.New(42).RandomTrace(4096)
+	for i := range pkts {
+		c.Observe(&pkts[i], i%3 == 0, -1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Snapshot(1, "nat")
+	}
+}

@@ -1,0 +1,408 @@
+package obsrv
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"nfactor/internal/core"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/model"
+	"nfactor/internal/netpkt"
+	"nfactor/internal/nfs"
+	"nfactor/internal/telemetry"
+	"nfactor/internal/value"
+	"nfactor/internal/workload"
+)
+
+// prunedAnalysis synthesizes a corpus model and strips its explicit
+// drop entries: the corpus models cover their match spaces (NFL103
+// clean), so the drop entries are removed to open exactly the gap they
+// used to close — the same construction the workload gap-trace tests
+// use.
+func prunedAnalysis(t *testing.T, name string) (*model.Model, map[string]value.Value, map[string]value.Value) {
+	t.Helper()
+	nf := nfs.MustLoad(name)
+	an, err := core.Analyze(name, nf.Prog, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	config, state, err := an.ConfigAndState(nil)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	pruned := &model.Model{
+		NFName: an.Model.NFName, PktVar: an.Model.PktVar,
+		CfgVars: an.Model.CfgVars, OISVars: an.Model.OISVars,
+	}
+	for _, e := range an.Model.Entries {
+		if !e.Dropped() {
+			pruned.Entries = append(pruned.Entries, e)
+		}
+	}
+	return pruned, config, state
+}
+
+// TestGapMatcherMatchesGapTrace pins the matcher against the gap-trace
+// generator: every solver-concretized gap packet must match, and every
+// packet that fires a model entry must not (the witness is disjoint
+// from every entry guard by construction).
+func TestGapMatcherMatchesGapTrace(t *testing.T) {
+	pruned, config, state := prunedAnalysis(t, "firewall")
+	g := CompileGap(pruned, config, state, 0)
+	if g == nil {
+		t.Fatal("pruned firewall model has no gap matcher; expected an open gap")
+	}
+	if g.Witness() == "" {
+		t.Error("empty witness rendering")
+	}
+
+	gap := workload.New(7).GapTrace(pruned, config, state, 32)
+	if len(gap) == 0 {
+		t.Fatal("no gap trace concretized")
+	}
+	for i := range gap {
+		if !g.Match(&gap[i]) {
+			t.Errorf("gap packet %d (%s) did not match the compiled witness", i, gap[i])
+		}
+	}
+
+	// Traffic that fires an entry under the PRISTINE frame must never
+	// match (the witness is grounded at pristine state, so each packet
+	// gets a fresh instance — a warmed instance can fire state-dependent
+	// entries on packets the pristine witness legitimately covers).
+	trace := workload.New(8).RandomTrace(256)
+	for i := range trace {
+		if i%2 == 0 {
+			// Trusted iface + egress-policy port: fires the outbound entry.
+			trace[i].InIface = "lan"
+			trace[i].DstPort = 443
+		}
+	}
+	hits := 0
+	for i := range trace {
+		inst, err := model.NewInstance(pruned, config, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fired, err := inst.ProcessTraced(trace[i].ToValue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fired < 0 {
+			continue
+		}
+		hits++
+		if g.Match(&trace[i]) {
+			t.Errorf("packet %d (%s) fired entry %d AND matched the gap witness — witness not disjoint", i, trace[i], fired)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("trace fired no entries; disjointness unexercised")
+	}
+}
+
+// TestObserveZeroAlloc pins the whole per-packet observer path —
+// gap-hit matching, sample ring, verdict mix, sampled sketch, window
+// rolls — at zero allocations once warm.
+func TestObserveZeroAlloc(t *testing.T) {
+	pruned, config, state := prunedAnalysis(t, "firewall")
+	c := NewCollector([]StageInfo{{Name: "firewall", Model: pruned, Config: config, Init: state}},
+		Options{DriftWindow: 256, GapSamples: 4})
+	if c.stages[0].gap == nil {
+		t.Fatal("no gap matcher compiled")
+	}
+
+	gap := workload.New(7).GapTrace(pruned, config, state, 16)
+	if len(gap) == 0 {
+		t.Fatal("no gap trace")
+	}
+	mixed := workload.New(9).RandomTrace(512)
+
+	observeAll := func() {
+		for i := range mixed {
+			c.Observe(&mixed[i], i%2 == 0, -1)
+		}
+		for i := range gap {
+			c.Observe(&gap[i], true, 0)
+		}
+	}
+	observeAll() // warm: sample ring filled, sketch map buckets grown
+
+	if avg := testing.AllocsPerRun(50, observeAll); avg != 0 {
+		t.Errorf("Observe allocates %.2f times per %d packets, want 0", avg, len(mixed)+len(gap))
+	}
+	if c.stages[0].gapHits == 0 || c.stages[0].defaultHits < c.stages[0].gapHits {
+		t.Errorf("counter sanity: defaultHits=%d gapHits=%d", c.stages[0].defaultHits, c.stages[0].gapHits)
+	}
+}
+
+// TestDriftFlip pins the detector's core behavior: a stable mix keeps
+// drifting=false; inverting the verdict mix flips it.
+func TestDriftFlip(t *testing.T) {
+	c := NewCollector(nil, Options{DriftWindow: 64, TopK: 4})
+	p := netpkt.Packet{Proto: "tcp", SrcIP: "1.1.1.1", DstIP: "2.2.2.2", SrcPort: 1, DstPort: 2}
+
+	// Baseline + one stable window: all forwards.
+	for i := 0; i < 128; i++ {
+		c.Observe(&p, false, -1)
+	}
+	s := c.Snapshot(1, "t")
+	if !s.Drift.HaveBaseline || s.Drift.Windows != 2 {
+		t.Fatalf("windows=%d haveBaseline=%v, want 2/true", s.Drift.Windows, s.Drift.HaveBaseline)
+	}
+	if s.Drift.Drifting || s.Drift.MixScore != 0 {
+		t.Errorf("stable traffic flagged drifting (mix=%g)", s.Drift.MixScore)
+	}
+
+	// Inverted mix: all implicit-default drops.
+	for i := 0; i < 64; i++ {
+		c.Observe(&p, true, -1) // stage out of range: drift-only default
+	}
+	s = c.Snapshot(1, "t")
+	if !s.Drift.Drifting || s.Drift.MixScore != 1 {
+		t.Errorf("inverted mix not flagged: drifting=%v mix=%g", s.Drift.Drifting, s.Drift.MixScore)
+	}
+}
+
+// TestSpaceSavingHeavyHitter pins that a dominant flow survives
+// eviction pressure and sorts first.
+func TestSpaceSavingHeavyHitter(t *testing.T) {
+	var s spaceSaving
+	s.init(8)
+	heavy := netpkt.Flow{Proto: "tcp", SrcIP: "9.9.9.9", SrcPort: 99, DstIP: "8.8.8.8", DstPort: 80}
+	for i := 0; i < 100; i++ {
+		s.observe(heavy)
+		s.observe(netpkt.Flow{Proto: "udp", SrcIP: fmt.Sprintf("10.0.%d.%d", i/250, i%250), SrcPort: i + 1, DstIP: "1.1.1.1", DstPort: 53})
+	}
+	top := s.sortedInto(nil)
+	if len(top) == 0 || top[0].flow != heavy {
+		t.Fatalf("heavy flow not ranked first: %+v", top)
+	}
+	if top[0].count < 100 {
+		t.Errorf("space-saving undercounted the heavy flow: %d < 100", top[0].count)
+	}
+}
+
+// TestSwapLogRingBound pins the ring semantics: bounded, oldest
+// evicted, sequence numbers monotone across eviction.
+func TestSwapLogRingBound(t *testing.T) {
+	l := NewSwapLog(8)
+	for i := 0; i < 100; i++ {
+		l.Record(SwapEvent{Name: fmt.Sprintf("gen%d", i)})
+	}
+	ev := l.Events()
+	if len(ev) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(ev))
+	}
+	for i := range ev {
+		if want := int64(93 + i); ev[i].Seq != want {
+			t.Errorf("event %d: seq=%d want %d", i, ev[i].Seq, want)
+		}
+	}
+}
+
+// TestBuildStageState covers the classification-less walk: map sampling
+// in canonical key order, scalar rendering, the "more" elision.
+func TestBuildStageState(t *testing.T) {
+	m := value.NewMap()
+	for i := 0; i < 20; i++ {
+		if err := m.Map.Set(value.Int(int64(i)), value.Str(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := dataplane.StateView{
+		Vars:  map[string]value.Value{"tbl": m, "ctr": value.Int(42)},
+		Sizes: map[string]int{"tbl": 20, "ctr": 1},
+	}
+	st := BuildStageState(0, "x", nil, view, 4)
+	if len(st.Vars) != 2 {
+		t.Fatalf("vars=%d want 2", len(st.Vars))
+	}
+	if st.Vars[0].Name != "ctr" || st.Vars[0].Class != "scalar" || st.Vars[0].Value != "42" {
+		t.Errorf("scalar var wrong: %+v", st.Vars[0])
+	}
+	tbl := st.Vars[1]
+	if tbl.Class != "map" || tbl.Size != 20 || len(tbl.Sample) != 4 {
+		t.Errorf("map var wrong: class=%s size=%d sample=%d", tbl.Class, tbl.Size, len(tbl.Sample))
+	}
+	out := RenderStates([]StageState{st})
+	if !strings.Contains(out, "... 16 more") {
+		t.Errorf("elision line missing:\n%s", out)
+	}
+	if strings.Contains(out, "... 1 more\n    = 42") || strings.Count(out, "more") != 1 {
+		t.Errorf("scalar rendered a 'more' line:\n%s", out)
+	}
+}
+
+// promLine matches one Prometheus text-exposition sample.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+$`)
+
+// checkPromParses asserts every non-comment, non-blank line is a valid
+// sample — the "scrape output parses" assertion.
+func checkPromParses(t *testing.T, body string) {
+	t.Helper()
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable metric line: %q", line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("scrape body carried no samples")
+	}
+}
+
+// TestHTTPEndpoints drives every route over a fake Observable.
+func TestHTTPEndpoints(t *testing.T) {
+	pruned, config, state := prunedAnalysis(t, "firewall")
+	c := NewCollector([]StageInfo{{Name: "firewall", Model: pruned, Config: config, Init: state}}, Options{})
+	gap := workload.New(7).GapTrace(pruned, config, state, 4)
+	for i := range gap {
+		c.Observe(&gap[i], true, 0)
+	}
+	obs := &fakeObservable{snap: c.Snapshot(3, "firewall")}
+	obs.swaps.Record(SwapEvent{From: 2, To: 3, Name: "firewall", WindowLen: 9, Carried: 1})
+
+	h := &HTTP{obs: obs, cfg: HTTPConfig{NF: "firewall", InspectTimeout: time.Millisecond, StateSample: 4}}
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 {
+		t.Errorf("/metrics: %d", code)
+	} else {
+		checkPromParses(t, body)
+		for _, want := range []string{
+			"nfactor_serve_packets_total", "nfactor_obsrv_gap_hits_total",
+			"nfactor_obsrv_drifting", "nfactor_obsrv_entries",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %s", want)
+			}
+		}
+	}
+	if code, body := get("/coverage"); code != 200 || !strings.Contains(body, "gap hits: 4") {
+		t.Errorf("/coverage: %d\n%s", code, body)
+	}
+	if code, body := get("/coverage?format=json"); code != 200 || !strings.Contains(body, `"gap_hits": 4`) {
+		t.Errorf("/coverage json: %d\n%s", code, body)
+	}
+	if code, body := get("/state"); code != 200 || !strings.Contains(body, "scalar") {
+		t.Errorf("/state: %d\n%s", code, body)
+	}
+	if code, body := get("/swaps"); code != 200 || !strings.Contains(body, "swapped generation 2 -> 3") {
+		t.Errorf("/swaps: %d\n%s", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "generation 3") {
+		t.Errorf("index: %d\n%s", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+
+	// Inspection timeout surfaces as 503, not a hang or a torn page.
+	obs.stateNil = true
+	if code, _ := get("/state"); code != 503 {
+		t.Errorf("/state with no barrier: %d, want 503", code)
+	}
+}
+
+type fakeObservable struct {
+	snap     *Snapshot
+	swaps    SwapLog
+	stateNil bool
+}
+
+func (f *fakeObservable) Stats() telemetry.ServeStats {
+	return telemetry.ServeStats{Packets: 100, Generation: 3}
+}
+
+func (f *fakeObservable) Snapshot() telemetry.Snapshot {
+	return telemetry.Snapshot{Backend: "compiled", Packets: 100}
+}
+
+func (f *fakeObservable) StageSnapshots() []telemetry.Snapshot {
+	return []telemetry.Snapshot{{Backend: "compiled", Packets: 100,
+		EntryHits: make([]int64, len(f.snap.Stages[0].guards))}}
+}
+
+func (f *fakeObservable) Observed() *Snapshot { return f.snap }
+
+func (f *fakeObservable) InspectState(time.Duration) []StageState {
+	if f.stateNil {
+		return nil
+	}
+	return []StageState{BuildStageState(0, "firewall", nil, dataplane.StateView{
+		Vars:  map[string]value.Value{"ctr": value.Int(1)},
+		Sizes: map[string]int{"ctr": 1},
+	}, 4)}
+}
+
+func (f *fakeObservable) SwapEvents() []SwapEvent      { return f.swaps.Events() }
+func (f *fakeObservable) Generation() (uint64, string) { return 3, "firewall" }
+
+// TestWriteFileAtomic pins the rename discipline: the path always holds
+// a complete render and failed renders leave no temp litter.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.prom")
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf("metric %d\n", i)
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := w.Write([]byte(body))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != body {
+			t.Fatalf("round %d: read %q err %v", i, got, err)
+		}
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error { return fmt.Errorf("render failed") }); err == nil {
+		t.Fatal("render error swallowed")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "m.prom" {
+		t.Errorf("temp litter left behind: %v", ents)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "metric 2\n" {
+		t.Errorf("failed render clobbered the file: %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package obsrv
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WritePrometheus renders the collector snapshot as Prometheus text
+// exposition: the gap-hit counters per stage and the drift gauges. The
+// serve stats and engine counters have their own writers (telemetry);
+// /metrics concatenates all three.
+func (s *Snapshot) WritePrometheus(w io.Writer, nf string) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP nfactor_obsrv_default_hits_total Packets killed by a stage's implicit default drop.\n# TYPE nfactor_obsrv_default_hits_total counter\n"); err != nil {
+		return err
+	}
+	for i := range s.Stages {
+		g := &s.Stages[i]
+		if err := p("nfactor_obsrv_default_hits_total{nf=%q,stage=\"%d\",stage_name=%q} %d\n", nf, g.Stage, g.Name, g.DefaultHits); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP nfactor_obsrv_gap_hits_total Packets inside the solver-proved NFL103 gap class (model repair trigger).\n# TYPE nfactor_obsrv_gap_hits_total counter\n"); err != nil {
+		return err
+	}
+	for i := range s.Stages {
+		g := &s.Stages[i]
+		if err := p("nfactor_obsrv_gap_hits_total{nf=%q,stage=\"%d\",stage_name=%q} %d\n", nf, g.Stage, g.Name, g.GapHits); err != nil {
+			return err
+		}
+	}
+	d := &s.Drift
+	lbl := fmt.Sprintf("nf=%q", nf)
+	rows := []struct {
+		name, help, typ string
+		v               float64
+	}{
+		{"nfactor_obsrv_drift_windows_total", "Completed drift windows this generation.", "counter", float64(d.Windows)},
+		{"nfactor_obsrv_drift_mix_score", "Total-variation distance of the current verdict mix from the baseline window.", "gauge", d.MixScore},
+		{"nfactor_obsrv_drift_top_score", "Fraction of baseline top-K flows missing from the current top-K.", "gauge", d.TopScore},
+		{"nfactor_obsrv_drifting", "1 when either drift score exceeds its threshold.", "gauge", b2f(d.Drifting)},
+	}
+	for _, r := range rows {
+		if err := p("# HELP %s %s\n# TYPE %s %s\n%s{%s} %g\n", r.name, r.help, r.name, r.typ, r.name, lbl, r.v); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP nfactor_obsrv_mix_packets Verdict mix of the baseline and most recent drift windows.\n# TYPE nfactor_obsrv_mix_packets gauge\n"); err != nil {
+		return err
+	}
+	for _, win := range []struct {
+		name string
+		m    Mix
+	}{{"baseline", d.Baseline}, {"current", d.Current}} {
+		for _, v := range []struct {
+			verdict string
+			n       int64
+		}{
+			{"forward", win.m.Forwards},
+			{"drop", win.m.Drops - win.m.DefaultDrops},
+			{"default_drop", win.m.DefaultDrops},
+		} {
+			if err := p("nfactor_obsrv_mix_packets{%s,window=%q,verdict=%q} %d\n", lbl, win.name, v.verdict, v.n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCoveragePrometheus renders the per-stage coverage gauges.
+func WriteCoveragePrometheus(w io.Writer, nf string, cov []StageCoverage) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP nfactor_obsrv_entries Synthesized table entries per stage.\n# TYPE nfactor_obsrv_entries gauge\n# HELP nfactor_obsrv_entries_fired Entries that fired at least once this generation.\n# TYPE nfactor_obsrv_entries_fired gauge\n"); err != nil {
+		return err
+	}
+	for i := range cov {
+		c := &cov[i]
+		if err := p("nfactor_obsrv_entries{nf=%q,stage=\"%d\",stage_name=%q} %d\nnfactor_obsrv_entries_fired{nf=%q,stage=\"%d\",stage_name=%q} %d\n",
+			nf, c.Stage, c.Name, c.Entries, nf, c.Stage, c.Name, c.Fired); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WriteFileAtomic renders into path via a temp file in the same
+// directory plus rename, so concurrent readers (Prometheus textfile
+// collectors, curl in a loop) always see a complete snapshot.
+func WriteFileAtomic(path string, render func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := render(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

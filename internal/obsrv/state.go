@@ -1,0 +1,146 @@
+package obsrv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nfactor/internal/dataplane"
+	"nfactor/internal/value"
+)
+
+// The /state inspector: a walk over one quiesced stage state, organized
+// by the dataplane classification (the generalized Table 1 classes) so
+// an operator sees not just what each OIS variable holds but how the
+// engine shards it — flow-partitioned, owner-routed, replicated,
+// allocator, rotor.
+
+// StageState is one stage's live state tables.
+type StageState struct {
+	Stage int        `json:"stage"`
+	Name  string     `json:"name"`
+	Vars  []VarState `json:"vars"`
+}
+
+// VarState is one OIS variable's live value.
+type VarState struct {
+	Name string `json:"name"`
+	// Class is the sharding lowering ("flow-map", "owned-map",
+	// "replica-map", "allocator", "rotor", "frozen"), "scalar"/"map"
+	// when the model has no classification.
+	Class string `json:"class"`
+	// Detail explains the class the way nfreplay -shards reports do
+	// (allocator init/step, the owning allocator of an owned-map, ...).
+	Detail string `json:"detail,omitempty"`
+	// Size is the entry count for maps (the true table size, even
+	// though Sample is bounded), 1 for scalars.
+	Size int `json:"size"`
+	// Value renders scalars; Sample holds up to sampleN map entries,
+	// sorted for stable rendering (which entries land in the sample is
+	// up to the engine's bounded export).
+	Value  string  `json:"value,omitempty"`
+	Sample []Entry `json:"sample,omitempty"`
+}
+
+// Entry is one sampled map entry.
+type Entry struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// BuildStageState renders one stage's quiesced state. cls may be nil
+// (no sharding lowering); view is the BOUNDED per-stage export the
+// serve plane builds at the barrier — true sizes, sampled tables — so
+// rendering here touches at most sampleN entries per variable and an
+// inspection never costs O(table) on the serving goroutine. Call only
+// on quiesced state — the serve loop services inspection requests at
+// batch barriers.
+func BuildStageState(stage int, name string, cls *dataplane.Classification, view dataplane.StateView, sampleN int) StageState {
+	if sampleN <= 0 {
+		sampleN = 8
+	}
+	out := StageState{Stage: stage, Name: name}
+	names := make([]string, 0, len(view.Vars))
+	for n := range view.Vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := view.Vars[n]
+		vs := VarState{Name: n}
+		if cls != nil && cls.Vars[n] != nil {
+			vc := cls.Vars[n]
+			vs.Class = vc.Class.String()
+			vs.Detail = classDetail(vc)
+		} else if v.Kind == value.KindMap {
+			vs.Class = "map"
+		} else {
+			vs.Class = "scalar"
+		}
+		if v.Kind == value.KindMap && v.Map != nil {
+			vs.Size = view.Sizes[n]
+			keys := v.Map.Keys() // the sampled map: at most max entries
+			if len(keys) > sampleN {
+				keys = keys[:sampleN]
+			}
+			for _, k := range keys {
+				val, _, err := v.Map.Get(k)
+				if err != nil {
+					continue
+				}
+				vs.Sample = append(vs.Sample, Entry{Key: k.String(), Val: val.String()})
+			}
+		} else {
+			vs.Size = 1
+			vs.Value = v.String()
+		}
+		out.Vars = append(out.Vars, vs)
+	}
+	return out
+}
+
+// classDetail mirrors the classification's describe() phrasing without
+// repeating the variable name.
+func classDetail(vc *dataplane.VarClass) string {
+	switch vc.Class {
+	case dataplane.ClassFlowMap:
+		return "shard-local, keys hash by packet-field values"
+	case dataplane.ClassReplicaMap:
+		return "read-only after init, copied per shard"
+	case dataplane.ClassOwnedMap:
+		return fmt.Sprintf("keys carry %s values; owner shard decoded from the key", vc.Alloc)
+	case dataplane.ClassAllocator:
+		return fmt.Sprintf("init %d, step %d; interleaved per-shard sub-ranges", vc.Init, vc.Step)
+	case dataplane.ClassRotor:
+		return fmt.Sprintf("mod %d; independent per-shard rotors", vc.Mod)
+	case dataplane.ClassFrozen:
+		return "never written, replicated"
+	}
+	return ""
+}
+
+// RenderStates renders the inspector output for humans.
+func RenderStates(states []StageState) string {
+	var b strings.Builder
+	for i := range states {
+		st := &states[i]
+		fmt.Fprintf(&b, "--- stage %d: %s ---\n", st.Stage, st.Name)
+		for _, v := range st.Vars {
+			fmt.Fprintf(&b, "%-12s %-11s size=%d", v.Name, v.Class, v.Size)
+			if v.Detail != "" {
+				fmt.Fprintf(&b, "  (%s)", v.Detail)
+			}
+			b.WriteByte('\n')
+			if v.Value != "" {
+				fmt.Fprintf(&b, "    = %s\n", v.Value)
+			}
+			for _, e := range v.Sample {
+				fmt.Fprintf(&b, "    %s -> %s\n", e.Key, e.Val)
+			}
+			if v.Value == "" && len(v.Sample) < v.Size {
+				fmt.Fprintf(&b, "    ... %d more\n", v.Size-len(v.Sample))
+			}
+		}
+	}
+	return b.String()
+}

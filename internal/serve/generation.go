@@ -60,6 +60,10 @@ type Outcome struct {
 	Verdict netpkt.Verdict
 	Entry   int
 	Epoch   uint64
+	// DefaultStage is the stage whose implicit lowest-priority drop
+	// killed the packet (0 for a single NF), -1 when an explicit entry
+	// decided it — the gap-hit detector's trigger.
+	DefaultStage int
 }
 
 // genStage is the pristine description of one stage of a generation:
@@ -197,9 +201,18 @@ type plane interface {
 	processBatch(pkts []netpkt.Packet, outs []Outcome) error
 	setEpoch(v uint64)
 	// stageStates exports the live state per stage (len 1 for a single
-	// NF), merged across shards. Call only between batches.
+	// NF), merged across shards. A full deep copy — swap gating needs
+	// exact state. Call only between batches.
 	stageStates() []map[string]value.Value
+	// stageViews exports a bounded per-stage view for the /state
+	// inspector: true sizes, at most max sampled entries per table.
+	// O(vars + max), safe to run at every barrier. Call only between
+	// batches.
+	stageViews(max int) []dataplane.StateView
 	snapshot() telemetry.Snapshot
+	// stageSnapshots exports per-stage telemetry (len 1 for a single
+	// NF, where it equals snapshot()) — the /coverage granularity.
+	stageSnapshots() []telemetry.Snapshot
 }
 
 // engineLike is the single-NF engine surface (Engine and Sharded).
@@ -207,6 +220,7 @@ type engineLike interface {
 	ProcessBatch(pkts []netpkt.Packet, outs []dataplane.Output) error
 	SetEpoch(v uint64)
 	State() map[string]value.Value
+	StateView(max int) dataplane.StateView
 	Telemetry() telemetry.Snapshot
 }
 
@@ -225,7 +239,11 @@ func (ep *enginePlane) processBatch(pkts []netpkt.Packet, outs []Outcome) error 
 	}
 	for i := range pkts {
 		o := &ep.outs[i]
-		outs[i] = Outcome{Verdict: verdictOfOutput(o), Entry: o.Entry, Epoch: o.Epoch}
+		ds := -1
+		if o.Dropped && o.Entry < 0 {
+			ds = 0 // implicit default: no entry matched
+		}
+		outs[i] = Outcome{Verdict: verdictOfOutput(o), Entry: o.Entry, Epoch: o.Epoch, DefaultStage: ds}
 	}
 	return nil
 }
@@ -236,7 +254,15 @@ func (ep *enginePlane) stageStates() []map[string]value.Value {
 	return []map[string]value.Value{ep.eng.State()}
 }
 
+func (ep *enginePlane) stageViews(max int) []dataplane.StateView {
+	return []dataplane.StateView{ep.eng.StateView(max)}
+}
+
 func (ep *enginePlane) snapshot() telemetry.Snapshot { return ep.eng.Telemetry() }
+
+func (ep *enginePlane) stageSnapshots() []telemetry.Snapshot {
+	return []telemetry.Snapshot{ep.eng.Telemetry()}
+}
 
 // verdictOfOutput deep-copies an engine-owned Output into a Verdict
 // (the engine reuses the Output's backing arrays across batches).
@@ -254,6 +280,8 @@ type chainLike interface {
 	ProcessBatch(pkts []netpkt.Packet, outs []dataplane.ChainOutput) error
 	SetEpoch(v uint64)
 	StageState(i int) map[string]value.Value
+	StageStateView(i, max int) dataplane.StateView
+	StageTelemetry(i int) telemetry.Snapshot
 	ChainTelemetry() telemetry.Snapshot
 }
 
@@ -273,7 +301,8 @@ func (cp *chainPlane) processBatch(pkts []netpkt.Packet, outs []Outcome) error {
 	}
 	for i := range pkts {
 		o := &cp.outs[i]
-		outs[i] = Outcome{Verdict: verdictOfChainOutput(o), Entry: chainEntry(o), Epoch: o.Epoch}
+		entry, ds := chainEntry(o)
+		outs[i] = Outcome{Verdict: verdictOfChainOutput(o), Entry: entry, Epoch: o.Epoch, DefaultStage: ds}
 	}
 	return nil
 }
@@ -288,7 +317,23 @@ func (cp *chainPlane) stageStates() []map[string]value.Value {
 	return out
 }
 
+func (cp *chainPlane) stageViews(max int) []dataplane.StateView {
+	out := make([]dataplane.StateView, cp.stages)
+	for i := range out {
+		out[i] = cp.eng.StageStateView(i, max)
+	}
+	return out
+}
+
 func (cp *chainPlane) snapshot() telemetry.Snapshot { return cp.eng.ChainTelemetry() }
+
+func (cp *chainPlane) stageSnapshots() []telemetry.Snapshot {
+	out := make([]telemetry.Snapshot, cp.stages)
+	for i := range out {
+		out[i] = cp.eng.StageTelemetry(i)
+	}
+	return out
+}
 
 // verdictOfChainOutput deep-copies an engine-owned ChainOutput.
 func verdictOfChainOutput(o *dataplane.ChainOutput) netpkt.Verdict {
@@ -300,13 +345,17 @@ func verdictOfChainOutput(o *dataplane.ChainOutput) netpkt.Verdict {
 	return v
 }
 
-// chainEntry reports the entry fired at the deepest stage any packet
-// reached (the chain analogue of Output.Entry).
-func chainEntry(o *dataplane.ChainOutput) int {
+// chainEntry reports the entry fired at the deepest stage the packet
+// reached (the chain analogue of Output.Entry) and, when that stage's
+// implicit default dropped it, the stage index (-1 otherwise).
+func chainEntry(o *dataplane.ChainOutput) (entry, defaultStage int) {
 	for i := len(o.Entries) - 1; i >= 0; i-- {
 		if o.Entries[i] != dataplane.EntryNotReached {
-			return o.Entries[i]
+			if o.Entries[i] < 0 && o.Dropped {
+				return o.Entries[i], i
+			}
+			return o.Entries[i], -1
 		}
 	}
-	return -1
+	return -1, -1
 }

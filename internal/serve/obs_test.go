@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nfactor/internal/chain"
+	"nfactor/internal/dataplane"
+	"nfactor/internal/model"
+	"nfactor/internal/nfs"
+	"nfactor/internal/obsrv"
+	"nfactor/internal/workload"
+)
+
+// --- gap-hit ground truth ---------------------------------------------
+
+// TestGapHitGroundTruthCorpus proves the /coverage gap-hit counter exact
+// against the NFL103 witness generator, corpus-wide: every corpus model
+// is pruned of its explicit drop entries (opening exactly the gap those
+// drops covered), its adversarial gap trace is served, and every single
+// packet must land in the implicit default AND be counted as a gap hit
+// — no undercounting, no overcounting, no entry fired.
+func TestGapHitGroundTruthCorpus(t *testing.T) {
+	withGap := 0
+	for _, name := range nfs.Names() {
+		an := analyzeNF(t, name)
+		config, state, err := an.ConfigAndState(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pruned := &model.Model{
+			NFName: an.Model.NFName, PktVar: an.Model.PktVar,
+			CfgVars: an.Model.CfgVars, OISVars: an.Model.OISVars,
+		}
+		for _, e := range an.Model.Entries {
+			if !e.Dropped() {
+				pruned.Entries = append(pruned.Entries, e)
+			}
+		}
+		trace := workload.New(11).GapTrace(pruned, config, state, 32)
+		if len(trace) == 0 {
+			continue // forwarding entries cover the space, or no member concretized
+		}
+		withGap++
+
+		srv, err := New(Candidate{
+			Stages: []chain.NamedModel{{Name: name, Model: pruned, Config: config, State: state}},
+		}, Config{
+			Source: NewTraceSource(trace, false, 0),
+			Obs:    &obsrv.Options{},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := srv.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		st := srv.Stats()
+		if st.Packets != int64(len(trace)) {
+			t.Fatalf("%s: served %d packets, want %d", name, st.Packets, len(trace))
+		}
+		if st.EpochViolations != 0 {
+			t.Errorf("%s: %d epoch violations", name, st.EpochViolations)
+		}
+		snap := srv.Observed()
+		if snap == nil || len(snap.Stages) != 1 {
+			t.Fatalf("%s: no published collector snapshot", name)
+		}
+		gs := &snap.Stages[0]
+		if gs.Witness == "" {
+			t.Errorf("%s: pruned model compiled no gap witness", name)
+		}
+		if gs.DefaultHits != int64(len(trace)) {
+			t.Errorf("%s: default hits = %d, want %d (every gap packet must die on the implicit default)",
+				name, gs.DefaultHits, len(trace))
+		}
+		if gs.GapHits != int64(len(trace)) {
+			t.Errorf("%s: gap hits = %d, want %d (the counter must be exact against ground truth)",
+				name, gs.GapHits, len(trace))
+		}
+		if len(gs.Samples) == 0 {
+			t.Errorf("%s: no gap packet samples captured", name)
+		}
+		for _, stage := range srv.StageSnapshots() {
+			for e, hits := range stage.EntryHits {
+				if hits != 0 {
+					t.Errorf("%s: entry %d fired %d times on gap-only traffic", name, e, hits)
+				}
+			}
+		}
+	}
+	if withGap == 0 {
+		t.Fatal("no corpus NF produced a gap trace; ground truth unexercised")
+	}
+}
+
+// --- concurrent scraping under swap load ------------------------------
+
+// obsPromSample matches one Prometheus text-exposition sample line.
+var obsPromSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+$`)
+
+func checkScrapeParses(t *testing.T, body string) {
+	t.Helper()
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !obsPromSample.MatchString(line) {
+			t.Errorf("unparseable metric line: %q", line)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("scrape body carried no samples")
+	}
+}
+
+// TestScrapeUnderSwapLoad hammers every observability endpoint from
+// concurrent goroutines while the server swaps generations under
+// looping traffic, at shard counts 1, 2 and 4. Run under -race (the
+// Makefile race target covers ./internal/serve) this is the torn-
+// snapshot detector; even without -race it asserts the per-packet
+// consistency invariant held (epoch_violations=0), the swaps landed in
+// the audit trail, and a final scrape still parses.
+func TestScrapeUnderSwapLoad(t *testing.T) {
+	base := analyzeNF(t, "firewall")
+	next := firewallExtraRule(t)
+	trace := firewallTrace(512)
+
+	for _, shards := range []int{1, 2, 4} {
+		srv, err := New(Candidate{Analysis: base, Shards: shards}, Config{
+			Source:    NewTraceSource(trace, true, 60000),
+			BatchSize: 32,
+			Obs:       &obsrv.Options{DriftWindow: 512},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := obsrv.NewHTTP("127.0.0.1:0", srv, obsrv.HTTPConfig{NF: "firewall"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseURL := "http://" + h.Addr()
+
+		done := runServer(srv)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, path := range []string{"/metrics", "/state", "/coverage", "/swaps"} {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(baseURL + path)
+					if err != nil {
+						return // server drained
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}(path)
+		}
+
+		// Swap back and forth while the scrapers run.
+		swaps := 0
+		for i := 0; i < 4; i++ {
+			cand := Candidate{Analysis: next, Shards: shards, Name: "firewall-v2"}
+			if i%2 == 1 {
+				cand = Candidate{Analysis: base, Shards: shards, Name: "firewall-v1"}
+			}
+			rep := <-srv.RequestSwap(SwapRequest{Candidate: cand, AllowBehaviorChange: true})
+			if !rep.Blocked {
+				swaps++
+			}
+		}
+
+		if err := <-done; err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		close(stop)
+		wg.Wait()
+
+		st := srv.Stats()
+		if st.EpochViolations != 0 {
+			t.Errorf("shards=%d: %d epoch violations under concurrent scraping", shards, st.EpochViolations)
+		}
+		if swaps == 0 {
+			t.Errorf("shards=%d: no swap applied", shards)
+		}
+		ev := srv.SwapEvents()
+		if len(ev) < swaps {
+			t.Errorf("shards=%d: audit trail holds %d events, want >= %d", shards, len(ev), swaps)
+		}
+
+		// The server drained but the listener still answers: a final
+		// scrape must render a complete, parseable exposition.
+		resp, err := http.Get(baseURL + "/metrics")
+		if err != nil {
+			t.Fatalf("shards=%d: final scrape: %v", shards, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		checkScrapeParses(t, string(body))
+		h.Close()
+	}
+}
+
+// TestScrapeTimeoutAfterDrain pins the /state liveness contract: once
+// Run returns, inspection takes the direct path and still answers.
+func TestScrapeTimeoutAfterDrain(t *testing.T) {
+	srv, err := New(Candidate{Analysis: analyzeNF(t, "firewall")}, Config{
+		Source: NewTraceSource(firewallTrace(64), false, 0),
+		Obs:    &obsrv.Options{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Run(); err != nil {
+		t.Fatal(err)
+	}
+	states := srv.InspectState(10 * time.Millisecond)
+	if len(states) == 0 {
+		t.Fatal("drained server refused a direct state walk")
+	}
+	found := false
+	for _, v := range states[0].Vars {
+		if v.Name == "conns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("state walk missing the conns table: %+v", states[0].Vars)
+	}
+}
+
+// --- chainEntry stage attribution -------------------------------------
+
+// TestChainEntryDefaultStage pins the stage-attribution rules the
+// collector depends on: the deepest reached stage decides, an explicit
+// entry never reports a default stage, and unreached stages are skipped.
+func TestChainEntryDefaultStage(t *testing.T) {
+	nr := dataplane.EntryNotReached
+	cases := []struct {
+		entries []int
+		dropped bool
+		entry   int
+		ds      int
+	}{
+		{[]int{3}, false, 3, -1},        // explicit forward
+		{[]int{2}, true, 2, -1},         // explicit drop entry
+		{[]int{-1}, true, -1, 0},        // single-stage implicit default
+		{[]int{0, -1}, true, -1, 1},     // killed by stage 1's default
+		{[]int{-1, nr}, true, -1, 0},    // killed at stage 0, stage 1 never reached
+		{[]int{0, 1, -1}, true, -1, 2},  // deep chain default
+		{[]int{nr, nr}, true, -1, -1},   // nothing reached
+		{[]int{0, 4, nr}, false, 4, -1}, // forwarded mid-chain view
+	}
+	for i, c := range cases {
+		o := &dataplane.ChainOutput{Entries: c.entries, Dropped: c.dropped}
+		entry, ds := chainEntry(o)
+		if entry != c.entry || ds != c.ds {
+			t.Errorf("case %d %v dropped=%v: got (%d,%d), want (%d,%d)",
+				i, c.entries, c.dropped, entry, ds, c.entry, c.ds)
+		}
+	}
+}

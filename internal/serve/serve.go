@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"nfactor/internal/netpkt"
 	"nfactor/internal/telemetry"
@@ -82,6 +83,48 @@ func (t *TraceSource) Next(p *netpkt.Packet) (bool, error) {
 	*p = t.trace[t.at%int64(len(t.trace))]
 	t.at++
 	return true, nil
+}
+
+// PacedSource rate-limits another source to a target packets-per-second
+// budget, so a looping trace can stand in for live traffic (the CI
+// smoke daemon serves a bounded trace for tens of seconds instead of
+// draining it in milliseconds). Pacing is token-bucket style against
+// the wall clock: Next sleeps only when the loop runs ahead of budget,
+// so a slow inner source never accumulates a burst debt larger than
+// one second of traffic.
+type PacedSource struct {
+	src   Source
+	pps   float64
+	start time.Time
+	sent  int64
+}
+
+// NewPacedSource paces src at pps packets per second (pps <= 0 means
+// no pacing).
+func NewPacedSource(src Source, pps float64) *PacedSource {
+	return &PacedSource{src: src, pps: pps}
+}
+
+func (ps *PacedSource) Next(p *netpkt.Packet) (bool, error) {
+	if ps.pps > 0 {
+		if ps.start.IsZero() {
+			ps.start = time.Now()
+		}
+		due := ps.start.Add(time.Duration(float64(ps.sent) / ps.pps * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		} else if d < -time.Second {
+			// Ran behind by over a second (stalled inner source, paused
+			// process): forgive the debt instead of bursting to catch up.
+			ps.start = time.Now()
+			ps.sent = 0
+		}
+	}
+	ok, err := ps.src.Next(p)
+	if ok {
+		ps.sent++
+	}
+	return ok, err
 }
 
 // ReaderSource parses trace lines (netpkt.ParseLine) from a stream —

@@ -3,8 +3,10 @@ package serve
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"nfactor/internal/netpkt"
+	"nfactor/internal/obsrv"
 	"nfactor/internal/telemetry"
 )
 
@@ -25,6 +27,11 @@ type Config struct {
 	// blocked) from the serving goroutine, before the requester's
 	// channel is answered.
 	OnSwap func(*SwapReport)
+	// Obs, when set, enables the observability collectors (gap-hit
+	// detection against NFL103 witnesses, verdict-mix/top-K drift, the
+	// swap audit trail) — the state behind the obsrv HTTP endpoints.
+	// The collectors rebuild at every generation install.
+	Obs *obsrv.Options
 }
 
 // Server is the live serving loop: one goroutine (Run) pulls packets
@@ -42,20 +49,47 @@ type Server struct {
 	window []netpkt.Packet // ring of the last WindowSize served packets
 	total  int64           // packets pushed into the ring
 
-	swapCh chan *swapTicket
-	stopCh chan struct{}
+	swapCh    chan *swapTicket
+	stopCh    chan struct{}
+	inspectCh chan *inspectTicket
+	running   atomic.Bool // serving loop active (InspectState routing)
 
 	stats telemetry.ServeStats // serving-goroutine copy
 	pub   atomic.Pointer[Published]
 
+	// Observability collectors (nil when Config.Obs is unset). obs
+	// belongs to the serving goroutine; swapLog is internally locked.
+	obs     *obsrv.Collector
+	swapLog *obsrv.SwapLog
+	// Published obs/stage snapshots refresh at most every obsRefresh
+	// of wall time, not every batch.
+	pubObs    *obsrv.Snapshot
+	pubStages []telemetry.Snapshot
+	pubObsAt  time.Time
+
 	lastEpoch uint64
 }
 
+// obsRefresh is how stale a published collector snapshot may get:
+// scrapes want freshness on the order of seconds, the serve loop turns
+// over batches in microseconds, and building the snapshot (sample
+// rendering, sketch copies, per-stage telemetry) costs microseconds —
+// amortizing it by wall time keeps the cost independent of packet rate.
+const obsRefresh = 200 * time.Millisecond
+
 // Published is the cross-goroutine observable state, republished after
 // every batch: the serving stats plus the engine's own telemetry.
+// Stages and Obs carry the per-stage telemetry and the collector
+// snapshot when observability is enabled (refreshed every few batches).
 type Published struct {
 	Stats  telemetry.ServeStats
 	Engine telemetry.Snapshot
+	Stages []telemetry.Snapshot
+	Obs    *obsrv.Snapshot
+	// Name labels the serving generation (the candidate's display
+	// name); republished with the stats so readers never touch the
+	// live generation struct.
+	Name string
 }
 
 type swapTicket struct {
@@ -92,15 +126,25 @@ func New(c Candidate, cfg Config) (*Server, error) {
 		window:    make([]netpkt.Packet, 0, cfg.WindowSize),
 		swapCh:    make(chan *swapTicket, 16),
 		stopCh:    make(chan struct{}),
+		inspectCh: make(chan *inspectTicket, 16),
 		lastEpoch: gen.Num,
+	}
+	if cfg.Obs != nil {
+		s.swapLog = obsrv.NewSwapLog(cfg.Obs.SwapLog)
+		s.installCollector()
 	}
 	s.stats.Generation = gen.Num
 	s.publish()
 	return s, nil
 }
 
-// Generation returns the serving generation's number and name.
-func (s *Server) Generation() (uint64, string) { return s.gen.Num, s.gen.Name }
+// Generation returns the serving generation's number and name, as of
+// the last published batch (reading the live generation struct would
+// race the swap install on the serving goroutine).
+func (s *Server) Generation() (uint64, string) {
+	p := s.pub.Load()
+	return p.Stats.Generation, p.Name
+}
 
 // RequestSwap queues a swap for the next eligible batch barrier and
 // returns a channel that receives the report (buffered: the requester
@@ -142,20 +186,34 @@ func (s *Server) Snapshot() telemetry.Snapshot { return s.pub.Load().Engine }
 // the sink rejects a write.
 func (s *Server) Run() error {
 	var pending []*swapTicket
+	s.running.Store(true)
 	defer func() {
 		for _, t := range pending {
 			t.ch <- &SwapReport{From: s.gen.Num, To: s.gen.Num, Name: t.req.Candidate.name(),
 				Blocked: true, Reason: "server stopped before the swap point", DivergencePacket: -1}
 		}
+		// Answer inspection tickets that raced the shutdown, then let
+		// future ones take the direct (quiesced) path.
+		s.serviceInspect()
+		// Force a final collector publish: the amortized refresh may lag
+		// by up to obsRefresh, and a drained server must report exact
+		// gap-hit and drift totals.
+		if s.obs != nil {
+			s.pubObs = nil
+			s.publish()
+		}
+		s.running.Store(false)
 	}()
 
 	batch := make([]netpkt.Packet, 0, s.cfg.BatchSize)
 	outs := make([]Outcome, s.cfg.BatchSize)
 	for {
 		// Barrier: no packet is in flight here. Apply every eligible
-		// queued swap, FIFO.
+		// queued swap, FIFO, and answer state-inspection tickets on the
+		// quiesced plane.
 		pending = s.drainSwaps(pending)
 		pending = s.applyEligible(pending)
+		s.serviceInspect()
 
 		select {
 		case <-s.stopCh:
@@ -208,6 +266,9 @@ func (s *Server) serveBatch(batch []netpkt.Packet, outs []Outcome) error {
 		s.lastEpoch = o.Epoch
 		s.pushWindow(&batch[i])
 		s.stats.Packets++
+		if s.obs != nil {
+			s.obs.Observe(&batch[i], o.Verdict.Dropped, o.DefaultStage)
+		}
 		if err := s.cfg.Sink.Emit(s.stats.Packets, &batch[i], o); err != nil {
 			return fmt.Errorf("serve: sink: %w", err)
 		}
@@ -246,8 +307,14 @@ func (s *Server) applyEligible(pending []*swapTicket) []*swapTicket {
 			s.stats.CarriedVars += int64(rep.Carried)
 			s.stats.ResetVars += int64(rep.Reset)
 			s.stats.LastSwapPauseNs = rep.Pause.Nanoseconds()
+			// New model, new observers: gap matchers and the drift
+			// baseline are generation properties.
+			s.installCollector()
 		} else {
 			s.stats.SwapsBlocked++
+		}
+		if s.swapLog != nil {
+			s.swapLog.Record(swapEventOf(rep, s.stats.Packets))
 		}
 		s.publish()
 		if s.cfg.OnSwap != nil {
@@ -280,9 +347,23 @@ func (s *Server) windowCopy() []netpkt.Packet {
 	return append(out, s.window[:at]...)
 }
 
-// publish republishes the observable state.
+// publish republishes the observable state. The serve stats and merged
+// engine snapshot refresh every batch; the collector snapshot and
+// per-stage telemetry refresh at most every obsRefresh of wall time
+// (snapshotting the collectors copies sample rings and sketch tops —
+// microseconds of work, too much for every 64 packets). A nil pubObs
+// (fresh install, forced final publish) refreshes immediately.
 func (s *Server) publish() {
 	st := s.stats
 	st.WindowLen = int64(len(s.window))
-	s.pub.Store(&Published{Stats: st, Engine: s.gen.plane.snapshot()})
+	p := &Published{Stats: st, Engine: s.gen.plane.snapshot(), Name: s.gen.Name}
+	if s.obs != nil {
+		if now := time.Now(); s.pubObs == nil || now.Sub(s.pubObsAt) >= obsRefresh {
+			s.pubObs = s.obs.Snapshot(s.gen.Num, s.gen.Name)
+			s.pubStages = s.gen.plane.stageSnapshots()
+			s.pubObsAt = now
+		}
+		p.Obs, p.Stages = s.pubObs, s.pubStages
+	}
+	s.pub.Store(p)
 }

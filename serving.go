@@ -3,6 +3,7 @@ package nfactor
 import (
 	"io"
 
+	"nfactor/internal/obsrv"
 	"nfactor/internal/serve"
 	"nfactor/internal/telemetry"
 )
@@ -61,3 +62,47 @@ func NewUDPSource(addr string) (*UDPSource, error) { return serve.NewUDPSource(a
 
 // NewWriterSink renders verdict lines in nfreplay's replay format.
 func NewWriterSink(w io.Writer) Sink { return serve.NewWriterSink(w) }
+
+// NewPacedSource rate-limits src to pps packets per second, so a
+// looping trace can stand in for live traffic.
+func NewPacedSource(src Source, pps float64) Source { return serve.NewPacedSource(src, pps) }
+
+// --- live observability ------------------------------------------------
+
+// ObsOptions tunes the serving daemon's observability collectors
+// (drift windows, gap-witness budget, swap-log depth). Set
+// ServeConfig.Obs to a (possibly zero-valued) *ObsOptions to enable
+// them.
+type ObsOptions = obsrv.Options
+
+// ObsSnapshot is the collectors' published state: per-stage gap hits
+// against the NFL103 witnesses plus the windowed drift verdict.
+type ObsSnapshot = obsrv.Snapshot
+
+// ObsHTTP is the embedded observability HTTP server: /metrics,
+// /state, /coverage, /swaps and /debug/pprof/ over a live Server.
+type ObsHTTP = obsrv.HTTP
+
+// ObsHTTPConfig tunes the observability HTTP server (metric labels,
+// extra Prometheus appenders, inspection timeout).
+type ObsHTTPConfig = obsrv.HTTPConfig
+
+// NewObsHTTP binds addr and serves the observability endpoints for a
+// live Server in a background goroutine. Close it to stop.
+func NewObsHTTP(addr string, srv *Server, cfg ObsHTTPConfig) (*ObsHTTP, error) {
+	return obsrv.NewHTTP(addr, srv, cfg)
+}
+
+// WriteServeMetrics renders the full observability scrape payload for
+// a live Server — the same body /metrics serves — followed by the
+// extra appenders (e.g. the synthesis pipeline's perf counters).
+func WriteServeMetrics(w io.Writer, srv *Server, nf string, extra []func(io.Writer) error) error {
+	return obsrv.WriteAllMetrics(w, srv, nf, extra)
+}
+
+// WriteObsFileAtomic renders into a temp file and atomically renames
+// it over path — the periodic -prom rewrite primitive (a scraping
+// sidecar never sees a torn file).
+func WriteObsFileAtomic(path string, render func(io.Writer) error) error {
+	return obsrv.WriteFileAtomic(path, render)
+}
